@@ -1,0 +1,276 @@
+//! K-Means (Lloyd's algorithm) — the iterative machine-learning scenario.
+//!
+//! Structured exactly as the paper's Pilot-Memory case study: partitioned
+//! points, a per-partition assignment step producing partial sums, and a
+//! global reduction updating the centroids. The step/reduce functions plug
+//! straight into `pilot_memory::IterativeExecutor`; [`lloyd_sequential`] is
+//! the verification reference.
+
+use pilot_sim::SimRng;
+
+/// A data point.
+pub type Point = Vec<f64>;
+
+/// Synthetic-blob generator configuration.
+#[derive(Clone, Debug)]
+pub struct BlobConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Dimensions.
+    pub dims: usize,
+    /// Total points.
+    pub points: usize,
+    /// Cluster standard deviation.
+    pub spread: f64,
+    /// Center coordinate range (±).
+    pub center_range: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl BlobConfig {
+    /// A small, well-separated default.
+    pub fn new(k: usize, dims: usize, points: usize, seed: u64) -> Self {
+        BlobConfig {
+            k,
+            dims,
+            points,
+            spread: 0.5,
+            center_range: 10.0,
+            seed,
+        }
+    }
+}
+
+/// Generate Gaussian blobs; returns `(points, true_centers)`.
+pub fn generate_blobs(cfg: &BlobConfig) -> (Vec<Point>, Vec<Point>) {
+    let mut rng = SimRng::new(cfg.seed);
+    let centers: Vec<Point> = (0..cfg.k)
+        .map(|_| {
+            (0..cfg.dims)
+                .map(|_| rng.f64_range(-cfg.center_range, cfg.center_range))
+                .collect()
+        })
+        .collect();
+    let points = (0..cfg.points)
+        .map(|i| {
+            let c = &centers[i % cfg.k];
+            c.iter().map(|&x| x + rng.normal(0.0, cfg.spread)).collect()
+        })
+        .collect();
+    (points, centers)
+}
+
+fn d2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Partial sums from one partition: per-centroid coordinate sums, counts,
+/// and the partition's inertia contribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Partial {
+    /// Per-centroid coordinate sums.
+    pub sums: Vec<Vec<f64>>,
+    /// Per-centroid assigned counts.
+    pub counts: Vec<u64>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+}
+
+impl Partial {
+    /// Zero partial for `k` centroids of `dims` dimensions.
+    pub fn zero(k: usize, dims: usize) -> Self {
+        Partial {
+            sums: vec![vec![0.0; dims]; k],
+            counts: vec![0; k],
+            inertia: 0.0,
+        }
+    }
+
+    /// Merge another partial into this one.
+    pub fn merge(&mut self, other: &Partial) {
+        for (s, o) in self.sums.iter_mut().zip(&other.sums) {
+            for (a, b) in s.iter_mut().zip(o) {
+                *a += b;
+            }
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.inertia += other.inertia;
+    }
+}
+
+/// Assignment step over one partition.
+pub fn assign_step(points: &[Point], centroids: &[Point]) -> Partial {
+    let k = centroids.len();
+    let dims = centroids.first().map(|c| c.len()).unwrap_or(0);
+    let mut partial = Partial::zero(k, dims);
+    for p in points {
+        let (best, dist) = centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, d2(p, c)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .expect("k >= 1");
+        partial.counts[best] += 1;
+        partial.inertia += dist;
+        for (s, &x) in partial.sums[best].iter_mut().zip(p) {
+            *s += x;
+        }
+    }
+    partial
+}
+
+/// Reduce partials into new centroids. Empty centroids keep their previous
+/// position. Returns `(new_centroids, inertia)`.
+pub fn update_centroids(partials: &[Partial], previous: &[Point]) -> (Vec<Point>, f64) {
+    let k = previous.len();
+    let dims = previous.first().map(|c| c.len()).unwrap_or(0);
+    let mut merged = Partial::zero(k, dims);
+    for p in partials {
+        merged.merge(p);
+    }
+    let centroids = (0..k)
+        .map(|i| {
+            if merged.counts[i] == 0 {
+                previous[i].clone()
+            } else {
+                merged.sums[i]
+                    .iter()
+                    .map(|&s| s / merged.counts[i] as f64)
+                    .collect()
+            }
+        })
+        .collect();
+    (centroids, merged.inertia)
+}
+
+/// Deterministic initialization: the first `k` points.
+pub fn init_centroids(points: &[Point], k: usize) -> Vec<Point> {
+    points.iter().take(k).cloned().collect()
+}
+
+/// Result of a K-Means run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Final centroids.
+    pub centroids: Vec<Point>,
+    /// Inertia per iteration (monotone non-increasing for Lloyd's).
+    pub inertia_history: Vec<f64>,
+}
+
+/// Sequential reference implementation.
+pub fn lloyd_sequential(points: &[Point], k: usize, iterations: usize) -> KMeansResult {
+    let mut centroids = init_centroids(points, k);
+    let mut inertia_history = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let partial = assign_step(points, &centroids);
+        let (next, inertia) = update_centroids(&[partial], &centroids);
+        centroids = next;
+        inertia_history.push(inertia);
+    }
+    KMeansResult {
+        centroids,
+        inertia_history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_are_deterministic_and_sized() {
+        let cfg = BlobConfig::new(3, 2, 90, 42);
+        let (p1, c1) = generate_blobs(&cfg);
+        let (p2, c2) = generate_blobs(&cfg);
+        assert_eq!(p1, p2);
+        assert_eq!(c1, c2);
+        assert_eq!(p1.len(), 90);
+        assert_eq!(c1.len(), 3);
+        assert_eq!(p1[0].len(), 2);
+    }
+
+    #[test]
+    fn inertia_is_monotone_nonincreasing() {
+        let cfg = BlobConfig::new(4, 3, 400, 7);
+        let (points, _) = generate_blobs(&cfg);
+        let result = lloyd_sequential(&points, 4, 10);
+        for w in result.inertia_history.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "inertia increased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_well_separated_centers() {
+        let cfg = BlobConfig::new(3, 2, 600, 11);
+        let (points, truth) = generate_blobs(&cfg);
+        let result = lloyd_sequential(&points, 3, 25);
+        // Every true center has a found centroid within 3 spreads.
+        for t in &truth {
+            let nearest = result
+                .centroids
+                .iter()
+                .map(|c| d2(t, c).sqrt())
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 1.5, "center {t:?} missed by {nearest}");
+        }
+    }
+
+    #[test]
+    fn partitioned_equals_sequential() {
+        let cfg = BlobConfig::new(3, 2, 300, 9);
+        let (points, _) = generate_blobs(&cfg);
+        let centroids = init_centroids(&points, 3);
+        // Whole dataset in one step.
+        let whole = assign_step(&points, &centroids);
+        // Split into 4 partitions and merge.
+        let parts: Vec<Partial> = points
+            .chunks(75)
+            .map(|c| assign_step(c, &centroids))
+            .collect();
+        let (next_split, inertia_split) = update_centroids(&parts, &centroids);
+        let (next_whole, inertia_whole) = update_centroids(&[whole], &centroids);
+        // Summation order differs between the two paths; equality is up to
+        // floating-point associativity.
+        for (a, b) in next_split.iter().flatten().zip(next_whole.iter().flatten()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert!((inertia_split - inertia_whole).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_cluster_keeps_previous_centroid() {
+        let points = vec![vec![0.0, 0.0], vec![0.1, 0.1]];
+        // Third centroid far away: gets nothing assigned.
+        let centroids = vec![vec![0.0, 0.0], vec![0.1, 0.1], vec![100.0, 100.0]];
+        let partial = assign_step(&points, &centroids);
+        assert_eq!(partial.counts[2], 0);
+        let (next, _) = update_centroids(&[partial], &centroids);
+        assert_eq!(next[2], vec![100.0, 100.0]);
+    }
+
+    #[test]
+    fn partial_merge_is_commutative() {
+        let cfg = BlobConfig::new(2, 2, 100, 3);
+        let (points, _) = generate_blobs(&cfg);
+        let centroids = init_centroids(&points, 2);
+        let a = assign_step(&points[..50], &centroids);
+        let b = assign_step(&points[50..], &centroids);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.counts, ba.counts);
+        assert!((ab.inertia - ba.inertia).abs() < 1e-9);
+        for (x, y) in ab.sums.iter().flatten().zip(ba.sums.iter().flatten()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

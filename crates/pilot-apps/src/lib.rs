@@ -1,0 +1,25 @@
+//! # pilot-apps — case-study scientific applications
+//!
+//! One representative application per scenario of the paper's Table I, each
+//! with a *real* compute kernel (no sleeps — actual arithmetic), plus the
+//! synthetic data generators the paper's Mini-App methodology calls for
+//! where production data was used:
+//!
+//! | Table I scenario | Application here | Paper case study |
+//! |---|---|---|
+//! | Task-parallel | [`md`] synthetic-MD replica exchange; [`enkf`] ensemble Kalman filter | Adaptive replica exchange \[48\], EnKF \[50\] |
+//! | Data-parallel | [`pairwise`] distance analysis; [`wordcount`] | MD trajectory analysis \[53\], map-only analytics |
+//! | Dataflow / MapReduce | [`seqalign`] Smith-Waterman read alignment | Pilot-MapReduce sequence alignment \[54\] |
+//! | Iterative | [`kmeans`] Lloyd's algorithm | K-Means \[55\] |
+//! | Streaming | [`lightsource`] detector-frame reconstruction | Light-source streaming \[32\] |
+//!
+//! Every generator is seed-deterministic; every parallel driver has a
+//! sequential reference the tests compare against.
+
+pub mod enkf;
+pub mod kmeans;
+pub mod lightsource;
+pub mod md;
+pub mod pairwise;
+pub mod seqalign;
+pub mod wordcount;

@@ -1,0 +1,340 @@
+//! Light-source detector frames — the streaming case study (\[32\]).
+//!
+//! Synthetic 2-D detector frames (Gaussian peaks on noise) stand in for
+//! beamline data; the reconstruction kernel is real image processing:
+//! 3×3 median denoising, thresholding, and connected local-maximum peak
+//! extraction. Frames serialize to bytes for broker payloads, so the full
+//! produce → stream → reconstruct path is exercised end-to-end (EXP T1/PS-1).
+
+use pilot_sim::SimRng;
+
+/// A detector frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major intensities.
+    pub data: Vec<f32>,
+}
+
+/// A detected (or planted) peak.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Peak {
+    /// Column.
+    pub x: f32,
+    /// Row.
+    pub y: f32,
+    /// Peak intensity.
+    pub intensity: f32,
+}
+
+/// Frame-generation parameters.
+#[derive(Clone, Debug)]
+pub struct FrameConfig {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Peaks per frame.
+    pub peaks: usize,
+    /// Peak amplitude range.
+    pub amplitude: (f32, f32),
+    /// Gaussian peak sigma, pixels.
+    pub sigma: f32,
+    /// Additive noise sigma.
+    pub noise: f32,
+}
+
+impl FrameConfig {
+    /// A small detector with clearly separable peaks.
+    pub fn small() -> Self {
+        FrameConfig {
+            width: 64,
+            height: 64,
+            peaks: 4,
+            amplitude: (40.0, 90.0),
+            sigma: 1.6,
+            noise: 1.0,
+        }
+    }
+}
+
+impl Frame {
+    /// Pixel accessor.
+    #[inline]
+    pub fn at(&self, x: usize, y: usize) -> f32 {
+        self.data[y * self.width + x]
+    }
+
+    /// Serialize to little-endian bytes: `width u32 | height u32 | f32...`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.data.len() * 4);
+        out.extend_from_slice(&(self.width as u32).to_le_bytes());
+        out.extend_from_slice(&(self.height as u32).to_le_bytes());
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse the [`to_bytes`](Self::to_bytes) format.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Frame> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let width = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        let height = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+        let need = 8 + width * height * 4;
+        if bytes.len() != need {
+            return None;
+        }
+        let data = bytes[8..]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+            .collect();
+        Some(Frame {
+            width,
+            height,
+            data,
+        })
+    }
+}
+
+/// Generate a frame with planted peaks; returns the frame and the truth.
+pub fn generate_frame(cfg: &FrameConfig, seed: u64) -> (Frame, Vec<Peak>) {
+    let mut rng = SimRng::new(seed);
+    let mut data = vec![0.0f32; cfg.width * cfg.height];
+    // Noise floor.
+    for v in &mut data {
+        *v = (rng.normal(0.0, cfg.noise as f64) as f32).max(0.0);
+    }
+    // Peaks kept away from borders so centroids are recoverable.
+    let margin = (cfg.sigma * 4.0).ceil() as usize + 1;
+    let peaks: Vec<Peak> = (0..cfg.peaks)
+        .map(|_| {
+            let x = rng.range_u64(margin as u64, (cfg.width - margin) as u64) as f32;
+            let y = rng.range_u64(margin as u64, (cfg.height - margin) as u64) as f32;
+            let a = rng.f64_range(cfg.amplitude.0 as f64, cfg.amplitude.1 as f64) as f32;
+            Peak {
+                x,
+                y,
+                intensity: a,
+            }
+        })
+        .collect();
+    for p in &peaks {
+        let s2 = 2.0 * cfg.sigma * cfg.sigma;
+        let r = (cfg.sigma * 4.0).ceil() as isize;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let px = p.x as isize + dx;
+                let py = p.y as isize + dy;
+                if px < 0 || py < 0 || px >= cfg.width as isize || py >= cfg.height as isize {
+                    continue;
+                }
+                let d2 = (dx * dx + dy * dy) as f32;
+                data[py as usize * cfg.width + px as usize] += p.intensity * (-d2 / s2).exp();
+            }
+        }
+    }
+    (
+        Frame {
+            width: cfg.width,
+            height: cfg.height,
+            data,
+        },
+        peaks,
+    )
+}
+
+/// 3×3 median filter (edges clamped).
+pub fn median3x3(frame: &Frame) -> Frame {
+    let (w, h) = (frame.width, frame.height);
+    let mut out = vec![0.0f32; w * h];
+    let mut window = [0.0f32; 9];
+    for y in 0..h {
+        for x in 0..w {
+            let mut k = 0;
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    let sx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
+                    let sy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
+                    window[k] = frame.at(sx, sy);
+                    k += 1;
+                }
+            }
+            window.sort_by(|a, b| a.partial_cmp(b).expect("finite pixels"));
+            out[y * w + x] = window[4];
+        }
+    }
+    Frame {
+        width: w,
+        height: h,
+        data: out,
+    }
+}
+
+/// Detect peaks: median-denoise, threshold, then report strict local maxima
+/// with intensity-weighted 3×3 centroids.
+pub fn detect_peaks(frame: &Frame, threshold: f32) -> Vec<Peak> {
+    let smooth = median3x3(frame);
+    let (w, h) = (smooth.width, smooth.height);
+    let mut peaks = Vec::new();
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let v = smooth.at(x, y);
+            if v < threshold {
+                continue;
+            }
+            let mut is_max = true;
+            'scan: for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let nv = smooth.at((x as isize + dx) as usize, (y as isize + dy) as usize);
+                    // Strict on the lexicographically earlier neighbour so
+                    // plateaus yield exactly one peak.
+                    if nv > v || (nv == v && (dy < 0 || (dy == 0 && dx < 0))) {
+                        is_max = false;
+                        break 'scan;
+                    }
+                }
+            }
+            if !is_max {
+                continue;
+            }
+            // Intensity-weighted centroid over the 3×3 patch.
+            let (mut sx, mut sy, mut sw) = (0.0f32, 0.0f32, 0.0f32);
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    let px = (x as isize + dx) as usize;
+                    let py = (y as isize + dy) as usize;
+                    let pv = smooth.at(px, py);
+                    sx += px as f32 * pv;
+                    sy += py as f32 * pv;
+                    sw += pv;
+                }
+            }
+            peaks.push(Peak {
+                x: sx / sw,
+                y: sy / sw,
+                intensity: v,
+            });
+        }
+    }
+    peaks
+}
+
+/// Full reconstruction of a serialized frame: parse → denoise → peaks.
+/// Returns `None` on a corrupt payload.
+pub fn reconstruct(bytes: &[u8], threshold: f32) -> Option<Vec<Peak>> {
+    Frame::from_bytes(bytes).map(|f| detect_peaks(&f, threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = FrameConfig::small();
+        let (f1, p1) = generate_frame(&cfg, 7);
+        let (f2, p2) = generate_frame(&cfg, 7);
+        assert_eq!(f1, f2);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 4);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let cfg = FrameConfig::small();
+        let (frame, _) = generate_frame(&cfg, 3);
+        let bytes = frame.to_bytes();
+        assert_eq!(bytes.len(), 8 + 64 * 64 * 4);
+        let back = Frame::from_bytes(&bytes).unwrap();
+        assert_eq!(back, frame);
+        assert!(Frame::from_bytes(&bytes[..10]).is_none());
+        assert!(Frame::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn planted_peaks_are_recovered() {
+        let cfg = FrameConfig::small();
+        for seed in 0..5 {
+            let (frame, truth) = generate_frame(&cfg, seed);
+            let found = detect_peaks(&frame, 15.0);
+            // Every planted peak has a detection within 1.5 px. (Two planted
+            // peaks can merge when close — allow that by only requiring
+            // coverage, not exact counts.)
+            for t in &truth {
+                let nearest = found
+                    .iter()
+                    .map(|f| ((f.x - t.x).powi(2) + (f.y - t.y).powi(2)).sqrt())
+                    .fold(f32::INFINITY, f32::min);
+                assert!(
+                    nearest < 1.5,
+                    "seed {seed}: peak at ({}, {}) missed by {nearest}",
+                    t.x,
+                    t.y
+                );
+            }
+            // And not too many spurious ones.
+            assert!(found.len() <= truth.len() + 2, "noise peaks: {found:?}");
+        }
+    }
+
+    #[test]
+    fn median_filter_kills_salt_noise() {
+        let mut frame = Frame {
+            width: 16,
+            height: 16,
+            data: vec![1.0; 256],
+        };
+        frame.data[8 * 16 + 8] = 1000.0; // single hot pixel
+        let smooth = median3x3(&frame);
+        assert_eq!(smooth.at(8, 8), 1.0, "hot pixel removed");
+    }
+
+    #[test]
+    fn reconstruct_handles_garbage() {
+        assert!(reconstruct(&[1, 2, 3], 10.0).is_none());
+        let cfg = FrameConfig::small();
+        let (frame, truth) = generate_frame(&cfg, 1);
+        let peaks = reconstruct(&frame.to_bytes(), 15.0).unwrap();
+        assert!(!peaks.is_empty());
+        assert!(peaks.len() <= truth.len() + 2);
+    }
+
+    #[test]
+    fn flat_frame_has_no_peaks() {
+        let frame = Frame {
+            width: 32,
+            height: 32,
+            data: vec![5.0; 1024],
+        };
+        assert!(detect_peaks(&frame, 10.0).is_empty());
+        // A frame-wide plateau has no interior pixel without an "earlier"
+        // equal neighbour, so nothing is reported even at the threshold.
+        assert!(detect_peaks(&frame, 5.0).is_empty());
+    }
+
+    #[test]
+    fn interior_plateau_yields_exactly_one_peak() {
+        let mut frame = Frame {
+            width: 32,
+            height: 32,
+            data: vec![1.0; 1024],
+        };
+        for dy in 0..3usize {
+            for dx in 0..3usize {
+                frame.data[(14 + dy) * 32 + (14 + dx)] = 10.0;
+            }
+        }
+        let peaks = detect_peaks(&frame, 5.0);
+        assert_eq!(peaks.len(), 1, "{peaks:?}");
+        assert!((peaks[0].x - 15.0).abs() < 0.5 && (peaks[0].y - 15.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,461 @@
+//! Synthetic molecular dynamics and replica-exchange.
+//!
+//! The MD kernel is a Lennard-Jones particle system integrated with velocity
+//! Verlet — small enough to run thousands of steps per task, real enough
+//! that energies respond to temperature the way the replica-exchange
+//! acceptance rule requires. Replica exchange (\[48\], \[72\]) runs `R` replicas
+//! at a temperature ladder; after each phase, neighbouring replicas attempt
+//! a Metropolis temperature swap. The pilot-backed driver executes each
+//! replica-phase as one compute unit — the paper's original motivating
+//! workload for the pilot-abstraction.
+
+use pilot_core::describe::{PilotDescription, UnitDescription};
+use pilot_core::state::UnitState;
+use pilot_core::thread::{kernel_fn, TaskOutput, ThreadPilotService};
+use pilot_sim::{SimDuration, SimRng};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A Lennard-Jones particle system in a cubic periodic box (reduced units).
+#[derive(Clone, Debug)]
+pub struct MdSystem {
+    /// Particle positions.
+    pub positions: Vec<[f64; 3]>,
+    /// Particle velocities.
+    pub velocities: Vec<[f64; 3]>,
+    /// Box edge length.
+    pub box_len: f64,
+    /// Target temperature (velocity-rescaling thermostat).
+    pub temperature: f64,
+    rng: SimRng,
+}
+
+impl MdSystem {
+    /// `n` particles on a jittered lattice at the given reduced temperature.
+    pub fn new(n: usize, temperature: f64, seed: u64) -> Self {
+        let mut rng = SimRng::new(seed);
+        // Density ~0.5: box sized to the particle count.
+        let box_len = (n as f64 / 0.5).cbrt();
+        let per_side = (n as f64).cbrt().ceil() as usize;
+        let spacing = box_len / per_side as f64;
+        let mut positions = Vec::with_capacity(n);
+        'fill: for x in 0..per_side {
+            for y in 0..per_side {
+                for z in 0..per_side {
+                    if positions.len() >= n {
+                        break 'fill;
+                    }
+                    positions.push([
+                        (x as f64 + 0.5 + 0.1 * (rng.f64() - 0.5)) * spacing,
+                        (y as f64 + 0.5 + 0.1 * (rng.f64() - 0.5)) * spacing,
+                        (z as f64 + 0.5 + 0.1 * (rng.f64() - 0.5)) * spacing,
+                    ]);
+                }
+            }
+        }
+        let velocities = (0..n)
+            .map(|_| {
+                let s = temperature.sqrt();
+                [
+                    rng.normal(0.0, s),
+                    rng.normal(0.0, s),
+                    rng.normal(0.0, s),
+                ]
+            })
+            .collect();
+        MdSystem {
+            positions,
+            velocities,
+            box_len,
+            temperature,
+            rng,
+        }
+    }
+
+    fn min_image(&self, mut d: f64) -> f64 {
+        let l = self.box_len;
+        if d > l / 2.0 {
+            d -= l;
+        } else if d < -l / 2.0 {
+            d += l;
+        }
+        d
+    }
+
+    /// Pairwise LJ forces with a 2.5σ cutoff (O(n²), fine for mini-app n).
+    fn forces(&self) -> Vec<[f64; 3]> {
+        let n = self.positions.len();
+        let mut f = vec![[0.0; 3]; n];
+        let rc2 = 2.5f64 * 2.5;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = self.min_image(self.positions[i][0] - self.positions[j][0]);
+                let dy = self.min_image(self.positions[i][1] - self.positions[j][1]);
+                let dz = self.min_image(self.positions[i][2] - self.positions[j][2]);
+                let r2 = dx * dx + dy * dy + dz * dz;
+                if r2 >= rc2 || r2 < 1e-12 {
+                    continue;
+                }
+                let inv2 = 1.0 / r2;
+                let inv6 = inv2 * inv2 * inv2;
+                // F/r = 24ε(2 (σ/r)^12 − (σ/r)^6)/r²
+                let coef = 24.0 * (2.0 * inv6 * inv6 - inv6) * inv2;
+                let fx = coef * dx;
+                let fy = coef * dy;
+                let fz = coef * dz;
+                f[i][0] += fx;
+                f[i][1] += fy;
+                f[i][2] += fz;
+                f[j][0] -= fx;
+                f[j][1] -= fy;
+                f[j][2] -= fz;
+            }
+        }
+        f
+    }
+
+    /// Velocity-Verlet steps with a velocity-rescaling thermostat.
+    #[allow(clippy::needless_range_loop)] // positions/velocities/forces indexed in lockstep
+    pub fn run(&mut self, steps: usize, dt: f64) {
+        let n = self.positions.len();
+        let mut f = self.forces();
+        for _ in 0..steps {
+            for i in 0..n {
+                for k in 0..3 {
+                    self.velocities[i][k] += 0.5 * dt * f[i][k];
+                    self.positions[i][k] += dt * self.velocities[i][k];
+                    // Wrap into the box.
+                    self.positions[i][k] = self.positions[i][k].rem_euclid(self.box_len);
+                }
+            }
+            f = self.forces();
+            for i in 0..n {
+                for k in 0..3 {
+                    self.velocities[i][k] += 0.5 * dt * f[i][k];
+                }
+            }
+            // Thermostat: rescale toward the target temperature, with a
+            // touch of noise so replicas at different T genuinely differ.
+            let ke = self.kinetic_energy();
+            let t_now = 2.0 * ke / (3.0 * n as f64);
+            if t_now > 1e-12 {
+                let lambda = (self.temperature / t_now).sqrt();
+                let jitter = 1.0 + 0.01 * (self.rng.f64() - 0.5);
+                for v in &mut self.velocities {
+                    for k in 0..3 {
+                        v[k] *= lambda * jitter;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lennard-Jones potential energy (cutoff, unshifted).
+    pub fn potential_energy(&self) -> f64 {
+        let n = self.positions.len();
+        let rc2 = 2.5f64 * 2.5;
+        let mut e = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = self.min_image(self.positions[i][0] - self.positions[j][0]);
+                let dy = self.min_image(self.positions[i][1] - self.positions[j][1]);
+                let dz = self.min_image(self.positions[i][2] - self.positions[j][2]);
+                let r2 = dx * dx + dy * dy + dz * dz;
+                if r2 >= rc2 || r2 < 1e-12 {
+                    continue;
+                }
+                let inv6 = (1.0 / r2).powi(3);
+                e += 4.0 * (inv6 * inv6 - inv6);
+            }
+        }
+        e
+    }
+
+    /// Kinetic energy.
+    pub fn kinetic_energy(&self) -> f64 {
+        self.velocities
+            .iter()
+            .map(|v| 0.5 * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+            .sum()
+    }
+}
+
+/// Replica-exchange configuration.
+#[derive(Clone, Debug)]
+pub struct RexConfig {
+    /// Number of replicas (temperature-ladder rungs).
+    pub replicas: usize,
+    /// Particles per replica.
+    pub particles: usize,
+    /// MD steps per exchange phase.
+    pub steps_per_phase: usize,
+    /// Exchange phases.
+    pub phases: usize,
+    /// Lowest temperature; the ladder is geometric up to `t_max`.
+    pub t_min: f64,
+    /// Highest temperature.
+    pub t_max: f64,
+    /// Integration timestep.
+    pub dt: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RexConfig {
+    /// A small default ensemble.
+    pub fn small(replicas: usize) -> Self {
+        RexConfig {
+            replicas,
+            particles: 32,
+            steps_per_phase: 20,
+            phases: 4,
+            t_min: 0.8,
+            t_max: 2.0,
+            dt: 0.002,
+            seed: 0x4D44,
+        }
+    }
+
+    /// The geometric temperature ladder.
+    pub fn ladder(&self) -> Vec<f64> {
+        let n = self.replicas.max(1);
+        if n == 1 {
+            return vec![self.t_min];
+        }
+        let ratio = (self.t_max / self.t_min).powf(1.0 / (n - 1) as f64);
+        (0..n).map(|i| self.t_min * ratio.powi(i as i32)).collect()
+    }
+}
+
+/// Outcome of a replica-exchange run.
+#[derive(Debug)]
+pub struct RexReport {
+    /// Wall seconds per phase.
+    pub phase_wall_s: Vec<f64>,
+    /// Exchange attempts accepted.
+    pub exchanges_accepted: usize,
+    /// Exchange attempts made.
+    pub exchanges_attempted: usize,
+    /// Final potential energy per replica (ladder order).
+    pub final_energies: Vec<f64>,
+    /// Units that failed.
+    pub failed_units: usize,
+}
+
+impl RexReport {
+    /// Total wall time.
+    pub fn total_wall_s(&self) -> f64 {
+        self.phase_wall_s.iter().sum()
+    }
+
+    /// Acceptance ratio.
+    pub fn acceptance(&self) -> f64 {
+        if self.exchanges_attempted == 0 {
+            0.0
+        } else {
+            self.exchanges_accepted as f64 / self.exchanges_attempted as f64
+        }
+    }
+}
+
+/// Run replica exchange on a pilot service: one compute unit per
+/// replica-phase, Metropolis temperature swaps between phases.
+pub fn run_replica_exchange(svc: &ThreadPilotService, cfg: &RexConfig) -> RexReport {
+    let ladder = cfg.ladder();
+    let mut replicas: Vec<Arc<Mutex<MdSystem>>> = ladder
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            Arc::new(Mutex::new(MdSystem::new(
+                cfg.particles,
+                t,
+                cfg.seed.wrapping_add(i as u64),
+            )))
+        })
+        .collect();
+    let mut exchange_rng = SimRng::new(cfg.seed ^ 0xEC5A);
+    let mut phase_wall_s = Vec::with_capacity(cfg.phases);
+    let mut accepted = 0usize;
+    let mut attempted = 0usize;
+    let mut failed_units = 0usize;
+    for phase in 0..cfg.phases {
+        let t0 = Instant::now();
+        let units: Vec<_> = replicas
+            .iter()
+            .map(|replica| {
+                let replica = Arc::clone(replica);
+                let steps = cfg.steps_per_phase;
+                let dt = cfg.dt;
+                svc.submit_unit(
+                    UnitDescription::new(1).tagged("rex-phase"),
+                    kernel_fn(move |_| {
+                        let mut sys = replica.lock();
+                        sys.run(steps, dt);
+                        Ok(TaskOutput::of(sys.potential_energy()))
+                    }),
+                )
+            })
+            .collect();
+        let mut energies: Vec<f64> = vec![0.0; replicas.len()];
+        for (i, u) in units.into_iter().enumerate() {
+            let out = svc.wait_unit(u);
+            match (out.state, out.output) {
+                (UnitState::Done, Some(Ok(o))) => {
+                    energies[i] = o.downcast::<f64>().expect("kernel returns f64");
+                }
+                _ => failed_units += 1,
+            }
+        }
+        // Alternating even/odd neighbour exchange (standard REMD schedule).
+        let start = phase % 2;
+        let mut i = start;
+        while i + 1 < replicas.len() {
+            attempted += 1;
+            let (ti, tj) = {
+                let a = replicas[i].lock();
+                let b = replicas[i + 1].lock();
+                (a.temperature, b.temperature)
+            };
+            let delta = (1.0 / ti - 1.0 / tj) * (energies[i + 1] - energies[i]);
+            if delta <= 0.0 || exchange_rng.f64() < (-delta).exp() {
+                accepted += 1;
+                replicas[i].lock().temperature = tj;
+                replicas[i + 1].lock().temperature = ti;
+                replicas.swap(i, i + 1);
+                energies.swap(i, i + 1);
+            }
+            i += 2;
+        }
+        phase_wall_s.push(t0.elapsed().as_secs_f64());
+    }
+    let final_energies = replicas.iter().map(|r| r.lock().potential_energy()).collect();
+    RexReport {
+        phase_wall_s,
+        exchanges_accepted: accepted,
+        exchanges_attempted: attempted,
+        final_energies,
+        failed_units,
+    }
+}
+
+/// Convenience: a service with one `cores`-wide pilot, ready to run.
+pub fn service_with_pilot(cores: u32) -> ThreadPilotService {
+    let svc = ThreadPilotService::new(Box::new(pilot_core::scheduler::FirstFitScheduler));
+    let p = svc.submit_pilot(PilotDescription::new(cores, SimDuration::MAX).labeled("md"));
+    assert!(svc.wait_pilot_active(p), "pilot must activate");
+    svc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md_system_is_deterministic() {
+        let mut a = MdSystem::new(16, 1.0, 7);
+        let mut b = MdSystem::new(16, 1.0, 7);
+        a.run(10, 0.002);
+        b.run(10, 0.002);
+        assert_eq!(a.positions, b.positions);
+        assert!((a.potential_energy() - b.potential_energy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn particles_stay_in_box() {
+        let mut sys = MdSystem::new(27, 1.5, 3);
+        sys.run(50, 0.002);
+        for p in &sys.positions {
+            for k in 0..3 {
+                assert!(
+                    (0.0..=sys.box_len).contains(&p[k]),
+                    "particle escaped: {:?}",
+                    p
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thermostat_holds_temperature() {
+        let mut sys = MdSystem::new(64, 1.2, 5);
+        sys.run(100, 0.002);
+        let t = 2.0 * sys.kinetic_energy() / (3.0 * 64.0);
+        assert!((t - 1.2).abs() < 0.15, "temperature drifted to {t}");
+    }
+
+    #[test]
+    fn hotter_systems_have_higher_kinetic_energy() {
+        let mut cold = MdSystem::new(48, 0.5, 11);
+        let mut hot = MdSystem::new(48, 2.5, 11);
+        cold.run(50, 0.002);
+        hot.run(50, 0.002);
+        assert!(hot.kinetic_energy() > cold.kinetic_energy());
+    }
+
+    #[test]
+    fn ladder_is_geometric_and_ordered() {
+        let cfg = RexConfig::small(5);
+        let l = cfg.ladder();
+        assert_eq!(l.len(), 5);
+        assert!((l[0] - 0.8).abs() < 1e-12);
+        assert!((l[4] - 2.0).abs() < 1e-9);
+        assert!(l.windows(2).all(|w| w[0] < w[1]));
+        let r1 = l[1] / l[0];
+        let r2 = l[2] / l[1];
+        assert!((r1 - r2).abs() < 1e-9, "geometric spacing");
+        assert_eq!(RexConfig::small(1).ladder(), vec![0.8]);
+    }
+
+    #[test]
+    fn replica_exchange_runs_and_exchanges() {
+        let svc = service_with_pilot(4);
+        let cfg = RexConfig::small(4);
+        let report = run_replica_exchange(&svc, &cfg);
+        assert_eq!(report.failed_units, 0);
+        assert_eq!(report.phase_wall_s.len(), 4);
+        assert_eq!(report.final_energies.len(), 4);
+        // Even/odd schedule on 4 replicas: 2 + 1 + 2 + 1 = 6 attempts.
+        assert_eq!(report.exchanges_attempted, 6);
+        assert!(report.acceptance() <= 1.0);
+        assert!(report.total_wall_s() > 0.0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn more_cores_speed_up_phases() {
+        // 8 replicas on 1 core vs 8 cores; each phase is embarrassingly
+        // parallel so wall time should drop substantially.
+        let mut cfg = RexConfig::small(8);
+        cfg.particles = 96;
+        cfg.steps_per_phase = 120;
+        cfg.phases = 2;
+        let t_serial = {
+            let svc = service_with_pilot(1);
+            let r = run_replica_exchange(&svc, &cfg);
+            svc.shutdown();
+            r.total_wall_s()
+        };
+        let t_parallel = {
+            let svc = service_with_pilot(8);
+            let r = run_replica_exchange(&svc, &cfg);
+            svc.shutdown();
+            r.total_wall_s()
+        };
+        // Wall-clock speedup only exists when the host actually has cores;
+        // on a single-CPU machine the workers timeshare and the comparison
+        // is meaningless (the scaling-curve experiments use the virtual-time
+        // backend for exactly this reason).
+        let host_cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if host_cores >= 4 {
+            assert!(
+                t_parallel < t_serial * 0.6,
+                "8-way {t_parallel:.3}s vs serial {t_serial:.3}s"
+            );
+        } else {
+            assert!(t_parallel > 0.0 && t_serial > 0.0);
+        }
+    }
+}

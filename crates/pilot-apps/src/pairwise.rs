@@ -1,0 +1,185 @@
+//! Pairwise-distance analysis (the leaflet-finder / Hausdorff-distance
+//! family of MD trajectory analyses, \[53\]).
+//!
+//! Two algorithms computing the same answer — contact pairs within a cutoff:
+//! a naive O(n²) scan and a uniform-grid O(n) method. The paper's lesson
+//! "Optimize Application Algorithms" (Section VI) is exactly this pair:
+//! the grid algorithm beats scaling the naive one out (EXP AB-2).
+
+use pilot_sim::SimRng;
+
+/// A 2-D point cloud.
+pub fn generate_points(n: usize, box_len: f64, seed: u64) -> Vec<[f64; 2]> {
+    let mut rng = SimRng::new(seed);
+    (0..n)
+        .map(|_| [rng.f64_range(0.0, box_len), rng.f64_range(0.0, box_len)])
+        .collect()
+}
+
+#[inline]
+fn within(a: [f64; 2], b: [f64; 2], cutoff2: f64) -> bool {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    dx * dx + dy * dy <= cutoff2
+}
+
+/// Count contact pairs by brute force: O(n²).
+pub fn contacts_naive(points: &[[f64; 2]], cutoff: f64) -> u64 {
+    let c2 = cutoff * cutoff;
+    let mut count = 0;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            if within(points[i], points[j], c2) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Count contact pairs with a uniform grid of cell size `cutoff`: near-O(n)
+/// for homogeneous densities.
+pub fn contacts_grid(points: &[[f64; 2]], cutoff: f64) -> u64 {
+    if points.is_empty() {
+        return 0;
+    }
+    let c2 = cutoff * cutoff;
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        min_x = min_x.min(p[0]);
+        min_y = min_y.min(p[1]);
+        max_x = max_x.max(p[0]);
+        max_y = max_y.max(p[1]);
+    }
+    let cell = cutoff.max(1e-12);
+    let nx = (((max_x - min_x) / cell).floor() as usize + 1).max(1);
+    let ny = (((max_y - min_y) / cell).floor() as usize + 1).max(1);
+    let cell_of = |p: &[f64; 2]| -> (usize, usize) {
+        let cx = (((p[0] - min_x) / cell).floor() as usize).min(nx - 1);
+        let cy = (((p[1] - min_y) / cell).floor() as usize).min(ny - 1);
+        (cx, cy)
+    };
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); nx * ny];
+    for (i, p) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        grid[cy * nx + cx].push(i as u32);
+    }
+    let mut count = 0u64;
+    for cy in 0..ny {
+        for cx in 0..nx {
+            let here = &grid[cy * nx + cx];
+            // Within the cell.
+            for a in 0..here.len() {
+                for b in (a + 1)..here.len() {
+                    if within(points[here[a] as usize], points[here[b] as usize], c2) {
+                        count += 1;
+                    }
+                }
+            }
+            // Forward half-neighbourhood (E, SW, S, SE) so each pair is
+            // visited exactly once.
+            for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
+                let ox = cx as isize + dx;
+                let oy = cy as isize + dy;
+                if ox < 0 || oy < 0 || ox >= nx as isize || oy >= ny as isize {
+                    continue;
+                }
+                let there = &grid[oy as usize * nx + ox as usize];
+                for &a in here {
+                    for &b in there {
+                        if within(points[a as usize], points[b as usize], c2) {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Directed Hausdorff distance from `a` to `b` (max over a of min over b),
+/// the trajectory-comparison metric of \[53\]. O(|a|·|b|).
+pub fn hausdorff_directed(a: &[[f64; 2]], b: &[[f64; 2]]) -> f64 {
+    a.iter()
+        .map(|pa| {
+            b.iter()
+                .map(|pb| {
+                    let dx = pa[0] - pb[0];
+                    let dy = pa[1] - pb[1];
+                    (dx * dx + dy * dy).sqrt()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Symmetric Hausdorff distance.
+pub fn hausdorff(a: &[[f64; 2]], b: &[[f64; 2]]) -> f64 {
+    hausdorff_directed(a, b).max(hausdorff_directed(b, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_naive_on_random_clouds() {
+        for seed in 0..5 {
+            let pts = generate_points(400, 50.0, seed);
+            let naive = contacts_naive(&pts, 2.0);
+            let grid = contacts_grid(&pts, 2.0);
+            assert_eq!(naive, grid, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn known_tiny_configuration() {
+        let pts = vec![[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [10.0, 10.0]];
+        // Pairs within cutoff 1.5: (0,1), (0,2), (1,2) [dist √2 ≈ 1.414].
+        assert_eq!(contacts_naive(&pts, 1.5), 3);
+        assert_eq!(contacts_grid(&pts, 1.5), 3);
+        // Cutoff 1.0 keeps only the two axis pairs.
+        assert_eq!(contacts_naive(&pts, 1.0), 2);
+        assert_eq!(contacts_grid(&pts, 1.0), 2);
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        assert_eq!(contacts_naive(&[], 1.0), 0);
+        assert_eq!(contacts_grid(&[], 1.0), 0);
+        assert_eq!(contacts_grid(&[[1.0, 1.0]], 1.0), 0);
+    }
+
+    #[test]
+    fn grid_is_faster_at_scale() {
+        let pts = generate_points(20_000, 200.0, 3);
+        let t0 = std::time::Instant::now();
+        let g = contacts_grid(&pts, 1.5);
+        let t_grid = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        let n = contacts_naive(&pts, 1.5);
+        let t_naive = t0.elapsed();
+        assert_eq!(g, n);
+        assert!(
+            t_naive > t_grid * 3,
+            "naive {t_naive:?} should dwarf grid {t_grid:?}"
+        );
+    }
+
+    #[test]
+    fn hausdorff_properties() {
+        let a = vec![[0.0, 0.0], [1.0, 0.0]];
+        let b = vec![[0.0, 0.0], [1.0, 0.0]];
+        assert_eq!(hausdorff(&a, &b), 0.0);
+        let c = vec![[0.0, 3.0]];
+        // directed(a→c): max(min dist) = dist([1,0],[0,3]) = √10.
+        assert!((hausdorff_directed(&a, &c) - 10f64.sqrt()).abs() < 1e-12);
+        // directed(c→a): dist([0,3],[0,0]) = 3.
+        assert!((hausdorff_directed(&c, &a) - 3.0).abs() < 1e-12);
+        assert!((hausdorff(&a, &c) - 10f64.sqrt()).abs() < 1e-12);
+        // Symmetry of the symmetric form.
+        assert_eq!(hausdorff(&a, &c), hausdorff(&c, &a));
+    }
+}

@@ -1,0 +1,213 @@
+//! Sequence alignment — the MapReduce genomics case study (\[54\], \[66\]).
+//!
+//! A synthetic read generator stands in for sequencing data (DESIGN.md
+//! substitution), and a real Smith-Waterman local-alignment kernel scores
+//! reads against a reference. The shapes match the paper's workload: many
+//! short, independent, CPU-bound tasks over partitioned data.
+
+use pilot_sim::SimRng;
+
+/// Nucleotide alphabet.
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Generate a random reference sequence of length `n`.
+pub fn generate_reference(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SimRng::new(seed);
+    (0..n).map(|_| BASES[rng.below_usize(4)]).collect()
+}
+
+/// A simulated read with its true origin (for accuracy checks).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Read {
+    /// Read bases.
+    pub seq: Vec<u8>,
+    /// True position in the reference it was sampled from.
+    pub true_pos: usize,
+}
+
+/// Sample `count` reads of length `len` with per-base mutation rate
+/// `error_rate`.
+pub fn generate_reads(
+    reference: &[u8],
+    count: usize,
+    len: usize,
+    error_rate: f64,
+    seed: u64,
+) -> Vec<Read> {
+    assert!(reference.len() >= len, "reference shorter than reads");
+    let mut rng = SimRng::new(seed);
+    (0..count)
+        .map(|_| {
+            let pos = rng.below_usize(reference.len() - len + 1);
+            let seq = reference[pos..pos + len]
+                .iter()
+                .map(|&b| {
+                    if rng.bool(error_rate) {
+                        BASES[rng.below_usize(4)]
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            Read {
+                seq,
+                true_pos: pos,
+            }
+        })
+        .collect()
+}
+
+/// Scoring scheme for Smith-Waterman.
+#[derive(Clone, Copy, Debug)]
+pub struct Scoring {
+    /// Score for a base match (> 0).
+    pub match_score: i32,
+    /// Penalty for a mismatch (< 0).
+    pub mismatch: i32,
+    /// Linear gap penalty (< 0).
+    pub gap: i32,
+}
+
+impl Default for Scoring {
+    fn default() -> Self {
+        Scoring {
+            match_score: 2,
+            mismatch: -1,
+            gap: -2,
+        }
+    }
+}
+
+/// Result of a local alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Alignment {
+    /// Best local score.
+    pub score: i32,
+    /// 0-based position in the *reference* where the best alignment ends.
+    pub ref_end: usize,
+}
+
+/// Smith-Waterman local alignment of `query` against `reference` with linear
+/// gaps; O(|q|·|r|) time, O(|r|) space (two-row DP).
+pub fn smith_waterman(query: &[u8], reference: &[u8], s: Scoring) -> Alignment {
+    let m = reference.len();
+    let mut prev = vec![0i32; m + 1];
+    let mut curr = vec![0i32; m + 1];
+    let mut best = Alignment { score: 0, ref_end: 0 };
+    for &q in query {
+        for j in 1..=m {
+            let sub = if reference[j - 1] == q {
+                s.match_score
+            } else {
+                s.mismatch
+            };
+            let val = (prev[j - 1] + sub)
+                .max(prev[j] + s.gap)
+                .max(curr[j - 1] + s.gap)
+                .max(0);
+            curr[j] = val;
+            if val > best.score {
+                best = Alignment {
+                    score: val,
+                    ref_end: j - 1,
+                };
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+        curr.iter_mut().for_each(|v| *v = 0);
+    }
+    best
+}
+
+/// Map a read to its best position. The read "maps" when the score reaches
+/// `min_score`; returns `(mapped, alignment)`.
+pub fn map_read(read: &Read, reference: &[u8], s: Scoring, min_score: i32) -> (bool, Alignment) {
+    let a = smith_waterman(&read.seq, reference, s);
+    (a.score >= min_score, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_and_reads_are_deterministic() {
+        let r1 = generate_reference(500, 7);
+        let r2 = generate_reference(500, 7);
+        assert_eq!(r1, r2);
+        assert!(r1.iter().all(|b| BASES.contains(b)));
+        let reads = generate_reads(&r1, 10, 50, 0.02, 9);
+        let reads2 = generate_reads(&r1, 10, 50, 0.02, 9);
+        assert_eq!(reads, reads2);
+        assert!(reads.iter().all(|r| r.seq.len() == 50));
+    }
+
+    #[test]
+    fn perfect_read_scores_maximally_at_its_origin() {
+        let reference = generate_reference(300, 1);
+        let reads = generate_reads(&reference, 5, 40, 0.0, 2);
+        let s = Scoring::default();
+        for read in &reads {
+            let a = smith_waterman(&read.seq, &reference, s);
+            assert_eq!(a.score, 40 * s.match_score, "error-free read");
+            // Alignment must end where the read truly ends (repeats could in
+            // principle tie, but at 40bp on random sequence they don't).
+            assert_eq!(a.ref_end, read.true_pos + 39);
+        }
+    }
+
+    #[test]
+    fn mutated_reads_still_map_near_their_origin() {
+        let reference = generate_reference(1000, 3);
+        let reads = generate_reads(&reference, 20, 60, 0.05, 4);
+        let s = Scoring::default();
+        let mut correct = 0;
+        for read in &reads {
+            let (mapped, a) = map_read(read, &reference, s, 60);
+            if mapped && a.ref_end.abs_diff(read.true_pos + 59) <= 2 {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 18, "only {correct}/20 mapped correctly");
+    }
+
+    #[test]
+    fn unrelated_sequence_scores_low() {
+        let a = b"AAAAAAAAAAAAAAAAAAAA";
+        let b = b"CCCCCCCCCCCCCCCCCCCC";
+        let s = Scoring::default();
+        let al = smith_waterman(a, b, s);
+        assert_eq!(al.score, 0, "no positive local alignment exists");
+    }
+
+    #[test]
+    fn alignment_handles_gaps() {
+        // Query = reference with one base deleted; a gap bridges it.
+        let reference = b"ACGTACGTACGT";
+        let query = b"ACGTACGACGT"; // 'T' deleted after position 6
+        let s = Scoring::default();
+        let a = smith_waterman(query, reference, s);
+        // 11 matches x2 + one gap penalty = 22 - 2 = 20.
+        assert_eq!(a.score, 20);
+    }
+
+    #[test]
+    fn known_textbook_example() {
+        // Classic: TGTTACGG vs GGTTGACTA, match 3, mismatch -3, gap -2
+        // has optimal local score 13 (GTT-AC / GTTGAC).
+        let s = Scoring {
+            match_score: 3,
+            mismatch: -3,
+            gap: -2,
+        };
+        let a = smith_waterman(b"TGTTACGG", b"GGTTGACTA", s);
+        assert_eq!(a.score, 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter")]
+    fn reads_longer_than_reference_panic() {
+        let reference = generate_reference(10, 1);
+        let _ = generate_reads(&reference, 1, 50, 0.0, 1);
+    }
+}

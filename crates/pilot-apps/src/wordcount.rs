@@ -1,0 +1,99 @@
+//! Zipf-distributed text generation for the wordcount workload — the
+//! paper's Pilot-Hadoop demonstration application.
+
+use pilot_sim::dist::Zipf;
+use pilot_sim::SimRng;
+
+/// Text-generation parameters.
+#[derive(Clone, Debug)]
+pub struct TextConfig {
+    /// Number of lines.
+    pub lines: usize,
+    /// Words per line.
+    pub words_per_line: usize,
+    /// Vocabulary size.
+    pub vocabulary: usize,
+    /// Zipf exponent (1.0 ≈ natural language).
+    pub zipf_s: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl TextConfig {
+    /// A small corpus.
+    pub fn small() -> Self {
+        TextConfig {
+            lines: 200,
+            words_per_line: 12,
+            vocabulary: 500,
+            zipf_s: 1.0,
+            seed: 0x7E47,
+        }
+    }
+}
+
+/// The word for a vocabulary rank: `w0`, `w1`, ...
+pub fn word_for_rank(rank: usize) -> String {
+    format!("w{rank}")
+}
+
+/// Generate a corpus of whitespace-separated lines.
+pub fn generate_text(cfg: &TextConfig) -> Vec<String> {
+    let mut rng = SimRng::new(cfg.seed);
+    let zipf = Zipf::new(cfg.vocabulary.max(1), cfg.zipf_s);
+    (0..cfg.lines)
+        .map(|_| {
+            (0..cfg.words_per_line)
+                .map(|_| word_for_rank(zipf.sample(&mut rng)))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+/// Sequential wordcount reference.
+pub fn count_words(lines: &[String]) -> std::collections::BTreeMap<String, u64> {
+    let mut counts = std::collections::BTreeMap::new();
+    for line in lines {
+        for w in line.split_whitespace() {
+            *counts.entry(w.to_string()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_shaped() {
+        let cfg = TextConfig::small();
+        let t1 = generate_text(&cfg);
+        let t2 = generate_text(&cfg);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.len(), 200);
+        assert!(t1.iter().all(|l| l.split_whitespace().count() == 12));
+    }
+
+    #[test]
+    fn zipf_head_dominates() {
+        let cfg = TextConfig {
+            lines: 2000,
+            ..TextConfig::small()
+        };
+        let text = generate_text(&cfg);
+        let counts = count_words(&text);
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, 2000 * 12);
+        let top = counts.get("w0").copied().unwrap_or(0);
+        let mid = counts.get("w100").copied().unwrap_or(0);
+        assert!(top > 10 * mid.max(1), "w0={top} vs w100={mid}");
+    }
+
+    #[test]
+    fn count_words_handles_empty() {
+        assert!(count_words(&[]).is_empty());
+        assert!(count_words(&[String::new()]).is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Broker micro-benchmarks: produce and poll rates vs partition count —
+//! the partition-parallelism knob of the streaming experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pilot_streaming::Broker;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_produce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_produce");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1));
+    for partitions in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(partitions),
+            &partitions,
+            |b, &p| {
+                let broker = Broker::new();
+                broker.create_topic("t", p, 1_000_000).unwrap();
+                let payload = Arc::new(vec![7u8; 256]);
+                b.iter(|| {
+                    black_box(broker.produce("t", None, Arc::clone(&payload)).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_poll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_poll_batch64");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("poll", |b| {
+        let broker = Broker::new();
+        broker.create_topic("t", 4, usize::MAX / 2).unwrap();
+        broker.join_group("g", "t", "c").unwrap();
+        let payload = Arc::new(vec![7u8; 256]);
+        // Keep the topic ahead of the consumer.
+        for _ in 0..500_000 {
+            broker.produce("t", None, Arc::clone(&payload)).unwrap();
+        }
+        b.iter(|| black_box(broker.poll("g", "c", 64).unwrap().len()));
+    });
+    group.finish();
+}
+
+fn bench_keyed_produce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_produce_keyed");
+    group.sample_size(20);
+    group.bench_function("keyed_8p", |b| {
+        let broker = Broker::new();
+        broker.create_topic("t", 8, 1_000_000).unwrap();
+        let payload = Arc::new(vec![7u8; 64]);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(broker.produce("t", Some(k), Arc::clone(&payload)).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_produce, bench_poll, bench_keyed_produce);
+criterion_main!(benches);

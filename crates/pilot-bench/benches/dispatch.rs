@@ -1,0 +1,51 @@
+//! End-to-end middleware dispatch cost: submit → late-bind → execute (no-op
+//! kernel) → report, through the real threaded service. This is the pilot
+//! system's per-task overhead floor (EXP PJ-2's left edge).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pilot_core::describe::{PilotDescription, UnitDescription};
+use pilot_core::scheduler::FirstFitScheduler;
+use pilot_core::thread::{kernel_fn, TaskOutput, ThreadPilotService};
+use pilot_sim::SimDuration;
+use std::hint::black_box;
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("unit_roundtrip_noop", |b| {
+        let svc = ThreadPilotService::new(Box::new(FirstFitScheduler));
+        let p = svc.submit_pilot(PilotDescription::new(2, SimDuration::MAX));
+        assert!(svc.wait_pilot_active(p));
+        b.iter(|| {
+            let u = svc.submit_unit(
+                UnitDescription::new(1),
+                kernel_fn(|_| Ok(TaskOutput::none())),
+            );
+            black_box(svc.wait_unit(u).state)
+        });
+    });
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("burst_64_units", |b| {
+        let svc = ThreadPilotService::new(Box::new(FirstFitScheduler));
+        let p = svc.submit_pilot(PilotDescription::new(4, SimDuration::MAX));
+        assert!(svc.wait_pilot_active(p));
+        b.iter(|| {
+            let units: Vec<_> = (0..64)
+                .map(|_| {
+                    svc.submit_unit(
+                        UnitDescription::new(1),
+                        kernel_fn(|_| Ok(TaskOutput::none())),
+                    )
+                })
+                .collect();
+            for u in units {
+                black_box(svc.wait_unit(u).state);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Application-kernel benchmarks: the real compute inside the case-study
+//! units (alignment, clustering, peak detection, contacts, MD) — the
+//! denominators of every task-granularity experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pilot_apps::kmeans::{assign_step, generate_blobs, init_centroids, BlobConfig};
+use pilot_apps::lightsource::{detect_peaks, generate_frame, median3x3, FrameConfig};
+use pilot_apps::md::MdSystem;
+use pilot_apps::pairwise::{contacts_grid, contacts_naive, generate_points};
+use pilot_apps::seqalign::{generate_reads, generate_reference, smith_waterman, Scoring};
+use std::hint::black_box;
+
+fn bench_alignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_smith_waterman");
+    group.sample_size(20);
+    let reference = generate_reference(4000, 1);
+    let reads = generate_reads(&reference, 4, 64, 0.03, 2);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("64bp_vs_4kb", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % reads.len();
+            black_box(smith_waterman(
+                black_box(&reads[i].seq),
+                black_box(&reference),
+                Scoring::default(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_kmeans_assign");
+    group.sample_size(20);
+    let cfg = BlobConfig::new(8, 3, 10_000, 3);
+    let (points, _) = generate_blobs(&cfg);
+    let centroids = init_centroids(&points, 8);
+    group.throughput(Throughput::Elements(points.len() as u64));
+    group.bench_function("10k_points_k8_d3", |b| {
+        b.iter(|| black_box(assign_step(black_box(&points), black_box(&centroids))));
+    });
+    group.finish();
+}
+
+fn bench_lightsource(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_lightsource");
+    group.sample_size(20);
+    let (frame, _) = generate_frame(&FrameConfig::small(), 5);
+    group.bench_function("median3x3_64x64", |b| {
+        b.iter(|| black_box(median3x3(black_box(&frame))));
+    });
+    group.bench_function("detect_peaks_64x64", |b| {
+        b.iter(|| black_box(detect_peaks(black_box(&frame), 15.0)));
+    });
+    group.finish();
+}
+
+fn bench_contacts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_contacts");
+    group.sample_size(10);
+    let points = generate_points(5000, 120.0, 7);
+    group.bench_function("naive_5k", |b| {
+        b.iter(|| black_box(contacts_naive(black_box(&points), 1.5)));
+    });
+    group.bench_function("grid_5k", |b| {
+        b.iter(|| black_box(contacts_grid(black_box(&points), 1.5)));
+    });
+    group.finish();
+}
+
+fn bench_md(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_md_step");
+    group.sample_size(10);
+    group.bench_function("64_particles_10_steps", |b| {
+        b.iter_with_setup(
+            || MdSystem::new(64, 1.2, 9),
+            |mut sys| {
+                sys.run(10, 0.002);
+                black_box(sys.potential_energy())
+            },
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alignment,
+    bench_kmeans,
+    bench_lightsource,
+    bench_contacts,
+    bench_md
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmark: late-binding scheduler decision latency as the number of
+//! active pilots grows. The unit manager calls `select` on every capacity
+//! change, so decision cost bounds middleware task throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pilot_core::describe::{DataLocation, UnitDescription};
+use pilot_core::ids::{PilotId, UnitId};
+use pilot_core::scheduler::{
+    BackfillScheduler, DataAwareScheduler, FirstFitScheduler, LoadBalanceScheduler,
+    PilotSnapshot, RandomScheduler, Scheduler, UnitRequest,
+};
+use pilot_infra::types::SiteId;
+use std::hint::black_box;
+
+fn snapshots(n: usize) -> Vec<PilotSnapshot> {
+    (0..n)
+        .map(|i| PilotSnapshot {
+            pilot: PilotId(i as u64),
+            site: SiteId((i % 4) as u16),
+            total_cores: 32,
+            free_cores: (i % 33) as u32,
+            bound_units: i % 7,
+            remaining_walltime_s: 3600.0 - i as f64,
+        })
+        .collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_select");
+    group.sample_size(20);
+    let desc = UnitDescription::new(2)
+        .with_estimate(30.0)
+        .with_inputs(vec![DataLocation::new(1_000_000, vec![SiteId(2)])]);
+    let req = UnitRequest {
+        unit: UnitId(1),
+        desc: &desc,
+    };
+    for n_pilots in [4usize, 32, 256] {
+        let snaps = snapshots(n_pilots);
+        let mut schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+            ("first-fit", Box::new(FirstFitScheduler)),
+            ("load-balance", Box::new(LoadBalanceScheduler)),
+            ("data-aware", Box::new(DataAwareScheduler)),
+            ("backfill", Box::new(BackfillScheduler::default())),
+            ("random", Box::new(RandomScheduler::new(42))),
+        ];
+        for (name, sched) in &mut schedulers {
+            group.bench_with_input(
+                BenchmarkId::new(*name, n_pilots),
+                &snaps,
+                |b, snaps| {
+                    b.iter(|| black_box(sched.select(black_box(&req), black_box(snaps))))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

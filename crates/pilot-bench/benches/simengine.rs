@@ -1,0 +1,64 @@
+//! Simulation-substrate benchmarks: raw DES event throughput and a full
+//! batch-cluster simulation — these bound how large the virtual-time
+//! experiments (PJ-1/PJ-4/IO-1/DY-1) can be pushed.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pilot_infra::component::drive_until;
+use pilot_infra::hpc::{BackgroundLoad, HpcCluster, HpcConfig};
+use pilot_sim::{Dist, Executor, Machine, Outbox, SimDuration, SimTime};
+use std::hint::black_box;
+
+/// A self-perpetuating machine that stops after N events.
+struct Ticker {
+    remaining: u64,
+}
+
+impl Machine for Ticker {
+    type Event = ();
+    fn handle(&mut self, _now: SimTime, _e: (), out: &mut Outbox<()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            out.after(SimDuration::from_millis(1), ());
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(20);
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("100k_chained_events", |b| {
+        b.iter(|| {
+            let mut ex = Executor::new(Ticker { remaining: n });
+            ex.schedule_at(SimTime::ZERO, ());
+            ex.run();
+            black_box(ex.processed())
+        });
+    });
+    group.finish();
+}
+
+fn bench_hpc_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_hpc_cluster");
+    group.sample_size(10);
+    group.bench_function("busy_cluster_1_virtual_day", |b| {
+        b.iter(|| {
+            let bg = BackgroundLoad::at_utilization(
+                0.8,
+                512,
+                Dist::uniform(4.0, 64.0),
+                Dist::exponential(1800.0),
+            );
+            let mut cluster =
+                HpcCluster::new(HpcConfig::quiet("bench", 512).with_background(bg));
+            let inputs = cluster.initial_inputs();
+            let outs = drive_until(&mut cluster, inputs, SimTime::from_hours(24));
+            black_box((outs.len(), cluster.utilization(SimTime::from_hours(24))))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_hpc_sim);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Experiment driver: regenerates every table in EXPERIMENTS.md.
+//!
+//! Usage:
+//!   experiments            # run everything
+//!   experiments --quick    # downscaled (CI-sized) runs
+//!   experiments PJ-1 PS-2  # run selected experiment ids
+//!   experiments --list     # list experiment ids
+
+use pilot_bench::experiments::{registry, run_all};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in registry() {
+            println!("{name}");
+        }
+        return;
+    }
+    if selected.is_empty() {
+        let _ = run_all(quick);
+        return;
+    }
+    let reg = registry();
+    for want in &selected {
+        match reg.iter().find(|(name, _)| name.eq_ignore_ascii_case(want)) {
+            Some((name, f)) => {
+                println!("\n================ {name} ================");
+                let _ = f(quick);
+            }
+            None => {
+                eprintln!("unknown experiment '{want}'; try --list");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! IO-1 (interoperability across infrastructures, \[79\]) and DY-1 (runtime
+//! adaptivity / cloud burst, \[63\]) — requirements R2 and R3.
+
+use super::common;
+use pilot_core::describe::{PilotDescription, UnitDescription};
+use pilot_core::sim::{ScaleOutPolicy, SimPilotSystem};
+use pilot_core::state::UnitState;
+use pilot_sim::{SimDuration, SimTime};
+
+/// IO-1: the identical ensemble on four infrastructures through the same
+/// Pilot-API; only provisioning latency and capacity shape differ.
+pub fn run_io1(quick: bool) -> String {
+    let tasks = if quick { 100 } else { 400 };
+    let task_s = 90.0;
+    let mut out = String::from(
+        "### IO-1 interoperability: identical workload, four infrastructures\n\n\
+         | infrastructure | makespan (s) | pilot startup (s) | done |\n|---|---|---|---|\n",
+    );
+    type Builder = Box<dyn FnOnce(&mut SimPilotSystem)>;
+    let scenarios: Vec<(&str, Builder)> = vec![
+        (
+            "hpc (busy queue)",
+            Box::new(|sys: &mut SimPilotSystem| {
+                let s = sys.add_resource(common::busy_hpc("hpc", 128, 0.8, 42));
+                sys.submit_pilot(
+                    SimTime::from_secs(15_000),
+                    s,
+                    PilotDescription::new(64, SimDuration::from_hours(12)),
+                );
+            }),
+        ),
+        (
+            "htc (glide-ins)",
+            Box::new(|sys: &mut SimPilotSystem| {
+                let s = sys.add_resource(common::htc_pool("osg", 128));
+                sys.submit_pilot(
+                    SimTime::from_secs(15_000),
+                    s,
+                    PilotDescription::new(64, SimDuration::from_hours(12)),
+                );
+            }),
+        ),
+        (
+            "cloud (on demand)",
+            Box::new(|sys: &mut SimPilotSystem| {
+                let s = sys.add_resource(common::cloud("cloud", 256));
+                sys.submit_pilot(
+                    SimTime::from_secs(15_000),
+                    s,
+                    PilotDescription::new(64, SimDuration::from_hours(12)),
+                );
+            }),
+        ),
+        (
+            "yarn (containers)",
+            Box::new(|sys: &mut SimPilotSystem| {
+                let s = sys.add_resource(common::yarn("emr", 256));
+                sys.submit_pilot(
+                    SimTime::from_secs(15_000),
+                    s,
+                    PilotDescription::new(64, SimDuration::from_hours(12)),
+                );
+            }),
+        ),
+    ];
+    for (name, build) in scenarios {
+        let mut sys = SimPilotSystem::new(0x101);
+        sys.disable_trace();
+        build(&mut sys);
+        for _ in 0..tasks {
+            sys.submit_unit_fixed(
+                SimTime::from_secs(15_000),
+                UnitDescription::new(1),
+                task_s,
+            );
+        }
+        let report = sys.run(SimTime::from_hours(96));
+        let done = report.count(UnitState::Done);
+        out.push_str(&format!(
+            "| {name} | {:.0} | {:.1} | {done}/{tasks} |\n",
+            report.makespan(),
+            report.mean_pilot_startup()
+        ));
+    }
+    out.push_str("\n(same application code and scheduler for every row — R2)\n");
+    common::emit(out)
+}
+
+/// DY-1: a burst of work hits a small HPC pilot; the adaptive policy bursts
+/// to the cloud, the static setup grinds through the backlog.
+pub fn run_dy1(quick: bool) -> String {
+    let tasks = if quick { 150 } else { 500 };
+    let task_s = 120.0;
+    let mut out = String::from(
+        "### DY-1 runtime adaptivity: static vs cloud-burst scale-out\n\n\
+         | strategy | makespan (s) | pilots used | done |\n|---|---|---|---|\n",
+    );
+    for adaptive in [false, true] {
+        let mut sys = SimPilotSystem::new(0xD71);
+        sys.disable_trace();
+        let hpc = sys.add_resource(common::quiet_hpc("hpc", 64));
+        let cloud = sys.add_resource(common::cloud("burst", 512));
+        sys.submit_pilot(
+            SimTime::ZERO,
+            hpc,
+            PilotDescription::new(16, SimDuration::from_hours(24)).labeled("base"),
+        );
+        if adaptive {
+            sys.set_scale_out(ScaleOutPolicy {
+                check_every: SimDuration::from_secs(60),
+                queue_threshold: 32,
+                burst_site: cloud,
+                pilot: PilotDescription::new(128, SimDuration::from_hours(8)).labeled("burst"),
+                max_extra: 2,
+            });
+        }
+        for _ in 0..tasks {
+            sys.submit_unit_fixed(SimTime::from_secs(600), UnitDescription::new(1), task_s);
+        }
+        let report = sys.run(SimTime::from_hours(48));
+        let done = report.count(UnitState::Done);
+        out.push_str(&format!(
+            "| {} | {:.0} | {} | {done}/{tasks} |\n",
+            if adaptive { "adaptive (burst to cloud)" } else { "static (16-core pilot only)" },
+            report.makespan(),
+            report.pilots.len()
+        ));
+    }
+    out.push_str("\n(the policy watches the pending queue and reacts at runtime — R3)\n");
+    common::emit(out)
+}

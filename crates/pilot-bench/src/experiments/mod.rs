@@ -1,0 +1,52 @@
+//! Experiment implementations. See the crate docs for the index.
+
+pub mod ab;
+pub mod common;
+pub mod f5;
+pub mod io_dy;
+pub mod pd;
+pub mod ph;
+pub mod pj;
+pub mod pm;
+pub mod ps;
+pub mod t1;
+
+/// Run every experiment in index order; returns the concatenated reports.
+pub fn run_all(quick: bool) -> String {
+    let mut out = String::new();
+    for (name, f) in registry() {
+        let banner = format!("\n================ {name} ================\n");
+        println!("{banner}");
+        out.push_str(&banner);
+        out.push_str(&f(quick));
+    }
+    out
+}
+
+/// An experiment entry: id plus its runner.
+pub type ExperimentEntry = (&'static str, fn(bool) -> String);
+
+/// `(id, runner)` for every experiment.
+pub fn registry() -> Vec<ExperimentEntry> {
+    vec![
+        ("T1", t1::run as fn(bool) -> String),
+        ("PJ-1", pj::run_pj1),
+        ("PJ-2", pj::run_pj2),
+        ("PJ-3", pj::run_pj3),
+        ("PJ-4", pj::run_pj4),
+        ("PD-1", pd::run_pd1),
+        ("PD-2", pd::run_pd2),
+        ("PH-1", ph::run_ph1),
+        ("PH-2", ph::run_ph2),
+        ("PM-1", pm::run_pm1),
+        ("PS-1", ps::run_ps1),
+        ("PS-2", ps::run_ps2),
+        ("PS-3", ps::run_ps3),
+        ("IO-1", io_dy::run_io1),
+        ("DY-1", io_dy::run_dy1),
+        ("DF-1", ab::run_df1),
+        ("AB-1", ab::run_ab1),
+        ("AB-2", ab::run_ab2),
+        ("F5", f5::run),
+    ]
+}

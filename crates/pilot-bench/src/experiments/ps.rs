@@ -1,0 +1,250 @@
+//! PS experiments: Pilot-Streaming throughput/latency sweep (PS-1) and the
+//! statistical throughput model with optimal-resource selection (PS-2) —
+//! Table II "Pilot-Streaming" column and \[73\].
+
+use super::common;
+use pilot_miniapp::{ExperimentSpec, Factor, ResultTable};
+use pilot_perfmodel::{mae, r_squared, train_test_split, FeatureMap, LinearModel};
+use pilot_streaming::pipeline::run_stream_job;
+use pilot_streaming::{Broker, StreamJobConfig};
+use std::sync::Arc;
+
+fn sweep(quick: bool, name: &str, reps: u32) -> ResultTable {
+    let msgs = if quick { 1500 } else { 6000 };
+    let spec = ExperimentSpec::new(
+        name,
+        vec![
+            Factor::new("partitions", &[1.0, 2.0, 4.0]),
+            Factor::new("processors", &[1.0, 2.0]),
+            Factor::new("payload_kb", &[0.25, 4.0]),
+        ],
+        reps,
+        0x5053,
+    );
+    let mut table = ResultTable::new(&spec.name);
+    for trial in spec.trials() {
+        let partitions = trial.get_usize("partitions").unwrap();
+        let processors = trial.get_usize("processors").unwrap();
+        let payload = (trial.get("payload_kb").unwrap() * 1024.0) as usize;
+        let svc = common::thread_service(
+            (1 + processors) as u32,
+            Box::new(pilot_core::scheduler::FirstFitScheduler),
+        );
+        let broker = Arc::new(Broker::new());
+        let mut cfg = StreamJobConfig::new(
+            &format!("t-{}-{}", trial.config_key(), trial.rep),
+            partitions,
+            1,
+            processors,
+        );
+        cfg.messages_per_producer = msgs;
+        cfg.payload_bytes = payload;
+        // A real per-message operator: a sequential fold over the payload
+        // (cannot vectorize away), so message cost scales with payload size
+        // and the pipeline has a genuine service rate to model.
+        let report = run_stream_job(
+            &svc,
+            &broker,
+            &cfg,
+            Arc::new(|m| {
+                let mut acc = 0u64;
+                for &b in m.payload.iter() {
+                    acc = acc.wrapping_mul(31).wrapping_add(b as u64);
+                }
+                std::hint::black_box(acc);
+            }),
+        );
+        svc.shutdown();
+        assert_eq!(report.consumed, msgs);
+        table.push(
+            trial,
+            vec![
+                ("throughput_msg_s".into(), report.throughput),
+                ("latency_p50_ms".into(), report.latency_p50 * 1e3),
+                ("latency_p99_ms".into(), report.latency_p99 * 1e3),
+            ],
+        );
+    }
+    table
+}
+
+/// PS-1: throughput and latency percentiles across partitions × processors
+/// × payload size, on the real broker and pilots.
+pub fn run_ps1(quick: bool) -> String {
+    let table = sweep(quick, "PS-1 streaming throughput/latency sweep", if quick { 1 } else { 3 });
+    common::emit(table.to_markdown())
+}
+
+/// PS-2: fit an OLS model on the PS-1 sweep, validate on held-out
+/// configurations, and pick the best configuration — the paper's
+/// throughput-prediction / resource-selection result.
+pub fn run_ps2(quick: bool) -> String {
+    let table = sweep(quick, "PS-2 model training sweep", if quick { 1 } else { 2 });
+    let xs: Vec<Vec<f64>> = table
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.trial.get("partitions").unwrap(),
+                r.trial.get("processors").unwrap(),
+                r.trial.get("payload_kb").unwrap(),
+            ]
+        })
+        .collect();
+    let ys: Vec<f64> = table
+        .rows
+        .iter()
+        .map(|r| r.metric("throughput_msg_s").unwrap())
+        .collect();
+    let (tr_x, tr_y, te_x, te_y) = train_test_split(&xs, &ys, 0.3, 0x5054);
+    let model = LinearModel::fit(&tr_x, &tr_y, FeatureMap::Interactions)
+        .expect("design matrix is well-posed");
+    let preds = model.predict_all(&te_x);
+    let r2 = r_squared(&te_y, &preds);
+    let err = mae(&te_y, &preds);
+    let candidates: Vec<Vec<f64>> = [1.0, 2.0, 4.0, 8.0]
+        .iter()
+        .flat_map(|&p| {
+            [1.0, 2.0].iter().map(move |&c| vec![p, c, 0.25])
+        })
+        .collect();
+    let best = model.argmax(&candidates).expect("non-empty candidates");
+    let mut out = String::from("### PS-2 statistical throughput model (OLS, interaction features)\n\n");
+    out.push_str(&format!(
+        "| metric | value |\n|---|---|\n\
+         | training samples | {} |\n\
+         | held-out samples | {} |\n\
+         | held-out R² | {r2:.3} |\n\
+         | held-out MAE | {err:.0} msg/s |\n\
+         | predicted-best config | partitions={}, processors={}, payload={}kB |\n\
+         | predicted throughput there | {:.0} msg/s |\n",
+        tr_x.len(),
+        te_x.len(),
+        best[0],
+        best[1],
+        best[2],
+        model.predict(best),
+    ));
+    out.push_str("\nheld-out predictions vs measurements:\n\n| config (p, c, kB) | measured | predicted |\n|---|---|---|\n");
+    for (x, (m, p)) in te_x.iter().zip(te_y.iter().zip(&preds)) {
+        out.push_str(&format!(
+            "| ({}, {}, {}) | {m:.0} | {p:.0} |\n",
+            x[0], x[1], x[2]
+        ));
+    }
+    assert!(r2 > 0.3, "model must beat the mean predictor, got R²={r2}");
+    common::emit(out)
+}
+
+/// PS-3: HPC/cloud-pilot vs serverless stream processing (\[73\]). The pilot
+/// holds capacity (low, stable latency; pay for idle); serverless pays a
+/// cold-start tail and per-invocation cost but nothing when idle.
+pub fn run_ps3(quick: bool) -> String {
+    use pilot_core::describe::{PilotDescription, UnitDescription};
+    use pilot_core::sim::SimPilotSystem;
+    use pilot_core::state::UnitState;
+    use pilot_infra::component::drive_until;
+    use pilot_infra::serverless::{ServerlessConfig, ServerlessIn, ServerlessOut, ServerlessPlatform};
+    use pilot_sim::{percentile, SimDuration, SimRng, SimTime};
+
+    let messages = if quick { 500 } else { 3000 };
+    let proc_s = 0.05; // per-message processing time
+    let mut out = String::from(
+        "### PS-3 pilot-hosted vs serverless stream processing (sim)\n\n\
+         | arrival rate (msg/s) | backend | p50 latency (s) | p99 latency (s) | cost ($/1M msg) |\n\
+         |---|---|---|---|---|\n",
+    );
+    for rate in [1.0f64, 10.0, 50.0] {
+        // Shared arrival process per rate.
+        let mut rng = SimRng::new(0x5057).stream(rate as u64);
+        let mut t = 0.0;
+        let arrivals: Vec<f64> = (0..messages)
+            .map(|_| {
+                t += rng.exponential(1.0 / rate);
+                t
+            })
+            .collect();
+        let span_s = *arrivals.last().expect("non-empty") + 10.0;
+
+        // --- pilot on a cloud VM (4 cores held for the whole span) --------
+        {
+            let mut sys = SimPilotSystem::new(0x5057);
+            sys.disable_trace();
+            let site = sys.add_resource(common::cloud("stream-cloud", 64));
+            sys.submit_pilot(
+                SimTime::ZERO,
+                site,
+                PilotDescription::new(4, SimDuration::from_secs_f64(span_s + 300.0)),
+            );
+            for &at in &arrivals {
+                sys.submit_unit_fixed(
+                    SimTime::from_secs_f64(at + 120.0), // after boot
+                    UnitDescription::new(1),
+                    proc_s,
+                );
+            }
+            let report = sys.run(SimTime::from_secs_f64(span_s + 3600.0));
+            assert_eq!(report.count(UnitState::Done), messages);
+            let lats: Vec<f64> = report
+                .units
+                .iter()
+                .filter_map(|u| u.times.turnaround())
+                .collect();
+            // small.4 instance at $0.17/h held for the span (+boot).
+            let cost_total = 0.17 * (span_s + 300.0) / 3600.0;
+            let cost_per_m = cost_total / messages as f64 * 1e6;
+            out.push_str(&format!(
+                "| {rate:.0} | pilot (4-core VM) | {:.3} | {:.3} | {:.2} |\n",
+                percentile(&lats, 50.0),
+                percentile(&lats, 99.0),
+                cost_per_m
+            ));
+        }
+
+        // --- serverless: one invocation per message ------------------------
+        {
+            let mut platform =
+                ServerlessPlatform::new(ServerlessConfig::lambda_like("recon", 64));
+            let inputs: Vec<(SimTime, ServerlessIn)> = arrivals
+                .iter()
+                .enumerate()
+                .map(|(i, &at)| {
+                    (
+                        SimTime::from_secs_f64(at),
+                        ServerlessIn::Invoke {
+                            id: i as u64,
+                            duration: SimDuration::from_secs_f64(proc_s),
+                        },
+                    )
+                })
+                .collect();
+            let outs = drive_until(
+                &mut platform,
+                inputs,
+                SimTime::from_secs_f64(span_s + 3600.0),
+            );
+            let lats: Vec<f64> = outs
+                .iter()
+                .filter_map(|(_, o)| match o {
+                    ServerlessOut::Completed { latency, .. } => Some(latency.as_secs_f64()),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(lats.len(), messages, "no throttling at this concurrency");
+            let cost_per_m = platform.cost_total() / messages as f64 * 1e6;
+            out.push_str(&format!(
+                "| {rate:.0} | serverless | {:.3} | {:.3} | {:.2} |\n",
+                percentile(&lats, 50.0),
+                percentile(&lats, 99.0),
+                cost_per_m
+            ));
+        }
+    }
+    out.push_str(
+        "\n(serverless costs scale with use and stay flat per message, but cold starts\n\
+         surface in the p99 whenever arrival bursts outrun the warm pool; the pilot's\n\
+         held VM gives flat latency at a fixed cost that only amortizes at high\n\
+         rates — the capacity-vs-elasticity trade-off of [73])\n",
+    );
+    common::emit(out)
+}

@@ -1,0 +1,159 @@
+//! T1: one representative application per scenario of the paper's Table I,
+//! all through the same Pilot-API on the threaded backend.
+
+use super::common;
+use pilot_apps::kmeans::{
+    assign_step, generate_blobs, init_centroids, update_centroids, BlobConfig, Partial, Point,
+};
+use pilot_apps::lightsource::{generate_frame, reconstruct, FrameConfig};
+use pilot_apps::md::{run_replica_exchange, RexConfig};
+use pilot_apps::pairwise::{contacts_grid, generate_points};
+use pilot_apps::wordcount::{generate_text, TextConfig};
+use pilot_core::describe::UnitDescription;
+use pilot_core::scheduler::FirstFitScheduler;
+use pilot_core::thread::{kernel_fn, TaskOutput};
+use pilot_mapreduce::MapReduceJob;
+use pilot_memory::{CacheManager, CacheMode, IterativeExecutor, VecSource};
+use pilot_streaming::pipeline::run_stream_job;
+use pilot_streaming::{Broker, StreamJobConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Run all five scenarios and print the Table I reproduction.
+pub fn run(quick: bool) -> String {
+    let scale = if quick { 1 } else { 4 };
+    let mut rows: Vec<(String, usize, f64, f64)> = Vec::new(); // scenario, tasks, runtime, throughput
+
+    // --- task-parallel: replica exchange ---------------------------------
+    {
+        let svc = common::thread_service(4, Box::new(FirstFitScheduler));
+        let mut cfg = RexConfig::small(4 * scale.min(2));
+        cfg.phases = 2 * scale.min(2);
+        cfg.steps_per_phase = 15;
+        let t0 = Instant::now();
+        let report = run_replica_exchange(&svc, &cfg);
+        let dt = t0.elapsed().as_secs_f64();
+        svc.shutdown();
+        let n = cfg.replicas * cfg.phases;
+        assert_eq!(report.failed_units, 0);
+        rows.push(("task-parallel (replica exchange)".into(), n, dt, n as f64 / dt));
+    }
+
+    // --- data-parallel: contact analysis over partitions -----------------
+    {
+        let svc = common::thread_service(4, Box::new(FirstFitScheduler));
+        let parts = 8 * scale;
+        let t0 = Instant::now();
+        let units: Vec<_> = (0..parts)
+            .map(|i| {
+                svc.submit_unit(
+                    UnitDescription::new(1).tagged("contacts"),
+                    kernel_fn(move |_| {
+                        let pts = generate_points(3000, 80.0, i as u64);
+                        Ok(TaskOutput::of(contacts_grid(&pts, 1.5)))
+                    }),
+                )
+            })
+            .collect();
+        let mut total = 0u64;
+        for u in units {
+            total += svc
+                .wait_unit(u)
+                .output
+                .and_then(|r| r.ok())
+                .and_then(|o| o.downcast::<u64>())
+                .unwrap_or(0);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        svc.shutdown();
+        assert!(total > 0);
+        rows.push(("data-parallel (contact analysis)".into(), parts, dt, parts as f64 / dt));
+    }
+
+    // --- dataflow/MapReduce: wordcount ------------------------------------
+    {
+        let svc = common::thread_service(4, Box::new(FirstFitScheduler));
+        let mut tc = TextConfig::small();
+        tc.lines = 400 * scale;
+        let text = generate_text(&tc);
+        let job = MapReduceJob::new(
+            MapReduceJob::<String, String, u64, u64>::split_input(text, 8),
+            |line: &String, emit: &mut dyn FnMut(String, u64)| {
+                for w in line.split_whitespace() {
+                    emit(w.to_string(), 1);
+                }
+            },
+            |_k, vs: Vec<u64>| vs.iter().sum::<u64>(),
+            4,
+        );
+        let t0 = Instant::now();
+        let r = job.run(&svc);
+        let dt = t0.elapsed().as_secs_f64();
+        svc.shutdown();
+        let n = r.map_tasks + r.reduce_tasks;
+        assert!(!r.output.is_empty());
+        rows.push(("dataflow (MapReduce wordcount)".into(), n, dt, n as f64 / dt));
+    }
+
+    // --- iterative: K-Means with Pilot-Memory -----------------------------
+    {
+        let cfg = BlobConfig::new(3, 2, 1500 * scale, 0x71);
+        let (points, _) = generate_blobs(&cfg);
+        let init = init_centroids(&points, cfg.k);
+        let source = Arc::new(VecSource::new(points, 8));
+        let cache = Arc::new(CacheManager::new(source as _, CacheMode::Cached));
+        let svc = common::thread_service(4, Box::new(FirstFitScheduler));
+        let exec = IterativeExecutor::new(
+            cache,
+            |part: &[Point], c: &Vec<Point>| assign_step(part, c),
+            |ps: Vec<Partial>, c: Vec<Point>| update_centroids(&ps, &c).0,
+        );
+        let iters = 5;
+        let t0 = Instant::now();
+        let out = exec.run(&svc, init, iters, |_, _| false);
+        let dt = t0.elapsed().as_secs_f64();
+        svc.shutdown();
+        assert_eq!(out.failed_units, 0);
+        let n = iters * 8;
+        rows.push(("iterative (K-Means, cached)".into(), n, dt, n as f64 / dt));
+    }
+
+    // --- streaming: light-source reconstruction ---------------------------
+    {
+        let svc = common::thread_service(3, Box::new(FirstFitScheduler));
+        let broker = Arc::new(Broker::new());
+        let frames = (50 * scale) as u64;
+        let mut cfg = StreamJobConfig::new("t1-frames", 2, 1, 1);
+        cfg.messages_per_producer = frames;
+        // Payload: a real serialized frame; the operator reconstructs peaks.
+        let (frame, _) = generate_frame(&FrameConfig::small(), 7);
+        cfg.payload_bytes = frame.to_bytes().len();
+        let t0 = Instant::now();
+        let report = run_stream_job(
+            &svc,
+            &broker,
+            &cfg,
+            Arc::new(move |m| {
+                // Payload here is the synthetic fill (not a frame), so
+                // reconstruct a real one to keep the operator honest.
+                let _ = m.payload.len();
+                let (f, _) = generate_frame(&FrameConfig::small(), m.offset);
+                let peaks = reconstruct(&f.to_bytes(), 15.0).expect("valid frame");
+                assert!(peaks.len() <= 8);
+            }),
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        svc.shutdown();
+        assert_eq!(report.consumed, frames);
+        rows.push(("streaming (light-source frames)".into(), frames as usize, dt, report.throughput));
+    }
+
+    let mut out = String::from(
+        "### T1 the five application scenarios of Table I on one Pilot-API\n\n\
+         | scenario | tasks/messages | runtime (s) | throughput (/s) |\n|---|---|---|---|\n",
+    );
+    for (name, n, dt, tput) in rows {
+        out.push_str(&format!("| {name} | {n} | {dt:.3} | {tput:.1} |\n"));
+    }
+    common::emit(out)
+}

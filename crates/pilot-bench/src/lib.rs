@@ -1,0 +1,20 @@
+//! # pilot-bench — the experiment harness
+//!
+//! One module per experiment family from DESIGN.md's per-experiment index;
+//! the `experiments` binary dispatches to them. Every function takes a
+//! `quick` flag (used by integration tests to downscale) and returns the
+//! rendered report it also prints.
+//!
+//! | Module | Experiments | Backend |
+//! |---|---|---|
+//! | [`experiments::t1`] | T1 — five application scenarios | threaded |
+//! | [`experiments::pj`] | PJ-1..4 — pilot overhead, throughput, scaling, late binding | both |
+//! | [`experiments::pd`] | PD-1/2 — data-aware placement, replication | sim + data service |
+//! | [`experiments::ph`] | PH-1/2 — MapReduce phases, combiner, alignment | threaded |
+//! | [`experiments::pm`] | PM-1 — iterative caching | threaded |
+//! | [`experiments::ps`] | PS-1/2 — streaming throughput/latency + statistical model | threaded |
+//! | [`experiments::io_dy`] | IO-1, DY-1 — interoperability, adaptivity | sim |
+//! | [`experiments::ab`] | AB-1/2 — scheduler & algorithm ablations | sim + threaded |
+//! | [`experiments::f5`] | F5 — automated build-assess-refine loop | threaded |
+
+pub mod experiments;

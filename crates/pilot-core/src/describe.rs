@@ -1,0 +1,177 @@
+//! Descriptions: what the application asks for.
+//!
+//! A description is pure data — it can be logged, serialized, and replayed —
+//! and is shared verbatim between the simulated and threaded backends.
+
+use pilot_infra::types::SiteId;
+use pilot_sim::SimDuration;
+
+/// Request for a pilot (placeholder) on one resource.
+#[derive(Clone, Debug)]
+pub struct PilotDescription {
+    /// Cores to acquire.
+    pub cores: u32,
+    /// Walltime to request.
+    pub walltime: SimDuration,
+    /// Simulated provisioning/startup latency for the threaded backend
+    /// (ignored by the sim backend, where latency comes from the
+    /// infrastructure model). Seconds.
+    pub startup_delay_s: f64,
+    /// Free-form label for reports.
+    pub label: String,
+}
+
+impl PilotDescription {
+    /// A pilot with the given size and walltime, no artificial startup delay.
+    pub fn new(cores: u32, walltime: SimDuration) -> Self {
+        PilotDescription {
+            cores,
+            walltime,
+            startup_delay_s: 0.0,
+            label: String::new(),
+        }
+    }
+
+    /// Attach a label.
+    pub fn labeled(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    /// Set a synthetic startup delay (threaded backend only).
+    pub fn with_startup_delay(mut self, seconds: f64) -> Self {
+        self.startup_delay_s = seconds;
+        self
+    }
+}
+
+/// Where (replicas of) an input dataset live, and how big it is.
+///
+/// This is the minimal locality information the data-aware scheduler needs;
+/// the full data-management layer lives in `pilot-data` and produces these
+/// views.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataLocation {
+    /// Dataset size in bytes.
+    pub size_bytes: u64,
+    /// Sites holding a replica.
+    pub sites: Vec<SiteId>,
+}
+
+impl DataLocation {
+    /// A dataset of `size_bytes` replicated at the given sites.
+    pub fn new(size_bytes: u64, sites: Vec<SiteId>) -> Self {
+        DataLocation { size_bytes, sites }
+    }
+
+    /// Whether a replica exists at `site`.
+    pub fn is_local_to(&self, site: SiteId) -> bool {
+        self.sites.contains(&site)
+    }
+}
+
+/// Request for one compute unit.
+#[derive(Clone, Debug, Default)]
+pub struct UnitDescription {
+    /// Cores the unit occupies while running.
+    pub cores: u32,
+    /// Input datasets (locality + staging cost).
+    pub inputs: Vec<DataLocation>,
+    /// Estimated duration in seconds, if the application knows it
+    /// (enables walltime-aware backfill binding).
+    pub est_duration_s: Option<f64>,
+    /// Scheduling priority; higher binds earlier among pending units.
+    pub priority: i32,
+    /// Free-form tag for reports.
+    pub tag: String,
+}
+
+impl UnitDescription {
+    /// A `cores`-wide unit with no inputs.
+    pub fn new(cores: u32) -> Self {
+        UnitDescription {
+            cores: cores.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Attach input data.
+    pub fn with_inputs(mut self, inputs: Vec<DataLocation>) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Attach a duration estimate (seconds).
+    pub fn with_estimate(mut self, seconds: f64) -> Self {
+        self.est_duration_s = Some(seconds);
+        self
+    }
+
+    /// Set the priority.
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Attach a tag.
+    pub fn tagged(mut self, tag: &str) -> Self {
+        self.tag = tag.to_string();
+        self
+    }
+
+    /// Total input bytes.
+    pub fn input_bytes(&self) -> u64 {
+        self.inputs.iter().map(|d| d.size_bytes).sum()
+    }
+
+    /// Input bytes *not* present at `site` (must be staged).
+    pub fn remote_bytes(&self, site: SiteId) -> u64 {
+        self.inputs
+            .iter()
+            .filter(|d| !d.is_local_to(site))
+            .map(|d| d.size_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pilot_builder() {
+        let p = PilotDescription::new(32, SimDuration::from_hours(2))
+            .labeled("prod")
+            .with_startup_delay(1.5);
+        assert_eq!(p.cores, 32);
+        assert_eq!(p.label, "prod");
+        assert_eq!(p.startup_delay_s, 1.5);
+    }
+
+    #[test]
+    fn unit_cores_floor_at_one() {
+        assert_eq!(UnitDescription::new(0).cores, 1);
+    }
+
+    #[test]
+    fn data_locality_math() {
+        let a = DataLocation::new(100, vec![SiteId(0)]);
+        let b = DataLocation::new(50, vec![SiteId(0), SiteId(1)]);
+        let u = UnitDescription::new(1).with_inputs(vec![a, b]);
+        assert_eq!(u.input_bytes(), 150);
+        assert_eq!(u.remote_bytes(SiteId(0)), 0);
+        assert_eq!(u.remote_bytes(SiteId(1)), 100);
+        assert_eq!(u.remote_bytes(SiteId(2)), 150);
+    }
+
+    #[test]
+    fn unit_builder_chain() {
+        let u = UnitDescription::new(2)
+            .with_estimate(3.5)
+            .with_priority(7)
+            .tagged("map");
+        assert_eq!(u.est_duration_s, Some(3.5));
+        assert_eq!(u.priority, 7);
+        assert_eq!(u.tag, "map");
+    }
+}

@@ -1,0 +1,89 @@
+//! Identifiers for the P\* concepts.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of a pilot.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PilotId(pub u64);
+
+/// Identifier of a compute unit.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct UnitId(pub u64);
+
+impl fmt::Display for PilotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pilot-{}", self.0)
+    }
+}
+
+impl fmt::Display for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cu-{}", self.0)
+    }
+}
+
+/// Monotonic id source shared by managers (thread-safe, lock-free).
+#[derive(Debug, Default)]
+pub struct IdGen {
+    next: AtomicU64,
+}
+
+impl IdGen {
+    /// Counter starting at 1 (0 is reserved as a niche for debugging).
+    pub fn new() -> Self {
+        IdGen {
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Next raw id.
+    pub fn next(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Next pilot id.
+    pub fn pilot(&self) -> PilotId {
+        PilotId(self.next())
+    }
+
+    /// Next unit id.
+    pub fn unit(&self) -> UnitId {
+        UnitId(self.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let g = IdGen::new();
+        let a = g.pilot();
+        let b = g.unit();
+        let c = g.pilot();
+        assert!(a.0 < b.0 && b.0 < c.0);
+        assert_eq!(a.to_string(), "pilot-1");
+        assert_eq!(b.to_string(), "cu-2");
+    }
+
+    #[test]
+    fn idgen_is_thread_safe() {
+        use std::sync::Arc;
+        let g = Arc::new(IdGen::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || (0..1000).map(|_| g.next()).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8000, "no duplicate ids under contention");
+    }
+}

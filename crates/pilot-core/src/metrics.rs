@@ -1,0 +1,233 @@
+//! Timing records and derived metrics, identical across backends.
+//!
+//! All timestamps are `f64` seconds relative to the run's start — wall-clock
+//! in the threaded backend, virtual time in the simulated one — so the same
+//! post-processing regenerates the paper's metrics (pilot overhead, task
+//! runtimes, throughput, strong scaling) from either source.
+
+use crate::ids::{PilotId, UnitId};
+use pilot_sim::{percentile, summarize, Summary};
+
+/// Lifecycle timestamps of one pilot.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PilotTimes {
+    /// When the application submitted the pilot.
+    pub submitted: f64,
+    /// When first capacity arrived (agent usable).
+    pub active: Option<f64>,
+    /// When the pilot reached a terminal state.
+    pub finished: Option<f64>,
+}
+
+impl PilotTimes {
+    /// Provisioning overhead: submission → first capacity.
+    pub fn startup_overhead(&self) -> Option<f64> {
+        self.active.map(|a| a - self.submitted)
+    }
+}
+
+/// Lifecycle timestamps of one compute unit.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct UnitTimes {
+    /// When the application submitted the unit.
+    pub submitted: f64,
+    /// When the scheduler bound it to a pilot (late binding decision).
+    pub bound: Option<f64>,
+    /// When execution (after staging) began.
+    pub started: Option<f64>,
+    /// When it reached a terminal state.
+    pub finished: Option<f64>,
+}
+
+impl UnitTimes {
+    /// Queue wait inside the unit manager: submit → bind.
+    pub fn wait(&self) -> Option<f64> {
+        self.bound.map(|b| b - self.submitted)
+    }
+
+    /// Staging + agent dispatch: bind → start.
+    pub fn staging(&self) -> Option<f64> {
+        match (self.bound, self.started) {
+            (Some(b), Some(s)) => Some(s - b),
+            _ => None,
+        }
+    }
+
+    /// Kernel execution: start → finish.
+    pub fn execution(&self) -> Option<f64> {
+        match (self.started, self.finished) {
+            (Some(s), Some(f)) => Some(f - s),
+            _ => None,
+        }
+    }
+
+    /// End-to-end: submit → finish.
+    pub fn turnaround(&self) -> Option<f64> {
+        self.finished.map(|f| f - self.submitted)
+    }
+
+    /// Middleware overhead: turnaround minus pure execution.
+    pub fn overhead(&self) -> Option<f64> {
+        match (self.turnaround(), self.execution()) {
+            (Some(t), Some(e)) => Some(t - e),
+            _ => None,
+        }
+    }
+}
+
+/// The paper's pilot-overhead decomposition across a set of units/pilots.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverheadBreakdown {
+    /// Unit wait times (late-binding queue), seconds.
+    pub wait: Summary,
+    /// Staging/dispatch times, seconds.
+    pub staging: Summary,
+    /// Execution times, seconds.
+    pub execution: Summary,
+    /// Total middleware overhead per unit, seconds.
+    pub overhead: Summary,
+    /// p99 turnaround, seconds.
+    pub turnaround_p99: f64,
+}
+
+/// Compute the breakdown over finished units.
+pub fn overhead_breakdown<'a>(units: impl Iterator<Item = &'a UnitTimes>) -> OverheadBreakdown {
+    let mut wait = Vec::new();
+    let mut staging = Vec::new();
+    let mut execution = Vec::new();
+    let mut overhead = Vec::new();
+    let mut turnaround = Vec::new();
+    for u in units {
+        if let Some(x) = u.wait() {
+            wait.push(x);
+        }
+        if let Some(x) = u.staging() {
+            staging.push(x);
+        }
+        if let Some(x) = u.execution() {
+            execution.push(x);
+        }
+        if let Some(x) = u.overhead() {
+            overhead.push(x);
+        }
+        if let Some(x) = u.turnaround() {
+            turnaround.push(x);
+        }
+    }
+    OverheadBreakdown {
+        wait: summarize(&wait),
+        staging: summarize(&staging),
+        execution: summarize(&execution),
+        overhead: summarize(&overhead),
+        turnaround_p99: percentile(&turnaround, 99.0),
+    }
+}
+
+/// Makespan of a set of units: first submission → last finish.
+pub fn makespan<'a>(units: impl Iterator<Item = &'a UnitTimes>) -> f64 {
+    let mut first = f64::INFINITY;
+    let mut last = f64::NEG_INFINITY;
+    for u in units {
+        first = first.min(u.submitted);
+        if let Some(f) = u.finished {
+            last = last.max(f);
+        }
+    }
+    if last > first {
+        last - first
+    } else {
+        0.0
+    }
+}
+
+/// Completed-unit throughput in units/second over the makespan.
+pub fn throughput<'a>(units: impl Iterator<Item = &'a UnitTimes> + Clone) -> f64 {
+    let n = units.clone().filter(|u| u.finished.is_some()).count();
+    let m = makespan(units);
+    if m > 0.0 {
+        n as f64 / m
+    } else {
+        0.0
+    }
+}
+
+/// One row of a completed run, keyed for report joins.
+#[derive(Clone, Debug)]
+pub struct UnitRecord {
+    /// Unit id.
+    pub unit: UnitId,
+    /// Pilot that executed it, if it was bound.
+    pub pilot: Option<PilotId>,
+    /// Timestamps.
+    pub times: UnitTimes,
+    /// Terminal state reached.
+    pub state: crate::state::UnitState,
+    /// Description tag, carried through for grouping.
+    pub tag: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(sub: f64, bound: f64, start: f64, fin: f64) -> UnitTimes {
+        UnitTimes {
+            submitted: sub,
+            bound: Some(bound),
+            started: Some(start),
+            finished: Some(fin),
+        }
+    }
+
+    #[test]
+    fn unit_time_decomposition() {
+        let u = unit(0.0, 2.0, 3.0, 10.0);
+        assert_eq!(u.wait(), Some(2.0));
+        assert_eq!(u.staging(), Some(1.0));
+        assert_eq!(u.execution(), Some(7.0));
+        assert_eq!(u.turnaround(), Some(10.0));
+        assert_eq!(u.overhead(), Some(3.0));
+    }
+
+    #[test]
+    fn incomplete_units_yield_none() {
+        let u = UnitTimes {
+            submitted: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(u.wait(), None);
+        assert_eq!(u.execution(), None);
+        assert_eq!(u.overhead(), None);
+    }
+
+    #[test]
+    fn pilot_startup_overhead() {
+        let p = PilotTimes {
+            submitted: 5.0,
+            active: Some(65.0),
+            finished: None,
+        };
+        assert_eq!(p.startup_overhead(), Some(60.0));
+    }
+
+    #[test]
+    fn breakdown_and_makespan() {
+        let us = [unit(0.0, 1.0, 1.5, 5.0), unit(0.5, 1.0, 2.0, 9.0)];
+        let b = overhead_breakdown(us.iter());
+        assert_eq!(b.wait.n, 2);
+        assert!((b.wait.mean - 0.75).abs() < 1e-12);
+        assert!((b.execution.mean - 5.25).abs() < 1e-12);
+        assert!((makespan(us.iter()) - 9.0).abs() < 1e-12);
+        let tp = throughput(us.iter());
+        assert!((tp - 2.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_do_not_divide_by_zero() {
+        let us: [UnitTimes; 0] = [];
+        assert_eq!(makespan(us.iter()), 0.0);
+        assert_eq!(throughput(us.iter()), 0.0);
+        let b = overhead_breakdown(us.iter());
+        assert_eq!(b.wait.n, 0);
+    }
+}

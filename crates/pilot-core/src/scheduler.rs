@@ -1,0 +1,376 @@
+//! Late-binding schedulers: decide which pilot a pending compute unit binds
+//! to, given a snapshot of current pilot capacity.
+//!
+//! Schedulers are pure decision functions over snapshots, shared by both
+//! execution backends — the ablation experiment (EXP AB-1) swaps them while
+//! holding everything else fixed. A scheduler returning `None` leaves the
+//! unit pending; the manager retries on every capacity change.
+
+use crate::describe::UnitDescription;
+use crate::ids::{PilotId, UnitId};
+use pilot_infra::types::SiteId;
+use pilot_sim::SimRng;
+
+/// Point-in-time view of one pilot, as the unit manager sees it.
+#[derive(Clone, Debug)]
+pub struct PilotSnapshot {
+    /// Which pilot.
+    pub pilot: PilotId,
+    /// Site the pilot's resources live on.
+    pub site: SiteId,
+    /// Cores the pilot currently holds.
+    pub total_cores: u32,
+    /// Cores not reserved by running/assigned units.
+    pub free_cores: u32,
+    /// Units currently bound (assigned/staging/running) to this pilot.
+    pub bound_units: usize,
+    /// Seconds of walltime remaining before the pilot expires.
+    pub remaining_walltime_s: f64,
+}
+
+impl PilotSnapshot {
+    fn fits(&self, cores: u32) -> bool {
+        self.free_cores >= cores
+    }
+}
+
+/// A unit asking to be bound.
+#[derive(Clone, Debug)]
+pub struct UnitRequest<'a> {
+    /// Which unit.
+    pub unit: UnitId,
+    /// Its description (cores, inputs, estimate, priority).
+    pub desc: &'a UnitDescription,
+}
+
+/// Late-binding placement policy.
+pub trait Scheduler: Send {
+    /// Pick a pilot for `unit`, or `None` to keep it pending.
+    ///
+    /// `pilots` contains only *active* pilots; the scheduler must return one
+    /// with enough free cores (the manager asserts this).
+    fn select(&mut self, unit: &UnitRequest<'_>, pilots: &[PilotSnapshot]) -> Option<PilotId>;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Bind to the first active pilot with room (stable order ⇒ packs early
+/// pilots first). The baseline policy.
+#[derive(Default, Debug, Clone)]
+pub struct FirstFitScheduler;
+
+impl Scheduler for FirstFitScheduler {
+    fn select(&mut self, unit: &UnitRequest<'_>, pilots: &[PilotSnapshot]) -> Option<PilotId> {
+        pilots
+            .iter()
+            .find(|p| p.fits(unit.desc.cores))
+            .map(|p| p.pilot)
+    }
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+}
+
+/// Rotate across pilots with room, ignoring load (spreads units evenly by
+/// count, not by size).
+#[derive(Default, Debug, Clone)]
+pub struct RoundRobinScheduler {
+    cursor: usize,
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn select(&mut self, unit: &UnitRequest<'_>, pilots: &[PilotSnapshot]) -> Option<PilotId> {
+        if pilots.is_empty() {
+            return None;
+        }
+        let n = pilots.len();
+        for i in 0..n {
+            let p = &pilots[(self.cursor + i) % n];
+            if p.fits(unit.desc.cores) {
+                self.cursor = (self.cursor + i + 1) % n;
+                return Some(p.pilot);
+            }
+        }
+        None
+    }
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Bind to the pilot with the most free cores (least-loaded), tie-broken by
+/// fewer bound units.
+#[derive(Default, Debug, Clone)]
+pub struct LoadBalanceScheduler;
+
+impl Scheduler for LoadBalanceScheduler {
+    fn select(&mut self, unit: &UnitRequest<'_>, pilots: &[PilotSnapshot]) -> Option<PilotId> {
+        pilots
+            .iter()
+            .filter(|p| p.fits(unit.desc.cores))
+            .max_by(|a, b| {
+                (a.free_cores, std::cmp::Reverse(a.bound_units))
+                    .cmp(&(b.free_cores, std::cmp::Reverse(b.bound_units)))
+            })
+            .map(|p| p.pilot)
+    }
+    fn name(&self) -> &'static str {
+        "load-balance"
+    }
+}
+
+/// Prefer the pilot whose site already holds the most input bytes; transfer
+/// cost dominates short tasks, so locality beats load for data-intensive
+/// workloads (EXP PD-1).
+///
+/// Implements *delay scheduling*: when some pilot's site holds (part of) the
+/// unit's inputs but every such pilot is currently full, the unit stays
+/// pending rather than being staged to a remote site — the local slot it is
+/// waiting for frees up within one task duration. Units whose data is at no
+/// pilot's site fall back to the least-loaded feasible pilot.
+#[derive(Default, Debug, Clone)]
+pub struct DataAwareScheduler;
+
+impl Scheduler for DataAwareScheduler {
+    fn select(&mut self, unit: &UnitRequest<'_>, pilots: &[PilotSnapshot]) -> Option<PilotId> {
+        let total = unit.desc.input_bytes();
+        if total > 0 {
+            let local_bytes =
+                |p: &PilotSnapshot| total - unit.desc.remote_bytes(p.site);
+            // Does *any* active pilot (even a full one) sit at the data?
+            if pilots.iter().any(|p| local_bytes(p) > 0) {
+                // Then bind only to a local pilot with room — or wait.
+                return pilots
+                    .iter()
+                    .filter(|p| p.fits(unit.desc.cores) && local_bytes(p) > 0)
+                    .max_by_key(|p| (local_bytes(p), p.free_cores as u64))
+                    .map(|p| p.pilot);
+            }
+        }
+        // No data, or data lives nowhere near any pilot: balance load.
+        pilots
+            .iter()
+            .filter(|p| p.fits(unit.desc.cores))
+            .max_by_key(|p| p.free_cores)
+            .map(|p| p.pilot)
+    }
+    fn name(&self) -> &'static str {
+        "data-aware"
+    }
+}
+
+/// Walltime-aware binding: only bind a unit to a pilot whose remaining
+/// walltime covers the unit's estimated duration (with a safety factor), so
+/// work is never started that the pilot cannot finish. Units without an
+/// estimate bind anywhere.
+#[derive(Debug, Clone)]
+pub struct BackfillScheduler {
+    /// Multiplier on the estimate when checking remaining walltime.
+    pub safety_factor: f64,
+}
+
+impl Default for BackfillScheduler {
+    fn default() -> Self {
+        BackfillScheduler { safety_factor: 1.2 }
+    }
+}
+
+impl Scheduler for BackfillScheduler {
+    fn select(&mut self, unit: &UnitRequest<'_>, pilots: &[PilotSnapshot]) -> Option<PilotId> {
+        let needed = unit.desc.est_duration_s.map(|d| d * self.safety_factor);
+        pilots
+            .iter()
+            .filter(|p| p.fits(unit.desc.cores))
+            .filter(|p| match needed {
+                Some(n) => p.remaining_walltime_s >= n,
+                None => true,
+            })
+            // Among feasible pilots, prefer the one closest to expiry that
+            // still fits (classic backfill: use up ending resources first).
+            .min_by(|a, b| {
+                a.remaining_walltime_s
+                    .partial_cmp(&b.remaining_walltime_s)
+                    .expect("walltimes are finite")
+            })
+            .map(|p| p.pilot)
+    }
+    fn name(&self) -> &'static str {
+        "backfill"
+    }
+}
+
+/// Uniformly random feasible pilot — the control arm for scheduler ablations.
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    rng: SimRng,
+}
+
+impl RandomScheduler {
+    /// Seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: SimRng::new(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn select(&mut self, unit: &UnitRequest<'_>, pilots: &[PilotSnapshot]) -> Option<PilotId> {
+        let feasible: Vec<&PilotSnapshot> =
+            pilots.iter().filter(|p| p.fits(unit.desc.cores)).collect();
+        if feasible.is_empty() {
+            None
+        } else {
+            Some(feasible[self.rng.below_usize(feasible.len())].pilot)
+        }
+    }
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::DataLocation;
+
+    fn snap(id: u64, site: u16, total: u32, free: u32, bound: usize, rem: f64) -> PilotSnapshot {
+        PilotSnapshot {
+            pilot: PilotId(id),
+            site: SiteId(site),
+            total_cores: total,
+            free_cores: free,
+            bound_units: bound,
+            remaining_walltime_s: rem,
+        }
+    }
+
+    fn req(desc: &UnitDescription) -> UnitRequest<'_> {
+        UnitRequest {
+            unit: UnitId(1),
+            desc,
+        }
+    }
+
+    #[test]
+    fn first_fit_prefers_earlier_pilot() {
+        let mut s = FirstFitScheduler;
+        let pilots = [snap(1, 0, 8, 2, 1, 100.0), snap(2, 0, 8, 8, 0, 100.0)];
+        let d = UnitDescription::new(2);
+        assert_eq!(s.select(&req(&d), &pilots), Some(PilotId(1)));
+        let d4 = UnitDescription::new(4);
+        assert_eq!(s.select(&req(&d4), &pilots), Some(PilotId(2)));
+        let d9 = UnitDescription::new(9);
+        assert_eq!(s.select(&req(&d9), &pilots), None);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut s = RoundRobinScheduler::default();
+        let pilots = [
+            snap(1, 0, 8, 8, 0, 100.0),
+            snap(2, 0, 8, 8, 0, 100.0),
+            snap(3, 0, 8, 8, 0, 100.0),
+        ];
+        let d = UnitDescription::new(1);
+        let picks: Vec<_> = (0..6).map(|_| s.select(&req(&d), &pilots).unwrap().0).collect();
+        assert_eq!(picks, vec![1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_skips_full_pilot() {
+        let mut s = RoundRobinScheduler::default();
+        let pilots = [snap(1, 0, 8, 0, 8, 100.0), snap(2, 0, 8, 4, 0, 100.0)];
+        let d = UnitDescription::new(1);
+        assert_eq!(s.select(&req(&d), &pilots), Some(PilotId(2)));
+        assert_eq!(s.select(&req(&d), &pilots), Some(PilotId(2)));
+    }
+
+    #[test]
+    fn load_balance_picks_most_free() {
+        let mut s = LoadBalanceScheduler;
+        let pilots = [
+            snap(1, 0, 8, 3, 5, 100.0),
+            snap(2, 0, 16, 10, 2, 100.0),
+            snap(3, 0, 8, 10, 1, 100.0),
+        ];
+        let d = UnitDescription::new(1);
+        // 2 and 3 tie on free cores; 3 has fewer bound units.
+        assert_eq!(s.select(&req(&d), &pilots), Some(PilotId(3)));
+    }
+
+    #[test]
+    fn data_aware_follows_bytes() {
+        let mut s = DataAwareScheduler;
+        let pilots = [snap(1, 0, 8, 4, 0, 100.0), snap(2, 1, 8, 8, 0, 100.0)];
+        // 1 GB at site 0, 1 MB at site 1.
+        let d = UnitDescription::new(1).with_inputs(vec![
+            DataLocation::new(1_000_000_000, vec![SiteId(0)]),
+            DataLocation::new(1_000_000, vec![SiteId(1)]),
+        ]);
+        assert_eq!(s.select(&req(&d), &pilots), Some(PilotId(1)));
+        // With no inputs it degrades to most-free-cores.
+        let d0 = UnitDescription::new(1);
+        assert_eq!(s.select(&req(&d0), &pilots), Some(PilotId(2)));
+    }
+
+    #[test]
+    fn backfill_respects_remaining_walltime() {
+        let mut s = BackfillScheduler::default();
+        let pilots = [snap(1, 0, 8, 8, 0, 30.0), snap(2, 0, 8, 8, 0, 500.0)];
+        // 60 s estimate × 1.2 = 72 s needed: only pilot 2 qualifies.
+        let d = UnitDescription::new(1).with_estimate(60.0);
+        assert_eq!(s.select(&req(&d), &pilots), Some(PilotId(2)));
+        // 10 s estimate: both qualify; prefer the expiring one.
+        let d_short = UnitDescription::new(1).with_estimate(10.0);
+        assert_eq!(s.select(&req(&d_short), &pilots), Some(PilotId(1)));
+        // No estimate: binds (prefers expiring pilot).
+        let d_unknown = UnitDescription::new(1);
+        assert_eq!(s.select(&req(&d_unknown), &pilots), Some(PilotId(1)));
+        // Nothing has enough walltime.
+        let d_long = UnitDescription::new(1).with_estimate(1000.0);
+        assert_eq!(s.select(&req(&d_long), &pilots), None);
+    }
+
+    #[test]
+    fn random_is_feasible_and_deterministic_per_seed() {
+        let pilots = [
+            snap(1, 0, 8, 0, 8, 100.0), // full
+            snap(2, 0, 8, 8, 0, 100.0),
+            snap(3, 0, 8, 8, 0, 100.0),
+        ];
+        let d = UnitDescription::new(4);
+        let picks = |seed| {
+            let mut s = RandomScheduler::new(seed);
+            (0..20)
+                .map(|_| s.select(&req(&d), &pilots).unwrap().0)
+                .collect::<Vec<_>>()
+        };
+        let a = picks(7);
+        assert_eq!(a, picks(7));
+        assert!(a.iter().all(|&p| p == 2 || p == 3), "never the full pilot");
+        assert!(a.contains(&2) && a.contains(&3));
+    }
+
+    #[test]
+    fn empty_pilot_list_keeps_unit_pending() {
+        let d = UnitDescription::new(1);
+        assert_eq!(FirstFitScheduler.select(&req(&d), &[]), None);
+        assert_eq!(RoundRobinScheduler::default().select(&req(&d), &[]), None);
+        assert_eq!(LoadBalanceScheduler.select(&req(&d), &[]), None);
+        assert_eq!(DataAwareScheduler.select(&req(&d), &[]), None);
+        assert_eq!(BackfillScheduler::default().select(&req(&d), &[]), None);
+        assert_eq!(RandomScheduler::new(1).select(&req(&d), &[]), None);
+    }
+
+    #[test]
+    fn scheduler_names() {
+        assert_eq!(FirstFitScheduler.name(), "first-fit");
+        assert_eq!(RoundRobinScheduler::default().name(), "round-robin");
+        assert_eq!(LoadBalanceScheduler.name(), "load-balance");
+        assert_eq!(DataAwareScheduler.name(), "data-aware");
+        assert_eq!(BackfillScheduler::default().name(), "backfill");
+        assert_eq!(RandomScheduler::new(0).name(), "random");
+    }
+}

@@ -1,0 +1,945 @@
+//! Virtual-time backend: the full pilot system — adaptors, late-binding
+//! scheduler, data staging, adaptive policies — as one deterministic
+//! discrete-event machine.
+//!
+//! Pilots are placeholder jobs on `pilot-saga` adaptors (HPC/HTC/cloud/YARN);
+//! capacity arrives and leaves through the adaptors' uniform alphabet. Units
+//! carry duration *models* instead of kernels; staging cost comes from the
+//! site-to-site [`NetworkModel`]. Everything is reproducible from a seed,
+//! which is what lets the experiment harness sweep hundreds of configurations
+//! (EXP PJ-1/PJ-4/IO-1/DY-1) in milliseconds.
+
+use crate::describe::{PilotDescription, UnitDescription};
+use crate::ids::{IdGen, PilotId, UnitId};
+use crate::metrics::{self, PilotTimes, UnitRecord, UnitTimes};
+use crate::scheduler::{PilotSnapshot, Scheduler, UnitRequest};
+use crate::state::{PilotState, UnitState};
+use pilot_infra::component::{Component, Effects};
+use pilot_infra::network::NetworkModel;
+use pilot_infra::types::{JobId, JobOutcome, SiteId};
+use pilot_saga::{JobDescription, ResourceAdaptor, SagaIn, SagaOut};
+use pilot_sim::{Dist, Executor, Machine, Outbox, SimDuration, SimRng, SimTime, TraceLog};
+use std::collections::HashMap;
+
+/// Rule for runtime scale-out (the paper's R3 dynamism requirement, \[63\]):
+/// when the pending-unit backlog exceeds a threshold, submit an extra pilot
+/// on a designated (typically cloud) site.
+#[derive(Clone, Debug)]
+pub struct ScaleOutPolicy {
+    /// How often to evaluate the rule.
+    pub check_every: SimDuration,
+    /// Backlog size that triggers scale-out.
+    pub queue_threshold: usize,
+    /// Site to scale out onto.
+    pub burst_site: SiteId,
+    /// Pilot to submit when triggered.
+    pub pilot: PilotDescription,
+    /// Maximum number of extra pilots.
+    pub max_extra: u32,
+}
+
+/// Record of one pilot in a finished simulation.
+#[derive(Clone, Debug)]
+pub struct SimPilotRecord {
+    /// Pilot id.
+    pub pilot: PilotId,
+    /// Site it was submitted to.
+    pub site: SiteId,
+    /// Label from the description.
+    pub label: String,
+    /// Terminal (or last) state.
+    pub state: PilotState,
+    /// Timestamps (virtual seconds).
+    pub times: PilotTimes,
+}
+
+/// Results of a simulated run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Per-unit records.
+    pub units: Vec<UnitRecord>,
+    /// Per-pilot records.
+    pub pilots: Vec<SimPilotRecord>,
+    /// Structured trace (state transitions).
+    pub trace: TraceLog,
+    /// Virtual time when the run stopped.
+    pub end_time: SimTime,
+}
+
+impl SimReport {
+    /// Timing rows of all units that reached `Done`.
+    pub fn done_unit_times(&self) -> Vec<UnitTimes> {
+        self.units
+            .iter()
+            .filter(|u| u.state == UnitState::Done)
+            .map(|u| u.times)
+            .collect()
+    }
+
+    /// Makespan over done units (first submit → last finish), seconds.
+    pub fn makespan(&self) -> f64 {
+        let times = self.done_unit_times();
+        metrics::makespan(times.iter())
+    }
+
+    /// Done-unit throughput, units/second.
+    pub fn throughput(&self) -> f64 {
+        let times = self.done_unit_times();
+        metrics::throughput(times.iter())
+    }
+
+    /// Count of units in a given terminal state.
+    pub fn count(&self, state: UnitState) -> usize {
+        self.units.iter().filter(|u| u.state == state).count()
+    }
+
+    /// Mean pilot startup overhead (submission → first capacity), seconds.
+    pub fn mean_pilot_startup(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .pilots
+            .iter()
+            .filter_map(|p| p.times.startup_overhead())
+            .collect();
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+}
+
+enum Ev {
+    Saga { site: usize, ev: SagaIn },
+    SubmitPilot(PilotId),
+    SubmitUnit(UnitId),
+    CancelPilot(PilotId),
+    UnitStaged(UnitId, u64),
+    UnitFinish(UnitId, u64),
+    PolicyTick,
+}
+
+struct SimPilotRt {
+    site: usize,
+    desc: PilotDescription,
+    state: PilotState,
+    /// Cores currently delivered by the adaptor.
+    capacity: u32,
+    /// Cores reserved by bound units.
+    used: u32,
+    job: JobId,
+    times: PilotTimes,
+}
+
+struct SimUnitRt {
+    desc: UnitDescription,
+    duration: Dist,
+    state: UnitState,
+    pilot: Option<PilotId>,
+    times: UnitTimes,
+    generation: u64,
+    attempts: u32,
+}
+
+struct SystemMachine {
+    adaptors: Vec<ResourceAdaptor>,
+    scheduler: Box<dyn Scheduler>,
+    network: NetworkModel,
+    rng: SimRng,
+    pilots: HashMap<PilotId, SimPilotRt>,
+    units: HashMap<UnitId, SimUnitRt>,
+    pending: Vec<UnitId>,
+    job_owner: HashMap<(usize, JobId), PilotId>,
+    next_job: u64,
+    policy: Option<ScaleOutPolicy>,
+    policy_extra_submitted: u32,
+    trace: TraceLog,
+    ids_hint: u64,
+}
+
+impl SystemMachine {
+    fn now_s(t: SimTime) -> f64 {
+        t.as_secs_f64()
+    }
+
+    fn feed_adaptor(&mut self, now: SimTime, site: usize, ev: SagaIn, out: &mut Outbox<Ev>) {
+        let mut fx = Effects::new(now);
+        self.adaptors[site].handle(now, ev, &mut fx);
+        for (t, e) in fx.later {
+            out.at(t, Ev::Saga { site, ev: e });
+        }
+        for o in fx.out {
+            self.on_saga_out(now, site, o, out);
+        }
+    }
+
+    fn on_saga_out(&mut self, now: SimTime, site: usize, o: SagaOut, out: &mut Outbox<Ev>) {
+        match o {
+            SagaOut::Queued { job } => {
+                if let Some(&pid) = self.job_owner.get(&(site, job)) {
+                    self.trace.mark(now, "pilot.queued", pid.0);
+                }
+            }
+            SagaOut::CapacityUp { job, total, .. } => {
+                let Some(&pid) = self.job_owner.get(&(site, job)) else {
+                    return;
+                };
+                let p = self.pilots.get_mut(&pid).expect("owned pilot exists");
+                p.capacity = total;
+                if p.state == PilotState::Pending {
+                    p.state = PilotState::Active;
+                    p.times.active = Some(Self::now_s(now));
+                    self.trace.mark(now, "pilot.active", pid.0);
+                }
+                self.schedule(now, out);
+            }
+            SagaOut::CapacityDown { job, total, .. } => {
+                let Some(&pid) = self.job_owner.get(&(site, job)) else {
+                    return;
+                };
+                let p = self.pilots.get_mut(&pid).expect("owned pilot exists");
+                p.capacity = total;
+                self.trace.mark(now, "pilot.capacity_down", pid.0);
+                self.reclaim_overcommit(now, pid, out);
+            }
+            SagaOut::Done { job, outcome } => {
+                let Some(&pid) = self.job_owner.get(&(site, job)) else {
+                    return;
+                };
+                let p = self.pilots.get_mut(&pid).expect("owned pilot exists");
+                if p.state.is_terminal() {
+                    return;
+                }
+                p.state = match outcome {
+                    JobOutcome::Completed | JobOutcome::WalltimeExceeded => PilotState::Done,
+                    JobOutcome::Canceled => PilotState::Canceled,
+                    JobOutcome::Failed | JobOutcome::Rejected => PilotState::Failed,
+                };
+                p.capacity = 0;
+                p.times.finished = Some(Self::now_s(now));
+                self.trace
+                    .record(now, "pilot.done", pid.0, format!("{outcome}"));
+                self.requeue_bound_units(now, pid);
+                self.schedule(now, out);
+            }
+        }
+    }
+
+    /// After capacity loss, requeue the most recently started units until the
+    /// pilot fits its remaining capacity (work on lost slots is lost).
+    fn reclaim_overcommit(&mut self, now: SimTime, pid: PilotId, _out: &mut Outbox<Ev>) {
+        let p = &self.pilots[&pid];
+        if p.used <= p.capacity {
+            return;
+        }
+        let mut victims: Vec<(f64, UnitId)> = self
+            .units
+            .iter()
+            .filter(|(_, u)| u.pilot == Some(pid) && !u.state.is_terminal() && u.state != UnitState::Pending)
+            .map(|(&id, u)| (u.times.started.unwrap_or(f64::MAX), id))
+            .collect();
+        victims.sort_by(|a, b| {
+            b.0
+                .partial_cmp(&a.0)
+                .expect("finite times")
+                .then(a.1 .0.cmp(&b.1 .0))
+        });
+        let mut used = p.used;
+        let capacity = p.capacity;
+        for (_, uid) in victims {
+            if used <= capacity {
+                break;
+            }
+            used -= self.requeue_unit(now, uid);
+        }
+        self.pilots.get_mut(&pid).expect("pilot exists").used = used;
+    }
+
+    /// Requeue every non-terminal unit bound to a dead pilot.
+    fn requeue_bound_units(&mut self, now: SimTime, pid: PilotId) {
+        let bound: Vec<UnitId> = self
+            .units
+            .iter()
+            .filter(|(_, u)| {
+                u.pilot == Some(pid) && !u.state.is_terminal() && u.state != UnitState::Pending
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for uid in bound {
+            self.requeue_unit(now, uid);
+        }
+        self.pilots.get_mut(&pid).expect("pilot exists").used = 0;
+    }
+
+    /// Move a unit back to Pending; returns the cores it released.
+    fn requeue_unit(&mut self, now: SimTime, uid: UnitId) -> u32 {
+        let u = self.units.get_mut(&uid).expect("unit exists");
+        u.state = UnitState::Pending;
+        u.pilot = None;
+        u.generation += 1;
+        u.attempts += 1;
+        u.times.bound = None;
+        u.times.started = None;
+        self.pending.push(uid);
+        self.trace.mark(now, "cu.requeued", uid.0);
+        u.desc.cores
+    }
+
+    fn schedule(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
+        self.pending
+            .sort_by_key(|id| (-self.units[id].desc.priority, id.0));
+        loop {
+            // Full *and still-pending* pilots stay visible (with zero free
+            // cores): delay-scheduling policies must be able to decide
+            // "wait for that pilot" over "go remote now".
+            let snapshots: Vec<PilotSnapshot> = self
+                .pilots
+                .iter()
+                .filter(|(_, p)| {
+                    (p.state == PilotState::Active && p.capacity > 0)
+                        || p.state == PilotState::Pending
+                })
+                .map(|(&id, p)| PilotSnapshot {
+                    pilot: id,
+                    site: SiteId(p.site as u16),
+                    total_cores: p.capacity,
+                    free_cores: p.capacity.saturating_sub(p.used),
+                    bound_units: 0,
+                    remaining_walltime_s: p
+                        .times
+                        .active
+                        .map(|a| a + p.desc.walltime.as_secs_f64() - Self::now_s(now))
+                        .unwrap_or(0.0),
+                })
+                .collect();
+            let mut snapshots = snapshots;
+            // HashMap iteration order is not deterministic; schedulers see
+            // pilots in id order so identical seeds replay identically.
+            snapshots.sort_by_key(|s| s.pilot.0);
+            if snapshots.is_empty() || self.pending.is_empty() {
+                return;
+            }
+            let mut bound = None;
+            for (i, &uid) in self.pending.iter().enumerate() {
+                let u = &self.units[&uid];
+                if let Some(pid) = self.scheduler.select(
+                    &UnitRequest {
+                        unit: uid,
+                        desc: &u.desc,
+                    },
+                    &snapshots,
+                ) {
+                    bound = Some((i, uid, pid));
+                    break;
+                }
+            }
+            let Some((i, uid, pid)) = bound else {
+                return;
+            };
+            self.pending.remove(i);
+            self.bind(now, uid, pid, out);
+        }
+    }
+
+    fn bind(&mut self, now: SimTime, uid: UnitId, pid: PilotId, out: &mut Outbox<Ev>) {
+        let site;
+        {
+            let p = self.pilots.get_mut(&pid).expect("live pilot");
+            site = p.site;
+            let u = self.units.get_mut(&uid).expect("pending unit");
+            assert!(
+                p.capacity - p.used >= u.desc.cores,
+                "scheduler over-committed pilot {pid}"
+            );
+            p.used += u.desc.cores;
+            u.state = UnitState::Staging;
+            u.pilot = Some(pid);
+            u.times.bound = Some(Self::now_s(now));
+        }
+        self.trace.record(now, "cu.bound", uid.0, format!("{pid}"));
+        // Stage-in: sequentially transfer every non-local input from its
+        // first replica site (conservative; parallel staging would take the
+        // max instead).
+        let u = &self.units[&uid];
+        let dst = SiteId(site as u16);
+        let mut staging = SimDuration::ZERO;
+        for input in &u.desc.inputs {
+            if !input.is_local_to(dst) {
+                let src = input.sites.first().copied().unwrap_or(dst);
+                staging += self.network.base_transfer_time(input.size_bytes, src, dst);
+            }
+        }
+        let gen = u.generation;
+        out.after(staging, Ev::UnitStaged(uid, gen));
+    }
+
+    fn fresh_job(&mut self) -> JobId {
+        let j = JobId(self.next_job);
+        self.next_job += 1;
+        j
+    }
+}
+
+impl Machine for SystemMachine {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, out: &mut Outbox<Ev>) {
+        match event {
+            Ev::Saga { site, ev } => self.feed_adaptor(now, site, ev, out),
+            Ev::SubmitPilot(pid) => {
+                let (site, job, desc) = {
+                    let p = self.pilots.get_mut(&pid).expect("registered pilot");
+                    p.times.submitted = Self::now_s(now);
+                    (p.site, p.job, p.desc.clone())
+                };
+                self.trace.mark(now, "pilot.submitted", pid.0);
+                self.feed_adaptor(
+                    now,
+                    site,
+                    SagaIn::Submit {
+                        job,
+                        desc: JobDescription::placeholder(desc.cores, desc.walltime),
+                    },
+                    out,
+                );
+            }
+            Ev::SubmitUnit(uid) => {
+                let u = self.units.get_mut(&uid).expect("registered unit");
+                u.state = UnitState::Pending;
+                u.times.submitted = Self::now_s(now);
+                self.pending.push(uid);
+                self.trace.mark(now, "cu.submitted", uid.0);
+                self.schedule(now, out);
+            }
+            Ev::CancelPilot(pid) => {
+                let Some(p) = self.pilots.get(&pid) else {
+                    return;
+                };
+                let (site, job) = (p.site, p.job);
+                self.feed_adaptor(now, site, SagaIn::Cancel(job), out);
+            }
+            Ev::UnitStaged(uid, gen) => {
+                let Some(u) = self.units.get_mut(&uid) else {
+                    return;
+                };
+                if u.generation != gen || u.state != UnitState::Staging {
+                    return;
+                }
+                u.state = UnitState::Running;
+                u.times.started = Some(Self::now_s(now));
+                let d = self.rng.stream(uid.0).f64_range(0.0, 1.0);
+                // Sample duration deterministically per (unit, attempt).
+                let mut dur_rng = self.rng.stream(uid.0 ^ (u.attempts as u64) << 48);
+                let _ = d;
+                let dur = u.duration.sample(&mut dur_rng).max(0.0);
+                self.trace.mark(now, "cu.running", uid.0);
+                out.after(SimDuration::from_secs_f64(dur), Ev::UnitFinish(uid, gen));
+            }
+            Ev::UnitFinish(uid, gen) => {
+                let Some(u) = self.units.get_mut(&uid) else {
+                    return;
+                };
+                if u.generation != gen || u.state != UnitState::Running {
+                    return;
+                }
+                u.state = UnitState::Done;
+                u.times.finished = Some(Self::now_s(now));
+                let pid = u.pilot.expect("running unit has a pilot");
+                let cores = u.desc.cores;
+                if let Some(p) = self.pilots.get_mut(&pid) {
+                    p.used = p.used.saturating_sub(cores);
+                }
+                self.trace.mark(now, "cu.done", uid.0);
+                self.schedule(now, out);
+            }
+            Ev::PolicyTick => {
+                let Some(policy) = self.policy.clone() else {
+                    return;
+                };
+                if self.pending.len() > policy.queue_threshold
+                    && self.policy_extra_submitted < policy.max_extra
+                {
+                    self.policy_extra_submitted += 1;
+                    let pid = PilotId(u64::MAX - u64::from(self.policy_extra_submitted));
+                    let job = self.fresh_job();
+                    let site = policy.burst_site.0 as usize;
+                    self.pilots.insert(
+                        pid,
+                        SimPilotRt {
+                            site,
+                            desc: policy.pilot.clone(),
+                            state: PilotState::Pending,
+                            capacity: 0,
+                            used: 0,
+                            job,
+                            times: PilotTimes {
+                                submitted: Self::now_s(now),
+                                ..Default::default()
+                            },
+                        },
+                    );
+                    self.job_owner.insert((site, job), pid);
+                    self.trace.mark(now, "policy.scale_out", pid.0);
+                    out.immediately(Ev::SubmitPilot(pid));
+                }
+                out.after(policy.check_every, Ev::PolicyTick);
+            }
+        }
+        let _ = self.ids_hint;
+    }
+}
+
+/// Builder/driver for simulated pilot-system runs.
+pub struct SimPilotSystem {
+    exec: Executor<SystemMachine>,
+    ids: IdGen,
+}
+
+impl SimPilotSystem {
+    /// New system with the given seed and a first-fit scheduler.
+    pub fn new(seed: u64) -> Self {
+        let machine = SystemMachine {
+            adaptors: Vec::new(),
+            scheduler: Box::new(crate::scheduler::FirstFitScheduler),
+            network: NetworkModel::new(&[]),
+            rng: SimRng::new(seed),
+            pilots: HashMap::new(),
+            units: HashMap::new(),
+            pending: Vec::new(),
+            job_owner: HashMap::new(),
+            next_job: 1,
+            policy: None,
+            policy_extra_submitted: 0,
+            trace: TraceLog::new(),
+            ids_hint: 0,
+        };
+        SimPilotSystem {
+            exec: Executor::new(machine),
+            ids: IdGen::new(),
+        }
+    }
+
+    /// Register an infrastructure; returns the site id schedulers will see.
+    /// The adaptor's background processes (batch arrivals, match cycles) are
+    /// primed automatically.
+    pub fn add_resource(&mut self, adaptor: ResourceAdaptor) -> SiteId {
+        let site = self.exec.machine().adaptors.len();
+        for (t, ev) in adaptor.initial_inputs() {
+            self.exec.schedule_at(t, Ev::Saga { site, ev });
+        }
+        let m = self.exec.machine_mut();
+        m.adaptors.push(adaptor);
+        // Keep the network's site table in step with adaptor indices.
+        let names: Vec<String> = (0..m.adaptors.len()).map(|i| format!("site-{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let old = std::mem::replace(&mut m.network, NetworkModel::new(&name_refs));
+        // Preserve nothing from the default; custom networks are set after
+        // all resources are added via `set_network`.
+        drop(old);
+        SiteId(site as u16)
+    }
+
+    /// Replace the late-binding scheduler.
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn Scheduler>) {
+        self.exec.machine_mut().scheduler = scheduler;
+    }
+
+    /// Replace the network model (after all resources are added).
+    pub fn set_network(&mut self, network: NetworkModel) {
+        self.exec.machine_mut().network = network;
+    }
+
+    /// Install an adaptive scale-out policy.
+    pub fn set_scale_out(&mut self, policy: ScaleOutPolicy) {
+        let every = policy.check_every;
+        self.exec.machine_mut().policy = Some(policy);
+        self.exec.schedule_at(SimTime::ZERO + every, Ev::PolicyTick);
+    }
+
+    /// Disable tracing (large sweeps).
+    pub fn disable_trace(&mut self) {
+        self.exec.machine_mut().trace = TraceLog::disabled();
+    }
+
+    /// Submit a pilot at virtual time `at`.
+    pub fn submit_pilot(&mut self, at: SimTime, site: SiteId, desc: PilotDescription) -> PilotId {
+        let pid = self.ids.pilot();
+        let m = self.exec.machine_mut();
+        let job = m.fresh_job();
+        assert!(
+            (site.0 as usize) < m.adaptors.len(),
+            "unknown site {site}"
+        );
+        m.pilots.insert(
+            pid,
+            SimPilotRt {
+                site: site.0 as usize,
+                desc,
+                state: PilotState::Pending,
+                capacity: 0,
+                used: 0,
+                job,
+                times: PilotTimes::default(),
+            },
+        );
+        m.job_owner.insert((site.0 as usize, job), pid);
+        self.exec.schedule_at(at, Ev::SubmitPilot(pid));
+        pid
+    }
+
+    /// Submit a unit at virtual time `at` with a sampled duration model.
+    pub fn submit_unit(&mut self, at: SimTime, desc: UnitDescription, duration: Dist) -> UnitId {
+        let uid = self.ids.unit();
+        self.exec.machine_mut().units.insert(
+            uid,
+            SimUnitRt {
+                desc,
+                duration,
+                state: UnitState::New,
+                pilot: None,
+                times: UnitTimes::default(),
+                generation: 0,
+                attempts: 0,
+            },
+        );
+        self.exec.schedule_at(at, Ev::SubmitUnit(uid));
+        uid
+    }
+
+    /// Submit a unit with a fixed duration in seconds.
+    pub fn submit_unit_fixed(&mut self, at: SimTime, desc: UnitDescription, duration_s: f64) -> UnitId {
+        self.submit_unit(at, desc, Dist::constant(duration_s))
+    }
+
+    /// Schedule a pilot cancellation.
+    pub fn cancel_pilot(&mut self, at: SimTime, pilot: PilotId) {
+        self.exec.schedule_at(at, Ev::CancelPilot(pilot));
+    }
+
+    /// Run until quiescence or `until`, whichever first; consume into a report.
+    pub fn run(mut self, until: SimTime) -> SimReport {
+        self.exec.run_until(until);
+        let end_time = self.exec.now();
+        let m = self.exec.into_machine();
+        let mut units: Vec<UnitRecord> = m
+            .units
+            .iter()
+            .map(|(&unit, u)| UnitRecord {
+                unit,
+                pilot: u.pilot,
+                times: u.times,
+                state: u.state,
+                tag: u.desc.tag.clone(),
+            })
+            .collect();
+        units.sort_by_key(|u| u.unit.0);
+        let mut pilots: Vec<SimPilotRecord> = m
+            .pilots
+            .iter()
+            .map(|(&pilot, p)| SimPilotRecord {
+                pilot,
+                site: SiteId(p.site as u16),
+                label: p.desc.label.clone(),
+                state: p.state,
+                times: p.times,
+            })
+            .collect();
+        pilots.sort_by_key(|p| p.pilot.0);
+        SimReport {
+            units,
+            pilots,
+            trace: m.trace,
+            end_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::DataAwareScheduler;
+    use crate::describe::DataLocation;
+    use pilot_infra::cloud::{CloudConfig, CloudProvider};
+    use pilot_infra::hpc::{BackgroundLoad, HpcCluster, HpcConfig};
+    use pilot_infra::htc::{HtcConfig, HtcPool};
+
+    fn quiet_hpc(cores: u32) -> ResourceAdaptor {
+        ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet("hpc", cores)))
+    }
+
+    #[test]
+    fn pilot_runs_units_in_virtual_time() {
+        let mut sys = SimPilotSystem::new(1);
+        let site = sys.add_resource(quiet_hpc(16));
+        sys.submit_pilot(
+            SimTime::ZERO,
+            site,
+            PilotDescription::new(8, SimDuration::from_hours(1)).labeled("p"),
+        );
+        for _ in 0..16 {
+            sys.submit_unit_fixed(SimTime::ZERO, UnitDescription::new(1), 30.0);
+        }
+        let report = sys.run(SimTime::from_hours(2));
+        assert_eq!(report.count(UnitState::Done), 16);
+        // 16 units × 30 s on 8 cores = two waves ≈ 60 s + 1 s dispatch.
+        let mk = report.makespan();
+        assert!((60.0..70.0).contains(&mk), "makespan {mk}");
+        assert_eq!(report.pilots.len(), 1);
+        assert!(report.pilots[0].times.startup_overhead().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sys = SimPilotSystem::new(seed);
+            let site = sys.add_resource(quiet_hpc(32));
+            sys.submit_pilot(
+                SimTime::ZERO,
+                site,
+                PilotDescription::new(16, SimDuration::from_hours(4)),
+            );
+            for i in 0..40 {
+                sys.submit_unit(
+                    SimTime::from_secs(i),
+                    UnitDescription::new(1),
+                    Dist::exponential(25.0),
+                );
+            }
+            let r = sys.run(SimTime::from_hours(8));
+            (r.makespan(), r.throughput(), r.trace.len())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0, "different seeds, different durations");
+    }
+
+    #[test]
+    fn unit_waits_until_pilot_capacity_arrives() {
+        let mut sys = SimPilotSystem::new(2);
+        let site = sys.add_resource(quiet_hpc(8));
+        sys.submit_unit_fixed(SimTime::ZERO, UnitDescription::new(1), 10.0);
+        sys.submit_pilot(
+            SimTime::from_secs(100),
+            site,
+            PilotDescription::new(4, SimDuration::from_hours(1)),
+        );
+        let report = sys.run(SimTime::from_hours(2));
+        let u = &report.units[0];
+        assert_eq!(u.state, UnitState::Done);
+        assert!(u.times.wait().unwrap() >= 100.0, "late binding wait");
+    }
+
+    #[test]
+    fn pilot_walltime_expiry_requeues_running_units() {
+        let mut sys = SimPilotSystem::new(3);
+        let site = sys.add_resource(quiet_hpc(8));
+        // Short pilot; long unit cannot finish inside it.
+        sys.submit_pilot(
+            SimTime::ZERO,
+            site,
+            PilotDescription::new(4, SimDuration::from_secs(50)),
+        );
+        // Second pilot arrives later and rescues the unit.
+        sys.submit_pilot(
+            SimTime::from_secs(200),
+            site,
+            PilotDescription::new(4, SimDuration::from_hours(1)),
+        );
+        let u = sys.submit_unit_fixed(SimTime::ZERO, UnitDescription::new(1), 120.0);
+        let report = sys.run(SimTime::from_hours(2));
+        let rec = report.units.iter().find(|r| r.unit == u).unwrap();
+        assert_eq!(rec.state, UnitState::Done);
+        assert!(
+            report.trace.of_kind("cu.requeued").count() >= 1,
+            "unit must be requeued when pilot 1 expires"
+        );
+        // It finished on the second pilot, well after 200 s.
+        assert!(rec.times.finished.unwrap() >= 320.0);
+    }
+
+    #[test]
+    fn htc_incremental_capacity_feeds_scheduler() {
+        let mut sys = SimPilotSystem::new(4);
+        let site = sys.add_resource(ResourceAdaptor::htc(HtcPool::new(HtcConfig::reliable(
+            "osg", 8,
+        ))));
+        sys.submit_pilot(
+            SimTime::ZERO,
+            site,
+            PilotDescription::new(8, SimDuration::from_hours(2)),
+        );
+        for _ in 0..16 {
+            sys.submit_unit_fixed(SimTime::ZERO, UnitDescription::new(1), 60.0);
+        }
+        let report = sys.run(SimTime::from_hours(4));
+        assert_eq!(report.count(UnitState::Done), 16);
+        // Glide-in startup: first capacity near the 30 s match cycle.
+        let startup = report.pilots[0].times.startup_overhead().unwrap();
+        assert!((30.0..45.0).contains(&startup), "startup {startup}");
+    }
+
+    #[test]
+    fn cloud_pilot_costs_money_and_boots_fast() {
+        let mut sys = SimPilotSystem::new(5);
+        let site = sys.add_resource(ResourceAdaptor::cloud(CloudProvider::new(
+            CloudConfig::generic("aws", 512),
+        )));
+        sys.submit_pilot(
+            SimTime::ZERO,
+            site,
+            PilotDescription::new(64, SimDuration::from_hours(1)),
+        );
+        for _ in 0..32 {
+            sys.submit_unit_fixed(SimTime::ZERO, UnitDescription::new(1), 120.0);
+        }
+        let report = sys.run(SimTime::from_hours(3));
+        assert_eq!(report.count(UnitState::Done), 32);
+        let startup = report.pilots[0].times.startup_overhead().unwrap();
+        assert!((45.0..=90.0).contains(&startup), "boot window, got {startup}");
+    }
+
+    #[test]
+    fn data_aware_scheduler_places_units_at_data() {
+        let mut sys = SimPilotSystem::new(6);
+        let a = sys.add_resource(quiet_hpc(16));
+        let b = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet(
+            "hpc-b", 16,
+        ))));
+        sys.set_scheduler(Box::new(DataAwareScheduler));
+        sys.submit_pilot(
+            SimTime::ZERO,
+            a,
+            PilotDescription::new(8, SimDuration::from_hours(1)),
+        );
+        sys.submit_pilot(
+            SimTime::ZERO,
+            b,
+            PilotDescription::new(8, SimDuration::from_hours(1)),
+        );
+        // All data lives at site b.
+        for _ in 0..8 {
+            sys.submit_unit_fixed(
+                SimTime::from_secs(10),
+                UnitDescription::new(1)
+                    .with_inputs(vec![DataLocation::new(500_000_000, vec![b])]),
+                20.0,
+            );
+        }
+        let report = sys.run(SimTime::from_hours(1));
+        assert_eq!(report.count(UnitState::Done), 8);
+        let b_pilot = report.pilots.iter().find(|p| p.site == b).unwrap().pilot;
+        assert!(
+            report.units.iter().all(|u| u.pilot == Some(b_pilot)),
+            "all units should land at the data"
+        );
+        // No staging cost at the local site.
+        for u in &report.units {
+            assert!(u.times.staging().unwrap() < 0.1);
+        }
+    }
+
+    #[test]
+    fn remote_data_pays_staging_time() {
+        let mut sys = SimPilotSystem::new(7);
+        let a = sys.add_resource(quiet_hpc(16));
+        let b_site = SiteId(1); // no pilot there; data is remote
+        sys.submit_pilot(
+            SimTime::ZERO,
+            a,
+            PilotDescription::new(8, SimDuration::from_hours(1)),
+        );
+        let _ = b_site;
+        sys.submit_unit_fixed(
+            SimTime::ZERO,
+            UnitDescription::new(1)
+                .with_inputs(vec![DataLocation::new(1_000_000_000, vec![SiteId(1)])]),
+            10.0,
+        );
+        let report = sys.run(SimTime::from_hours(1));
+        let u = &report.units[0];
+        assert_eq!(u.state, UnitState::Done);
+        // 1 GB over the 100 MB/s WAN default ≈ 10 s staging.
+        let staging = u.times.staging().unwrap();
+        assert!((9.0..12.0).contains(&staging), "staging {staging}");
+    }
+
+    #[test]
+    fn scale_out_policy_adds_cloud_pilot_under_backlog() {
+        let mut sys = SimPilotSystem::new(8);
+        let hpc = sys.add_resource(quiet_hpc(8));
+        let cloud = sys.add_resource(ResourceAdaptor::cloud(CloudProvider::new(
+            CloudConfig::generic("burst", 256),
+        )));
+        sys.submit_pilot(
+            SimTime::ZERO,
+            hpc,
+            PilotDescription::new(4, SimDuration::from_hours(4)),
+        );
+        sys.set_scale_out(ScaleOutPolicy {
+            check_every: SimDuration::from_secs(60),
+            queue_threshold: 10,
+            burst_site: cloud,
+            pilot: PilotDescription::new(64, SimDuration::from_hours(2)).labeled("burst"),
+            max_extra: 1,
+        });
+        for _ in 0..100 {
+            sys.submit_unit_fixed(SimTime::ZERO, UnitDescription::new(1), 120.0);
+        }
+        let report = sys.run(SimTime::from_hours(6));
+        assert_eq!(report.count(UnitState::Done), 100);
+        assert_eq!(report.pilots.len(), 2, "policy must add one pilot");
+        assert!(report.trace.of_kind("policy.scale_out").count() == 1);
+        let burst = report.pilots.iter().find(|p| p.label == "burst").unwrap();
+        assert_eq!(burst.site, cloud);
+        // With 64 extra cores the backlog drains far faster than 100×120/4 s.
+        assert!(report.makespan() < 1500.0, "makespan {}", report.makespan());
+    }
+
+    #[test]
+    fn queue_contention_delays_pilot_startup() {
+        let bg = BackgroundLoad::at_utilization(
+            0.85,
+            64,
+            Dist::constant(16.0),
+            Dist::exponential(1200.0),
+        );
+        let busy = HpcCluster::new(HpcConfig::quiet("busy", 64).with_background(bg));
+        let mut sys = SimPilotSystem::new(9);
+        let site = sys.add_resource(ResourceAdaptor::hpc(busy));
+        sys.submit_pilot(
+            SimTime::from_secs(8000),
+            site,
+            PilotDescription::new(32, SimDuration::from_hours(2)),
+        );
+        sys.submit_unit_fixed(SimTime::from_secs(8000), UnitDescription::new(1), 10.0);
+        let report = sys.run(SimTime::from_hours(24));
+        let startup = report.pilots[0].times.startup_overhead();
+        assert!(
+            startup.map(|s| s > 10.0).unwrap_or(false),
+            "busy queue should delay the pilot, got {startup:?}"
+        );
+    }
+
+    #[test]
+    fn multicore_units_pack_within_capacity() {
+        let mut sys = SimPilotSystem::new(10);
+        let site = sys.add_resource(quiet_hpc(16));
+        sys.submit_pilot(
+            SimTime::ZERO,
+            site,
+            PilotDescription::new(8, SimDuration::from_hours(1)),
+        );
+        // Two 4-core units fit together; the third waits.
+        for _ in 0..3 {
+            sys.submit_unit_fixed(SimTime::ZERO, UnitDescription::new(4), 100.0);
+        }
+        let report = sys.run(SimTime::from_hours(1));
+        assert_eq!(report.count(UnitState::Done), 3);
+        let mut starts: Vec<f64> = report
+            .units
+            .iter()
+            .map(|u| u.times.started.unwrap())
+            .collect();
+        starts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(starts[1] - starts[0] < 1.0, "first two run together");
+        assert!(starts[2] - starts[0] >= 100.0, "third waits for a slot");
+    }
+}

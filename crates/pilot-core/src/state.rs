@@ -1,0 +1,245 @@
+//! Lifecycle state machines for pilots and compute units.
+//!
+//! These mirror the P\* model's state diagrams. Both backends drive the same
+//! machines, and illegal transitions are programming errors caught by
+//! `debug_assert!`s in the managers (and by the property tests here).
+
+use std::fmt;
+
+/// Pilot lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PilotState {
+    /// Described, not yet submitted.
+    New,
+    /// Submitted to the access layer, waiting for resources.
+    Pending,
+    /// Holding at least one core; agent accepts units.
+    Active,
+    /// Finished normally (walltime reached or explicitly drained).
+    Done,
+    /// Canceled by the application.
+    Canceled,
+    /// Lost to infrastructure failure or rejection.
+    Failed,
+}
+
+/// Compute-unit lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnitState {
+    /// Described, not yet accepted.
+    New,
+    /// Accepted by the unit manager, waiting to be bound (late binding).
+    Pending,
+    /// Bound to a pilot with reserved cores; not yet running.
+    Assigned,
+    /// Input data staging in progress.
+    Staging,
+    /// Kernel executing.
+    Running,
+    /// Completed successfully.
+    Done,
+    /// Kernel or infrastructure failure.
+    Failed,
+    /// Canceled by the application (or orphaned by a dying pilot without
+    /// retry).
+    Canceled,
+}
+
+impl PilotState {
+    /// Whether this state is terminal.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, PilotState::Done | PilotState::Canceled | PilotState::Failed)
+    }
+
+    /// Legal transition predicate.
+    pub fn can_transition_to(self, next: PilotState) -> bool {
+        use PilotState::*;
+        matches!(
+            (self, next),
+            (New, Pending)
+                | (New, Canceled)
+                | (Pending, Active)
+                | (Pending, Canceled)
+                | (Pending, Failed)
+                | (Active, Done)
+                | (Active, Canceled)
+                | (Active, Failed)
+        )
+    }
+}
+
+impl UnitState {
+    /// Whether this state is terminal.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, UnitState::Done | UnitState::Failed | UnitState::Canceled)
+    }
+
+    /// Legal transition predicate. `Assigned -> Pending` is legal: a unit is
+    /// un-bound when its pilot dies before execution starts (retry path).
+    pub fn can_transition_to(self, next: UnitState) -> bool {
+        use UnitState::*;
+        matches!(
+            (self, next),
+            (New, Pending)
+                | (New, Canceled)
+                | (Pending, Assigned)
+                | (Pending, Canceled)
+                | (Pending, Failed)
+                | (Assigned, Staging)
+                | (Assigned, Running)
+                | (Assigned, Pending)
+                | (Assigned, Canceled)
+                | (Assigned, Failed)
+                | (Staging, Running)
+                | (Staging, Failed)
+                | (Staging, Canceled)
+                | (Staging, Pending)
+                | (Running, Done)
+                | (Running, Failed)
+                | (Running, Canceled)
+        )
+    }
+}
+
+impl fmt::Display for PilotState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PilotState::New => "new",
+            PilotState::Pending => "pending",
+            PilotState::Active => "active",
+            PilotState::Done => "done",
+            PilotState::Canceled => "canceled",
+            PilotState::Failed => "failed",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for UnitState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnitState::New => "new",
+            UnitState::Pending => "pending",
+            UnitState::Assigned => "assigned",
+            UnitState::Staging => "staging",
+            UnitState::Running => "running",
+            UnitState::Done => "done",
+            UnitState::Failed => "failed",
+            UnitState::Canceled => "canceled",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PILOT_STATES: [PilotState; 6] = [
+        PilotState::New,
+        PilotState::Pending,
+        PilotState::Active,
+        PilotState::Done,
+        PilotState::Canceled,
+        PilotState::Failed,
+    ];
+
+    const UNIT_STATES: [UnitState; 8] = [
+        UnitState::New,
+        UnitState::Pending,
+        UnitState::Assigned,
+        UnitState::Staging,
+        UnitState::Running,
+        UnitState::Done,
+        UnitState::Failed,
+        UnitState::Canceled,
+    ];
+
+    #[test]
+    fn terminal_states_have_no_outgoing_transitions() {
+        for s in PILOT_STATES {
+            if s.is_terminal() {
+                for t in PILOT_STATES {
+                    assert!(!s.can_transition_to(t), "{s} -> {t} should be illegal");
+                }
+            }
+        }
+        for s in UNIT_STATES {
+            if s.is_terminal() {
+                for t in UNIT_STATES {
+                    assert!(!s.can_transition_to(t), "{s} -> {t} should be illegal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn happy_paths_are_legal() {
+        use PilotState as P;
+        let path = [P::New, P::Pending, P::Active, P::Done];
+        for w in path.windows(2) {
+            assert!(w[0].can_transition_to(w[1]));
+        }
+        use UnitState as U;
+        let path = [U::New, U::Pending, U::Assigned, U::Staging, U::Running, U::Done];
+        for w in path.windows(2) {
+            assert!(w[0].can_transition_to(w[1]));
+        }
+    }
+
+    #[test]
+    fn retry_path_unbinds_assigned_unit() {
+        assert!(UnitState::Assigned.can_transition_to(UnitState::Pending));
+        assert!(UnitState::Staging.can_transition_to(UnitState::Pending));
+        assert!(!UnitState::Running.can_transition_to(UnitState::Pending));
+    }
+
+    #[test]
+    fn no_skipping_pending() {
+        assert!(!PilotState::New.can_transition_to(PilotState::Active));
+        assert!(!UnitState::New.can_transition_to(UnitState::Running));
+    }
+
+    #[test]
+    fn every_nonterminal_state_reaches_a_terminal_state() {
+        // Graph reachability: from each state, some terminal state must be
+        // reachable — no livelock states in the machine.
+        fn reaches_terminal<S: Copy + PartialEq>(
+            start: S,
+            all: &[S],
+            can: impl Fn(S, S) -> bool,
+            terminal: impl Fn(S) -> bool,
+        ) -> bool {
+            let mut frontier = vec![start];
+            let mut seen = vec![start];
+            while let Some(s) = frontier.pop() {
+                if terminal(s) {
+                    return true;
+                }
+                for &t in all {
+                    if can(s, t) && !seen.contains(&t) {
+                        seen.push(t);
+                        frontier.push(t);
+                    }
+                }
+            }
+            false
+        }
+        for s in PILOT_STATES {
+            assert!(reaches_terminal(
+                s,
+                &PILOT_STATES,
+                |a, b| a.can_transition_to(b),
+                |x: PilotState| x.is_terminal()
+            ) || s.is_terminal());
+        }
+        for s in UNIT_STATES {
+            assert!(reaches_terminal(
+                s,
+                &UNIT_STATES,
+                |a, b| a.can_transition_to(b),
+                |x: UnitState| x.is_terminal()
+            ) || s.is_terminal());
+        }
+    }
+}

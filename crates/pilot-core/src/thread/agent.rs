@@ -1,0 +1,268 @@
+//! The pilot agent: a worker-thread pool executing assigned units.
+//!
+//! One agent per active pilot. Workers pull assignments from a shared
+//! channel (crossbeam MPMC), stamp start/finish times against the service's
+//! epoch, catch kernel panics, and report results back to the manager loop.
+
+use super::kernel::{TaskCtx, TaskError, TaskOutput, WorkKernel};
+use crate::ids::{PilotId, UnitId};
+use crossbeam::channel::{unbounded, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A unit handed to the agent for execution.
+pub(super) struct Assignment {
+    pub unit: UnitId,
+    pub cores: u32,
+    pub kernel: Arc<dyn WorkKernel>,
+    /// Set by the manager if the unit was canceled after binding; the worker
+    /// skips execution when it observes the flag.
+    pub cancel_flag: Arc<AtomicBool>,
+}
+
+/// What a worker reports back to the manager loop.
+pub(super) enum AgentReport {
+    Started { unit: UnitId, t: f64 },
+    Finished {
+        unit: UnitId,
+        t: f64,
+        result: Result<TaskOutput, TaskError>,
+    },
+    Skipped { unit: UnitId, t: f64 },
+}
+
+enum Cmd {
+    Run(Assignment),
+    Stop,
+}
+
+/// Worker pool bound to one pilot.
+pub(super) struct Agent {
+    tx: Sender<Cmd>,
+    workers: Vec<JoinHandle<()>>,
+    cores: u32,
+}
+
+impl Agent {
+    /// Spawn `cores` workers reporting to `report_tx` with timestamps
+    /// relative to `epoch`.
+    pub fn new(
+        pilot: PilotId,
+        cores: u32,
+        epoch: Instant,
+        report_tx: Sender<AgentReport>,
+    ) -> Self {
+        let (tx, rx) = unbounded::<Cmd>();
+        let workers = (0..cores.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let report = report_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("{pilot}-w{i}"))
+                    .spawn(move || {
+                        while let Ok(cmd) = rx.recv() {
+                            match cmd {
+                                Cmd::Stop => break,
+                                Cmd::Run(a) => {
+                                    let now = || epoch.elapsed().as_secs_f64();
+                                    if a.cancel_flag.load(Ordering::Acquire) {
+                                        let _ = report.send(AgentReport::Skipped {
+                                            unit: a.unit,
+                                            t: now(),
+                                        });
+                                        continue;
+                                    }
+                                    let _ = report.send(AgentReport::Started {
+                                        unit: a.unit,
+                                        t: now(),
+                                    });
+                                    let ctx = TaskCtx {
+                                        unit: a.unit,
+                                        pilot,
+                                        cores: a.cores,
+                                    };
+                                    let result =
+                                        match catch_unwind(AssertUnwindSafe(|| a.kernel.run(&ctx)))
+                                        {
+                                            Ok(r) => r,
+                                            Err(panic) => {
+                                                let msg = panic
+                                                    .downcast_ref::<&str>()
+                                                    .map(|s| s.to_string())
+                                                    .or_else(|| {
+                                                        panic
+                                                            .downcast_ref::<String>()
+                                                            .cloned()
+                                                    })
+                                                    .unwrap_or_else(|| {
+                                                        "kernel panicked".to_string()
+                                                    });
+                                                Err(TaskError(format!("panic: {msg}")))
+                                            }
+                                        };
+                                    let _ = report.send(AgentReport::Finished {
+                                        unit: a.unit,
+                                        t: now(),
+                                        result,
+                                    });
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn agent worker")
+            })
+            .collect();
+        Agent { tx, workers, cores }
+    }
+
+    /// Queue a unit for execution.
+    pub fn submit(&self, a: Assignment) {
+        // Send can only fail if all workers exited (after stop); assignments
+        // at that point were already drained back by the manager.
+        let _ = self.tx.send(Cmd::Run(a));
+    }
+
+    /// Stop workers after they drain already-queued assignments.
+    pub fn stop(&self) {
+        for _ in 0..self.cores.max(1) {
+            let _ = self.tx.send(Cmd::Stop);
+        }
+    }
+
+    /// Join all workers (after `stop`).
+    pub fn join(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::kernel::kernel_fn;
+    use crossbeam::channel::unbounded;
+
+    fn mk_agent(cores: u32) -> (Agent, crossbeam::channel::Receiver<AgentReport>) {
+        let (tx, rx) = unbounded();
+        let agent = Agent::new(PilotId(1), cores, Instant::now(), tx);
+        (agent, rx)
+    }
+
+    fn assignment(unit: u64, kernel: Arc<dyn WorkKernel>) -> Assignment {
+        Assignment {
+            unit: UnitId(unit),
+            cores: 1,
+            kernel,
+            cancel_flag: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    #[test]
+    fn executes_and_reports_in_order_per_unit() {
+        let (agent, rx) = mk_agent(1);
+        agent.submit(assignment(1, kernel_fn(|_| Ok(TaskOutput::of(42u32)))));
+        let started = rx.recv().unwrap();
+        assert!(matches!(started, AgentReport::Started { unit: UnitId(1), .. }));
+        let finished = rx.recv().unwrap();
+        match finished {
+            AgentReport::Finished { unit, result, .. } => {
+                assert_eq!(unit, UnitId(1));
+                assert_eq!(result.unwrap().downcast::<u32>(), Some(42));
+            }
+            _ => panic!("expected Finished"),
+        }
+        agent.stop();
+        agent.join();
+    }
+
+    #[test]
+    fn panicking_kernel_reports_failure_and_worker_survives() {
+        let (agent, rx) = mk_agent(1);
+        agent.submit(assignment(1, kernel_fn(|_| panic!("kaboom"))));
+        agent.submit(assignment(2, kernel_fn(|_| Ok(TaskOutput::none()))));
+        let mut failed = false;
+        let mut second_ok = false;
+        for _ in 0..4 {
+            match rx.recv().unwrap() {
+                AgentReport::Finished { unit, result, .. } => {
+                    if unit == UnitId(1) {
+                        let err = result.unwrap_err();
+                        assert!(err.0.contains("kaboom"), "{err}");
+                        failed = true;
+                    } else {
+                        assert!(result.is_ok());
+                        second_ok = true;
+                    }
+                }
+                AgentReport::Started { .. } => {}
+                AgentReport::Skipped { .. } => panic!("nothing canceled"),
+            }
+        }
+        assert!(failed && second_ok);
+        agent.stop();
+        agent.join();
+    }
+
+    #[test]
+    fn cancel_flag_skips_execution() {
+        let (agent, rx) = mk_agent(1);
+        let flag = Arc::new(AtomicBool::new(true));
+        agent.submit(Assignment {
+            unit: UnitId(9),
+            cores: 1,
+            kernel: kernel_fn(|_| Ok(TaskOutput::of(1u8))),
+            cancel_flag: flag,
+        });
+        match rx.recv().unwrap() {
+            AgentReport::Skipped { unit, .. } => assert_eq!(unit, UnitId(9)),
+            _ => panic!("expected Skipped"),
+        }
+        agent.stop();
+        agent.join();
+    }
+
+    #[test]
+    fn stop_drains_queued_work_first() {
+        let (agent, rx) = mk_agent(1);
+        for i in 0..5 {
+            agent.submit(assignment(i, kernel_fn(|_| Ok(TaskOutput::none()))));
+        }
+        agent.stop();
+        let finished = rx
+            .iter()
+            .filter(|r| matches!(r, AgentReport::Finished { .. }))
+            .count();
+        assert_eq!(finished, 5, "FIFO channel drains Run before Stop");
+        agent.join();
+    }
+
+    #[test]
+    fn multicore_agent_runs_units_concurrently() {
+        let (agent, rx) = mk_agent(4);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        for i in 0..4 {
+            let b = Arc::clone(&barrier);
+            agent.submit(assignment(
+                i,
+                kernel_fn(move |_| {
+                    // Deadlocks unless all four run at once.
+                    b.wait();
+                    Ok(TaskOutput::none())
+                }),
+            ));
+        }
+        let mut finished = 0;
+        while finished < 4 {
+            if let AgentReport::Finished { result, .. } = rx.recv().unwrap() {
+                assert!(result.is_ok());
+                finished += 1;
+            }
+        }
+        agent.stop();
+        agent.join();
+    }
+}

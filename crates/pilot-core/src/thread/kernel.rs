@@ -1,0 +1,174 @@
+//! Work kernels: the real computation a compute unit performs.
+
+use crate::ids::{PilotId, UnitId};
+use std::any::Any;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Execution context handed to a kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskCtx {
+    /// The unit being executed.
+    pub unit: UnitId,
+    /// The pilot executing it.
+    pub pilot: PilotId,
+    /// Cores reserved for this unit.
+    pub cores: u32,
+}
+
+/// Kernel failure: a message, carried into the unit's `Failed` record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskError(pub String);
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Opaque kernel output, downcast by the application.
+pub struct TaskOutput(Option<Box<dyn Any + Send>>);
+
+impl TaskOutput {
+    /// No output.
+    pub fn none() -> Self {
+        TaskOutput(None)
+    }
+
+    /// Wrap a value.
+    pub fn of<T: Any + Send>(value: T) -> Self {
+        TaskOutput(Some(Box::new(value)))
+    }
+
+    /// Whether an output value is present.
+    pub fn is_some(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Take the value as `T`; `None` if absent or of a different type.
+    pub fn downcast<T: Any>(self) -> Option<T> {
+        self.0.and_then(|b| b.downcast::<T>().ok()).map(|b| *b)
+    }
+}
+
+impl std::fmt::Debug for TaskOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TaskOutput(present: {})", self.0.is_some())
+    }
+}
+
+/// A unit's computation. Implementations must be `Send + Sync` (workers share
+/// them) and should treat panics as failures — the agent catches them.
+pub trait WorkKernel: Send + Sync {
+    /// Execute the work.
+    fn run(&self, ctx: &TaskCtx) -> Result<TaskOutput, TaskError>;
+}
+
+/// Adapt a closure into a kernel.
+pub fn kernel_fn<F>(f: F) -> Arc<dyn WorkKernel>
+where
+    F: Fn(&TaskCtx) -> Result<TaskOutput, TaskError> + Send + Sync + 'static,
+{
+    struct FnKernel<F>(F);
+    impl<F> WorkKernel for FnKernel<F>
+    where
+        F: Fn(&TaskCtx) -> Result<TaskOutput, TaskError> + Send + Sync,
+    {
+        fn run(&self, ctx: &TaskCtx) -> Result<TaskOutput, TaskError> {
+            (self.0)(ctx)
+        }
+    }
+    Arc::new(FnKernel(f))
+}
+
+/// A calibrated CPU-burning kernel: spins for the requested wall time.
+///
+/// The Mini-App throughput experiments (EXP PJ-2) need tasks whose duration
+/// is controlled but which genuinely occupy a core — sleeping would let the
+/// OS run other work and misrepresent slot contention.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticKernel {
+    /// How long to spin, seconds.
+    pub spin_s: f64,
+}
+
+impl SyntheticKernel {
+    /// Spin for `spin_s` seconds of wall time.
+    pub fn new(spin_s: f64) -> Self {
+        SyntheticKernel { spin_s }
+    }
+}
+
+impl WorkKernel for SyntheticKernel {
+    fn run(&self, _ctx: &TaskCtx) -> Result<TaskOutput, TaskError> {
+        let deadline = Instant::now() + Duration::from_secs_f64(self.spin_s.max(0.0));
+        // Do a little real arithmetic so the loop cannot be optimized away.
+        let mut acc = 0u64;
+        while Instant::now() < deadline {
+            for i in 0..64u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::spin_loop();
+        }
+        Ok(TaskOutput::of(acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> TaskCtx {
+        TaskCtx {
+            unit: UnitId(1),
+            pilot: PilotId(1),
+            cores: 1,
+        }
+    }
+
+    #[test]
+    fn output_downcast_round_trip() {
+        let out = TaskOutput::of(vec![1u32, 2, 3]);
+        assert!(out.is_some());
+        assert_eq!(out.downcast::<Vec<u32>>(), Some(vec![1, 2, 3]));
+        let out = TaskOutput::of(7u64);
+        assert_eq!(out.downcast::<String>(), None, "wrong type yields None");
+        assert!(!TaskOutput::none().is_some());
+        assert_eq!(TaskOutput::none().downcast::<u64>(), None);
+    }
+
+    #[test]
+    fn kernel_fn_adapts_closures() {
+        let k = kernel_fn(|ctx| Ok(TaskOutput::of(ctx.cores * 2)));
+        let out = k.run(&ctx()).unwrap();
+        assert_eq!(out.downcast::<u32>(), Some(2));
+        let failing = kernel_fn(|_| Err(TaskError("boom".into())));
+        assert_eq!(failing.run(&ctx()).unwrap_err().0, "boom");
+    }
+
+    #[test]
+    fn synthetic_kernel_spins_approximately_right() {
+        let k = SyntheticKernel::new(0.05);
+        let t = Instant::now();
+        k.run(&ctx()).unwrap();
+        let elapsed = t.elapsed().as_secs_f64();
+        assert!(elapsed >= 0.05, "spun only {elapsed}s");
+        assert!(elapsed < 0.5, "spun way too long: {elapsed}s");
+    }
+
+    #[test]
+    fn synthetic_kernel_zero_duration_is_instant() {
+        let k = SyntheticKernel::new(0.0);
+        let t = Instant::now();
+        k.run(&ctx()).unwrap();
+        assert!(t.elapsed().as_secs_f64() < 0.05);
+    }
+
+    #[test]
+    fn task_error_display() {
+        let e = TaskError("x".into());
+        assert_eq!(e.to_string(), "task error: x");
+    }
+}

@@ -1,0 +1,22 @@
+//! Real-execution backend: pilots become in-process agents with worker-thread
+//! pools; compute units carry [`WorkKernel`]s that do real computation.
+//!
+//! The manager runs as its own event-loop thread (mirroring the component
+//! structure of the simulated backend): submissions, capacity changes and
+//! completions arrive as messages; every capacity change re-runs the
+//! late-binding scheduler over pending units. Wall-clock timestamps land in
+//! the same [`crate::metrics::UnitTimes`] records as virtual-time ones, so
+//! downstream analysis is backend-agnostic.
+//!
+//! Failure semantics: a panicking kernel marks its unit `Failed` (the worker
+//! survives via `catch_unwind`); pilot cancel and walltime expiry *drain* —
+//! the agent stops accepting new work and already-assigned units run to
+//! completion, the semantics production pilot systems implement for clean
+//! teardown.
+
+mod agent;
+mod kernel;
+mod service;
+
+pub use kernel::{kernel_fn, SyntheticKernel, TaskCtx, TaskError, TaskOutput, WorkKernel};
+pub use service::{ServiceReport, ThreadPilotService, UnitOutcome};

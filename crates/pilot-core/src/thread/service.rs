@@ -1,0 +1,1031 @@
+//! The threaded Pilot-API service: pilot manager + unit manager + late-binding
+//! scheduler as one event-loop thread, with blocking handles for applications.
+
+use super::agent::{Agent, AgentReport, Assignment};
+use super::kernel::{TaskError, TaskOutput, WorkKernel};
+use crate::describe::{PilotDescription, UnitDescription};
+use crate::ids::{IdGen, PilotId, UnitId};
+use crate::metrics::{PilotTimes, UnitRecord, UnitTimes};
+use crate::scheduler::{PilotSnapshot, Scheduler, UnitRequest};
+use crate::state::{PilotState, UnitState};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use pilot_infra::types::SiteId;
+use pilot_sim::SimDuration;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Result of waiting on a unit.
+#[derive(Debug)]
+pub struct UnitOutcome {
+    /// Terminal state reached.
+    pub state: UnitState,
+    /// Timestamps.
+    pub times: UnitTimes,
+    /// Kernel result, if it ran. Taken on first wait.
+    pub output: Option<Result<TaskOutput, TaskError>>,
+}
+
+/// Snapshot of a finished (or shut-down) service run.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Per-unit records.
+    pub units: Vec<UnitRecord>,
+    /// Per-pilot: id, label, site, terminal state, timestamps.
+    pub pilots: Vec<(PilotId, String, SiteId, PilotState, PilotTimes)>,
+}
+
+impl ServiceReport {
+    /// Timing records of all units that reached `Done`.
+    pub fn done_unit_times(&self) -> Vec<UnitTimes> {
+        self.units
+            .iter()
+            .filter(|u| u.state == UnitState::Done)
+            .map(|u| u.times)
+            .collect()
+    }
+}
+
+enum Msg {
+    SubmitPilot {
+        id: PilotId,
+        desc: PilotDescription,
+        site: SiteId,
+    },
+    PilotUp(PilotId),
+    PilotExpired(PilotId),
+    SubmitUnit {
+        id: UnitId,
+        desc: UnitDescription,
+        kernel: Arc<dyn WorkKernel>,
+    },
+    CancelPilot(PilotId),
+    CancelUnit(UnitId),
+    Shutdown,
+}
+
+#[derive(Clone, Debug)]
+struct PilotPublic {
+    state: PilotState,
+    times: PilotTimes,
+    site: SiteId,
+    label: String,
+}
+
+struct UnitPublic {
+    state: UnitState,
+    times: UnitTimes,
+    pilot: Option<PilotId>,
+    tag: String,
+    output: Option<Result<TaskOutput, TaskError>>,
+}
+
+#[derive(Default)]
+struct RegInner {
+    pilots: HashMap<PilotId, PilotPublic>,
+    units: HashMap<UnitId, UnitPublic>,
+    open_units: usize,
+}
+
+struct Registry {
+    inner: Mutex<RegInner>,
+    cv: Condvar,
+}
+
+impl Registry {
+    fn update<R>(&self, f: impl FnOnce(&mut RegInner) -> R) -> R {
+        let mut g = self.inner.lock();
+        let r = f(&mut g);
+        drop(g);
+        self.cv.notify_all();
+        r
+    }
+}
+
+struct PilotRt {
+    site: SiteId,
+    cores: u32,
+    free_cores: u32,
+    state: PilotState,
+    accepting: bool,
+    drain_to: PilotState,
+    agent: Option<Agent>,
+    bound: usize,
+    deadline: Option<Instant>,
+    walltime: SimDuration,
+    startup_delay_s: f64,
+}
+
+struct UnitRt {
+    desc: UnitDescription,
+    kernel: Arc<dyn WorkKernel>,
+    state: UnitState,
+    pilot: Option<PilotId>,
+    cancel_flag: Arc<AtomicBool>,
+}
+
+/// Real-execution Pilot-API service. See the [module docs](super).
+pub struct ThreadPilotService {
+    tx: Sender<Msg>,
+    registry: Arc<Registry>,
+    manager: Option<JoinHandle<()>>,
+    ids: IdGen,
+}
+
+impl ThreadPilotService {
+    /// Start a service with the given late-binding scheduler.
+    pub fn new(scheduler: Box<dyn Scheduler>) -> Self {
+        let (tx, rx) = unbounded::<Msg>();
+        let (report_tx, report_rx) = unbounded::<AgentReport>();
+        let registry = Arc::new(Registry {
+            inner: Mutex::new(RegInner::default()),
+            cv: Condvar::new(),
+        });
+        let mgr_registry = Arc::clone(&registry);
+        let self_tx = tx.clone();
+        let manager = std::thread::Builder::new()
+            .name("pilot-manager".into())
+            .spawn(move || {
+                Mgr {
+                    scheduler,
+                    pilots: HashMap::new(),
+                    units: HashMap::new(),
+                    pending: Vec::new(),
+                    registry: mgr_registry,
+                    epoch: Instant::now(),
+                    self_tx,
+                    report_tx,
+                    shutting_down: false,
+                }
+                .run(rx, report_rx)
+            })
+            .expect("spawn pilot manager");
+        ThreadPilotService {
+            tx,
+            registry,
+            manager: Some(manager),
+            ids: IdGen::new(),
+        }
+    }
+
+    /// Submit a pilot on the default site (0).
+    pub fn submit_pilot(&self, desc: PilotDescription) -> PilotId {
+        self.submit_pilot_at(desc, SiteId(0))
+    }
+
+    /// Submit a pilot "on" a named site (sites are labels for data-locality
+    /// scheduling in the threaded backend — all execution is local).
+    pub fn submit_pilot_at(&self, desc: PilotDescription, site: SiteId) -> PilotId {
+        let id = self.ids.pilot();
+        let _ = self.tx.send(Msg::SubmitPilot { id, desc, site });
+        id
+    }
+
+    /// Submit a compute unit with a kernel.
+    pub fn submit_unit(&self, desc: UnitDescription, kernel: Arc<dyn WorkKernel>) -> UnitId {
+        let id = self.ids.unit();
+        // Count the unit as open *here*, on the caller thread, so a
+        // wait_all_units() racing ahead of the manager loop cannot observe
+        // zero open units before this submission is processed.
+        self.registry.update(|r| r.open_units += 1);
+        let _ = self.tx.send(Msg::SubmitUnit { id, desc, kernel });
+        id
+    }
+
+    /// Request a graceful pilot teardown (drains assigned units).
+    pub fn cancel_pilot(&self, id: PilotId) {
+        let _ = self.tx.send(Msg::CancelPilot(id));
+    }
+
+    /// Cancel a unit. Pending units cancel immediately; assigned ones are
+    /// skipped by the agent; running ones complete (cooperative semantics).
+    pub fn cancel_unit(&self, id: UnitId) {
+        let _ = self.tx.send(Msg::CancelUnit(id));
+    }
+
+    /// Current state of a pilot.
+    pub fn pilot_state(&self, id: PilotId) -> Option<PilotState> {
+        self.registry.inner.lock().pilots.get(&id).map(|p| p.state)
+    }
+
+    /// Current state of a unit.
+    pub fn unit_state(&self, id: UnitId) -> Option<UnitState> {
+        self.registry.inner.lock().units.get(&id).map(|u| u.state)
+    }
+
+    /// Block until the pilot leaves `Pending`; true iff it became `Active`.
+    pub fn wait_pilot_active(&self, id: PilotId) -> bool {
+        let mut g = self.registry.inner.lock();
+        loop {
+            match g.pilots.get(&id).map(|p| p.state) {
+                Some(PilotState::Active) => return true,
+                Some(s) if s.is_terminal() => return false,
+                _ => self.registry.cv.wait(&mut g),
+            }
+        }
+    }
+
+    /// Block until the unit is terminal; returns its outcome (output is
+    /// *taken* — a second wait returns `output: None`).
+    pub fn wait_unit(&self, id: UnitId) -> UnitOutcome {
+        let mut g = self.registry.inner.lock();
+        loop {
+            if let Some(u) = g.units.get_mut(&id) {
+                if u.state.is_terminal() {
+                    return UnitOutcome {
+                        state: u.state,
+                        times: u.times,
+                        output: u.output.take(),
+                    };
+                }
+            }
+            self.registry.cv.wait(&mut g);
+        }
+    }
+
+    /// Block until every submitted unit is terminal.
+    pub fn wait_all_units(&self) {
+        let mut g = self.registry.inner.lock();
+        while g.open_units > 0 {
+            self.registry.cv.wait(&mut g);
+        }
+    }
+
+    /// Like [`wait_all_units`](Self::wait_all_units) with a timeout;
+    /// true iff everything finished.
+    pub fn wait_all_units_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.registry.inner.lock();
+        while g.open_units > 0 {
+            if self.registry.cv.wait_until(&mut g, deadline).timed_out() {
+                return g.open_units == 0;
+            }
+        }
+        true
+    }
+
+    /// Drain and stop: cancels pending units, drains assigned ones, tears
+    /// down agents, and returns the run report.
+    pub fn shutdown(mut self) -> ServiceReport {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(h) = self.manager.take() {
+            let _ = h.join();
+        }
+        let mut g = self.registry.inner.lock();
+        let units = g
+            .units
+            .iter_mut()
+            .map(|(&unit, u)| UnitRecord {
+                unit,
+                pilot: u.pilot,
+                times: u.times,
+                state: u.state,
+                tag: u.tag.clone(),
+            })
+            .collect();
+        let pilots = g
+            .pilots
+            .iter()
+            .map(|(&id, p)| (id, p.label.clone(), p.site, p.state, p.times))
+            .collect();
+        ServiceReport { units, pilots }
+    }
+}
+
+impl Drop for ThreadPilotService {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(h) = self.manager.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct Mgr {
+    scheduler: Box<dyn Scheduler>,
+    pilots: HashMap<PilotId, PilotRt>,
+    units: HashMap<UnitId, UnitRt>,
+    pending: Vec<UnitId>,
+    registry: Arc<Registry>,
+    epoch: Instant,
+    self_tx: Sender<Msg>,
+    report_tx: Sender<AgentReport>,
+    shutting_down: bool,
+}
+
+impl Mgr {
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    fn run(mut self, rx: Receiver<Msg>, report_rx: Receiver<AgentReport>) {
+        loop {
+            crossbeam::channel::select! {
+                recv(rx) -> msg => match msg {
+                    Ok(m) => self.on_msg(m),
+                    Err(_) => self.shutting_down = true,
+                },
+                recv(report_rx) -> rep => if let Ok(r) = rep {
+                    self.on_report(r);
+                },
+            }
+            if self.shutting_down && self.all_quiet() {
+                break;
+            }
+        }
+        // Tear down agents.
+        for (_, p) in self.pilots.iter_mut() {
+            if let Some(agent) = p.agent.take() {
+                agent.stop();
+                agent.join();
+            }
+        }
+    }
+
+    fn all_quiet(&self) -> bool {
+        self.pilots.values().all(|p| p.bound == 0)
+    }
+
+    fn on_msg(&mut self, msg: Msg) {
+        match msg {
+            Msg::SubmitPilot { id, desc, site } => self.submit_pilot(id, desc, site),
+            Msg::PilotUp(id) => self.pilot_up(id),
+            Msg::PilotExpired(id) => self.teardown_pilot(id, PilotState::Done),
+            Msg::SubmitUnit { id, desc, kernel } => self.submit_unit(id, desc, kernel),
+            Msg::CancelPilot(id) => self.teardown_pilot(id, PilotState::Canceled),
+            Msg::CancelUnit(id) => self.cancel_unit(id),
+            Msg::Shutdown => self.begin_shutdown(),
+        }
+    }
+
+    fn submit_pilot(&mut self, id: PilotId, desc: PilotDescription, site: SiteId) {
+        let now = self.now();
+        let rt = PilotRt {
+            site,
+            cores: desc.cores.max(1),
+            free_cores: desc.cores.max(1),
+            state: PilotState::Pending,
+            accepting: true,
+            drain_to: PilotState::Done,
+            agent: None,
+            bound: 0,
+            deadline: None,
+            walltime: desc.walltime,
+            startup_delay_s: desc.startup_delay_s,
+        };
+        self.registry.update(|r| {
+            r.pilots.insert(
+                id,
+                PilotPublic {
+                    state: PilotState::Pending,
+                    times: PilotTimes {
+                        submitted: now,
+                        ..Default::default()
+                    },
+                    site,
+                    label: desc.label.clone(),
+                },
+            );
+        });
+        let delay = rt.startup_delay_s;
+        self.pilots.insert(id, rt);
+        if delay > 0.0 {
+            let tx = self.self_tx.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_secs_f64(delay));
+                let _ = tx.send(Msg::PilotUp(id));
+            });
+        } else {
+            self.pilot_up(id);
+        }
+    }
+
+    fn pilot_up(&mut self, id: PilotId) {
+        let now = self.now();
+        let Some(p) = self.pilots.get_mut(&id) else {
+            return;
+        };
+        if p.state != PilotState::Pending {
+            return; // canceled before startup
+        }
+        p.state = PilotState::Active;
+        p.agent = Some(Agent::new(id, p.cores, self.epoch, self.report_tx.clone()));
+        // Arm the walltime only for finite requests.
+        if p.walltime != SimDuration::MAX {
+            let wt = p.walltime.as_secs_f64();
+            p.deadline = Some(Instant::now() + Duration::from_secs_f64(wt));
+            let tx = self.self_tx.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_secs_f64(wt));
+                let _ = tx.send(Msg::PilotExpired(id));
+            });
+        }
+        self.registry.update(|r| {
+            if let Some(pp) = r.pilots.get_mut(&id) {
+                pp.state = PilotState::Active;
+                pp.times.active = Some(now);
+            }
+        });
+        self.schedule();
+    }
+
+    fn submit_unit(&mut self, id: UnitId, desc: UnitDescription, kernel: Arc<dyn WorkKernel>) {
+        let now = self.now();
+        if self.shutting_down {
+            // Refuse late submissions but keep the open-unit count balanced.
+            let tag = desc.tag.clone();
+            self.registry.update(|r| {
+                r.units.insert(
+                    id,
+                    UnitPublic {
+                        state: UnitState::Canceled,
+                        times: UnitTimes {
+                            submitted: now,
+                            finished: Some(now),
+                            ..Default::default()
+                        },
+                        pilot: None,
+                        tag,
+                        output: None,
+                    },
+                );
+                r.open_units -= 1;
+            });
+            return;
+        }
+        let tag = desc.tag.clone();
+        self.units.insert(
+            id,
+            UnitRt {
+                desc,
+                kernel,
+                state: UnitState::Pending,
+                pilot: None,
+                cancel_flag: Arc::new(AtomicBool::new(false)),
+            },
+        );
+        self.pending.push(id);
+        self.registry.update(|r| {
+            r.units.insert(
+                id,
+                UnitPublic {
+                    state: UnitState::Pending,
+                    times: UnitTimes {
+                        submitted: now,
+                        ..Default::default()
+                    },
+                    pilot: None,
+                    tag,
+                    output: None,
+                },
+            );
+        });
+        self.schedule();
+    }
+
+    /// Late binding: repeatedly bind the highest-priority pending unit that
+    /// fits somewhere, until nothing more binds.
+    fn schedule(&mut self) {
+        // Priority order: higher priority first, then FIFO by id.
+        self.pending
+            .sort_by_key(|id| (-self.units[id].desc.priority, id.0));
+        loop {
+            // Pending pilots are visible with zero free cores so that
+            // delay-scheduling policies (data-aware) can wait for capacity
+            // that is already on its way instead of binding remotely.
+            let snapshots: Vec<PilotSnapshot> = self
+                .pilots
+                .iter()
+                .filter(|(_, p)| {
+                    (p.state == PilotState::Active && p.accepting)
+                        || p.state == PilotState::Pending
+                })
+                .map(|(&id, p)| PilotSnapshot {
+                    pilot: id,
+                    site: p.site,
+                    total_cores: p.cores,
+                    free_cores: if p.state == PilotState::Pending {
+                        0
+                    } else {
+                        p.free_cores
+                    },
+                    bound_units: p.bound,
+                    remaining_walltime_s: p
+                        .deadline
+                        .map(|d| d.saturating_duration_since(Instant::now()).as_secs_f64())
+                        .unwrap_or(f64::INFINITY),
+                })
+                .collect();
+            if snapshots.is_empty() {
+                return;
+            }
+            let mut bound_any = false;
+            for i in 0..self.pending.len() {
+                let uid = self.pending[i];
+                let unit = &self.units[&uid];
+                let choice = self.scheduler.select(
+                    &UnitRequest {
+                        unit: uid,
+                        desc: &unit.desc,
+                    },
+                    &snapshots,
+                );
+                if let Some(pid) = choice {
+                    self.bind(uid, pid);
+                    self.pending.remove(i);
+                    bound_any = true;
+                    break; // snapshots are stale; rebuild
+                }
+            }
+            if !bound_any {
+                return;
+            }
+        }
+    }
+
+    fn bind(&mut self, uid: UnitId, pid: PilotId) {
+        let now = self.now();
+        let unit = self.units.get_mut(&uid).expect("pending unit exists");
+        let p = self.pilots.get_mut(&pid).expect("scheduler returned live pilot");
+        assert!(
+            p.free_cores >= unit.desc.cores,
+            "scheduler over-committed pilot {pid}"
+        );
+        p.free_cores -= unit.desc.cores;
+        p.bound += 1;
+        unit.state = UnitState::Assigned;
+        unit.pilot = Some(pid);
+        let assignment = Assignment {
+            unit: uid,
+            cores: unit.desc.cores,
+            kernel: Arc::clone(&unit.kernel),
+            cancel_flag: Arc::clone(&unit.cancel_flag),
+        };
+        p.agent.as_ref().expect("active pilot has agent").submit(assignment);
+        self.registry.update(|r| {
+            if let Some(u) = r.units.get_mut(&uid) {
+                u.state = UnitState::Assigned;
+                u.pilot = Some(pid);
+                u.times.bound = Some(now);
+            }
+        });
+    }
+
+    fn on_report(&mut self, rep: AgentReport) {
+        match rep {
+            AgentReport::Started { unit, t } => {
+                if let Some(u) = self.units.get_mut(&unit) {
+                    u.state = UnitState::Running;
+                }
+                self.registry.update(|r| {
+                    if let Some(u) = r.units.get_mut(&unit) {
+                        u.state = UnitState::Running;
+                        u.times.started = Some(t);
+                    }
+                });
+            }
+            AgentReport::Finished { unit, t, result } => {
+                let state = if result.is_ok() {
+                    UnitState::Done
+                } else {
+                    UnitState::Failed
+                };
+                self.finish_unit(unit, t, state, Some(result));
+            }
+            AgentReport::Skipped { unit, t } => {
+                self.finish_unit(unit, t, UnitState::Canceled, None);
+            }
+        }
+    }
+
+    fn finish_unit(
+        &mut self,
+        uid: UnitId,
+        t: f64,
+        state: UnitState,
+        output: Option<Result<TaskOutput, TaskError>>,
+    ) {
+        let Some(u) = self.units.get_mut(&uid) else {
+            return;
+        };
+        u.state = state;
+        let pilot = u.pilot;
+        let cores = u.desc.cores;
+        if let Some(pid) = pilot {
+            if let Some(p) = self.pilots.get_mut(&pid) {
+                p.free_cores += cores;
+                p.bound -= 1;
+            }
+        }
+        self.registry.update(|r| {
+            if let Some(up) = r.units.get_mut(&uid) {
+                up.state = state;
+                up.times.finished = Some(t);
+                up.output = output;
+            }
+            r.open_units -= 1;
+        });
+        // A draining pilot with nothing left finalizes now.
+        if let Some(pid) = pilot {
+            self.maybe_finalize_pilot(pid);
+        }
+        self.schedule();
+    }
+
+    fn teardown_pilot(&mut self, pid: PilotId, to: PilotState) {
+        let Some(p) = self.pilots.get_mut(&pid) else {
+            return;
+        };
+        match p.state {
+            PilotState::Pending => {
+                p.state = to;
+                let now = self.now();
+                self.registry.update(|r| {
+                    if let Some(pp) = r.pilots.get_mut(&pid) {
+                        pp.state = to;
+                        pp.times.finished = Some(now);
+                    }
+                });
+            }
+            PilotState::Active => {
+                p.accepting = false;
+                p.drain_to = to;
+                self.maybe_finalize_pilot(pid);
+            }
+            _ => {}
+        }
+    }
+
+    fn maybe_finalize_pilot(&mut self, pid: PilotId) {
+        let Some(p) = self.pilots.get_mut(&pid) else {
+            return;
+        };
+        if p.state == PilotState::Active && !p.accepting && p.bound == 0 {
+            let to = p.drain_to;
+            p.state = to;
+            if let Some(agent) = p.agent.take() {
+                agent.stop();
+                // Joining here is safe: the agent has no queued work left.
+                agent.join();
+            }
+            let now = self.now();
+            self.registry.update(|r| {
+                if let Some(pp) = r.pilots.get_mut(&pid) {
+                    pp.state = to;
+                    pp.times.finished = Some(now);
+                }
+            });
+        }
+    }
+
+    fn cancel_unit(&mut self, uid: UnitId) {
+        let Some(u) = self.units.get_mut(&uid) else {
+            return;
+        };
+        match u.state {
+            UnitState::Pending => {
+                u.state = UnitState::Canceled;
+                self.pending.retain(|&p| p != uid);
+                let now = self.now();
+                self.registry.update(|r| {
+                    if let Some(up) = r.units.get_mut(&uid) {
+                        up.state = UnitState::Canceled;
+                        up.times.finished = Some(now);
+                    }
+                    r.open_units -= 1;
+                });
+            }
+            UnitState::Assigned => {
+                // The agent will observe the flag and skip.
+                u.cancel_flag.store(true, Ordering::Release);
+            }
+            _ => {} // running or terminal: cooperative semantics, no-op
+        }
+    }
+
+    fn begin_shutdown(&mut self) {
+        self.shutting_down = true;
+        // Cancel everything still pending.
+        let pending = std::mem::take(&mut self.pending);
+        let now = self.now();
+        for uid in pending {
+            if let Some(u) = self.units.get_mut(&uid) {
+                u.state = UnitState::Canceled;
+            }
+            self.registry.update(|r| {
+                if let Some(up) = r.units.get_mut(&uid) {
+                    up.state = UnitState::Canceled;
+                    up.times.finished = Some(now);
+                }
+                r.open_units -= 1;
+            });
+        }
+        // Drain all pilots.
+        let pids: Vec<PilotId> = self.pilots.keys().copied().collect();
+        for pid in pids {
+            self.teardown_pilot(pid, PilotState::Done);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{FirstFitScheduler, LoadBalanceScheduler};
+    use crate::thread::kernel::{kernel_fn, SyntheticKernel, TaskOutput};
+
+    fn svc() -> ThreadPilotService {
+        ThreadPilotService::new(Box::new(FirstFitScheduler))
+    }
+
+    fn forever() -> SimDuration {
+        SimDuration::MAX
+    }
+
+    #[test]
+    fn submit_run_wait_roundtrip() {
+        let s = svc();
+        let p = s.submit_pilot(PilotDescription::new(2, forever()));
+        assert!(s.wait_pilot_active(p));
+        let u = s.submit_unit(
+            UnitDescription::new(1),
+            kernel_fn(|ctx| Ok(TaskOutput::of(ctx.cores + 41))),
+        );
+        let out = s.wait_unit(u);
+        assert_eq!(out.state, UnitState::Done);
+        assert_eq!(out.output.unwrap().unwrap().downcast::<u32>(), Some(42));
+        assert!(out.times.turnaround().unwrap() >= 0.0);
+        let report = s.shutdown();
+        assert_eq!(report.units.len(), 1);
+        assert_eq!(report.pilots.len(), 1);
+        assert_eq!(report.done_unit_times().len(), 1);
+    }
+
+    #[test]
+    fn late_binding_unit_waits_for_pilot() {
+        let s = svc();
+        // Unit submitted first; no pilot yet.
+        let u = s.submit_unit(
+            UnitDescription::new(1),
+            kernel_fn(|_| Ok(TaskOutput::none())),
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(s.unit_state(u), Some(UnitState::Pending));
+        // Pilot arrives; unit binds and completes.
+        let _p = s.submit_pilot(PilotDescription::new(1, forever()));
+        let out = s.wait_unit(u);
+        assert_eq!(out.state, UnitState::Done);
+        assert!(
+            out.times.wait().unwrap() >= 0.025,
+            "wait should include the pilot-less gap"
+        );
+    }
+
+    #[test]
+    fn startup_delay_shows_in_pilot_times() {
+        let s = svc();
+        let p = s.submit_pilot(PilotDescription::new(1, forever()).with_startup_delay(0.08));
+        assert!(s.wait_pilot_active(p));
+        let report = s.shutdown();
+        let (_, _, _, _, times) = &report.pilots[0];
+        assert!(times.startup_overhead().unwrap() >= 0.08);
+    }
+
+    #[test]
+    fn failing_kernel_marks_unit_failed() {
+        let s = svc();
+        s.submit_pilot(PilotDescription::new(1, forever()));
+        let u = s.submit_unit(
+            UnitDescription::new(1),
+            kernel_fn(|_| Err(TaskError("deliberate".into()))),
+        );
+        let out = s.wait_unit(u);
+        assert_eq!(out.state, UnitState::Failed);
+        assert_eq!(out.output.unwrap().unwrap_err().0, "deliberate");
+    }
+
+    #[test]
+    fn panicking_kernel_marks_unit_failed_and_pilot_survives() {
+        let s = svc();
+        s.submit_pilot(PilotDescription::new(1, forever()));
+        let bad = s.submit_unit(UnitDescription::new(1), kernel_fn(|_| panic!("chaos")));
+        let out = s.wait_unit(bad);
+        assert_eq!(out.state, UnitState::Failed);
+        // Pilot still works.
+        let good = s.submit_unit(
+            UnitDescription::new(1),
+            kernel_fn(|_| Ok(TaskOutput::of(1u8))),
+        );
+        assert_eq!(s.wait_unit(good).state, UnitState::Done);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        // 2-core pilot, four 1-core units that each hold a token: at most 2
+        // may overlap.
+        use std::sync::atomic::AtomicU32;
+        let s = svc();
+        s.submit_pilot(PilotDescription::new(2, forever()));
+        let live = Arc::new(AtomicU32::new(0));
+        let peak = Arc::new(AtomicU32::new(0));
+        let mk = |live: Arc<AtomicU32>, peak: Arc<AtomicU32>| {
+            kernel_fn(move |_| {
+                let n = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(n, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(40));
+                live.fetch_sub(1, Ordering::SeqCst);
+                Ok(TaskOutput::none())
+            })
+        };
+        let units: Vec<UnitId> = (0..4)
+            .map(|_| {
+                s.submit_unit(
+                    UnitDescription::new(1),
+                    mk(Arc::clone(&live), Arc::clone(&peak)),
+                )
+            })
+            .collect();
+        for u in units {
+            assert_eq!(s.wait_unit(u).state, UnitState::Done);
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "over-committed");
+        assert_eq!(peak.load(Ordering::SeqCst), 2, "should use both cores");
+    }
+
+    #[test]
+    fn multicore_unit_reserves_cores() {
+        let s = svc();
+        s.submit_pilot(PilotDescription::new(2, forever()));
+        // A 2-core unit blocks a 1-core unit from overlapping.
+        let t0 = Instant::now();
+        let wide = s.submit_unit(
+            UnitDescription::new(2),
+            Arc::new(SyntheticKernel::new(0.05)),
+        );
+        let narrow = s.submit_unit(
+            UnitDescription::new(1),
+            kernel_fn(|_| Ok(TaskOutput::none())),
+        );
+        s.wait_unit(wide);
+        let out = s.wait_unit(narrow);
+        assert!(
+            out.times.started.unwrap() >= 0.05 - 0.005,
+            "narrow unit must wait for the wide one, started at {:?} (t0 {:?})",
+            out.times.started,
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn cancel_pending_unit() {
+        let s = svc();
+        // No pilot: unit stays pending.
+        let u = s.submit_unit(
+            UnitDescription::new(1),
+            kernel_fn(|_| Ok(TaskOutput::none())),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        s.cancel_unit(u);
+        let out = s.wait_unit(u);
+        assert_eq!(out.state, UnitState::Canceled);
+        assert!(out.output.is_none());
+    }
+
+    #[test]
+    fn pilot_walltime_expiry_drains() {
+        let s = svc();
+        let p = s.submit_pilot(PilotDescription::new(1, SimDuration::from_millis(80)));
+        assert!(s.wait_pilot_active(p));
+        let u = s.submit_unit(
+            UnitDescription::new(1),
+            Arc::new(SyntheticKernel::new(0.02)),
+        );
+        assert_eq!(s.wait_unit(u).state, UnitState::Done);
+        // After expiry the pilot is Done and accepts nothing.
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(s.pilot_state(p), Some(PilotState::Done));
+        let orphan = s.submit_unit(
+            UnitDescription::new(1),
+            kernel_fn(|_| Ok(TaskOutput::none())),
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(s.unit_state(orphan), Some(UnitState::Pending));
+        s.cancel_unit(orphan);
+    }
+
+    #[test]
+    fn cancel_pilot_before_startup() {
+        let s = svc();
+        let p = s.submit_pilot(PilotDescription::new(1, forever()).with_startup_delay(5.0));
+        s.cancel_pilot(p);
+        assert!(!s.wait_pilot_active(p));
+        assert_eq!(s.pilot_state(p), Some(PilotState::Canceled));
+    }
+
+    #[test]
+    fn load_balance_spreads_units_across_pilots() {
+        let s = ThreadPilotService::new(Box::new(LoadBalanceScheduler));
+        let p1 = s.submit_pilot(PilotDescription::new(2, forever()));
+        let p2 = s.submit_pilot(PilotDescription::new(2, forever()));
+        s.wait_pilot_active(p1);
+        s.wait_pilot_active(p2);
+        let units: Vec<UnitId> = (0..4)
+            .map(|_| {
+                s.submit_unit(
+                    UnitDescription::new(1),
+                    Arc::new(SyntheticKernel::new(0.05)),
+                )
+            })
+            .collect();
+        for u in &units {
+            s.wait_unit(*u);
+        }
+        let report = s.shutdown();
+        let on_p1 = report.units.iter().filter(|u| u.pilot == Some(p1)).count();
+        let on_p2 = report.units.iter().filter(|u| u.pilot == Some(p2)).count();
+        assert_eq!(on_p1, 2);
+        assert_eq!(on_p2, 2);
+    }
+
+    #[test]
+    fn priority_orders_pending_queue() {
+        let s = svc();
+        // 1-core pilot ⇒ strictly serial execution; submit while busy.
+        s.submit_pilot(PilotDescription::new(1, forever()));
+        let blocker = s.submit_unit(
+            UnitDescription::new(1),
+            Arc::new(SyntheticKernel::new(0.08)),
+        );
+        std::thread::sleep(Duration::from_millis(20)); // let it start
+        let low = s.submit_unit(
+            UnitDescription::new(1).with_priority(1).tagged("low"),
+            kernel_fn(|_| Ok(TaskOutput::none())),
+        );
+        let high = s.submit_unit(
+            UnitDescription::new(1).with_priority(10).tagged("high"),
+            kernel_fn(|_| Ok(TaskOutput::none())),
+        );
+        s.wait_unit(blocker);
+        let high_out = s.wait_unit(high);
+        let low_out = s.wait_unit(low);
+        assert!(
+            high_out.times.started.unwrap() <= low_out.times.started.unwrap(),
+            "high priority must run first"
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn wait_all_units_and_timeout() {
+        let s = svc();
+        s.submit_pilot(PilotDescription::new(4, forever()));
+        for _ in 0..8 {
+            s.submit_unit(
+                UnitDescription::new(1),
+                Arc::new(SyntheticKernel::new(0.01)),
+            );
+        }
+        assert!(s.wait_all_units_timeout(Duration::from_secs(10)));
+        s.wait_all_units(); // immediate
+    }
+
+    #[test]
+    fn shutdown_cancels_pending_units() {
+        let s = svc();
+        // No pilots: everything stays pending and must be canceled on shutdown.
+        for _ in 0..3 {
+            s.submit_unit(
+                UnitDescription::new(1),
+                kernel_fn(|_| Ok(TaskOutput::none())),
+            );
+        }
+        let report = s.shutdown();
+        assert_eq!(report.units.len(), 3);
+        assert!(report
+            .units
+            .iter()
+            .all(|u| u.state == UnitState::Canceled));
+    }
+
+    #[test]
+    fn overhead_breakdown_from_report() {
+        let s = svc();
+        s.submit_pilot(PilotDescription::new(4, forever()));
+        for _ in 0..10 {
+            s.submit_unit(
+                UnitDescription::new(1),
+                Arc::new(SyntheticKernel::new(0.005)),
+            );
+        }
+        s.wait_all_units();
+        let report = s.shutdown();
+        let times = report.done_unit_times();
+        let b = crate::metrics::overhead_breakdown(times.iter());
+        assert_eq!(b.execution.n, 10);
+        assert!(b.execution.mean >= 0.005);
+        assert!(b.overhead.mean < 0.5, "middleware overhead should be small");
+    }
+}

@@ -1,0 +1,34 @@
+//! Regression test for EXP PD-1: when pilots exist at every data site, the
+//! data-aware scheduler must *wait* for a local slot (delay scheduling)
+//! instead of binding units remotely — including during the window where
+//! pilots are still pending.
+
+use pilot_core::describe::{DataLocation, PilotDescription, UnitDescription};
+use pilot_core::scheduler::DataAwareScheduler;
+use pilot_core::sim::SimPilotSystem;
+use pilot_infra::hpc::{HpcCluster, HpcConfig};
+use pilot_saga::ResourceAdaptor;
+use pilot_sim::{SimDuration, SimTime};
+
+#[test]
+fn data_aware_delay_scheduling_avoids_remote_staging() {
+    let mut sys = SimPilotSystem::new(0xAD1);
+    let a = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet("a", 64))));
+    let b = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet("b", 64))));
+    sys.set_scheduler(Box::new(DataAwareScheduler));
+    for site in [a, b] {
+        sys.submit_pilot(SimTime::ZERO, site, PilotDescription::new(16, SimDuration::from_hours(12)));
+    }
+    for i in 0..40 {
+        let home = if i % 2 == 0 { a } else { b };
+        sys.submit_unit_fixed(
+            SimTime::ZERO,
+            UnitDescription::new(1).with_inputs(vec![DataLocation::new(500_000_000, vec![home])]),
+            60.0,
+        );
+    }
+    let report = sys.run(SimTime::from_hours(48));
+    let stagings: Vec<f64> = report.units.iter().filter_map(|u| u.times.staging()).collect();
+    let mean = stagings.iter().sum::<f64>() / stagings.len() as f64;
+    assert!(mean < 0.5, "mean staging {mean}");
+}

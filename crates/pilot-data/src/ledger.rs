@@ -1,0 +1,112 @@
+//! Transfer ledger: every byte moved between sites, with its virtual
+//! wide-area cost. The PD experiments' primary instrument.
+
+use pilot_infra::types::SiteId;
+use std::collections::HashMap;
+
+/// One recorded transfer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferRecord {
+    /// Source site.
+    pub src: SiteId,
+    /// Destination site.
+    pub dst: SiteId,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Virtual seconds the transfer would take over the modeled network.
+    pub virtual_seconds: f64,
+}
+
+/// Append-only transfer accounting.
+#[derive(Clone, Debug, Default)]
+pub struct TransferLedger {
+    records: Vec<TransferRecord>,
+}
+
+impl TransferLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a transfer.
+    pub fn record(&mut self, src: SiteId, dst: SiteId, bytes: u64, virtual_seconds: f64) {
+        self.records.push(TransferRecord {
+            src,
+            dst,
+            bytes,
+            virtual_seconds,
+        });
+    }
+
+    /// All records in order.
+    pub fn records(&self) -> &[TransferRecord] {
+        &self.records
+    }
+
+    /// Total bytes moved *between distinct sites* (local movement is free).
+    pub fn remote_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.src != r.dst)
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    /// Total bytes including intra-site movement.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Sum of virtual transfer seconds.
+    pub fn virtual_seconds(&self) -> f64 {
+        self.records.iter().map(|r| r.virtual_seconds).sum()
+    }
+
+    /// Bytes per directed site pair.
+    pub fn by_pair(&self) -> HashMap<(SiteId, SiteId), u64> {
+        let mut m = HashMap::new();
+        for r in &self.records {
+            *m.entry((r.src, r.dst)).or_insert(0) += r.bytes;
+        }
+        m
+    }
+
+    /// Number of transfers recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let mut l = TransferLedger::new();
+        l.record(SiteId(0), SiteId(1), 100, 1.0);
+        l.record(SiteId(0), SiteId(1), 50, 0.5);
+        l.record(SiteId(1), SiteId(1), 900, 0.01);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.remote_bytes(), 150);
+        assert_eq!(l.total_bytes(), 1050);
+        assert!((l.virtual_seconds() - 1.51).abs() < 1e-12);
+        let pairs = l.by_pair();
+        assert_eq!(pairs[&(SiteId(0), SiteId(1))], 150);
+        assert_eq!(pairs[&(SiteId(1), SiteId(1))], 900);
+    }
+
+    #[test]
+    fn empty_ledger() {
+        let l = TransferLedger::new();
+        assert!(l.is_empty());
+        assert_eq!(l.remote_bytes(), 0);
+        assert_eq!(l.virtual_seconds(), 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # pilot-data — data as a first-class citizen of the pilot-abstraction
+//!
+//! Implements the Pilot-Data extension (\[66\] in the paper): alongside compute
+//! pilots, applications allocate **data pilots** (storage placeholders on a
+//! site) and register **data units** (logical datasets) into them. The data
+//! service tracks replica placement, moves bytes between sites (recording
+//! both the real memory traffic and the *virtual* wide-area cost through the
+//! network model), and exports [`pilot_core::DataLocation`] views so the
+//! data-aware scheduler can bind compute units next to their inputs.
+//!
+//! The experiments this powers:
+//! - **EXP PD-1** — data-aware vs. data-oblivious placement: the
+//!   [`TransferLedger`] shows bytes moved and virtual staging seconds.
+//! - **EXP PD-2** — replication-factor sweep: read throughput rises as
+//!   replicas spread across sites.
+
+pub mod ledger;
+pub mod placement;
+pub mod service;
+pub mod unit;
+
+pub use ledger::{TransferLedger, TransferRecord};
+pub use placement::{AffinityFirst, LeastLoaded, PlacementStrategy, RoundRobinPlacement};
+pub use service::{DataPilotDescription, DataPilotId, DataService, DataServiceError};
+pub use unit::{DataUnitDescription, DataUnitId, DataUnitState};

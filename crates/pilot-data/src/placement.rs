@@ -1,0 +1,198 @@
+//! Replica placement strategies: which data pilot receives a new replica.
+//!
+//! Strategies are pure functions over capacity snapshots, mirroring the
+//! compute-side `Scheduler` design so placement ablations work the same way.
+
+use crate::service::DataPilotId;
+use pilot_infra::types::SiteId;
+
+/// Capacity snapshot of one data pilot.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreSnapshot {
+    /// Which data pilot.
+    pub store: DataPilotId,
+    /// Site the storage lives on.
+    pub site: SiteId,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Bytes already stored.
+    pub used: u64,
+}
+
+impl StoreSnapshot {
+    /// Remaining capacity.
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used)
+    }
+}
+
+/// A replica placement policy.
+pub trait PlacementStrategy: Send {
+    /// Choose a store for a replica of `size` bytes, preferring `affinity`
+    /// when given and avoiding sites in `exclude` (existing replicas).
+    fn place(
+        &mut self,
+        size: u64,
+        affinity: Option<SiteId>,
+        exclude: &[SiteId],
+        stores: &[StoreSnapshot],
+    ) -> Option<DataPilotId>;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn feasible<'a>(
+    size: u64,
+    exclude: &'a [SiteId],
+    stores: &'a [StoreSnapshot],
+) -> impl Iterator<Item = &'a StoreSnapshot> + 'a {
+    stores
+        .iter()
+        .filter(move |s| s.free() >= size && !exclude.contains(&s.site))
+}
+
+/// Cycle through stores (capacity permitting). Spreads replicas evenly.
+#[derive(Default, Debug)]
+pub struct RoundRobinPlacement {
+    cursor: usize,
+}
+
+impl PlacementStrategy for RoundRobinPlacement {
+    fn place(
+        &mut self,
+        size: u64,
+        _affinity: Option<SiteId>,
+        exclude: &[SiteId],
+        stores: &[StoreSnapshot],
+    ) -> Option<DataPilotId> {
+        if stores.is_empty() {
+            return None;
+        }
+        let n = stores.len();
+        for i in 0..n {
+            let s = &stores[(self.cursor + i) % n];
+            if s.free() >= size && !exclude.contains(&s.site) {
+                self.cursor = (self.cursor + i + 1) % n;
+                return Some(s.store);
+            }
+        }
+        None
+    }
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Honor the affinity hint when possible, else fall back to most-free.
+#[derive(Default, Debug)]
+pub struct AffinityFirst;
+
+impl PlacementStrategy for AffinityFirst {
+    fn place(
+        &mut self,
+        size: u64,
+        affinity: Option<SiteId>,
+        exclude: &[SiteId],
+        stores: &[StoreSnapshot],
+    ) -> Option<DataPilotId> {
+        if let Some(site) = affinity {
+            if let Some(s) = feasible(size, exclude, stores).find(|s| s.site == site) {
+                return Some(s.store);
+            }
+        }
+        feasible(size, exclude, stores)
+            .max_by_key(|s| s.free())
+            .map(|s| s.store)
+    }
+    fn name(&self) -> &'static str {
+        "affinity-first"
+    }
+}
+
+/// Always the store with the most free bytes.
+#[derive(Default, Debug)]
+pub struct LeastLoaded;
+
+impl PlacementStrategy for LeastLoaded {
+    fn place(
+        &mut self,
+        size: u64,
+        _affinity: Option<SiteId>,
+        exclude: &[SiteId],
+        stores: &[StoreSnapshot],
+    ) -> Option<DataPilotId> {
+        feasible(size, exclude, stores)
+            .max_by_key(|s| s.free())
+            .map(|s| s.store)
+    }
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(id: u64, site: u16, capacity: u64, used: u64) -> StoreSnapshot {
+        StoreSnapshot {
+            store: DataPilotId(id),
+            site: SiteId(site),
+            capacity,
+            used,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_and_respects_capacity() {
+        let mut p = RoundRobinPlacement::default();
+        let stores = [snap(1, 0, 100, 0), snap(2, 1, 100, 0), snap(3, 2, 10, 0)];
+        assert_eq!(p.place(50, None, &[], &stores), Some(DataPilotId(1)));
+        assert_eq!(p.place(50, None, &[], &stores), Some(DataPilotId(2)));
+        // Store 3 is too small for 50 bytes: skipped.
+        assert_eq!(p.place(50, None, &[], &stores), Some(DataPilotId(1)));
+    }
+
+    #[test]
+    fn affinity_first_honors_hint_and_falls_back() {
+        let mut p = AffinityFirst;
+        let stores = [snap(1, 0, 100, 90), snap(2, 1, 100, 0)];
+        assert_eq!(
+            p.place(5, Some(SiteId(0)), &[], &stores),
+            Some(DataPilotId(1))
+        );
+        // Hinted store too full for 50 bytes: falls back to most free.
+        assert_eq!(
+            p.place(50, Some(SiteId(0)), &[], &stores),
+            Some(DataPilotId(2))
+        );
+        assert_eq!(p.place(5, Some(SiteId(9)), &[], &stores), Some(DataPilotId(2)));
+    }
+
+    #[test]
+    fn exclusion_prevents_same_site_replicas() {
+        let mut p = LeastLoaded;
+        let stores = [snap(1, 0, 1000, 0), snap(2, 1, 500, 0)];
+        assert_eq!(
+            p.place(10, None, &[SiteId(0)], &stores),
+            Some(DataPilotId(2))
+        );
+        assert_eq!(p.place(10, None, &[SiteId(0), SiteId(1)], &stores), None);
+    }
+
+    #[test]
+    fn no_feasible_store_returns_none() {
+        let mut rr = RoundRobinPlacement::default();
+        assert_eq!(rr.place(10, None, &[], &[]), None);
+        let tiny = [snap(1, 0, 5, 0)];
+        assert_eq!(rr.place(10, None, &[], &tiny), None);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(RoundRobinPlacement::default().name(), "round-robin");
+        assert_eq!(AffinityFirst.name(), "affinity-first");
+        assert_eq!(LeastLoaded.name(), "least-loaded");
+    }
+}

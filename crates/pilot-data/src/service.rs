@@ -1,0 +1,514 @@
+//! The data service: data pilots (storage placeholders), data units with
+//! replicas, staged reads, and locality views for the compute scheduler.
+//!
+//! Thread-safe (`&self` methods, internal `RwLock`): work kernels fetch their
+//! inputs from inside compute units while the driver registers new datasets.
+
+use crate::ledger::TransferLedger;
+use crate::placement::{PlacementStrategy, StoreSnapshot};
+use crate::unit::{DataUnitDescription, DataUnitId, DataUnitState};
+use parking_lot::RwLock;
+use pilot_core::describe::DataLocation;
+use pilot_infra::network::NetworkModel;
+use pilot_infra::types::SiteId;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a data pilot (storage placeholder).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DataPilotId(pub u64);
+
+impl fmt::Display for DataPilotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dp-{}", self.0)
+    }
+}
+
+/// Request for a storage placeholder.
+#[derive(Clone, Debug)]
+pub struct DataPilotDescription {
+    /// Site the storage lives on.
+    pub site: SiteId,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Free-form label.
+    pub label: String,
+}
+
+impl DataPilotDescription {
+    /// Storage of `capacity` bytes at `site`.
+    pub fn new(site: SiteId, capacity: u64) -> Self {
+        DataPilotDescription {
+            site,
+            capacity,
+            label: String::new(),
+        }
+    }
+}
+
+/// Errors surfaced by the data service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataServiceError {
+    /// No store can hold the replica.
+    NoCapacity,
+    /// Unknown data unit.
+    UnknownUnit(DataUnitId),
+    /// Unknown data pilot.
+    UnknownStore(DataPilotId),
+    /// The unit was deleted.
+    Deleted(DataUnitId),
+    /// A replica already exists at the requested site.
+    AlreadyReplicated(SiteId),
+}
+
+impl fmt::Display for DataServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataServiceError::NoCapacity => write!(f, "no store has capacity"),
+            DataServiceError::UnknownUnit(u) => write!(f, "unknown data unit {u}"),
+            DataServiceError::UnknownStore(s) => write!(f, "unknown data pilot {s}"),
+            DataServiceError::Deleted(u) => write!(f, "data unit {u} was deleted"),
+            DataServiceError::AlreadyReplicated(s) => {
+                write!(f, "replica already present at {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataServiceError {}
+
+struct Store {
+    site: SiteId,
+    capacity: u64,
+    used: u64,
+    label: String,
+}
+
+struct Unit {
+    desc: DataUnitDescription,
+    size: u64,
+    /// Replicas: store holding the bytes. Payload shared, never duplicated
+    /// in memory — the *accounting* duplicates, as real storage would.
+    replicas: Vec<DataPilotId>,
+    payload: Arc<Vec<u8>>,
+    state: DataUnitState,
+}
+
+struct Inner {
+    stores: HashMap<DataPilotId, Store>,
+    store_order: Vec<DataPilotId>,
+    units: HashMap<DataUnitId, Unit>,
+    ledger: TransferLedger,
+    next_id: u64,
+}
+
+/// The Pilot-Data service. See the [module docs](self).
+pub struct DataService {
+    network: NetworkModel,
+    placement: parking_lot::Mutex<Box<dyn PlacementStrategy>>,
+    inner: RwLock<Inner>,
+}
+
+impl DataService {
+    /// New service over a network model with the given placement policy.
+    pub fn new(network: NetworkModel, placement: Box<dyn PlacementStrategy>) -> Self {
+        DataService {
+            network,
+            placement: parking_lot::Mutex::new(placement),
+            inner: RwLock::new(Inner {
+                stores: HashMap::new(),
+                store_order: Vec::new(),
+                units: HashMap::new(),
+                ledger: TransferLedger::new(),
+                next_id: 1,
+            }),
+        }
+    }
+
+    /// Allocate a data pilot.
+    pub fn add_data_pilot(&self, desc: DataPilotDescription) -> DataPilotId {
+        let mut g = self.inner.write();
+        let id = DataPilotId(g.next_id);
+        g.next_id += 1;
+        g.stores.insert(
+            id,
+            Store {
+                site: desc.site,
+                capacity: desc.capacity,
+                used: 0,
+                label: desc.label,
+            },
+        );
+        g.store_order.push(id);
+        id
+    }
+
+    fn snapshots(g: &Inner) -> Vec<StoreSnapshot> {
+        g.store_order
+            .iter()
+            .map(|id| {
+                let s = &g.stores[id];
+                StoreSnapshot {
+                    store: *id,
+                    site: s.site,
+                    capacity: s.capacity,
+                    used: s.used,
+                }
+            })
+            .collect()
+    }
+
+    /// Register a dataset. Places the primary replica per the description's
+    /// affinity, then additional replicas (up to `desc.replicas`) on other
+    /// sites; under-replication is not an error (state reflects it).
+    pub fn put(
+        &self,
+        bytes: Vec<u8>,
+        desc: DataUnitDescription,
+    ) -> Result<DataUnitId, DataServiceError> {
+        let size = bytes.len() as u64;
+        let mut g = self.inner.write();
+        let mut placement = self.placement.lock();
+        let snaps = Self::snapshots(&g);
+        let primary = placement
+            .place(size, desc.affinity, &[], &snaps)
+            .ok_or(DataServiceError::NoCapacity)?;
+        let mut replicas = vec![primary];
+        let mut sites = vec![g.stores[&primary].site];
+        // Account the primary immediately so later placements see it.
+        g.stores.get_mut(&primary).expect("placed store").used += size;
+        for _ in 1..desc.replicas {
+            let snaps = Self::snapshots(&g);
+            match placement.place(size, None, &sites, &snaps) {
+                Some(store) => {
+                    let site = g.stores[&store].site;
+                    // Creating a replica moves bytes from the primary's site.
+                    let cost = self
+                        .network
+                        .base_transfer_time(size, sites[0], site)
+                        .as_secs_f64();
+                    g.ledger.record(sites[0], site, size, cost);
+                    g.stores.get_mut(&store).expect("placed store").used += size;
+                    replicas.push(store);
+                    sites.push(site);
+                }
+                None => break,
+            }
+        }
+        let state = if replicas.len() as u32 >= desc.replicas {
+            DataUnitState::Ready
+        } else {
+            DataUnitState::UnderReplicated
+        };
+        let id = DataUnitId(g.next_id);
+        g.next_id += 1;
+        g.units.insert(
+            id,
+            Unit {
+                desc,
+                size,
+                replicas,
+                payload: Arc::new(bytes),
+                state,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Add one replica at a specific site (if a store there has room).
+    pub fn replicate(&self, unit: DataUnitId, site: SiteId) -> Result<(), DataServiceError> {
+        let mut g = self.inner.write();
+        let (size, src_site, existing): (u64, SiteId, Vec<SiteId>) = {
+            let u = g
+                .units
+                .get(&unit)
+                .ok_or(DataServiceError::UnknownUnit(unit))?;
+            if u.state == DataUnitState::Deleted {
+                return Err(DataServiceError::Deleted(unit));
+            }
+            let sites: Vec<SiteId> = u.replicas.iter().map(|r| g.stores[r].site).collect();
+            if sites.contains(&site) {
+                return Err(DataServiceError::AlreadyReplicated(site));
+            }
+            (u.size, sites[0], sites)
+        };
+        let target = g
+            .store_order
+            .iter()
+            .copied()
+            .find(|id| {
+                let s = &g.stores[id];
+                s.site == site && s.capacity - s.used >= size
+            })
+            .ok_or(DataServiceError::NoCapacity)?;
+        let cost = self
+            .network
+            .base_transfer_time(size, src_site, site)
+            .as_secs_f64();
+        g.ledger.record(src_site, site, size, cost);
+        g.stores.get_mut(&target).expect("found store").used += size;
+        let desired = {
+            let u = g.units.get_mut(&unit).expect("checked above");
+            u.replicas.push(target);
+            (u.replicas.len() as u32, u.desc.replicas)
+        };
+        let _ = existing;
+        let u = g.units.get_mut(&unit).expect("checked above");
+        if desired.0 >= desired.1 {
+            u.state = DataUnitState::Ready;
+        }
+        Ok(())
+    }
+
+    /// Read a dataset "at" a site. A local replica is free; otherwise the
+    /// bytes come from the nearest replica and the movement is recorded in
+    /// the ledger. Returns the shared payload.
+    pub fn fetch(&self, unit: DataUnitId, at: SiteId) -> Result<Arc<Vec<u8>>, DataServiceError> {
+        let mut g = self.inner.write();
+        let (payload, size, sites) = {
+            let u = g
+                .units
+                .get(&unit)
+                .ok_or(DataServiceError::UnknownUnit(unit))?;
+            if u.state == DataUnitState::Deleted {
+                return Err(DataServiceError::Deleted(unit));
+            }
+            let sites: Vec<SiteId> = u.replicas.iter().map(|r| g.stores[r].site).collect();
+            (Arc::clone(&u.payload), u.size, sites)
+        };
+        if !sites.contains(&at) {
+            // Nearest replica = cheapest transfer under the model.
+            let src = sites
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    self.network
+                        .base_transfer_time(size, a, at)
+                        .cmp(&self.network.base_transfer_time(size, b, at))
+                })
+                .ok_or(DataServiceError::UnknownUnit(unit))?;
+            let cost = self.network.base_transfer_time(size, src, at).as_secs_f64();
+            g.ledger.record(src, at, size, cost);
+        }
+        Ok(payload)
+    }
+
+    /// Locality view for the compute scheduler.
+    pub fn location(&self, unit: DataUnitId) -> Result<DataLocation, DataServiceError> {
+        let g = self.inner.read();
+        let u = g
+            .units
+            .get(&unit)
+            .ok_or(DataServiceError::UnknownUnit(unit))?;
+        if u.state == DataUnitState::Deleted {
+            return Err(DataServiceError::Deleted(unit));
+        }
+        let sites = u.replicas.iter().map(|r| g.stores[r].site).collect();
+        Ok(DataLocation::new(u.size, sites))
+    }
+
+    /// Delete a dataset, releasing storage on every replica.
+    pub fn delete(&self, unit: DataUnitId) -> Result<(), DataServiceError> {
+        let mut g = self.inner.write();
+        let (size, replicas) = {
+            let u = g
+                .units
+                .get_mut(&unit)
+                .ok_or(DataServiceError::UnknownUnit(unit))?;
+            if u.state == DataUnitState::Deleted {
+                return Err(DataServiceError::Deleted(unit));
+            }
+            u.state = DataUnitState::Deleted;
+            u.payload = Arc::new(Vec::new());
+            (u.size, std::mem::take(&mut u.replicas))
+        };
+        for r in replicas {
+            if let Some(s) = g.stores.get_mut(&r) {
+                s.used = s.used.saturating_sub(size);
+            }
+        }
+        Ok(())
+    }
+
+    /// Replication state of a unit.
+    pub fn state(&self, unit: DataUnitId) -> Option<DataUnitState> {
+        self.inner.read().units.get(&unit).map(|u| u.state)
+    }
+
+    /// (used, capacity) bytes of a data pilot.
+    pub fn usage(&self, store: DataPilotId) -> Option<(u64, u64)> {
+        self.inner
+            .read()
+            .stores
+            .get(&store)
+            .map(|s| (s.used, s.capacity))
+    }
+
+    /// Label of a data pilot.
+    pub fn store_label(&self, store: DataPilotId) -> Option<String> {
+        self.inner
+            .read()
+            .stores
+            .get(&store)
+            .map(|s| s.label.clone())
+    }
+
+    /// Snapshot of the transfer ledger.
+    pub fn ledger(&self) -> TransferLedger {
+        self.inner.read().ledger.clone()
+    }
+
+    /// The network model in use.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{AffinityFirst, RoundRobinPlacement};
+
+    fn service() -> (DataService, DataPilotId, DataPilotId) {
+        let net = NetworkModel::new(&["a", "b"]);
+        let ds = DataService::new(net, Box::new(AffinityFirst));
+        let a = ds.add_data_pilot(DataPilotDescription::new(SiteId(0), 1_000_000));
+        let b = ds.add_data_pilot(DataPilotDescription::new(SiteId(1), 1_000_000));
+        (ds, a, b)
+    }
+
+    #[test]
+    fn put_with_affinity_places_locally() {
+        let (ds, a, _b) = service();
+        let du = ds
+            .put(
+                vec![0u8; 1000],
+                DataUnitDescription::new().with_affinity(SiteId(0)),
+            )
+            .unwrap();
+        assert_eq!(ds.state(du), Some(DataUnitState::Ready));
+        assert_eq!(ds.usage(a), Some((1000, 1_000_000)));
+        let loc = ds.location(du).unwrap();
+        assert_eq!(loc.size_bytes, 1000);
+        assert_eq!(loc.sites, vec![SiteId(0)]);
+        assert!(ds.ledger().is_empty(), "primary placement moves nothing");
+    }
+
+    #[test]
+    fn replication_moves_bytes_and_updates_location() {
+        let (ds, _a, b) = service();
+        let du = ds
+            .put(
+                vec![7u8; 5000],
+                DataUnitDescription::new().with_affinity(SiteId(0)),
+            )
+            .unwrap();
+        ds.replicate(du, SiteId(1)).unwrap();
+        let loc = ds.location(du).unwrap();
+        assert!(loc.is_local_to(SiteId(0)) && loc.is_local_to(SiteId(1)));
+        assert_eq!(ds.usage(b), Some((5000, 1_000_000)));
+        let ledger = ds.ledger();
+        assert_eq!(ledger.remote_bytes(), 5000);
+        assert!(ledger.virtual_seconds() > 0.0);
+        // Duplicate replica rejected.
+        assert_eq!(
+            ds.replicate(du, SiteId(1)),
+            Err(DataServiceError::AlreadyReplicated(SiteId(1)))
+        );
+    }
+
+    #[test]
+    fn multi_replica_put() {
+        let (ds, _a, _b) = service();
+        let du = ds
+            .put(vec![1u8; 100], DataUnitDescription::new().with_replicas(2))
+            .unwrap();
+        assert_eq!(ds.state(du), Some(DataUnitState::Ready));
+        let loc = ds.location(du).unwrap();
+        assert_eq!(loc.sites.len(), 2);
+        // Asking for 3 replicas with 2 sites: under-replicated, not an error.
+        let du3 = ds
+            .put(vec![1u8; 100], DataUnitDescription::new().with_replicas(3))
+            .unwrap();
+        assert_eq!(ds.state(du3), Some(DataUnitState::UnderReplicated));
+    }
+
+    #[test]
+    fn fetch_local_is_free_remote_is_ledgered() {
+        let (ds, _a, _b) = service();
+        let du = ds
+            .put(
+                vec![9u8; 2048],
+                DataUnitDescription::new().with_affinity(SiteId(0)),
+            )
+            .unwrap();
+        let before = ds.ledger().len();
+        let bytes = ds.fetch(du, SiteId(0)).unwrap();
+        assert_eq!(bytes.len(), 2048);
+        assert_eq!(ds.ledger().len(), before, "local read is free");
+        let _ = ds.fetch(du, SiteId(1)).unwrap();
+        let ledger = ds.ledger();
+        assert_eq!(ledger.len(), before + 1);
+        assert_eq!(ledger.remote_bytes(), 2048);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let net = NetworkModel::new(&["a"]);
+        let ds = DataService::new(net, Box::new(RoundRobinPlacement::default()));
+        ds.add_data_pilot(DataPilotDescription::new(SiteId(0), 100));
+        assert!(ds.put(vec![0u8; 60], DataUnitDescription::new()).is_ok());
+        assert_eq!(
+            ds.put(vec![0u8; 60], DataUnitDescription::new()),
+            Err(DataServiceError::NoCapacity)
+        );
+    }
+
+    #[test]
+    fn delete_releases_storage() {
+        let (ds, a, _b) = service();
+        let du = ds
+            .put(
+                vec![0u8; 500],
+                DataUnitDescription::new().with_affinity(SiteId(0)),
+            )
+            .unwrap();
+        ds.delete(du).unwrap();
+        assert_eq!(ds.usage(a), Some((0, 1_000_000)));
+        assert_eq!(ds.state(du), Some(DataUnitState::Deleted));
+        assert_eq!(ds.fetch(du, SiteId(0)), Err(DataServiceError::Deleted(du)));
+        assert_eq!(ds.delete(du), Err(DataServiceError::Deleted(du)));
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let (ds, _a, _b) = service();
+        let ghost = DataUnitId(999);
+        assert_eq!(ds.location(ghost), Err(DataServiceError::UnknownUnit(ghost)));
+        assert!(ds.usage(DataPilotId(999)).is_none());
+    }
+
+    #[test]
+    fn concurrent_access_from_kernel_threads() {
+        use std::sync::Arc as StdArc;
+        let (ds, _a, _b) = service();
+        let ds = StdArc::new(ds);
+        let du = ds
+            .put(vec![5u8; 4096], DataUnitDescription::new())
+            .unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let ds = StdArc::clone(&ds);
+                std::thread::spawn(move || {
+                    let site = SiteId((i % 2) as u16);
+                    let bytes = ds.fetch(du, site).unwrap();
+                    assert_eq!(bytes.len(), 4096);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Data units: logical datasets with replica state.
+
+use std::fmt;
+
+/// Identifier of a data unit.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DataUnitId(pub u64);
+
+impl fmt::Display for DataUnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "du-{}", self.0)
+    }
+}
+
+/// Request to register a dataset.
+#[derive(Clone, Debug, Default)]
+pub struct DataUnitDescription {
+    /// Preferred site for the primary replica (placement hint).
+    pub affinity: Option<pilot_infra::types::SiteId>,
+    /// Desired replica count (&ge; 1); the service satisfies as much of it as
+    /// capacity allows at registration time.
+    pub replicas: u32,
+    /// Free-form label.
+    pub label: String,
+}
+
+impl DataUnitDescription {
+    /// A single-replica dataset with no placement preference.
+    pub fn new() -> Self {
+        DataUnitDescription {
+            affinity: None,
+            replicas: 1,
+            label: String::new(),
+        }
+    }
+
+    /// Prefer a site for the primary replica.
+    pub fn with_affinity(mut self, site: pilot_infra::types::SiteId) -> Self {
+        self.affinity = Some(site);
+        self
+    }
+
+    /// Request `n` replicas.
+    pub fn with_replicas(mut self, n: u32) -> Self {
+        self.replicas = n.max(1);
+        self
+    }
+
+    /// Attach a label.
+    pub fn labeled(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+}
+
+/// Replication state of a data unit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DataUnitState {
+    /// Registered; fewer replicas materialized than requested.
+    UnderReplicated,
+    /// All requested replicas exist.
+    Ready,
+    /// Deleted; the id is retained for audit but holds no bytes.
+    Deleted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilot_infra::types::SiteId;
+
+    #[test]
+    fn builder_and_floor() {
+        let d = DataUnitDescription::new()
+            .with_affinity(SiteId(2))
+            .with_replicas(0)
+            .labeled("genome");
+        assert_eq!(d.affinity, Some(SiteId(2)));
+        assert_eq!(d.replicas, 1, "replica count floors at 1");
+        assert_eq!(d.label, "genome");
+        assert_eq!(DataUnitId(4).to_string(), "du-4");
+    }
+}

@@ -1,0 +1,458 @@
+//! DAG construction, validation, and pilot-backed execution.
+
+use pilot_core::describe::UnitDescription;
+use pilot_core::state::UnitState;
+use pilot_core::thread::{kernel_fn, TaskError, TaskOutput, ThreadPilotService};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Payload passed between stages.
+pub type StageData = Arc<dyn Any + Send + Sync>;
+
+/// Identifier of a stage within one dataflow.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StageId(pub usize);
+
+/// Errors from graph construction or execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataflowError {
+    /// The graph has a cycle (names one stage on it).
+    Cycle(String),
+    /// An edge references an unknown stage.
+    UnknownStage(StageId),
+    /// A self-loop was requested.
+    SelfLoop(StageId),
+    /// Duplicate edge.
+    DuplicateEdge(StageId, StageId),
+}
+
+impl std::fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataflowError::Cycle(s) => write!(f, "dataflow has a cycle through '{s}'"),
+            DataflowError::UnknownStage(s) => write!(f, "unknown stage {s:?}"),
+            DataflowError::SelfLoop(s) => write!(f, "self-loop on {s:?}"),
+            DataflowError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a:?}->{b:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+/// What a stage task sees: the collected outputs of every upstream stage.
+pub struct StageInputs {
+    /// Upstream stage → that stage's per-task outputs.
+    inputs: HashMap<StageId, Arc<Vec<StageData>>>,
+}
+
+impl StageInputs {
+    /// Outputs of one upstream stage (one entry per upstream task).
+    pub fn from_stage(&self, stage: StageId) -> &[StageData] {
+        self.inputs
+            .get(&stage)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Downcast every output of an upstream stage to `T`, skipping
+    /// mismatches.
+    pub fn downcast_all<T: Send + Sync + 'static>(&self, stage: StageId) -> Vec<Arc<T>> {
+        self.from_stage(stage)
+            .iter()
+            .filter_map(|d| Arc::clone(d).downcast::<T>().ok())
+            .collect()
+    }
+
+    /// Number of upstream stages feeding this one.
+    pub fn upstream_count(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+type StageWork =
+    Arc<dyn Fn(usize, &StageInputs) -> Result<StageData, String> + Send + Sync>;
+
+struct Stage {
+    name: String,
+    parallelism: usize,
+    cores_per_task: u32,
+    work: StageWork,
+}
+
+/// Terminal status of one stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StageStatus {
+    /// All tasks completed.
+    Done,
+    /// At least one task failed (message of the first failure).
+    Failed(String),
+    /// An upstream stage failed; this one never ran.
+    Skipped,
+}
+
+/// Execution report.
+#[derive(Debug)]
+pub struct DataflowReport {
+    /// Per-stage status, indexed by `StageId`.
+    pub status: Vec<StageStatus>,
+    /// Per-stage wall seconds (submission of first task → last task done);
+    /// 0 for skipped stages.
+    pub stage_wall_s: Vec<f64>,
+    /// Per-stage outputs (empty for failed/skipped stages).
+    pub outputs: Vec<Vec<StageData>>,
+    /// End-to-end wall seconds.
+    pub total_wall_s: f64,
+}
+
+impl DataflowReport {
+    /// True iff every stage completed.
+    pub fn all_done(&self) -> bool {
+        self.status.iter().all(|s| *s == StageStatus::Done)
+    }
+
+    /// Outputs of a stage downcast to `T`.
+    pub fn stage_outputs<T: Send + Sync + 'static>(&self, stage: StageId) -> Vec<Arc<T>> {
+        self.outputs[stage.0]
+            .iter()
+            .filter_map(|d| Arc::clone(d).downcast::<T>().ok())
+            .collect()
+    }
+}
+
+/// A dataflow graph under construction.
+#[derive(Default)]
+pub struct Dataflow {
+    stages: Vec<Stage>,
+    edges: Vec<(StageId, StageId)>,
+}
+
+impl Dataflow {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a stage with `parallelism` tasks of `work(task_index, inputs)`.
+    pub fn add_stage(
+        &mut self,
+        name: &str,
+        parallelism: usize,
+        work: impl Fn(usize, &StageInputs) -> Result<StageData, String> + Send + Sync + 'static,
+    ) -> StageId {
+        self.stages.push(Stage {
+            name: name.to_string(),
+            parallelism: parallelism.max(1),
+            cores_per_task: 1,
+            work: Arc::new(work),
+        });
+        StageId(self.stages.len() - 1)
+    }
+
+    /// Set cores per task for a stage (default 1).
+    pub fn set_cores(&mut self, stage: StageId, cores: u32) {
+        self.stages[stage.0].cores_per_task = cores.max(1);
+    }
+
+    /// Declare that `to` consumes the outputs of `from`.
+    pub fn add_edge(&mut self, from: StageId, to: StageId) -> Result<(), DataflowError> {
+        if from.0 >= self.stages.len() {
+            return Err(DataflowError::UnknownStage(from));
+        }
+        if to.0 >= self.stages.len() {
+            return Err(DataflowError::UnknownStage(to));
+        }
+        if from == to {
+            return Err(DataflowError::SelfLoop(from));
+        }
+        if self.edges.contains(&(from, to)) {
+            return Err(DataflowError::DuplicateEdge(from, to));
+        }
+        self.edges.push((from, to));
+        Ok(())
+    }
+
+    /// Kahn's algorithm; returns a topological order or the cycle error.
+    pub fn topo_order(&self) -> Result<Vec<StageId>, DataflowError> {
+        let n = self.stages.len();
+        let mut indegree = vec![0usize; n];
+        for &(_, to) in &self.edges {
+            indegree[to.0] += 1;
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(StageId(i));
+            for &(from, to) in &self.edges {
+                if from.0 == i {
+                    indegree[to.0] -= 1;
+                    if indegree[to.0] == 0 {
+                        ready.push(to.0);
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .expect("cycle implies a stuck node");
+            return Err(DataflowError::Cycle(self.stages[stuck].name.clone()));
+        }
+        Ok(order)
+    }
+
+    /// Execute on an active pilot service. Independent ready stages run
+    /// concurrently; each stage's tasks are pilot compute units.
+    pub fn run(&self, svc: &ThreadPilotService) -> Result<DataflowReport, DataflowError> {
+        let order = self.topo_order()?;
+        let n = self.stages.len();
+        let t0 = Instant::now();
+
+        // Per-stage completion broadcast: (status, outputs).
+        type Broadcast = Arc<(StageStatus, Arc<Vec<StageData>>)>;
+        let (done_tx, done_rx) = mpsc::channel::<(usize, Broadcast, f64)>();
+
+        let upstream: Vec<Vec<StageId>> = (0..n)
+            .map(|i| {
+                self.edges
+                    .iter()
+                    .filter(|(_, to)| to.0 == i)
+                    .map(|&(from, _)| from)
+                    .collect()
+            })
+            .collect();
+
+        let mut completed: HashMap<usize, Broadcast> = HashMap::new();
+        let mut launched = vec![false; n];
+        let mut status: Vec<Option<StageStatus>> = vec![None; n];
+        let mut wall = vec![0.0f64; n];
+        let mut outputs: Vec<Vec<StageData>> = (0..n).map(|_| Vec::new()).collect();
+        let _ = order;
+
+        // Launch loop: a stage launches the moment all its upstreams have
+        // completed. Its units are submitted immediately; a scoped waiter
+        // thread collects them, so independent ready stages overlap on the
+        // pilots.
+        std::thread::scope(|scope| {
+            let mut remaining = n;
+            while remaining > 0 {
+                for i in 0..n {
+                    if launched[i]
+                        || !upstream[i].iter().all(|u| completed.contains_key(&u.0))
+                    {
+                        continue;
+                    }
+                    launched[i] = true;
+                    // Upstream failure ⇒ skip.
+                    let failed_upstream = upstream[i]
+                        .iter()
+                        .any(|u| completed[&u.0].0 != StageStatus::Done);
+                    if failed_upstream {
+                        let b: Broadcast =
+                            Arc::new((StageStatus::Skipped, Arc::new(Vec::new())));
+                        let _ = done_tx.send((i, b, 0.0));
+                        continue;
+                    }
+                    let inputs = StageInputs {
+                        inputs: upstream[i]
+                            .iter()
+                            .map(|u| (*u, Arc::clone(&completed[&u.0].1)))
+                            .collect(),
+                    };
+                    let stage = &self.stages[i];
+                    let parallelism = stage.parallelism;
+                    let cores = stage.cores_per_task;
+                    let work = Arc::clone(&stage.work);
+                    let name = stage.name.clone();
+                    let tx = done_tx.clone();
+                    let inputs = Arc::new(inputs);
+                    let t_stage = Instant::now();
+                    let units: Vec<_> = (0..parallelism)
+                        .map(|task| {
+                            let work = Arc::clone(&work);
+                            let inputs = Arc::clone(&inputs);
+                            svc.submit_unit(
+                                UnitDescription::new(cores).tagged(&name),
+                                kernel_fn(move |_| {
+                                    work(task, &inputs)
+                                        .map(TaskOutput::of)
+                                        .map_err(TaskError)
+                                }),
+                            )
+                        })
+                        .collect();
+                    scope.spawn(move || {
+                        let mut outs: Vec<StageData> = Vec::with_capacity(units.len());
+                        let mut failure: Option<String> = None;
+                        for u in units {
+                            let r = svc.wait_unit(u);
+                            match (r.state, r.output) {
+                                (UnitState::Done, Some(Ok(o))) => {
+                                    if let Some(d) = o.downcast::<StageData>() {
+                                        outs.push(d);
+                                    }
+                                }
+                                (_, Some(Err(e))) => failure = failure.or(Some(e.0)),
+                                (s, _) => {
+                                    failure = failure.or(Some(format!("unit ended {s}")))
+                                }
+                            }
+                        }
+                        let status = match failure {
+                            None => StageStatus::Done,
+                            Some(msg) => StageStatus::Failed(msg),
+                        };
+                        let broadcast: Broadcast = Arc::new((status, Arc::new(outs)));
+                        let _ = tx.send((i, broadcast, t_stage.elapsed().as_secs_f64()));
+                    });
+                }
+                // Wait for one stage to finish, then re-scan for new readiness.
+                let (i, broadcast, wall_s) = done_rx
+                    .recv()
+                    .expect("waiter threads hold the sender until done");
+                status[i] = Some(broadcast.0.clone());
+                wall[i] = wall_s;
+                outputs[i] = broadcast.1.iter().cloned().collect();
+                completed.insert(i, broadcast);
+                remaining -= 1;
+            }
+        });
+
+        Ok(DataflowReport {
+            status: status
+                .into_iter()
+                .map(|s| s.expect("every stage resolved"))
+                .collect(),
+            stage_wall_s: wall,
+            outputs,
+            total_wall_s: t0.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilot_core::describe::PilotDescription;
+    use pilot_core::scheduler::FirstFitScheduler;
+    use pilot_sim::SimDuration;
+
+    fn svc(cores: u32) -> ThreadPilotService {
+        let s = ThreadPilotService::new(Box::new(FirstFitScheduler));
+        let p = s.submit_pilot(PilotDescription::new(cores, SimDuration::MAX));
+        assert!(s.wait_pilot_active(p));
+        s
+    }
+
+    fn data<T: Send + Sync + 'static>(v: T) -> StageData {
+        Arc::new(v)
+    }
+
+    #[test]
+    fn linear_pipeline_passes_data() {
+        let mut g = Dataflow::new();
+        let gen = g.add_stage("gen", 4, |task, _| Ok(data(task as u64 + 1)));
+        let sum = g.add_stage("sum", 1, move |_, inputs| {
+            let xs = inputs.downcast_all::<u64>(gen);
+            Ok(data(xs.iter().map(|x| **x).sum::<u64>()))
+        });
+        g.add_edge(gen, sum).unwrap();
+        let s = svc(4);
+        let report = g.run(&s).unwrap();
+        assert!(report.all_done());
+        let out = report.stage_outputs::<u64>(sum);
+        assert_eq!(*out[0], 1 + 2 + 3 + 4);
+        s.shutdown();
+    }
+
+    #[test]
+    fn diamond_runs_branches_and_joins() {
+        let mut g = Dataflow::new();
+        let src = g.add_stage("src", 1, |_, _| Ok(data(10u32)));
+        let left = g.add_stage("double", 1, move |_, inp| {
+            let x = *inp.downcast_all::<u32>(StageId(0))[0];
+            Ok(data(x * 2))
+        });
+        let right = g.add_stage("triple", 1, move |_, inp| {
+            let x = *inp.downcast_all::<u32>(StageId(0))[0];
+            Ok(data(x * 3))
+        });
+        let join = g.add_stage("join", 1, move |_, inp| {
+            let l = *inp.downcast_all::<u32>(StageId(1))[0];
+            let r = *inp.downcast_all::<u32>(StageId(2))[0];
+            assert_eq!(inp.upstream_count(), 2);
+            Ok(data(l + r))
+        });
+        g.add_edge(src, left).unwrap();
+        g.add_edge(src, right).unwrap();
+        g.add_edge(left, join).unwrap();
+        g.add_edge(right, join).unwrap();
+        let s = svc(4);
+        let report = g.run(&s).unwrap();
+        assert!(report.all_done());
+        assert_eq!(*report.stage_outputs::<u32>(join)[0], 50);
+        s.shutdown();
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut g = Dataflow::new();
+        let a = g.add_stage("a", 1, |_, _| Ok(data(())));
+        let b = g.add_stage("b", 1, |_, _| Ok(data(())));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, a).unwrap();
+        assert!(matches!(g.topo_order(), Err(DataflowError::Cycle(_))));
+        let s = svc(1);
+        assert!(g.run(&s).is_err());
+        s.shutdown();
+    }
+
+    #[test]
+    fn edge_validation() {
+        let mut g = Dataflow::new();
+        let a = g.add_stage("a", 1, |_, _| Ok(data(())));
+        assert_eq!(
+            g.add_edge(a, StageId(9)),
+            Err(DataflowError::UnknownStage(StageId(9)))
+        );
+        assert_eq!(g.add_edge(a, a), Err(DataflowError::SelfLoop(a)));
+        let b = g.add_stage("b", 1, |_, _| Ok(data(())));
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.add_edge(a, b), Err(DataflowError::DuplicateEdge(a, b)));
+    }
+
+    #[test]
+    fn failing_stage_skips_downstream() {
+        let mut g = Dataflow::new();
+        let bad = g.add_stage("bad", 2, |task, _| {
+            if task == 1 {
+                Err("task 1 exploded".to_string())
+            } else {
+                Ok(data(1u8))
+            }
+        });
+        let after = g.add_stage("after", 1, |_, _| Ok(data(2u8)));
+        let independent = g.add_stage("independent", 1, |_, _| Ok(data(3u8)));
+        g.add_edge(bad, after).unwrap();
+        let s = svc(4);
+        let report = g.run(&s).unwrap();
+        assert!(matches!(report.status[bad.0], StageStatus::Failed(ref m) if m.contains("exploded")));
+        assert_eq!(report.status[after.0], StageStatus::Skipped);
+        assert_eq!(report.status[independent.0], StageStatus::Done);
+        assert!(!report.all_done());
+        s.shutdown();
+    }
+
+    #[test]
+    fn wide_stage_uses_parallelism() {
+        let mut g = Dataflow::new();
+        let wide = g.add_stage("wide", 8, |task, _| Ok(data(task)));
+        let s = svc(8);
+        let report = g.run(&s).unwrap();
+        assert_eq!(report.outputs[wide.0].len(), 8);
+        assert!(report.stage_wall_s[wide.0] > 0.0);
+        s.shutdown();
+    }
+}

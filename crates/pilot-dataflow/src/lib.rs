@@ -1,0 +1,17 @@
+//! # pilot-dataflow — DAG pipelines on the pilot-abstraction
+//!
+//! The dataflow scenario of Table I: applications composed of multiple
+//! processing stages with data dependencies, modeled as a directed acyclic
+//! graph (the lineage the paper traces from MIT's 1960s dataflow through
+//! LGDF2 and Dryad). Each stage fans out into `parallelism` compute units on
+//! the pilots; a stage starts the moment *all* of its upstream stages
+//! complete — independent branches overlap, which is where the pipeline
+//! speedup in EXP DF-1 comes from.
+//!
+//! Stage payloads are `Arc<dyn Any + Send + Sync>`, shared zero-copy with
+//! every downstream consumer; stages downcast what they expect (mirrors how
+//! external tools exchange files in the paper's workflows, minus the disk).
+
+pub mod graph;
+
+pub use graph::{Dataflow, DataflowError, DataflowReport, StageData, StageId, StageInputs, StageStatus};

@@ -1,0 +1,125 @@
+//! Dataflow integration: wider DAG shapes, fan-in/fan-out, and topological
+//! order properties under random graphs.
+
+use pilot_core::describe::PilotDescription;
+use pilot_core::thread::ThreadPilotService;
+use pilot_dataflow::{Dataflow, DataflowError, StageData, StageId};
+use pilot_sim::SimDuration;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn svc(cores: u32) -> ThreadPilotService {
+    let s = ThreadPilotService::new(Box::new(pilot_core::scheduler::FirstFitScheduler));
+    let p = s.submit_pilot(PilotDescription::new(cores, SimDuration::MAX));
+    assert!(s.wait_pilot_active(p));
+    s
+}
+
+#[test]
+fn fan_out_fan_in_tree() {
+    // 1 source → 4 branches → 1 sink; sink sees all four branch outputs.
+    let mut g = Dataflow::new();
+    let src = g.add_stage("src", 1, |_, _| Ok(Arc::new(100u64) as StageData));
+    let branches: Vec<StageId> = (0..4)
+        .map(|b| {
+            g.add_stage(&format!("branch-{b}"), 1, move |_, inputs| {
+                let x = *inputs.downcast_all::<u64>(StageId(0))[0];
+                Ok(Arc::new(x + b as u64) as StageData)
+            })
+        })
+        .collect();
+    let sink = g.add_stage("sink", 1, move |_, inputs| {
+        let mut total = 0u64;
+        for b in 1..=4usize {
+            total += *inputs.downcast_all::<u64>(StageId(b))[0];
+        }
+        Ok(Arc::new(total) as StageData)
+    });
+    g.add_edge(src, branches[0]).unwrap();
+    g.add_edge(src, branches[1]).unwrap();
+    g.add_edge(src, branches[2]).unwrap();
+    g.add_edge(src, branches[3]).unwrap();
+    for b in &branches {
+        g.add_edge(*b, sink).unwrap();
+    }
+    let s = svc(4);
+    let report = g.run(&s).unwrap();
+    s.shutdown();
+    assert!(report.all_done());
+    // 100+0 + 100+1 + 100+2 + 100+3 = 406
+    assert_eq!(*report.stage_outputs::<u64>(sink)[0], 406);
+}
+
+#[test]
+fn deep_chain_propagates_in_order() {
+    let depth = 12;
+    let mut g = Dataflow::new();
+    let mut prev = g.add_stage("s0", 1, |_, _| Ok(Arc::new(1u64) as StageData));
+    for i in 1..depth {
+        let upstream = prev;
+        prev = g.add_stage(&format!("s{i}"), 1, move |_, inputs| {
+            let x = *inputs.downcast_all::<u64>(upstream)[0];
+            Ok(Arc::new(x * 2) as StageData)
+        });
+        g.add_edge(upstream, prev).unwrap();
+    }
+    let s = svc(2);
+    let report = g.run(&s).unwrap();
+    s.shutdown();
+    assert!(report.all_done());
+    assert_eq!(*report.stage_outputs::<u64>(prev)[0], 1 << (depth - 1));
+}
+
+#[test]
+fn skip_cascades_through_deep_downstreams() {
+    let mut g = Dataflow::new();
+    let bad = g.add_stage("bad", 1, |_, _| Err("root failure".to_string()));
+    let mid = g.add_stage("mid", 1, |_, _| Ok(Arc::new(()) as StageData));
+    let leaf = g.add_stage("leaf", 1, |_, _| Ok(Arc::new(()) as StageData));
+    g.add_edge(bad, mid).unwrap();
+    g.add_edge(mid, leaf).unwrap();
+    let s = svc(1);
+    let report = g.run(&s).unwrap();
+    s.shutdown();
+    use pilot_dataflow::StageStatus;
+    assert!(matches!(report.status[bad.0], StageStatus::Failed(_)));
+    assert_eq!(report.status[mid.0], StageStatus::Skipped);
+    assert_eq!(report.status[leaf.0], StageStatus::Skipped);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random forward DAGs (edges only i→j for i<j) always topo-sort, and
+    /// the order respects every edge; adding any back edge trips the cycle
+    /// detector.
+    #[test]
+    fn random_forward_dags_sort_and_back_edges_cycle(
+        n in 2usize..10,
+        edges in prop::collection::vec((0usize..9, 0usize..9), 0..20),
+    ) {
+        let mut g = Dataflow::new();
+        let ids: Vec<StageId> = (0..n)
+            .map(|i| g.add_stage(&format!("s{i}"), 1, |_, _| Ok(Arc::new(()) as StageData)))
+            .collect();
+        let mut added = Vec::new();
+        for &(a, b) in &edges {
+            let (a, b) = (a % n, b % n);
+            if a < b && g.add_edge(ids[a], ids[b]).is_ok() {
+                added.push((a, b));
+            }
+        }
+        let order = g.topo_order().expect("forward DAG is acyclic");
+        prop_assert_eq!(order.len(), n);
+        let pos: std::collections::HashMap<usize, usize> =
+            order.iter().enumerate().map(|(i, s)| (s.0, i)).collect();
+        for &(a, b) in &added {
+            prop_assert!(pos[&a] < pos[&b], "edge {a}->{b} violated");
+        }
+        // Close a cycle with any back edge.
+        if let Some(&(a, b)) = added.first() {
+            g.add_edge(ids[b], ids[a]).unwrap();
+            prop_assert!(matches!(g.topo_order(), Err(DataflowError::Cycle(_))));
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! On-demand cloud provider model: instance types, boot latency, capacity
+//! limits, and per-second cost accounting.
+//!
+//! Captures what matters for pilot elasticity experiments (EXP DY-1, IO-1):
+//! no queue — resources appear after a boot delay — but capacity costs money
+//! for every second it is held, and regions have finite headroom.
+
+use crate::component::{Component, Effects};
+use pilot_sim::{Dist, SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a virtual machine, chosen by the requester.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VmId(pub u64);
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm-{}", self.0)
+    }
+}
+
+/// A purchasable instance shape.
+#[derive(Clone, Debug)]
+pub struct InstanceType {
+    /// Catalog name, e.g. `"c5.4xlarge"`.
+    pub name: String,
+    /// vCPU cores.
+    pub cores: u32,
+    /// Price per hour of runtime.
+    pub hourly_cost: f64,
+}
+
+/// Provider/region configuration.
+#[derive(Clone, Debug)]
+pub struct CloudConfig {
+    /// Region name.
+    pub name: String,
+    /// Catalog of instance types.
+    pub types: Vec<InstanceType>,
+    /// Total cores the region will lease to this tenant.
+    pub capacity_cores: u32,
+    /// Boot (provisioning) latency distribution, seconds.
+    pub boot_delay: Dist,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CloudConfig {
+    /// A generic region: 4/16/64-core shapes, ~45-90 s boots.
+    pub fn generic(name: &str, capacity_cores: u32) -> Self {
+        CloudConfig {
+            name: name.to_string(),
+            types: vec![
+                InstanceType {
+                    name: "small.4".into(),
+                    cores: 4,
+                    hourly_cost: 0.17,
+                },
+                InstanceType {
+                    name: "medium.16".into(),
+                    cores: 16,
+                    hourly_cost: 0.68,
+                },
+                InstanceType {
+                    name: "large.64".into(),
+                    cores: 64,
+                    hourly_cost: 2.72,
+                },
+            ],
+            capacity_cores,
+            boot_delay: Dist::uniform(45.0, 90.0),
+            seed: 0xC10D,
+        }
+    }
+}
+
+/// Input alphabet.
+#[derive(Clone, Debug)]
+pub enum CloudIn {
+    /// Provision one instance of the type at `type_index` in the catalog.
+    Request { vm: VmId, type_index: usize },
+    /// Terminate a booting or active instance.
+    Terminate(VmId),
+    /// Internal: boot completes (generation-guarded).
+    BootDone(VmId, u64),
+}
+
+/// Output notifications.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CloudOut {
+    /// Instance is booted and usable.
+    Active { vm: VmId, cores: u32 },
+    /// Instance released; `cost` is the accrued charge for its lifetime.
+    Terminated { vm: VmId, cost: f64 },
+    /// Request refused (capacity or unknown type).
+    Rejected { vm: VmId },
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum VmState {
+    Booting,
+    Active,
+    Gone,
+}
+
+struct Vm {
+    type_index: usize,
+    state: VmState,
+    generation: u64,
+    /// Billing starts at request time (clouds charge from launch).
+    launched: SimTime,
+}
+
+/// The provider simulation component.
+pub struct CloudProvider {
+    cfg: CloudConfig,
+    rng: SimRng,
+    vms: HashMap<VmId, Vm>,
+    used_cores: u32,
+    /// Charges from already-terminated instances.
+    settled_cost: f64,
+}
+
+impl CloudProvider {
+    /// Build a provider.
+    pub fn new(cfg: CloudConfig) -> Self {
+        let rng = SimRng::new(cfg.seed).stream(0xC1_0D);
+        CloudProvider {
+            cfg,
+            rng,
+            vms: HashMap::new(),
+            used_cores: 0,
+            settled_cost: 0.0,
+        }
+    }
+
+    /// Region name.
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// Catalog of instance types.
+    pub fn types(&self) -> &[InstanceType] {
+        &self.cfg.types
+    }
+
+    /// Find a type index by name.
+    pub fn type_index(&self, name: &str) -> Option<usize> {
+        self.cfg.types.iter().position(|t| t.name == name)
+    }
+
+    /// Cores currently leased (booting + active).
+    pub fn used_cores(&self) -> u32 {
+        self.used_cores
+    }
+
+    /// Remaining leasable cores.
+    pub fn free_cores(&self) -> u32 {
+        self.cfg.capacity_cores - self.used_cores
+    }
+
+    /// Total charges through `now`: settled + accruing instances.
+    pub fn cost_total(&self, now: SimTime) -> f64 {
+        let accruing: f64 = self
+            .vms
+            .values()
+            .filter(|vm| vm.state != VmState::Gone)
+            .map(|vm| self.accrued(vm, now))
+            .sum();
+        self.settled_cost + accruing
+    }
+
+    fn accrued(&self, vm: &Vm, now: SimTime) -> f64 {
+        let hours = now.since(vm.launched).as_secs_f64() / 3600.0;
+        self.cfg.types[vm.type_index].hourly_cost * hours
+    }
+}
+
+impl Component for CloudProvider {
+    type In = CloudIn;
+    type Out = CloudOut;
+
+    fn handle(&mut self, now: SimTime, input: CloudIn, fx: &mut Effects<CloudIn, CloudOut>) {
+        match input {
+            CloudIn::Request { vm, type_index } => {
+                let Some(itype) = self.cfg.types.get(type_index) else {
+                    fx.emit(CloudOut::Rejected { vm });
+                    return;
+                };
+                if itype.cores > self.free_cores() || self.vms.contains_key(&vm) {
+                    fx.emit(CloudOut::Rejected { vm });
+                    return;
+                }
+                self.used_cores += itype.cores;
+                self.vms.insert(
+                    vm,
+                    Vm {
+                        type_index,
+                        state: VmState::Booting,
+                        generation: 0,
+                        launched: now,
+                    },
+                );
+                let boot = self.cfg.boot_delay.sample(&mut self.rng).max(0.0);
+                fx.after(SimDuration::from_secs_f64(boot), CloudIn::BootDone(vm, 0));
+            }
+            CloudIn::Terminate(vm_id) => {
+                let Some(vm) = self.vms.get_mut(&vm_id) else {
+                    return;
+                };
+                if vm.state == VmState::Gone {
+                    return;
+                }
+                vm.state = VmState::Gone;
+                vm.generation += 1;
+                let cores = self.cfg.types[vm.type_index].cores;
+                self.used_cores -= cores;
+                let vm_snapshot = self.vms.get(&vm_id).expect("just updated");
+                let cost = self.accrued(vm_snapshot, now);
+                self.settled_cost += cost;
+                fx.emit(CloudOut::Terminated { vm: vm_id, cost });
+            }
+            CloudIn::BootDone(vm_id, gen) => {
+                let Some(vm) = self.vms.get_mut(&vm_id) else {
+                    return;
+                };
+                if vm.state != VmState::Booting || vm.generation != gen {
+                    return; // terminated mid-boot
+                }
+                vm.state = VmState::Active;
+                let cores = self.cfg.types[vm.type_index].cores;
+                fx.emit(CloudOut::Active { vm: vm_id, cores });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::drive;
+
+    fn request(t: u64, vm: u64, type_index: usize) -> (SimTime, CloudIn) {
+        (
+            SimTime::from_secs(t),
+            CloudIn::Request {
+                vm: VmId(vm),
+                type_index,
+            },
+        )
+    }
+
+    #[test]
+    fn request_boot_terminate_lifecycle() {
+        let mut cloud = CloudProvider::new(CloudConfig::generic("us-east", 128));
+        let outs = drive(
+            &mut cloud,
+            vec![
+                request(0, 1, 1), // medium.16
+                (SimTime::from_secs(3600), CloudIn::Terminate(VmId(1))),
+            ],
+        );
+        let active = outs
+            .iter()
+            .find(|(_, o)| matches!(o, CloudOut::Active { .. }))
+            .unwrap();
+        assert!(
+            active.0 >= SimTime::from_secs(45) && active.0 <= SimTime::from_secs(90),
+            "boot at {:?}",
+            active.0
+        );
+        assert_eq!(active.1, CloudOut::Active { vm: VmId(1), cores: 16 });
+        let term = outs
+            .iter()
+            .find(|(_, o)| matches!(o, CloudOut::Terminated { .. }))
+            .unwrap();
+        // One hour of medium.16 at 0.68/h.
+        if let CloudOut::Terminated { cost, .. } = term.1 {
+            assert!((cost - 0.68).abs() < 0.01, "cost {cost}");
+        }
+        assert_eq!(cloud.used_cores(), 0);
+    }
+
+    #[test]
+    fn capacity_limit_rejects() {
+        let mut cloud = CloudProvider::new(CloudConfig::generic("tiny", 20));
+        let outs = drive(
+            &mut cloud,
+            vec![request(0, 1, 1), request(0, 2, 1)], // 16 + 16 > 20
+        );
+        let rejected = outs
+            .iter()
+            .filter(|(_, o)| matches!(o, CloudOut::Rejected { .. }))
+            .count();
+        assert_eq!(rejected, 1);
+        assert_eq!(cloud.used_cores(), 16);
+    }
+
+    #[test]
+    fn unknown_type_and_duplicate_id_reject() {
+        let mut cloud = CloudProvider::new(CloudConfig::generic("r", 256));
+        let outs = drive(
+            &mut cloud,
+            vec![request(0, 1, 99), request(0, 2, 0), request(1, 2, 0)],
+        );
+        let rejected: Vec<u64> = outs
+            .iter()
+            .filter_map(|(_, o)| match o {
+                CloudOut::Rejected { vm } => Some(vm.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rejected, vec![1, 2]);
+    }
+
+    #[test]
+    fn terminate_mid_boot_suppresses_activation() {
+        let mut cloud = CloudProvider::new(CloudConfig::generic("r", 256));
+        let outs = drive(
+            &mut cloud,
+            vec![
+                request(0, 1, 0),
+                (SimTime::from_secs(10), CloudIn::Terminate(VmId(1))), // before min boot 45s
+            ],
+        );
+        assert!(
+            !outs.iter().any(|(_, o)| matches!(o, CloudOut::Active { .. })),
+            "{outs:?}"
+        );
+        assert_eq!(cloud.free_cores(), 256);
+    }
+
+    #[test]
+    fn cost_accrues_while_running() {
+        let mut cloud = CloudProvider::new(CloudConfig::generic("r", 256));
+        drive(&mut cloud, vec![request(0, 1, 2)]); // large.64, 2.72/h
+        let t = SimTime::from_secs(7200);
+        assert!((cloud.cost_total(t) - 5.44).abs() < 0.01);
+    }
+
+    #[test]
+    fn type_index_lookup() {
+        let cloud = CloudProvider::new(CloudConfig::generic("r", 256));
+        assert_eq!(cloud.type_index("small.4"), Some(0));
+        assert_eq!(cloud.type_index("nope"), None);
+        assert_eq!(cloud.types().len(), 3);
+    }
+}

@@ -1,0 +1,186 @@
+//! The component protocol: Mealy machines with self-scheduled future inputs
+//! and immediate output notifications.
+//!
+//! A composite simulation embeds several components, wraps each component's
+//! `In` alphabet in its master event enum, and reacts to `Out` notifications
+//! synchronously. [`drive`] is a minimal standalone loop for unit-testing one
+//! component in isolation.
+
+use pilot_sim::{SimDuration, SimTime};
+
+/// A simulated infrastructure component.
+pub trait Component {
+    /// Input alphabet: external commands and self-scheduled timer events.
+    type In;
+    /// Output alphabet: notifications for the embedding simulation.
+    type Out;
+
+    /// Handle one input at virtual time `now`.
+    fn handle(&mut self, now: SimTime, input: Self::In, fx: &mut Effects<Self::In, Self::Out>);
+}
+
+/// Effects produced while handling an input: future self-inputs and
+/// immediate notifications.
+pub struct Effects<I, O> {
+    now: SimTime,
+    /// Future inputs to be routed back to this component.
+    pub later: Vec<(SimTime, I)>,
+    /// Notifications for the embedding simulation, effective "now".
+    pub out: Vec<O>,
+}
+
+impl<I, O> Effects<I, O> {
+    /// Empty effect set at the given time.
+    pub fn new(now: SimTime) -> Self {
+        Effects {
+            now,
+            later: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule a future input for this component.
+    pub fn after(&mut self, delay: SimDuration, input: I) {
+        self.later.push((self.now + delay, input));
+    }
+
+    /// Schedule a future input at an absolute time (clamped to now).
+    pub fn at(&mut self, at: SimTime, input: I) {
+        self.later.push((at.max(self.now), input));
+    }
+
+    /// Emit an immediate notification.
+    pub fn emit(&mut self, out: O) {
+        self.out.push(out);
+    }
+}
+
+/// Drive a single component to quiescence, returning all timestamped outputs.
+///
+/// Inputs are processed in `(time, insertion order)` — the same discipline as
+/// `pilot_sim::Executor`. Intended for unit tests; composites embed components
+/// in a real executor instead.
+pub fn drive<C: Component>(
+    component: &mut C,
+    initial: Vec<(SimTime, C::In)>,
+) -> Vec<(SimTime, C::Out)> {
+    drive_until(component, initial, SimTime::MAX)
+}
+
+/// Like [`drive`], but stops once the next input would fire after `deadline`.
+/// Needed for components with self-sustaining processes (background load,
+/// failure injectors) that never quiesce.
+pub fn drive_until<C: Component>(
+    component: &mut C,
+    initial: Vec<(SimTime, C::In)>,
+    deadline: SimTime,
+) -> Vec<(SimTime, C::Out)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    struct Keyed<T>(SimTime, u64, T);
+    impl<T> PartialEq for Keyed<T> {
+        fn eq(&self, o: &Self) -> bool {
+            self.0 == o.0 && self.1 == o.1
+        }
+    }
+    impl<T> Eq for Keyed<T> {}
+    impl<T> PartialOrd for Keyed<T> {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl<T> Ord for Keyed<T> {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            (self.0, self.1).cmp(&(o.0, o.1))
+        }
+    }
+
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (t, ev) in initial {
+        heap.push(Reverse(Keyed(t, seq, ev)));
+        seq += 1;
+    }
+    let mut outputs = Vec::new();
+    let mut clock = SimTime::ZERO;
+    let mut guard = 0u64;
+    while let Some(Reverse(Keyed(t, _, ev))) = heap.pop() {
+        if t > deadline {
+            break;
+        }
+        guard += 1;
+        assert!(guard < 10_000_000, "component did not quiesce");
+        clock = clock.max(t);
+        let mut fx = Effects::new(clock);
+        component.handle(clock, ev, &mut fx);
+        for (at, input) in fx.later {
+            heap.push(Reverse(Keyed(at.max(clock), seq, input)));
+            seq += 1;
+        }
+        for o in fx.out {
+            outputs.push((clock, o));
+        }
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong test component: each Ping(n) emits Pong(n) and schedules
+    /// Ping(n-1) one second later.
+    struct PingPong;
+    impl Component for PingPong {
+        type In = u32;
+        type Out = u32;
+        fn handle(&mut self, _now: SimTime, n: u32, fx: &mut Effects<u32, u32>) {
+            fx.emit(n);
+            if n > 0 {
+                fx.after(SimDuration::from_secs(1), n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn drive_runs_to_quiescence_in_order() {
+        let mut c = PingPong;
+        let outs = drive(&mut c, vec![(SimTime::ZERO, 3)]);
+        let expected: Vec<(SimTime, u32)> = vec![
+            (SimTime::from_secs(0), 3),
+            (SimTime::from_secs(1), 2),
+            (SimTime::from_secs(2), 1),
+            (SimTime::from_secs(3), 0),
+        ];
+        assert_eq!(outs, expected);
+    }
+
+    #[test]
+    fn same_time_inputs_preserve_insertion_order() {
+        struct Echo;
+        impl Component for Echo {
+            type In = u32;
+            type Out = u32;
+            fn handle(&mut self, _now: SimTime, n: u32, fx: &mut Effects<u32, u32>) {
+                fx.emit(n);
+            }
+        }
+        let inputs: Vec<(SimTime, u32)> = (0..8).map(|i| (SimTime::from_secs(1), i)).collect();
+        let outs = drive(&mut Echo, inputs);
+        assert_eq!(outs.iter().map(|&(_, n)| n).collect::<Vec<_>>(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn effects_at_clamps_past_times() {
+        let mut fx: Effects<u32, u32> = Effects::new(SimTime::from_secs(5));
+        fx.at(SimTime::from_secs(1), 9);
+        assert_eq!(fx.later[0].0, SimTime::from_secs(5));
+        assert_eq!(fx.now(), SimTime::from_secs(5));
+    }
+}

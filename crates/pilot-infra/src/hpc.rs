@@ -1,0 +1,804 @@
+//! HPC batch cluster model: space-shared cores, FCFS + EASY backfill,
+//! walltime enforcement, and optional competing background load.
+//!
+//! Queue waits are not sampled from a distribution — they *emerge* from
+//! contention between submitted jobs and a configurable background arrival
+//! process, which is what makes late-binding experiments (EXP PJ-4) honest:
+//! a pilot that holds resources avoids re-entering a congested queue.
+//!
+//! Scheduling happens on *scheduler cycles*: any state change arms a cycle
+//! after `dispatch_delay`; the cycle performs FCFS starts plus EASY backfill
+//! (jobs behind the queue head may start early only if they cannot delay the
+//! head's earliest-possible reservation).
+
+use crate::component::{Component, Effects};
+use crate::types::{JobId, JobOutcome};
+use pilot_sim::{Dist, SimDuration, SimRng, SimTime, TimeWeighted};
+use std::collections::HashMap;
+
+/// Static description of a cluster.
+#[derive(Clone, Debug)]
+pub struct HpcConfig {
+    /// Human-readable name (shows up in traces).
+    pub name: String,
+    /// Total schedulable cores.
+    pub total_cores: u32,
+    /// Delay between a state change and the next scheduler cycle, seconds.
+    pub dispatch_delay: Dist,
+    /// Competing load, if any.
+    pub background: Option<BackgroundLoad>,
+    /// RNG seed for this cluster's private stream.
+    pub seed: u64,
+}
+
+impl HpcConfig {
+    /// A quiet cluster with a fixed one-second scheduler cycle.
+    pub fn quiet(name: &str, total_cores: u32) -> Self {
+        HpcConfig {
+            name: name.to_string(),
+            total_cores,
+            dispatch_delay: Dist::constant(1.0),
+            background: None,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Attach a background load.
+    pub fn with_background(mut self, bg: BackgroundLoad) -> Self {
+        self.background = Some(bg);
+        self
+    }
+}
+
+/// Poisson-ish background arrival process of competing batch jobs.
+#[derive(Clone, Debug)]
+pub struct BackgroundLoad {
+    /// Inter-arrival time distribution, seconds.
+    pub interarrival: Dist,
+    /// Cores requested per background job.
+    pub cores: Dist,
+    /// Actual runtime distribution, seconds.
+    pub runtime: Dist,
+    /// Requested walltime = runtime × this factor (users over-request).
+    pub walltime_factor: f64,
+}
+
+impl BackgroundLoad {
+    /// A load calibrated to roughly the given utilization of `total_cores`.
+    ///
+    /// Mean offered load = cores.mean() × runtime.mean() / interarrival.mean();
+    /// this helper solves for the inter-arrival mean.
+    pub fn at_utilization(target: f64, total_cores: u32, cores: Dist, runtime: Dist) -> Self {
+        let offered = cores.mean() * runtime.mean();
+        let mean_ia = offered / (target.max(1e-6) * total_cores as f64);
+        BackgroundLoad {
+            interarrival: Dist::exponential(mean_ia),
+            cores,
+            runtime,
+            walltime_factor: 1.5,
+        }
+    }
+}
+
+/// External commands and internal timer events.
+#[derive(Clone, Debug)]
+pub enum HpcIn {
+    /// Submit a batch job.
+    Submit(BatchRequest),
+    /// Cancel a queued or running job.
+    Cancel(JobId),
+    /// Internal: a scheduler cycle fires.
+    SchedTick,
+    /// Internal: a running job reaches its end (generation-guarded).
+    FinishDue(JobId, u64),
+    /// Internal: background arrival process.
+    BackgroundArrival,
+}
+
+/// Notifications to the embedding simulation. Only jobs submitted externally
+/// produce notifications; background jobs stay internal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HpcOut {
+    /// The job was accepted into the queue.
+    Queued { job: JobId },
+    /// The job began running on allocated cores.
+    Started { job: JobId },
+    /// The job reached a terminal state.
+    Finished { job: JobId, outcome: JobOutcome },
+}
+
+/// A batch submission.
+#[derive(Clone, Debug)]
+pub struct BatchRequest {
+    /// Externally meaningful id, chosen by the submitter.
+    pub job: JobId,
+    /// Cores requested.
+    pub cores: u32,
+    /// Requested walltime limit.
+    pub walltime: SimDuration,
+    /// Actual runtime; `SimDuration::MAX` for run-until-canceled (pilots).
+    pub runtime: SimDuration,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum JobState {
+    Queued,
+    Running,
+    Terminal,
+}
+
+#[derive(Clone, Debug)]
+struct Job {
+    id: JobId,
+    cores: u32,
+    walltime: SimDuration,
+    runtime: SimDuration,
+    external: bool,
+    state: JobState,
+    generation: u64,
+    submit_time: SimTime,
+    start_time: Option<SimTime>,
+    /// Scheduled termination (walltime-capped), for backfill shadow math.
+    expected_end: Option<SimTime>,
+}
+
+/// The cluster simulation component.
+pub struct HpcCluster {
+    cfg: HpcConfig,
+    rng: SimRng,
+    jobs: HashMap<JobId, Job>,
+    /// FCFS queue of job ids (front = head).
+    queue: Vec<JobId>,
+    free_cores: u32,
+    tick_armed: bool,
+    next_internal_id: u64,
+    /// Metrics.
+    busy: TimeWeighted,
+    waits: Vec<f64>,
+    started_external: u64,
+    finished_external: u64,
+}
+
+/// Internal job ids live in the top half of the id space so they can never
+/// collide with externally chosen ids.
+const INTERNAL_ID_BASE: u64 = 1 << 62;
+
+impl HpcCluster {
+    /// Build a cluster from its config.
+    pub fn new(cfg: HpcConfig) -> Self {
+        let rng = SimRng::new(cfg.seed).stream(0x48_50_43); // "HPC"
+        HpcCluster {
+            free_cores: cfg.total_cores,
+            cfg,
+            rng,
+            jobs: HashMap::new(),
+            queue: Vec::new(),
+            tick_armed: false,
+            next_internal_id: INTERNAL_ID_BASE,
+            busy: TimeWeighted::new(),
+            waits: Vec::new(),
+            started_external: 0,
+            finished_external: 0,
+        }
+    }
+
+    /// Events that must be scheduled at simulation start (arrival process).
+    pub fn initial_inputs(&self) -> Vec<(SimTime, HpcIn)> {
+        if self.cfg.background.is_some() {
+            vec![(SimTime::ZERO, HpcIn::BackgroundArrival)]
+        } else {
+            vec![]
+        }
+    }
+
+    /// Cluster name.
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// Total cores.
+    pub fn total_cores(&self) -> u32 {
+        self.cfg.total_cores
+    }
+
+    /// Currently unallocated cores.
+    pub fn free_cores(&self) -> u32 {
+        self.free_cores
+    }
+
+    /// Number of queued jobs (including background).
+    pub fn queue_length(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Mean wait of jobs that started, seconds (external + background).
+    pub fn mean_wait(&self) -> f64 {
+        if self.waits.is_empty() {
+            0.0
+        } else {
+            self.waits.iter().sum::<f64>() / self.waits.len() as f64
+        }
+    }
+
+    /// Waits (seconds) of all started jobs, in start order.
+    pub fn waits(&self) -> &[f64] {
+        &self.waits
+    }
+
+    /// Time-weighted mean core utilization over `[0, t_end]`.
+    pub fn utilization(&self, t_end: SimTime) -> f64 {
+        self.busy.mean_until(t_end.as_secs_f64()) / self.cfg.total_cores as f64
+    }
+
+    /// (external jobs started, external jobs finished)
+    pub fn external_counts(&self) -> (u64, u64) {
+        (self.started_external, self.finished_external)
+    }
+
+    /// Estimate the wait a new `(cores, walltime)` request would incur if
+    /// appended to the current queue, assuming running jobs exhaust their
+    /// walltimes and FCFS order (no backfill; a conservative bound).
+    pub fn estimated_wait(&self, now: SimTime, cores: u32) -> SimDuration {
+        let mut free = self.free_cores;
+        // Collect (end_time, cores) for running jobs.
+        let mut releases: Vec<(SimTime, u32)> = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .map(|j| (j.expected_end.unwrap_or(SimTime::MAX), j.cores))
+            .collect();
+        releases.sort();
+        let mut release_idx = 0;
+        let mut t = now;
+        // Serve queued jobs FCFS, then the hypothetical request.
+        let mut pending: Vec<u32> = self
+            .queue
+            .iter()
+            .map(|id| self.jobs[id].cores)
+            .collect();
+        pending.push(cores);
+        for need in pending {
+            while free < need && release_idx < releases.len() {
+                let (end, c) = releases[release_idx];
+                t = t.max(end);
+                free += c;
+                release_idx += 1;
+            }
+            if free < need {
+                return SimDuration::MAX; // can never fit
+            }
+            free -= need;
+            // The hypothetical job is last; earlier queued jobs keep cores
+            // until unknown ends — conservatively never release them.
+        }
+        t.since(now)
+    }
+
+    fn submit_internal(&mut self, now: SimTime, req: BatchRequest, external: bool) {
+        let job = Job {
+            id: req.job,
+            cores: req.cores.min(self.cfg.total_cores).max(1),
+            walltime: req.walltime,
+            runtime: req.runtime,
+            external,
+            state: JobState::Queued,
+            generation: 0,
+            submit_time: now,
+            start_time: None,
+            expected_end: None,
+        };
+        self.queue.push(job.id);
+        self.jobs.insert(job.id, job);
+    }
+
+    fn arm_tick(&mut self, fx: &mut Effects<HpcIn, HpcOut>) {
+        if !self.tick_armed {
+            self.tick_armed = true;
+            let d = self.cfg.dispatch_delay.sample(&mut self.rng).max(0.0);
+            fx.after(SimDuration::from_secs_f64(d), HpcIn::SchedTick);
+        }
+    }
+
+    fn start_job(&mut self, now: SimTime, id: JobId, fx: &mut Effects<HpcIn, HpcOut>) {
+        let job = self.jobs.get_mut(&id).expect("job exists");
+        debug_assert_eq!(job.state, JobState::Queued);
+        job.state = JobState::Running;
+        job.start_time = Some(now);
+        let effective = job.runtime.min(job.walltime);
+        job.expected_end = Some(now + job.walltime);
+        self.free_cores -= job.cores;
+        self.waits.push(now.since(job.submit_time).as_secs_f64());
+        let gen = job.generation;
+        let external = job.external;
+        fx.after(effective, HpcIn::FinishDue(id, gen));
+        if external {
+            self.started_external += 1;
+            fx.emit(HpcOut::Started { job: id });
+        }
+        self.busy
+            .set(now.as_secs_f64(), (self.cfg.total_cores - self.free_cores) as f64);
+    }
+
+    /// FCFS + EASY backfill over the current queue.
+    fn schedule_cycle(&mut self, now: SimTime, fx: &mut Effects<HpcIn, HpcOut>) {
+        // Phase 1: start jobs from the head while they fit.
+        while let Some(&head) = self.queue.first() {
+            if self.jobs[&head].cores <= self.free_cores {
+                self.queue.remove(0);
+                self.start_job(now, head, fx);
+            } else {
+                break;
+            }
+        }
+        let Some(&head) = self.queue.first() else {
+            return;
+        };
+        // Phase 2: EASY backfill. Compute the head job's shadow time: the
+        // earliest instant enough cores free up (running jobs release at
+        // their walltime-capped expected end).
+        let head_cores = self.jobs[&head].cores;
+        let mut releases: Vec<(SimTime, u32)> = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .map(|j| (j.expected_end.unwrap_or(SimTime::MAX), j.cores))
+            .collect();
+        releases.sort();
+        let mut free_at_shadow = self.free_cores;
+        let mut shadow = SimTime::MAX;
+        for (end, c) in &releases {
+            free_at_shadow += c;
+            if free_at_shadow >= head_cores {
+                shadow = *end;
+                break;
+            }
+        }
+        // Cores left over at the shadow instant after the head starts.
+        let extra = free_at_shadow.saturating_sub(head_cores);
+        // Candidates: queued jobs behind the head.
+        let candidates: Vec<JobId> = self.queue[1..].to_vec();
+        for id in candidates {
+            let (cores, walltime) = {
+                let j = &self.jobs[&id];
+                (j.cores, j.walltime)
+            };
+            if cores > self.free_cores {
+                continue;
+            }
+            let ends_by = now + walltime;
+            // EASY rule: must not delay the head's reservation.
+            if ends_by <= shadow || cores <= extra {
+                if let Some(pos) = self.queue.iter().position(|&q| q == id) {
+                    self.queue.remove(pos);
+                }
+                self.start_job(now, id, fx);
+            }
+        }
+    }
+
+    fn finish_job(
+        &mut self,
+        now: SimTime,
+        id: JobId,
+        outcome: JobOutcome,
+        fx: &mut Effects<HpcIn, HpcOut>,
+    ) {
+        let job = self.jobs.get_mut(&id).expect("job exists");
+        debug_assert_eq!(job.state, JobState::Running);
+        job.state = JobState::Terminal;
+        job.generation += 1;
+        self.free_cores += job.cores;
+        let external = job.external;
+        self.busy
+            .set(now.as_secs_f64(), (self.cfg.total_cores - self.free_cores) as f64);
+        if external {
+            self.finished_external += 1;
+            fx.emit(HpcOut::Finished { job: id, outcome });
+        } else {
+            self.jobs.remove(&id); // background jobs need no post-mortem
+        }
+        self.arm_tick(fx);
+    }
+}
+
+impl Component for HpcCluster {
+    type In = HpcIn;
+    type Out = HpcOut;
+
+    fn handle(&mut self, now: SimTime, input: HpcIn, fx: &mut Effects<HpcIn, HpcOut>) {
+        match input {
+            HpcIn::Submit(req) => {
+                if req.cores > self.cfg.total_cores {
+                    fx.emit(HpcOut::Finished {
+                        job: req.job,
+                        outcome: JobOutcome::Rejected,
+                    });
+                    return;
+                }
+                let id = req.job;
+                self.submit_internal(now, req, true);
+                fx.emit(HpcOut::Queued { job: id });
+                self.arm_tick(fx);
+            }
+            HpcIn::Cancel(id) => {
+                let Some(job) = self.jobs.get_mut(&id) else {
+                    return;
+                };
+                match job.state {
+                    JobState::Queued => {
+                        job.state = JobState::Terminal;
+                        job.generation += 1;
+                        let external = job.external;
+                        self.queue.retain(|&q| q != id);
+                        if external {
+                            self.finished_external += 1;
+                            fx.emit(HpcOut::Finished {
+                                job: id,
+                                outcome: JobOutcome::Canceled,
+                            });
+                        }
+                    }
+                    JobState::Running => {
+                        self.finish_job(now, id, JobOutcome::Canceled, fx);
+                    }
+                    JobState::Terminal => {}
+                }
+            }
+            HpcIn::SchedTick => {
+                self.tick_armed = false;
+                self.schedule_cycle(now, fx);
+            }
+            HpcIn::FinishDue(id, gen) => {
+                let Some(job) = self.jobs.get(&id) else {
+                    return;
+                };
+                if job.state != JobState::Running || job.generation != gen {
+                    return; // stale timer from a canceled incarnation
+                }
+                let outcome = if job.runtime <= job.walltime {
+                    JobOutcome::Completed
+                } else {
+                    JobOutcome::WalltimeExceeded
+                };
+                self.finish_job(now, id, outcome, fx);
+            }
+            HpcIn::BackgroundArrival => {
+                let Some(bg) = self.cfg.background.clone() else {
+                    return;
+                };
+                let cores = (bg.cores.sample(&mut self.rng).round() as u32)
+                    .clamp(1, self.cfg.total_cores);
+                let runtime = SimDuration::from_secs_f64(bg.runtime.sample(&mut self.rng).max(1.0));
+                let walltime = runtime * bg.walltime_factor;
+                let id = JobId(self.next_internal_id);
+                self.next_internal_id += 1;
+                self.submit_internal(
+                    now,
+                    BatchRequest {
+                        job: id,
+                        cores,
+                        walltime,
+                        runtime,
+                    },
+                    false,
+                );
+                self.arm_tick(fx);
+                let next = bg.interarrival.sample(&mut self.rng).max(0.001);
+                fx.after(SimDuration::from_secs_f64(next), HpcIn::BackgroundArrival);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{drive, drive_until};
+
+    fn req(id: u64, cores: u32, runtime_s: u64, walltime_s: u64) -> BatchRequest {
+        BatchRequest {
+            job: JobId(id),
+            cores,
+            walltime: SimDuration::from_secs(walltime_s),
+            runtime: SimDuration::from_secs(runtime_s),
+        }
+    }
+
+    fn submit_at(t: u64, r: BatchRequest) -> (SimTime, HpcIn) {
+        (SimTime::from_secs(t), HpcIn::Submit(r))
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let mut c = HpcCluster::new(HpcConfig::quiet("test", 16));
+        let outs = drive(&mut c, vec![submit_at(0, req(1, 8, 100, 200))]);
+        assert_eq!(
+            outs.iter().map(|(_, o)| o.clone()).collect::<Vec<_>>(),
+            vec![
+                HpcOut::Queued { job: JobId(1) },
+                HpcOut::Started { job: JobId(1) },
+                HpcOut::Finished {
+                    job: JobId(1),
+                    outcome: JobOutcome::Completed
+                },
+            ]
+        );
+        // Start after one dispatch cycle (1s), finish 100s later.
+        assert_eq!(outs[1].0, SimTime::from_secs(1));
+        assert_eq!(outs[2].0, SimTime::from_secs(101));
+        assert_eq!(c.free_cores(), 16);
+    }
+
+    #[test]
+    fn walltime_exceeded_is_enforced() {
+        let mut c = HpcCluster::new(HpcConfig::quiet("test", 4));
+        let outs = drive(&mut c, vec![submit_at(0, req(1, 2, 500, 100))]);
+        let (t, last) = outs.last().unwrap();
+        assert_eq!(
+            *last,
+            HpcOut::Finished {
+                job: JobId(1),
+                outcome: JobOutcome::WalltimeExceeded
+            }
+        );
+        assert_eq!(*t, SimTime::from_secs(101)); // 1s dispatch + 100s walltime
+    }
+
+    #[test]
+    fn oversized_request_rejected() {
+        let mut c = HpcCluster::new(HpcConfig::quiet("test", 4));
+        let outs = drive(&mut c, vec![submit_at(0, req(1, 8, 10, 10))]);
+        assert_eq!(
+            outs[0].1,
+            HpcOut::Finished {
+                job: JobId(1),
+                outcome: JobOutcome::Rejected
+            }
+        );
+    }
+
+    #[test]
+    fn fcfs_queueing_when_full() {
+        let mut c = HpcCluster::new(HpcConfig::quiet("test", 4));
+        let outs = drive(
+            &mut c,
+            vec![
+                submit_at(0, req(1, 4, 100, 100)),
+                submit_at(0, req(2, 4, 50, 100)),
+            ],
+        );
+        let start2 = outs
+            .iter()
+            .find(|(_, o)| matches!(o, HpcOut::Started { job } if *job == JobId(2)))
+            .unwrap();
+        // Job 2 cannot start until job 1 finishes at t=101 (+1s cycle).
+        assert_eq!(start2.0, SimTime::from_secs(102));
+    }
+
+    #[test]
+    fn easy_backfill_starts_small_short_job_early() {
+        // 8 cores. J1 takes 6 for 100s. J2 (head of queue after J1) wants
+        // 8 cores -> waits. J3 wants 2 cores for 10s: fits now and ends
+        // before J2's shadow (t=101) -> backfilled.
+        let mut c = HpcCluster::new(HpcConfig::quiet("test", 8));
+        let outs = drive(
+            &mut c,
+            vec![
+                submit_at(0, req(1, 6, 100, 100)),
+                submit_at(2, req(2, 8, 50, 100)),
+                submit_at(3, req(3, 2, 10, 10)),
+            ],
+        );
+        let start = |id: u64| {
+            outs.iter()
+                .find(|(_, o)| matches!(o, HpcOut::Started { job } if *job == JobId(id)))
+                .map(|(t, _)| *t)
+                .unwrap()
+        };
+        assert!(start(3) < start(2), "J3 should backfill ahead of J2");
+        assert!(start(3) < SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn backfill_never_delays_head_job() {
+        // 8 cores. J1: 6 cores 100s. J2 (head): 8 cores. J3: 2 cores for
+        // 500s — would run past the shadow (101) and extra cores are 0, so
+        // it must NOT backfill.
+        let mut c = HpcCluster::new(HpcConfig::quiet("test", 8));
+        let outs = drive(
+            &mut c,
+            vec![
+                submit_at(0, req(1, 6, 100, 100)),
+                submit_at(2, req(2, 8, 50, 100)),
+                submit_at(3, req(3, 2, 500, 500)),
+            ],
+        );
+        let start = |id: u64| {
+            outs.iter()
+                .find(|(_, o)| matches!(o, HpcOut::Started { job } if *job == JobId(id)))
+                .map(|(t, _)| *t)
+                .unwrap()
+        };
+        assert!(
+            start(2) <= SimTime::from_secs(102),
+            "head job delayed to {:?}",
+            start(2)
+        );
+        assert!(start(3) >= start(2));
+    }
+
+    #[test]
+    fn cancel_queued_job() {
+        let mut c = HpcCluster::new(HpcConfig::quiet("test", 4));
+        let outs = drive(
+            &mut c,
+            vec![
+                submit_at(0, req(1, 4, 100, 100)),
+                submit_at(0, req(2, 4, 100, 100)),
+                (SimTime::from_secs(5), HpcIn::Cancel(JobId(2))),
+            ],
+        );
+        let fin2 = outs
+            .iter()
+            .find(|(_, o)| matches!(o, HpcOut::Finished { job, .. } if *job == JobId(2)))
+            .unwrap();
+        assert_eq!(
+            fin2.1,
+            HpcOut::Finished {
+                job: JobId(2),
+                outcome: JobOutcome::Canceled
+            }
+        );
+        assert_eq!(fin2.0, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn cancel_running_job_frees_cores_and_suppresses_stale_finish() {
+        let mut c = HpcCluster::new(HpcConfig::quiet("test", 4));
+        let outs = drive(
+            &mut c,
+            vec![
+                submit_at(0, req(1, 4, 100, 100)),
+                (SimTime::from_secs(50), HpcIn::Cancel(JobId(1))),
+                submit_at(60, req(2, 4, 10, 20)),
+            ],
+        );
+        let finished: Vec<_> = outs
+            .iter()
+            .filter(|(_, o)| matches!(o, HpcOut::Finished { .. }))
+            .collect();
+        assert_eq!(finished.len(), 2, "exactly one Finished per job: {outs:?}");
+        assert_eq!(
+            finished[0].1,
+            HpcOut::Finished {
+                job: JobId(1),
+                outcome: JobOutcome::Canceled
+            }
+        );
+        // Job 2 starts promptly because cores were freed.
+        let start2 = outs
+            .iter()
+            .find(|(_, o)| matches!(o, HpcOut::Started { job } if *job == JobId(2)))
+            .unwrap();
+        assert_eq!(start2.0, SimTime::from_secs(61));
+    }
+
+    #[test]
+    fn pilot_style_job_runs_until_cancel() {
+        let mut c = HpcCluster::new(HpcConfig::quiet("test", 8));
+        let pilot = BatchRequest {
+            job: JobId(9),
+            cores: 8,
+            walltime: SimDuration::from_hours(2),
+            runtime: SimDuration::MAX,
+        };
+        let outs = drive(
+            &mut c,
+            vec![
+                (SimTime::ZERO, HpcIn::Submit(pilot)),
+                (SimTime::from_secs(500), HpcIn::Cancel(JobId(9))),
+            ],
+        );
+        let fin = outs.last().unwrap();
+        assert_eq!(fin.0, SimTime::from_secs(500));
+        assert_eq!(
+            fin.1,
+            HpcOut::Finished {
+                job: JobId(9),
+                outcome: JobOutcome::Canceled
+            }
+        );
+    }
+
+    #[test]
+    fn pilot_walltime_expiry_without_cancel() {
+        let mut c = HpcCluster::new(HpcConfig::quiet("test", 8));
+        let pilot = BatchRequest {
+            job: JobId(9),
+            cores: 8,
+            walltime: SimDuration::from_secs(300),
+            runtime: SimDuration::MAX,
+        };
+        let outs = drive(&mut c, vec![(SimTime::ZERO, HpcIn::Submit(pilot))]);
+        let fin = outs.last().unwrap();
+        assert_eq!(fin.0, SimTime::from_secs(301));
+        assert_eq!(
+            fin.1,
+            HpcOut::Finished {
+                job: JobId(9),
+                outcome: JobOutcome::WalltimeExceeded
+            }
+        );
+    }
+
+    #[test]
+    fn background_load_creates_queue_waits() {
+        let cores = 32;
+        let bg = BackgroundLoad::at_utilization(
+            0.9,
+            cores,
+            Dist::constant(8.0),
+            Dist::exponential(600.0),
+        );
+        let cfg = HpcConfig::quiet("busy", cores).with_background(bg);
+        let mut c = HpcCluster::new(cfg);
+        let mut inputs = c.initial_inputs();
+        // Submit an external job into the storm after warm-up.
+        inputs.push((
+            SimTime::from_secs(4000),
+            HpcIn::Submit(req(1, 16, 60, 120)),
+        ));
+        let outs = drive_until(&mut c, inputs, SimTime::from_secs(40_000));
+        let started = outs
+            .iter()
+            .find(|(_, o)| matches!(o, HpcOut::Started { job } if *job == JobId(1)));
+        assert!(started.is_some(), "external job starved: {outs:?}");
+        let wait = started.unwrap().0.since(SimTime::from_secs(4000));
+        assert!(
+            wait > SimDuration::from_secs(1),
+            "expected contention-induced wait, got {wait}"
+        );
+        let util = c.utilization(SimTime::from_secs(40_000));
+        assert!(util > 0.5, "utilization only {util}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outputs() {
+        let run = || {
+            let bg = BackgroundLoad::at_utilization(
+                0.7,
+                16,
+                Dist::uniform(1.0, 8.0),
+                Dist::exponential(300.0),
+            );
+            let mut c = HpcCluster::new(HpcConfig::quiet("d", 16).with_background(bg));
+            let mut inputs = c.initial_inputs();
+            inputs.push((SimTime::from_secs(1000), HpcIn::Submit(req(1, 8, 50, 100))));
+            drive_until(&mut c, inputs, SimTime::from_secs(5000))
+                .iter()
+                .map(|(t, o)| format!("{t:?}{o:?}"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn estimated_wait_zero_on_idle_cluster() {
+        let c = HpcCluster::new(HpcConfig::quiet("idle", 8));
+        assert_eq!(c.estimated_wait(SimTime::ZERO, 4), SimDuration::ZERO);
+        assert_eq!(c.estimated_wait(SimTime::ZERO, 9), SimDuration::MAX);
+    }
+
+    #[test]
+    fn metrics_track_started_and_finished() {
+        let mut c = HpcCluster::new(HpcConfig::quiet("m", 8));
+        drive(
+            &mut c,
+            vec![submit_at(0, req(1, 4, 10, 20)), submit_at(0, req(2, 4, 10, 20))],
+        );
+        assert_eq!(c.external_counts(), (2, 2));
+        assert_eq!(c.queue_length(), 0);
+        assert!(c.mean_wait() >= 1.0); // at least the dispatch cycle
+        assert_eq!(c.waits().len(), 2);
+    }
+}

@@ -1,0 +1,449 @@
+//! High-throughput computing pool (HTCondor-like): single-slot jobs matched
+//! to heterogeneous slots on a periodic negotiation cycle, with per-job
+//! startup overhead and unreliable nodes.
+//!
+//! HTC's character versus HPC batch: no gang allocation (each slot is
+//! independent), matchmaking latency on the order of a cycle, higher per-job
+//! overhead, and non-trivial failure rates — the properties that make pilots
+//! (glide-ins) attractive on such pools.
+
+use crate::component::{Component, Effects};
+use crate::types::{JobId, JobOutcome};
+use pilot_sim::{Dist, SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
+
+/// Pool configuration.
+#[derive(Clone, Debug)]
+pub struct HtcConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of single-core execution slots.
+    pub slots: u32,
+    /// Seconds between matchmaking (negotiation) cycles.
+    pub match_cycle: f64,
+    /// Per-job startup overhead (file transfer, sandbox setup), seconds.
+    pub startup_overhead: Dist,
+    /// Mean time between failures per busy slot, seconds (None = reliable).
+    pub slot_mtbf: Option<f64>,
+    /// Requeue jobs lost to slot failures.
+    pub requeue_on_failure: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HtcConfig {
+    /// A reliable pool with a 30-second negotiation cycle and ~5 s overhead.
+    pub fn reliable(name: &str, slots: u32) -> Self {
+        HtcConfig {
+            name: name.to_string(),
+            slots,
+            match_cycle: 30.0,
+            startup_overhead: Dist::uniform(2.0, 8.0),
+            slot_mtbf: None,
+            requeue_on_failure: true,
+            seed: 0x147C,
+        }
+    }
+
+    /// Add slot failures with the given per-slot MTBF in seconds.
+    pub fn with_failures(mut self, mtbf: f64) -> Self {
+        self.slot_mtbf = Some(mtbf);
+        self
+    }
+}
+
+/// A single-slot job submission.
+#[derive(Clone, Debug)]
+pub struct HtcRequest {
+    /// Submitter-chosen id.
+    pub job: JobId,
+    /// Actual runtime; `SimDuration::MAX` for run-until-canceled (glide-ins).
+    pub runtime: SimDuration,
+}
+
+/// Input alphabet.
+#[derive(Clone, Debug)]
+pub enum HtcIn {
+    /// Submit a job to the pool queue.
+    Submit(HtcRequest),
+    /// Cancel a queued or running job.
+    Cancel(JobId),
+    /// Internal: negotiation cycle.
+    MatchCycle,
+    /// Internal: running job completes (generation-guarded).
+    FinishDue(JobId, u64),
+    /// Internal: failure strikes a slot (generation-guarded per slot).
+    SlotFailure(u32, u64),
+}
+
+/// Output notifications.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HtcOut {
+    /// Job accepted into the queue.
+    Queued { job: JobId },
+    /// Job matched to a slot and finished its startup overhead.
+    Started { job: JobId, slot: u32 },
+    /// Job reached a terminal state (or was requeued after a failure —
+    /// then `Requeued` is emitted instead of `Finished`).
+    Finished { job: JobId, outcome: JobOutcome },
+    /// Job lost to a failure and placed back in the queue.
+    Requeued { job: JobId },
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum St {
+    Queued,
+    Running(u32),
+    Terminal,
+}
+
+struct Job {
+    runtime: SimDuration,
+    state: St,
+    generation: u64,
+}
+
+/// The pool simulation component.
+pub struct HtcPool {
+    cfg: HtcConfig,
+    rng: SimRng,
+    jobs: HashMap<JobId, Job>,
+    queue: Vec<JobId>,
+    /// `slot_busy[s]` = job occupying slot s.
+    slot_busy: Vec<Option<JobId>>,
+    /// Per-slot failure-timer generation (bumped when a slot frees).
+    slot_gen: Vec<u64>,
+    started: u64,
+    failed: u64,
+}
+
+impl HtcPool {
+    /// Build a pool.
+    pub fn new(cfg: HtcConfig) -> Self {
+        let rng = SimRng::new(cfg.seed).stream(0x48_54_43);
+        let slots = cfg.slots as usize;
+        HtcPool {
+            cfg,
+            rng,
+            jobs: HashMap::new(),
+            queue: Vec::new(),
+            slot_busy: vec![None; slots],
+            slot_gen: vec![0; slots],
+            started: 0,
+            failed: 0,
+        }
+    }
+
+    /// Events to prime the negotiation cycle.
+    pub fn initial_inputs(&self) -> Vec<(SimTime, HtcIn)> {
+        vec![(
+            SimTime::from_secs_f64(self.cfg.match_cycle),
+            HtcIn::MatchCycle,
+        )]
+    }
+
+    /// Pool name.
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// Free slots right now.
+    pub fn free_slots(&self) -> u32 {
+        self.slot_busy.iter().filter(|s| s.is_none()).count() as u32
+    }
+
+    /// Jobs waiting for a match.
+    pub fn queue_length(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// (jobs started, jobs lost to failures)
+    pub fn counts(&self) -> (u64, u64) {
+        (self.started, self.failed)
+    }
+
+    fn arm_failure(&mut self, slot: u32, fx: &mut Effects<HtcIn, HtcOut>) {
+        if let Some(mtbf) = self.cfg.slot_mtbf {
+            let dt = self.rng.exponential(mtbf);
+            let gen = self.slot_gen[slot as usize];
+            fx.after(SimDuration::from_secs_f64(dt), HtcIn::SlotFailure(slot, gen));
+        }
+    }
+
+    fn free_slot(&mut self, slot: u32) {
+        self.slot_busy[slot as usize] = None;
+        self.slot_gen[slot as usize] += 1; // invalidate pending failure timers
+    }
+}
+
+impl Component for HtcPool {
+    type In = HtcIn;
+    type Out = HtcOut;
+
+    fn handle(&mut self, _now: SimTime, input: HtcIn, fx: &mut Effects<HtcIn, HtcOut>) {
+        match input {
+            HtcIn::Submit(req) => {
+                self.jobs.insert(
+                    req.job,
+                    Job {
+                        runtime: req.runtime,
+                        state: St::Queued,
+                        generation: 0,
+                    },
+                );
+                self.queue.push(req.job);
+                fx.emit(HtcOut::Queued { job: req.job });
+            }
+            HtcIn::Cancel(id) => {
+                let Some(job) = self.jobs.get_mut(&id) else {
+                    return;
+                };
+                match job.state {
+                    St::Queued => {
+                        job.state = St::Terminal;
+                        job.generation += 1;
+                        self.queue.retain(|&q| q != id);
+                        fx.emit(HtcOut::Finished {
+                            job: id,
+                            outcome: JobOutcome::Canceled,
+                        });
+                    }
+                    St::Running(slot) => {
+                        job.state = St::Terminal;
+                        job.generation += 1;
+                        self.free_slot(slot);
+                        fx.emit(HtcOut::Finished {
+                            job: id,
+                            outcome: JobOutcome::Canceled,
+                        });
+                    }
+                    St::Terminal => {}
+                }
+            }
+            HtcIn::MatchCycle => {
+                // Match FCFS queue onto free slots.
+                let mut free: Vec<u32> = (0..self.cfg.slots)
+                    .filter(|&s| self.slot_busy[s as usize].is_none())
+                    .collect();
+                while !free.is_empty() && !self.queue.is_empty() {
+                    let id = self.queue.remove(0);
+                    let slot = free.remove(0);
+                    let overhead = self.cfg.startup_overhead.sample(&mut self.rng).max(0.0);
+                    let job = self.jobs.get_mut(&id).expect("queued job exists");
+                    job.state = St::Running(slot);
+                    self.slot_busy[slot as usize] = Some(id);
+                    self.started += 1;
+                    let gen = job.generation;
+                    let runtime = job.runtime;
+                    fx.emit(HtcOut::Started { job: id, slot });
+                    fx.after(
+                        SimDuration::from_secs_f64(overhead) + runtime,
+                        HtcIn::FinishDue(id, gen),
+                    );
+                    self.arm_failure(slot, fx);
+                }
+                // Self-perpetuating cycle.
+                fx.after(
+                    SimDuration::from_secs_f64(self.cfg.match_cycle),
+                    HtcIn::MatchCycle,
+                );
+            }
+            HtcIn::FinishDue(id, gen) => {
+                let Some(job) = self.jobs.get_mut(&id) else {
+                    return;
+                };
+                let St::Running(slot) = job.state else {
+                    return;
+                };
+                if job.generation != gen {
+                    return;
+                }
+                job.state = St::Terminal;
+                job.generation += 1;
+                self.free_slot(slot);
+                fx.emit(HtcOut::Finished {
+                    job: id,
+                    outcome: JobOutcome::Completed,
+                });
+            }
+            HtcIn::SlotFailure(slot, gen) => {
+                if self.slot_gen[slot as usize] != gen {
+                    return; // slot was re-assigned since the timer was armed
+                }
+                let Some(id) = self.slot_busy[slot as usize] else {
+                    return;
+                };
+                self.failed += 1;
+                let requeue = self.cfg.requeue_on_failure;
+                self.free_slot(slot);
+                let job = self.jobs.get_mut(&id).expect("busy slot has job");
+                job.generation += 1;
+                if requeue {
+                    job.state = St::Queued;
+                    self.queue.push(id);
+                    fx.emit(HtcOut::Requeued { job: id });
+                } else {
+                    job.state = St::Terminal;
+                    fx.emit(HtcOut::Finished {
+                        job: id,
+                        outcome: JobOutcome::Failed,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::drive_until;
+
+    fn submit(t: u64, id: u64, runtime_s: u64) -> (SimTime, HtcIn) {
+        (
+            SimTime::from_secs(t),
+            HtcIn::Submit(HtcRequest {
+                job: JobId(id),
+                runtime: SimDuration::from_secs(runtime_s),
+            }),
+        )
+    }
+
+    fn run(pool: &mut HtcPool, mut inputs: Vec<(SimTime, HtcIn)>, until: u64) -> Vec<(SimTime, HtcOut)> {
+        let mut all = pool.initial_inputs();
+        all.append(&mut inputs);
+        drive_until(pool, all, SimTime::from_secs(until))
+    }
+
+    #[test]
+    fn job_waits_for_match_cycle() {
+        let mut pool = HtcPool::new(HtcConfig::reliable("osg", 4));
+        let outs = run(&mut pool, vec![submit(5, 1, 60)], 1000);
+        let started = outs
+            .iter()
+            .find(|(_, o)| matches!(o, HtcOut::Started { job, .. } if *job == JobId(1)))
+            .unwrap();
+        // The first cycle after submission is at t=30.
+        assert_eq!(started.0, SimTime::from_secs(30));
+        let finished = outs
+            .iter()
+            .find(|(_, o)| matches!(o, HtcOut::Finished { job, .. } if *job == JobId(1)))
+            .unwrap();
+        // Startup overhead (2..8s) + 60s runtime.
+        let elapsed = finished.0.since(started.0).as_secs_f64();
+        assert!((62.0..=68.0).contains(&elapsed), "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn more_jobs_than_slots_queue_up() {
+        let mut pool = HtcPool::new(HtcConfig::reliable("small", 2));
+        let inputs = (0..5).map(|i| submit(0, i, 100)).collect();
+        let outs = run(&mut pool, inputs, 10_000);
+        let finishes = outs
+            .iter()
+            .filter(|(_, o)| matches!(o, HtcOut::Finished { outcome: JobOutcome::Completed, .. }))
+            .count();
+        assert_eq!(finishes, 5);
+        // Only 2 can start in the first cycle.
+        let first_cycle_starts = outs
+            .iter()
+            .filter(|(t, o)| matches!(o, HtcOut::Started { .. }) && *t == SimTime::from_secs(30))
+            .count();
+        assert_eq!(first_cycle_starts, 2);
+        assert_eq!(pool.counts().0, 5);
+        assert_eq!(pool.free_slots(), 2);
+    }
+
+    #[test]
+    fn cancel_queued_and_running() {
+        let mut pool = HtcPool::new(HtcConfig::reliable("c", 1));
+        let outs = run(
+            &mut pool,
+            vec![
+                submit(0, 1, 1000),
+                submit(0, 2, 1000),
+                (SimTime::from_secs(40), HtcIn::Cancel(JobId(1))), // running
+                (SimTime::from_secs(41), HtcIn::Cancel(JobId(2))), // queued
+            ],
+            200,
+        );
+        let canceled: Vec<u64> = outs
+            .iter()
+            .filter_map(|(_, o)| match o {
+                HtcOut::Finished {
+                    job,
+                    outcome: JobOutcome::Canceled,
+                } => Some(job.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(canceled, vec![1, 2]);
+        assert_eq!(pool.queue_length(), 0);
+        assert_eq!(pool.free_slots(), 1);
+    }
+
+    #[test]
+    fn failures_requeue_and_eventually_complete() {
+        let cfg = HtcConfig::reliable("flaky", 2).with_failures(120.0);
+        let mut pool = HtcPool::new(cfg);
+        let outs = run(&mut pool, vec![submit(0, 1, 300), submit(0, 2, 300)], 100_000);
+        let completed = outs
+            .iter()
+            .filter(|(_, o)| matches!(o, HtcOut::Finished { outcome: JobOutcome::Completed, .. }))
+            .count();
+        assert_eq!(completed, 2, "{outs:?}");
+        let requeues = outs
+            .iter()
+            .filter(|(_, o)| matches!(o, HtcOut::Requeued { .. }))
+            .count();
+        assert!(requeues > 0, "MTBF 120s vs 300s jobs should fail sometimes");
+        assert_eq!(pool.counts().1 as usize, requeues);
+    }
+
+    #[test]
+    fn failures_without_requeue_report_failed() {
+        let mut cfg = HtcConfig::reliable("flaky", 1).with_failures(50.0);
+        cfg.requeue_on_failure = false;
+        let mut pool = HtcPool::new(cfg);
+        let outs = run(&mut pool, vec![submit(0, 1, 10_000)], 200_000);
+        let last = outs
+            .iter()
+            .rfind(|(_, o)| matches!(o, HtcOut::Finished { .. }))
+            .unwrap();
+        assert_eq!(
+            last.1,
+            HtcOut::Finished {
+                job: JobId(1),
+                outcome: JobOutcome::Failed
+            }
+        );
+    }
+
+    #[test]
+    fn stale_failure_timer_does_not_kill_next_job() {
+        // Job 1 finishes; its slot's failure timer (armed while 1 ran) must
+        // not fire on job 2.
+        let cfg = HtcConfig::reliable("gen", 1).with_failures(1e9); // effectively never
+        let mut pool = HtcPool::new(cfg);
+        let outs = run(&mut pool, vec![submit(0, 1, 10), submit(0, 2, 10)], 10_000);
+        let completed = outs
+            .iter()
+            .filter(|(_, o)| matches!(o, HtcOut::Finished { outcome: JobOutcome::Completed, .. }))
+            .count();
+        assert_eq!(completed, 2);
+    }
+
+    #[test]
+    fn determinism() {
+        let run_once = || {
+            let cfg = HtcConfig::reliable("d", 4).with_failures(500.0);
+            let mut pool = HtcPool::new(cfg);
+            let inputs = (0..10).map(|i| submit(i, i, 200)).collect();
+            run(&mut pool, inputs, 50_000)
+                .iter()
+                .map(|(t, o)| format!("{t:?}{o:?}"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,37 @@
+//! # pilot-infra — simulated heterogeneous infrastructures
+//!
+//! The paper's pilot systems ran on production HPC machines (XSEDE), HTCondor
+//! pools, IaaS clouds, serverless platforms, and Hadoop/YARN clusters. This
+//! crate provides deterministic discrete-event models of those substrates —
+//! the substitution documented in DESIGN.md. Each model captures the
+//! *behavioural* properties resource management research cares about:
+//!
+//! - **HPC batch** ([`hpc`]): space-shared cores, FCFS + EASY backfill,
+//!   walltime limits, queue waits that *emerge* from competing background load.
+//! - **HTC pool** ([`htc`]): single-slot matchmaking on a cycle, per-job
+//!   startup overhead, unreliable nodes.
+//! - **Cloud** ([`cloud`]): on-demand instances with boot latency, capacity
+//!   limits, per-second cost accounting — elasticity with a price.
+//! - **Serverless** ([`serverless`]): cold/warm starts, concurrency limits,
+//!   warm-container expiry.
+//! - **YARN-like RM** ([`yarn`]): containerized allocation with negotiation
+//!   latency, used by the Pilot-Hadoop integration.
+//! - **Network** ([`network`]): inter-site bandwidth/latency for data staging.
+//!
+//! All models implement the [`Component`] protocol: a Mealy machine with a
+//! typed input alphabet (`In`), self-scheduled future inputs, and immediate
+//! output notifications (`Out`). A composite simulation (the pilot runtime's
+//! simulated backend in `pilot-core`) wraps several components and routes
+//! their alphabets through one `pilot_sim::Executor`.
+
+pub mod cloud;
+pub mod component;
+pub mod hpc;
+pub mod htc;
+pub mod network;
+pub mod serverless;
+pub mod types;
+pub mod yarn;
+
+pub use component::{drive, drive_until, Component, Effects};
+pub use types::{JobId, JobOutcome, SiteId};

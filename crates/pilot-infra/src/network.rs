@@ -1,0 +1,205 @@
+//! Inter-site network model for data staging: per-pair bandwidth and latency
+//! with a deterministic congestion approximation.
+//!
+//! Pilot-Data experiments (EXP PD-1/PD-2) compare data-aware against
+//! data-oblivious placement; what matters is the *relative* cost of moving
+//! bytes between sites versus reading them locally. The model therefore
+//! exposes a simple, auditable formula:
+//!
+//! `transfer_time = latency + bytes / (bandwidth / max(1, concurrent_on_link))`
+//!
+//! Congestion is evaluated at transfer start (completion times are fixed when
+//! a transfer begins), a standard DES approximation that keeps the model
+//! deterministic and composable.
+
+use crate::types::SiteId;
+use pilot_sim::SimDuration;
+use std::collections::HashMap;
+
+/// One directed link's capacity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Sustained bandwidth, bytes per second.
+    pub bandwidth_bps: f64,
+    /// One-way latency, seconds.
+    pub latency_s: f64,
+}
+
+/// The multi-site network.
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    sites: Vec<String>,
+    /// Default for intra-site movement (node-local or parallel FS).
+    local: LinkSpec,
+    /// Default for any pair without an explicit override.
+    wan_default: LinkSpec,
+    /// Directed overrides.
+    links: HashMap<(SiteId, SiteId), LinkSpec>,
+    /// Active transfer count per directed pair (congestion bookkeeping).
+    active: HashMap<(SiteId, SiteId), u32>,
+}
+
+impl NetworkModel {
+    /// Build a network over named sites with typical defaults:
+    /// 10 GB/s local, 100 MB/s + 50 ms WAN.
+    pub fn new(site_names: &[&str]) -> Self {
+        NetworkModel {
+            sites: site_names.iter().map(|s| s.to_string()).collect(),
+            local: LinkSpec {
+                bandwidth_bps: 10e9,
+                latency_s: 0.0001,
+            },
+            wan_default: LinkSpec {
+                bandwidth_bps: 100e6,
+                latency_s: 0.05,
+            },
+            links: HashMap::new(),
+            active: HashMap::new(),
+        }
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Resolve a site id by name.
+    pub fn site(&self, name: &str) -> Option<SiteId> {
+        self.sites
+            .iter()
+            .position(|s| s == name)
+            .map(|i| SiteId(i as u16))
+    }
+
+    /// Name of a site.
+    pub fn site_name(&self, id: SiteId) -> &str {
+        &self.sites[id.0 as usize]
+    }
+
+    /// Override the intra-site link.
+    pub fn set_local(&mut self, spec: LinkSpec) {
+        self.local = spec;
+    }
+
+    /// Override the WAN default.
+    pub fn set_wan_default(&mut self, spec: LinkSpec) {
+        self.wan_default = spec;
+    }
+
+    /// Override one directed pair.
+    pub fn set_link(&mut self, src: SiteId, dst: SiteId, spec: LinkSpec) {
+        self.links.insert((src, dst), spec);
+    }
+
+    /// The effective spec for a pair.
+    pub fn link(&self, src: SiteId, dst: SiteId) -> LinkSpec {
+        if src == dst {
+            return self.local;
+        }
+        *self.links.get(&(src, dst)).unwrap_or(&self.wan_default)
+    }
+
+    /// Uncongested transfer time for `bytes` from `src` to `dst`.
+    pub fn base_transfer_time(&self, bytes: u64, src: SiteId, dst: SiteId) -> SimDuration {
+        let spec = self.link(src, dst);
+        SimDuration::from_secs_f64(spec.latency_s + bytes as f64 / spec.bandwidth_bps)
+    }
+
+    /// Start a transfer: registers it on the link and returns its duration
+    /// under the congestion observed *now* (including itself).
+    pub fn begin_transfer(&mut self, bytes: u64, src: SiteId, dst: SiteId) -> SimDuration {
+        let n = self.active.entry((src, dst)).or_insert(0);
+        *n += 1;
+        let share = *n as f64;
+        let spec = self.link(src, dst);
+        SimDuration::from_secs_f64(spec.latency_s + bytes as f64 * share / spec.bandwidth_bps)
+    }
+
+    /// Finish a transfer started with [`begin_transfer`](Self::begin_transfer).
+    pub fn end_transfer(&mut self, src: SiteId, dst: SiteId) {
+        if let Some(n) = self.active.get_mut(&(src, dst)) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// Transfers currently registered on a directed pair.
+    pub fn active_on(&self, src: SiteId, dst: SiteId) -> u32 {
+        *self.active.get(&(src, dst)).unwrap_or(&0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkModel {
+        NetworkModel::new(&["hpc", "cloud", "htc"])
+    }
+
+    #[test]
+    fn site_lookup() {
+        let n = net();
+        assert_eq!(n.site("hpc"), Some(SiteId(0)));
+        assert_eq!(n.site("cloud"), Some(SiteId(1)));
+        assert_eq!(n.site("nope"), None);
+        assert_eq!(n.site_name(SiteId(2)), "htc");
+        assert_eq!(n.site_count(), 3);
+    }
+
+    #[test]
+    fn local_is_much_faster_than_wan() {
+        let n = net();
+        let local = n.base_transfer_time(1_000_000_000, SiteId(0), SiteId(0));
+        let wan = n.base_transfer_time(1_000_000_000, SiteId(0), SiteId(1));
+        assert!(local.as_secs_f64() < 1.0);
+        assert!(wan.as_secs_f64() > 9.0, "1 GB over 100 MB/s ~ 10 s");
+        assert!(wan.as_secs_f64() > 50.0 * local.as_secs_f64());
+    }
+
+    #[test]
+    fn link_override_applies_directionally() {
+        let mut n = net();
+        n.set_link(
+            SiteId(0),
+            SiteId(1),
+            LinkSpec {
+                bandwidth_bps: 1e9,
+                latency_s: 0.01,
+            },
+        );
+        let fwd = n.base_transfer_time(1_000_000_000, SiteId(0), SiteId(1));
+        let rev = n.base_transfer_time(1_000_000_000, SiteId(1), SiteId(0));
+        assert!(fwd.as_secs_f64() < 1.1);
+        assert!(rev.as_secs_f64() > 9.0, "reverse keeps WAN default");
+    }
+
+    #[test]
+    fn congestion_slows_concurrent_transfers() {
+        let mut n = net();
+        let (a, b) = (SiteId(0), SiteId(1));
+        let t1 = n.begin_transfer(100_000_000, a, b);
+        let t2 = n.begin_transfer(100_000_000, a, b);
+        assert!(t2.as_secs_f64() > 1.9 * t1.as_secs_f64());
+        assert_eq!(n.active_on(a, b), 2);
+        n.end_transfer(a, b);
+        n.end_transfer(a, b);
+        assert_eq!(n.active_on(a, b), 0);
+        // Fresh transfer sees no congestion again.
+        let t3 = n.begin_transfer(100_000_000, a, b);
+        assert_eq!(t3, t1);
+    }
+
+    #[test]
+    fn end_without_begin_is_harmless() {
+        let mut n = net();
+        n.end_transfer(SiteId(0), SiteId(1));
+        assert_eq!(n.active_on(SiteId(0), SiteId(1)), 0);
+    }
+
+    #[test]
+    fn zero_bytes_costs_latency_only() {
+        let n = net();
+        let t = n.base_transfer_time(0, SiteId(0), SiteId(1));
+        assert!((t.as_secs_f64() - 0.05).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,280 @@
+//! Serverless (FaaS) platform model: cold/warm starts, per-tenant concurrency
+//! limits, and lazily-expiring warm containers.
+//!
+//! Needed for the Pilot-Streaming serverless experiments (\[73\] in the paper):
+//! serverless trades provisioning latency (none visible beyond cold start)
+//! against strict concurrency ceilings and invocation-grained costs.
+
+use crate::component::{Component, Effects};
+use pilot_sim::{Dist, SimDuration, SimRng, SimTime};
+use std::collections::VecDeque;
+
+/// Platform configuration.
+#[derive(Clone, Debug)]
+pub struct ServerlessConfig {
+    /// Platform name.
+    pub name: String,
+    /// Cold-start latency distribution, seconds.
+    pub cold_start: Dist,
+    /// Warm-start latency distribution, seconds.
+    pub warm_start: Dist,
+    /// Maximum concurrent executions for this tenant.
+    pub max_concurrency: u32,
+    /// Idle warm container lifetime before reclamation.
+    pub warm_lifetime: SimDuration,
+    /// Cost per GB-second (billing granularity abstracted to seconds).
+    pub cost_per_gb_s: f64,
+    /// Assumed memory size per function instance, GB.
+    pub memory_gb: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ServerlessConfig {
+    /// Lambda-like defaults: ~1 s cold start, ~10 ms warm, 10-minute warm pool.
+    pub fn lambda_like(name: &str, max_concurrency: u32) -> Self {
+        ServerlessConfig {
+            name: name.to_string(),
+            cold_start: Dist::uniform(0.6, 1.8),
+            warm_start: Dist::uniform(0.005, 0.02),
+            max_concurrency,
+            warm_lifetime: SimDuration::from_mins(10),
+            cost_per_gb_s: 0.0000166667,
+            memory_gb: 1.769,
+            seed: 0xFAA5,
+        }
+    }
+}
+
+/// Input alphabet.
+#[derive(Clone, Debug)]
+pub enum ServerlessIn {
+    /// Invoke the function; `duration` is the handler's execution time.
+    Invoke { id: u64, duration: SimDuration },
+    /// Internal: an invocation finishes.
+    ExecDone { id: u64, started: SimTime, cold: bool },
+}
+
+/// Output notifications.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerlessOut {
+    /// Invocation finished; `latency` includes start overhead.
+    Completed {
+        id: u64,
+        latency: SimDuration,
+        cold: bool,
+    },
+    /// Throttled: the concurrency ceiling was hit.
+    Throttled { id: u64 },
+}
+
+/// The platform simulation component.
+pub struct ServerlessPlatform {
+    cfg: ServerlessConfig,
+    rng: SimRng,
+    active: u32,
+    /// Warm containers as their reclamation deadlines (front = oldest).
+    warm_pool: VecDeque<SimTime>,
+    invocations: u64,
+    cold_starts: u64,
+    throttles: u64,
+    billed_gb_s: f64,
+}
+
+impl ServerlessPlatform {
+    /// Build a platform.
+    pub fn new(cfg: ServerlessConfig) -> Self {
+        let rng = SimRng::new(cfg.seed).stream(0xFA_A5);
+        ServerlessPlatform {
+            cfg,
+            rng,
+            active: 0,
+            warm_pool: VecDeque::new(),
+            invocations: 0,
+            cold_starts: 0,
+            throttles: 0,
+            billed_gb_s: 0.0,
+        }
+    }
+
+    /// Platform name.
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// Currently executing invocations.
+    pub fn active(&self) -> u32 {
+        self.active
+    }
+
+    /// (total invocations, cold starts, throttles)
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.invocations, self.cold_starts, self.throttles)
+    }
+
+    /// Accumulated charges.
+    pub fn cost_total(&self) -> f64 {
+        self.billed_gb_s * self.cfg.cost_per_gb_s
+    }
+
+    /// Drop warm containers whose lifetime lapsed (lazy expiry).
+    fn expire_warm(&mut self, now: SimTime) {
+        while let Some(&deadline) = self.warm_pool.front() {
+            if deadline <= now {
+                self.warm_pool.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of live warm containers at `now`.
+    pub fn warm_count(&mut self, now: SimTime) -> usize {
+        self.expire_warm(now);
+        self.warm_pool.len()
+    }
+}
+
+impl Component for ServerlessPlatform {
+    type In = ServerlessIn;
+    type Out = ServerlessOut;
+
+    fn handle(&mut self, now: SimTime, input: ServerlessIn, fx: &mut Effects<ServerlessIn, ServerlessOut>) {
+        match input {
+            ServerlessIn::Invoke { id, duration } => {
+                self.expire_warm(now);
+                if self.active >= self.cfg.max_concurrency {
+                    self.throttles += 1;
+                    fx.emit(ServerlessOut::Throttled { id });
+                    return;
+                }
+                self.active += 1;
+                self.invocations += 1;
+                let cold = if self.warm_pool.pop_front().is_some() {
+                    false
+                } else {
+                    self.cold_starts += 1;
+                    true
+                };
+                let start = if cold {
+                    self.cfg.cold_start.sample(&mut self.rng)
+                } else {
+                    self.cfg.warm_start.sample(&mut self.rng)
+                }
+                .max(0.0);
+                self.billed_gb_s += duration.as_secs_f64() * self.cfg.memory_gb;
+                fx.after(
+                    SimDuration::from_secs_f64(start) + duration,
+                    ServerlessIn::ExecDone {
+                        id,
+                        started: now,
+                        cold,
+                    },
+                );
+            }
+            ServerlessIn::ExecDone { id, started, cold } => {
+                self.active -= 1;
+                // The container returns to the warm pool.
+                self.warm_pool.push_back(now + self.cfg.warm_lifetime);
+                fx.emit(ServerlessOut::Completed {
+                    id,
+                    latency: now.since(started),
+                    cold,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::drive;
+
+    fn invoke(t_ms: u64, id: u64, dur_ms: u64) -> (SimTime, ServerlessIn) {
+        (
+            SimTime::from_nanos(t_ms * 1_000_000),
+            ServerlessIn::Invoke {
+                id,
+                duration: SimDuration::from_millis(dur_ms),
+            },
+        )
+    }
+
+    #[test]
+    fn first_call_cold_second_warm() {
+        let mut p = ServerlessPlatform::new(ServerlessConfig::lambda_like("f", 10));
+        let outs = drive(&mut p, vec![invoke(0, 1, 100), invoke(5000, 2, 100)]);
+        let lat = |id: u64| {
+            outs.iter()
+                .find_map(|(_, o)| match o {
+                    ServerlessOut::Completed {
+                        id: oid,
+                        latency,
+                        cold,
+                    } if *oid == id => Some((*latency, *cold)),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        let (l1, c1) = lat(1);
+        let (l2, c2) = lat(2);
+        assert!(c1 && !c2);
+        assert!(l1 > l2, "cold {l1} should exceed warm {l2}");
+        assert!(l1.as_secs_f64() >= 0.7); // >= 0.6 cold + 0.1 exec
+        assert!(l2.as_secs_f64() < 0.2);
+        assert_eq!(p.counts(), (2, 1, 0));
+    }
+
+    #[test]
+    fn warm_container_expires() {
+        let mut cfg = ServerlessConfig::lambda_like("f", 10);
+        cfg.warm_lifetime = SimDuration::from_secs(60);
+        let mut p = ServerlessPlatform::new(cfg);
+        // Second invocation 2 minutes later: warm container is gone.
+        let outs = drive(
+            &mut p,
+            vec![invoke(0, 1, 100), invoke(180_000, 2, 100)],
+        );
+        let colds = outs
+            .iter()
+            .filter(|(_, o)| matches!(o, ServerlessOut::Completed { cold: true, .. }))
+            .count();
+        assert_eq!(colds, 2);
+    }
+
+    #[test]
+    fn concurrency_ceiling_throttles() {
+        let mut p = ServerlessPlatform::new(ServerlessConfig::lambda_like("f", 2));
+        let outs = drive(
+            &mut p,
+            vec![invoke(0, 1, 5000), invoke(0, 2, 5000), invoke(0, 3, 5000)],
+        );
+        assert!(outs
+            .iter()
+            .any(|(_, o)| matches!(o, ServerlessOut::Throttled { id: 3 })));
+        let completed = outs
+            .iter()
+            .filter(|(_, o)| matches!(o, ServerlessOut::Completed { .. }))
+            .count();
+        assert_eq!(completed, 2);
+        assert_eq!(p.counts().2, 1);
+    }
+
+    #[test]
+    fn cost_scales_with_duration() {
+        let mut p = ServerlessPlatform::new(ServerlessConfig::lambda_like("f", 10));
+        drive(&mut p, vec![invoke(0, 1, 1000)]);
+        let expected = 1.0 * 1.769 * 0.0000166667;
+        assert!((p.cost_total() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_pool_grows_with_parallel_invocations() {
+        let mut p = ServerlessPlatform::new(ServerlessConfig::lambda_like("f", 100));
+        let inputs = (0..10).map(|i| invoke(0, i, 500)).collect();
+        drive(&mut p, inputs);
+        assert_eq!(p.warm_count(SimTime::from_secs(5)), 10);
+        assert_eq!(p.warm_count(SimTime::from_secs(3600)), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Identifiers and shared vocabulary across infrastructure models.
+
+use std::fmt;
+
+/// Identifier of a job within one infrastructure component.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Identifier of a site (cluster, cloud region, pool) in a multi-site setup.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SiteId(pub u16);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site-{}", self.0)
+    }
+}
+
+/// Terminal state of a job on any infrastructure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobOutcome {
+    /// Ran to completion within its walltime.
+    Completed,
+    /// Killed by the resource manager at its walltime limit.
+    WalltimeExceeded,
+    /// Canceled by the submitter (queued or running).
+    Canceled,
+    /// Lost to an infrastructure failure (node crash, preemption).
+    Failed,
+    /// Rejected at submission (over capacity / invalid request).
+    Rejected,
+}
+
+impl JobOutcome {
+    /// Whether the outcome counts as successful for the workload.
+    pub fn is_success(self) -> bool {
+        matches!(self, JobOutcome::Completed)
+    }
+}
+
+impl fmt::Display for JobOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobOutcome::Completed => "completed",
+            JobOutcome::WalltimeExceeded => "walltime-exceeded",
+            JobOutcome::Canceled => "canceled",
+            JobOutcome::Failed => "failed",
+            JobOutcome::Rejected => "rejected",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_success() {
+        assert_eq!(JobId(3).to_string(), "job-3");
+        assert_eq!(SiteId(1).to_string(), "site-1");
+        assert!(JobOutcome::Completed.is_success());
+        for o in [
+            JobOutcome::WalltimeExceeded,
+            JobOutcome::Canceled,
+            JobOutcome::Failed,
+            JobOutcome::Rejected,
+        ] {
+            assert!(!o.is_success());
+        }
+        assert_eq!(JobOutcome::WalltimeExceeded.to_string(), "walltime-exceeded");
+    }
+}

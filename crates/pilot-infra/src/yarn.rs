@@ -1,0 +1,287 @@
+//! YARN-like container resource manager: FIFO allocation of vcore-sized
+//! containers with a negotiation latency, no walltime limits.
+//!
+//! This is the substrate the Pilot-Hadoop integration targets: big-data
+//! frameworks lease long-lived containers and run their own tasks inside
+//! them — exactly the placeholder pattern pilots generalize.
+
+use crate::component::{Component, Effects};
+use pilot_sim::{Dist, SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an allocated container, chosen by the requester.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ContainerId(pub u64);
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "container-{}", self.0)
+    }
+}
+
+/// Resource-manager configuration.
+#[derive(Clone, Debug)]
+pub struct YarnConfig {
+    /// Cluster name.
+    pub name: String,
+    /// Total vcores managed.
+    pub total_vcores: u32,
+    /// Allocation round-trip latency (AM heartbeat + scheduling), seconds.
+    pub alloc_latency: Dist,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl YarnConfig {
+    /// A cluster with ~2 s heartbeat-bound allocation latency.
+    pub fn new(name: &str, total_vcores: u32) -> Self {
+        YarnConfig {
+            name: name.to_string(),
+            total_vcores,
+            alloc_latency: Dist::uniform(1.0, 3.0),
+            seed: 0x9A84,
+        }
+    }
+}
+
+/// Input alphabet.
+#[derive(Clone, Debug)]
+pub enum YarnIn {
+    /// Request one container of `vcores`.
+    Request { container: ContainerId, vcores: u32 },
+    /// Release an allocated (or pending) container.
+    Release(ContainerId),
+    /// Internal: the allocation round-trip completes for the queue head(s).
+    AllocRound,
+}
+
+/// Output notifications.
+#[derive(Clone, Debug, PartialEq)]
+pub enum YarnOut {
+    /// Container granted and running.
+    Allocated { container: ContainerId, vcores: u32 },
+    /// Container released (or canceled while pending).
+    Released { container: ContainerId },
+    /// Request can never be satisfied (exceeds cluster size).
+    Rejected { container: ContainerId },
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum St {
+    Pending,
+    Allocated,
+    Gone,
+}
+
+/// The resource-manager simulation component.
+pub struct YarnCluster {
+    cfg: YarnConfig,
+    rng: SimRng,
+    state: HashMap<ContainerId, (u32, St)>,
+    /// FIFO of pending requests.
+    pending: Vec<ContainerId>,
+    used_vcores: u32,
+    round_armed: bool,
+}
+
+impl YarnCluster {
+    /// Build a resource manager.
+    pub fn new(cfg: YarnConfig) -> Self {
+        let rng = SimRng::new(cfg.seed).stream(0x9A_84);
+        YarnCluster {
+            cfg,
+            rng,
+            state: HashMap::new(),
+            pending: Vec::new(),
+            used_vcores: 0,
+            round_armed: false,
+        }
+    }
+
+    /// Cluster name.
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// Currently allocated vcores.
+    pub fn used_vcores(&self) -> u32 {
+        self.used_vcores
+    }
+
+    /// Unallocated vcores.
+    pub fn free_vcores(&self) -> u32 {
+        self.cfg.total_vcores - self.used_vcores
+    }
+
+    /// Requests waiting for allocation.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn arm_round(&mut self, fx: &mut Effects<YarnIn, YarnOut>) {
+        if !self.round_armed && !self.pending.is_empty() {
+            self.round_armed = true;
+            let d = self.cfg.alloc_latency.sample(&mut self.rng).max(0.0);
+            fx.after(SimDuration::from_secs_f64(d), YarnIn::AllocRound);
+        }
+    }
+}
+
+impl Component for YarnCluster {
+    type In = YarnIn;
+    type Out = YarnOut;
+
+    fn handle(&mut self, _now: SimTime, input: YarnIn, fx: &mut Effects<YarnIn, YarnOut>) {
+        match input {
+            YarnIn::Request { container, vcores } => {
+                if vcores > self.cfg.total_vcores || vcores == 0 {
+                    fx.emit(YarnOut::Rejected { container });
+                    return;
+                }
+                self.state.insert(container, (vcores, St::Pending));
+                self.pending.push(container);
+                self.arm_round(fx);
+            }
+            YarnIn::Release(container) => {
+                let Some((vcores, st)) = self.state.get_mut(&container) else {
+                    return;
+                };
+                match *st {
+                    St::Allocated => {
+                        self.used_vcores -= *vcores;
+                        *st = St::Gone;
+                        fx.emit(YarnOut::Released { container });
+                        self.arm_round(fx);
+                    }
+                    St::Pending => {
+                        *st = St::Gone;
+                        self.pending.retain(|&c| c != container);
+                        fx.emit(YarnOut::Released { container });
+                    }
+                    St::Gone => {}
+                }
+            }
+            YarnIn::AllocRound => {
+                self.round_armed = false;
+                // FIFO head-of-line: allocate while the head fits.
+                while let Some(&head) = self.pending.first() {
+                    let (vcores, _) = self.state[&head];
+                    if vcores <= self.free_vcores() {
+                        self.pending.remove(0);
+                        self.used_vcores += vcores;
+                        self.state.insert(head, (vcores, St::Allocated));
+                        fx.emit(YarnOut::Allocated {
+                            container: head,
+                            vcores,
+                        });
+                    } else {
+                        break;
+                    }
+                }
+                self.arm_round(fx); // re-arm if requests remain blocked
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{drive, drive_until};
+
+    fn request(t: u64, id: u64, vcores: u32) -> (SimTime, YarnIn) {
+        (
+            SimTime::from_secs(t),
+            YarnIn::Request {
+                container: ContainerId(id),
+                vcores,
+            },
+        )
+    }
+
+    #[test]
+    fn allocate_after_latency() {
+        let mut y = YarnCluster::new(YarnConfig::new("emr", 64));
+        let outs = drive(&mut y, vec![request(0, 1, 16)]);
+        let (t, o) = &outs[0];
+        assert_eq!(
+            *o,
+            YarnOut::Allocated {
+                container: ContainerId(1),
+                vcores: 16
+            }
+        );
+        let secs = t.as_secs_f64();
+        assert!((1.0..=3.0).contains(&secs), "latency {secs}");
+        assert_eq!(y.used_vcores(), 16);
+    }
+
+    #[test]
+    fn fifo_blocks_behind_big_head() {
+        let mut y = YarnCluster::new(YarnConfig::new("emr", 32));
+        // Head wants 32 (fits), then 32 (blocked), then 8 (blocked behind head).
+        let outs = drive_until(
+            &mut y,
+            vec![request(0, 1, 32), request(0, 2, 32), request(0, 3, 8)],
+            SimTime::from_secs(100),
+        );
+        let allocated: Vec<u64> = outs
+            .iter()
+            .filter_map(|(_, o)| match o {
+                YarnOut::Allocated { container, .. } => Some(container.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(allocated, vec![1]);
+        assert_eq!(y.pending_len(), 2);
+    }
+
+    #[test]
+    fn release_unblocks_pending() {
+        let mut y = YarnCluster::new(YarnConfig::new("emr", 32));
+        let outs = drive(
+            &mut y,
+            vec![
+                request(0, 1, 32),
+                request(0, 2, 16),
+                (SimTime::from_secs(100), YarnIn::Release(ContainerId(1))),
+            ],
+        );
+        let alloc2 = outs
+            .iter()
+            .find(|(_, o)| matches!(o, YarnOut::Allocated { container, .. } if container.0 == 2))
+            .unwrap();
+        assert!(alloc2.0 >= SimTime::from_secs(100));
+        assert_eq!(y.used_vcores(), 16);
+    }
+
+    #[test]
+    fn cancel_pending_request() {
+        let mut y = YarnCluster::new(YarnConfig::new("emr", 8));
+        let outs = drive(
+            &mut y,
+            vec![
+                request(0, 1, 8),
+                request(0, 2, 8),
+                (SimTime::from_secs(50), YarnIn::Release(ContainerId(2))),
+            ],
+        );
+        assert!(outs
+            .iter()
+            .any(|(_, o)| matches!(o, YarnOut::Released { container } if container.0 == 2)));
+        assert_eq!(y.pending_len(), 0);
+    }
+
+    #[test]
+    fn oversized_and_zero_requests_rejected() {
+        let mut y = YarnCluster::new(YarnConfig::new("emr", 8));
+        let outs = drive(&mut y, vec![request(0, 1, 9), request(0, 2, 0)]);
+        assert_eq!(
+            outs.iter()
+                .filter(|(_, o)| matches!(o, YarnOut::Rejected { .. }))
+                .count(),
+            2
+        );
+    }
+}

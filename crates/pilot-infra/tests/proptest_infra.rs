@@ -1,0 +1,207 @@
+//! Property-based tests over the infrastructure models: conservation and
+//! safety invariants under arbitrary job streams.
+
+use pilot_infra::component::{drive, drive_until, Component, Effects};
+use pilot_infra::hpc::{BatchRequest, HpcCluster, HpcConfig, HpcIn, HpcOut};
+use pilot_infra::htc::{HtcConfig, HtcIn, HtcOut, HtcPool, HtcRequest};
+use pilot_infra::types::{JobId, JobOutcome};
+use pilot_infra::yarn::{ContainerId, YarnCluster, YarnConfig, YarnIn, YarnOut};
+use pilot_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Instrumented wrapper: replays HPC outputs while tracking allocated cores,
+/// asserting the allocation never exceeds the machine and never goes
+/// negative.
+struct CoreLedger {
+    cluster: HpcCluster,
+    total: u32,
+    jobs: std::collections::HashMap<JobId, u32>,
+    running: std::collections::HashSet<JobId>,
+    allocated: i64,
+    peak: i64,
+}
+
+impl Component for CoreLedger {
+    type In = HpcIn;
+    type Out = HpcOut;
+    fn handle(&mut self, now: SimTime, input: HpcIn, fx: &mut Effects<HpcIn, HpcOut>) {
+        self.cluster.handle(now, input, fx);
+        for o in &fx.out {
+            match o {
+                HpcOut::Queued { .. } => {}
+                HpcOut::Started { job } => {
+                    self.running.insert(*job);
+                    self.allocated += i64::from(self.jobs[job]);
+                    self.peak = self.peak.max(self.allocated);
+                    assert!(
+                        self.allocated <= i64::from(self.total),
+                        "over-allocated: {} of {}",
+                        self.allocated,
+                        self.total
+                    );
+                }
+                HpcOut::Finished { job, outcome } => {
+                    let _ = outcome;
+                    // Only jobs that actually started held cores; a job
+                    // canceled while queued terminates without running.
+                    if self.running.remove(job) {
+                        self.allocated -= i64::from(self.jobs[job]);
+                    }
+                    assert!(self.allocated >= 0, "negative allocation");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary mixes of jobs (sizes, runtimes, walltimes, cancels) never
+    /// over-allocate the cluster and always terminate every external job
+    /// exactly once.
+    #[test]
+    fn hpc_conserves_cores_and_terminates_every_job(
+        jobs in prop::collection::vec(
+            (1u32..40, 1u64..500, 1u64..600, 0u64..100, proptest::bool::ANY),
+            1..40
+        )
+    ) {
+        let total = 32u32;
+        let cluster = HpcCluster::new(HpcConfig::quiet("prop", total));
+        let mut ledger = CoreLedger {
+            cluster,
+            total,
+            jobs: Default::default(),
+            running: Default::default(),
+            allocated: 0,
+            peak: 0,
+        };
+        let mut inputs = Vec::new();
+        let mut external = 0usize;
+        for (i, &(cores, runtime, walltime, submit_at, cancel)) in jobs.iter().enumerate() {
+            let id = JobId(i as u64);
+            ledger.jobs.insert(id, cores.min(total));
+            external += 1;
+            inputs.push((
+                SimTime::from_secs(submit_at),
+                HpcIn::Submit(BatchRequest {
+                    job: id,
+                    cores,
+                    walltime: SimDuration::from_secs(walltime),
+                    runtime: SimDuration::from_secs(runtime),
+                }),
+            ));
+            if cancel {
+                inputs.push((SimTime::from_secs(submit_at + runtime / 2), HpcIn::Cancel(id)));
+            }
+        }
+        let outs = drive(&mut ledger, inputs);
+        // Exactly one terminal event per external job.
+        let mut finished = std::collections::HashMap::new();
+        for (_, o) in &outs {
+            if let HpcOut::Finished { job, .. } = o {
+                *finished.entry(*job).or_insert(0) += 1;
+            }
+        }
+        prop_assert_eq!(finished.len(), external, "every job terminates");
+        prop_assert!(finished.values().all(|&c| c == 1), "exactly once");
+        // All cores returned at quiescence.
+        prop_assert_eq!(ledger.allocated, 0);
+        prop_assert_eq!(ledger.cluster.free_cores(), total);
+    }
+
+    /// HTC pools never double-book a slot and conserve jobs.
+    #[test]
+    fn htc_slots_are_exclusive(
+        jobs in prop::collection::vec((1u64..400, 0u64..120), 1..30),
+        slots in 1u32..8,
+    ) {
+        let mut pool = HtcPool::new(HtcConfig::reliable("prop", slots));
+        let mut inputs = pool.initial_inputs();
+        for (i, &(runtime, submit_at)) in jobs.iter().enumerate() {
+            inputs.push((
+                SimTime::from_secs(submit_at),
+                HtcIn::Submit(HtcRequest {
+                    job: JobId(i as u64),
+                    runtime: SimDuration::from_secs(runtime),
+                }),
+            ));
+        }
+        let outs = drive_until(&mut pool, inputs, SimTime::from_hours(400));
+        // Slot exclusivity: between Started(slot) and its Finished, the slot
+        // must not be handed out again.
+        let mut busy: std::collections::HashMap<u32, JobId> = Default::default();
+        let mut owner: std::collections::HashMap<JobId, u32> = Default::default();
+        let mut completed = 0usize;
+        for (_, o) in &outs {
+            match o {
+                HtcOut::Started { job, slot } => {
+                    prop_assert!(
+                        !busy.contains_key(slot),
+                        "slot {} double-booked", slot
+                    );
+                    busy.insert(*slot, *job);
+                    owner.insert(*job, *slot);
+                }
+                HtcOut::Finished { job, outcome } => {
+                    if let Some(slot) = owner.remove(job) {
+                        busy.remove(&slot);
+                    }
+                    if *outcome == JobOutcome::Completed {
+                        completed += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(completed, jobs.len(), "all jobs complete on a reliable pool");
+        prop_assert_eq!(pool.free_slots(), slots);
+    }
+
+    /// YARN conserves vcores across arbitrary request/release interleavings.
+    #[test]
+    fn yarn_conserves_vcores(
+        reqs in prop::collection::vec((1u32..20, 0u64..50, proptest::bool::ANY), 1..25)
+    ) {
+        let total = 48u32;
+        let mut y = YarnCluster::new(YarnConfig::new("prop", total));
+        let mut inputs = Vec::new();
+        for (i, &(vcores, at, release)) in reqs.iter().enumerate() {
+            let c = ContainerId(i as u64);
+            inputs.push((
+                SimTime::from_secs(at),
+                YarnIn::Request { container: c, vcores },
+            ));
+            if release {
+                inputs.push((SimTime::from_secs(at + 100), YarnIn::Release(c)));
+            }
+        }
+        let outs = drive_until(&mut y, inputs, SimTime::from_hours(10));
+        let mut live: i64 = 0;
+        let mut holding: std::collections::HashMap<ContainerId, u32> = Default::default();
+        for (_, o) in &outs {
+            match o {
+                YarnOut::Allocated { container, vcores } => {
+                    live += i64::from(*vcores);
+                    holding.insert(*container, *vcores);
+                    prop_assert!(live <= i64::from(total));
+                }
+                YarnOut::Released { container } => {
+                    // Only containers that were actually allocated held
+                    // vcores; releasing a pending request frees nothing.
+                    if let Some(v) = holding.remove(container) {
+                        live -= i64::from(v);
+                    }
+                    prop_assert!(live >= 0);
+                }
+                YarnOut::Rejected { .. } => {}
+            }
+        }
+        prop_assert!(y.used_vcores() <= total);
+        prop_assert_eq!(
+            y.used_vcores() as i64,
+            i64::from(total - y.free_vcores())
+        );
+    }
+}

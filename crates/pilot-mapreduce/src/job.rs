@@ -1,0 +1,384 @@
+//! The MapReduce job driver.
+
+use pilot_core::describe::UnitDescription;
+use pilot_core::state::UnitState;
+use pilot_core::thread::{kernel_fn, TaskError, TaskOutput, ThreadPilotService};
+use std::collections::BTreeMap;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Wall-clock seconds spent in each phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Map phase (submit → last map unit done).
+    pub map_s: f64,
+    /// Driver-side shuffle regrouping.
+    pub shuffle_s: f64,
+    /// Reduce phase.
+    pub reduce_s: f64,
+}
+
+impl PhaseTimes {
+    /// Total job time.
+    pub fn total_s(&self) -> f64 {
+        self.map_s + self.shuffle_s + self.reduce_s
+    }
+}
+
+/// Result and measurements of one job run.
+#[derive(Debug)]
+pub struct MapReduceReport<K, O> {
+    /// `(key, reduced value)` pairs, sorted by key.
+    pub output: Vec<(K, O)>,
+    /// Phase timings.
+    pub times: PhaseTimes,
+    /// Map tasks run.
+    pub map_tasks: usize,
+    /// Reduce tasks run.
+    pub reduce_tasks: usize,
+    /// Intermediate pairs after the (optional) combiner.
+    pub shuffled_pairs: u64,
+    /// Map or reduce units that failed (job still completes best-effort).
+    pub failed_units: usize,
+}
+
+type MapFn<I, K, V> = Arc<dyn Fn(&I, &mut dyn FnMut(K, V)) + Send + Sync>;
+type FoldFn<K, V, O> = Arc<dyn Fn(&K, Vec<V>) -> O + Send + Sync>;
+
+/// A configured MapReduce job. See the [crate docs](crate).
+pub struct MapReduceJob<I, K, V, O> {
+    splits: Vec<Arc<Vec<I>>>,
+    map_fn: MapFn<I, K, V>,
+    combine_fn: Option<FoldFn<K, V, V>>,
+    reduce_fn: FoldFn<K, V, O>,
+    reducers: usize,
+}
+
+fn hash_key<K: Hash>(k: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    k.hash(&mut h);
+    h.finish()
+}
+
+impl<I, K, V, O> MapReduceJob<I, K, V, O>
+where
+    I: Send + Sync + 'static,
+    K: Ord + Hash + Clone + Send + 'static,
+    V: Send + 'static,
+    O: Send + 'static,
+{
+    /// Build a job over pre-partitioned input splits.
+    pub fn new(
+        splits: Vec<Arc<Vec<I>>>,
+        map_fn: impl Fn(&I, &mut dyn FnMut(K, V)) + Send + Sync + 'static,
+        reduce_fn: impl Fn(&K, Vec<V>) -> O + Send + Sync + 'static,
+        reducers: usize,
+    ) -> Self {
+        MapReduceJob {
+            splits,
+            map_fn: Arc::new(map_fn),
+            combine_fn: None,
+            reduce_fn: Arc::new(reduce_fn),
+            reducers: reducers.max(1),
+        }
+    }
+
+    /// Split a flat input into `n` near-equal splits.
+    pub fn split_input(data: Vec<I>, n: usize) -> Vec<Arc<Vec<I>>>
+    where
+        I: Clone,
+    {
+        let n = n.max(1);
+        let chunk = data.len().div_ceil(n).max(1);
+        data.chunks(chunk)
+            .map(|c| Arc::new(c.to_vec()))
+            .collect()
+    }
+
+    /// Install a map-side combiner (same signature as reduce over `V`).
+    pub fn with_combiner(
+        mut self,
+        combine: impl Fn(&K, Vec<V>) -> V + Send + Sync + 'static,
+    ) -> Self {
+        self.combine_fn = Some(Arc::new(combine));
+        self
+    }
+
+    /// Run on an active pilot service.
+    pub fn run(&self, svc: &ThreadPilotService) -> MapReduceReport<K, O> {
+        let reducers = self.reducers;
+        let mut failed_units = 0usize;
+
+        // ---- map phase -----------------------------------------------------
+        let t_map = Instant::now();
+        let map_units: Vec<_> = self
+            .splits
+            .iter()
+            .map(|split| {
+                let split = Arc::clone(split);
+                let map_fn = Arc::clone(&self.map_fn);
+                let combine = self.combine_fn.clone();
+                svc.submit_unit(
+                    UnitDescription::new(1).tagged("map"),
+                    kernel_fn(move |_| {
+                        let mut partitions: Vec<Vec<(K, V)>> =
+                            (0..reducers).map(|_| Vec::new()).collect();
+                        for record in split.iter() {
+                            map_fn(record, &mut |k: K, v: V| {
+                                let p = (hash_key(&k) % reducers as u64) as usize;
+                                partitions[p].push((k, v));
+                            });
+                        }
+                        if let Some(combine) = &combine {
+                            for part in &mut partitions {
+                                let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
+                                for (k, v) in part.drain(..) {
+                                    grouped.entry(k).or_default().push(v);
+                                }
+                                *part = grouped
+                                    .into_iter()
+                                    .map(|(k, vs)| {
+                                        let c = combine(&k, vs);
+                                        (k, c)
+                                    })
+                                    .collect();
+                            }
+                        }
+                        Ok(TaskOutput::of(partitions))
+                    }),
+                )
+            })
+            .collect();
+        let mut map_outputs: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(map_units.len());
+        for u in map_units {
+            let out = svc.wait_unit(u);
+            match (out.state, out.output) {
+                (UnitState::Done, Some(Ok(o))) => {
+                    if let Some(parts) = o.downcast::<Vec<Vec<(K, V)>>>() {
+                        map_outputs.push(parts);
+                    } else {
+                        failed_units += 1;
+                    }
+                }
+                _ => failed_units += 1,
+            }
+        }
+        let map_s = t_map.elapsed().as_secs_f64();
+
+        // ---- shuffle ---------------------------------------------------------
+        let t_shuffle = Instant::now();
+        let mut shuffled: Vec<Vec<(K, V)>> = (0..reducers).map(|_| Vec::new()).collect();
+        let mut shuffled_pairs = 0u64;
+        for mut parts in map_outputs {
+            for (r, part) in parts.drain(..).enumerate() {
+                shuffled_pairs += part.len() as u64;
+                shuffled[r].extend(part);
+            }
+        }
+        let shuffle_s = t_shuffle.elapsed().as_secs_f64();
+
+        // ---- reduce phase ----------------------------------------------------
+        let t_reduce = Instant::now();
+        let reduce_units: Vec<_> = shuffled
+            .into_iter()
+            .map(|part| {
+                let reduce_fn = Arc::clone(&self.reduce_fn);
+                // Kernels are `Fn` but each reduce kernel runs exactly once;
+                // a Mutex<Option<..>> lets it take ownership of its partition
+                // without requiring `V: Clone`.
+                let part = std::sync::Mutex::new(Some(part));
+                svc.submit_unit(
+                    UnitDescription::new(1).tagged("reduce"),
+                    kernel_fn(move |_| {
+                        let part = part
+                            .lock()
+                            .expect("no panics hold this lock")
+                            .take()
+                            .ok_or_else(|| TaskError("reduce partition consumed twice".into()))?;
+                        let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
+                        for (k, v) in part {
+                            grouped.entry(k).or_default().push(v);
+                        }
+                        let out: Vec<(K, O)> = grouped
+                            .into_iter()
+                            .map(|(k, vs)| {
+                                let o = reduce_fn(&k, vs);
+                                (k, o)
+                            })
+                            .collect();
+                        Ok(TaskOutput::of(out))
+                    }),
+                )
+            })
+            .collect();
+        let mut output: Vec<(K, O)> = Vec::new();
+        for u in reduce_units {
+            let out = svc.wait_unit(u);
+            match (out.state, out.output) {
+                (UnitState::Done, Some(Ok(o))) => {
+                    if let Some(mut pairs) = o.downcast::<Vec<(K, O)>>() {
+                        output.append(&mut pairs);
+                    } else {
+                        failed_units += 1;
+                    }
+                }
+                _ => failed_units += 1,
+            }
+        }
+        output.sort_by(|a, b| a.0.cmp(&b.0));
+        let reduce_s = t_reduce.elapsed().as_secs_f64();
+
+        MapReduceReport {
+            output,
+            times: PhaseTimes {
+                map_s,
+                shuffle_s,
+                reduce_s,
+            },
+            map_tasks: self.splits.len(),
+            reduce_tasks: reducers,
+            shuffled_pairs,
+            failed_units,
+        }
+    }
+
+    /// Sequential reference implementation (for verification).
+    pub fn run_sequential(&self) -> Vec<(K, O)> {
+        let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        for split in &self.splits {
+            for record in split.iter() {
+                (self.map_fn)(record, &mut |k: K, v: V| {
+                    grouped.entry(k).or_default().push(v);
+                });
+            }
+        }
+        grouped
+            .into_iter()
+            .map(|(k, vs)| {
+                let o = (self.reduce_fn)(&k, vs);
+                (k, o)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilot_core::describe::PilotDescription;
+    use pilot_core::scheduler::FirstFitScheduler;
+    use pilot_sim::SimDuration;
+
+    fn svc(cores: u32) -> ThreadPilotService {
+        let s = ThreadPilotService::new(Box::new(FirstFitScheduler));
+        let p = s.submit_pilot(PilotDescription::new(cores, SimDuration::MAX));
+        assert!(s.wait_pilot_active(p));
+        s
+    }
+
+    fn wordcount_job(
+        text: Vec<String>,
+        splits: usize,
+        reducers: usize,
+    ) -> MapReduceJob<String, String, u64, u64> {
+        MapReduceJob::new(
+            MapReduceJob::<String, String, u64, u64>::split_input(text, splits),
+            |line: &String, emit: &mut dyn FnMut(String, u64)| {
+                for w in line.split_whitespace() {
+                    emit(w.to_string(), 1);
+                }
+            },
+            |_k, vs| vs.iter().sum(),
+            reducers,
+        )
+    }
+
+    #[test]
+    fn wordcount_matches_reference() {
+        let text: Vec<String> = vec![
+            "the quick brown fox".into(),
+            "the lazy dog".into(),
+            "the quick dog".into(),
+        ];
+        let job = wordcount_job(text, 2, 2);
+        let s = svc(4);
+        let report = job.run(&s);
+        assert_eq!(report.failed_units, 0);
+        assert_eq!(report.output, job.run_sequential());
+        let the = report.output.iter().find(|(k, _)| k == "the").unwrap();
+        assert_eq!(the.1, 3);
+        assert_eq!(report.map_tasks, 2);
+        assert_eq!(report.reduce_tasks, 2);
+        s.shutdown();
+    }
+
+    #[test]
+    fn combiner_cuts_shuffle_volume_not_results() {
+        let text: Vec<String> = (0..50).map(|_| "a a a b".to_string()).collect();
+        let plain = wordcount_job(text.clone(), 4, 2);
+        let combined = wordcount_job(text, 4, 2).with_combiner(|_k, vs| vs.iter().sum());
+        let s = svc(4);
+        let r_plain = plain.run(&s);
+        let r_comb = combined.run(&s);
+        assert_eq!(r_plain.output, r_comb.output);
+        // 200 'a' + 50 'b' pairs uncombined; ≤ 2 keys × 4 maps combined.
+        assert_eq!(r_plain.shuffled_pairs, 200);
+        assert!(r_comb.shuffled_pairs <= 8, "got {}", r_comb.shuffled_pairs);
+        s.shutdown();
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let job = wordcount_job(vec![], 3, 2);
+        let s = svc(2);
+        let report = job.run(&s);
+        assert!(report.output.is_empty());
+        assert_eq!(report.failed_units, 0);
+        s.shutdown();
+    }
+
+    #[test]
+    fn single_reducer_and_many_reducers_agree() {
+        let text: Vec<String> = (0..30)
+            .map(|i| format!("w{} w{} shared", i % 7, i % 3))
+            .collect();
+        let s = svc(4);
+        let one = wordcount_job(text.clone(), 3, 1).run(&s);
+        let many = wordcount_job(text, 3, 8).run(&s);
+        assert_eq!(one.output, many.output);
+        s.shutdown();
+    }
+
+    #[test]
+    fn numeric_keys_and_custom_reduce() {
+        // Histogram of i mod 5, reduce = max of values.
+        let data: Vec<u32> = (0..100).collect();
+        let job = MapReduceJob::new(
+            MapReduceJob::<u32, u32, u32, u32>::split_input(data, 4),
+            |x: &u32, emit: &mut dyn FnMut(u32, u32)| emit(x % 5, *x),
+            |_k, vs| *vs.iter().max().expect("non-empty group"),
+            3,
+        );
+        let s = svc(4);
+        let report = job.run(&s);
+        assert_eq!(report.output.len(), 5);
+        // Max value with x % 5 == 0 in 0..100 is 95.
+        assert_eq!(report.output[0], (0, 95));
+        assert_eq!(report.output, job.run_sequential());
+        s.shutdown();
+    }
+
+    #[test]
+    fn phase_times_are_populated() {
+        let text: Vec<String> = (0..20).map(|_| "x y z".to_string()).collect();
+        let job = wordcount_job(text, 4, 2);
+        let s = svc(4);
+        let report = job.run(&s);
+        assert!(report.times.map_s > 0.0);
+        assert!(report.times.reduce_s > 0.0);
+        assert!(report.times.total_s() >= report.times.map_s);
+        s.shutdown();
+    }
+}

@@ -1,0 +1,23 @@
+//! # pilot-mapreduce — an extensible MapReduce on the pilot-abstraction
+//!
+//! Implements Pilot-MapReduce (\[54\] in the paper): the data-parallel pattern
+//! of Table I expressed as pilot compute units, so the *same* resource
+//! placeholder that runs simulations also runs map and reduce tasks — no
+//! separate Hadoop deployment. Phases:
+//!
+//! 1. **Map** — one compute unit per input split; the user's map function
+//!    emits `(key, value)` pairs, hash-partitioned for the reducers, with an
+//!    optional combiner applied map-side to cut shuffle volume.
+//! 2. **Shuffle** — the driver regroups map outputs by reducer partition
+//!    (in-memory; the ledger-accounted distributed variant goes through
+//!    `pilot-data`).
+//! 3. **Reduce** — one compute unit per partition; values are grouped per
+//!    key in sorted order and folded by the user's reduce function.
+//!
+//! Determinism: output pairs are sorted by key, and the phase structure adds
+//! no ordering dependence, so any run equals the sequential reference — the
+//! property the proptest suite pins down.
+
+pub mod job;
+
+pub use job::{MapReduceJob, MapReduceReport, PhaseTimes};

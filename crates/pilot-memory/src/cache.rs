@@ -1,0 +1,317 @@
+//! Partition cache over an expensive source, with LRU eviction.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where partitions come from when they are not cached. Loads are expensive
+/// by assumption (storage, network, decode) — that is the whole point of
+/// caching them.
+pub trait PartitionSource<T>: Send + Sync {
+    /// Materialize partition `index`.
+    fn load(&self, index: usize) -> Vec<T>;
+    /// Number of partitions.
+    fn num_partitions(&self) -> usize;
+}
+
+/// A source backed by pre-partitioned in-memory data, with an optional
+/// synthetic per-load cost (models deserialization/storage latency in
+/// experiments).
+pub struct VecSource<T> {
+    partitions: Vec<Vec<T>>,
+    load_cost_s: f64,
+}
+
+impl<T: Clone + Send + Sync> VecSource<T> {
+    /// Split `data` into `n` near-equal partitions.
+    pub fn new(data: Vec<T>, n: usize) -> Self {
+        let n = n.max(1);
+        let chunk = data.len().div_ceil(n).max(1);
+        let partitions = data
+            .chunks(chunk)
+            .map(|c| c.to_vec())
+            .chain(std::iter::repeat_with(Vec::new))
+            .take(n)
+            .collect();
+        VecSource {
+            partitions,
+            load_cost_s: 0.0,
+        }
+    }
+
+    /// Add a synthetic cost per load (busy wall-clock spin).
+    pub fn with_load_cost(mut self, seconds: f64) -> Self {
+        self.load_cost_s = seconds;
+        self
+    }
+}
+
+impl<T: Clone + Send + Sync> PartitionSource<T> for VecSource<T> {
+    fn load(&self, index: usize) -> Vec<T> {
+        if self.load_cost_s > 0.0 {
+            let deadline =
+                std::time::Instant::now() + std::time::Duration::from_secs_f64(self.load_cost_s);
+            while std::time::Instant::now() < deadline {
+                std::hint::spin_loop();
+            }
+        }
+        self.partitions[index].clone()
+    }
+    fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+}
+
+/// Whether partitions persist between reads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheMode {
+    /// Keep partitions in memory (Pilot-Memory behaviour).
+    Cached,
+    /// Reload from the source on every access (the re-staging baseline).
+    Reload,
+}
+
+/// Counters exposed for experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses served from memory.
+    pub hits: u64,
+    /// Accesses that had to load from the source.
+    pub loads: u64,
+    /// Partitions evicted under the capacity bound.
+    pub evictions: u64,
+}
+
+struct CacheInner<T> {
+    map: HashMap<usize, (Arc<Vec<T>>, u64)>,
+    clock: u64,
+    evictions: u64,
+}
+
+/// Partition-grained cache. Thread-safe; cloned handles share state.
+pub struct CacheManager<T> {
+    source: Arc<dyn PartitionSource<T>>,
+    mode: CacheMode,
+    /// Max cached partitions (`None` = unbounded).
+    capacity: Option<usize>,
+    inner: Mutex<CacheInner<T>>,
+    hits: AtomicU64,
+    loads: AtomicU64,
+}
+
+impl<T: Send + Sync> CacheManager<T> {
+    /// Wrap a source.
+    pub fn new(source: Arc<dyn PartitionSource<T>>, mode: CacheMode) -> Self {
+        CacheManager {
+            source,
+            mode,
+            capacity: None,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                clock: 0,
+                evictions: 0,
+            }),
+            hits: AtomicU64::new(0),
+            loads: AtomicU64::new(0),
+        }
+    }
+
+    /// Bound the number of cached partitions (LRU beyond it).
+    pub fn with_capacity(mut self, partitions: usize) -> Self {
+        self.capacity = Some(partitions.max(1));
+        self
+    }
+
+    /// Number of partitions in the underlying source.
+    pub fn num_partitions(&self) -> usize {
+        self.source.num_partitions()
+    }
+
+    /// Fetch a partition, from memory when possible.
+    pub fn get(&self, index: usize) -> Arc<Vec<T>> {
+        assert!(index < self.source.num_partitions(), "partition out of range");
+        if self.mode == CacheMode::Reload {
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(self.source.load(index));
+        }
+        {
+            let mut g = self.inner.lock();
+            g.clock += 1;
+            let stamp = g.clock;
+            if let Some((data, last)) = g.map.get_mut(&index) {
+                *last = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(data);
+            }
+        }
+        // Load outside the lock: concurrent misses may duplicate work but
+        // never block each other on a slow source.
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        let data = Arc::new(self.source.load(index));
+        let mut g = self.inner.lock();
+        g.clock += 1;
+        let stamp = g.clock;
+        g.map.insert(index, (Arc::clone(&data), stamp));
+        if let Some(cap) = self.capacity {
+            while g.map.len() > cap {
+                let victim = g
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (_, last))| *last)
+                    .map(|(&k, _)| k)
+                    .expect("non-empty over-capacity map");
+                g.map.remove(&victim);
+                g.evictions += 1;
+            }
+        }
+        data
+    }
+
+    /// Pre-load every partition (warm-up).
+    pub fn warm(&self) {
+        for i in 0..self.num_partitions() {
+            let _ = self.get(i);
+        }
+    }
+
+    /// Drop all cached partitions.
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            loads: self.loads.load(Ordering::Relaxed),
+            evictions: self.inner.lock().evictions,
+        }
+    }
+
+    /// Partitions currently resident.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source(n: usize) -> Arc<VecSource<u32>> {
+        Arc::new(VecSource::new((0..100u32).collect(), n))
+    }
+
+    #[test]
+    fn vec_source_partitions_evenly() {
+        let s = VecSource::new((0..10u32).collect(), 3);
+        assert_eq!(s.num_partitions(), 3);
+        let total: usize = (0..3).map(|i| s.load(i).len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(s.load(0), vec![0, 1, 2, 3]);
+        // More partitions than elements: trailing partitions are empty.
+        let s = VecSource::new(vec![1u32], 4);
+        assert_eq!(s.num_partitions(), 4);
+        assert!(s.load(3).is_empty());
+    }
+
+    #[test]
+    fn cached_mode_hits_after_first_load() {
+        let c = CacheManager::new(source(4), CacheMode::Cached);
+        let a = c.get(0);
+        let b = c.get(0);
+        assert!(Arc::ptr_eq(&a, &b), "same allocation served twice");
+        let s = c.stats();
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn reload_mode_always_loads() {
+        let c = CacheManager::new(source(4), CacheMode::Reload);
+        let _ = c.get(1);
+        let _ = c.get(1);
+        let s = c.stats();
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.hits, 0);
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_under_capacity() {
+        let c = CacheManager::new(source(4), CacheMode::Cached).with_capacity(2);
+        let _ = c.get(0);
+        let _ = c.get(1);
+        let _ = c.get(0); // 0 is now most recent
+        let _ = c.get(2); // evicts 1 (LRU)
+        assert_eq!(c.resident(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        // 0 still resident (hit), 1 gone (load).
+        let before = c.stats().loads;
+        let _ = c.get(0);
+        assert_eq!(c.stats().loads, before);
+        let _ = c.get(1);
+        assert_eq!(c.stats().loads, before + 1);
+    }
+
+    #[test]
+    fn warm_and_clear() {
+        let c = CacheManager::new(source(5), CacheMode::Cached);
+        c.warm();
+        assert_eq!(c.resident(), 5);
+        assert_eq!(c.stats().loads, 5);
+        c.clear();
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_partition_panics() {
+        let c = CacheManager::new(source(2), CacheMode::Cached);
+        let _ = c.get(7);
+    }
+
+    #[test]
+    fn concurrent_gets_are_consistent() {
+        let c = Arc::new(CacheManager::new(source(8), CacheMode::Cached));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let p = c.get(i % 8);
+                        assert!(!p.is_empty() || i % 8 >= 8);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.loads, 800);
+        assert!(s.loads >= 8, "each partition loaded at least once");
+    }
+
+    #[test]
+    fn load_cost_slows_reload_mode() {
+        let slow = Arc::new(VecSource::new((0..10u32).collect(), 1).with_load_cost(0.02));
+        let cached = CacheManager::new(Arc::clone(&slow) as _, CacheMode::Cached);
+        let reload = CacheManager::new(slow as _, CacheMode::Reload);
+        let time = |c: &CacheManager<u32>| {
+            let t = std::time::Instant::now();
+            for _ in 0..5 {
+                let _ = c.get(0);
+            }
+            t.elapsed().as_secs_f64()
+        };
+        let t_cached = time(&cached);
+        let t_reload = time(&reload);
+        assert!(
+            t_reload > 3.0 * t_cached,
+            "reload {t_reload} should dwarf cached {t_cached}"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # pilot-memory — in-memory runtime for iterative processing
+//!
+//! Implements the Pilot-Memory extension (\[68\] in the paper): iterative
+//! applications (model training, K-Means) read the same dataset every
+//! iteration, so re-staging it from storage each time dominates runtime. This
+//! crate provides:
+//!
+//! - [`CacheManager`] — partition-grained caching over an expensive
+//!   [`PartitionSource`], with LRU eviction under a capacity bound and
+//!   hit/load statistics (the instrument for EXP PM-1);
+//! - [`IterativeExecutor`] — drives `iterations × partitions` compute units
+//!   through a `pilot_core::thread::ThreadPilotService`, broadcasting shared
+//!   state (e.g. centroids) each round and reducing per-partition results,
+//!   the BSP super-step structure of Table I's "Iterative" scenario.
+
+pub mod cache;
+pub mod iterate;
+
+pub use cache::{CacheManager, CacheMode, CacheStats, PartitionSource, VecSource};
+pub use iterate::{IterationStats, IterativeExecutor, IterativeOutcome};

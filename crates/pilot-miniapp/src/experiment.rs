@@ -1,0 +1,212 @@
+//! Experimental design: factors × levels → full-factorial trial lists.
+
+use serde::{Deserialize, Serialize};
+
+/// One experimental factor and its levels.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Factor {
+    /// Factor name (e.g. `"workers"`, `"partitions"`).
+    pub name: String,
+    /// Levels to sweep.
+    pub levels: Vec<f64>,
+}
+
+impl Factor {
+    /// Build a factor.
+    pub fn new(name: &str, levels: &[f64]) -> Self {
+        Factor {
+            name: name.to_string(),
+            levels: levels.to_vec(),
+        }
+    }
+
+    /// Power-of-two sweep `[1, 2, 4, ..., 2^(n-1)]`.
+    pub fn pow2(name: &str, n: u32) -> Self {
+        Factor {
+            name: name.to_string(),
+            levels: (0..n).map(|i| (1u64 << i) as f64).collect(),
+        }
+    }
+}
+
+/// One scheduled run: a configuration, a repetition index, and the seed
+/// derived for it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Trial {
+    /// `(factor name, level)` pairs in factor order.
+    pub config: Vec<(String, f64)>,
+    /// Repetition index.
+    pub rep: u32,
+    /// Deterministic seed for this trial.
+    pub seed: u64,
+}
+
+impl Trial {
+    /// Level of a named factor.
+    pub fn get(&self, factor: &str) -> Option<f64> {
+        self.config
+            .iter()
+            .find(|(n, _)| n == factor)
+            .map(|(_, v)| *v)
+    }
+
+    /// Level of a named factor as an integer (rounded).
+    pub fn get_usize(&self, factor: &str) -> Option<usize> {
+        self.get(factor).map(|v| v.round() as usize)
+    }
+
+    /// Compact `k=v` key identifying the configuration (without rep).
+    pub fn config_key(&self) -> String {
+        self.config
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// A designed experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Experiment name (used in reports and seed derivation).
+    pub name: String,
+    /// Factors to cross.
+    pub factors: Vec<Factor>,
+    /// Repetitions per configuration.
+    pub repetitions: u32,
+    /// Base seed; trial seeds derive deterministically from it.
+    pub base_seed: u64,
+}
+
+impl ExperimentSpec {
+    /// Build a spec.
+    pub fn new(name: &str, factors: Vec<Factor>, repetitions: u32, base_seed: u64) -> Self {
+        ExperimentSpec {
+            name: name.to_string(),
+            factors,
+            repetitions: repetitions.max(1),
+            base_seed,
+        }
+    }
+
+    /// Total trials = Π levels × repetitions.
+    pub fn trial_count(&self) -> usize {
+        self.factors
+            .iter()
+            .map(|f| f.levels.len().max(1))
+            .product::<usize>()
+            * self.repetitions as usize
+    }
+
+    /// Full-factorial trial list with derived seeds: deterministic, and
+    /// stable under adding repetitions (earlier trials keep their seeds).
+    pub fn trials(&self) -> Vec<Trial> {
+        let mut configs: Vec<Vec<(String, f64)>> = vec![Vec::new()];
+        for f in &self.factors {
+            let mut next = Vec::with_capacity(configs.len() * f.levels.len());
+            for c in &configs {
+                for &level in &f.levels {
+                    let mut c2 = c.clone();
+                    c2.push((f.name.clone(), level));
+                    next.push(c2);
+                }
+            }
+            configs = next;
+        }
+        let mut trials = Vec::with_capacity(configs.len() * self.repetitions as usize);
+        for (ci, config) in configs.into_iter().enumerate() {
+            for rep in 0..self.repetitions {
+                let seed = derive_seed(self.base_seed, ci as u64, rep);
+                trials.push(Trial {
+                    config: config.clone(),
+                    rep,
+                    seed,
+                });
+            }
+        }
+        trials
+    }
+}
+
+fn derive_seed(base: u64, config_index: u64, rep: u32) -> u64 {
+    // SplitMix64 over a mixed key: distinct trials get distinct streams.
+    let mut z = base
+        ^ config_index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (rep as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec::new(
+            "throughput",
+            vec![
+                Factor::new("workers", &[1.0, 2.0, 4.0]),
+                Factor::new("size", &[10.0, 20.0]),
+            ],
+            2,
+            42,
+        )
+    }
+
+    #[test]
+    fn full_factorial_counts() {
+        let s = spec();
+        assert_eq!(s.trial_count(), 12);
+        let trials = s.trials();
+        assert_eq!(trials.len(), 12);
+        // Each (workers, size) pair appears exactly `repetitions` times.
+        let mut keys: Vec<String> = trials.iter().map(|t| t.config_key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 6);
+    }
+
+    #[test]
+    fn seeds_are_unique_and_deterministic() {
+        let s = spec();
+        let t1 = s.trials();
+        let t2 = s.trials();
+        assert_eq!(t1, t2);
+        let mut seeds: Vec<u64> = t1.iter().map(|t| t.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 12, "no seed collisions");
+    }
+
+    #[test]
+    fn trial_accessors() {
+        let s = spec();
+        let t = &s.trials()[0];
+        assert_eq!(t.get("workers"), Some(1.0));
+        assert_eq!(t.get_usize("size"), Some(10));
+        assert_eq!(t.get("nope"), None);
+        assert_eq!(t.config_key(), "workers=1,size=10");
+    }
+
+    #[test]
+    fn pow2_factor() {
+        let f = Factor::pow2("cores", 5);
+        assert_eq!(f.levels, vec![1.0, 2.0, 4.0, 8.0, 16.0]);
+    }
+
+    #[test]
+    fn zero_factors_single_config() {
+        let s = ExperimentSpec::new("empty", vec![], 3, 1);
+        let trials = s.trials();
+        assert_eq!(trials.len(), 3);
+        assert!(trials.iter().all(|t| t.config.is_empty()));
+    }
+
+    #[test]
+    fn different_base_seeds_differ() {
+        let a = ExperimentSpec::new("x", vec![Factor::new("f", &[1.0])], 1, 1).trials();
+        let b = ExperimentSpec::new("x", vec![Factor::new("f", &[1.0])], 1, 2).trials();
+        assert_ne!(a[0].seed, b[0].seed);
+    }
+}

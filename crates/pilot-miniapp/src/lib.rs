@@ -1,0 +1,26 @@
+//! # pilot-miniapp — the Mini-App experiment framework
+//!
+//! The paper's instrument for rigorous evaluation (Section V-C, \[32\]):
+//! benchmarks misrepresent scientific workloads, so experiments are built
+//! from *controlled synthetic workloads* swept over *designed factor spaces*
+//! with automated collection — Gray's benchmarking criteria (simplicity,
+//! relevance, scalability, portability, reproducibility) as code:
+//!
+//! - [`workload`] — parameterized task mixes (duration/cores/data
+//!   distributions) and arrival processes, seed-deterministic.
+//! - [`experiment`] — factors × levels → full-factorial trial lists with
+//!   per-trial derived seeds and repetitions.
+//! - [`report`] — result tables with grouping/aggregation, CSV and Markdown
+//!   renderers, and JSON persistence (the only serde surface in the
+//!   workspace).
+//!
+//! Every table in EXPERIMENTS.md is produced by driving a system under test
+//! through this crate.
+
+pub mod experiment;
+pub mod report;
+pub mod workload;
+
+pub use experiment::{ExperimentSpec, Factor, Trial};
+pub use report::{ResultTable, Row};
+pub use workload::{Arrival, TaskMix, TaskSample};

@@ -1,0 +1,270 @@
+//! Result collection, aggregation, and rendering.
+
+use crate::experiment::Trial;
+use pilot_sim::{summarize, Summary};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One finished trial with its measured metrics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Row {
+    /// The trial that produced these metrics.
+    pub trial: Trial,
+    /// `(metric name, value)` pairs.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Value of a named metric.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// All rows of one experiment.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ResultTable {
+    /// Experiment name.
+    pub experiment: String,
+    /// Rows in completion order.
+    pub rows: Vec<Row>,
+}
+
+impl ResultTable {
+    /// Empty table for an experiment.
+    pub fn new(experiment: &str) -> Self {
+        ResultTable {
+            experiment: experiment.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a finished trial.
+    pub fn push(&mut self, trial: Trial, metrics: Vec<(String, f64)>) {
+        self.rows.push(Row { trial, metrics });
+    }
+
+    /// Aggregate a metric per configuration (across repetitions), keyed by
+    /// the configuration string, in first-seen order.
+    pub fn aggregate(&self, metric: &str) -> Vec<(String, Summary)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for row in &self.rows {
+            if let Some(v) = row.metric(metric) {
+                let key = row.trial.config_key();
+                if !groups.contains_key(&key) {
+                    order.push(key.clone());
+                }
+                groups.entry(key).or_default().push(v);
+            }
+        }
+        order
+            .into_iter()
+            .map(|k| {
+                let s = summarize(&groups[&k]);
+                (k, s)
+            })
+            .collect()
+    }
+
+    /// Metric names present (first-seen order).
+    pub fn metric_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for row in &self.rows {
+            for (n, _) in &row.metrics {
+                if !names.contains(n) {
+                    names.push(n.clone());
+                }
+            }
+        }
+        names
+    }
+
+    /// Render as CSV: factor columns, rep, seed, then metric columns.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let factors: Vec<String> = self
+            .rows
+            .first()
+            .map(|r| r.trial.config.iter().map(|(n, _)| n.clone()).collect())
+            .unwrap_or_default();
+        let metrics = self.metric_names();
+        let mut header: Vec<String> = factors.clone();
+        header.push("rep".into());
+        header.push("seed".into());
+        header.extend(metrics.iter().cloned());
+        let _ = writeln!(out, "{}", header.join(","));
+        for row in &self.rows {
+            let mut cells: Vec<String> = factors
+                .iter()
+                .map(|f| {
+                    row.trial
+                        .get(f)
+                        .map(|v| format!("{v}"))
+                        .unwrap_or_default()
+                })
+                .collect();
+            cells.push(row.trial.rep.to_string());
+            cells.push(row.trial.seed.to_string());
+            for m in &metrics {
+                cells.push(
+                    row.metric(m)
+                        .map(|v| format!("{v}"))
+                        .unwrap_or_default(),
+                );
+            }
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+
+    /// Render an aggregated Markdown table: one row per configuration, one
+    /// column group (mean ± std) per metric.
+    pub fn to_markdown(&self) -> String {
+        let metrics = self.metric_names();
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.experiment);
+        let mut header = vec!["configuration".to_string(), "n".to_string()];
+        for m in &metrics {
+            header.push(format!("{m} (mean ± std)"));
+        }
+        let _ = writeln!(out, "| {} |", header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        // Use the first metric's grouping to drive row order.
+        let key_order: Vec<String> = {
+            let mut seen = Vec::new();
+            for r in &self.rows {
+                let k = r.trial.config_key();
+                if !seen.contains(&k) {
+                    seen.push(k);
+                }
+            }
+            seen
+        };
+        let per_metric: Vec<BTreeMap<String, Summary>> = metrics
+            .iter()
+            .map(|m| self.aggregate(m).into_iter().collect())
+            .collect();
+        for key in key_order {
+            let n = per_metric
+                .first()
+                .and_then(|m| m.get(&key))
+                .map(|s| s.n)
+                .unwrap_or(0);
+            let mut cells = vec![key.clone(), n.to_string()];
+            for m in &per_metric {
+                match m.get(&key) {
+                    Some(s) => cells.push(format!("{:.4} ± {:.4}", s.mean, s.std_dev)),
+                    None => cells.push(String::new()),
+                }
+            }
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain data serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{ExperimentSpec, Factor};
+
+    fn table() -> ResultTable {
+        let spec = ExperimentSpec::new(
+            "demo",
+            vec![Factor::new("workers", &[1.0, 2.0])],
+            2,
+            7,
+        );
+        let mut t = ResultTable::new("demo");
+        for trial in spec.trials() {
+            let w = trial.get("workers").unwrap();
+            // Synthetic: throughput = 10 × workers (+rep to vary), runtime inverse.
+            let rep = trial.rep as f64;
+            t.push(
+                trial,
+                vec![
+                    ("throughput".into(), 10.0 * w + rep),
+                    ("runtime".into(), 100.0 / w),
+                ],
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn aggregate_groups_reps() {
+        let t = table();
+        let agg = t.aggregate("throughput");
+        assert_eq!(agg.len(), 2);
+        let (k1, s1) = &agg[0];
+        assert_eq!(k1, "workers=1");
+        assert_eq!(s1.n, 2);
+        assert!((s1.mean - 10.5).abs() < 1e-12); // (10 + 11)/2
+        let (_, s2) = &agg[1];
+        assert!((s2.mean - 20.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t = table();
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0], "workers,rep,seed,throughput,runtime");
+        assert!(lines[1].starts_with("1,0,"));
+        assert!(lines[1].ends_with(",10,100"));
+    }
+
+    #[test]
+    fn markdown_renders_aggregates() {
+        let t = table();
+        let md = t.to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("workers=1"));
+        assert!(md.contains("workers=2"));
+        assert!(md.contains("throughput (mean ± std)"));
+        assert!(md.contains("10.5000"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let t = table();
+        let json = t.to_json();
+        let back = ResultTable::from_json(&json).unwrap();
+        assert_eq!(back.rows.len(), t.rows.len());
+        assert_eq!(back.experiment, "demo");
+        assert_eq!(
+            back.rows[0].metric("throughput"),
+            t.rows[0].metric("throughput")
+        );
+    }
+
+    #[test]
+    fn metric_lookup_and_missing() {
+        let t = table();
+        assert_eq!(t.rows[0].metric("nope"), None);
+        assert_eq!(t.metric_names(), vec!["throughput", "runtime"]);
+        let empty = ResultTable::new("e");
+        assert!(empty.aggregate("x").is_empty());
+        assert_eq!(empty.to_csv().lines().count(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Synthetic workload generation: task mixes and arrival processes.
+
+use pilot_sim::{Dist, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// One sampled task.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskSample {
+    /// Execution time, seconds.
+    pub duration_s: f64,
+    /// Cores occupied.
+    pub cores: u32,
+    /// Input bytes to stage.
+    pub input_bytes: u64,
+}
+
+/// Distributional description of a task population.
+#[derive(Clone, Debug)]
+pub struct TaskMix {
+    /// Task duration, seconds.
+    pub duration_s: Dist,
+    /// Cores per task (rounded, clamped ≥ 1).
+    pub cores: Dist,
+    /// Input megabytes per task.
+    pub input_mb: Dist,
+}
+
+impl TaskMix {
+    /// Uniform short tasks: the high-throughput, fine-grained regime.
+    pub fn short_uniform(mean_s: f64) -> Self {
+        TaskMix {
+            duration_s: Dist::uniform(0.5 * mean_s, 1.5 * mean_s),
+            cores: Dist::constant(1.0),
+            input_mb: Dist::constant(0.0),
+        }
+    }
+
+    /// The paper's heterogeneous regime: long simulation tasks mixed with
+    /// short analysis tasks (Section III-B), log-normal spread.
+    pub fn heterogeneous(long_s: f64, short_s: f64, long_fraction: f64) -> Self {
+        TaskMix {
+            duration_s: Dist::Bimodal {
+                a: long_s,
+                b: short_s,
+                p: long_fraction,
+            },
+            cores: Dist::constant(1.0),
+            input_mb: Dist::lognormal_median(10.0, 1.0),
+        }
+    }
+
+    /// Draw one task.
+    pub fn sample(&self, rng: &mut SimRng) -> TaskSample {
+        TaskSample {
+            duration_s: self.duration_s.sample(rng).max(0.0),
+            cores: (self.cores.sample(rng).round() as u32).max(1),
+            input_bytes: (self.input_mb.sample(rng).max(0.0) * 1_000_000.0) as u64,
+        }
+    }
+
+    /// Draw `n` tasks.
+    pub fn sample_n(&self, rng: &mut SimRng, n: usize) -> Vec<TaskSample> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// When tasks arrive at the unit manager.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Arrival {
+    /// Everything submitted at t = 0 (bag-of-tasks).
+    AllAtOnce,
+    /// Poisson process with the given rate.
+    Poisson {
+        /// Arrivals per second.
+        rate_per_s: f64,
+    },
+    /// Bursts of `size` tasks separated by `gap_s` seconds.
+    Burst {
+        /// Tasks per burst.
+        size: usize,
+        /// Seconds between bursts.
+        gap_s: f64,
+    },
+}
+
+impl Arrival {
+    /// Arrival times (seconds) for `n` tasks, non-decreasing.
+    pub fn times(&self, n: usize, rng: &mut SimRng) -> Vec<f64> {
+        match self {
+            Arrival::AllAtOnce => vec![0.0; n],
+            Arrival::Poisson { rate_per_s } => {
+                let mut t = 0.0;
+                (0..n)
+                    .map(|_| {
+                        t += rng.exponential(1.0 / rate_per_s.max(1e-12));
+                        t
+                    })
+                    .collect()
+            }
+            Arrival::Burst { size, gap_s } => {
+                let size = (*size).max(1);
+                (0..n).map(|i| (i / size) as f64 * gap_s).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_uniform_bounds() {
+        let mix = TaskMix::short_uniform(10.0);
+        let mut rng = SimRng::new(1);
+        for t in mix.sample_n(&mut rng, 1000) {
+            assert!((5.0..15.0).contains(&t.duration_s));
+            assert_eq!(t.cores, 1);
+            assert_eq!(t.input_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_mix_is_bimodal() {
+        let mix = TaskMix::heterogeneous(600.0, 5.0, 0.3);
+        let mut rng = SimRng::new(2);
+        let samples = mix.sample_n(&mut rng, 2000);
+        let long = samples.iter().filter(|t| t.duration_s == 600.0).count();
+        let frac = long as f64 / 2000.0;
+        assert!((frac - 0.3).abs() < 0.05, "long fraction {frac}");
+        assert!(samples.iter().all(|t| t.input_bytes > 0));
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mix = TaskMix::heterogeneous(100.0, 1.0, 0.5);
+        let mut a = SimRng::new(9);
+        let mut b = SimRng::new(9);
+        assert_eq!(mix.sample_n(&mut a, 50), mix.sample_n(&mut b, 50));
+    }
+
+    #[test]
+    fn arrivals_all_at_once() {
+        let mut rng = SimRng::new(3);
+        assert_eq!(Arrival::AllAtOnce.times(3, &mut rng), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn poisson_arrivals_increase_with_mean_gap() {
+        let mut rng = SimRng::new(4);
+        let times = Arrival::Poisson { rate_per_s: 2.0 }.times(4000, &mut rng);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // 4000 arrivals at 2/s ⇒ last around 2000 s.
+        let last = *times.last().unwrap();
+        assert!((1800.0..2200.0).contains(&last), "last {last}");
+    }
+
+    #[test]
+    fn burst_arrivals_step() {
+        let mut rng = SimRng::new(5);
+        let times = Arrival::Burst { size: 3, gap_s: 10.0 }.times(7, &mut rng);
+        assert_eq!(times, vec![0.0, 0.0, 0.0, 10.0, 10.0, 10.0, 20.0]);
+    }
+}

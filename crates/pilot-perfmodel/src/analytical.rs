@@ -1,0 +1,264 @@
+//! Analytical (white-box) performance models.
+//!
+//! Each model is a small, auditable formula over named parameters; the
+//! experiment harness overlays their predictions on measured curves
+//! (EXP PJ-1/PJ-3/PH-1), which is how the paper validates that the system's
+//! behaviour is *understood*, not just observed.
+
+/// Amdahl's law: speedup of a workload with serial fraction `serial` on `p`
+/// processors.
+pub fn amdahl_speedup(serial: f64, p: u32) -> f64 {
+    let s = serial.clamp(0.0, 1.0);
+    let p = p.max(1) as f64;
+    1.0 / (s + (1.0 - s) / p)
+}
+
+/// Gustafson's law: scaled speedup with serial fraction `serial` on `p`
+/// processors.
+pub fn gustafson_speedup(serial: f64, p: u32) -> f64 {
+    let s = serial.clamp(0.0, 1.0);
+    let p = p.max(1) as f64;
+    p - s * (p - 1.0)
+}
+
+/// Parallel efficiency from a measured speedup.
+pub fn efficiency(speedup: f64, p: u32) -> f64 {
+    speedup / p.max(1) as f64
+}
+
+/// Decomposition of pilot startup overhead:
+/// `T_startup = t_submit + t_queue + t_boot` — submission/API latency, time
+/// in the resource manager's queue, and agent bootstrap.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PilotOverheadModel {
+    /// Submission/API cost, seconds.
+    pub t_submit: f64,
+    /// Expected queue wait, seconds.
+    pub t_queue: f64,
+    /// Agent bootstrap (or VM boot / glide-in match), seconds.
+    pub t_boot: f64,
+}
+
+impl PilotOverheadModel {
+    /// Total predicted startup overhead.
+    pub fn startup(&self) -> f64 {
+        self.t_submit + self.t_queue + self.t_boot
+    }
+
+    /// Amortized per-task overhead when `n_tasks` run inside one pilot,
+    /// versus paying the full overhead per task without a pilot — the core
+    /// late-binding argument.
+    pub fn per_task_overhead(&self, n_tasks: u64) -> f64 {
+        self.startup() / n_tasks.max(1) as f64
+    }
+}
+
+/// Runtime model for replica-exchange ensembles (\[72\]):
+/// `E` exchange phases of `R` replicas, each phase running `t_phase` seconds
+/// per replica on `cores/cores_per_replica` concurrent slots, plus a
+/// per-phase synchronization/exchange cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplicaExchangeModel {
+    /// Number of replicas.
+    pub replicas: u32,
+    /// Cores available to the ensemble.
+    pub cores: u32,
+    /// Cores one replica occupies.
+    pub cores_per_replica: u32,
+    /// Seconds of simulation per replica per phase.
+    pub t_phase: f64,
+    /// Exchange/synchronization cost per phase, seconds.
+    pub t_exchange: f64,
+    /// Number of exchange phases.
+    pub phases: u32,
+    /// One-time middleware/pilot overhead, seconds.
+    pub t_overhead: f64,
+}
+
+impl ReplicaExchangeModel {
+    /// Concurrent replica slots.
+    pub fn slots(&self) -> u32 {
+        (self.cores / self.cores_per_replica.max(1)).max(1)
+    }
+
+    /// Waves per phase: replicas serialized over the available slots.
+    pub fn waves(&self) -> u32 {
+        self.replicas.div_ceil(self.slots())
+    }
+
+    /// Predicted total runtime, seconds.
+    pub fn runtime(&self) -> f64 {
+        self.t_overhead
+            + self.phases as f64 * (self.waves() as f64 * self.t_phase + self.t_exchange)
+    }
+
+    /// Predicted speedup versus one slot.
+    pub fn speedup_vs_serial(&self) -> f64 {
+        let serial = ReplicaExchangeModel {
+            cores: self.cores_per_replica,
+            ..*self
+        };
+        serial.runtime() / self.runtime()
+    }
+}
+
+/// MapReduce phase-cost model:
+/// `T = overhead + map_work/p + shuffle_bytes/bandwidth + reduce_work/p`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MapReduceModel {
+    /// Total map-side work, core-seconds.
+    pub map_work_s: f64,
+    /// Total reduce-side work, core-seconds.
+    pub reduce_work_s: f64,
+    /// Bytes crossing the shuffle.
+    pub shuffle_bytes: f64,
+    /// Effective shuffle bandwidth, bytes/second.
+    pub shuffle_bandwidth: f64,
+    /// Per-task dispatch overhead, seconds.
+    pub per_task_overhead_s: f64,
+    /// Number of map tasks.
+    pub map_tasks: u32,
+    /// Number of reduce tasks.
+    pub reduce_tasks: u32,
+}
+
+impl MapReduceModel {
+    /// Predicted runtime on `p` parallel slots.
+    pub fn runtime(&self, p: u32) -> f64 {
+        let p = p.max(1) as f64;
+        let dispatch =
+            self.per_task_overhead_s * (self.map_tasks + self.reduce_tasks) as f64 / p;
+        dispatch
+            + self.map_work_s / p
+            + self.shuffle_bytes / self.shuffle_bandwidth.max(1.0)
+            + self.reduce_work_s / p
+    }
+
+    /// Parallelism beyond which the shuffle dominates: where compute time
+    /// drops below shuffle time.
+    pub fn shuffle_bound_p(&self) -> f64 {
+        let shuffle = self.shuffle_bytes / self.shuffle_bandwidth.max(1.0);
+        if shuffle <= 0.0 {
+            return f64::INFINITY;
+        }
+        (self.map_work_s + self.reduce_work_s) / shuffle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_limits() {
+        assert_eq!(amdahl_speedup(0.0, 8), 8.0);
+        assert_eq!(amdahl_speedup(1.0, 64), 1.0);
+        // 5% serial caps speedup at 20.
+        assert!(amdahl_speedup(0.05, 1_000_000) < 20.0);
+        assert!(amdahl_speedup(0.05, 1_000_000) > 19.5);
+        // Monotone in p.
+        assert!(amdahl_speedup(0.1, 16) > amdahl_speedup(0.1, 8));
+    }
+
+    #[test]
+    fn gustafson_grows_linearly() {
+        assert_eq!(gustafson_speedup(0.0, 8), 8.0);
+        assert_eq!(gustafson_speedup(1.0, 8), 1.0);
+        let g16 = gustafson_speedup(0.1, 16);
+        let g32 = gustafson_speedup(0.1, 32);
+        assert!((g32 - g16) > 10.0, "scaled speedup keeps growing");
+    }
+
+    #[test]
+    fn efficiency_of_perfect_scaling_is_one() {
+        assert_eq!(efficiency(8.0, 8), 1.0);
+        assert_eq!(efficiency(4.0, 8), 0.5);
+    }
+
+    #[test]
+    fn pilot_overhead_amortizes() {
+        let m = PilotOverheadModel {
+            t_submit: 1.0,
+            t_queue: 600.0,
+            t_boot: 30.0,
+        };
+        assert_eq!(m.startup(), 631.0);
+        assert_eq!(m.per_task_overhead(1), 631.0);
+        assert!((m.per_task_overhead(1000) - 0.631).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replica_exchange_waves_and_runtime() {
+        let m = ReplicaExchangeModel {
+            replicas: 8,
+            cores: 4,
+            cores_per_replica: 1,
+            t_phase: 100.0,
+            t_exchange: 5.0,
+            phases: 10,
+            t_overhead: 50.0,
+        };
+        assert_eq!(m.slots(), 4);
+        assert_eq!(m.waves(), 2);
+        // 10 × (2×100 + 5) + 50 = 2100
+        assert!((m.runtime() - 2100.0).abs() < 1e-9);
+        // Full parallelism: 8 slots → 1 wave.
+        let wide = ReplicaExchangeModel { cores: 8, ..m };
+        assert_eq!(wide.waves(), 1);
+        assert!(wide.runtime() < m.runtime());
+        assert!(wide.speedup_vs_serial() > m.speedup_vs_serial());
+    }
+
+    #[test]
+    fn replica_exchange_speedup_saturates_at_replica_count() {
+        let m = |cores| ReplicaExchangeModel {
+            replicas: 8,
+            cores,
+            cores_per_replica: 1,
+            t_phase: 100.0,
+            t_exchange: 0.0,
+            phases: 1,
+            t_overhead: 0.0,
+        };
+        // Beyond 8 cores nothing improves: 8 replicas = 8 slots max.
+        assert_eq!(m(8).runtime(), m(64).runtime());
+        assert!((m(8).speedup_vs_serial() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mapreduce_shuffle_becomes_bottleneck() {
+        let m = MapReduceModel {
+            map_work_s: 1000.0,
+            reduce_work_s: 200.0,
+            shuffle_bytes: 1e9,
+            shuffle_bandwidth: 100e6, // 10 s shuffle
+            per_task_overhead_s: 0.01,
+            map_tasks: 100,
+            reduce_tasks: 10,
+        };
+        let t1 = m.runtime(1);
+        let t16 = m.runtime(16);
+        let t1024 = m.runtime(1024);
+        assert!(t16 < t1);
+        assert!(t1024 < t16);
+        // Floor: the 10-second shuffle never parallelizes away.
+        assert!(t1024 >= 10.0);
+        assert!((m.shuffle_bound_p() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_guards() {
+        assert_eq!(amdahl_speedup(0.5, 0), 1.0);
+        let m = ReplicaExchangeModel {
+            replicas: 4,
+            cores: 0,
+            cores_per_replica: 0,
+            t_phase: 1.0,
+            t_exchange: 0.0,
+            phases: 1,
+            t_overhead: 0.0,
+        };
+        assert_eq!(m.slots(), 1);
+        assert_eq!(m.waves(), 4);
+    }
+}

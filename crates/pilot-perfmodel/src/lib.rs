@@ -1,0 +1,40 @@
+//! # pilot-perfmodel — analytical and statistical performance models
+//!
+//! The paper's evaluation leans on two complementary modeling methods
+//! (Section II-C.2, Figure 4):
+//!
+//! - **Analytical models** ([`analytical`]) — white-box formulas for pilot
+//!   startup overhead, replica-exchange runtime (\[72\]), MapReduce phase cost,
+//!   and the classic speedup laws. They decompose *why* a runtime is what it
+//!   is, and EXP PJ-3 overlays them on measured strong-scaling curves.
+//! - **Statistical models** ([`regression`]) — black-box OLS regression fit
+//!   on sweep data, used for streaming throughput prediction and
+//!   optimal-resource selection (\[73\], EXP PS-2). Built on a small dense
+//!   linear-algebra kernel ([`linalg`]) — no external math dependency.
+
+//! ## Example
+//!
+//! ```rust
+//! use pilot_perfmodel::{amdahl_speedup, FeatureMap, LinearModel, r_squared};
+//!
+//! // Analytical: 5% serial work caps speedup near 20x.
+//! assert!(amdahl_speedup(0.05, 1024) < 20.0);
+//!
+//! // Statistical: recover a planted linear law from observations.
+//! let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 7.0 + 3.0 * x[0]).collect();
+//! let model = LinearModel::fit(&xs, &ys, FeatureMap::Linear).unwrap();
+//! assert!(r_squared(&ys, &model.predict_all(&xs)) > 0.999);
+//! assert!((model.predict(&[100.0]) - 307.0).abs() < 1e-6);
+//! ```
+
+pub mod analytical;
+pub mod linalg;
+pub mod regression;
+
+pub use analytical::{
+    amdahl_speedup, efficiency, gustafson_speedup, MapReduceModel, PilotOverheadModel,
+    ReplicaExchangeModel,
+};
+pub use linalg::Matrix;
+pub use regression::{mae, r_squared, rmse, train_test_split, FeatureMap, LinearModel};

@@ -1,0 +1,232 @@
+//! Minimal dense linear algebra: exactly what normal-equation OLS needs.
+
+/// Row-major dense matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from row slices (all the same length).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// (rows, cols).
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "shape mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect()
+    }
+
+    /// Solve `A x = b` by Gaussian elimination with partial pivoting plus a
+    /// tiny ridge fallback when the system is singular (collinear features).
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve needs a square matrix");
+        assert_eq!(self.rows, b.len(), "rhs length mismatch");
+        match gauss_solve(self.clone(), b.to_vec()) {
+            Some(x) => Some(x),
+            None => {
+                // Ridge-regularize: (A + λI) x = b.
+                let n = self.rows;
+                let mut a = self.clone();
+                let scale = (0..n).map(|i| a[(i, i)].abs()).fold(0.0, f64::max);
+                let lambda = (scale * 1e-8).max(1e-12);
+                for i in 0..n {
+                    a[(i, i)] += lambda;
+                }
+                gauss_solve(a, b.to_vec())
+            }
+        }
+    }
+}
+
+fn gauss_solve(mut a: Matrix, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = a.rows;
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[(i, col)]
+                    .abs()
+                    .partial_cmp(&a[(j, col)].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty range");
+        if a[(pivot, col)].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for j in 0..n {
+                let tmp = a[(col, j)];
+                a[(col, j)] = a[(pivot, j)];
+                a[(pivot, j)] = tmp;
+            }
+            b.swap(col, pivot);
+        }
+        for row in (col + 1)..n {
+            let f = a[(row, col)] / a[(col, col)];
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[(row, j)] -= f * a[(col, j)];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in (i + 1)..n {
+            s -= a[(i, j)] * x[j];
+        }
+        x[i] = s / a[(i, i)];
+    }
+    Some(x)
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        let i = Matrix::identity(3);
+        assert_eq!(i[(2, 2)], 1.0);
+        assert_eq!(i[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn transpose_and_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let at = a.transpose();
+        assert_eq!(at.shape(), (3, 2));
+        assert_eq!(at[(2, 1)], 6.0);
+        let p = a.matmul(&at); // 2x2
+        assert_eq!(p[(0, 0)], 14.0);
+        assert_eq!(p[(0, 1)], 32.0);
+        assert_eq!(p[(1, 1)], 77.0);
+        let id = Matrix::identity(3);
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn matvec() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn solve_well_conditioned() {
+        // x + 2y = 5; 3x + 4y = 11 → x=1, y=2
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let x = a.solve(&[5.0, 11.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_falls_back_to_ridge() {
+        // Perfectly collinear: rank 1. Ridge fallback returns *a* solution
+        // with small residual rather than None.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let x = a.solve(&[2.0, 2.0]).unwrap();
+        let r = a.matvec(&x);
+        assert!((r[0] - 2.0).abs() < 1e-3 && (r[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

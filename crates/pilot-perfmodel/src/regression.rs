@@ -1,0 +1,286 @@
+//! Ordinary-least-squares regression with feature maps — the statistical
+//! performance-model machinery of EXP PS-2 (throughput prediction, \[73\]).
+
+use crate::linalg::Matrix;
+
+/// How raw factors expand into regression features.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FeatureMap {
+    /// `[1, x1, ..., xk]`
+    Linear,
+    /// Linear plus all squares: `[1, x, x²]` per factor.
+    Quadratic,
+    /// Linear plus pairwise products (interactions).
+    Interactions,
+}
+
+impl FeatureMap {
+    /// Expand one raw factor vector.
+    pub fn expand(&self, x: &[f64]) -> Vec<f64> {
+        let mut f = Vec::with_capacity(1 + x.len() * 2);
+        f.push(1.0);
+        f.extend_from_slice(x);
+        match self {
+            FeatureMap::Linear => {}
+            FeatureMap::Quadratic => {
+                f.extend(x.iter().map(|v| v * v));
+            }
+            FeatureMap::Interactions => {
+                for i in 0..x.len() {
+                    for j in (i + 1)..x.len() {
+                        f.push(x[i] * x[j]);
+                    }
+                }
+            }
+        }
+        f
+    }
+}
+
+/// A fitted linear model `y ≈ w · φ(x)`.
+#[derive(Clone, Debug)]
+pub struct LinearModel {
+    /// Feature expansion in use.
+    pub features: FeatureMap,
+    /// Learned weights (aligned with [`FeatureMap::expand`] output).
+    pub weights: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Fit by normal equations: `w = (ΦᵀΦ)⁻¹ Φᵀ y`.
+    ///
+    /// Returns `None` when there are no samples or the expanded design is
+    /// hopeless even after ridge regularization.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], features: FeatureMap) -> Option<LinearModel> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return None;
+        }
+        let phi: Vec<Vec<f64>> = xs.iter().map(|x| features.expand(x)).collect();
+        let design = Matrix::from_rows(&phi);
+        let dt = design.transpose();
+        let gram = dt.matmul(&design);
+        let rhs = dt.matvec(ys);
+        let weights = gram.solve(&rhs)?;
+        Some(LinearModel { features, weights })
+    }
+
+    /// Predict one point.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.features
+            .expand(x)
+            .iter()
+            .zip(&self.weights)
+            .map(|(f, w)| f * w)
+            .sum()
+    }
+
+    /// Predict many points.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Among candidate configurations, the one with the highest predicted
+    /// response (the paper's "optimal set of resources for a workload").
+    pub fn argmax<'a>(&self, candidates: &'a [Vec<f64>]) -> Option<&'a Vec<f64>> {
+        candidates.iter().max_by(|a, b| {
+            self.predict(a)
+                .partial_cmp(&self.predict(b))
+                .expect("finite predictions")
+        })
+    }
+}
+
+/// Coefficient of determination.
+pub fn r_squared(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(y, p)| (y - p).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(y, p)| (y - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Root-mean-square error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    (y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(y, p)| (y - p).powi(2))
+        .sum::<f64>()
+        / y_true.len() as f64)
+        .sqrt()
+}
+
+/// A `(train_xs, train_ys, test_xs, test_ys)` split.
+pub type Split = (Vec<Vec<f64>>, Vec<f64>, Vec<Vec<f64>>, Vec<f64>);
+
+/// Deterministic shuffled split: `(train_xs, train_ys, test_xs, test_ys)`.
+pub fn train_test_split(xs: &[Vec<f64>], ys: &[f64], test_fraction: f64, seed: u64) -> Split {
+    assert_eq!(xs.len(), ys.len());
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    // Tiny Fisher-Yates with SplitMix64 so this crate stays dependency-free.
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..idx.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    let n_test = ((xs.len() as f64) * test_fraction.clamp(0.0, 1.0)).round() as usize;
+    let (test_idx, train_idx) = idx.split_at(n_test.min(xs.len()));
+    let pick = |ids: &[usize]| -> (Vec<Vec<f64>>, Vec<f64>) {
+        (
+            ids.iter().map(|&i| xs[i].clone()).collect(),
+            ids.iter().map(|&i| ys[i]).collect(),
+        )
+    };
+    let (test_x, test_y) = pick(test_idx);
+    let (train_x, train_y) = pick(train_idx);
+    (train_x, train_y, test_x, test_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_planted_linear_model() {
+        // y = 3 + 2a - b, exactly.
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x[0] - x[1]).collect();
+        let m = LinearModel::fit(&xs, &ys, FeatureMap::Linear).unwrap();
+        assert!((m.weights[0] - 3.0).abs() < 1e-6, "{:?}", m.weights);
+        assert!((m.weights[1] - 2.0).abs() < 1e-6);
+        assert!((m.weights[2] + 1.0).abs() < 1e-6);
+        let preds = m.predict_all(&xs);
+        assert!(r_squared(&ys, &preds) > 0.999999);
+        assert!(mae(&ys, &preds) < 1e-6);
+        assert!(rmse(&ys, &preds) < 1e-6);
+    }
+
+    #[test]
+    fn quadratic_features_fit_parabola() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 3.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 0.5 * x[0] + 2.0 * x[0] * x[0]).collect();
+        let linear = LinearModel::fit(&xs, &ys, FeatureMap::Linear).unwrap();
+        let quad = LinearModel::fit(&xs, &ys, FeatureMap::Quadratic).unwrap();
+        let r2_lin = r_squared(&ys, &linear.predict_all(&xs));
+        let r2_quad = r_squared(&ys, &quad.predict_all(&xs));
+        assert!(r2_quad > 0.999999);
+        assert!(r2_quad > r2_lin);
+    }
+
+    #[test]
+    fn interactions_capture_products() {
+        let xs: Vec<Vec<f64>> = (0..5)
+            .flat_map(|a| (0..5).map(move |b| vec![a as f64, b as f64]))
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] * x[1] + 1.0).collect();
+        let m = LinearModel::fit(&xs, &ys, FeatureMap::Interactions).unwrap();
+        assert!(r_squared(&ys, &m.predict_all(&xs)) > 0.999999);
+    }
+
+    #[test]
+    fn feature_expansion_shapes() {
+        let x = [2.0, 3.0, 4.0];
+        assert_eq!(FeatureMap::Linear.expand(&x), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            FeatureMap::Quadratic.expand(&x),
+            vec![1.0, 2.0, 3.0, 4.0, 4.0, 9.0, 16.0]
+        );
+        assert_eq!(
+            FeatureMap::Interactions.expand(&x),
+            vec![1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0]
+        );
+    }
+
+    #[test]
+    fn argmax_picks_best_candidate() {
+        // y rises with x0: best candidate has the largest x0.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x[0]).collect();
+        let m = LinearModel::fit(&xs, &ys, FeatureMap::Linear).unwrap();
+        let candidates = vec![vec![2.0], vec![7.0], vec![4.0]];
+        assert_eq!(m.argmax(&candidates), Some(&vec![7.0]));
+    }
+
+    #[test]
+    fn split_is_deterministic_and_disjoint() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let (tr_x, tr_y, te_x, te_y) = train_test_split(&xs, &ys, 0.25, 42);
+        assert_eq!(tr_x.len(), 75);
+        assert_eq!(te_x.len(), 25);
+        assert_eq!(tr_y.len(), 75);
+        assert_eq!(te_y.len(), 25);
+        let (tr_x2, ..) = train_test_split(&xs, &ys, 0.25, 42);
+        assert_eq!(tr_x, tr_x2, "same seed, same split");
+        let mut all: Vec<f64> = tr_x.iter().chain(te_x.iter()).map(|v| v[0]).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(LinearModel::fit(&[], &[], FeatureMap::Linear).is_none());
+        assert_eq!(r_squared(&[], &[]), 0.0);
+        assert_eq!(mae(&[], &[]), 0.0);
+        // Constant target: R² defined as 1 for a perfect constant fit.
+        let xs = vec![vec![1.0], vec![2.0]];
+        let ys = vec![5.0, 5.0];
+        let m = LinearModel::fit(&xs, &ys, FeatureMap::Linear).unwrap();
+        assert!((m.predict(&[1.5]) - 5.0).abs() < 1e-6);
+        assert_eq!(r_squared(&ys, &m.predict_all(&xs)).round(), 1.0);
+    }
+
+    #[test]
+    fn generalizes_to_held_out_data() {
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 17) as f64, (i % 5) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 10.0 + x[0] * 1.5 + x[1] * -2.0).collect();
+        let (tr_x, tr_y, te_x, te_y) = train_test_split(&xs, &ys, 0.3, 7);
+        let m = LinearModel::fit(&tr_x, &tr_y, FeatureMap::Linear).unwrap();
+        let preds = m.predict_all(&te_x);
+        assert!(r_squared(&te_y, &preds) > 0.999);
+    }
+}

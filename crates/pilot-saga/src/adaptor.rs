@@ -1,0 +1,894 @@
+//! Resource adaptors: one uniform job interface, four backends.
+//!
+//! Each [`ResourceAdaptor`] wraps exactly one infrastructure component and
+//! translates between the uniform alphabet ([`SagaIn`]/[`SagaOut`]) and the
+//! backend's native one. Capacity semantics per backend:
+//!
+//! - **HPC**: gang allocation — all cores arrive at once when the batch job
+//!   starts, and leave at once.
+//! - **HTC**: a request for N cores becomes N single-slot *glide-ins*;
+//!   capacity arrives incrementally as slots match and can shrink when slots
+//!   fail (the glide-in is requeued and capacity later returns).
+//! - **Cloud**: the request is planned onto instance types (greedy
+//!   largest-fit); capacity arrives per VM as boots complete. Walltime is
+//!   enforced by the adaptor (clouds don't kill your VMs for you).
+//! - **YARN**: one container, allocated after a negotiation latency;
+//!   walltime enforced by the adaptor.
+
+use crate::job::{JobDescription, JobState};
+use pilot_infra::cloud::{CloudIn, CloudOut, CloudProvider, VmId};
+use pilot_infra::component::{Component, Effects};
+use pilot_infra::hpc::{BatchRequest, HpcCluster, HpcIn, HpcOut};
+use pilot_infra::htc::{HtcIn, HtcOut, HtcPool, HtcRequest};
+use pilot_infra::types::{JobId, JobOutcome};
+use pilot_infra::yarn::{ContainerId, YarnCluster, YarnIn, YarnOut};
+use pilot_sim::SimTime;
+use std::collections::HashMap;
+
+/// Native inputs of the wrapped backend, routed back by the embedding sim.
+#[derive(Clone, Debug)]
+pub enum InfraIn {
+    /// HPC batch cluster event.
+    Hpc(HpcIn),
+    /// HTC pool event.
+    Htc(HtcIn),
+    /// Cloud provider event.
+    Cloud(CloudIn),
+    /// YARN resource-manager event.
+    Yarn(YarnIn),
+}
+
+/// Uniform input alphabet.
+#[derive(Clone, Debug)]
+pub enum SagaIn {
+    /// Submit a job.
+    Submit {
+        /// Caller-chosen id.
+        job: JobId,
+        /// What to run.
+        desc: JobDescription,
+    },
+    /// Cancel a job in any non-terminal state.
+    Cancel(JobId),
+    /// Internal: adaptor-enforced walltime/runtime expiry (generation-guarded).
+    Expire(JobId, u64),
+    /// Internal: wrapped backend event.
+    Infra(InfraIn),
+}
+
+/// Uniform output alphabet.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SagaOut {
+    /// The job was accepted and waits for resources.
+    Queued { job: JobId },
+    /// `cores` additional cores became usable; `total` now active.
+    CapacityUp { job: JobId, cores: u32, total: u32 },
+    /// `cores` were lost (failure, partial teardown); `total` now active.
+    CapacityDown { job: JobId, cores: u32, total: u32 },
+    /// Terminal transition.
+    Done { job: JobId, outcome: JobOutcome },
+}
+
+enum Backend {
+    Hpc(HpcCluster),
+    Htc(HtcPool),
+    Cloud(CloudProvider),
+    Yarn(YarnCluster),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum SubId {
+    Batch(JobId),
+    Slot(JobId),
+    Vm(VmId),
+    Container(ContainerId),
+}
+
+struct Sub {
+    id: SubId,
+    cores: u32,
+    active: bool,
+    dead: bool,
+}
+
+struct JobRec {
+    desc: JobDescription,
+    state: JobState,
+    active_cores: u32,
+    subs: Vec<Sub>,
+    generation: u64,
+    cancel_requested: bool,
+    ever_active: bool,
+}
+
+impl JobRec {
+    fn natural_outcome(&self) -> JobOutcome {
+        if self.cancel_requested {
+            JobOutcome::Canceled
+        } else if !self.ever_active {
+            JobOutcome::Rejected
+        } else if self.desc.runtime <= self.desc.walltime {
+            JobOutcome::Completed
+        } else {
+            JobOutcome::WalltimeExceeded
+        }
+    }
+}
+
+/// Uniform adaptor over one infrastructure backend.
+pub struct ResourceAdaptor {
+    name: String,
+    backend: Backend,
+    jobs: HashMap<JobId, JobRec>,
+    /// Reverse map from backend-native sub-unit to the uniform job.
+    sub_owner: HashMap<SubId, JobId>,
+    next_sub: u64,
+}
+
+/// Greedy largest-fit plan of `cores` onto instance types. Returns catalog
+/// indices; may overshoot by at most the smallest type's core count.
+pub fn plan_instances(cores: u32, types: &[pilot_infra::cloud::InstanceType]) -> Vec<usize> {
+    assert!(!types.is_empty(), "empty instance catalog");
+    let mut by_size: Vec<usize> = (0..types.len()).collect();
+    by_size.sort_by_key(|&i| std::cmp::Reverse(types[i].cores));
+    let smallest = *by_size.last().expect("non-empty");
+    let mut plan = Vec::new();
+    let mut remaining = cores as i64;
+    while remaining > 0 {
+        let pick = by_size
+            .iter()
+            .copied()
+            .find(|&i| (types[i].cores as i64) <= remaining)
+            .unwrap_or(smallest);
+        plan.push(pick);
+        remaining -= types[pick].cores as i64;
+    }
+    plan
+}
+
+impl ResourceAdaptor {
+    /// Wrap an HPC batch cluster.
+    pub fn hpc(cluster: HpcCluster) -> Self {
+        Self::new(cluster.name().to_string(), Backend::Hpc(cluster))
+    }
+
+    /// Wrap an HTC pool.
+    pub fn htc(pool: HtcPool) -> Self {
+        Self::new(pool.name().to_string(), Backend::Htc(pool))
+    }
+
+    /// Wrap a cloud provider/region.
+    pub fn cloud(provider: CloudProvider) -> Self {
+        Self::new(provider.name().to_string(), Backend::Cloud(provider))
+    }
+
+    /// Wrap a YARN-like resource manager.
+    pub fn yarn(cluster: YarnCluster) -> Self {
+        Self::new(cluster.name().to_string(), Backend::Yarn(cluster))
+    }
+
+    fn new(name: String, backend: Backend) -> Self {
+        ResourceAdaptor {
+            name,
+            backend,
+            jobs: HashMap::new(),
+            sub_owner: HashMap::new(),
+            next_sub: 1,
+        }
+    }
+
+    /// Backend resource name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Short label of the backend kind.
+    pub fn kind(&self) -> &'static str {
+        match self.backend {
+            Backend::Hpc(_) => "hpc",
+            Backend::Htc(_) => "htc",
+            Backend::Cloud(_) => "cloud",
+            Backend::Yarn(_) => "yarn",
+        }
+    }
+
+    /// Events that must be scheduled at simulation start.
+    pub fn initial_inputs(&self) -> Vec<(SimTime, SagaIn)> {
+        match &self.backend {
+            Backend::Hpc(c) => c
+                .initial_inputs()
+                .into_iter()
+                .map(|(t, e)| (t, SagaIn::Infra(InfraIn::Hpc(e))))
+                .collect(),
+            Backend::Htc(p) => p
+                .initial_inputs()
+                .into_iter()
+                .map(|(t, e)| (t, SagaIn::Infra(InfraIn::Htc(e))))
+                .collect(),
+            Backend::Cloud(_) | Backend::Yarn(_) => vec![],
+        }
+    }
+
+    /// Current lifecycle state of a job, if known.
+    pub fn job_state(&self, job: JobId) -> Option<JobState> {
+        self.jobs.get(&job).map(|r| r.state)
+    }
+
+    /// Cores the job currently holds.
+    pub fn active_cores(&self, job: JobId) -> u32 {
+        self.jobs.get(&job).map_or(0, |r| r.active_cores)
+    }
+
+    /// Access the wrapped HPC cluster, if that is the backend kind.
+    pub fn as_hpc(&self) -> Option<&HpcCluster> {
+        match &self.backend {
+            Backend::Hpc(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Access the wrapped cloud provider, if that is the backend kind.
+    pub fn as_cloud(&self) -> Option<&CloudProvider> {
+        match &self.backend {
+            Backend::Cloud(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    fn fresh_sub(&mut self) -> u64 {
+        let id = self.next_sub;
+        self.next_sub += 1;
+        id
+    }
+
+    // ---- backend feeding -------------------------------------------------
+
+    fn feed(&mut self, now: SimTime, ev: InfraIn, fx: &mut Effects<SagaIn, SagaOut>) {
+        match ev {
+            InfraIn::Hpc(e) => {
+                let Backend::Hpc(c) = &mut self.backend else {
+                    return;
+                };
+                let mut inner = Effects::new(now);
+                c.handle(now, e, &mut inner);
+                for (t, ie) in inner.later {
+                    fx.at(t, SagaIn::Infra(InfraIn::Hpc(ie)));
+                }
+                for o in inner.out {
+                    self.on_hpc_out(now, o, fx);
+                }
+            }
+            InfraIn::Htc(e) => {
+                let Backend::Htc(p) = &mut self.backend else {
+                    return;
+                };
+                let mut inner = Effects::new(now);
+                p.handle(now, e, &mut inner);
+                for (t, ie) in inner.later {
+                    fx.at(t, SagaIn::Infra(InfraIn::Htc(ie)));
+                }
+                for o in inner.out {
+                    self.on_htc_out(now, o, fx);
+                }
+            }
+            InfraIn::Cloud(e) => {
+                let Backend::Cloud(c) = &mut self.backend else {
+                    return;
+                };
+                let mut inner = Effects::new(now);
+                c.handle(now, e, &mut inner);
+                for (t, ie) in inner.later {
+                    fx.at(t, SagaIn::Infra(InfraIn::Cloud(ie)));
+                }
+                for o in inner.out {
+                    self.on_cloud_out(now, o, fx);
+                }
+            }
+            InfraIn::Yarn(e) => {
+                let Backend::Yarn(y) = &mut self.backend else {
+                    return;
+                };
+                let mut inner = Effects::new(now);
+                y.handle(now, e, &mut inner);
+                for (t, ie) in inner.later {
+                    fx.at(t, SagaIn::Infra(InfraIn::Yarn(ie)));
+                }
+                for o in inner.out {
+                    self.on_yarn_out(now, o, fx);
+                }
+            }
+        }
+    }
+
+    // ---- submission ------------------------------------------------------
+
+    fn submit(&mut self, now: SimTime, job: JobId, desc: JobDescription, fx: &mut Effects<SagaIn, SagaOut>) {
+        if self.jobs.contains_key(&job) {
+            fx.emit(SagaOut::Done {
+                job,
+                outcome: JobOutcome::Rejected,
+            });
+            return;
+        }
+        let mut rec = JobRec {
+            desc: desc.clone(),
+            state: JobState::Pending,
+            active_cores: 0,
+            subs: Vec::new(),
+            generation: 0,
+            cancel_requested: false,
+            ever_active: false,
+        };
+        fx.emit(SagaOut::Queued { job });
+        match &self.backend {
+            Backend::Hpc(_) => {
+                let sub = JobId(self.fresh_sub());
+                rec.subs.push(Sub {
+                    id: SubId::Batch(sub),
+                    cores: desc.cores,
+                    active: false,
+                    dead: false,
+                });
+                self.sub_owner.insert(SubId::Batch(sub), job);
+                self.jobs.insert(job, rec);
+                self.feed(
+                    now,
+                    InfraIn::Hpc(HpcIn::Submit(BatchRequest {
+                        job: sub,
+                        cores: desc.cores,
+                        walltime: desc.walltime,
+                        runtime: desc.runtime,
+                    })),
+                    fx,
+                );
+            }
+            Backend::Htc(_) => {
+                // Glide-in decomposition: one single-slot job per core.
+                let slot_runtime = desc.runtime.min(desc.walltime);
+                let n = desc.cores.max(1);
+                let mut submits = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let sub = JobId(self.fresh_sub());
+                    rec.subs.push(Sub {
+                        id: SubId::Slot(sub),
+                        cores: 1,
+                        active: false,
+                        dead: false,
+                    });
+                    self.sub_owner.insert(SubId::Slot(sub), job);
+                    submits.push(sub);
+                }
+                self.jobs.insert(job, rec);
+                for sub in submits {
+                    self.feed(
+                        now,
+                        InfraIn::Htc(HtcIn::Submit(HtcRequest {
+                            job: sub,
+                            runtime: slot_runtime,
+                        })),
+                        fx,
+                    );
+                }
+            }
+            Backend::Cloud(provider) => {
+                let plan = plan_instances(desc.cores, provider.types());
+                let type_cores: Vec<u32> = provider.types().iter().map(|t| t.cores).collect();
+                let mut requests = Vec::with_capacity(plan.len());
+                for type_index in plan {
+                    let vm = VmId(self.fresh_sub());
+                    let cores = type_cores[type_index];
+                    rec.subs.push(Sub {
+                        id: SubId::Vm(vm),
+                        cores,
+                        active: false,
+                        dead: false,
+                    });
+                    self.sub_owner.insert(SubId::Vm(vm), job);
+                    requests.push((vm, type_index));
+                }
+                let expiry = desc.runtime.min(desc.walltime);
+                let gen = rec.generation;
+                self.jobs.insert(job, rec);
+                for (vm, type_index) in requests {
+                    self.feed(now, InfraIn::Cloud(CloudIn::Request { vm, type_index }), fx);
+                }
+                fx.after(expiry, SagaIn::Expire(job, gen));
+            }
+            Backend::Yarn(_) => {
+                let container = ContainerId(self.fresh_sub());
+                rec.subs.push(Sub {
+                    id: SubId::Container(container),
+                    cores: desc.cores,
+                    active: false,
+                    dead: false,
+                });
+                self.sub_owner.insert(SubId::Container(container), job);
+                let expiry = desc.runtime.min(desc.walltime);
+                let gen = rec.generation;
+                self.jobs.insert(job, rec);
+                self.feed(
+                    now,
+                    InfraIn::Yarn(YarnIn::Request {
+                        container,
+                        vcores: desc.cores,
+                    }),
+                    fx,
+                );
+                fx.after(expiry, SagaIn::Expire(job, gen));
+            }
+        }
+    }
+
+    // ---- cancellation / expiry -------------------------------------------
+
+    fn teardown(&mut self, now: SimTime, job: JobId, cancel: bool, fx: &mut Effects<SagaIn, SagaOut>) {
+        let Some(rec) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if rec.state.is_terminal() {
+            return;
+        }
+        if cancel {
+            rec.cancel_requested = true;
+        }
+        rec.generation += 1;
+        let live: Vec<SubId> = rec
+            .subs
+            .iter()
+            .filter(|s| !s.dead)
+            .map(|s| s.id)
+            .collect();
+        for sub in live {
+            match sub {
+                SubId::Batch(id) => self.feed(now, InfraIn::Hpc(HpcIn::Cancel(id)), fx),
+                SubId::Slot(id) => self.feed(now, InfraIn::Htc(HtcIn::Cancel(id)), fx),
+                SubId::Vm(vm) => self.feed(now, InfraIn::Cloud(CloudIn::Terminate(vm)), fx),
+                SubId::Container(c) => self.feed(now, InfraIn::Yarn(YarnIn::Release(c)), fx),
+            }
+        }
+    }
+
+    // ---- shared sub-unit state transitions --------------------------------
+
+    fn sub_up(&mut self, job: JobId, sub: SubId, fx: &mut Effects<SagaIn, SagaOut>) {
+        let Some(rec) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        let Some(s) = rec.subs.iter_mut().find(|s| s.id == sub) else {
+            return;
+        };
+        if s.active || s.dead {
+            return;
+        }
+        s.active = true;
+        let cores = s.cores;
+        rec.active_cores += cores;
+        rec.ever_active = true;
+        if rec.state == JobState::Pending {
+            rec.state = JobState::Running;
+        }
+        fx.emit(SagaOut::CapacityUp {
+            job,
+            cores,
+            total: rec.active_cores,
+        });
+    }
+
+    /// A sub-unit lost capacity. `dead` means it will never come back.
+    fn sub_down(
+        &mut self,
+        job: JobId,
+        sub: SubId,
+        dead: bool,
+        outcome_hint: Option<JobOutcome>,
+        fx: &mut Effects<SagaIn, SagaOut>,
+    ) {
+        let Some(rec) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        let Some(s) = rec.subs.iter_mut().find(|s| s.id == sub) else {
+            return;
+        };
+        if s.dead {
+            return;
+        }
+        let was_active = s.active;
+        s.active = false;
+        if dead {
+            s.dead = true;
+        }
+        if was_active {
+            rec.active_cores -= s.cores;
+            let cores = s.cores;
+            fx.emit(SagaOut::CapacityDown {
+                job,
+                cores,
+                total: rec.active_cores,
+            });
+        }
+        if rec.subs.iter().all(|s| s.dead) && !rec.state.is_terminal() {
+            let outcome = match outcome_hint {
+                // A hint only decides the aggregate when nothing ever ran
+                // (e.g. all-rejected); otherwise natural outcome rules.
+                Some(h) if !rec.ever_active => h,
+                _ => rec.natural_outcome(),
+            };
+            rec.state = match outcome {
+                JobOutcome::Completed => JobState::Done,
+                JobOutcome::Canceled => JobState::Canceled,
+                _ => JobState::Failed,
+            };
+            fx.emit(SagaOut::Done { job, outcome });
+        }
+    }
+
+    // ---- per-backend output translation ------------------------------------
+
+    fn on_hpc_out(&mut self, _now: SimTime, o: HpcOut, fx: &mut Effects<SagaIn, SagaOut>) {
+        match o {
+            HpcOut::Queued { .. } => {} // uniform Queued already emitted
+            HpcOut::Started { job: sub } => {
+                if let Some(&owner) = self.sub_owner.get(&SubId::Batch(sub)) {
+                    self.sub_up(owner, SubId::Batch(sub), fx);
+                }
+            }
+            HpcOut::Finished { job: sub, outcome } => {
+                if let Some(&owner) = self.sub_owner.get(&SubId::Batch(sub)) {
+                    self.sub_down(owner, SubId::Batch(sub), true, Some(outcome), fx);
+                }
+            }
+        }
+    }
+
+    fn on_htc_out(&mut self, _now: SimTime, o: HtcOut, fx: &mut Effects<SagaIn, SagaOut>) {
+        match o {
+            HtcOut::Queued { .. } => {}
+            HtcOut::Started { job: sub, .. } => {
+                if let Some(&owner) = self.sub_owner.get(&SubId::Slot(sub)) {
+                    self.sub_up(owner, SubId::Slot(sub), fx);
+                }
+            }
+            HtcOut::Requeued { job: sub } => {
+                // Slot lost, glide-in will come back: capacity down, not dead.
+                if let Some(&owner) = self.sub_owner.get(&SubId::Slot(sub)) {
+                    self.sub_down(owner, SubId::Slot(sub), false, None, fx);
+                }
+            }
+            HtcOut::Finished { job: sub, outcome } => {
+                if let Some(&owner) = self.sub_owner.get(&SubId::Slot(sub)) {
+                    self.sub_down(owner, SubId::Slot(sub), true, Some(outcome), fx);
+                }
+            }
+        }
+    }
+
+    fn on_cloud_out(&mut self, _now: SimTime, o: CloudOut, fx: &mut Effects<SagaIn, SagaOut>) {
+        match o {
+            CloudOut::Active { vm, .. } => {
+                if let Some(&owner) = self.sub_owner.get(&SubId::Vm(vm)) {
+                    self.sub_up(owner, SubId::Vm(vm), fx);
+                }
+            }
+            CloudOut::Terminated { vm, .. } => {
+                if let Some(&owner) = self.sub_owner.get(&SubId::Vm(vm)) {
+                    self.sub_down(owner, SubId::Vm(vm), true, None, fx);
+                }
+            }
+            CloudOut::Rejected { vm } => {
+                if let Some(&owner) = self.sub_owner.get(&SubId::Vm(vm)) {
+                    self.sub_down(owner, SubId::Vm(vm), true, Some(JobOutcome::Rejected), fx);
+                }
+            }
+        }
+    }
+
+    fn on_yarn_out(&mut self, _now: SimTime, o: YarnOut, fx: &mut Effects<SagaIn, SagaOut>) {
+        match o {
+            YarnOut::Allocated { container, .. } => {
+                if let Some(&owner) = self.sub_owner.get(&SubId::Container(container)) {
+                    self.sub_up(owner, SubId::Container(container), fx);
+                }
+            }
+            YarnOut::Released { container } => {
+                if let Some(&owner) = self.sub_owner.get(&SubId::Container(container)) {
+                    self.sub_down(owner, SubId::Container(container), true, None, fx);
+                }
+            }
+            YarnOut::Rejected { container } => {
+                if let Some(&owner) = self.sub_owner.get(&SubId::Container(container)) {
+                    self.sub_down(
+                        owner,
+                        SubId::Container(container),
+                        true,
+                        Some(JobOutcome::Rejected),
+                        fx,
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Component for ResourceAdaptor {
+    type In = SagaIn;
+    type Out = SagaOut;
+
+    fn handle(&mut self, now: SimTime, input: SagaIn, fx: &mut Effects<SagaIn, SagaOut>) {
+        match input {
+            SagaIn::Submit { job, desc } => self.submit(now, job, desc, fx),
+            SagaIn::Cancel(job) => self.teardown(now, job, true, fx),
+            SagaIn::Expire(job, gen) => {
+                let still_valid = self
+                    .jobs
+                    .get(&job)
+                    .map(|r| r.generation == gen && !r.state.is_terminal())
+                    .unwrap_or(false);
+                if still_valid {
+                    self.teardown(now, job, false, fx);
+                }
+            }
+            SagaIn::Infra(ev) => self.feed(now, ev, fx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilot_infra::cloud::CloudConfig;
+    use pilot_sim::SimDuration;
+    use pilot_infra::component::drive_until;
+    use pilot_infra::hpc::HpcConfig;
+    use pilot_infra::htc::HtcConfig;
+    use pilot_infra::yarn::YarnConfig;
+
+    fn run(
+        adaptor: &mut ResourceAdaptor,
+        mut inputs: Vec<(SimTime, SagaIn)>,
+        until_s: u64,
+    ) -> Vec<(SimTime, SagaOut)> {
+        let mut all = adaptor.initial_inputs();
+        all.append(&mut inputs);
+        drive_until(adaptor, all, SimTime::from_secs(until_s))
+    }
+
+    fn submit(t: u64, id: u64, desc: JobDescription) -> (SimTime, SagaIn) {
+        (
+            SimTime::from_secs(t),
+            SagaIn::Submit {
+                job: JobId(id),
+                desc,
+            },
+        )
+    }
+
+    fn outcome_of(outs: &[(SimTime, SagaOut)], id: u64) -> Option<JobOutcome> {
+        outs.iter().find_map(|(_, o)| match o {
+            SagaOut::Done { job, outcome } if job.0 == id => Some(*outcome),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn hpc_placeholder_gang_capacity() {
+        let mut a = ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet("hpc", 64)));
+        let outs = run(
+            &mut a,
+            vec![
+                submit(0, 1, JobDescription::placeholder(32, SimDuration::from_hours(1))),
+                (SimTime::from_secs(500), SagaIn::Cancel(JobId(1))),
+            ],
+            10_000,
+        );
+        assert_eq!(outs[0].1, SagaOut::Queued { job: JobId(1) });
+        assert!(outs.iter().any(|(_, o)| matches!(
+            o,
+            SagaOut::CapacityUp {
+                job: JobId(1),
+                cores: 32,
+                total: 32
+            }
+        )));
+        assert_eq!(outcome_of(&outs, 1), Some(JobOutcome::Canceled));
+        assert_eq!(a.job_state(JobId(1)), Some(JobState::Canceled));
+        assert_eq!(a.active_cores(JobId(1)), 0);
+        assert_eq!(a.kind(), "hpc");
+    }
+
+    #[test]
+    fn hpc_finite_task_completes() {
+        let mut a = ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet("hpc", 8)));
+        let desc = JobDescription::task(
+            4,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(600),
+        );
+        let outs = run(&mut a, vec![submit(0, 1, desc)], 10_000);
+        assert_eq!(outcome_of(&outs, 1), Some(JobOutcome::Completed));
+        assert_eq!(a.job_state(JobId(1)), Some(JobState::Done));
+    }
+
+    #[test]
+    fn htc_glidein_capacity_arrives_incrementally() {
+        let mut a = ResourceAdaptor::htc(HtcPool::new(HtcConfig::reliable("osg", 3)));
+        // 5 glide-ins on a 3-slot pool: 3 match in cycle 1, 2 when slots free.
+        let desc = JobDescription::task(
+            5,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(1000),
+        );
+        let outs = run(&mut a, vec![submit(0, 1, desc)], 100_000);
+        let ups: Vec<u32> = outs
+            .iter()
+            .filter_map(|(_, o)| match o {
+                SagaOut::CapacityUp { total, .. } => Some(*total),
+                _ => None,
+            })
+            .collect();
+        // The pool caps concurrent capacity at 3; the last two glide-ins
+        // match only after earlier ones finish their 100 s runtime.
+        assert_eq!(ups.len(), 5);
+        assert_eq!(*ups.iter().max().unwrap(), 3);
+        assert_eq!(ups[..3], [1, 2, 3]);
+        assert_eq!(outcome_of(&outs, 1), Some(JobOutcome::Completed));
+    }
+
+    #[test]
+    fn htc_slot_failure_shrinks_then_restores_capacity() {
+        let cfg = HtcConfig::reliable("flaky", 4).with_failures(200.0);
+        let mut a = ResourceAdaptor::htc(HtcPool::new(cfg));
+        let desc = JobDescription::task(
+            4,
+            SimDuration::from_secs(600),
+            SimDuration::from_secs(6000),
+        );
+        let outs = run(&mut a, vec![submit(0, 1, desc)], 1_000_000);
+        let downs = outs
+            .iter()
+            .filter(|(_, o)| matches!(o, SagaOut::CapacityDown { .. }))
+            .count();
+        assert!(downs > 0, "MTBF 200s with 600s slots must fail sometimes");
+        assert_eq!(outcome_of(&outs, 1), Some(JobOutcome::Completed));
+    }
+
+    #[test]
+    fn cloud_vms_boot_and_walltime_is_enforced() {
+        let provider = CloudProvider::new(CloudConfig::generic("eu", 256));
+        let mut a = ResourceAdaptor::cloud(provider);
+        let desc = JobDescription::placeholder(80, SimDuration::from_secs(3600));
+        let outs = run(&mut a, vec![submit(0, 1, desc)], 100_000);
+        // 80 cores => large.64 + medium.16 under greedy planning.
+        let total_up: u32 = outs
+            .iter()
+            .filter_map(|(_, o)| match o {
+                SagaOut::CapacityUp { cores, .. } => Some(*cores),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total_up, 80);
+        // Placeholder outcome at adaptor-enforced walltime: runtime(MAX) >
+        // walltime -> WalltimeExceeded, like a batch system would report.
+        assert_eq!(outcome_of(&outs, 1), Some(JobOutcome::WalltimeExceeded));
+        let done_t = outs
+            .iter()
+            .find(|(_, o)| matches!(o, SagaOut::Done { .. }))
+            .unwrap()
+            .0;
+        assert_eq!(done_t, SimTime::from_secs(3600));
+        assert_eq!(a.as_cloud().unwrap().used_cores(), 0);
+    }
+
+    #[test]
+    fn cloud_over_capacity_rejects() {
+        let provider = CloudProvider::new(CloudConfig::generic("tiny", 16));
+        let mut a = ResourceAdaptor::cloud(provider);
+        let desc = JobDescription::placeholder(64, SimDuration::from_secs(600));
+        let outs = run(&mut a, vec![submit(0, 1, desc)], 10_000);
+        assert_eq!(outcome_of(&outs, 1), Some(JobOutcome::Rejected));
+        assert_eq!(a.job_state(JobId(1)), Some(JobState::Failed));
+    }
+
+    #[test]
+    fn yarn_container_lifecycle() {
+        let mut a = ResourceAdaptor::yarn(YarnCluster::new(YarnConfig::new("emr", 64)));
+        let desc = JobDescription::task(
+            16,
+            SimDuration::from_secs(120),
+            SimDuration::from_secs(1200),
+        );
+        let outs = run(&mut a, vec![submit(0, 1, desc)], 10_000);
+        assert!(outs.iter().any(|(_, o)| matches!(
+            o,
+            SagaOut::CapacityUp {
+                cores: 16,
+                total: 16,
+                ..
+            }
+        )));
+        assert_eq!(outcome_of(&outs, 1), Some(JobOutcome::Completed));
+        let done_t = outs
+            .iter()
+            .find(|(_, o)| matches!(o, SagaOut::Done { .. }))
+            .unwrap()
+            .0;
+        // Runtime expiry is scheduled from submission.
+        assert_eq!(done_t, SimTime::from_secs(120));
+    }
+
+    #[test]
+    fn duplicate_submit_rejected() {
+        let mut a = ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet("hpc", 8)));
+        let d = JobDescription::placeholder(4, SimDuration::from_secs(100));
+        let outs = run(
+            &mut a,
+            vec![submit(0, 1, d.clone()), submit(1, 1, d)],
+            10_000,
+        );
+        let rejections = outs
+            .iter()
+            .filter(|(_, o)|
+
+                matches!(o, SagaOut::Done { outcome: JobOutcome::Rejected, .. }))
+            .count();
+        assert_eq!(rejections, 1);
+    }
+
+    #[test]
+    fn cancel_before_capacity_yields_canceled() {
+        let mut a = ResourceAdaptor::htc(HtcPool::new(HtcConfig::reliable("osg", 4)));
+        let desc = JobDescription::placeholder(2, SimDuration::from_secs(10_000));
+        let outs = run(
+            &mut a,
+            vec![
+                submit(0, 1, desc),
+                // Cancel before the first 30 s match cycle.
+                (SimTime::from_secs(10), SagaIn::Cancel(JobId(1))),
+            ],
+            10_000,
+        );
+        assert_eq!(outcome_of(&outs, 1), Some(JobOutcome::Canceled));
+        assert!(!outs
+            .iter()
+            .any(|(_, o)| matches!(o, SagaOut::CapacityUp { .. })));
+    }
+
+    #[test]
+    fn expire_after_cancel_is_a_noop() {
+        // Cancel at 100 s, expiry timer fires at 600 s: must not double-emit.
+        let provider = CloudProvider::new(CloudConfig::generic("eu", 256));
+        let mut a = ResourceAdaptor::cloud(provider);
+        let desc = JobDescription::placeholder(4, SimDuration::from_secs(600));
+        let outs = run(
+            &mut a,
+            vec![
+                submit(0, 1, desc),
+                (SimTime::from_secs(100), SagaIn::Cancel(JobId(1))),
+            ],
+            100_000,
+        );
+        let dones = outs
+            .iter()
+            .filter(|(_, o)| matches!(o, SagaOut::Done { .. }))
+            .count();
+        assert_eq!(dones, 1);
+        assert_eq!(outcome_of(&outs, 1), Some(JobOutcome::Canceled));
+    }
+
+    #[test]
+    fn plan_instances_greedy_fit() {
+        let provider = CloudProvider::new(CloudConfig::generic("x", 1024));
+        let types = provider.types();
+        // 80 = 64 + 16
+        let plan = plan_instances(80, types);
+        let cores: Vec<u32> = plan.iter().map(|&i| types[i].cores).collect();
+        assert_eq!(cores, vec![64, 16]);
+        // 2 -> one small.4 (overshoot allowed)
+        let plan = plan_instances(2, types);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(types[plan[0]].cores, 4);
+        // 129 = 64+64+... exact greedy: 64,64,1->small
+        let plan = plan_instances(129, types);
+        let total: u32 = plan.iter().map(|&i| types[i].cores).sum();
+        assert!((129..=132).contains(&total));
+    }
+}

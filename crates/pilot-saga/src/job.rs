@@ -1,0 +1,112 @@
+//! Uniform job description and state model.
+
+use pilot_sim::SimDuration;
+
+/// Backend-independent description of a (placeholder) job.
+#[derive(Clone, Debug)]
+pub struct JobDescription {
+    /// Cores requested.
+    pub cores: u32,
+    /// Walltime limit; infrastructure or adaptor enforces it.
+    pub walltime: SimDuration,
+    /// Actual runtime. `SimDuration::MAX` (the default) means
+    /// run-until-canceled, the pilot placeholder pattern.
+    pub runtime: SimDuration,
+}
+
+impl JobDescription {
+    /// A pilot-style placeholder: runs until canceled or walltime expiry.
+    pub fn placeholder(cores: u32, walltime: SimDuration) -> Self {
+        JobDescription {
+            cores,
+            walltime,
+            runtime: SimDuration::MAX,
+        }
+    }
+
+    /// A job with a known runtime.
+    pub fn task(cores: u32, runtime: SimDuration, walltime: SimDuration) -> Self {
+        JobDescription {
+            cores,
+            walltime,
+            runtime,
+        }
+    }
+}
+
+/// Uniform job lifecycle, the SAGA job state model collapsed to what the
+/// pilot layer consumes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobState {
+    /// Created, not yet submitted.
+    New,
+    /// Accepted by the backend, waiting for resources.
+    Pending,
+    /// Holding at least one core.
+    Running,
+    /// Finished successfully (or canceled after doing its work).
+    Done,
+    /// Lost: rejected, failed, or walltime-exceeded without completing.
+    Failed,
+    /// Canceled before or during execution.
+    Canceled,
+}
+
+impl JobState {
+    /// Whether the state is terminal.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Canceled)
+    }
+
+    /// Legal state-machine transitions (used by assertions in the adaptors).
+    pub fn can_transition_to(self, next: JobState) -> bool {
+        use JobState::*;
+        matches!(
+            (self, next),
+            (New, Pending)
+                | (New, Failed)
+                | (New, Canceled)
+                | (Pending, Running)
+                | (Pending, Failed)
+                | (Pending, Canceled)
+                | (Running, Done)
+                | (Running, Failed)
+                | (Running, Canceled)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placeholder_runs_forever() {
+        let d = JobDescription::placeholder(64, SimDuration::from_hours(4));
+        assert_eq!(d.runtime, SimDuration::MAX);
+        assert_eq!(d.cores, 64);
+    }
+
+    #[test]
+    fn state_machine_legal_paths() {
+        use JobState::*;
+        assert!(New.can_transition_to(Pending));
+        assert!(Pending.can_transition_to(Running));
+        assert!(Running.can_transition_to(Done));
+        assert!(Pending.can_transition_to(Canceled));
+        assert!(!Done.can_transition_to(Running));
+        assert!(!New.can_transition_to(Running), "must pass through Pending");
+        assert!(!Running.can_transition_to(Pending));
+    }
+
+    #[test]
+    fn terminal_states() {
+        use JobState::*;
+        for s in [Done, Failed, Canceled] {
+            assert!(s.is_terminal());
+        }
+        for s in [New, Pending, Running] {
+            assert!(!s.is_terminal());
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # pilot-saga — standardized access layer over heterogeneous infrastructures
+//!
+//! Models the role SAGA plays in the paper's architecture (\[70\]): one job
+//! description and one state model, adaptors per resource type (the classic
+//! adaptor pattern, Section IV-B). A pilot placeholder job submitted through
+//! this layer behaves identically from the caller's perspective whether the
+//! backend is an HPC batch queue, an HTC matchmaking pool, an IaaS cloud, or
+//! a YARN resource manager — the differences (queue waits vs. boot delays,
+//! gang allocation vs. incremental glide-in capacity) surface only through
+//! *when* capacity arrives, which is exactly what the interoperability
+//! experiments measure.
+//!
+//! The central type is [`ResourceAdaptor`], a `pilot_infra::Component` whose
+//! uniform output alphabet reports capacity as it comes and goes:
+//! `Queued → CapacityUp*(cores) → CapacityDown*/Done`.
+
+pub mod adaptor;
+pub mod job;
+
+pub use adaptor::{InfraIn, ResourceAdaptor, SagaIn, SagaOut};
+pub use job::{JobDescription, JobState};

@@ -1,0 +1,132 @@
+//! Property-based tests of the access layer: the uniform capacity protocol
+//! (`Queued → CapacityUp* → CapacityDown*/Done`) must hold for every backend
+//! under arbitrary submit/cancel interleavings, and capacity accounting must
+//! balance exactly.
+
+use pilot_infra::cloud::{CloudConfig, CloudProvider};
+use pilot_infra::component::drive_until;
+use pilot_infra::hpc::{HpcCluster, HpcConfig};
+use pilot_infra::htc::{HtcConfig, HtcPool};
+use pilot_infra::types::JobId;
+use pilot_infra::yarn::{YarnCluster, YarnConfig};
+use pilot_saga::{JobDescription, ResourceAdaptor, SagaIn, SagaOut};
+use pilot_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn adaptor(kind: usize) -> ResourceAdaptor {
+    match kind {
+        0 => ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet("hpc", 64))),
+        1 => ResourceAdaptor::htc(HtcPool::new(HtcConfig::reliable("htc", 64))),
+        2 => ResourceAdaptor::cloud(CloudProvider::new(CloudConfig::generic("cloud", 256))),
+        _ => ResourceAdaptor::yarn(YarnCluster::new(YarnConfig::new("yarn", 64))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every backend and arbitrary job mixes: the protocol order holds,
+    /// CapacityUp/Down totals are consistent, every job emits exactly one
+    /// Done, and capacity ends at zero.
+    #[test]
+    fn adaptor_protocol_is_balanced(
+        kind in 0usize..4,
+        jobs in prop::collection::vec(
+            // (cores, runtime_s, walltime_s, submit_at_s, cancel_after)
+            (1u32..24, 10u64..600, 60u64..900, 0u64..120, prop::option::of(5u64..700)),
+            1..12
+        ),
+    ) {
+        let mut a = adaptor(kind);
+        let mut inputs = a.initial_inputs();
+        for (i, &(cores, runtime, walltime, at, cancel)) in jobs.iter().enumerate() {
+            let job = JobId(i as u64);
+            inputs.push((
+                SimTime::from_secs(at),
+                SagaIn::Submit {
+                    job,
+                    desc: JobDescription::task(
+                        cores,
+                        SimDuration::from_secs(runtime),
+                        SimDuration::from_secs(walltime),
+                    ),
+                },
+            ));
+            if let Some(after) = cancel {
+                inputs.push((SimTime::from_secs(at + after), SagaIn::Cancel(job)));
+            }
+        }
+        let outs = drive_until(&mut a, inputs, SimTime::from_hours(200));
+
+        let mut queued: HashMap<JobId, usize> = HashMap::new();
+        let mut live: HashMap<JobId, i64> = HashMap::new();
+        let mut done: HashMap<JobId, usize> = HashMap::new();
+        for (_, o) in &outs {
+            match o {
+                SagaOut::Queued { job } => {
+                    *queued.entry(*job).or_insert(0) += 1;
+                    prop_assert!(!done.contains_key(job), "Queued after Done");
+                }
+                SagaOut::CapacityUp { job, cores, total } => {
+                    prop_assert!(queued.contains_key(job), "capacity before Queued");
+                    prop_assert!(!done.contains_key(job), "capacity after Done");
+                    let l = live.entry(*job).or_insert(0);
+                    *l += i64::from(*cores);
+                    prop_assert_eq!(*l, i64::from(*total), "CapacityUp total mismatch");
+                }
+                SagaOut::CapacityDown { job, cores, total } => {
+                    let l = live.entry(*job).or_insert(0);
+                    *l -= i64::from(*cores);
+                    prop_assert!(*l >= 0, "capacity went negative");
+                    prop_assert_eq!(*l, i64::from(*total), "CapacityDown total mismatch");
+                }
+                SagaOut::Done { job, .. } => {
+                    *done.entry(*job).or_insert(0) += 1;
+                }
+            }
+        }
+        // Exactly one Queued and one Done per submitted job.
+        prop_assert_eq!(queued.len(), jobs.len());
+        prop_assert!(queued.values().all(|&c| c == 1));
+        prop_assert_eq!(done.len(), jobs.len(), "every job must terminate");
+        prop_assert!(done.values().all(|&c| c == 1), "Done exactly once");
+        // All capacity returned.
+        for (job, l) in &live {
+            prop_assert_eq!(*l, 0, "job {} still holds cores", job);
+        }
+        // Adaptor agrees.
+        for i in 0..jobs.len() {
+            prop_assert_eq!(a.active_cores(JobId(i as u64)), 0);
+            let st = a.job_state(JobId(i as u64)).expect("tracked");
+            prop_assert!(st.is_terminal());
+        }
+    }
+
+    /// Placeholders (runtime = forever) on any backend are fully torn down
+    /// by cancel, regardless of when the cancel lands.
+    #[test]
+    fn placeholder_cancel_always_tears_down(
+        kind in 0usize..4,
+        cores in 1u32..32,
+        cancel_at in 1u64..5000,
+    ) {
+        let mut a = adaptor(kind);
+        let mut inputs = a.initial_inputs();
+        inputs.push((
+            SimTime::ZERO,
+            SagaIn::Submit {
+                job: JobId(1),
+                desc: JobDescription::placeholder(cores, SimDuration::from_hours(4)),
+            },
+        ));
+        inputs.push((SimTime::from_secs(cancel_at), SagaIn::Cancel(JobId(1))));
+        let outs = drive_until(&mut a, inputs, SimTime::from_hours(100));
+        let dones = outs
+            .iter()
+            .filter(|(_, o)| matches!(o, SagaOut::Done { .. }))
+            .count();
+        prop_assert_eq!(dones, 1);
+        prop_assert_eq!(a.active_cores(JobId(1)), 0);
+    }
+}

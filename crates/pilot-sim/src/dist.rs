@@ -1,0 +1,349 @@
+//! Declarative sampling distributions for workload and infrastructure models.
+//!
+//! Experiment specifications (Mini-App framework) describe task durations, data
+//! sizes, queue waits, boot latencies etc. as data, not code; [`Dist`] is that
+//! description. All sampling goes through [`SimRng`], keeping experiments
+//! reproducible.
+
+use crate::rng::SimRng;
+
+/// A one-dimensional sampling distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform { lo: f64, hi: f64 },
+    /// Exponential with the given mean.
+    Exponential { mean: f64 },
+    /// Normal, truncated below at `min` (use `f64::NEG_INFINITY` to disable).
+    Normal { mean: f64, std_dev: f64, min: f64 },
+    /// Log-normal parameterized by the underlying normal's mu and sigma.
+    LogNormal { mu: f64, sigma: f64 },
+    /// Weibull with shape `k` and scale `lambda`.
+    Weibull { shape: f64, scale: f64 },
+    /// Pareto with minimum `scale` and tail index `alpha`.
+    Pareto { scale: f64, alpha: f64 },
+    /// Resample uniformly from observed values (bootstrap).
+    Empirical(Vec<f64>),
+    /// Two-point mixture: value `a` with probability `p`, else `b`.
+    /// Models bimodal workloads (e.g. long simulation tasks mixed with
+    /// short analysis tasks, Section III-B of the paper).
+    Bimodal { a: f64, b: f64, p: f64 },
+}
+
+impl Dist {
+    /// Convenience constructor for [`Dist::Constant`].
+    pub fn constant(v: f64) -> Dist {
+        Dist::Constant(v)
+    }
+
+    /// Convenience constructor for [`Dist::Uniform`].
+    pub fn uniform(lo: f64, hi: f64) -> Dist {
+        Dist::Uniform { lo, hi }
+    }
+
+    /// Convenience constructor for [`Dist::Exponential`].
+    pub fn exponential(mean: f64) -> Dist {
+        Dist::Exponential { mean }
+    }
+
+    /// Normal truncated at zero — the common case for durations and sizes.
+    pub fn normal_pos(mean: f64, std_dev: f64) -> Dist {
+        Dist::Normal {
+            mean,
+            std_dev,
+            min: 0.0,
+        }
+    }
+
+    /// A log-normal chosen to have the given linear-scale median and spread.
+    ///
+    /// `sigma` is the shape parameter of the underlying normal; `median` maps
+    /// to `mu = ln(median)`.
+    pub fn lognormal_median(median: f64, sigma: f64) -> Dist {
+        Dist::LogNormal {
+            mu: median.max(f64::MIN_POSITIVE).ln(),
+            sigma,
+        }
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => rng.f64_range(*lo, *hi),
+            Dist::Exponential { mean } => rng.exponential(*mean),
+            Dist::Normal { mean, std_dev, min } => rng.normal(*mean, *std_dev).max(*min),
+            Dist::LogNormal { mu, sigma } => rng.lognormal(*mu, *sigma),
+            Dist::Weibull { shape, scale } => rng.weibull(*shape, *scale),
+            Dist::Pareto { scale, alpha } => rng.pareto(*scale, *alpha),
+            Dist::Empirical(values) => {
+                if values.is_empty() {
+                    0.0
+                } else {
+                    *rng.pick(values)
+                }
+            }
+            Dist::Bimodal { a, b, p } => {
+                if rng.bool(*p) {
+                    *a
+                } else {
+                    *b
+                }
+            }
+        }
+    }
+
+    /// Draw `n` samples.
+    pub fn sample_n(&self, rng: &mut SimRng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The analytic mean of the distribution, where defined.
+    ///
+    /// `Empirical` returns the sample mean; `Pareto` returns infinity for
+    /// `alpha <= 1`. Truncated normals report the untruncated mean (a
+    /// documented approximation, adequate for `mean >> std_dev`).
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Exponential { mean } => *mean,
+            Dist::Normal { mean, .. } => *mean,
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Dist::Weibull { shape, scale } => scale * gamma_fn(1.0 + 1.0 / shape),
+            Dist::Pareto { scale, alpha } => {
+                if *alpha <= 1.0 {
+                    f64::INFINITY
+                } else {
+                    alpha * scale / (alpha - 1.0)
+                }
+            }
+            Dist::Empirical(values) => {
+                if values.is_empty() {
+                    0.0
+                } else {
+                    values.iter().sum::<f64>() / values.len() as f64
+                }
+            }
+            Dist::Bimodal { a, b, p } => p * a + (1.0 - p) * b,
+        }
+    }
+}
+
+/// Lanczos approximation of the gamma function (g = 7, n = 9 coefficients).
+///
+/// Only used for Weibull analytic means; accurate to ~1e-13 on the positive
+/// reals encountered here.
+#[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)] // published Lanczos coefficients kept verbatim
+fn gamma_fn(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_fn(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// Samples a Zipf-distributed rank in `[0, n)` with exponent `s`.
+///
+/// Uses a precomputed CDF table; suitable for the vocabulary sizes used by the
+/// wordcount workload generator (up to a few hundred thousand symbols).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s` (s = 1.0 is classic).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over empty support");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True iff the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank in `[0, n)`; rank 0 is the most frequent.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut r = rng();
+        let d = Dist::constant(3.5);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 3.5);
+        }
+        assert_eq!(d.mean(), 3.5);
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut r = rng();
+        let d = Dist::uniform(2.0, 6.0);
+        let xs = d.sample_n(&mut r, 20_000);
+        assert!(xs.iter().all(|&x| (2.0..6.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - d.mean()).abs() < 0.05);
+    }
+
+    #[test]
+    fn exponential_empirical_matches_analytic_mean() {
+        let mut r = rng();
+        let d = Dist::exponential(2.5);
+        let xs = d.sample_n(&mut r, 100_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_floor() {
+        let mut r = rng();
+        let d = Dist::Normal {
+            mean: 0.5,
+            std_dev: 2.0,
+            min: 0.0,
+        };
+        assert!(d.sample_n(&mut r, 10_000).iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_median_constructor() {
+        let mut r = rng();
+        let d = Dist::lognormal_median(8.0, 0.5);
+        let mut xs = d.sample_n(&mut r, 50_001);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 8.0).abs() < 0.3, "median {median}");
+    }
+
+    #[test]
+    fn weibull_mean_uses_gamma() {
+        // For shape=1 the Weibull is exponential: mean == scale.
+        let d = Dist::Weibull {
+            shape: 1.0,
+            scale: 4.0,
+        };
+        assert!((d.mean() - 4.0).abs() < 1e-9);
+        // gamma(5) = 24
+        assert!((gamma_fn(5.0) - 24.0).abs() < 1e-9);
+        assert!((gamma_fn(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_mean_diverges_for_heavy_tail() {
+        let d = Dist::Pareto {
+            scale: 1.0,
+            alpha: 0.9,
+        };
+        assert!(d.mean().is_infinite());
+        let d2 = Dist::Pareto {
+            scale: 1.0,
+            alpha: 3.0,
+        };
+        assert!((d2.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_bootstrap() {
+        let mut r = rng();
+        let d = Dist::Empirical(vec![1.0, 2.0, 3.0]);
+        for _ in 0..100 {
+            let x = d.sample(&mut r);
+            assert!(x == 1.0 || x == 2.0 || x == 3.0);
+        }
+        assert_eq!(d.mean(), 2.0);
+        assert_eq!(Dist::Empirical(vec![]).sample(&mut r), 0.0);
+    }
+
+    #[test]
+    fn bimodal_mixture_ratio() {
+        let mut r = rng();
+        let d = Dist::Bimodal {
+            a: 10.0,
+            b: 1.0,
+            p: 0.25,
+        };
+        let xs = d.sample_n(&mut r, 40_000);
+        let frac_a = xs.iter().filter(|&&x| x == 10.0).count() as f64 / xs.len() as f64;
+        assert!((frac_a - 0.25).abs() < 0.02);
+        assert!((d.mean() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let mut r = rng();
+        let z = Zipf::new(1000, 1.0);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[10]);
+        // rank-0 frequency should be roughly 1/H_1000 ~ 0.133
+        let f0 = counts[0] as f64 / 100_000.0;
+        assert!((f0 - 0.133).abs() < 0.02, "f0 {f0}");
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let mut r = rng();
+        let z = Zipf::new(1, 1.2);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut r), 0);
+        }
+    }
+}

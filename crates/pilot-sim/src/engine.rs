@@ -1,0 +1,373 @@
+//! The discrete-event executor: a [`Machine`] receives typed events in
+//! virtual-time order and emits future events through an [`Outbox`].
+//!
+//! Determinism contract: events fire in `(time, insertion sequence)` order.
+//! Two events scheduled for the same instant fire in the order they were
+//! emitted, independent of heap internals. This makes whole-simulation traces
+//! reproducible byte-for-byte for a fixed seed, which the experiment harness
+//! relies on (and the integration tests assert).
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation model driven by typed events.
+///
+/// Implementations must be pure with respect to wall-clock time and any
+/// non-`SimRng` randomness; all future behaviour is expressed by emitting
+/// events into the [`Outbox`].
+pub trait Machine {
+    /// The event alphabet of this machine.
+    type Event;
+
+    /// Handle one event at virtual time `now`, emitting follow-up events.
+    fn handle(&mut self, now: SimTime, event: Self::Event, out: &mut Outbox<Self::Event>);
+}
+
+/// Collector for events emitted while handling an event.
+pub struct Outbox<E> {
+    now: SimTime,
+    emits: Vec<(SimTime, E)>,
+}
+
+impl<E> Outbox<E> {
+    fn new(now: SimTime) -> Self {
+        Outbox {
+            now,
+            emits: Vec::new(),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`. Times in the past are clamped
+    /// to "now" (they fire next, preserving causality).
+    pub fn at(&mut self, at: SimTime, event: E) {
+        self.emits.push((at.max(self.now), event));
+    }
+
+    /// Schedule `event` after a relative delay.
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.emits.push((self.now + delay, event));
+    }
+
+    /// Schedule `event` to fire immediately (after currently queued
+    /// same-instant events).
+    pub fn immediately(&mut self, event: E) {
+        self.emits.push((self.now, event));
+    }
+
+    /// Number of events queued in this outbox so far.
+    pub fn pending(&self) -> usize {
+        self.emits.len()
+    }
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Drives a [`Machine`] through virtual time.
+pub struct Executor<M: Machine> {
+    machine: M,
+    clock: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry<M::Event>>,
+    processed: u64,
+    /// Hard stop against runaway models; `u64::MAX` by default.
+    event_limit: u64,
+}
+
+impl<M: Machine> Executor<M> {
+    /// Wrap a machine with an empty event queue at t = 0.
+    pub fn new(machine: M) -> Self {
+        Executor {
+            machine,
+            clock: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            processed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Cap the total number of processed events (guards runaway models).
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = limit;
+        self
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Immutable access to the machine.
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// Mutable access to the machine (e.g. to read out metrics mid-run).
+    pub fn machine_mut(&mut self) -> &mut M {
+        &mut self.machine
+    }
+
+    /// Consume the executor, returning the machine.
+    pub fn into_machine(self) -> M {
+        self.machine
+    }
+
+    /// Schedule an event at an absolute time (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
+        let entry = Entry {
+            time: at.max(self.clock),
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        self.queue.push(entry);
+    }
+
+    /// Schedule an event after a delay from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: M::Event) {
+        self.schedule_at(self.clock + delay, event);
+    }
+
+    /// Process the next event, if any. Returns `false` when the queue is
+    /// empty or the event limit is reached.
+    pub fn step(&mut self) -> bool {
+        if self.processed >= self.event_limit {
+            return false;
+        }
+        let Some(entry) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(entry.time >= self.clock, "time went backwards");
+        self.clock = entry.time;
+        let mut out = Outbox::new(self.clock);
+        self.machine.handle(self.clock, entry.event, &mut out);
+        self.processed += 1;
+        for (at, ev) in out.emits {
+            let e = Entry {
+                time: at,
+                seq: self.seq,
+                event: ev,
+            };
+            self.seq += 1;
+            self.queue.push(e);
+        }
+        true
+    }
+
+    /// Run until the queue drains (or the event limit trips).
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the next event would fire strictly after `deadline`.
+    ///
+    /// The clock is advanced to `deadline` if the queue drains earlier, so
+    /// time-weighted metrics integrate over the full horizon.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(entry) if entry.time <= deadline => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if self.clock < deadline {
+            self.clock = deadline;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test machine: records (time, tag) of every event it sees.
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        /// When handling tag `n`, optionally emit follow-ups.
+        chain: bool,
+    }
+
+    impl Machine for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, event: u32, out: &mut Outbox<u32>) {
+            self.seen.push((now, event));
+            if self.chain && event < 3 {
+                out.after(SimDuration::from_secs(1), event + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut ex = Executor::new(Recorder {
+            seen: vec![],
+            chain: false,
+        });
+        ex.schedule_at(SimTime::from_secs(5), 50);
+        ex.schedule_at(SimTime::from_secs(1), 10);
+        ex.schedule_at(SimTime::from_secs(3), 30);
+        ex.run();
+        let tags: Vec<u32> = ex.machine().seen.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec![10, 30, 50]);
+        assert_eq!(ex.now(), SimTime::from_secs(5));
+        assert_eq!(ex.processed(), 3);
+    }
+
+    #[test]
+    fn same_instant_events_fire_in_insertion_order() {
+        let mut ex = Executor::new(Recorder {
+            seen: vec![],
+            chain: false,
+        });
+        let t = SimTime::from_secs(2);
+        for tag in 0..10 {
+            ex.schedule_at(t, tag);
+        }
+        ex.run();
+        let tags: Vec<u32> = ex.machine().seen.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_emission_advances_clock() {
+        let mut ex = Executor::new(Recorder {
+            seen: vec![],
+            chain: true,
+        });
+        ex.schedule_at(SimTime::ZERO, 0);
+        ex.run();
+        assert_eq!(
+            ex.machine().seen,
+            vec![
+                (SimTime::from_secs(0), 0),
+                (SimTime::from_secs(1), 1),
+                (SimTime::from_secs(2), 2),
+                (SimTime::from_secs(3), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn run_until_respects_deadline_and_advances_clock() {
+        let mut ex = Executor::new(Recorder {
+            seen: vec![],
+            chain: false,
+        });
+        ex.schedule_at(SimTime::from_secs(1), 1);
+        ex.schedule_at(SimTime::from_secs(10), 2);
+        ex.run_until(SimTime::from_secs(5));
+        assert_eq!(ex.machine().seen.len(), 1);
+        assert_eq!(ex.now(), SimTime::from_secs(5));
+        assert_eq!(ex.queued(), 1);
+        ex.run_until(SimTime::from_secs(20));
+        assert_eq!(ex.machine().seen.len(), 2);
+        // Clock lands on the deadline even after the queue drains.
+        assert_eq!(ex.now(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        struct PastEmitter {
+            fired: Vec<SimTime>,
+        }
+        impl Machine for PastEmitter {
+            type Event = bool;
+            fn handle(&mut self, now: SimTime, first: bool, out: &mut Outbox<bool>) {
+                self.fired.push(now);
+                if first {
+                    // Try to schedule into the past; must clamp to now.
+                    out.at(SimTime::ZERO, false);
+                }
+            }
+        }
+        let mut ex = Executor::new(PastEmitter { fired: vec![] });
+        ex.schedule_at(SimTime::from_secs(7), true);
+        ex.run();
+        assert_eq!(
+            ex.machine().fired,
+            vec![SimTime::from_secs(7), SimTime::from_secs(7)]
+        );
+    }
+
+    #[test]
+    fn event_limit_stops_runaway() {
+        struct Forever;
+        impl Machine for Forever {
+            type Event = ();
+            fn handle(&mut self, _now: SimTime, _e: (), out: &mut Outbox<()>) {
+                out.after(SimDuration::from_secs(1), ());
+            }
+        }
+        let mut ex = Executor::new(Forever).with_event_limit(100);
+        ex.schedule_at(SimTime::ZERO, ());
+        ex.run();
+        assert_eq!(ex.processed(), 100);
+    }
+
+    #[test]
+    fn immediately_preserves_fifo_among_same_instant() {
+        struct Fanout {
+            seen: Vec<u32>,
+        }
+        impl Machine for Fanout {
+            type Event = u32;
+            fn handle(&mut self, _now: SimTime, e: u32, out: &mut Outbox<u32>) {
+                self.seen.push(e);
+                if e == 0 {
+                    out.immediately(1);
+                    out.immediately(2);
+                    assert_eq!(out.pending(), 2);
+                }
+            }
+        }
+        let mut ex = Executor::new(Fanout { seen: vec![] });
+        ex.schedule_at(SimTime::ZERO, 0);
+        ex.run();
+        assert_eq!(ex.machine().seen, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,339 @@
+//! Seedable, splittable pseudo-random number generation.
+//!
+//! The experiments in this workspace must be bit-reproducible across runs and
+//! platforms (the Mini-App framework's "Reproducibility" design goal), so the
+//! simulator carries its own RNG rather than depending on `rand`'s unspecified
+//! default engine: xoshiro256++ seeded through SplitMix64, the combination
+//! recommended by the xoshiro authors. [`SimRng::stream`] derives statistically
+//! independent child generators so each simulated component (cluster, arrival
+//! process, failure injector) owns a private stream — adding a component never
+//! perturbs the draws seen by another.
+
+/// Deterministic xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+    /// Cached second output of the last Box-Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derive an independent child generator for a named stream.
+    ///
+    /// Streams with distinct ids are decorrelated; the parent's state is not
+    /// consumed, so stream derivation is order-independent.
+    pub fn stream(&self, id: u64) -> SimRng {
+        // Mix the parent state with the stream id through SplitMix64 so that
+        // nearby ids land far apart in seed space.
+        let mut mix = self.s[0] ^ self.s[1].rotate_left(17) ^ id.wrapping_mul(0xA24B_AED4_963E_E407);
+        SimRng::new(splitmix64(&mut mix))
+    }
+
+    /// Next raw 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Uniform integer in `[0, n)`. `n == 0` yields 0.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        // Lemire's multiply-shift with rejection for unbiased sampling.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    #[inline]
+    pub fn below_usize(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal deviate (Box-Muller, with spare caching).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Rejection-free polar-less form: u1 in (0,1] avoids ln(0).
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Exponential deviate with the given mean (`mean = 1/rate`).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.f64();
+        -mean * u.ln()
+    }
+
+    /// Log-normal deviate parameterized by the underlying normal's mu/sigma.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.gaussian()).exp()
+    }
+
+    /// Weibull deviate with shape `k` and scale `lambda`.
+    pub fn weibull(&mut self, shape: f64, scale: f64) -> f64 {
+        let u = 1.0 - self.f64();
+        scale * (-u.ln()).powf(1.0 / shape)
+    }
+
+    /// Pareto deviate with minimum `scale` and tail index `alpha`.
+    pub fn pareto(&mut self, scale: f64, alpha: f64) -> f64 {
+        let u = 1.0 - self.f64();
+        scale / u.powf(1.0 / alpha)
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below_usize(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly pick a reference from a non-empty slice.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "pick from empty slice");
+        &slice[self.below_usize(slice.len())]
+    }
+
+    /// Sample an index from unnormalized non-negative weights.
+    ///
+    /// Returns `None` if the weights are empty or all zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+        // Floating-point slack: return the last positive-weight index.
+        weights.iter().rposition(|&w| w > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_sequence() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn streams_are_independent_of_derivation_order() {
+        let root = SimRng::new(7);
+        let mut s1a = root.stream(1);
+        let _ = root.stream(99);
+        let mut s1b = root.stream(1);
+        for _ in 0..100 {
+            assert_eq!(s1a.next_u64(), s1b.next_u64());
+        }
+        let mut s2 = root.stream(2);
+        let mut s1 = root.stream(1);
+        assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = SimRng::new(11);
+        let n = 10u64;
+        let mut counts = [0u32; 10];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[rng.below(n) as usize] += 1;
+        }
+        let expected = draws as f64 / n as f64;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.06,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn below_edge_cases() {
+        let mut rng = SimRng::new(5);
+        assert_eq!(rng.below(0), 0);
+        assert_eq!(rng.below(1), 0);
+        assert_eq!(rng.range_u64(4, 4), 4);
+        assert_eq!(rng.range_u64(9, 3), 9); // inverted range returns lo
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SimRng::new(21);
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.gaussian();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SimRng::new(31);
+        let n = 100_000;
+        let mean_target = 4.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean_target)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - mean_target).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn weibull_and_pareto_positive() {
+        let mut rng = SimRng::new(41);
+        for _ in 0..1000 {
+            assert!(rng.weibull(1.5, 2.0) >= 0.0);
+            assert!(rng.pareto(1.0, 2.0) >= 1.0);
+            assert!(rng.lognormal(0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(51);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice sorted (astronomically unlikely)");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::new(61);
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[rng.weighted_index(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+        assert_eq!(rng.weighted_index(&[]), None);
+        assert_eq!(rng.weighted_index(&[0.0, 0.0]), None);
+    }
+}

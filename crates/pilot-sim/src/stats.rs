@@ -1,0 +1,370 @@
+//! Streaming and batch statistics used by every experiment harness:
+//! Welford accumulators, five-number summaries, percentiles, fixed-bucket
+//! histograms, and time-weighted means for utilization metrics.
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (NaN-free; +inf when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Snapshot into a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            n: self.n,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: if self.n == 0 { 0.0 } else { self.min },
+            max: if self.n == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+/// Point summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarize a slice in one pass.
+pub fn summarize(xs: &[f64]) -> Summary {
+    let mut w = Welford::new();
+    for &x in xs {
+        w.push(x);
+    }
+    w.summary()
+}
+
+/// Linear-interpolated percentile of an *unsorted* sample, `p` in `[0, 100]`.
+///
+/// Returns 0 for an empty sample. Sorts a copy; use
+/// [`percentile_sorted`] inside loops over the same data.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    percentile_sorted(&sorted, p)
+}
+
+/// Linear-interpolated percentile of an already-sorted sample.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with out-of-range counters.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// `n_buckets` equal-width buckets spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n_buckets: usize) -> Self {
+        assert!(hi > lo && n_buckets > 0, "degenerate histogram");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; n_buckets],
+            below: 0,
+            above: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let n = self.buckets.len();
+            let w = (self.hi - self.lo) / n as f64;
+            let idx = (((x - self.lo) / w) as usize).min(n - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Count of observations below range / above range.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// Total observations recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.below + self.above
+    }
+
+    /// The `[lo, hi)` bounds of bucket `i`.
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+}
+
+/// Time-weighted mean of a step function, e.g. "busy cores over time".
+///
+/// Push `(t, v)` samples in non-decreasing `t` order; the value holds until
+/// the next sample. `mean_until(t_end)` integrates through `t_end`.
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    start: Option<f64>,
+    last_t: f64,
+    last_v: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        TimeWeighted {
+            start: None,
+            last_t: 0.0,
+            last_v: 0.0,
+            integral: 0.0,
+            peak: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record that the tracked value became `v` at time `t` (seconds).
+    pub fn set(&mut self, t: f64, v: f64) {
+        match self.start {
+            None => {
+                self.start = Some(t);
+            }
+            Some(_) => {
+                let dt = (t - self.last_t).max(0.0);
+                self.integral += self.last_v * dt;
+            }
+        }
+        self.last_t = t;
+        self.last_v = v;
+        self.peak = self.peak.max(v);
+    }
+
+    /// Time-weighted mean over `[first sample, t_end]`.
+    pub fn mean_until(&self, t_end: f64) -> f64 {
+        let Some(start) = self.start else {
+            return 0.0;
+        };
+        let span = t_end - start;
+        if span <= 0.0 {
+            return self.last_v;
+        }
+        let tail = (t_end - self.last_t).max(0.0);
+        (self.integral + self.last_v * tail) / span
+    }
+
+    /// Largest value observed.
+    pub fn peak(&self) -> f64 {
+        if self.peak == f64::NEG_INFINITY {
+            0.0
+        } else {
+            self.peak
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = summarize(&xs);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Two-pass unbiased variance = 32/7.
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.summary().min, 0.0);
+        let mut w1 = Welford::new();
+        w1.push(3.0);
+        assert_eq!(w1.mean(), 3.0);
+        assert_eq!(w1.std_dev(), 0.0);
+        assert_eq!(w1.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn welford_ci_shrinks_with_n() {
+        let mut small = Welford::new();
+        let mut large = Welford::new();
+        for i in 0..10 {
+            small.push(i as f64 % 2.0);
+        }
+        for i in 0..1000 {
+            large.push(i as f64 % 2.0);
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&xs, 25.0) - 1.75).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(percentile(&xs, 50.0), 5.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 9.99, 10.0, -0.1, 5.5] {
+            h.record(x);
+        }
+        assert_eq!(h.buckets(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bucket_bounds(0), (0.0, 2.0));
+        assert_eq!(h.bucket_bounds(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new();
+        tw.set(0.0, 4.0); // 4 for 10s
+        tw.set(10.0, 0.0); // 0 for 10s
+        assert!((tw.mean_until(20.0) - 2.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_empty_and_degenerate() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.mean_until(5.0), 0.0);
+        assert_eq!(tw.peak(), 0.0);
+        let mut tw2 = TimeWeighted::new();
+        tw2.set(3.0, 7.0);
+        // Zero span: report the last value rather than dividing by zero.
+        assert_eq!(tw2.mean_until(3.0), 7.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Virtual time: [`SimTime`] (instant since simulation start) and
+//! [`SimDuration`] (span), both with nanosecond resolution on `u64`.
+//!
+//! Integer nanoseconds give a total order with no floating-point drift, which
+//! matters for deterministic event tie-breaking. Conversions to `f64` seconds
+//! are provided for metrics and reporting only.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+const NANOS_PER_SEC: u64 = 1_000_000_000;
+const NANOS_PER_MILLI: u64 = 1_000_000;
+
+/// An instant in virtual time, measured in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; useful as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * NANOS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds. Negative inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(secs_to_nanos(secs))
+    }
+
+    /// Construct from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3600 * NANOS_PER_SEC)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start as `f64` (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked subtraction of a duration.
+    pub fn checked_sub(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_sub(d.0).map(SimTime)
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Largest representable span; useful as an "infinite" walltime.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * NANOS_PER_MILLI)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * NANOS_PER_SEC)
+    }
+
+    /// Construct from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60 * NANOS_PER_SEC)
+    }
+
+    /// Construct from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3600 * NANOS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds. Negative inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(secs_to_nanos(secs))
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Span in seconds as `f64` (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// True iff the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+fn secs_to_nanos(secs: f64) -> u64 {
+    if secs <= 0.0 || !secs.is_finite() {
+        if secs.is_infinite() && secs > 0.0 {
+            return u64::MAX;
+        }
+        return 0;
+    }
+    let nanos = secs * NANOS_PER_SEC as f64;
+    if nanos >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        nanos.round() as u64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Saturating: `earlier - later == 0`.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs.max(1))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 3600.0 {
+            write!(f, "{:.2}h", s / 3600.0)
+        } else if s >= 60.0 {
+            write!(f, "{:.2}m", s / 60.0)
+        } else {
+            write!(f, "{:.3}s", s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(SimDuration::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_secs(3600));
+        let t = SimTime::from_secs_f64(2.25);
+        assert!((t.as_secs_f64() - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_seconds_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10);
+        let d = SimDuration::from_secs(4);
+        assert_eq!(t + d, SimTime::from_secs(14));
+        assert_eq!((t + d).since(t), d);
+        // Saturating subtraction never panics.
+        assert_eq!(t.since(t + d), SimDuration::ZERO);
+        assert_eq!(t - (t + d), SimDuration::ZERO);
+        assert_eq!(d * 3, SimDuration::from_secs(12));
+        assert_eq!(d / 2, SimDuration::from_secs(2));
+        assert_eq!(d / 0, d); // divide-by-zero guards to identity
+        assert_eq!(d * 0.5, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn ordering_and_extrema() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(SimTime::MAX > b);
+        let d1 = SimDuration::from_secs(1);
+        let d2 = SimDuration::from_secs(2);
+        assert_eq!(d1.max(d2), d2);
+        assert_eq!(d2.min(d1), d1);
+    }
+
+    #[test]
+    fn checked_sub() {
+        let t = SimTime::from_secs(5);
+        assert_eq!(
+            t.checked_sub(SimDuration::from_secs(2)),
+            Some(SimTime::from_secs(3))
+        );
+        assert_eq!(t.checked_sub(SimDuration::from_secs(6)), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_secs(7200)), "2.00h");
+        assert_eq!(format!("{}", SimDuration::from_secs(90)), "1.50m");
+        assert_eq!(format!("{}", SimDuration::from_millis(250)), "0.250s");
+    }
+}

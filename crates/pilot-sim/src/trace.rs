@@ -1,0 +1,183 @@
+//! Structured event tracing.
+//!
+//! Simulated infrastructures and the pilot runtime append [`TraceRecord`]s as
+//! state transitions happen; experiment code post-processes the log into the
+//! tables reported in EXPERIMENTS.md. Records carry a coarse `kind` (stable,
+//! filterable) plus a free-form detail string.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// One traced state transition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time of the transition.
+    pub t: SimTime,
+    /// Stable category, e.g. `"pilot.active"`, `"cu.done"`, `"hpc.job_start"`.
+    pub kind: &'static str,
+    /// Identifier of the entity involved (job id, pilot id, ...).
+    pub entity: u64,
+    /// Free-form detail for human inspection.
+    pub detail: String,
+}
+
+/// Append-only trace log.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// An enabled, empty log.
+    pub fn new() -> Self {
+        TraceLog {
+            records: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// A log that drops everything (zero-cost tracing for large sweeps).
+    pub fn disabled() -> Self {
+        TraceLog {
+            records: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether records are being retained.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append a record (no-op when disabled).
+    pub fn record(&mut self, t: SimTime, kind: &'static str, entity: u64, detail: impl Into<String>) {
+        if self.enabled {
+            self.records.push(TraceRecord {
+                t,
+                kind,
+                entity,
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// Append with an empty detail string.
+    pub fn mark(&mut self, t: SimTime, kind: &'static str, entity: u64) {
+        self.record(t, kind, entity, String::new());
+    }
+
+    /// All records, in append order (which is also time order when produced
+    /// by a single [`crate::Executor`]).
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True iff no records retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records of one kind.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// First record of a kind for a given entity, if any.
+    pub fn first(&self, kind: &str, entity: u64) -> Option<&TraceRecord> {
+        self.records
+            .iter()
+            .find(|r| r.kind == kind && r.entity == entity)
+    }
+
+    /// Elapsed time between the first `from` and the first subsequent `to`
+    /// record for an entity. `None` if either is missing or out of order.
+    pub fn span(&self, entity: u64, from: &str, to: &str) -> Option<crate::SimDuration> {
+        let a = self.first(from, entity)?.t;
+        let b = self
+            .records
+            .iter()
+            .find(|r| r.kind == to && r.entity == entity && r.t >= a)?
+            .t;
+        Some(b.since(a))
+    }
+
+    /// Merge another log's records (used when joining sub-model logs).
+    pub fn extend_from(&mut self, other: &TraceLog) {
+        if self.enabled {
+            self.records.extend(other.records.iter().cloned());
+        }
+    }
+
+    /// Render the log as an aligned text table (debugging aid).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for r in &self.records {
+            use fmt::Write;
+            let _ = writeln!(
+                s,
+                "{:>12.6}  {:<24} #{:<8} {}",
+                r.t.as_secs_f64(),
+                r.kind,
+                r.entity,
+                r.detail
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn record_and_filter() {
+        let mut log = TraceLog::new();
+        log.record(SimTime::from_secs(1), "job.submit", 7, "cores=4");
+        log.mark(SimTime::from_secs(3), "job.start", 7);
+        log.mark(SimTime::from_secs(4), "job.start", 8);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.of_kind("job.start").count(), 2);
+        assert_eq!(log.first("job.submit", 7).unwrap().detail, "cores=4");
+        assert!(log.first("job.submit", 99).is_none());
+    }
+
+    #[test]
+    fn span_between_kinds() {
+        let mut log = TraceLog::new();
+        log.mark(SimTime::from_secs(2), "a", 1);
+        log.mark(SimTime::from_secs(5), "b", 1);
+        log.mark(SimTime::from_secs(9), "b", 2);
+        assert_eq!(log.span(1, "a", "b"), Some(SimDuration::from_secs(3)));
+        assert_eq!(log.span(2, "a", "b"), None);
+        assert_eq!(log.span(1, "b", "a"), None); // "a" never at/after "b"
+    }
+
+    #[test]
+    fn disabled_log_drops_records() {
+        let mut log = TraceLog::disabled();
+        log.mark(SimTime::ZERO, "x", 1);
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn extend_and_render() {
+        let mut a = TraceLog::new();
+        a.mark(SimTime::ZERO, "x", 1);
+        let mut b = TraceLog::new();
+        b.record(SimTime::from_secs(1), "y", 2, "detail");
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+        let rendered = a.render();
+        assert!(rendered.contains("x"));
+        assert!(rendered.contains("detail"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the simulation substrate: distribution support
+//! bounds, RNG stream behaviour, statistics identities, time arithmetic.
+
+use pilot_sim::{percentile, summarize, Dist, SimDuration, SimRng, SimTime, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every distribution samples within its mathematical support.
+    #[test]
+    fn distributions_respect_their_support(
+        seed in any::<u64>(),
+        lo in -100.0f64..100.0,
+        width in 0.1f64..100.0,
+        mean in 0.1f64..50.0,
+        shape in 0.5f64..4.0,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let hi = lo + width;
+        for _ in 0..50 {
+            let u = Dist::uniform(lo, hi).sample(&mut rng);
+            prop_assert!((lo..hi).contains(&u));
+            let e = Dist::exponential(mean).sample(&mut rng);
+            prop_assert!(e >= 0.0);
+            let w = Dist::Weibull { shape, scale: mean }.sample(&mut rng);
+            prop_assert!(w >= 0.0);
+            let p = Dist::Pareto { scale: mean, alpha: shape }.sample(&mut rng);
+            prop_assert!(p >= mean * (1.0 - 1e-12));
+            let n = Dist::Normal { mean, std_dev: shape, min: 0.0 }.sample(&mut rng);
+            prop_assert!(n >= 0.0);
+            let l = Dist::LogNormal { mu: 0.0, sigma: shape }.sample(&mut rng);
+            prop_assert!(l > 0.0);
+        }
+    }
+
+    /// Constant and bimodal distributions only produce their atoms.
+    #[test]
+    fn discrete_distributions_hit_their_atoms(
+        seed in any::<u64>(),
+        a in -10.0f64..10.0,
+        b in -10.0f64..10.0,
+        p in 0.0f64..1.0,
+    ) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..30 {
+            prop_assert_eq!(Dist::constant(a).sample(&mut rng), a);
+            let x = Dist::Bimodal { a, b, p }.sample(&mut rng);
+            prop_assert!(x == a || x == b);
+        }
+    }
+
+    /// range_u64 stays within inclusive bounds and below() below n.
+    #[test]
+    fn integer_sampling_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000, n in 1u64..10_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            let hi = lo + span;
+            let x = rng.range_u64(lo, hi);
+            prop_assert!((lo..=hi).contains(&x));
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// Identical seeds yield identical streams; stream ids partition the
+    /// space (different ids diverge immediately with overwhelming odds over
+    /// 16 draws).
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>(), id_a in any::<u64>(), id_b in any::<u64>()) {
+        let root = SimRng::new(seed);
+        let mut a1 = root.stream(id_a);
+        let mut a2 = root.stream(id_a);
+        for _ in 0..16 {
+            prop_assert_eq!(a1.next_u64(), a2.next_u64());
+        }
+        if id_a != id_b {
+            let mut a = root.stream(id_a);
+            let mut b = root.stream(id_b);
+            let equal = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+            prop_assert!(equal < 16, "distinct streams should diverge");
+        }
+    }
+
+    /// Welford matches the two-pass mean/variance formulas.
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e4f64..1e4, 2..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+        let s = summarize(&xs);
+        prop_assert_eq!(s.n, xs.len() as u64);
+        prop_assert_eq!(s.min, xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max, xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Percentile is monotone in p.
+    #[test]
+    fn percentile_monotone_in_p(
+        xs in prop::collection::vec(-1e4f64..1e4, 1..100),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi) + 1e-12);
+    }
+
+    /// Time arithmetic: addition/subtraction identities under saturation.
+    #[test]
+    fn time_arithmetic_identities(a in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(a);
+        let dur = SimDuration::from_nanos(d);
+        let t2 = t + dur;
+        prop_assert_eq!(t2.since(t), dur);
+        prop_assert_eq!(t2.checked_sub(dur), Some(t));
+        prop_assert_eq!(t.since(t2), SimDuration::ZERO);
+        // Ordering consistency.
+        prop_assert!(t2 >= t);
+        prop_assert_eq!(t.max(t2), t2);
+        prop_assert_eq!(t.min(t2), t);
+    }
+
+    /// The analytic mean of common distributions matches the empirical mean.
+    #[test]
+    fn analytic_means_match_empirical(seed in any::<u64>(), mean in 0.5f64..20.0) {
+        let mut rng = SimRng::new(seed);
+        for d in [
+            Dist::uniform(0.0, 2.0 * mean),
+            Dist::exponential(mean),
+            Dist::Bimodal { a: mean * 2.0, b: 0.0, p: 0.5 },
+        ] {
+            let xs = d.sample_n(&mut rng, 20_000);
+            let emp = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!(
+                (emp - d.mean()).abs() < 0.15 * (1.0 + d.mean()),
+                "{:?}: empirical {} vs analytic {}", d, emp, d.mean()
+            );
+        }
+    }
+}

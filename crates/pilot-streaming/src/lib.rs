@@ -1,0 +1,45 @@
+//! # pilot-streaming — stream processing on the pilot-abstraction
+//!
+//! Implements the Pilot-Streaming extension (\[32\] in the paper): the broker
+//! substrate (the role Kafka plays in the paper's deployments) plus
+//! pilot-managed processing, so one resource-management abstraction covers
+//! the whole streaming pipeline — broker, producers, processors.
+//!
+//! - [`broker`] — an in-process log broker: topics, partitions, append-only
+//!   offset-addressed logs, consumer groups with balanced assignment.
+//!   Within a partition, order is total; across partitions, parallelism.
+//! - [`pipeline`] — streaming jobs as pilot compute units: producer units
+//!   feed a topic, processor units consume through a group, and every
+//!   message carries its enqueue timestamp so end-to-end latency is measured
+//!   per message (EXP PS-1's instrument).
+//! - [`window`] — event-time tumbling-window aggregation, the stateful
+//!   operator Table I's streaming scenario calls for.
+
+//! ## Example: produce and consume through a group
+//!
+//! ```rust
+//! use pilot_streaming::Broker;
+//! use std::sync::Arc;
+//!
+//! let broker = Broker::new();
+//! broker.create_topic("events", 4, 10_000).unwrap();
+//! broker.join_group("readers", "events", "c0").unwrap();
+//! for i in 0..100u64 {
+//!     broker.produce("events", Some(i), Arc::new(vec![0u8; 16])).unwrap();
+//! }
+//! let mut seen = 0;
+//! loop {
+//!     let batch = broker.poll("readers", "c0", 32).unwrap();
+//!     if batch.is_empty() { break; }
+//!     seen += batch.len();
+//! }
+//! assert_eq!(seen, 100);
+//! ```
+
+pub mod broker;
+pub mod pipeline;
+pub mod window;
+
+pub use broker::{Broker, BrokerError, Message};
+pub use pipeline::{StreamJobConfig, StreamReport};
+pub use window::{TumblingWindow, WindowAggregate};

@@ -1,0 +1,292 @@
+//! Streaming jobs as pilot compute units: producers feed a topic, processors
+//! consume through a group, every message's end-to-end latency is measured.
+
+use crate::broker::{Broker, Message};
+use pilot_core::describe::UnitDescription;
+use pilot_core::state::UnitState;
+use pilot_core::thread::{kernel_fn, TaskOutput, ThreadPilotService};
+use pilot_sim::{percentile_sorted, summarize, Summary};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of one streaming job.
+#[derive(Clone, Debug)]
+pub struct StreamJobConfig {
+    /// Topic to stream through (created by the job).
+    pub topic: String,
+    /// Topic partitions — the parallelism ceiling for processors.
+    pub partitions: usize,
+    /// Producer units.
+    pub producers: usize,
+    /// Processor units (consumer-group members).
+    pub processors: usize,
+    /// Messages each producer emits.
+    pub messages_per_producer: u64,
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+    /// Optional pacing: messages/second per producer (None = full speed).
+    pub rate_per_producer: Option<f64>,
+    /// Max records per poll.
+    pub batch: usize,
+}
+
+impl StreamJobConfig {
+    /// Sensible defaults for a small job.
+    pub fn new(topic: &str, partitions: usize, producers: usize, processors: usize) -> Self {
+        StreamJobConfig {
+            topic: topic.to_string(),
+            partitions,
+            producers,
+            processors,
+            messages_per_producer: 1000,
+            payload_bytes: 256,
+            rate_per_producer: None,
+            batch: 64,
+        }
+    }
+
+    /// Total messages the job will emit.
+    pub fn total_messages(&self) -> u64 {
+        self.producers as u64 * self.messages_per_producer
+    }
+}
+
+/// Measurements of a finished streaming job.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Messages produced.
+    pub produced: u64,
+    /// Messages consumed (== produced when the job drains fully).
+    pub consumed: u64,
+    /// Wall time from first produce to last consume, seconds.
+    pub elapsed_s: f64,
+    /// Consumed-message throughput, messages/second.
+    pub throughput: f64,
+    /// End-to-end latency summary (seconds).
+    pub latency: Summary,
+    /// Latency percentiles (p50, p95, p99), seconds.
+    pub latency_p50: f64,
+    /// 95th percentile.
+    pub latency_p95: f64,
+    /// 99th percentile.
+    pub latency_p99: f64,
+}
+
+/// Run a streaming job on an active pilot service. The pilots must offer at
+/// least `producers + processors` free cores, or the job deadlocks by
+/// construction (processors wait for producers that never get a slot).
+///
+/// `process` runs once per message on the consuming unit (the "operator");
+/// its cost is part of the measured pipeline.
+pub fn run_stream_job(
+    svc: &ThreadPilotService,
+    broker: &Arc<Broker>,
+    config: &StreamJobConfig,
+    process: Arc<dyn Fn(&Message) + Send + Sync>,
+) -> StreamReport {
+    broker
+        .create_topic(&config.topic, config.partitions, usize::MAX / 2)
+        .expect("fresh topic per job");
+    let group = format!("{}-group", config.topic);
+    // Join all processors before any unit starts so assignment is stable.
+    for c in 0..config.processors {
+        broker
+            .join_group(&group, &config.topic, &format!("proc-{c}"))
+            .expect("topic exists");
+    }
+    let producers_done = Arc::new(AtomicBool::new(false));
+    let consumed_total = Arc::new(AtomicU64::new(0));
+    let expected = config.total_messages();
+    let t0 = Instant::now();
+
+    // Processors first (they idle-poll until data arrives).
+    let processor_units: Vec<_> = (0..config.processors)
+        .map(|c| {
+            let broker = Arc::clone(broker);
+            let group = group.clone();
+            let done = Arc::clone(&producers_done);
+            let consumed = Arc::clone(&consumed_total);
+            let process = Arc::clone(&process);
+            let batch = config.batch;
+            svc.submit_unit(
+                UnitDescription::new(1).tagged("processor"),
+                kernel_fn(move |_| {
+                    let me = format!("proc-{c}");
+                    let mut latencies: Vec<f64> = Vec::new();
+                    loop {
+                        let msgs = broker.poll(&group, &me, batch).expect("member of group");
+                        if msgs.is_empty() {
+                            if done.load(Ordering::Acquire)
+                                && consumed.load(Ordering::Acquire) >= expected
+                            {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        let now = broker.now_s();
+                        for m in &msgs {
+                            latencies.push(now - m.enqueued_s);
+                            process(m);
+                        }
+                        consumed.fetch_add(msgs.len() as u64, Ordering::AcqRel);
+                    }
+                    Ok(TaskOutput::of(latencies))
+                }),
+            )
+        })
+        .collect();
+
+    // Producers.
+    let producer_units: Vec<_> = (0..config.producers)
+        .map(|i| {
+            let broker = Arc::clone(broker);
+            let topic = config.topic.clone();
+            let n = config.messages_per_producer;
+            let payload = Arc::new(vec![i as u8; config.payload_bytes]);
+            let rate = config.rate_per_producer;
+            svc.submit_unit(
+                UnitDescription::new(1).tagged("producer"),
+                kernel_fn(move |_| {
+                    let start = Instant::now();
+                    for k in 0..n {
+                        if let Some(r) = rate {
+                            // Pace: message k is due at k/r seconds.
+                            let due = k as f64 / r;
+                            while start.elapsed().as_secs_f64() < due {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        broker
+                            .produce(&topic, None, Arc::clone(&payload))
+                            .expect("topic exists");
+                    }
+                    Ok(TaskOutput::of(n))
+                }),
+            )
+        })
+        .collect();
+
+    let mut produced = 0u64;
+    for u in producer_units {
+        let out = svc.wait_unit(u);
+        if out.state == UnitState::Done {
+            produced += out
+                .output
+                .and_then(|r| r.ok())
+                .and_then(|o| o.downcast::<u64>())
+                .unwrap_or(0);
+        }
+    }
+    producers_done.store(true, Ordering::Release);
+
+    let mut latencies: Vec<f64> = Vec::new();
+    for u in processor_units {
+        let out = svc.wait_unit(u);
+        if let Some(Ok(o)) = out.output {
+            if let Some(mut ls) = o.downcast::<Vec<f64>>() {
+                latencies.append(&mut ls);
+            }
+        }
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let consumed = consumed_total.load(Ordering::Acquire);
+    StreamReport {
+        produced,
+        consumed,
+        elapsed_s,
+        throughput: if elapsed_s > 0.0 {
+            consumed as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        latency: summarize(&latencies),
+        latency_p50: percentile_sorted(&latencies, 50.0),
+        latency_p95: percentile_sorted(&latencies, 95.0),
+        latency_p99: percentile_sorted(&latencies, 99.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilot_core::describe::PilotDescription;
+    use pilot_core::scheduler::FirstFitScheduler;
+    use pilot_sim::SimDuration;
+
+    fn svc(cores: u32) -> ThreadPilotService {
+        let s = ThreadPilotService::new(Box::new(FirstFitScheduler));
+        let p = s.submit_pilot(PilotDescription::new(cores, SimDuration::MAX));
+        assert!(s.wait_pilot_active(p));
+        s
+    }
+
+    #[test]
+    fn job_drains_fully_and_measures_latency() {
+        let s = svc(4);
+        let broker = Arc::new(Broker::new());
+        let mut cfg = StreamJobConfig::new("frames", 4, 1, 2);
+        cfg.messages_per_producer = 2000;
+        let report = run_stream_job(&s, &broker, &cfg, Arc::new(|_m| {}));
+        assert_eq!(report.produced, 2000);
+        assert_eq!(report.consumed, 2000);
+        assert_eq!(report.latency.n, 2000);
+        assert!(report.throughput > 100.0, "throughput {}", report.throughput);
+        assert!(report.latency_p50 <= report.latency_p95);
+        assert!(report.latency_p95 <= report.latency_p99);
+        s.shutdown();
+    }
+
+    #[test]
+    fn operator_cost_is_part_of_the_pipeline() {
+        let s = svc(4);
+        let broker = Arc::new(Broker::new());
+        let mut cfg = StreamJobConfig::new("slowop", 2, 1, 1);
+        cfg.messages_per_producer = 50;
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&counter);
+        let report = run_stream_job(
+            &s,
+            &broker,
+            &cfg,
+            Arc::new(move |m| {
+                assert_eq!(m.payload.len(), 256);
+                c2.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+        assert_eq!(report.consumed, 50);
+        s.shutdown();
+    }
+
+    #[test]
+    fn paced_producer_bounds_throughput() {
+        let s = svc(3);
+        let broker = Arc::new(Broker::new());
+        let mut cfg = StreamJobConfig::new("paced", 2, 1, 1);
+        cfg.messages_per_producer = 200;
+        cfg.rate_per_producer = Some(1000.0); // 200 msgs at 1 kHz ⇒ ≥ 0.2 s
+        let report = run_stream_job(&s, &broker, &cfg, Arc::new(|_| {}));
+        assert!(report.elapsed_s >= 0.19, "elapsed {}", report.elapsed_s);
+        assert!(
+            report.throughput <= 1300.0,
+            "pacing should cap throughput, got {}",
+            report.throughput
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn multiple_producers_sum_up() {
+        let s = svc(6);
+        let broker = Arc::new(Broker::new());
+        let mut cfg = StreamJobConfig::new("multi", 4, 3, 2);
+        cfg.messages_per_producer = 500;
+        let report = run_stream_job(&s, &broker, &cfg, Arc::new(|_| {}));
+        assert_eq!(report.produced, 1500);
+        assert_eq!(report.consumed, 1500);
+        s.shutdown();
+    }
+}

@@ -1,0 +1,179 @@
+//! Event-time tumbling-window aggregation: the stateful operator of the
+//! streaming application scenario (Table I), used by the light-source
+//! pipeline to aggregate detector statistics per time slice.
+
+use std::collections::HashMap;
+
+/// Assigns event times to fixed-width windows.
+#[derive(Clone, Copy, Debug)]
+pub struct TumblingWindow {
+    width_s: f64,
+}
+
+impl TumblingWindow {
+    /// Windows of `width_s` seconds: `[0,w), [w,2w), ...`.
+    pub fn new(width_s: f64) -> Self {
+        assert!(width_s > 0.0, "window width must be positive");
+        TumblingWindow { width_s }
+    }
+
+    /// Window index containing `event_time_s`.
+    pub fn index_of(&self, event_time_s: f64) -> u64 {
+        (event_time_s.max(0.0) / self.width_s) as u64
+    }
+
+    /// `[start, end)` bounds of window `index`.
+    pub fn bounds(&self, index: u64) -> (f64, f64) {
+        (index as f64 * self.width_s, (index + 1) as f64 * self.width_s)
+    }
+}
+
+/// Aggregate of one (key, window) cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cell {
+    /// Events observed.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+/// A closed window's result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClosedWindow {
+    /// Window index.
+    pub window: u64,
+    /// Key.
+    pub key: u64,
+    /// Aggregate.
+    pub cell: Cell,
+}
+
+/// Keyed tumbling-window aggregator with watermark-driven emission.
+#[derive(Clone, Debug)]
+pub struct WindowAggregate {
+    windows: TumblingWindow,
+    state: HashMap<(u64, u64), Cell>,
+}
+
+impl WindowAggregate {
+    /// Aggregator over windows of `width_s` seconds.
+    pub fn new(width_s: f64) -> Self {
+        WindowAggregate {
+            windows: TumblingWindow::new(width_s),
+            state: HashMap::new(),
+        }
+    }
+
+    /// Fold one event into its (key, window) cell.
+    pub fn observe(&mut self, key: u64, event_time_s: f64, value: f64) {
+        let w = self.windows.index_of(event_time_s);
+        let cell = self.state.entry((key, w)).or_default();
+        cell.count += 1;
+        cell.sum += value;
+        cell.max = if cell.count == 1 { value } else { cell.max.max(value) };
+    }
+
+    /// Close and drain every window that ends at or before `watermark_s`.
+    /// Results are sorted by (window, key) for deterministic output.
+    pub fn close_until(&mut self, watermark_s: f64) -> Vec<ClosedWindow> {
+        let mut closed: Vec<ClosedWindow> = Vec::new();
+        self.state.retain(|&(key, window), cell| {
+            let (_, end) = self.windows.bounds(window);
+            if end <= watermark_s {
+                closed.push(ClosedWindow {
+                    window,
+                    key,
+                    cell: *cell,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        closed.sort_by_key(|c| (c.window, c.key));
+        closed
+    }
+
+    /// Open (not yet closed) cells.
+    pub fn open_cells(&self) -> usize {
+        self.state.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_indexing_and_bounds() {
+        let w = TumblingWindow::new(10.0);
+        assert_eq!(w.index_of(0.0), 0);
+        assert_eq!(w.index_of(9.999), 0);
+        assert_eq!(w.index_of(10.0), 1);
+        assert_eq!(w.index_of(-5.0), 0, "pre-epoch clamps to window 0");
+        assert_eq!(w.bounds(2), (20.0, 30.0));
+    }
+
+    #[test]
+    fn aggregation_per_key_and_window() {
+        let mut agg = WindowAggregate::new(10.0);
+        agg.observe(1, 1.0, 5.0);
+        agg.observe(1, 2.0, 7.0);
+        agg.observe(2, 3.0, 1.0);
+        agg.observe(1, 12.0, 100.0); // next window
+        assert_eq!(agg.open_cells(), 3);
+        let closed = agg.close_until(10.0);
+        assert_eq!(
+            closed,
+            vec![
+                ClosedWindow {
+                    window: 0,
+                    key: 1,
+                    cell: Cell {
+                        count: 2,
+                        sum: 12.0,
+                        max: 7.0
+                    }
+                },
+                ClosedWindow {
+                    window: 0,
+                    key: 2,
+                    cell: Cell {
+                        count: 1,
+                        sum: 1.0,
+                        max: 1.0
+                    }
+                },
+            ]
+        );
+        assert_eq!(agg.open_cells(), 1, "window 1 still open");
+        let rest = agg.close_until(f64::INFINITY);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].cell.sum, 100.0);
+    }
+
+    #[test]
+    fn watermark_short_of_window_end_closes_nothing() {
+        let mut agg = WindowAggregate::new(10.0);
+        agg.observe(1, 5.0, 1.0);
+        assert!(agg.close_until(9.9).is_empty());
+        assert_eq!(agg.close_until(10.0).len(), 1);
+    }
+
+    #[test]
+    fn max_tracks_negative_values() {
+        let mut agg = WindowAggregate::new(10.0);
+        agg.observe(1, 0.0, -5.0);
+        agg.observe(1, 1.0, -2.0);
+        let closed = agg.close_until(10.0);
+        assert_eq!(closed[0].cell.max, -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_window_panics() {
+        let _ = TumblingWindow::new(0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Pilot-MapReduce on a genomics workload (\[54\]): map synthetic sequencing
+//! reads against a reference with Smith-Waterman, reduce per alignment
+//! position, plus a classic wordcount as a warm-up.
+//!
+//! Run: `cargo run --release --example mapreduce_genomics`
+
+use pilot_abstraction::apps::seqalign::{
+    generate_reads, generate_reference, map_read, Read, Scoring,
+};
+use pilot_abstraction::apps::wordcount::{generate_text, TextConfig};
+use pilot_abstraction::core::describe::PilotDescription;
+use pilot_abstraction::core::scheduler::FirstFitScheduler;
+use pilot_abstraction::core::thread::ThreadPilotService;
+use pilot_abstraction::mapreduce::MapReduceJob;
+use pilot_abstraction::sim::SimDuration;
+use std::sync::Arc;
+
+fn main() {
+    let svc = ThreadPilotService::new(Box::new(FirstFitScheduler));
+    let p = svc.submit_pilot(PilotDescription::new(4, SimDuration::MAX).labeled("mr"));
+    assert!(svc.wait_pilot_active(p));
+
+    // ---- wordcount -------------------------------------------------------
+    let text = generate_text(&TextConfig::small());
+    let wc = MapReduceJob::new(
+        MapReduceJob::<String, String, u64, u64>::split_input(text, 4),
+        |line: &String, emit: &mut dyn FnMut(String, u64)| {
+            for w in line.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        },
+        |_k, vs| vs.iter().sum::<u64>(),
+        4,
+    )
+    .with_combiner(|_k, vs| vs.iter().sum());
+    let r = wc.run(&svc);
+    println!("wordcount: {} distinct words, phases map {:.4}s / shuffle {:.4}s / reduce {:.4}s",
+        r.output.len(), r.times.map_s, r.times.shuffle_s, r.times.reduce_s);
+    let mut top: Vec<_> = r.output.iter().collect();
+    top.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    println!("  top words: {:?}", &top[..5.min(top.len())]);
+
+    // ---- read alignment ---------------------------------------------------
+    let reference = Arc::new(generate_reference(4000, 11));
+    let reads = generate_reads(&reference, 400, 48, 0.03, 13);
+    println!("\nalignment: {} reads of 48bp vs {}bp reference", reads.len(), reference.len());
+    let scoring = Scoring::default();
+    let ref_for_map = Arc::clone(&reference);
+    // Key = reference bucket of 500bp where the read maps; value = score.
+    let job = MapReduceJob::new(
+        MapReduceJob::<Read, u64, i32, (u64, f64)>::split_input(reads, 8),
+        move |read: &Read, emit: &mut dyn FnMut(u64, i32)| {
+            let (mapped, a) = map_read(read, &ref_for_map, scoring, 60);
+            if mapped {
+                emit(a.ref_end as u64 / 500, a.score);
+            }
+        },
+        |_bucket, scores| {
+            let n = scores.len() as u64;
+            let mean = scores.iter().map(|&s| s as f64).sum::<f64>() / n as f64;
+            (n, mean)
+        },
+        4,
+    );
+    let r = job.run(&svc);
+    println!("  phases: map {:.4}s / shuffle {:.4}s / reduce {:.4}s  ({} map tasks)",
+        r.times.map_s, r.times.shuffle_s, r.times.reduce_s, r.map_tasks);
+    println!("  reads mapped per 500bp reference bucket:");
+    for (bucket, (n, mean_score)) in &r.output {
+        println!("    [{:>4}..{:>4}): {:>3} reads, mean score {:.1}",
+            bucket * 500, (bucket + 1) * 500, n, mean_score);
+    }
+    let total: u64 = r.output.iter().map(|(_, (n, _))| n).sum();
+    println!("  total mapped: {total}/400");
+
+    svc.shutdown();
+}

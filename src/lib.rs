@@ -1,0 +1,61 @@
+//! # pilot-abstraction
+//!
+//! A Rust implementation of the **pilot-abstraction** — the unified
+//! resource-management abstraction for data-intensive scientific
+//! applications described in Luckow & Jha, *"Methods and Experiences for
+//! Developing Abstractions for Data-intensive, Scientific Applications"*
+//! (2020, arXiv:2002.09009) and its system lineage (BigJob / P\* /
+//! Pilot-Data / Pilot-Hadoop / Pilot-Memory / Pilot-Streaming).
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! - [`core`] — the P\* model: pilots, compute units, late-binding
+//!   schedulers, threaded (real) and simulated (virtual-time) backends.
+//! - [`infra`] — simulated HPC / HTC / cloud / serverless / YARN
+//!   infrastructures and the inter-site network model.
+//! - [`saga`] — the uniform access layer (adaptor pattern).
+//! - [`data`] — Pilot-Data: data pilots, data units, replication, locality.
+//! - [`memory`] — Pilot-Memory: partition caching + iterative execution.
+//! - [`streaming`] — Pilot-Streaming: broker + pilot-managed pipelines.
+//! - [`mapreduce`] — Pilot-MapReduce.
+//! - [`dataflow`] — DAG pipelines.
+//! - [`apps`] — the Table I case-study applications.
+//! - [`miniapp`] — the Mini-App experiment framework.
+//! - [`perfmodel`] — analytical + statistical performance models.
+//! - [`sim`] — the deterministic discrete-event engine underneath it all.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use pilot_abstraction::core::describe::{PilotDescription, UnitDescription};
+//! use pilot_abstraction::core::scheduler::FirstFitScheduler;
+//! use pilot_abstraction::core::thread::{kernel_fn, TaskOutput, ThreadPilotService};
+//! use pilot_abstraction::sim::SimDuration;
+//!
+//! // 1. Start the Pilot-API service with a late-binding scheduler.
+//! let svc = ThreadPilotService::new(Box::new(FirstFitScheduler));
+//! // 2. Acquire resources once (the placeholder).
+//! let pilot = svc.submit_pilot(PilotDescription::new(2, SimDuration::MAX));
+//! assert!(svc.wait_pilot_active(pilot));
+//! // 3. Run many tasks inside it.
+//! let unit = svc.submit_unit(
+//!     UnitDescription::new(1),
+//!     kernel_fn(|_| Ok(TaskOutput::of(6 * 7))),
+//! );
+//! let out = svc.wait_unit(unit);
+//! assert_eq!(out.output.unwrap().unwrap().downcast::<i32>(), Some(42));
+//! svc.shutdown();
+//! ```
+
+pub use pilot_apps as apps;
+pub use pilot_core as core;
+pub use pilot_data as data;
+pub use pilot_dataflow as dataflow;
+pub use pilot_infra as infra;
+pub use pilot_mapreduce as mapreduce;
+pub use pilot_memory as memory;
+pub use pilot_miniapp as miniapp;
+pub use pilot_perfmodel as perfmodel;
+pub use pilot_saga as saga;
+pub use pilot_sim as sim;
+pub use pilot_streaming as streaming;

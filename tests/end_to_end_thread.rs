@@ -1,0 +1,148 @@
+//! End-to-end integration of the threaded backend: multi-pilot scheduling,
+//! report integrity, and the cross-crate frameworks driven through one
+//! Pilot-API service.
+
+use pilot_abstraction::core::describe::{PilotDescription, UnitDescription};
+use pilot_abstraction::core::scheduler::{FirstFitScheduler, LoadBalanceScheduler};
+use pilot_abstraction::core::state::UnitState;
+use pilot_abstraction::core::thread::{kernel_fn, SyntheticKernel, TaskOutput, ThreadPilotService};
+use pilot_abstraction::mapreduce::MapReduceJob;
+use pilot_abstraction::sim::SimDuration;
+use std::sync::Arc;
+
+fn svc(cores: u32) -> ThreadPilotService {
+    let s = ThreadPilotService::new(Box::new(FirstFitScheduler));
+    let p = s.submit_pilot(PilotDescription::new(cores, SimDuration::MAX));
+    assert!(s.wait_pilot_active(p));
+    s
+}
+
+#[test]
+fn report_timestamps_are_causally_ordered() {
+    let s = svc(4);
+    for _ in 0..24 {
+        s.submit_unit(
+            UnitDescription::new(1),
+            Arc::new(SyntheticKernel::new(0.002)),
+        );
+    }
+    s.wait_all_units();
+    let report = s.shutdown();
+    assert_eq!(report.units.len(), 24);
+    for u in &report.units {
+        assert_eq!(u.state, UnitState::Done);
+        let t = u.times;
+        let bound = t.bound.expect("done unit was bound");
+        let started = t.started.expect("done unit started");
+        let finished = t.finished.expect("done unit finished");
+        assert!(t.submitted <= bound, "submit <= bind");
+        assert!(bound <= started, "bind <= start");
+        assert!(started <= finished, "start <= finish");
+        assert!(u.pilot.is_some());
+    }
+}
+
+#[test]
+fn many_pilots_share_one_unit_queue() {
+    let s = ThreadPilotService::new(Box::new(LoadBalanceScheduler));
+    let pilots: Vec<_> = (0..3)
+        .map(|_| s.submit_pilot(PilotDescription::new(2, SimDuration::MAX)))
+        .collect();
+    for p in &pilots {
+        assert!(s.wait_pilot_active(*p));
+    }
+    let units: Vec<_> = (0..30)
+        .map(|i| {
+            s.submit_unit(
+                UnitDescription::new(1),
+                kernel_fn(move |_| Ok(TaskOutput::of(i as u64 * 2))),
+            )
+        })
+        .collect();
+    let mut sum = 0u64;
+    for u in units {
+        let out = s.wait_unit(u);
+        assert_eq!(out.state, UnitState::Done);
+        sum += out.output.unwrap().unwrap().downcast::<u64>().unwrap();
+    }
+    assert_eq!(sum, (0..30u64).map(|i| i * 2).sum::<u64>());
+    let report = s.shutdown();
+    // Every pilot ran something (load balancing across 3 × 2 cores).
+    for p in pilots {
+        let n = report.units.iter().filter(|u| u.pilot == Some(p)).count();
+        assert!(n > 0, "pilot {p} ran nothing");
+    }
+}
+
+#[test]
+fn mapreduce_inside_units_composes_with_plain_units() {
+    // A MapReduce job and loose units share the same pilots concurrently.
+    let s = svc(4);
+    let background: Vec<_> = (0..8)
+        .map(|_| {
+            s.submit_unit(
+                UnitDescription::new(1),
+                Arc::new(SyntheticKernel::new(0.01)),
+            )
+        })
+        .collect();
+    let job = MapReduceJob::new(
+        MapReduceJob::<u32, u32, u32, u32>::split_input((0..400u32).collect(), 6),
+        |x: &u32, emit: &mut dyn FnMut(u32, u32)| emit(x % 10, 1),
+        |_k, vs: Vec<u32>| vs.iter().sum::<u32>(),
+        3,
+    );
+    let r = job.run(&s);
+    assert_eq!(r.output.len(), 10);
+    assert!(r.output.iter().all(|(_, c)| *c == 40));
+    for u in background {
+        assert_eq!(s.wait_unit(u).state, UnitState::Done);
+    }
+    s.shutdown();
+}
+
+#[test]
+fn unit_results_are_taken_exactly_once() {
+    let s = svc(1);
+    let u = s.submit_unit(
+        UnitDescription::new(1),
+        kernel_fn(|_| Ok(TaskOutput::of(String::from("payload")))),
+    );
+    let first = s.wait_unit(u);
+    assert!(first.output.is_some());
+    let second = s.wait_unit(u);
+    assert!(second.output.is_none(), "output is moved out on first wait");
+    assert_eq!(second.state, UnitState::Done);
+    s.shutdown();
+}
+
+#[test]
+fn saturation_then_drain() {
+    // More units than the pilot can ever run at once; they all finish and
+    // peak concurrency never exceeds the pilot size.
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let s = svc(3);
+    let live = Arc::new(AtomicU32::new(0));
+    let peak = Arc::new(AtomicU32::new(0));
+    let units: Vec<_> = (0..30)
+        .map(|_| {
+            let live = Arc::clone(&live);
+            let peak = Arc::clone(&peak);
+            s.submit_unit(
+                UnitDescription::new(1),
+                kernel_fn(move |_| {
+                    let n = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(n, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    Ok(TaskOutput::none())
+                }),
+            )
+        })
+        .collect();
+    for u in units {
+        assert_eq!(s.wait_unit(u).state, UnitState::Done);
+    }
+    assert!(peak.load(Ordering::SeqCst) <= 3);
+    s.shutdown();
+}

@@ -1,0 +1,166 @@
+//! Failure-injection integration tests: panicking kernels, dying pilots,
+//! unreliable infrastructure, corrupt payloads — the system must degrade
+//! without losing accounting invariants.
+
+use pilot_abstraction::apps::lightsource::reconstruct;
+use pilot_abstraction::core::describe::{PilotDescription, UnitDescription};
+use pilot_abstraction::core::scheduler::FirstFitScheduler;
+use pilot_abstraction::core::sim::SimPilotSystem;
+use pilot_abstraction::core::state::UnitState;
+use pilot_abstraction::core::thread::{kernel_fn, TaskError, TaskOutput, ThreadPilotService};
+use pilot_abstraction::infra::htc::{HtcConfig, HtcPool};
+use pilot_abstraction::infra::hpc::{HpcCluster, HpcConfig};
+use pilot_abstraction::saga::ResourceAdaptor;
+use pilot_abstraction::sim::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn a_storm_of_panics_leaves_the_service_consistent() {
+    let svc = ThreadPilotService::new(Box::new(FirstFitScheduler));
+    let p = svc.submit_pilot(PilotDescription::new(2, SimDuration::MAX));
+    assert!(svc.wait_pilot_active(p));
+    let units: Vec<_> = (0..20)
+        .map(|i| {
+            svc.submit_unit(
+                UnitDescription::new(1),
+                kernel_fn(move |_| {
+                    if i % 3 == 0 {
+                        panic!("task {i} exploded");
+                    }
+                    Ok(TaskOutput::of(i))
+                }),
+            )
+        })
+        .collect();
+    let mut done = 0;
+    let mut failed = 0;
+    for u in units {
+        match svc.wait_unit(u).state {
+            UnitState::Done => done += 1,
+            UnitState::Failed => failed += 1,
+            s => panic!("unexpected state {s}"),
+        }
+    }
+    assert_eq!(failed, 7); // i = 0,3,6,9,12,15,18
+    assert_eq!(done, 13);
+    // The pilot survived and still works.
+    let after = svc.submit_unit(
+        UnitDescription::new(1),
+        kernel_fn(|_| Ok(TaskOutput::none())),
+    );
+    assert_eq!(svc.wait_unit(after).state, UnitState::Done);
+    svc.shutdown();
+}
+
+#[test]
+fn kernel_errors_carry_their_messages() {
+    let svc = ThreadPilotService::new(Box::new(FirstFitScheduler));
+    let p = svc.submit_pilot(PilotDescription::new(1, SimDuration::MAX));
+    assert!(svc.wait_pilot_active(p));
+    let u = svc.submit_unit(
+        UnitDescription::new(1),
+        kernel_fn(|_| Err(TaskError("input checksum mismatch".into()))),
+    );
+    let out = svc.wait_unit(u);
+    assert_eq!(out.state, UnitState::Failed);
+    let err = out.output.unwrap().unwrap_err();
+    assert!(err.0.contains("checksum"));
+    svc.shutdown();
+}
+
+#[test]
+fn retry_wrapper_pattern_recovers_flaky_kernels() {
+    // Applications implement retries *above* the API: resubmit on failure.
+    let svc = ThreadPilotService::new(Box::new(FirstFitScheduler));
+    let p = svc.submit_pilot(PilotDescription::new(2, SimDuration::MAX));
+    assert!(svc.wait_pilot_active(p));
+    let attempts = Arc::new(AtomicU32::new(0));
+    let flaky = |attempts: Arc<AtomicU32>| {
+        kernel_fn(move |_| {
+            // Fails twice, then succeeds.
+            if attempts.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(TaskError("transient".into()))
+            } else {
+                Ok(TaskOutput::of(99u8))
+            }
+        })
+    };
+    let mut result = None;
+    for _ in 0..5 {
+        let u = svc.submit_unit(UnitDescription::new(1), flaky(Arc::clone(&attempts)));
+        let out = svc.wait_unit(u);
+        if out.state == UnitState::Done {
+            result = out.output.unwrap().ok().and_then(|o| o.downcast::<u8>());
+            break;
+        }
+    }
+    assert_eq!(result, Some(99));
+    assert_eq!(attempts.load(Ordering::SeqCst), 3);
+    svc.shutdown();
+}
+
+#[test]
+fn sim_pilot_walltime_cascade_never_strands_units() {
+    // Pilots with staggered, short walltimes die under the workload; a
+    // long-lived one eventually finishes everything.
+    let mut sys = SimPilotSystem::new(31);
+    let site = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet(
+        "h", 64,
+    ))));
+    for i in 0..3 {
+        sys.submit_pilot(
+            SimTime::from_secs(i * 50),
+            site,
+            PilotDescription::new(8, SimDuration::from_secs(400)),
+        );
+    }
+    sys.submit_pilot(
+        SimTime::from_secs(1000),
+        site,
+        PilotDescription::new(8, SimDuration::from_hours(10)).labeled("stable"),
+    );
+    for _ in 0..40 {
+        sys.submit_unit_fixed(SimTime::ZERO, UnitDescription::new(1), 300.0);
+    }
+    let report = sys.run(SimTime::from_hours(10));
+    assert_eq!(report.count(UnitState::Done), 40);
+    assert_eq!(report.count(UnitState::Failed), 0);
+    assert_eq!(report.count(UnitState::Canceled), 0);
+}
+
+#[test]
+fn very_unreliable_htc_still_converges() {
+    // MTBF shorter than the task duration: most attempts die; requeue +
+    // retry still drains the workload (it just takes many attempts).
+    let mut sys = SimPilotSystem::new(37);
+    let site = sys.add_resource(ResourceAdaptor::htc(HtcPool::new(
+        HtcConfig::reliable("chaos", 24).with_failures(500.0),
+    )));
+    sys.submit_pilot(
+        SimTime::ZERO,
+        site,
+        PilotDescription::new(24, SimDuration::from_hours(48)),
+    );
+    for _ in 0..30 {
+        sys.submit_unit_fixed(SimTime::ZERO, UnitDescription::new(1), 350.0);
+    }
+    let report = sys.run(SimTime::from_hours(48));
+    assert_eq!(report.count(UnitState::Done), 30);
+    let requeues = report.trace.of_kind("cu.requeued").count();
+    assert!(requeues > 0, "expected churn under MTBF 500s / 350s tasks");
+}
+
+#[test]
+fn corrupt_stream_payloads_are_rejected_not_fatal() {
+    assert!(reconstruct(b"garbage", 10.0).is_none());
+    assert!(reconstruct(&[], 10.0).is_none());
+    // Truncated header.
+    assert!(reconstruct(&[0, 0, 0], 10.0).is_none());
+    // Length field lies about the payload.
+    let mut lying = Vec::new();
+    lying.extend_from_slice(&100u32.to_le_bytes());
+    lying.extend_from_slice(&100u32.to_le_bytes());
+    lying.extend_from_slice(&[0u8; 16]);
+    assert!(reconstruct(&lying, 10.0).is_none());
+}

@@ -1,0 +1,214 @@
+//! Property-based tests over the core invariants of the workspace.
+
+use pilot_abstraction::apps::kmeans::{assign_step, update_centroids, Partial};
+use pilot_abstraction::apps::pairwise::{contacts_grid, contacts_naive};
+use pilot_abstraction::apps::seqalign::{smith_waterman, Scoring};
+use pilot_abstraction::core::describe::UnitDescription;
+use pilot_abstraction::core::ids::{PilotId, UnitId};
+use pilot_abstraction::core::scheduler::{
+    DataAwareScheduler, FirstFitScheduler, LoadBalanceScheduler, PilotSnapshot,
+    RoundRobinScheduler, Scheduler, UnitRequest,
+};
+use pilot_abstraction::infra::types::SiteId;
+use pilot_abstraction::perfmodel::{r_squared, FeatureMap, LinearModel};
+use pilot_abstraction::sim::{percentile, Executor, Machine, Outbox, SimTime};
+use pilot_abstraction::streaming::Broker;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---- DES engine ----------------------------------------------------------
+
+struct Collector {
+    seen: Vec<(SimTime, u32)>,
+}
+
+impl Machine for Collector {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, e: u32, _out: &mut Outbox<u32>) {
+        self.seen.push((now, e));
+    }
+}
+
+proptest! {
+    #[test]
+    fn engine_fires_events_in_nondecreasing_time_order(
+        times in prop::collection::vec(0u64..100_000, 1..200)
+    ) {
+        let mut ex = Executor::new(Collector { seen: vec![] });
+        for (i, &t) in times.iter().enumerate() {
+            ex.schedule_at(SimTime::from_nanos(t), i as u32);
+        }
+        ex.run();
+        let seen = &ex.machine().seen;
+        prop_assert_eq!(seen.len(), times.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+        }
+        // Same-instant events preserve submission order.
+        for w in seen.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+
+    // ---- statistics -------------------------------------------------------
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..300)
+    ) {
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let p25 = percentile(&xs, 25.0);
+        let p50 = percentile(&xs, 50.0);
+        let p99 = percentile(&xs, 99.0);
+        prop_assert!(lo <= p25 && p25 <= p50 && p50 <= p99 && p99 <= hi);
+        prop_assert_eq!(percentile(&xs, 0.0), lo);
+        prop_assert_eq!(percentile(&xs, 100.0), hi);
+    }
+
+    // ---- schedulers ---------------------------------------------------------
+
+    #[test]
+    fn schedulers_never_overcommit(
+        frees in prop::collection::vec(0u32..16, 1..20),
+        cores in 1u32..8,
+    ) {
+        let pilots: Vec<PilotSnapshot> = frees
+            .iter()
+            .enumerate()
+            .map(|(i, &free)| PilotSnapshot {
+                pilot: PilotId(i as u64),
+                site: SiteId((i % 3) as u16),
+                total_cores: 16,
+                free_cores: free,
+                bound_units: 0,
+                remaining_walltime_s: 1e6,
+            })
+            .collect();
+        let desc = UnitDescription::new(cores);
+        let req = UnitRequest { unit: UnitId(1), desc: &desc };
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(FirstFitScheduler),
+            Box::new(RoundRobinScheduler::default()),
+            Box::new(LoadBalanceScheduler),
+            Box::new(DataAwareScheduler),
+        ];
+        for s in &mut schedulers {
+            if let Some(pid) = s.select(&req, &pilots) {
+                let p = pilots.iter().find(|p| p.pilot == pid).expect("known pilot");
+                prop_assert!(
+                    p.free_cores >= cores,
+                    "{} over-committed pilot {pid}",
+                    s.name()
+                );
+            } else {
+                // None is only allowed if nothing fits (modulo the
+                // data-aware delay rule, which needs inputs to trigger —
+                // this unit has none).
+                prop_assert!(pilots.iter().all(|p| p.free_cores < cores));
+            }
+        }
+    }
+
+    // ---- K-Means ------------------------------------------------------------
+
+    #[test]
+    fn kmeans_partitioning_is_associative(
+        raw in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 6..120),
+        split in 1usize..5,
+    ) {
+        let points: Vec<Vec<f64>> = raw.iter().map(|&(a, b)| vec![a, b]).collect();
+        let k = 3.min(points.len());
+        let centroids: Vec<Vec<f64>> = points.iter().take(k).cloned().collect();
+        let whole = assign_step(&points, &centroids);
+        let chunk = points.len().div_ceil(split);
+        let parts: Vec<Partial> = points.chunks(chunk).map(|c| assign_step(c, &centroids)).collect();
+        let (c1, i1) = update_centroids(&parts, &centroids);
+        let (c2, i2) = update_centroids(&[whole], &centroids);
+        prop_assert!((i1 - i2).abs() <= 1e-6 * (1.0 + i2.abs()));
+        for (a, b) in c1.iter().flatten().zip(c2.iter().flatten()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    // ---- pairwise ------------------------------------------------------------
+
+    #[test]
+    fn grid_contacts_equal_naive(
+        raw in prop::collection::vec((0.0f64..50.0, 0.0f64..50.0), 0..150),
+        cutoff in 0.5f64..5.0,
+    ) {
+        let points: Vec<[f64; 2]> = raw.iter().map(|&(a, b)| [a, b]).collect();
+        prop_assert_eq!(contacts_naive(&points, cutoff), contacts_grid(&points, cutoff));
+    }
+
+    // ---- alignment -------------------------------------------------------------
+
+    #[test]
+    fn smith_waterman_score_bounds(
+        q in prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 1..40),
+        r in prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 1..80),
+    ) {
+        let s = Scoring::default();
+        let a = smith_waterman(&q, &r, s);
+        prop_assert!(a.score >= 0, "local alignment is never negative");
+        prop_assert!(a.score <= q.len() as i32 * s.match_score);
+        prop_assert!(a.ref_end < r.len() || a.score == 0);
+        // Self-alignment is maximal.
+        let self_a = smith_waterman(&q, &q, s);
+        prop_assert_eq!(self_a.score, q.len() as i32 * s.match_score);
+    }
+
+    // ---- regression ---------------------------------------------------------------
+
+    #[test]
+    fn ols_recovers_planted_coefficients(
+        a in -5.0f64..5.0,
+        b in -5.0f64..5.0,
+        c in -5.0f64..5.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 11) as f64, ((i * 7) % 13) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a + b * x[0] + c * x[1]).collect();
+        let m = LinearModel::fit(&xs, &ys, FeatureMap::Linear).expect("full-rank design");
+        let preds = m.predict_all(&xs);
+        prop_assert!(r_squared(&ys, &preds) > 1.0 - 1e-6);
+        prop_assert!((m.weights[0] - a).abs() < 1e-5);
+        prop_assert!((m.weights[1] - b).abs() < 1e-5);
+        prop_assert!((m.weights[2] - c).abs() < 1e-5);
+    }
+
+    // ---- broker ---------------------------------------------------------------------
+
+    #[test]
+    fn broker_conserves_messages(
+        n_msgs in 1usize..400,
+        partitions in 1usize..8,
+        keyed in proptest::bool::ANY,
+    ) {
+        let broker = Broker::new();
+        broker.create_topic("t", partitions, 1_000_000).unwrap();
+        broker.join_group("g", "t", "c").unwrap();
+        for i in 0..n_msgs {
+            let key = if keyed { Some(i as u64) } else { None };
+            broker.produce("t", key, Arc::new(vec![0u8; 4])).unwrap();
+        }
+        let mut consumed = 0;
+        loop {
+            let batch = broker.poll("g", "c", 37).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            consumed += batch.len();
+            // Offsets within each partition strictly increase per batch.
+        }
+        prop_assert_eq!(consumed, n_msgs);
+        let hw: u64 = (0..partitions)
+            .map(|p| broker.high_watermark("t", p).unwrap())
+            .sum();
+        prop_assert_eq!(hw, n_msgs as u64);
+    }
+}
