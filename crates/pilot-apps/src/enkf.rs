@@ -142,7 +142,12 @@ pub fn rmse_state(a: &[f64], b: &[f64]) -> f64 {
 /// Run a full twin experiment sequentially: simulate a truth trajectory,
 /// observe it noisily, filter with an `n`-member ensemble. Returns
 /// `(filtered_rmse, free_run_rmse)` averaged over cycles.
-pub fn twin_experiment(problem: &EnkfProblem, n_members: usize, cycles: usize, seed: u64) -> (f64, f64) {
+pub fn twin_experiment(
+    problem: &EnkfProblem,
+    n_members: usize,
+    cycles: usize,
+    seed: u64,
+) -> (f64, f64) {
     let mut rng = SimRng::new(seed);
     let d = problem.dim();
     let mut truth: Vec<f64> = (0..d).map(|_| rng.normal(1.0, 0.5)).collect();
@@ -280,7 +285,7 @@ pub fn forecast_ensemble_on_pilots(
         .collect();
     let mut failed = 0usize;
     for (i, u) in units.into_iter().enumerate() {
-        let out = svc.wait_unit(u);
+        let out = svc.wait_unit(u).expect("unit issued by this service");
         match (out.state, out.output) {
             (UnitState::Done, Some(Ok(o))) => {
                 ensemble[i] = o.downcast::<Vec<f64>>().expect("kernel returns state");
@@ -328,7 +333,10 @@ mod pilot_tests {
         let failed = forecast_ensemble_on_pilots(&s, &problem, &mut parallel, 3, 777);
         s.shutdown();
         assert_eq!(failed, 0);
-        assert_eq!(parallel, sequential, "pilot execution must not change the math");
+        assert_eq!(
+            parallel, sequential,
+            "pilot execution must not change the math"
+        );
     }
 
     #[test]
@@ -347,8 +355,7 @@ mod pilot_tests {
         for cycle in 0..cycles {
             truth = forecast_member(&problem, &truth, &mut rng);
             free = problem.a.matvec(&free);
-            let failed =
-                forecast_ensemble_on_pilots(&s, &problem, &mut ensemble, cycle, 0xE4F);
+            let failed = forecast_ensemble_on_pilots(&s, &problem, &mut ensemble, cycle, 0xE4F);
             assert_eq!(failed, 0);
             let y: Vec<f64> = problem
                 .h

@@ -117,11 +117,7 @@ pub fn generate_frame(cfg: &FrameConfig, seed: u64) -> (Frame, Vec<Peak>) {
             let x = rng.range_u64(margin as u64, (cfg.width - margin) as u64) as f32;
             let y = rng.range_u64(margin as u64, (cfg.height - margin) as u64) as f32;
             let a = rng.f64_range(cfg.amplitude.0 as f64, cfg.amplitude.1 as f64) as f32;
-            Peak {
-                x,
-                y,
-                intensity: a,
-            }
+            Peak { x, y, intensity: a }
         })
         .collect();
     for p in &peaks {

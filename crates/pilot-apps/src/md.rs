@@ -9,11 +9,11 @@
 //! replica-phase as one compute unit — the paper's original motivating
 //! workload for the pilot-abstraction.
 
+use parking_lot::Mutex;
 use pilot_core::describe::{PilotDescription, UnitDescription};
 use pilot_core::state::UnitState;
 use pilot_core::thread::{kernel_fn, TaskOutput, ThreadPilotService};
 use pilot_sim::{SimDuration, SimRng};
-use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -57,11 +57,7 @@ impl MdSystem {
         let velocities = (0..n)
             .map(|_| {
                 let s = temperature.sqrt();
-                [
-                    rng.normal(0.0, s),
-                    rng.normal(0.0, s),
-                    rng.normal(0.0, s),
-                ]
+                [rng.normal(0.0, s), rng.normal(0.0, s), rng.normal(0.0, s)]
             })
             .collect();
         MdSystem {
@@ -299,7 +295,7 @@ pub fn run_replica_exchange(svc: &ThreadPilotService, cfg: &RexConfig) -> RexRep
             .collect();
         let mut energies: Vec<f64> = vec![0.0; replicas.len()];
         for (i, u) in units.into_iter().enumerate() {
-            let out = svc.wait_unit(u);
+            let out = svc.wait_unit(u).expect("unit issued by this service");
             match (out.state, out.output) {
                 (UnitState::Done, Some(Ok(o))) => {
                     energies[i] = o.downcast::<f64>().expect("kernel returns f64");
@@ -329,7 +325,10 @@ pub fn run_replica_exchange(svc: &ThreadPilotService, cfg: &RexConfig) -> RexRep
         }
         phase_wall_s.push(t0.elapsed().as_secs_f64());
     }
-    let final_energies = replicas.iter().map(|r| r.lock().potential_energy()).collect();
+    let final_energies = replicas
+        .iter()
+        .map(|r| r.lock().potential_energy())
+        .collect();
     RexReport {
         phase_wall_s,
         exchanges_accepted: accepted,

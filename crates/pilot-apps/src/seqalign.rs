@@ -49,10 +49,7 @@ pub fn generate_reads(
                     }
                 })
                 .collect();
-            Read {
-                seq,
-                true_pos: pos,
-            }
+            Read { seq, true_pos: pos }
         })
         .collect()
 }
@@ -93,7 +90,10 @@ pub fn smith_waterman(query: &[u8], reference: &[u8], s: Scoring) -> Alignment {
     let m = reference.len();
     let mut prev = vec![0i32; m + 1];
     let mut curr = vec![0i32; m + 1];
-    let mut best = Alignment { score: 0, ref_end: 0 };
+    let mut best = Alignment {
+        score: 0,
+        ref_end: 0,
+    };
     for &q in query {
         for j in 1..=m {
             let sub = if reference[j - 1] == q {

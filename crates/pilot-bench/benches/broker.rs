@@ -18,9 +18,7 @@ fn bench_produce(c: &mut Criterion) {
                 let broker = Broker::new();
                 broker.create_topic("t", p, 1_000_000).unwrap();
                 let payload = Arc::new(vec![7u8; 256]);
-                b.iter(|| {
-                    black_box(broker.produce("t", None, Arc::clone(&payload)).unwrap())
-                });
+                b.iter(|| black_box(broker.produce("t", None, Arc::clone(&payload)).unwrap()));
             },
         );
     }

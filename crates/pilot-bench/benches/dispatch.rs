@@ -22,7 +22,7 @@ fn bench_roundtrip(c: &mut Criterion) {
                 UnitDescription::new(1),
                 kernel_fn(|_| Ok(TaskOutput::none())),
             );
-            black_box(svc.wait_unit(u).state)
+            black_box(svc.wait_unit(u).unwrap().state)
         });
     });
     group.throughput(Throughput::Elements(64));
@@ -40,7 +40,7 @@ fn bench_roundtrip(c: &mut Criterion) {
                 })
                 .collect();
             for u in units {
-                black_box(svc.wait_unit(u).state);
+                black_box(svc.wait_unit(u).unwrap().state);
             }
         });
     });

@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pilot_core::describe::{DataLocation, UnitDescription};
 use pilot_core::ids::{PilotId, UnitId};
 use pilot_core::scheduler::{
-    BackfillScheduler, DataAwareScheduler, FirstFitScheduler, LoadBalanceScheduler,
-    PilotSnapshot, RandomScheduler, Scheduler, UnitRequest,
+    BackfillScheduler, DataAwareScheduler, FirstFitScheduler, LoadBalanceScheduler, PilotSnapshot,
+    RandomScheduler, Scheduler, UnitRequest,
 };
 use pilot_infra::types::SiteId;
 use std::hint::black_box;
@@ -45,13 +45,9 @@ fn bench_schedulers(c: &mut Criterion) {
             ("random", Box::new(RandomScheduler::new(42))),
         ];
         for (name, sched) in &mut schedulers {
-            group.bench_with_input(
-                BenchmarkId::new(*name, n_pilots),
-                &snaps,
-                |b, snaps| {
-                    b.iter(|| black_box(sched.select(black_box(&req), black_box(snaps))))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(*name, n_pilots), &snaps, |b, snaps| {
+                b.iter(|| black_box(sched.select(black_box(&req), black_box(snaps))))
+            });
         }
     }
     group.finish();

@@ -50,8 +50,7 @@ fn bench_hpc_sim(c: &mut Criterion) {
                 Dist::uniform(4.0, 64.0),
                 Dist::exponential(1800.0),
             );
-            let mut cluster =
-                HpcCluster::new(HpcConfig::quiet("bench", 512).with_background(bg));
+            let mut cluster = HpcCluster::new(HpcConfig::quiet("bench", 512).with_background(bg));
             let inputs = cluster.initial_inputs();
             let outs = drive_until(&mut cluster, inputs, SimTime::from_hours(24));
             black_box((outs.len(), cluster.utilization(SimTime::from_hours(24))))

@@ -162,6 +162,7 @@ pub fn run_ab2(quick: bool) -> String {
         for u in units {
             total += svc
                 .wait_unit(u)
+                .expect("unit issued by this service")
                 .output
                 .and_then(|r| r.ok())
                 .and_then(|o| o.downcast::<u64>())
@@ -170,20 +171,26 @@ pub fn run_ab2(quick: bool) -> String {
         let elapsed = t0.elapsed().as_secs_f64();
         svc.shutdown();
         assert_eq!(total, truth);
-        out.push_str(&format!("| naive O(n²) on pilots | {workers} | {elapsed:.3} | {total} |\n"));
+        out.push_str(&format!(
+            "| naive O(n²) on pilots | {workers} | {elapsed:.3} | {total} |\n"
+        ));
     }
     // The better algorithm, one core, no middleware at all.
     let t0 = std::time::Instant::now();
     let got = contacts_grid(&points, cutoff);
     let t_grid = t0.elapsed().as_secs_f64();
     assert_eq!(got, truth);
-    out.push_str(&format!("| grid O(n) sequential | 1 | {t_grid:.3} | {got} |\n"));
+    out.push_str(&format!(
+        "| grid O(n) sequential | 1 | {t_grid:.3} | {got} |\n"
+    ));
     // Reference: naive sequential without middleware (black_box keeps the
     // otherwise-unused call from being optimized away).
     let t0 = std::time::Instant::now();
     std::hint::black_box(contacts_naive(std::hint::black_box(&points), cutoff));
     let t_naive = t0.elapsed().as_secs_f64();
-    out.push_str(&format!("| naive O(n²) sequential | 1 | {t_naive:.3} | {truth} |\n"));
+    out.push_str(&format!(
+        "| naive O(n²) sequential | 1 | {t_naive:.3} | {truth} |\n"
+    ));
     out.push_str(&format!(
         "\n(the algorithm change wins {:.0}x — more than any realistic scale-out; Section VI)\n",
         t_naive / t_grid.max(1e-9)

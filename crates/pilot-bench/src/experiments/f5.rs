@@ -41,7 +41,9 @@ pub fn run(quick: bool) -> String {
     let mut out = String::from("### F5 automated build-assess-refine loop (Figure 5)\n\n");
 
     // Assess: a deliberately coarse designed sweep of pilot sizes.
-    out.push_str("**assess** — coarse sweep of pilot core counts (Mini-App framework, sim backend):\n\n");
+    out.push_str(
+        "**assess** — coarse sweep of pilot core counts (Mini-App framework, sim backend):\n\n",
+    );
     let spec = ExperimentSpec::new(
         "f5-pilot-sizing",
         vec![Factor::new("cores", &[4.0, 16.0, 48.0])],

@@ -68,11 +68,7 @@ pub fn run_io1(quick: bool) -> String {
         sys.disable_trace();
         build(&mut sys);
         for _ in 0..tasks {
-            sys.submit_unit_fixed(
-                SimTime::from_secs(15_000),
-                UnitDescription::new(1),
-                task_s,
-            );
+            sys.submit_unit_fixed(SimTime::from_secs(15_000), UnitDescription::new(1), task_s);
         }
         let report = sys.run(SimTime::from_hours(96));
         let done = report.count(UnitState::Done);
@@ -121,7 +117,11 @@ pub fn run_dy1(quick: bool) -> String {
         let done = report.count(UnitState::Done);
         out.push_str(&format!(
             "| {} | {:.0} | {} | {done}/{tasks} |\n",
-            if adaptive { "adaptive (burst to cloud)" } else { "static (16-core pilot only)" },
+            if adaptive {
+                "adaptive (burst to cloud)"
+            } else {
+                "static (16-core pilot only)"
+            },
             report.makespan(),
             report.pilots.len()
         ));

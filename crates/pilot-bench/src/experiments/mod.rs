@@ -9,6 +9,7 @@ pub mod ph;
 pub mod pj;
 pub mod pm;
 pub mod ps;
+pub mod rb;
 pub mod t1;
 
 /// Run every experiment in index order; returns the concatenated reports.
@@ -44,6 +45,7 @@ pub fn registry() -> Vec<ExperimentEntry> {
         ("PS-3", ps::run_ps3),
         ("IO-1", io_dy::run_io1),
         ("DY-1", io_dy::run_dy1),
+        ("RB-1", rb::run_rb1),
         ("DF-1", ab::run_df1),
         ("AB-1", ab::run_ab1),
         ("AB-2", ab::run_ab2),

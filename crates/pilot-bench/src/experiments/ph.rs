@@ -38,7 +38,10 @@ pub fn run_ph1(quick: bool) -> String {
         .with_combiner(|_k, vs| vs.iter().sum())
         .run(&svc);
     svc.shutdown();
-    assert_eq!(plain.output, combined.output, "combiner must not change results");
+    assert_eq!(
+        plain.output, combined.output,
+        "combiner must not change results"
+    );
     let mut out = String::from(
         "### PH-1 Pilot-MapReduce wordcount: phases and combiner effect\n\n\
          | variant | map (s) | shuffle (s) | reduce (s) | total (s) | shuffled pairs |\n\
@@ -112,7 +115,10 @@ pub fn run_ph2(quick: bool) -> String {
         r.map_tasks,
         r.reduce_tasks,
     ));
-    assert!(mapped as usize >= n_reads * 9 / 10, "mapping rate collapsed");
+    assert!(
+        mapped as usize >= n_reads * 9 / 10,
+        "mapping rate collapsed"
+    );
     let _ = truth;
     common::emit(out)
 }

@@ -28,7 +28,11 @@ pub fn run_pj1(quick: bool) -> String {
         let mut sys = SimPilotSystem::new(trial.seed);
         sys.disable_trace();
         let (site, label, warmup_s) = match infra {
-            0 => (sys.add_resource(common::quiet_hpc("hpc-idle", 256)), "hpc idle", 0.0),
+            0 => (
+                sys.add_resource(common::quiet_hpc("hpc-idle", 256)),
+                "hpc idle",
+                0.0,
+            ),
             1 => (
                 sys.add_resource(common::busy_hpc("hpc-70", 256, 0.7, trial.seed)),
                 "hpc util=0.70",
@@ -39,7 +43,11 @@ pub fn run_pj1(quick: bool) -> String {
                 "hpc util=0.90",
                 20_000.0,
             ),
-            3 => (sys.add_resource(common::htc_pool("htc", 256)), "htc pool", 0.0),
+            3 => (
+                sys.add_resource(common::htc_pool("htc", 256)),
+                "htc pool",
+                0.0,
+            ),
             4 => (sys.add_resource(common::cloud("cloud", 512)), "cloud", 0.0),
             _ => (sys.add_resource(common::yarn("yarn", 256)), "yarn", 0.0),
         };
@@ -179,7 +187,10 @@ pub fn run_pj4(quick: bool) -> String {
         "### PJ-4 late binding: one pilot vs per-task batch jobs (hpc util 0.70, 2000 x 3 s tasks, 30 s scheduler cycle)\n\n\
          | strategy | makespan (s) | mean task wait (s) | p50 task wait (s) |\n|---|---|---|---|\n",
     );
-    for (strategy, label) in [(0, "direct: one batch job per task"), (1, "pilot: 32 cores, late binding")] {
+    for (strategy, label) in [
+        (0, "direct: one batch job per task"),
+        (1, "pilot: 32 cores, late binding"),
+    ] {
         let mut makespans = Vec::new();
         let mut waits = Vec::new();
         let mut medians = Vec::new();
@@ -212,7 +223,10 @@ pub fn run_pj4(quick: bool) -> String {
                         t0,
                         site,
                         // Batch minimum walltime: 60 s even for a 3 s task.
-                        PilotDescription::new(1, SimDuration::from_secs_f64(f64::max(task_s * 4.0, 60.0))),
+                        PilotDescription::new(
+                            1,
+                            SimDuration::from_secs_f64(f64::max(task_s * 4.0, 60.0)),
+                        ),
                     );
                 }
             } else {
@@ -223,11 +237,7 @@ pub fn run_pj4(quick: bool) -> String {
                 );
             }
             for _ in 0..tasks {
-                sys.submit_unit_fixed(
-                    t0,
-                    UnitDescription::new(1).with_estimate(task_s),
-                    task_s,
-                );
+                sys.submit_unit_fixed(t0, UnitDescription::new(1).with_estimate(task_s), task_s);
             }
             let report = sys.run(SimTime::from_hours(96));
             assert_eq!(
@@ -236,11 +246,7 @@ pub fn run_pj4(quick: bool) -> String {
                 "{label}: incomplete run"
             );
             makespans.push(report.makespan());
-            let ws: Vec<f64> = report
-                .units
-                .iter()
-                .filter_map(|u| u.times.wait())
-                .collect();
+            let ws: Vec<f64> = report.units.iter().filter_map(|u| u.times.wait()).collect();
             waits.push(ws.iter().sum::<f64>() / ws.len() as f64);
             medians.push(pilot_sim::percentile(&ws, 50.0));
         }

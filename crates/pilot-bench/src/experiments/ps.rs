@@ -71,7 +71,11 @@ fn sweep(quick: bool, name: &str, reps: u32) -> ResultTable {
 /// PS-1: throughput and latency percentiles across partitions × processors
 /// × payload size, on the real broker and pilots.
 pub fn run_ps1(quick: bool) -> String {
-    let table = sweep(quick, "PS-1 streaming throughput/latency sweep", if quick { 1 } else { 3 });
+    let table = sweep(
+        quick,
+        "PS-1 streaming throughput/latency sweep",
+        if quick { 1 } else { 3 },
+    );
     common::emit(table.to_markdown())
 }
 
@@ -79,7 +83,11 @@ pub fn run_ps1(quick: bool) -> String {
 /// configurations, and pick the best configuration — the paper's
 /// throughput-prediction / resource-selection result.
 pub fn run_ps2(quick: bool) -> String {
-    let table = sweep(quick, "PS-2 model training sweep", if quick { 1 } else { 2 });
+    let table = sweep(
+        quick,
+        "PS-2 model training sweep",
+        if quick { 1 } else { 2 },
+    );
     let xs: Vec<Vec<f64>> = table
         .rows
         .iter()
@@ -104,12 +112,11 @@ pub fn run_ps2(quick: bool) -> String {
     let err = mae(&te_y, &preds);
     let candidates: Vec<Vec<f64>> = [1.0, 2.0, 4.0, 8.0]
         .iter()
-        .flat_map(|&p| {
-            [1.0, 2.0].iter().map(move |&c| vec![p, c, 0.25])
-        })
+        .flat_map(|&p| [1.0, 2.0].iter().map(move |&c| vec![p, c, 0.25]))
         .collect();
     let best = model.argmax(&candidates).expect("non-empty candidates");
-    let mut out = String::from("### PS-2 statistical throughput model (OLS, interaction features)\n\n");
+    let mut out =
+        String::from("### PS-2 statistical throughput model (OLS, interaction features)\n\n");
     out.push_str(&format!(
         "| metric | value |\n|---|---|\n\
          | training samples | {} |\n\
@@ -144,7 +151,9 @@ pub fn run_ps3(quick: bool) -> String {
     use pilot_core::sim::SimPilotSystem;
     use pilot_core::state::UnitState;
     use pilot_infra::component::drive_until;
-    use pilot_infra::serverless::{ServerlessConfig, ServerlessIn, ServerlessOut, ServerlessPlatform};
+    use pilot_infra::serverless::{
+        ServerlessConfig, ServerlessIn, ServerlessOut, ServerlessPlatform,
+    };
     use pilot_sim::{percentile, SimDuration, SimRng, SimTime};
 
     let messages = if quick { 500 } else { 3000 };
@@ -203,8 +212,7 @@ pub fn run_ps3(quick: bool) -> String {
 
         // --- serverless: one invocation per message ------------------------
         {
-            let mut platform =
-                ServerlessPlatform::new(ServerlessConfig::lambda_like("recon", 64));
+            let mut platform = ServerlessPlatform::new(ServerlessConfig::lambda_like("recon", 64));
             let inputs: Vec<(SimTime, ServerlessIn)> = arrivals
                 .iter()
                 .enumerate()

@@ -36,7 +36,12 @@ pub fn run(quick: bool) -> String {
         svc.shutdown();
         let n = cfg.replicas * cfg.phases;
         assert_eq!(report.failed_units, 0);
-        rows.push(("task-parallel (replica exchange)".into(), n, dt, n as f64 / dt));
+        rows.push((
+            "task-parallel (replica exchange)".into(),
+            n,
+            dt,
+            n as f64 / dt,
+        ));
     }
 
     // --- data-parallel: contact analysis over partitions -----------------
@@ -59,6 +64,7 @@ pub fn run(quick: bool) -> String {
         for u in units {
             total += svc
                 .wait_unit(u)
+                .expect("unit issued by this service")
                 .output
                 .and_then(|r| r.ok())
                 .and_then(|o| o.downcast::<u64>())
@@ -67,7 +73,12 @@ pub fn run(quick: bool) -> String {
         let dt = t0.elapsed().as_secs_f64();
         svc.shutdown();
         assert!(total > 0);
-        rows.push(("data-parallel (contact analysis)".into(), parts, dt, parts as f64 / dt));
+        rows.push((
+            "data-parallel (contact analysis)".into(),
+            parts,
+            dt,
+            parts as f64 / dt,
+        ));
     }
 
     // --- dataflow/MapReduce: wordcount ------------------------------------
@@ -92,7 +103,12 @@ pub fn run(quick: bool) -> String {
         svc.shutdown();
         let n = r.map_tasks + r.reduce_tasks;
         assert!(!r.output.is_empty());
-        rows.push(("dataflow (MapReduce wordcount)".into(), n, dt, n as f64 / dt));
+        rows.push((
+            "dataflow (MapReduce wordcount)".into(),
+            n,
+            dt,
+            n as f64 / dt,
+        ));
     }
 
     // --- iterative: K-Means with Pilot-Memory -----------------------------
@@ -145,7 +161,12 @@ pub fn run(quick: bool) -> String {
         let dt = t0.elapsed().as_secs_f64();
         svc.shutdown();
         assert_eq!(report.consumed, frames);
-        rows.push(("streaming (light-source frames)".into(), frames as usize, dt, report.throughput));
+        rows.push((
+            "streaming (light-source frames)".into(),
+            frames as usize,
+            dt,
+            report.throughput,
+        ));
     }
 
     let mut out = String::from(

@@ -3,6 +3,7 @@
 //! A description is pure data — it can be logged, serialized, and replayed —
 //! and is shared verbatim between the simulated and threaded backends.
 
+use crate::retry::RetryPolicy;
 use pilot_infra::types::SiteId;
 use pilot_sim::SimDuration;
 
@@ -84,6 +85,11 @@ pub struct UnitDescription {
     pub priority: i32,
     /// Free-form tag for reports.
     pub tag: String,
+    /// Retry budget and backoff on failure. Defaults to fail-fast.
+    pub retry: RetryPolicy,
+    /// Execution deadline in seconds after the kernel starts; on expiry the
+    /// attempt fails (and retries per `retry`). `None` disables the deadline.
+    pub deadline_s: Option<f64>,
 }
 
 impl UnitDescription {
@@ -116,6 +122,18 @@ impl UnitDescription {
     /// Attach a tag.
     pub fn tagged(mut self, tag: &str) -> Self {
         self.tag = tag.to_string();
+        self
+    }
+
+    /// Attach a retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Set an execution deadline (seconds after start).
+    pub fn with_deadline(mut self, seconds: f64) -> Self {
+        self.deadline_s = (seconds > 0.0).then_some(seconds);
         self
     }
 
@@ -173,5 +191,17 @@ mod tests {
         assert_eq!(u.est_duration_s, Some(3.5));
         assert_eq!(u.priority, 7);
         assert_eq!(u.tag, "map");
+        assert_eq!(u.retry, RetryPolicy::none(), "default is fail-fast");
+        assert_eq!(u.deadline_s, None);
+    }
+
+    #[test]
+    fn unit_reliability_builders() {
+        let u = UnitDescription::new(1)
+            .with_retry(RetryPolicy::fixed(3, 0.5))
+            .with_deadline(30.0);
+        assert_eq!(u.retry.max_attempts, 3);
+        assert_eq!(u.deadline_s, Some(30.0));
+        assert_eq!(UnitDescription::new(1).with_deadline(0.0).deadline_s, None);
     }
 }

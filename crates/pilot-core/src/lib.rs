@@ -35,6 +35,7 @@
 pub mod describe;
 pub mod ids;
 pub mod metrics;
+pub mod retry;
 pub mod scheduler;
 pub mod sim;
 pub mod state;
@@ -43,8 +44,9 @@ pub mod thread;
 pub use describe::{DataLocation, PilotDescription, UnitDescription};
 pub use ids::{PilotId, UnitId};
 pub use metrics::{OverheadBreakdown, PilotTimes, UnitTimes};
+pub use retry::{Backoff, FailureTracker, FaultPlan, ReliabilityStats, RetryPolicy};
 pub use scheduler::{
-    BackfillScheduler, DataAwareScheduler, FirstFitScheduler, LoadBalanceScheduler,
-    PilotSnapshot, RandomScheduler, RoundRobinScheduler, Scheduler, UnitRequest,
+    BackfillScheduler, DataAwareScheduler, FirstFitScheduler, LoadBalanceScheduler, PilotSnapshot,
+    RandomScheduler, RoundRobinScheduler, Scheduler, UnitRequest,
 };
 pub use state::{PilotState, UnitState};

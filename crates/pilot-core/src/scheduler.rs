@@ -136,8 +136,7 @@ impl Scheduler for DataAwareScheduler {
     fn select(&mut self, unit: &UnitRequest<'_>, pilots: &[PilotSnapshot]) -> Option<PilotId> {
         let total = unit.desc.input_bytes();
         if total > 0 {
-            let local_bytes =
-                |p: &PilotSnapshot| total - unit.desc.remote_bytes(p.site);
+            let local_bytes = |p: &PilotSnapshot| total - unit.desc.remote_bytes(p.site);
             // Does *any* active pilot (even a full one) sit at the data?
             if pilots.iter().any(|p| local_bytes(p) > 0) {
                 // Then bind only to a local pilot with room — or wait.
@@ -274,7 +273,9 @@ mod tests {
             snap(3, 0, 8, 8, 0, 100.0),
         ];
         let d = UnitDescription::new(1);
-        let picks: Vec<_> = (0..6).map(|_| s.select(&req(&d), &pilots).unwrap().0).collect();
+        let picks: Vec<_> = (0..6)
+            .map(|_| s.select(&req(&d), &pilots).unwrap().0)
+            .collect();
         assert_eq!(picks, vec![1, 2, 3, 1, 2, 3]);
     }
 

@@ -12,6 +12,7 @@
 use crate::describe::{PilotDescription, UnitDescription};
 use crate::ids::{IdGen, PilotId, UnitId};
 use crate::metrics::{self, PilotTimes, UnitRecord, UnitTimes};
+use crate::retry::{streams, FailureTracker, FaultPlan, ReliabilityStats};
 use crate::scheduler::{PilotSnapshot, Scheduler, UnitRequest};
 use crate::state::{PilotState, UnitState};
 use pilot_infra::component::{Component, Effects};
@@ -64,6 +65,8 @@ pub struct SimReport {
     pub trace: TraceLog,
     /// Virtual time when the run stopped.
     pub end_time: SimTime,
+    /// Reliability counters (attempts, requeues, wasted work, recovery).
+    pub reliability: ReliabilityStats,
 }
 
 impl SimReport {
@@ -108,13 +111,33 @@ impl SimReport {
     }
 }
 
+/// Why an execution attempt was aborted (carried in `Ev::UnitFail`).
+#[derive(Clone, Copy, Debug)]
+enum FailKind {
+    /// Injected kernel fault from the fault plan.
+    Fault,
+    /// The unit's deadline expired mid-execution.
+    Deadline,
+}
+
 enum Ev {
-    Saga { site: usize, ev: SagaIn },
+    Saga {
+        site: usize,
+        ev: SagaIn,
+    },
     SubmitPilot(PilotId),
     SubmitUnit(UnitId),
     CancelPilot(PilotId),
     UnitStaged(UnitId, u64),
     UnitFinish(UnitId, u64),
+    /// A running attempt fails (generation-guarded like `UnitFinish`).
+    UnitFail(UnitId, u64, FailKind),
+    /// A stage-in attempt fails transiently.
+    StagingFail(UnitId, u64),
+    /// Backoff elapsed: a failed unit re-enters the late-binding queue.
+    RetryRelease(UnitId, u64),
+    /// Injected pilot crash from the fault plan.
+    PilotCrash(PilotId),
     PolicyTick,
 }
 
@@ -138,6 +161,9 @@ struct SimUnitRt {
     times: UnitTimes,
     generation: u64,
     attempts: u32,
+    /// When the last failed attempt happened; consumed at the next bind to
+    /// measure time-to-recovery.
+    failed_at: Option<f64>,
 }
 
 struct SystemMachine {
@@ -154,6 +180,9 @@ struct SystemMachine {
     policy_extra_submitted: u32,
     trace: TraceLog,
     ids_hint: u64,
+    faults: FaultPlan,
+    tracker: FailureTracker,
+    rel: ReliabilityStats,
 }
 
 impl SystemMachine {
@@ -189,6 +218,16 @@ impl SystemMachine {
                     p.state = PilotState::Active;
                     p.times.active = Some(Self::now_s(now));
                     self.trace.mark(now, "pilot.active", pid.0);
+                    // Arm the injected crash clock for this pilot: one
+                    // exponential draw from a stream keyed by pilot id, so
+                    // replays with the same seed crash at the same instants.
+                    if let Some(mtbf) = self.faults.pilot_crash_mtbf_s {
+                        let mut r = self
+                            .rng
+                            .stream(streams::keyed(streams::PILOT_CRASH, pid.0, 0));
+                        let ttf = r.exponential(mtbf);
+                        out.after(SimDuration::from_secs_f64(ttf), Ev::PilotCrash(pid));
+                    }
                 }
                 self.schedule(now, out);
             }
@@ -234,12 +273,13 @@ impl SystemMachine {
         let mut victims: Vec<(f64, UnitId)> = self
             .units
             .iter()
-            .filter(|(_, u)| u.pilot == Some(pid) && !u.state.is_terminal() && u.state != UnitState::Pending)
+            .filter(|(_, u)| {
+                u.pilot == Some(pid) && !u.state.is_terminal() && u.state != UnitState::Pending
+            })
             .map(|(&id, u)| (u.times.started.unwrap_or(f64::MAX), id))
             .collect();
         victims.sort_by(|a, b| {
-            b.0
-                .partial_cmp(&a.0)
+            b.0.partial_cmp(&a.0)
                 .expect("finite times")
                 .then(a.1 .0.cmp(&b.1 .0))
         });
@@ -256,7 +296,7 @@ impl SystemMachine {
 
     /// Requeue every non-terminal unit bound to a dead pilot.
     fn requeue_bound_units(&mut self, now: SimTime, pid: PilotId) {
-        let bound: Vec<UnitId> = self
+        let mut bound: Vec<UnitId> = self
             .units
             .iter()
             .filter(|(_, u)| {
@@ -264,6 +304,9 @@ impl SystemMachine {
             })
             .map(|(&id, _)| id)
             .collect();
+        // HashMap iteration order is nondeterministic; process in id order so
+        // replays accumulate float metrics identically.
+        bound.sort_by_key(|u| u.0);
         for uid in bound {
             self.requeue_unit(now, uid);
         }
@@ -271,17 +314,72 @@ impl SystemMachine {
     }
 
     /// Move a unit back to Pending; returns the cores it released.
+    ///
+    /// This is the *planned* rebinding path (walltime expiry, capacity
+    /// reclaim): the resource went away, the unit did not fail, so the retry
+    /// budget is not charged.
     fn requeue_unit(&mut self, now: SimTime, uid: UnitId) -> u32 {
         let u = self.units.get_mut(&uid).expect("unit exists");
         u.state = UnitState::Pending;
         u.pilot = None;
         u.generation += 1;
-        u.attempts += 1;
         u.times.bound = None;
         u.times.started = None;
         self.pending.push(uid);
+        self.rel.rebinds += 1;
         self.trace.mark(now, "cu.requeued", uid.0);
         u.desc.cores
+    }
+
+    /// One execution/staging attempt failed. Charges the retry budget and
+    /// either re-enters the late-binding queue (after backoff) or fails the
+    /// unit terminally once the budget is exhausted.
+    fn fail_attempt(&mut self, now: SimTime, uid: UnitId, reason: &str, out: &mut Outbox<Ev>) {
+        let now_s = Self::now_s(now);
+        let (pid, cores, retry, attempts) = {
+            let u = self.units.get_mut(&uid).expect("unit exists");
+            if let Some(s) = u.times.started {
+                self.rel.wasted_work_s += now_s - s;
+            }
+            u.generation += 1;
+            u.attempts += 1;
+            u.state = UnitState::Failed;
+            (u.pilot, u.desc.cores, u.desc.retry, u.attempts)
+        };
+        self.trace
+            .record(now, "cu.failed", uid.0, reason.to_string());
+        if let Some(pid) = pid {
+            if let Some(p) = self.pilots.get_mut(&pid) {
+                p.used = p.used.saturating_sub(cores);
+            }
+            if self.tracker.record_failure(pid) {
+                self.rel.blacklisted_pilots += 1;
+                self.trace.mark(now, "pilot.blacklisted", pid.0);
+            }
+        }
+        let u = self.units.get_mut(&uid).expect("unit exists");
+        u.pilot = None;
+        u.times.bound = None;
+        u.times.started = None;
+        if retry.allows_retry(attempts) {
+            self.rel.requeues += 1;
+            u.failed_at = Some(now_s);
+            let mut jitter =
+                self.rng
+                    .stream(streams::keyed(streams::BACKOFF_JITTER, uid.0, attempts));
+            let delay = retry.delay_s(attempts, &mut jitter);
+            let gen = u.generation;
+            out.after(
+                SimDuration::from_secs_f64(delay),
+                Ev::RetryRelease(uid, gen),
+            );
+        } else {
+            u.times.finished = Some(now_s);
+            self.rel.exhausted_units += 1;
+            self.trace.mark(now, "cu.exhausted", uid.0);
+        }
+        // Either way cores were released; other pending units may now fit.
+        self.schedule(now, out);
     }
 
     fn schedule(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
@@ -294,9 +392,10 @@ impl SystemMachine {
             let snapshots: Vec<PilotSnapshot> = self
                 .pilots
                 .iter()
-                .filter(|(_, p)| {
-                    (p.state == PilotState::Active && p.capacity > 0)
-                        || p.state == PilotState::Pending
+                .filter(|(id, p)| {
+                    ((p.state == PilotState::Active && p.capacity > 0)
+                        || p.state == PilotState::Pending)
+                        && !self.tracker.is_blacklisted(**id)
                 })
                 .map(|(&id, p)| PilotSnapshot {
                     pilot: id,
@@ -354,6 +453,11 @@ impl SystemMachine {
             u.state = UnitState::Staging;
             u.pilot = Some(pid);
             u.times.bound = Some(Self::now_s(now));
+            // A rebind after a failure completes a recovery.
+            if let Some(f) = u.failed_at.take() {
+                self.rel.recovery_s += Self::now_s(now) - f;
+                self.rel.recoveries += 1;
+            }
         }
         self.trace.record(now, "cu.bound", uid.0, format!("{pid}"));
         // Stage-in: sequentially transfer every non-local input from its
@@ -369,7 +473,16 @@ impl SystemMachine {
             }
         }
         let gen = u.generation;
-        out.after(staging, Ev::UnitStaged(uid, gen));
+        // Transient stage-in fault: the transfer runs (and pays its time)
+        // but fails at the end, charging one attempt.
+        let mut fault_rng =
+            self.rng
+                .stream(streams::keyed(streams::STAGING_FAULT, uid.0, u.attempts));
+        if self.faults.staging_failure_p > 0.0 && fault_rng.bool(self.faults.staging_failure_p) {
+            out.after(staging, Ev::StagingFail(uid, gen));
+        } else {
+            out.after(staging, Ev::UnitStaged(uid, gen));
+        }
     }
 
     fn fresh_job(&mut self) -> JobId {
@@ -431,8 +544,34 @@ impl Machine for SystemMachine {
                 let mut dur_rng = self.rng.stream(uid.0 ^ (u.attempts as u64) << 48);
                 let _ = d;
                 let dur = u.duration.sample(&mut dur_rng).max(0.0);
+                self.rel.attempts += 1;
                 self.trace.mark(now, "cu.running", uid.0);
-                out.after(SimDuration::from_secs_f64(dur), Ev::UnitFinish(uid, gen));
+                // The attempt's outcome is decided up front: the earliest of
+                // injected kernel fault, deadline expiry, and normal finish.
+                let mut fault_rng =
+                    self.rng
+                        .stream(streams::keyed(streams::UNIT_FAULT, uid.0, u.attempts));
+                let fault_at = (self.faults.unit_failure_p > 0.0
+                    && fault_rng.bool(self.faults.unit_failure_p))
+                .then(|| dur * fault_rng.f64());
+                let deadline_at = u.desc.deadline_s.filter(|d| *d < dur);
+                match (fault_at, deadline_at) {
+                    (Some(f), d) if d.is_none_or(|d| f <= d) => {
+                        out.after(
+                            SimDuration::from_secs_f64(f),
+                            Ev::UnitFail(uid, gen, FailKind::Fault),
+                        );
+                    }
+                    (_, Some(d)) => {
+                        out.after(
+                            SimDuration::from_secs_f64(d),
+                            Ev::UnitFail(uid, gen, FailKind::Deadline),
+                        );
+                    }
+                    _ => {
+                        out.after(SimDuration::from_secs_f64(dur), Ev::UnitFinish(uid, gen));
+                    }
+                }
             }
             Ev::UnitFinish(uid, gen) => {
                 let Some(u) = self.units.get_mut(&uid) else {
@@ -448,7 +587,90 @@ impl Machine for SystemMachine {
                 if let Some(p) = self.pilots.get_mut(&pid) {
                     p.used = p.used.saturating_sub(cores);
                 }
+                self.tracker.record_success(pid);
                 self.trace.mark(now, "cu.done", uid.0);
+                self.schedule(now, out);
+            }
+            Ev::UnitFail(uid, gen, kind) => {
+                let Some(u) = self.units.get(&uid) else {
+                    return;
+                };
+                if u.generation != gen || u.state != UnitState::Running {
+                    return;
+                }
+                let reason = match kind {
+                    FailKind::Fault => {
+                        self.rel.injected_unit_faults += 1;
+                        "injected fault"
+                    }
+                    FailKind::Deadline => {
+                        self.rel.deadline_expirations += 1;
+                        "deadline exceeded"
+                    }
+                };
+                self.fail_attempt(now, uid, reason, out);
+            }
+            Ev::StagingFail(uid, gen) => {
+                let Some(u) = self.units.get(&uid) else {
+                    return;
+                };
+                if u.generation != gen || u.state != UnitState::Staging {
+                    return;
+                }
+                self.rel.injected_staging_faults += 1;
+                self.fail_attempt(now, uid, "staging fault", out);
+            }
+            Ev::RetryRelease(uid, gen) => {
+                let Some(u) = self.units.get_mut(&uid) else {
+                    return;
+                };
+                if u.generation != gen || u.state != UnitState::Failed {
+                    return;
+                }
+                // The retry edge: Failed → Pending, back into late binding.
+                u.state = UnitState::Pending;
+                self.pending.push(uid);
+                self.trace.mark(now, "cu.retry", uid.0);
+                self.schedule(now, out);
+            }
+            Ev::PilotCrash(pid) => {
+                let Some(p) = self.pilots.get_mut(&pid) else {
+                    return;
+                };
+                if p.state != PilotState::Active {
+                    return;
+                }
+                p.state = PilotState::Failed;
+                p.capacity = 0;
+                p.used = 0;
+                p.times.finished = Some(Self::now_s(now));
+                let (site, job) = (p.site, p.job);
+                self.rel.pilot_crashes += 1;
+                self.trace.mark(now, "pilot.crashed", pid.0);
+                // Release the placeholder job on the infrastructure.
+                self.feed_adaptor(now, site, SagaIn::Cancel(job), out);
+                // Units that were executing lose their attempt (retry budget
+                // applies); units not yet running rebind for free. Sorted by
+                // id: HashMap order is nondeterministic and float metrics
+                // must accumulate identically across replays.
+                let mut bound: Vec<(UnitId, UnitState)> = self
+                    .units
+                    .iter()
+                    .filter(|(_, u)| {
+                        u.pilot == Some(pid)
+                            && !u.state.is_terminal()
+                            && u.state != UnitState::Pending
+                    })
+                    .map(|(&id, u)| (id, u.state))
+                    .collect();
+                bound.sort_by_key(|(u, _)| u.0);
+                for (uid, state) in bound {
+                    if state == UnitState::Running {
+                        self.fail_attempt(now, uid, "pilot crash", out);
+                    } else {
+                        self.requeue_unit(now, uid);
+                    }
+                }
                 self.schedule(now, out);
             }
             Ev::PolicyTick => {
@@ -511,6 +733,9 @@ impl SimPilotSystem {
             policy_extra_submitted: 0,
             trace: TraceLog::new(),
             ids_hint: 0,
+            faults: FaultPlan::none(),
+            tracker: FailureTracker::new(None),
+            rel: ReliabilityStats::default(),
         };
         SimPilotSystem {
             exec: Executor::new(machine),
@@ -560,15 +785,21 @@ impl SimPilotSystem {
         self.exec.machine_mut().trace = TraceLog::disabled();
     }
 
+    /// Install a deterministic fault-injection plan. All fault draws come
+    /// from RNG streams derived from the run seed, so replays are
+    /// byte-identical.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let m = self.exec.machine_mut();
+        m.faults = plan;
+        m.tracker = FailureTracker::new(plan.blacklist_after);
+    }
+
     /// Submit a pilot at virtual time `at`.
     pub fn submit_pilot(&mut self, at: SimTime, site: SiteId, desc: PilotDescription) -> PilotId {
         let pid = self.ids.pilot();
         let m = self.exec.machine_mut();
         let job = m.fresh_job();
-        assert!(
-            (site.0 as usize) < m.adaptors.len(),
-            "unknown site {site}"
-        );
+        assert!((site.0 as usize) < m.adaptors.len(), "unknown site {site}");
         m.pilots.insert(
             pid,
             SimPilotRt {
@@ -599,6 +830,7 @@ impl SimPilotSystem {
                 times: UnitTimes::default(),
                 generation: 0,
                 attempts: 0,
+                failed_at: None,
             },
         );
         self.exec.schedule_at(at, Ev::SubmitUnit(uid));
@@ -606,7 +838,12 @@ impl SimPilotSystem {
     }
 
     /// Submit a unit with a fixed duration in seconds.
-    pub fn submit_unit_fixed(&mut self, at: SimTime, desc: UnitDescription, duration_s: f64) -> UnitId {
+    pub fn submit_unit_fixed(
+        &mut self,
+        at: SimTime,
+        desc: UnitDescription,
+        duration_s: f64,
+    ) -> UnitId {
         self.submit_unit(at, desc, Dist::constant(duration_s))
     }
 
@@ -649,6 +886,7 @@ impl SimPilotSystem {
             pilots,
             trace: m.trace,
             end_time,
+            reliability: m.rel,
         }
     }
 }
@@ -656,8 +894,8 @@ impl SimPilotSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::DataAwareScheduler;
     use crate::describe::DataLocation;
+    use crate::scheduler::DataAwareScheduler;
     use pilot_infra::cloud::{CloudConfig, CloudProvider};
     use pilot_infra::hpc::{BackgroundLoad, HpcCluster, HpcConfig};
     use pilot_infra::htc::{HtcConfig, HtcPool};
@@ -793,7 +1031,10 @@ mod tests {
         let report = sys.run(SimTime::from_hours(3));
         assert_eq!(report.count(UnitState::Done), 32);
         let startup = report.pilots[0].times.startup_overhead().unwrap();
-        assert!((45.0..=90.0).contains(&startup), "boot window, got {startup}");
+        assert!(
+            (45.0..=90.0).contains(&startup),
+            "boot window, got {startup}"
+        );
     }
 
     #[test]
@@ -818,8 +1059,7 @@ mod tests {
         for _ in 0..8 {
             sys.submit_unit_fixed(
                 SimTime::from_secs(10),
-                UnitDescription::new(1)
-                    .with_inputs(vec![DataLocation::new(500_000_000, vec![b])]),
+                UnitDescription::new(1).with_inputs(vec![DataLocation::new(500_000_000, vec![b])]),
                 20.0,
             );
         }
@@ -916,6 +1156,186 @@ mod tests {
             startup.map(|s| s > 10.0).unwrap_or(false),
             "busy queue should delay the pilot, got {startup:?}"
         );
+    }
+
+    #[test]
+    fn injected_unit_faults_retry_to_completion() {
+        let mut sys = SimPilotSystem::new(11);
+        let site = sys.add_resource(quiet_hpc(16));
+        sys.set_fault_plan(FaultPlan::none().with_unit_failures(0.4));
+        sys.submit_pilot(
+            SimTime::ZERO,
+            site,
+            PilotDescription::new(8, SimDuration::from_hours(4)),
+        );
+        for _ in 0..24 {
+            sys.submit_unit_fixed(
+                SimTime::ZERO,
+                UnitDescription::new(1).with_retry(crate::retry::RetryPolicy::fixed(10, 1.0)),
+                20.0,
+            );
+        }
+        let report = sys.run(SimTime::from_hours(8));
+        assert_eq!(
+            report.count(UnitState::Done),
+            24,
+            "retries recover all units"
+        );
+        let rel = &report.reliability;
+        assert!(rel.injected_unit_faults > 0, "p=0.4 must inject faults");
+        assert_eq!(
+            rel.requeues, rel.injected_unit_faults,
+            "every fault retried"
+        );
+        assert!(rel.wasted_work_s > 0.0, "partial attempts waste work");
+        assert!(
+            rel.recoveries > 0 && rel.mean_recovery_s() >= 1.0,
+            "backoff bounds recovery"
+        );
+    }
+
+    #[test]
+    fn fail_fast_units_fail_terminally_under_faults() {
+        let mut sys = SimPilotSystem::new(12);
+        let site = sys.add_resource(quiet_hpc(16));
+        sys.set_fault_plan(FaultPlan::none().with_unit_failures(0.5));
+        sys.submit_pilot(
+            SimTime::ZERO,
+            site,
+            PilotDescription::new(8, SimDuration::from_hours(4)),
+        );
+        for _ in 0..24 {
+            // Default policy: one attempt, no retry.
+            sys.submit_unit_fixed(SimTime::ZERO, UnitDescription::new(1), 20.0);
+        }
+        let report = sys.run(SimTime::from_hours(8));
+        let failed = report.count(UnitState::Failed);
+        assert!(failed > 0, "fail-fast must surface failures");
+        assert_eq!(report.count(UnitState::Done) + failed, 24);
+        assert_eq!(report.reliability.exhausted_units, failed as u64);
+        assert_eq!(report.reliability.requeues, 0);
+    }
+
+    #[test]
+    fn pilot_crash_recovers_by_late_rebinding() {
+        let mut sys = SimPilotSystem::new(13);
+        let site = sys.add_resource(quiet_hpc(32));
+        // Crash roughly once a minute; a stream of replacement pilots keeps
+        // capacity coming.
+        sys.set_fault_plan(FaultPlan::none().with_pilot_crashes(60.0));
+        for i in 0..6 {
+            sys.submit_pilot(
+                SimTime::from_secs(i * 120),
+                site,
+                PilotDescription::new(8, SimDuration::from_hours(2)),
+            );
+        }
+        for _ in 0..16 {
+            sys.submit_unit_fixed(
+                SimTime::ZERO,
+                UnitDescription::new(1).with_retry(crate::retry::RetryPolicy::fixed(20, 0.5)),
+                30.0,
+            );
+        }
+        let report = sys.run(SimTime::from_hours(4));
+        assert!(
+            report.reliability.pilot_crashes > 0,
+            "MTBF 60 s must crash pilots"
+        );
+        assert_eq!(
+            report.count(UnitState::Done),
+            16,
+            "rebinding rescues all units"
+        );
+    }
+
+    #[test]
+    fn deadline_cuts_off_slow_units() {
+        let mut sys = SimPilotSystem::new(14);
+        let site = sys.add_resource(quiet_hpc(8));
+        sys.submit_pilot(
+            SimTime::ZERO,
+            site,
+            PilotDescription::new(4, SimDuration::from_hours(1)),
+        );
+        // 100 s unit with a 10 s deadline and no retry: fails at t≈start+10.
+        let u = sys.submit_unit_fixed(
+            SimTime::ZERO,
+            UnitDescription::new(1).with_deadline(10.0),
+            100.0,
+        );
+        let report = sys.run(SimTime::from_hours(1));
+        let rec = report.units.iter().find(|r| r.unit == u).unwrap();
+        assert_eq!(rec.state, UnitState::Failed);
+        assert_eq!(report.reliability.deadline_expirations, 1);
+        assert!((report.reliability.wasted_work_s - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_failures_blacklist_the_pilot() {
+        let mut sys = SimPilotSystem::new(15);
+        let site = sys.add_resource(quiet_hpc(16));
+        sys.set_fault_plan(FaultPlan::none().with_unit_failures(1.0).with_blacklist(3));
+        sys.submit_pilot(
+            SimTime::ZERO,
+            site,
+            PilotDescription::new(8, SimDuration::from_hours(1)),
+        );
+        for _ in 0..8 {
+            sys.submit_unit_fixed(
+                SimTime::ZERO,
+                UnitDescription::new(1).with_retry(crate::retry::RetryPolicy::fixed(4, 0.1)),
+                5.0,
+            );
+        }
+        let report = sys.run(SimTime::from_hours(1));
+        assert_eq!(report.reliability.blacklisted_pilots, 1);
+        assert!(
+            report.trace.of_kind("pilot.blacklisted").count() == 1,
+            "blacklisting is traced"
+        );
+        // Every unit fails with p=1 and the only pilot is blacklisted, so no
+        // unit can complete.
+        assert_eq!(report.count(UnitState::Done), 0);
+    }
+
+    #[test]
+    fn fault_injection_replays_byte_identically() {
+        let run = || {
+            let mut sys = SimPilotSystem::new(77);
+            let site = sys.add_resource(quiet_hpc(32));
+            sys.set_fault_plan(
+                FaultPlan::none()
+                    .with_unit_failures(0.3)
+                    .with_pilot_crashes(300.0)
+                    .with_staging_failures(0.1),
+            );
+            for i in 0..4 {
+                sys.submit_pilot(
+                    SimTime::from_secs(i * 60),
+                    site,
+                    PilotDescription::new(8, SimDuration::from_hours(2)),
+                );
+            }
+            for i in 0..32 {
+                sys.submit_unit(
+                    SimTime::from_secs(i),
+                    UnitDescription::new(1).with_retry(
+                        crate::retry::RetryPolicy::exponential(6, 0.5, 2.0, 30.0).with_jitter(0.3),
+                    ),
+                    Dist::exponential(40.0),
+                );
+            }
+            sys.run(SimTime::from_hours(6))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.reliability, b.reliability, "identical fault schedule");
+        assert_eq!(a.trace.len(), b.trace.len());
+        for (ua, ub) in a.units.iter().zip(b.units.iter()) {
+            assert_eq!(ua.unit, ub.unit);
+            assert_eq!(ua.state, ub.state);
+            assert_eq!(ua.times, ub.times, "unit {} times differ", ua.unit);
+        }
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub enum UnitState {
 impl PilotState {
     /// Whether this state is terminal.
     pub fn is_terminal(self) -> bool {
-        matches!(self, PilotState::Done | PilotState::Canceled | PilotState::Failed)
+        matches!(
+            self,
+            PilotState::Done | PilotState::Canceled | PilotState::Failed
+        )
     }
 
     /// Legal transition predicate.
@@ -71,11 +74,17 @@ impl PilotState {
 impl UnitState {
     /// Whether this state is terminal.
     pub fn is_terminal(self) -> bool {
-        matches!(self, UnitState::Done | UnitState::Failed | UnitState::Canceled)
+        matches!(
+            self,
+            UnitState::Done | UnitState::Failed | UnitState::Canceled
+        )
     }
 
     /// Legal transition predicate. `Assigned -> Pending` is legal: a unit is
     /// un-bound when its pilot dies before execution starts (retry path).
+    /// `Failed -> Pending` is the retry re-binding edge: a failed attempt
+    /// re-enters the late-binding queue when its `RetryPolicy` grants another
+    /// attempt, so `Failed` is terminal only once the budget is exhausted.
     pub fn can_transition_to(self, next: UnitState) -> bool {
         use UnitState::*;
         matches!(
@@ -97,6 +106,7 @@ impl UnitState {
                 | (Running, Done)
                 | (Running, Failed)
                 | (Running, Canceled)
+                | (Failed, Pending)
         )
     }
 }
@@ -164,13 +174,26 @@ mod tests {
                 }
             }
         }
+        // Unit exception: `Failed -> Pending` is the retry re-binding edge.
+        // Everything else out of a terminal unit state stays illegal.
         for s in UNIT_STATES {
             if s.is_terminal() {
                 for t in UNIT_STATES {
+                    if s == UnitState::Failed && t == UnitState::Pending {
+                        continue;
+                    }
                     assert!(!s.can_transition_to(t), "{s} -> {t} should be illegal");
                 }
             }
         }
+    }
+
+    #[test]
+    fn failed_units_can_reenter_the_queue_for_retry() {
+        assert!(UnitState::Failed.can_transition_to(UnitState::Pending));
+        assert!(!UnitState::Done.can_transition_to(UnitState::Pending));
+        assert!(!UnitState::Canceled.can_transition_to(UnitState::Pending));
+        assert!(!UnitState::Failed.can_transition_to(UnitState::Assigned));
     }
 
     #[test]
@@ -181,7 +204,14 @@ mod tests {
             assert!(w[0].can_transition_to(w[1]));
         }
         use UnitState as U;
-        let path = [U::New, U::Pending, U::Assigned, U::Staging, U::Running, U::Done];
+        let path = [
+            U::New,
+            U::Pending,
+            U::Assigned,
+            U::Staging,
+            U::Running,
+            U::Done,
+        ];
         for w in path.windows(2) {
             assert!(w[0].can_transition_to(w[1]));
         }
@@ -226,20 +256,24 @@ mod tests {
             false
         }
         for s in PILOT_STATES {
-            assert!(reaches_terminal(
-                s,
-                &PILOT_STATES,
-                |a, b| a.can_transition_to(b),
-                |x: PilotState| x.is_terminal()
-            ) || s.is_terminal());
+            assert!(
+                reaches_terminal(
+                    s,
+                    &PILOT_STATES,
+                    |a, b| a.can_transition_to(b),
+                    |x: PilotState| x.is_terminal()
+                ) || s.is_terminal()
+            );
         }
         for s in UNIT_STATES {
-            assert!(reaches_terminal(
-                s,
-                &UNIT_STATES,
-                |a, b| a.can_transition_to(b),
-                |x: UnitState| x.is_terminal()
-            ) || s.is_terminal());
+            assert!(
+                reaches_terminal(
+                    s,
+                    &UNIT_STATES,
+                    |a, b| a.can_transition_to(b),
+                    |x: UnitState| x.is_terminal()
+                ) || s.is_terminal()
+            );
         }
     }
 }

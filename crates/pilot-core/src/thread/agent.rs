@@ -16,6 +16,10 @@ use std::time::Instant;
 /// A unit handed to the agent for execution.
 pub(super) struct Assignment {
     pub unit: UnitId,
+    /// Attempt generation at bind time. Echoed in every report so the
+    /// manager can drop reports from attempts it already abandoned
+    /// (deadline expiry, pilot crash, retry).
+    pub gen: u64,
     pub cores: u32,
     pub kernel: Arc<dyn WorkKernel>,
     /// Set by the manager if the unit was canceled after binding; the worker
@@ -25,13 +29,22 @@ pub(super) struct Assignment {
 
 /// What a worker reports back to the manager loop.
 pub(super) enum AgentReport {
-    Started { unit: UnitId, t: f64 },
+    Started {
+        unit: UnitId,
+        gen: u64,
+        t: f64,
+    },
     Finished {
         unit: UnitId,
+        gen: u64,
         t: f64,
         result: Result<TaskOutput, TaskError>,
     },
-    Skipped { unit: UnitId, t: f64 },
+    Skipped {
+        unit: UnitId,
+        gen: u64,
+        t: f64,
+    },
 }
 
 enum Cmd {
@@ -49,12 +62,7 @@ pub(super) struct Agent {
 impl Agent {
     /// Spawn `cores` workers reporting to `report_tx` with timestamps
     /// relative to `epoch`.
-    pub fn new(
-        pilot: PilotId,
-        cores: u32,
-        epoch: Instant,
-        report_tx: Sender<AgentReport>,
-    ) -> Self {
+    pub fn new(pilot: PilotId, cores: u32, epoch: Instant, report_tx: Sender<AgentReport>) -> Self {
         let (tx, rx) = unbounded::<Cmd>();
         let workers = (0..cores.max(1))
             .map(|i| {
@@ -71,12 +79,14 @@ impl Agent {
                                     if a.cancel_flag.load(Ordering::Acquire) {
                                         let _ = report.send(AgentReport::Skipped {
                                             unit: a.unit,
+                                            gen: a.gen,
                                             t: now(),
                                         });
                                         continue;
                                     }
                                     let _ = report.send(AgentReport::Started {
                                         unit: a.unit,
+                                        gen: a.gen,
                                         t: now(),
                                     });
                                     let ctx = TaskCtx {
@@ -93,9 +103,7 @@ impl Agent {
                                                     .downcast_ref::<&str>()
                                                     .map(|s| s.to_string())
                                                     .or_else(|| {
-                                                        panic
-                                                            .downcast_ref::<String>()
-                                                            .cloned()
+                                                        panic.downcast_ref::<String>().cloned()
                                                     })
                                                     .unwrap_or_else(|| {
                                                         "kernel panicked".to_string()
@@ -105,6 +113,7 @@ impl Agent {
                                         };
                                     let _ = report.send(AgentReport::Finished {
                                         unit: a.unit,
+                                        gen: a.gen,
                                         t: now(),
                                         result,
                                     });
@@ -132,11 +141,22 @@ impl Agent {
         }
     }
 
-    /// Join all workers (after `stop`).
+    /// Join all workers (after `stop`). The manager tears down with
+    /// [`detach`](Self::detach) instead; joining is for tests that need the
+    /// workers provably drained.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn join(self) {
         for w in self.workers {
             let _ = w.join();
         }
+    }
+
+    /// Drop the worker handles without joining. The manager uses this
+    /// instead of `join` so a kernel that ignores its deadline (or a worker
+    /// stranded by a crashed pilot) cannot wedge teardown; idle workers
+    /// still exit on their queued `Stop` commands.
+    pub fn detach(self) {
+        drop(self.workers);
     }
 }
 
@@ -155,6 +175,7 @@ mod tests {
     fn assignment(unit: u64, kernel: Arc<dyn WorkKernel>) -> Assignment {
         Assignment {
             unit: UnitId(unit),
+            gen: 0,
             cores: 1,
             kernel,
             cancel_flag: Arc::new(AtomicBool::new(false)),
@@ -166,7 +187,13 @@ mod tests {
         let (agent, rx) = mk_agent(1);
         agent.submit(assignment(1, kernel_fn(|_| Ok(TaskOutput::of(42u32)))));
         let started = rx.recv().unwrap();
-        assert!(matches!(started, AgentReport::Started { unit: UnitId(1), .. }));
+        assert!(matches!(
+            started,
+            AgentReport::Started {
+                unit: UnitId(1),
+                ..
+            }
+        ));
         let finished = rx.recv().unwrap();
         match finished {
             AgentReport::Finished { unit, result, .. } => {
@@ -213,6 +240,7 @@ mod tests {
         let flag = Arc::new(AtomicBool::new(true));
         agent.submit(Assignment {
             unit: UnitId(9),
+            gen: 0,
             cores: 1,
             kernel: kernel_fn(|_| Ok(TaskOutput::of(1u8))),
             cancel_flag: flag,

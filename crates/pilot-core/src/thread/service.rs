@@ -6,12 +6,13 @@ use super::kernel::{TaskError, TaskOutput, WorkKernel};
 use crate::describe::{PilotDescription, UnitDescription};
 use crate::ids::{IdGen, PilotId, UnitId};
 use crate::metrics::{PilotTimes, UnitRecord, UnitTimes};
+use crate::retry::{streams, FailureTracker, FaultPlan, ReliabilityStats};
 use crate::scheduler::{PilotSnapshot, Scheduler, UnitRequest};
 use crate::state::{PilotState, UnitState};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use pilot_infra::types::SiteId;
-use pilot_sim::SimDuration;
+use pilot_sim::{SimDuration, SimRng};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -36,6 +37,8 @@ pub struct ServiceReport {
     pub units: Vec<UnitRecord>,
     /// Per-pilot: id, label, site, terminal state, timestamps.
     pub pilots: Vec<(PilotId, String, SiteId, PilotState, PilotTimes)>,
+    /// Reliability counters (attempts, requeues, wasted work, recovery).
+    pub reliability: ReliabilityStats,
 }
 
 impl ServiceReport {
@@ -64,6 +67,12 @@ enum Msg {
     },
     CancelPilot(PilotId),
     CancelUnit(UnitId),
+    /// Deadline timer fired for the given attempt generation.
+    UnitDeadline(UnitId, u64),
+    /// Backoff elapsed: a failed unit re-enters the late-binding queue.
+    RetryRelease(UnitId, u64),
+    /// Injected pilot crash from the fault plan.
+    PilotCrash(PilotId),
     Shutdown,
 }
 
@@ -88,6 +97,8 @@ struct RegInner {
     pilots: HashMap<PilotId, PilotPublic>,
     units: HashMap<UnitId, UnitPublic>,
     open_units: usize,
+    /// Written by the manager loop when it exits; read by `shutdown`.
+    rel: ReliabilityStats,
 }
 
 struct Registry {
@@ -125,6 +136,23 @@ struct UnitRt {
     state: UnitState,
     pilot: Option<PilotId>,
     cancel_flag: Arc<AtomicBool>,
+    /// Bumped whenever the manager abandons the current attempt (retry,
+    /// deadline, pilot crash); agent reports with stale generations are
+    /// dropped.
+    generation: u64,
+    /// Failed execution attempts so far (charged against `desc.retry`).
+    attempts: u32,
+    /// When the last failed attempt happened; consumed at the next bind to
+    /// measure time-to-recovery.
+    failed_at: Option<f64>,
+    /// When the current attempt started running (for wasted-work accounting).
+    started_at: Option<f64>,
+    /// Fault plan verdict for the current attempt, drawn at bind time: a
+    /// doomed attempt runs to completion but its result is replaced with an
+    /// injected fault (a kernel cannot be aborted mid-run on real threads).
+    doomed: bool,
+    /// A backoff timer is armed; the unit is `Failed` but not terminal.
+    retry_pending: bool,
 }
 
 /// Real-execution Pilot-API service. See the [module docs](super).
@@ -133,17 +161,26 @@ pub struct ThreadPilotService {
     registry: Arc<Registry>,
     manager: Option<JoinHandle<()>>,
     ids: IdGen,
+    epoch: Instant,
 }
 
 impl ThreadPilotService {
     /// Start a service with the given late-binding scheduler.
     pub fn new(scheduler: Box<dyn Scheduler>) -> Self {
+        Self::with_faults(scheduler, FaultPlan::none(), 0)
+    }
+
+    /// Start a service with a deterministic fault-injection plan. All fault
+    /// draws come from RNG streams derived from `seed`, so the injected
+    /// schedule replays identically (execution timings remain wall-clock).
+    pub fn with_faults(scheduler: Box<dyn Scheduler>, faults: FaultPlan, seed: u64) -> Self {
         let (tx, rx) = unbounded::<Msg>();
         let (report_tx, report_rx) = unbounded::<AgentReport>();
         let registry = Arc::new(Registry {
             inner: Mutex::new(RegInner::default()),
             cv: Condvar::new(),
         });
+        let epoch = Instant::now();
         let mgr_registry = Arc::clone(&registry);
         let self_tx = tx.clone();
         let manager = std::thread::Builder::new()
@@ -155,10 +192,14 @@ impl ThreadPilotService {
                     units: HashMap::new(),
                     pending: Vec::new(),
                     registry: mgr_registry,
-                    epoch: Instant::now(),
+                    epoch,
                     self_tx,
                     report_tx,
                     shutting_down: false,
+                    faults,
+                    rng: SimRng::new(seed),
+                    tracker: FailureTracker::new(faults.blacklist_after),
+                    rel: ReliabilityStats::default(),
                 }
                 .run(rx, report_rx)
             })
@@ -168,6 +209,7 @@ impl ThreadPilotService {
             registry,
             manager: Some(manager),
             ids: IdGen::new(),
+            epoch,
         }
     }
 
@@ -180,6 +222,22 @@ impl ThreadPilotService {
     /// scheduling in the threaded backend — all execution is local).
     pub fn submit_pilot_at(&self, desc: PilotDescription, site: SiteId) -> PilotId {
         let id = self.ids.pilot();
+        // Register a placeholder synchronously so waits on this id observe
+        // "known, pending" rather than "unknown" before the manager catches
+        // up (wait_pilot_active returns false for genuinely unknown ids).
+        let now = self.epoch.elapsed().as_secs_f64();
+        let label = desc.label.clone();
+        self.registry.update(|r| {
+            r.pilots.entry(id).or_insert(PilotPublic {
+                state: PilotState::New,
+                times: PilotTimes {
+                    submitted: now,
+                    ..Default::default()
+                },
+                site,
+                label,
+            });
+        });
         let _ = self.tx.send(Msg::SubmitPilot { id, desc, site });
         id
     }
@@ -189,8 +247,24 @@ impl ThreadPilotService {
         let id = self.ids.unit();
         // Count the unit as open *here*, on the caller thread, so a
         // wait_all_units() racing ahead of the manager loop cannot observe
-        // zero open units before this submission is processed.
-        self.registry.update(|r| r.open_units += 1);
+        // zero open units before this submission is processed. The
+        // placeholder entry likewise makes wait_unit block on the unit
+        // instead of reporting it unknown.
+        let now = self.epoch.elapsed().as_secs_f64();
+        let tag = desc.tag.clone();
+        self.registry.update(|r| {
+            r.open_units += 1;
+            r.units.entry(id).or_insert(UnitPublic {
+                state: UnitState::New,
+                times: UnitTimes {
+                    submitted: now,
+                    ..Default::default()
+                },
+                pilot: None,
+                tag,
+                output: None,
+            });
+        });
         let _ = self.tx.send(Msg::SubmitUnit { id, desc, kernel });
         id
     }
@@ -217,32 +291,40 @@ impl ThreadPilotService {
     }
 
     /// Block until the pilot leaves `Pending`; true iff it became `Active`.
+    /// Returns `false` immediately for ids this service never issued —
+    /// waiting on an unknown pilot no longer blocks forever.
     pub fn wait_pilot_active(&self, id: PilotId) -> bool {
         let mut g = self.registry.inner.lock();
         loop {
             match g.pilots.get(&id).map(|p| p.state) {
                 Some(PilotState::Active) => return true,
                 Some(s) if s.is_terminal() => return false,
+                None => return false,
                 _ => self.registry.cv.wait(&mut g),
             }
         }
     }
 
     /// Block until the unit is terminal; returns its outcome (output is
-    /// *taken* — a second wait returns `output: None`).
-    pub fn wait_unit(&self, id: UnitId) -> UnitOutcome {
+    /// *taken* — a second wait returns `output: None`). Returns `None`
+    /// immediately for ids this service never issued — waiting on an
+    /// unknown unit no longer blocks forever.
+    pub fn wait_unit(&self, id: UnitId) -> Option<UnitOutcome> {
         let mut g = self.registry.inner.lock();
         loop {
-            if let Some(u) = g.units.get_mut(&id) {
-                if u.state.is_terminal() {
-                    return UnitOutcome {
+            match g.units.get_mut(&id) {
+                None => return None,
+                // `Failed` without a finish time is a retry in backoff, not
+                // a terminal outcome — keep waiting.
+                Some(u) if u.state.is_terminal() && u.times.finished.is_some() => {
+                    return Some(UnitOutcome {
                         state: u.state,
                         times: u.times,
                         output: u.output.take(),
-                    };
+                    });
                 }
+                _ => self.registry.cv.wait(&mut g),
             }
-            self.registry.cv.wait(&mut g);
         }
     }
 
@@ -291,7 +373,11 @@ impl ThreadPilotService {
             .iter()
             .map(|(&id, p)| (id, p.label.clone(), p.site, p.state, p.times))
             .collect();
-        ServiceReport { units, pilots }
+        ServiceReport {
+            units,
+            pilots,
+            reliability: g.rel.clone(),
+        }
     }
 }
 
@@ -314,6 +400,10 @@ struct Mgr {
     self_tx: Sender<Msg>,
     report_tx: Sender<AgentReport>,
     shutting_down: bool,
+    faults: FaultPlan,
+    rng: SimRng,
+    tracker: FailureTracker,
+    rel: ReliabilityStats,
 }
 
 impl Mgr {
@@ -336,13 +426,19 @@ impl Mgr {
                 break;
             }
         }
-        // Tear down agents.
+        // Tear down agents. Detach instead of join: a kernel that ignored
+        // its deadline may still occupy a worker, and joining it would wedge
+        // shutdown — the drain gate (`all_quiet`) already guaranteed no
+        // accounted work remains.
         for (_, p) in self.pilots.iter_mut() {
             if let Some(agent) = p.agent.take() {
                 agent.stop();
-                agent.join();
+                agent.detach();
             }
         }
+        // Publish the reliability counters for the final report.
+        let rel = self.rel.clone();
+        self.registry.update(|r| r.rel = rel);
     }
 
     fn all_quiet(&self) -> bool {
@@ -357,6 +453,9 @@ impl Mgr {
             Msg::SubmitUnit { id, desc, kernel } => self.submit_unit(id, desc, kernel),
             Msg::CancelPilot(id) => self.teardown_pilot(id, PilotState::Canceled),
             Msg::CancelUnit(id) => self.cancel_unit(id),
+            Msg::UnitDeadline(id, gen) => self.unit_deadline(id, gen),
+            Msg::RetryRelease(id, gen) => self.release_retry(id, gen),
+            Msg::PilotCrash(id) => self.crash_pilot(id),
             Msg::Shutdown => self.begin_shutdown(),
         }
     }
@@ -423,6 +522,20 @@ impl Mgr {
                 let _ = tx.send(Msg::PilotExpired(id));
             });
         }
+        // Arm the injected crash clock: one exponential draw from a stream
+        // keyed by pilot id, so the same seed schedules the same crashes
+        // (subject to wall-clock jitter in when the timer actually lands).
+        if let Some(mtbf) = self.faults.pilot_crash_mtbf_s {
+            let ttf = self
+                .rng
+                .stream(streams::keyed(streams::PILOT_CRASH, id.0, 0))
+                .exponential(mtbf);
+            let tx = self.self_tx.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_secs_f64(ttf));
+                let _ = tx.send(Msg::PilotCrash(id));
+            });
+        }
         self.registry.update(|r| {
             if let Some(pp) = r.pilots.get_mut(&id) {
                 pp.state = PilotState::Active;
@@ -465,6 +578,12 @@ impl Mgr {
                 state: UnitState::Pending,
                 pilot: None,
                 cancel_flag: Arc::new(AtomicBool::new(false)),
+                generation: 0,
+                attempts: 0,
+                failed_at: None,
+                started_at: None,
+                doomed: false,
+                retry_pending: false,
             },
         );
         self.pending.push(id);
@@ -499,9 +618,10 @@ impl Mgr {
             let snapshots: Vec<PilotSnapshot> = self
                 .pilots
                 .iter()
-                .filter(|(_, p)| {
-                    (p.state == PilotState::Active && p.accepting)
-                        || p.state == PilotState::Pending
+                .filter(|(id, p)| {
+                    ((p.state == PilotState::Active && p.accepting)
+                        || p.state == PilotState::Pending)
+                        && !self.tracker.is_blacklisted(**id)
                 })
                 .map(|(&id, p)| PilotSnapshot {
                     pilot: id,
@@ -549,7 +669,10 @@ impl Mgr {
     fn bind(&mut self, uid: UnitId, pid: PilotId) {
         let now = self.now();
         let unit = self.units.get_mut(&uid).expect("pending unit exists");
-        let p = self.pilots.get_mut(&pid).expect("scheduler returned live pilot");
+        let p = self
+            .pilots
+            .get_mut(&pid)
+            .expect("scheduler returned live pilot");
         assert!(
             p.free_cores >= unit.desc.cores,
             "scheduler over-committed pilot {pid}"
@@ -558,13 +681,35 @@ impl Mgr {
         p.bound += 1;
         unit.state = UnitState::Assigned;
         unit.pilot = Some(pid);
+        // A bind following a failed attempt completes a recovery.
+        if let Some(f) = unit.failed_at.take() {
+            self.rel.recovery_s += now - f;
+            self.rel.recoveries += 1;
+        }
+        // Draw the fault-plan verdict for this attempt up front: a doomed
+        // kernel runs (wasting its wall-clock work) but reports an injected
+        // fault instead of its result.
+        let mut fault_rng =
+            self.rng
+                .stream(streams::keyed(streams::UNIT_FAULT, uid.0, unit.attempts));
+        let unit = self.units.get_mut(&uid).expect("pending unit exists");
+        unit.doomed =
+            self.faults.unit_failure_p > 0.0 && fault_rng.bool(self.faults.unit_failure_p);
         let assignment = Assignment {
             unit: uid,
+            gen: unit.generation,
             cores: unit.desc.cores,
             kernel: Arc::clone(&unit.kernel),
             cancel_flag: Arc::clone(&unit.cancel_flag),
         };
-        p.agent.as_ref().expect("active pilot has agent").submit(assignment);
+        let p = self
+            .pilots
+            .get_mut(&pid)
+            .expect("scheduler returned live pilot");
+        p.agent
+            .as_ref()
+            .expect("active pilot has agent")
+            .submit(assignment);
         self.registry.update(|r| {
             if let Some(u) = r.units.get_mut(&uid) {
                 u.state = UnitState::Assigned;
@@ -576,9 +721,23 @@ impl Mgr {
 
     fn on_report(&mut self, rep: AgentReport) {
         match rep {
-            AgentReport::Started { unit, t } => {
-                if let Some(u) = self.units.get_mut(&unit) {
-                    u.state = UnitState::Running;
+            AgentReport::Started { unit, gen, t } => {
+                let Some(u) = self.units.get_mut(&unit) else {
+                    return;
+                };
+                if u.generation != gen {
+                    return; // attempt already abandoned
+                }
+                u.state = UnitState::Running;
+                u.started_at = Some(t);
+                self.rel.attempts += 1;
+                // Arm the per-attempt execution deadline.
+                if let Some(deadline_s) = u.desc.deadline_s {
+                    let tx = self.self_tx.clone();
+                    std::thread::spawn(move || {
+                        std::thread::sleep(Duration::from_secs_f64(deadline_s));
+                        let _ = tx.send(Msg::UnitDeadline(unit, gen));
+                    });
                 }
                 self.registry.update(|r| {
                     if let Some(u) = r.units.get_mut(&unit) {
@@ -587,18 +746,210 @@ impl Mgr {
                     }
                 });
             }
-            AgentReport::Finished { unit, t, result } => {
-                let state = if result.is_ok() {
-                    UnitState::Done
-                } else {
-                    UnitState::Failed
+            AgentReport::Finished {
+                unit,
+                gen,
+                t,
+                result,
+            } => {
+                let Some(u) = self.units.get_mut(&unit) else {
+                    return;
                 };
-                self.finish_unit(unit, t, state, Some(result));
+                if u.generation != gen {
+                    return; // attempt already abandoned
+                }
+                let mut result = result;
+                if u.doomed && result.is_ok() {
+                    self.rel.injected_unit_faults += 1;
+                    result = Err(TaskError("injected fault".into()));
+                }
+                if result.is_ok() {
+                    if let Some(pid) = u.pilot {
+                        self.tracker.record_success(pid);
+                    }
+                    self.finish_unit(unit, t, UnitState::Done, Some(result));
+                } else {
+                    self.fail_attempt(unit, t, Some(result));
+                }
             }
-            AgentReport::Skipped { unit, t } => {
+            AgentReport::Skipped { unit, gen, t } => {
+                let stale = self.units.get(&unit).is_none_or(|u| u.generation != gen);
+                if stale {
+                    return;
+                }
                 self.finish_unit(unit, t, UnitState::Canceled, None);
             }
         }
+    }
+
+    /// One execution attempt failed (kernel error, injected fault, deadline
+    /// expiry, or pilot crash mid-run). Charges the retry budget and either
+    /// arms a backoff timer for a `Failed → Pending` re-bind or fails the
+    /// unit terminally once the budget is exhausted.
+    fn fail_attempt(&mut self, uid: UnitId, t: f64, output: Option<Result<TaskOutput, TaskError>>) {
+        let Some(u) = self.units.get_mut(&uid) else {
+            return;
+        };
+        u.generation += 1;
+        u.attempts += 1;
+        u.state = UnitState::Failed;
+        u.doomed = false;
+        if let Some(s) = u.started_at.take() {
+            self.rel.wasted_work_s += t - s;
+        }
+        let pilot = u.pilot.take();
+        let cores = u.desc.cores;
+        let retry = u.desc.retry;
+        let attempts = u.attempts;
+        let gen = u.generation;
+        if let Some(pid) = pilot {
+            if let Some(p) = self.pilots.get_mut(&pid) {
+                if p.state == PilotState::Active {
+                    p.free_cores += cores;
+                }
+                p.bound = p.bound.saturating_sub(1);
+            }
+            if self.tracker.record_failure(pid) {
+                self.rel.blacklisted_pilots += 1;
+            }
+        }
+        if !self.shutting_down && retry.allows_retry(attempts) {
+            self.rel.requeues += 1;
+            let u = self.units.get_mut(&uid).expect("unit exists");
+            u.failed_at = Some(t);
+            u.retry_pending = true;
+            let mut jitter =
+                self.rng
+                    .stream(streams::keyed(streams::BACKOFF_JITTER, uid.0, attempts));
+            let delay = retry.delay_s(attempts, &mut jitter);
+            // Publicly the unit shows `Failed` during backoff, but without a
+            // finish time — `wait_unit` keeps blocking until a terminal
+            // attempt actually finishes.
+            self.registry.update(|r| {
+                if let Some(up) = r.units.get_mut(&uid) {
+                    up.state = UnitState::Failed;
+                    up.pilot = None;
+                    up.times.bound = None;
+                    up.times.started = None;
+                }
+            });
+            let tx = self.self_tx.clone();
+            if delay > 0.0 {
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_secs_f64(delay));
+                    let _ = tx.send(Msg::RetryRelease(uid, gen));
+                });
+            } else {
+                let _ = tx.send(Msg::RetryRelease(uid, gen));
+            }
+        } else {
+            self.rel.exhausted_units += 1;
+            self.registry.update(|r| {
+                if let Some(up) = r.units.get_mut(&uid) {
+                    up.state = UnitState::Failed;
+                    up.times.finished = Some(t);
+                    up.output = output;
+                }
+                r.open_units -= 1;
+            });
+        }
+        if let Some(pid) = pilot {
+            self.maybe_finalize_pilot(pid);
+        }
+        self.schedule();
+    }
+
+    /// Deadline timer fired: if the attempt it belongs to is still running,
+    /// abandon it (the kernel keeps its worker until it returns, but its
+    /// report will be dropped by the generation guard).
+    fn unit_deadline(&mut self, uid: UnitId, gen: u64) {
+        let Some(u) = self.units.get(&uid) else {
+            return;
+        };
+        if u.generation != gen || u.state != UnitState::Running {
+            return;
+        }
+        self.rel.deadline_expirations += 1;
+        let t = self.now();
+        self.fail_attempt(uid, t, Some(Err(TaskError("deadline exceeded".into()))));
+    }
+
+    /// Backoff elapsed: the retry edge, `Failed → Pending`, back into the
+    /// late-binding queue.
+    fn release_retry(&mut self, uid: UnitId, gen: u64) {
+        let Some(u) = self.units.get_mut(&uid) else {
+            return;
+        };
+        if u.generation != gen || !u.retry_pending {
+            return;
+        }
+        u.retry_pending = false;
+        u.state = UnitState::Pending;
+        self.pending.push(uid);
+        self.registry.update(|r| {
+            if let Some(up) = r.units.get_mut(&uid) {
+                up.state = UnitState::Pending;
+            }
+        });
+        self.schedule();
+    }
+
+    /// Injected pilot crash: the pilot is lost immediately. Running units
+    /// lose their attempt (retry budget applies); assigned-but-not-started
+    /// units re-enter the queue for free.
+    fn crash_pilot(&mut self, pid: PilotId) {
+        let Some(p) = self.pilots.get_mut(&pid) else {
+            return;
+        };
+        if p.state != PilotState::Active {
+            return;
+        }
+        p.state = PilotState::Failed;
+        p.accepting = false;
+        p.free_cores = 0;
+        p.bound = 0;
+        if let Some(agent) = p.agent.take() {
+            agent.stop();
+            agent.detach();
+        }
+        self.rel.pilot_crashes += 1;
+        let now = self.now();
+        self.registry.update(|r| {
+            if let Some(pp) = r.pilots.get_mut(&pid) {
+                pp.state = PilotState::Failed;
+                pp.times.finished = Some(now);
+            }
+        });
+        let mut bound: Vec<(UnitId, UnitState)> = self
+            .units
+            .iter()
+            .filter(|(_, u)| {
+                u.pilot == Some(pid) && matches!(u.state, UnitState::Assigned | UnitState::Running)
+            })
+            .map(|(&id, u)| (id, u.state))
+            .collect();
+        bound.sort_by_key(|(u, _)| u.0);
+        for (uid, state) in bound {
+            if state == UnitState::Running {
+                self.fail_attempt(uid, now, Some(Err(TaskError("pilot crash".into()))));
+            } else {
+                // Planned re-bind: no work lost, not charged against retries.
+                let u = self.units.get_mut(&uid).expect("bound unit exists");
+                u.state = UnitState::Pending;
+                u.pilot = None;
+                u.generation += 1;
+                self.pending.push(uid);
+                self.rel.rebinds += 1;
+                self.registry.update(|r| {
+                    if let Some(up) = r.units.get_mut(&uid) {
+                        up.state = UnitState::Pending;
+                        up.pilot = None;
+                        up.times.bound = None;
+                    }
+                });
+            }
+        }
+        self.schedule();
     }
 
     fn finish_unit(
@@ -668,8 +1019,9 @@ impl Mgr {
             p.state = to;
             if let Some(agent) = p.agent.take() {
                 agent.stop();
-                // Joining here is safe: the agent has no queued work left.
-                agent.join();
+                // Detach, don't join: a deadline-abandoned kernel may still
+                // hold a worker even though the pilot's accounting is clear.
+                agent.detach();
             }
             let now = self.now();
             self.registry.update(|r| {
@@ -702,14 +1054,36 @@ impl Mgr {
                 // The agent will observe the flag and skip.
                 u.cancel_flag.store(true, Ordering::Release);
             }
+            UnitState::Failed if u.retry_pending => {
+                // Waiting out a backoff timer: cancel the retry.
+                u.retry_pending = false;
+                u.generation += 1;
+                u.state = UnitState::Canceled;
+                let now = self.now();
+                self.registry.update(|r| {
+                    if let Some(up) = r.units.get_mut(&uid) {
+                        up.state = UnitState::Canceled;
+                        up.times.finished = Some(now);
+                    }
+                    r.open_units -= 1;
+                });
+            }
             _ => {} // running or terminal: cooperative semantics, no-op
         }
     }
 
     fn begin_shutdown(&mut self) {
         self.shutting_down = true;
-        // Cancel everything still pending.
-        let pending = std::mem::take(&mut self.pending);
+        // Cancel everything still pending, including units waiting out a
+        // retry backoff (their timers fire into a closed generation).
+        let mut pending = std::mem::take(&mut self.pending);
+        for (&uid, u) in self.units.iter_mut() {
+            if u.retry_pending {
+                u.retry_pending = false;
+                u.generation += 1;
+                pending.push(uid);
+            }
+        }
         let now = self.now();
         for uid in pending {
             if let Some(u) = self.units.get_mut(&uid) {
@@ -734,6 +1108,7 @@ impl Mgr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::retry::RetryPolicy;
     use crate::scheduler::{FirstFitScheduler, LoadBalanceScheduler};
     use crate::thread::kernel::{kernel_fn, SyntheticKernel, TaskOutput};
 
@@ -754,7 +1129,7 @@ mod tests {
             UnitDescription::new(1),
             kernel_fn(|ctx| Ok(TaskOutput::of(ctx.cores + 41))),
         );
-        let out = s.wait_unit(u);
+        let out = s.wait_unit(u).unwrap();
         assert_eq!(out.state, UnitState::Done);
         assert_eq!(out.output.unwrap().unwrap().downcast::<u32>(), Some(42));
         assert!(out.times.turnaround().unwrap() >= 0.0);
@@ -776,7 +1151,7 @@ mod tests {
         assert_eq!(s.unit_state(u), Some(UnitState::Pending));
         // Pilot arrives; unit binds and completes.
         let _p = s.submit_pilot(PilotDescription::new(1, forever()));
-        let out = s.wait_unit(u);
+        let out = s.wait_unit(u).unwrap();
         assert_eq!(out.state, UnitState::Done);
         assert!(
             out.times.wait().unwrap() >= 0.025,
@@ -802,7 +1177,7 @@ mod tests {
             UnitDescription::new(1),
             kernel_fn(|_| Err(TaskError("deliberate".into()))),
         );
-        let out = s.wait_unit(u);
+        let out = s.wait_unit(u).unwrap();
         assert_eq!(out.state, UnitState::Failed);
         assert_eq!(out.output.unwrap().unwrap_err().0, "deliberate");
     }
@@ -812,14 +1187,14 @@ mod tests {
         let s = svc();
         s.submit_pilot(PilotDescription::new(1, forever()));
         let bad = s.submit_unit(UnitDescription::new(1), kernel_fn(|_| panic!("chaos")));
-        let out = s.wait_unit(bad);
+        let out = s.wait_unit(bad).unwrap();
         assert_eq!(out.state, UnitState::Failed);
         // Pilot still works.
         let good = s.submit_unit(
             UnitDescription::new(1),
             kernel_fn(|_| Ok(TaskOutput::of(1u8))),
         );
-        assert_eq!(s.wait_unit(good).state, UnitState::Done);
+        assert_eq!(s.wait_unit(good).unwrap().state, UnitState::Done);
     }
 
     #[test]
@@ -849,7 +1224,7 @@ mod tests {
             })
             .collect();
         for u in units {
-            assert_eq!(s.wait_unit(u).state, UnitState::Done);
+            assert_eq!(s.wait_unit(u).unwrap().state, UnitState::Done);
         }
         assert!(peak.load(Ordering::SeqCst) <= 2, "over-committed");
         assert_eq!(peak.load(Ordering::SeqCst), 2, "should use both cores");
@@ -870,7 +1245,7 @@ mod tests {
             kernel_fn(|_| Ok(TaskOutput::none())),
         );
         s.wait_unit(wide);
-        let out = s.wait_unit(narrow);
+        let out = s.wait_unit(narrow).unwrap();
         assert!(
             out.times.started.unwrap() >= 0.05 - 0.005,
             "narrow unit must wait for the wide one, started at {:?} (t0 {:?})",
@@ -889,7 +1264,7 @@ mod tests {
         );
         std::thread::sleep(Duration::from_millis(20));
         s.cancel_unit(u);
-        let out = s.wait_unit(u);
+        let out = s.wait_unit(u).unwrap();
         assert_eq!(out.state, UnitState::Canceled);
         assert!(out.output.is_none());
     }
@@ -903,7 +1278,7 @@ mod tests {
             UnitDescription::new(1),
             Arc::new(SyntheticKernel::new(0.02)),
         );
-        assert_eq!(s.wait_unit(u).state, UnitState::Done);
+        assert_eq!(s.wait_unit(u).unwrap().state, UnitState::Done);
         // After expiry the pilot is Done and accepts nothing.
         std::thread::sleep(Duration::from_millis(150));
         assert_eq!(s.pilot_state(p), Some(PilotState::Done));
@@ -969,8 +1344,8 @@ mod tests {
             kernel_fn(|_| Ok(TaskOutput::none())),
         );
         s.wait_unit(blocker);
-        let high_out = s.wait_unit(high);
-        let low_out = s.wait_unit(low);
+        let high_out = s.wait_unit(high).unwrap();
+        let low_out = s.wait_unit(low).unwrap();
         assert!(
             high_out.times.started.unwrap() <= low_out.times.started.unwrap(),
             "high priority must run first"
@@ -1004,10 +1379,170 @@ mod tests {
         }
         let report = s.shutdown();
         assert_eq!(report.units.len(), 3);
-        assert!(report
-            .units
-            .iter()
-            .all(|u| u.state == UnitState::Canceled));
+        assert!(report.units.iter().all(|u| u.state == UnitState::Canceled));
+    }
+
+    #[test]
+    fn waiting_on_unknown_ids_returns_immediately() {
+        let s = svc();
+        assert!(s.wait_unit(UnitId(9999)).is_none());
+        assert!(!s.wait_pilot_active(PilotId(9999)));
+    }
+
+    #[test]
+    fn retry_policy_recovers_transient_kernel_failure() {
+        use std::sync::atomic::AtomicU32;
+        let s = svc();
+        s.submit_pilot(PilotDescription::new(1, forever()));
+        let tries = Arc::new(AtomicU32::new(0));
+        let t = Arc::clone(&tries);
+        let u = s.submit_unit(
+            UnitDescription::new(1).with_retry(RetryPolicy::fixed(4, 0.01)),
+            kernel_fn(move |_| {
+                if t.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(TaskError("transient".into()))
+                } else {
+                    Ok(TaskOutput::of(7u8))
+                }
+            }),
+        );
+        let out = s.wait_unit(u).unwrap();
+        assert_eq!(out.state, UnitState::Done);
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+        let report = s.shutdown();
+        assert_eq!(report.reliability.attempts, 3);
+        assert_eq!(report.reliability.requeues, 2);
+        assert_eq!(report.reliability.exhausted_units, 0);
+        assert!(
+            report.reliability.recoveries >= 1,
+            "rebinds count as recoveries"
+        );
+    }
+
+    #[test]
+    fn retry_backoff_is_visible_as_nonterminal_failed() {
+        use std::sync::atomic::AtomicU32;
+        let s = svc();
+        s.submit_pilot(PilotDescription::new(1, forever()));
+        let tries = Arc::new(AtomicU32::new(0));
+        let t = Arc::clone(&tries);
+        let u = s.submit_unit(
+            UnitDescription::new(1).with_retry(RetryPolicy::fixed(2, 0.25)),
+            kernel_fn(move |_| {
+                if t.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Err(TaskError("first attempt".into()))
+                } else {
+                    Ok(TaskOutput::none())
+                }
+            }),
+        );
+        // During the 250 ms backoff the unit shows Failed but wait_unit must
+        // keep blocking (no finish time yet).
+        let mut saw_backoff = false;
+        for _ in 0..100 {
+            if s.unit_state(u) == Some(UnitState::Failed) {
+                saw_backoff = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(saw_backoff, "backoff window should be observable");
+        assert_eq!(s.wait_unit(u).unwrap().state, UnitState::Done);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_terminal_failed() {
+        let s = svc();
+        s.submit_pilot(PilotDescription::new(1, forever()));
+        let u = s.submit_unit(
+            UnitDescription::new(1).with_retry(RetryPolicy::fixed(2, 0.005)),
+            kernel_fn(|_| Err(TaskError("always".into()))),
+        );
+        let out = s.wait_unit(u).unwrap();
+        assert_eq!(out.state, UnitState::Failed);
+        let report = s.shutdown();
+        assert_eq!(report.reliability.attempts, 2);
+        assert_eq!(report.reliability.requeues, 1);
+        assert_eq!(report.reliability.exhausted_units, 1);
+    }
+
+    #[test]
+    fn deadline_expiry_fails_the_attempt() {
+        let s = svc();
+        s.submit_pilot(PilotDescription::new(1, forever()));
+        let u = s.submit_unit(
+            UnitDescription::new(1).with_deadline(0.05),
+            Arc::new(SyntheticKernel::new(0.5)),
+        );
+        let out = s.wait_unit(u).unwrap();
+        assert_eq!(out.state, UnitState::Failed);
+        let err = out.output.unwrap().unwrap_err();
+        assert!(err.0.contains("deadline"), "{err}");
+        let report = s.shutdown();
+        assert_eq!(report.reliability.deadline_expirations, 1);
+        assert!(report.reliability.wasted_work_s > 0.0);
+    }
+
+    #[test]
+    fn pilot_crash_fails_running_units_and_frees_the_queue() {
+        let s = ThreadPilotService::with_faults(
+            Box::new(FirstFitScheduler),
+            FaultPlan::none().with_pilot_crashes(0.02),
+            3,
+        );
+        let p = s.submit_pilot(PilotDescription::new(1, forever()));
+        assert!(s.wait_pilot_active(p));
+        // Occupies the only core well past the crash clock.
+        let victim = s.submit_unit(UnitDescription::new(1), Arc::new(SyntheticKernel::new(5.0)));
+        let out = s.wait_unit(victim).unwrap();
+        assert_eq!(out.state, UnitState::Failed);
+        assert!(out.output.unwrap().unwrap_err().0.contains("pilot crash"));
+        assert_eq!(s.pilot_state(p), Some(PilotState::Failed));
+        // A fresh pilot keeps the service usable; an instant unit with a
+        // retry budget completes even if the new pilot crashes later.
+        let p2 = s.submit_pilot(PilotDescription::new(1, forever()));
+        assert!(s.wait_pilot_active(p2));
+        let next = s.submit_unit(
+            UnitDescription::new(1).with_retry(RetryPolicy::fixed(5, 0.005)),
+            kernel_fn(|_| Ok(TaskOutput::of(1u8))),
+        );
+        assert_eq!(s.wait_unit(next).unwrap().state, UnitState::Done);
+        let report = s.shutdown();
+        assert!(report.reliability.pilot_crashes >= 1);
+        assert!(
+            report.reliability.wasted_work_s > 0.0,
+            "victim's run was wasted"
+        );
+    }
+
+    #[test]
+    fn blacklist_quarantines_repeatedly_failing_pilot() {
+        let s = ThreadPilotService::with_faults(
+            Box::new(FirstFitScheduler),
+            FaultPlan::none().with_unit_failures(1.0).with_blacklist(2),
+            11,
+        );
+        let p = s.submit_pilot(PilotDescription::new(1, forever()));
+        assert!(s.wait_pilot_active(p));
+        for _ in 0..2 {
+            let u = s.submit_unit(
+                UnitDescription::new(1),
+                kernel_fn(|_| Ok(TaskOutput::none())),
+            );
+            assert_eq!(s.wait_unit(u).unwrap().state, UnitState::Failed);
+        }
+        // Two consecutive injected failures blacklisted the pilot: new units
+        // can no longer bind to it.
+        let stuck = s.submit_unit(
+            UnitDescription::new(1),
+            kernel_fn(|_| Ok(TaskOutput::none())),
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(s.unit_state(stuck), Some(UnitState::Pending));
+        s.cancel_unit(stuck);
+        let report = s.shutdown();
+        assert_eq!(report.reliability.blacklisted_pilots, 1);
+        assert_eq!(report.reliability.injected_unit_faults, 2);
     }
 
     #[test]

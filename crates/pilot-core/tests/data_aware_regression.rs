@@ -13,11 +13,19 @@ use pilot_sim::{SimDuration, SimTime};
 #[test]
 fn data_aware_delay_scheduling_avoids_remote_staging() {
     let mut sys = SimPilotSystem::new(0xAD1);
-    let a = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet("a", 64))));
-    let b = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet("b", 64))));
+    let a = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet(
+        "a", 64,
+    ))));
+    let b = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet(
+        "b", 64,
+    ))));
     sys.set_scheduler(Box::new(DataAwareScheduler));
     for site in [a, b] {
-        sys.submit_pilot(SimTime::ZERO, site, PilotDescription::new(16, SimDuration::from_hours(12)));
+        sys.submit_pilot(
+            SimTime::ZERO,
+            site,
+            PilotDescription::new(16, SimDuration::from_hours(12)),
+        );
     }
     for i in 0..40 {
         let home = if i % 2 == 0 { a } else { b };
@@ -28,7 +36,11 @@ fn data_aware_delay_scheduling_avoids_remote_staging() {
         );
     }
     let report = sys.run(SimTime::from_hours(48));
-    let stagings: Vec<f64> = report.units.iter().filter_map(|u| u.times.staging()).collect();
+    let stagings: Vec<f64> = report
+        .units
+        .iter()
+        .filter_map(|u| u.times.staging())
+        .collect();
     let mean = stagings.iter().sum::<f64>() / stagings.len() as f64;
     assert!(mean < 0.5, "mean staging {mean}");
 }

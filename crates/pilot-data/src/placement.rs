@@ -167,7 +167,10 @@ mod tests {
             p.place(50, Some(SiteId(0)), &[], &stores),
             Some(DataPilotId(2))
         );
-        assert_eq!(p.place(5, Some(SiteId(9)), &[], &stores), Some(DataPilotId(2)));
+        assert_eq!(
+            p.place(5, Some(SiteId(9)), &[], &stores),
+            Some(DataPilotId(2))
+        );
     }
 
     #[test]

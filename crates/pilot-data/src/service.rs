@@ -485,7 +485,10 @@ mod tests {
     fn unknown_ids_error() {
         let (ds, _a, _b) = service();
         let ghost = DataUnitId(999);
-        assert_eq!(ds.location(ghost), Err(DataServiceError::UnknownUnit(ghost)));
+        assert_eq!(
+            ds.location(ghost),
+            Err(DataServiceError::UnknownUnit(ghost))
+        );
         assert!(ds.usage(DataPilotId(999)).is_none());
     }
 
@@ -494,9 +497,7 @@ mod tests {
         use std::sync::Arc as StdArc;
         let (ds, _a, _b) = service();
         let ds = StdArc::new(ds);
-        let du = ds
-            .put(vec![5u8; 4096], DataUnitDescription::new())
-            .unwrap();
+        let du = ds.put(vec![5u8; 4096], DataUnitDescription::new()).unwrap();
         let handles: Vec<_> = (0..8)
             .map(|i| {
                 let ds = StdArc::clone(&ds);

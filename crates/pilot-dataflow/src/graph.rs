@@ -51,10 +51,7 @@ pub struct StageInputs {
 impl StageInputs {
     /// Outputs of one upstream stage (one entry per upstream task).
     pub fn from_stage(&self, stage: StageId) -> &[StageData] {
-        self.inputs
-            .get(&stage)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.inputs.get(&stage).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Downcast every output of an upstream stage to `T`, skipping
@@ -72,8 +69,7 @@ impl StageInputs {
     }
 }
 
-type StageWork =
-    Arc<dyn Fn(usize, &StageInputs) -> Result<StageData, String> + Send + Sync>;
+type StageWork = Arc<dyn Fn(usize, &StageInputs) -> Result<StageData, String> + Send + Sync>;
 
 struct Stage {
     name: String,
@@ -239,9 +235,7 @@ impl Dataflow {
             let mut remaining = n;
             while remaining > 0 {
                 for i in 0..n {
-                    if launched[i]
-                        || !upstream[i].iter().all(|u| completed.contains_key(&u.0))
-                    {
+                    if launched[i] || !upstream[i].iter().all(|u| completed.contains_key(&u.0)) {
                         continue;
                     }
                     launched[i] = true;
@@ -250,8 +244,7 @@ impl Dataflow {
                         .iter()
                         .any(|u| completed[&u.0].0 != StageStatus::Done);
                     if failed_upstream {
-                        let b: Broadcast =
-                            Arc::new((StageStatus::Skipped, Arc::new(Vec::new())));
+                        let b: Broadcast = Arc::new((StageStatus::Skipped, Arc::new(Vec::new())));
                         let _ = done_tx.send((i, b, 0.0));
                         continue;
                     }
@@ -276,9 +269,7 @@ impl Dataflow {
                             svc.submit_unit(
                                 UnitDescription::new(cores).tagged(&name),
                                 kernel_fn(move |_| {
-                                    work(task, &inputs)
-                                        .map(TaskOutput::of)
-                                        .map_err(TaskError)
+                                    work(task, &inputs).map(TaskOutput::of).map_err(TaskError)
                                 }),
                             )
                         })
@@ -287,7 +278,7 @@ impl Dataflow {
                         let mut outs: Vec<StageData> = Vec::with_capacity(units.len());
                         let mut failure: Option<String> = None;
                         for u in units {
-                            let r = svc.wait_unit(u);
+                            let r = svc.wait_unit(u).expect("unit issued by this service");
                             match (r.state, r.output) {
                                 (UnitState::Done, Some(Ok(o))) => {
                                     if let Some(d) = o.downcast::<StageData>() {
@@ -295,9 +286,7 @@ impl Dataflow {
                                     }
                                 }
                                 (_, Some(Err(e))) => failure = failure.or(Some(e.0)),
-                                (s, _) => {
-                                    failure = failure.or(Some(format!("unit ended {s}")))
-                                }
+                                (s, _) => failure = failure.or(Some(format!("unit ended {s}"))),
                             }
                         }
                         let status = match failure {
@@ -438,7 +427,9 @@ mod tests {
         g.add_edge(bad, after).unwrap();
         let s = svc(4);
         let report = g.run(&s).unwrap();
-        assert!(matches!(report.status[bad.0], StageStatus::Failed(ref m) if m.contains("exploded")));
+        assert!(
+            matches!(report.status[bad.0], StageStatus::Failed(ref m) if m.contains("exploded"))
+        );
         assert_eq!(report.status[after.0], StageStatus::Skipped);
         assert_eq!(report.status[independent.0], StageStatus::Done);
         assert!(!report.all_done());

@@ -14,4 +14,6 @@
 
 pub mod graph;
 
-pub use graph::{Dataflow, DataflowError, DataflowReport, StageData, StageId, StageInputs, StageStatus};
+pub use graph::{
+    Dataflow, DataflowError, DataflowReport, StageData, StageId, StageInputs, StageStatus,
+};

@@ -270,7 +270,13 @@ mod tests {
             "boot at {:?}",
             active.0
         );
-        assert_eq!(active.1, CloudOut::Active { vm: VmId(1), cores: 16 });
+        assert_eq!(
+            active.1,
+            CloudOut::Active {
+                vm: VmId(1),
+                cores: 16
+            }
+        );
         let term = outs
             .iter()
             .find(|(_, o)| matches!(o, CloudOut::Terminated { .. }))
@@ -325,7 +331,9 @@ mod tests {
             ],
         );
         assert!(
-            !outs.iter().any(|(_, o)| matches!(o, CloudOut::Active { .. })),
+            !outs
+                .iter()
+                .any(|(_, o)| matches!(o, CloudOut::Active { .. })),
             "{outs:?}"
         );
         assert_eq!(cloud.free_cores(), 256);

@@ -173,7 +173,10 @@ mod tests {
         }
         let inputs: Vec<(SimTime, u32)> = (0..8).map(|i| (SimTime::from_secs(1), i)).collect();
         let outs = drive(&mut Echo, inputs);
-        assert_eq!(outs.iter().map(|&(_, n)| n).collect::<Vec<_>>(), (0..8).collect::<Vec<_>>());
+        assert_eq!(
+            outs.iter().map(|&(_, n)| n).collect::<Vec<_>>(),
+            (0..8).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -251,11 +251,7 @@ impl HpcCluster {
         let mut release_idx = 0;
         let mut t = now;
         // Serve queued jobs FCFS, then the hypothetical request.
-        let mut pending: Vec<u32> = self
-            .queue
-            .iter()
-            .map(|id| self.jobs[id].cores)
-            .collect();
+        let mut pending: Vec<u32> = self.queue.iter().map(|id| self.jobs[id].cores).collect();
         pending.push(cores);
         for need in pending {
             while free < need && release_idx < releases.len() {
@@ -315,8 +311,10 @@ impl HpcCluster {
             self.started_external += 1;
             fx.emit(HpcOut::Started { job: id });
         }
-        self.busy
-            .set(now.as_secs_f64(), (self.cfg.total_cores - self.free_cores) as f64);
+        self.busy.set(
+            now.as_secs_f64(),
+            (self.cfg.total_cores - self.free_cores) as f64,
+        );
     }
 
     /// FCFS + EASY backfill over the current queue.
@@ -389,8 +387,10 @@ impl HpcCluster {
         job.generation += 1;
         self.free_cores += job.cores;
         let external = job.external;
-        self.busy
-            .set(now.as_secs_f64(), (self.cfg.total_cores - self.free_cores) as f64);
+        self.busy.set(
+            now.as_secs_f64(),
+            (self.cfg.total_cores - self.free_cores) as f64,
+        );
         if external {
             self.finished_external += 1;
             fx.emit(HpcOut::Finished { job: id, outcome });
@@ -466,8 +466,8 @@ impl Component for HpcCluster {
                 let Some(bg) = self.cfg.background.clone() else {
                     return;
                 };
-                let cores = (bg.cores.sample(&mut self.rng).round() as u32)
-                    .clamp(1, self.cfg.total_cores);
+                let cores =
+                    (bg.cores.sample(&mut self.rng).round() as u32).clamp(1, self.cfg.total_cores);
                 let runtime = SimDuration::from_secs_f64(bg.runtime.sample(&mut self.rng).max(1.0));
                 let walltime = runtime * bg.walltime_factor;
                 let id = JobId(self.next_internal_id);
@@ -744,10 +744,7 @@ mod tests {
         let mut c = HpcCluster::new(cfg);
         let mut inputs = c.initial_inputs();
         // Submit an external job into the storm after warm-up.
-        inputs.push((
-            SimTime::from_secs(4000),
-            HpcIn::Submit(req(1, 16, 60, 120)),
-        ));
+        inputs.push((SimTime::from_secs(4000), HpcIn::Submit(req(1, 16, 60, 120))));
         let outs = drive_until(&mut c, inputs, SimTime::from_secs(40_000));
         let started = outs
             .iter()
@@ -794,7 +791,10 @@ mod tests {
         let mut c = HpcCluster::new(HpcConfig::quiet("m", 8));
         drive(
             &mut c,
-            vec![submit_at(0, req(1, 4, 10, 20)), submit_at(0, req(2, 4, 10, 20))],
+            vec![
+                submit_at(0, req(1, 4, 10, 20)),
+                submit_at(0, req(2, 4, 10, 20)),
+            ],
         );
         assert_eq!(c.external_counts(), (2, 2));
         assert_eq!(c.queue_length(), 0);

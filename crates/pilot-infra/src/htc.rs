@@ -166,7 +166,10 @@ impl HtcPool {
         if let Some(mtbf) = self.cfg.slot_mtbf {
             let dt = self.rng.exponential(mtbf);
             let gen = self.slot_gen[slot as usize];
-            fx.after(SimDuration::from_secs_f64(dt), HtcIn::SlotFailure(slot, gen));
+            fx.after(
+                SimDuration::from_secs_f64(dt),
+                HtcIn::SlotFailure(slot, gen),
+            );
         }
     }
 
@@ -309,7 +312,11 @@ mod tests {
         )
     }
 
-    fn run(pool: &mut HtcPool, mut inputs: Vec<(SimTime, HtcIn)>, until: u64) -> Vec<(SimTime, HtcOut)> {
+    fn run(
+        pool: &mut HtcPool,
+        mut inputs: Vec<(SimTime, HtcIn)>,
+        until: u64,
+    ) -> Vec<(SimTime, HtcOut)> {
         let mut all = pool.initial_inputs();
         all.append(&mut inputs);
         drive_until(pool, all, SimTime::from_secs(until))
@@ -341,7 +348,15 @@ mod tests {
         let outs = run(&mut pool, inputs, 10_000);
         let finishes = outs
             .iter()
-            .filter(|(_, o)| matches!(o, HtcOut::Finished { outcome: JobOutcome::Completed, .. }))
+            .filter(|(_, o)| {
+                matches!(
+                    o,
+                    HtcOut::Finished {
+                        outcome: JobOutcome::Completed,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(finishes, 5);
         // Only 2 can start in the first cycle.
@@ -386,10 +401,22 @@ mod tests {
     fn failures_requeue_and_eventually_complete() {
         let cfg = HtcConfig::reliable("flaky", 2).with_failures(120.0);
         let mut pool = HtcPool::new(cfg);
-        let outs = run(&mut pool, vec![submit(0, 1, 300), submit(0, 2, 300)], 100_000);
+        let outs = run(
+            &mut pool,
+            vec![submit(0, 1, 300), submit(0, 2, 300)],
+            100_000,
+        );
         let completed = outs
             .iter()
-            .filter(|(_, o)| matches!(o, HtcOut::Finished { outcome: JobOutcome::Completed, .. }))
+            .filter(|(_, o)| {
+                matches!(
+                    o,
+                    HtcOut::Finished {
+                        outcome: JobOutcome::Completed,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(completed, 2, "{outs:?}");
         let requeues = outs
@@ -428,7 +455,15 @@ mod tests {
         let outs = run(&mut pool, vec![submit(0, 1, 10), submit(0, 2, 10)], 10_000);
         let completed = outs
             .iter()
-            .filter(|(_, o)| matches!(o, HtcOut::Finished { outcome: JobOutcome::Completed, .. }))
+            .filter(|(_, o)| {
+                matches!(
+                    o,
+                    HtcOut::Finished {
+                        outcome: JobOutcome::Completed,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(completed, 2);
     }

@@ -52,7 +52,11 @@ pub enum ServerlessIn {
     /// Invoke the function; `duration` is the handler's execution time.
     Invoke { id: u64, duration: SimDuration },
     /// Internal: an invocation finishes.
-    ExecDone { id: u64, started: SimTime, cold: bool },
+    ExecDone {
+        id: u64,
+        started: SimTime,
+        cold: bool,
+    },
 }
 
 /// Output notifications.
@@ -139,7 +143,12 @@ impl Component for ServerlessPlatform {
     type In = ServerlessIn;
     type Out = ServerlessOut;
 
-    fn handle(&mut self, now: SimTime, input: ServerlessIn, fx: &mut Effects<ServerlessIn, ServerlessOut>) {
+    fn handle(
+        &mut self,
+        now: SimTime,
+        input: ServerlessIn,
+        fx: &mut Effects<ServerlessIn, ServerlessOut>,
+    ) {
         match input {
             ServerlessIn::Invoke { id, duration } => {
                 self.expire_warm(now);
@@ -232,10 +241,7 @@ mod tests {
         cfg.warm_lifetime = SimDuration::from_secs(60);
         let mut p = ServerlessPlatform::new(cfg);
         // Second invocation 2 minutes later: warm container is gone.
-        let outs = drive(
-            &mut p,
-            vec![invoke(0, 1, 100), invoke(180_000, 2, 100)],
-        );
+        let outs = drive(&mut p, vec![invoke(0, 1, 100), invoke(180_000, 2, 100)]);
         let colds = outs
             .iter()
             .filter(|(_, o)| matches!(o, ServerlessOut::Completed { cold: true, .. }))

@@ -74,6 +74,9 @@ mod tests {
         ] {
             assert!(!o.is_success());
         }
-        assert_eq!(JobOutcome::WalltimeExceeded.to_string(), "walltime-exceeded");
+        assert_eq!(
+            JobOutcome::WalltimeExceeded.to_string(),
+            "walltime-exceeded"
+        );
     }
 }

@@ -3,8 +3,8 @@
 use pilot_core::describe::UnitDescription;
 use pilot_core::state::UnitState;
 use pilot_core::thread::{kernel_fn, TaskError, TaskOutput, ThreadPilotService};
-use std::collections::BTreeMap;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
@@ -92,9 +92,7 @@ where
     {
         let n = n.max(1);
         let chunk = data.len().div_ceil(n).max(1);
-        data.chunks(chunk)
-            .map(|c| Arc::new(c.to_vec()))
-            .collect()
+        data.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect()
     }
 
     /// Install a map-side combiner (same signature as reduce over `V`).
@@ -153,7 +151,7 @@ where
             .collect();
         let mut map_outputs: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(map_units.len());
         for u in map_units {
-            let out = svc.wait_unit(u);
+            let out = svc.wait_unit(u).expect("unit issued by this service");
             match (out.state, out.output) {
                 (UnitState::Done, Some(Ok(o))) => {
                     if let Some(parts) = o.downcast::<Vec<Vec<(K, V)>>>() {
@@ -215,7 +213,7 @@ where
             .collect();
         let mut output: Vec<(K, O)> = Vec::new();
         for u in reduce_units {
-            let out = svc.wait_unit(u);
+            let out = svc.wait_unit(u).expect("unit issued by this service");
             match (out.state, out.output) {
                 (UnitState::Done, Some(Ok(o))) => {
                     if let Some(mut pairs) = o.downcast::<Vec<(K, O)>>() {

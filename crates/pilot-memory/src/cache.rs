@@ -130,7 +130,10 @@ impl<T: Send + Sync> CacheManager<T> {
 
     /// Fetch a partition, from memory when possible.
     pub fn get(&self, index: usize) -> Arc<Vec<T>> {
-        assert!(index < self.source.num_partitions(), "partition out of range");
+        assert!(
+            index < self.source.num_partitions(),
+            "partition out of range"
+        );
         if self.mode == CacheMode::Reload {
             self.loads.fetch_add(1, Ordering::Relaxed);
             return Arc::new(self.source.load(index));

@@ -116,7 +116,7 @@ where
                 .collect();
             let mut partials = Vec::with_capacity(n);
             for u in units {
-                let out = svc.wait_unit(u);
+                let out = svc.wait_unit(u).expect("unit issued by this service");
                 match out.state {
                     UnitState::Done => {
                         let partial = out
@@ -229,8 +229,7 @@ mod tests {
     #[test]
     fn cached_mode_beats_reload_mode() {
         let mk = |mode| {
-            let source =
-                Arc::new(VecSource::new((0..100u32).collect(), 4).with_load_cost(0.01));
+            let source = Arc::new(VecSource::new((0..100u32).collect(), 4).with_load_cost(0.01));
             Arc::new(CacheManager::new(source as _, mode))
         };
         let run = |cache: Arc<CacheManager<u32>>| {
@@ -259,11 +258,7 @@ mod tests {
     fn total_wall_time_sums() {
         let source = Arc::new(VecSource::new(vec![0u8; 4], 2));
         let cache = Arc::new(CacheManager::new(source as _, CacheMode::Cached));
-        let exec = IterativeExecutor::new(
-            cache,
-            |_: &[u8], _: &u8| 0u8,
-            |_: Vec<u8>, s: u8| s,
-        );
+        let exec = IterativeExecutor::new(cache, |_: &[u8], _: &u8| 0u8, |_: Vec<u8>, s: u8| s);
         let s = svc(2);
         let out = exec.run(&s, 0u8, 2, |_, _| false);
         let sum: f64 = out.iterations.iter().map(|i| i.wall_s).sum();

@@ -1,9 +1,7 @@
 //! Experimental design: factors × levels → full-factorial trial lists.
 
-use serde::{Deserialize, Serialize};
-
 /// One experimental factor and its levels.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Factor {
     /// Factor name (e.g. `"workers"`, `"partitions"`).
     pub name: String,
@@ -31,7 +29,7 @@ impl Factor {
 
 /// One scheduled run: a configuration, a repetition index, and the seed
 /// derived for it.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Trial {
     /// `(factor name, level)` pairs in factor order.
     pub config: Vec<(String, f64)>,
@@ -66,7 +64,7 @@ impl Trial {
 }
 
 /// A designed experiment.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentSpec {
     /// Experiment name (used in reports and seed derivation).
     pub name: String,

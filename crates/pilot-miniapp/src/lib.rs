@@ -11,13 +11,13 @@
 //! - [`experiment`] — factors × levels → full-factorial trial lists with
 //!   per-trial derived seeds and repetitions.
 //! - [`report`] — result tables with grouping/aggregation, CSV and Markdown
-//!   renderers, and JSON persistence (the only serde surface in the
-//!   workspace).
+//!   renderers, and JSON persistence via the self-contained [`json`] module.
 //!
 //! Every table in EXPERIMENTS.md is produced by driving a system under test
 //! through this crate.
 
 pub mod experiment;
+pub mod json;
 pub mod report;
 pub mod workload;
 

@@ -1,13 +1,13 @@
 //! Result collection, aggregation, and rendering.
 
 use crate::experiment::Trial;
+use crate::json::{self, JsonError, Value};
 use pilot_sim::{summarize, Summary};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// One finished trial with its measured metrics.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// The trial that produced these metrics.
     pub trial: Trial,
@@ -26,7 +26,7 @@ impl Row {
 }
 
 /// All rows of one experiment.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ResultTable {
     /// Experiment name.
     pub experiment: String,
@@ -101,21 +101,12 @@ impl ResultTable {
         for row in &self.rows {
             let mut cells: Vec<String> = factors
                 .iter()
-                .map(|f| {
-                    row.trial
-                        .get(f)
-                        .map(|v| format!("{v}"))
-                        .unwrap_or_default()
-                })
+                .map(|f| row.trial.get(f).map(|v| format!("{v}")).unwrap_or_default())
                 .collect();
             cells.push(row.trial.rep.to_string());
             cells.push(row.trial.seed.to_string());
             for m in &metrics {
-                cells.push(
-                    row.metric(m)
-                        .map(|v| format!("{v}"))
-                        .unwrap_or_default(),
-                );
+                cells.push(row.metric(m).map(|v| format!("{v}")).unwrap_or_default());
             }
             let _ = writeln!(out, "{}", cells.join(","));
         }
@@ -173,13 +164,99 @@ impl ResultTable {
 
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("plain data serializes")
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                Value::Obj(vec![
+                    (
+                        "trial".into(),
+                        Value::Obj(vec![
+                            ("config".into(), pairs_to_json(&row.trial.config)),
+                            ("rep".into(), Value::UInt(u64::from(row.trial.rep))),
+                            ("seed".into(), Value::UInt(row.trial.seed)),
+                        ]),
+                    ),
+                    ("metrics".into(), pairs_to_json(&row.metrics)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("experiment".into(), Value::Str(self.experiment.clone())),
+            ("rows".into(), Value::Arr(rows)),
+        ])
+        .pretty()
     }
 
     /// Parse from JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let v = json::parse(text)?;
+        let experiment = v
+            .get("experiment")
+            .and_then(Value::as_str)
+            .ok_or_else(|| JsonError::shape("missing string field 'experiment'"))?
+            .to_string();
+        let mut rows = Vec::new();
+        for rv in v
+            .get("rows")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| JsonError::shape("missing array field 'rows'"))?
+        {
+            let trial = rv
+                .get("trial")
+                .ok_or_else(|| JsonError::shape("row missing 'trial'"))?;
+            let rep = trial
+                .get("rep")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| JsonError::shape("trial missing 'rep'"))?;
+            let seed = trial
+                .get("seed")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| JsonError::shape("trial missing 'seed'"))?;
+            rows.push(Row {
+                trial: Trial {
+                    config: pairs_from_json(trial.get("config"), "trial.config")?,
+                    rep: u32::try_from(rep).map_err(|_| JsonError::shape("'rep' exceeds u32"))?,
+                    seed,
+                },
+                metrics: pairs_from_json(rv.get("metrics"), "row.metrics")?,
+            });
+        }
+        Ok(ResultTable { experiment, rows })
     }
+}
+
+/// `(name, value)` pairs as a JSON array of two-element arrays, matching the
+/// shape serde would give `Vec<(String, f64)>`.
+fn pairs_to_json(pairs: &[(String, f64)]) -> Value {
+    Value::Arr(
+        pairs
+            .iter()
+            .map(|(n, v)| Value::Arr(vec![Value::Str(n.clone()), Value::Num(*v)]))
+            .collect(),
+    )
+}
+
+fn pairs_from_json(v: Option<&Value>, what: &str) -> Result<Vec<(String, f64)>, JsonError> {
+    let items = v
+        .and_then(Value::as_arr)
+        .ok_or_else(|| JsonError::shape(format!("missing array field '{what}'")))?;
+    items
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| JsonError::shape(format!("'{what}' entry is not a pair")))?;
+            let name = pair[0]
+                .as_str()
+                .ok_or_else(|| JsonError::shape(format!("'{what}' name is not a string")))?;
+            let value = pair[1]
+                .as_f64()
+                .ok_or_else(|| JsonError::shape(format!("'{what}' value is not a number")))?;
+            Ok((name.to_string(), value))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -188,12 +265,7 @@ mod tests {
     use crate::experiment::{ExperimentSpec, Factor};
 
     fn table() -> ResultTable {
-        let spec = ExperimentSpec::new(
-            "demo",
-            vec![Factor::new("workers", &[1.0, 2.0])],
-            2,
-            7,
-        );
+        let spec = ExperimentSpec::new("demo", vec![Factor::new("workers", &[1.0, 2.0])], 2, 7);
         let mut t = ResultTable::new("demo");
         for trial in spec.trials() {
             let w = trial.get("workers").unwrap();

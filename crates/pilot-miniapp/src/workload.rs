@@ -1,10 +1,9 @@
 //! Synthetic workload generation: task mixes and arrival processes.
 
 use pilot_sim::{Dist, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// One sampled task.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TaskSample {
     /// Execution time, seconds.
     pub duration_s: f64,
@@ -158,7 +157,11 @@ mod tests {
     #[test]
     fn burst_arrivals_step() {
         let mut rng = SimRng::new(5);
-        let times = Arrival::Burst { size: 3, gap_s: 10.0 }.times(7, &mut rng);
+        let times = Arrival::Burst {
+            size: 3,
+            gap_s: 10.0,
+        }
+        .times(7, &mut rng);
         assert_eq!(times, vec![0.0, 0.0, 0.0, 10.0, 10.0, 10.0, 20.0]);
     }
 }

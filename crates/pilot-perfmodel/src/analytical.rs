@@ -126,8 +126,7 @@ impl MapReduceModel {
     /// Predicted runtime on `p` parallel slots.
     pub fn runtime(&self, p: u32) -> f64 {
         let p = p.max(1) as f64;
-        let dispatch =
-            self.per_task_overhead_s * (self.map_tasks + self.reduce_tasks) as f64 / p;
+        let dispatch = self.per_task_overhead_s * (self.map_tasks + self.reduce_tasks) as f64 / p;
         dispatch
             + self.map_work_s / p
             + self.shuffle_bytes / self.shuffle_bandwidth.max(1.0)

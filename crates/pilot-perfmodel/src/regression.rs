@@ -200,7 +200,10 @@ mod tests {
     #[test]
     fn quadratic_features_fit_parabola() {
         let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 3.0]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 0.5 * x[0] + 2.0 * x[0] * x[0]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.0 + 0.5 * x[0] + 2.0 * x[0] * x[0])
+            .collect();
         let linear = LinearModel::fit(&xs, &ys, FeatureMap::Linear).unwrap();
         let quad = LinearModel::fit(&xs, &ys, FeatureMap::Quadratic).unwrap();
         let r2_lin = r_squared(&ys, &linear.predict_all(&xs));

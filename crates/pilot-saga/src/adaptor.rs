@@ -302,7 +302,13 @@ impl ResourceAdaptor {
 
     // ---- submission ------------------------------------------------------
 
-    fn submit(&mut self, now: SimTime, job: JobId, desc: JobDescription, fx: &mut Effects<SagaIn, SagaOut>) {
+    fn submit(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        desc: JobDescription,
+        fx: &mut Effects<SagaIn, SagaOut>,
+    ) {
         if self.jobs.contains_key(&job) {
             fx.emit(SagaOut::Done {
                 job,
@@ -421,7 +427,13 @@ impl ResourceAdaptor {
 
     // ---- cancellation / expiry -------------------------------------------
 
-    fn teardown(&mut self, now: SimTime, job: JobId, cancel: bool, fx: &mut Effects<SagaIn, SagaOut>) {
+    fn teardown(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        cancel: bool,
+        fx: &mut Effects<SagaIn, SagaOut>,
+    ) {
         let Some(rec) = self.jobs.get_mut(&job) else {
             return;
         };
@@ -432,12 +444,7 @@ impl ResourceAdaptor {
             rec.cancel_requested = true;
         }
         rec.generation += 1;
-        let live: Vec<SubId> = rec
-            .subs
-            .iter()
-            .filter(|s| !s.dead)
-            .map(|s| s.id)
-            .collect();
+        let live: Vec<SubId> = rec.subs.iter().filter(|s| !s.dead).map(|s| s.id).collect();
         for sub in live {
             match sub {
                 SubId::Batch(id) => self.feed(now, InfraIn::Hpc(HpcIn::Cancel(id)), fx),
@@ -636,11 +643,11 @@ impl Component for ResourceAdaptor {
 mod tests {
     use super::*;
     use pilot_infra::cloud::CloudConfig;
-    use pilot_sim::SimDuration;
     use pilot_infra::component::drive_until;
     use pilot_infra::hpc::HpcConfig;
     use pilot_infra::htc::HtcConfig;
     use pilot_infra::yarn::YarnConfig;
+    use pilot_sim::SimDuration;
 
     fn run(
         adaptor: &mut ResourceAdaptor,
@@ -675,7 +682,11 @@ mod tests {
         let outs = run(
             &mut a,
             vec![
-                submit(0, 1, JobDescription::placeholder(32, SimDuration::from_hours(1))),
+                submit(
+                    0,
+                    1,
+                    JobDescription::placeholder(32, SimDuration::from_hours(1)),
+                ),
                 (SimTime::from_secs(500), SagaIn::Cancel(JobId(1))),
             ],
             10_000,
@@ -698,11 +709,7 @@ mod tests {
     #[test]
     fn hpc_finite_task_completes() {
         let mut a = ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet("hpc", 8)));
-        let desc = JobDescription::task(
-            4,
-            SimDuration::from_secs(60),
-            SimDuration::from_secs(600),
-        );
+        let desc = JobDescription::task(4, SimDuration::from_secs(60), SimDuration::from_secs(600));
         let outs = run(&mut a, vec![submit(0, 1, desc)], 10_000);
         assert_eq!(outcome_of(&outs, 1), Some(JobOutcome::Completed));
         assert_eq!(a.job_state(JobId(1)), Some(JobState::Done));
@@ -712,11 +719,8 @@ mod tests {
     fn htc_glidein_capacity_arrives_incrementally() {
         let mut a = ResourceAdaptor::htc(HtcPool::new(HtcConfig::reliable("osg", 3)));
         // 5 glide-ins on a 3-slot pool: 3 match in cycle 1, 2 when slots free.
-        let desc = JobDescription::task(
-            5,
-            SimDuration::from_secs(100),
-            SimDuration::from_secs(1000),
-        );
+        let desc =
+            JobDescription::task(5, SimDuration::from_secs(100), SimDuration::from_secs(1000));
         let outs = run(&mut a, vec![submit(0, 1, desc)], 100_000);
         let ups: Vec<u32> = outs
             .iter()
@@ -737,11 +741,8 @@ mod tests {
     fn htc_slot_failure_shrinks_then_restores_capacity() {
         let cfg = HtcConfig::reliable("flaky", 4).with_failures(200.0);
         let mut a = ResourceAdaptor::htc(HtcPool::new(cfg));
-        let desc = JobDescription::task(
-            4,
-            SimDuration::from_secs(600),
-            SimDuration::from_secs(6000),
-        );
+        let desc =
+            JobDescription::task(4, SimDuration::from_secs(600), SimDuration::from_secs(6000));
         let outs = run(&mut a, vec![submit(0, 1, desc)], 1_000_000);
         let downs = outs
             .iter()
@@ -826,9 +827,15 @@ mod tests {
         );
         let rejections = outs
             .iter()
-            .filter(|(_, o)|
-
-                matches!(o, SagaOut::Done { outcome: JobOutcome::Rejected, .. }))
+            .filter(|(_, o)| {
+                matches!(
+                    o,
+                    SagaOut::Done {
+                        outcome: JobOutcome::Rejected,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(rejections, 1);
     }

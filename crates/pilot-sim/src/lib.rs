@@ -81,6 +81,8 @@ pub mod trace;
 pub use dist::Dist;
 pub use engine::{Executor, Machine, Outbox};
 pub use rng::SimRng;
-pub use stats::{percentile, percentile_sorted, summarize, Histogram, Summary, TimeWeighted, Welford};
+pub use stats::{
+    percentile, percentile_sorted, summarize, Histogram, Summary, TimeWeighted, Welford,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceLog, TraceRecord};

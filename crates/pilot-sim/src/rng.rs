@@ -49,7 +49,8 @@ impl SimRng {
     pub fn stream(&self, id: u64) -> SimRng {
         // Mix the parent state with the stream id through SplitMix64 so that
         // nearby ids land far apart in seed space.
-        let mut mix = self.s[0] ^ self.s[1].rotate_left(17) ^ id.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut mix =
+            self.s[0] ^ self.s[1].rotate_left(17) ^ id.wrapping_mul(0xA24B_AED4_963E_E407);
         SimRng::new(splitmix64(&mut mix))
     }
 
@@ -57,10 +58,7 @@ impl SimRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -319,7 +317,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "shuffle left the slice sorted (astronomically unlikely)");
+        assert_ne!(
+            v, sorted,
+            "shuffle left the slice sorted (astronomically unlikely)"
+        );
     }
 
     #[test]

@@ -51,7 +51,13 @@ impl TraceLog {
     }
 
     /// Append a record (no-op when disabled).
-    pub fn record(&mut self, t: SimTime, kind: &'static str, entity: u64, detail: impl Into<String>) {
+    pub fn record(
+        &mut self,
+        t: SimTime,
+        kind: &'static str,
+        entity: u64,
+        detail: impl Into<String>,
+    ) {
         if self.enabled {
             self.records.push(TraceRecord {
                 t,

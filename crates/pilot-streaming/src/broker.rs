@@ -387,7 +387,10 @@ mod tests {
         assert_eq!(a0, vec![0, 3]);
         assert_eq!(a1, vec![1, 4]);
         assert_eq!(a2, vec![2, 5]);
-        assert_eq!(b.assignment("g", "ghost"), Err(BrokerError::UnknownConsumer));
+        assert_eq!(
+            b.assignment("g", "ghost"),
+            Err(BrokerError::UnknownConsumer)
+        );
     }
 
     #[test]

@@ -170,7 +170,7 @@ pub fn run_stream_job(
 
     let mut produced = 0u64;
     for u in producer_units {
-        let out = svc.wait_unit(u);
+        let out = svc.wait_unit(u).expect("unit issued by this service");
         if out.state == UnitState::Done {
             produced += out
                 .output
@@ -183,7 +183,7 @@ pub fn run_stream_job(
 
     let mut latencies: Vec<f64> = Vec::new();
     for u in processor_units {
-        let out = svc.wait_unit(u);
+        let out = svc.wait_unit(u).expect("unit issued by this service");
         if let Some(Ok(o)) = out.output {
             if let Some(mut ls) = o.downcast::<Vec<f64>>() {
                 latencies.append(&mut ls);
@@ -233,7 +233,11 @@ mod tests {
         assert_eq!(report.produced, 2000);
         assert_eq!(report.consumed, 2000);
         assert_eq!(report.latency.n, 2000);
-        assert!(report.throughput > 100.0, "throughput {}", report.throughput);
+        assert!(
+            report.throughput > 100.0,
+            "throughput {}",
+            report.throughput
+        );
         assert!(report.latency_p50 <= report.latency_p95);
         assert!(report.latency_p95 <= report.latency_p99);
         s.shutdown();

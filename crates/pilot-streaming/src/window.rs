@@ -24,7 +24,10 @@ impl TumblingWindow {
 
     /// `[start, end)` bounds of window `index`.
     pub fn bounds(&self, index: u64) -> (f64, f64) {
-        (index as f64 * self.width_s, (index + 1) as f64 * self.width_s)
+        (
+            index as f64 * self.width_s,
+            (index + 1) as f64 * self.width_s,
+        )
     }
 }
 
@@ -72,7 +75,11 @@ impl WindowAggregate {
         let cell = self.state.entry((key, w)).or_default();
         cell.count += 1;
         cell.sum += value;
-        cell.max = if cell.count == 1 { value } else { cell.max.max(value) };
+        cell.max = if cell.count == 1 {
+            value
+        } else {
+            cell.max.max(value)
+        };
     }
 
     /// Close and drain every window that ends at or before `watermark_s`.

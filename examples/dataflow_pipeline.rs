@@ -68,12 +68,7 @@ fn main() {
 
     assert!(report.all_done());
     println!("pipeline finished in {:.4}s", report.total_wall_s);
-    for (i, (status, wall)) in report
-        .status
-        .iter()
-        .zip(&report.stage_wall_s)
-        .enumerate()
-    {
+    for (i, (status, wall)) in report.status.iter().zip(&report.stage_wall_s).enumerate() {
         println!("  stage {i}: {status:?} in {wall:.4}s");
     }
     let out = report.stage_outputs::<String>(summary);

@@ -20,12 +20,8 @@ const TASKS: usize = 400;
 const TASK_S: f64 = 90.0;
 
 fn busy_hpc() -> ResourceAdaptor {
-    let bg = BackgroundLoad::at_utilization(
-        0.8,
-        128,
-        Dist::constant(16.0),
-        Dist::exponential(1800.0),
-    );
+    let bg =
+        BackgroundLoad::at_utilization(0.8, 128, Dist::constant(16.0), Dist::exponential(1800.0));
     ResourceAdaptor::hpc(HpcCluster::new(
         HpcConfig::quiet("hpc-prod", 128).with_background(bg),
     ))
@@ -40,7 +36,11 @@ fn scenario(name: &str, build: impl FnOnce(&mut SimPilotSystem)) -> (String, f64
     let report = sys.run(SimTime::from_hours(48));
     let done = report.count(pilot_abstraction::core::state::UnitState::Done);
     assert_eq!(done, TASKS, "{name}: only {done}/{TASKS} finished");
-    (name.to_string(), report.makespan(), report.mean_pilot_startup())
+    (
+        name.to_string(),
+        report.makespan(),
+        report.mean_pilot_startup(),
+    )
 }
 
 fn main() {
@@ -78,26 +78,32 @@ fn main() {
         );
     }));
 
-    rows.push(scenario("Hybrid (16-core HPC + adaptive cloud burst)", |sys| {
-        let hpc = sys.add_resource(busy_hpc());
-        let cloud = sys.add_resource(ResourceAdaptor::cloud(CloudProvider::new(
-            CloudConfig::generic("burst", 256),
-        )));
-        sys.submit_pilot(
-            SimTime::ZERO,
-            hpc,
-            PilotDescription::new(16, SimDuration::from_hours(12)).labeled("hpc-base"),
-        );
-        sys.set_scale_out(ScaleOutPolicy {
-            check_every: SimDuration::from_secs(120),
-            queue_threshold: 50,
-            burst_site: cloud,
-            pilot: PilotDescription::new(64, SimDuration::from_hours(6)).labeled("burst"),
-            max_extra: 2,
-        });
-    }));
+    rows.push(scenario(
+        "Hybrid (16-core HPC + adaptive cloud burst)",
+        |sys| {
+            let hpc = sys.add_resource(busy_hpc());
+            let cloud = sys.add_resource(ResourceAdaptor::cloud(CloudProvider::new(
+                CloudConfig::generic("burst", 256),
+            )));
+            sys.submit_pilot(
+                SimTime::ZERO,
+                hpc,
+                PilotDescription::new(16, SimDuration::from_hours(12)).labeled("hpc-base"),
+            );
+            sys.set_scale_out(ScaleOutPolicy {
+                check_every: SimDuration::from_secs(120),
+                queue_threshold: 50,
+                burst_site: cloud,
+                pilot: PilotDescription::new(64, SimDuration::from_hours(6)).labeled("burst"),
+                max_extra: 2,
+            });
+        },
+    ));
 
-    println!("{:<44} {:>12} {:>16}", "scenario", "makespan", "pilot startup");
+    println!(
+        "{:<44} {:>12} {:>16}",
+        "scenario", "makespan", "pilot startup"
+    );
     for (name, makespan, startup) in rows {
         println!("{name:<44} {:>10.1}s {:>14.1}s", makespan, startup);
     }

@@ -6,10 +6,10 @@
 use pilot_abstraction::apps::kmeans::{
     assign_step, generate_blobs, init_centroids, update_centroids, BlobConfig, Partial, Point,
 };
-use pilot_abstraction::memory::{CacheManager, CacheMode, IterativeExecutor, VecSource};
 use pilot_abstraction::core::describe::PilotDescription;
 use pilot_abstraction::core::scheduler::FirstFitScheduler;
 use pilot_abstraction::core::thread::ThreadPilotService;
+use pilot_abstraction::memory::{CacheManager, CacheMode, IterativeExecutor, VecSource};
 use pilot_abstraction::sim::SimDuration;
 use std::sync::Arc;
 

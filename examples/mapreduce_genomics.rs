@@ -34,8 +34,13 @@ fn main() {
     )
     .with_combiner(|_k, vs| vs.iter().sum());
     let r = wc.run(&svc);
-    println!("wordcount: {} distinct words, phases map {:.4}s / shuffle {:.4}s / reduce {:.4}s",
-        r.output.len(), r.times.map_s, r.times.shuffle_s, r.times.reduce_s);
+    println!(
+        "wordcount: {} distinct words, phases map {:.4}s / shuffle {:.4}s / reduce {:.4}s",
+        r.output.len(),
+        r.times.map_s,
+        r.times.shuffle_s,
+        r.times.reduce_s
+    );
     let mut top: Vec<_> = r.output.iter().collect();
     top.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
     println!("  top words: {:?}", &top[..5.min(top.len())]);
@@ -43,7 +48,11 @@ fn main() {
     // ---- read alignment ---------------------------------------------------
     let reference = Arc::new(generate_reference(4000, 11));
     let reads = generate_reads(&reference, 400, 48, 0.03, 13);
-    println!("\nalignment: {} reads of 48bp vs {}bp reference", reads.len(), reference.len());
+    println!(
+        "\nalignment: {} reads of 48bp vs {}bp reference",
+        reads.len(),
+        reference.len()
+    );
     let scoring = Scoring::default();
     let ref_for_map = Arc::clone(&reference);
     // Key = reference bucket of 500bp where the read maps; value = score.
@@ -63,12 +72,19 @@ fn main() {
         4,
     );
     let r = job.run(&svc);
-    println!("  phases: map {:.4}s / shuffle {:.4}s / reduce {:.4}s  ({} map tasks)",
-        r.times.map_s, r.times.shuffle_s, r.times.reduce_s, r.map_tasks);
+    println!(
+        "  phases: map {:.4}s / shuffle {:.4}s / reduce {:.4}s  ({} map tasks)",
+        r.times.map_s, r.times.shuffle_s, r.times.reduce_s, r.map_tasks
+    );
     println!("  reads mapped per 500bp reference bucket:");
     for (bucket, (n, mean_score)) in &r.output {
-        println!("    [{:>4}..{:>4}): {:>3} reads, mean score {:.1}",
-            bucket * 500, (bucket + 1) * 500, n, mean_score);
+        println!(
+            "    [{:>4}..{:>4}): {:>3} reads, mean score {:.1}",
+            bucket * 500,
+            (bucket + 1) * 500,
+            n,
+            mean_score
+        );
     }
     let total: u64 = r.output.iter().map(|(_, (n, _))| n).sum();
     println!("  total mapped: {total}/400");

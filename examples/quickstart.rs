@@ -41,14 +41,16 @@ fn main() {
                 // An "analysis-like" short task returning a value.
                 svc.submit_unit(
                     UnitDescription::new(1).tagged("analysis"),
-                    kernel_fn(move |_| Ok(TaskOutput::of((0..1000u64).map(|x| x ^ i).sum::<u64>()))),
+                    kernel_fn(move |_| {
+                        Ok(TaskOutput::of((0..1000u64).map(|x| x ^ i).sum::<u64>()))
+                    }),
                 )
             }
         })
         .collect();
 
     for u in &units {
-        let out = svc.wait_unit(*u);
+        let out = svc.wait_unit(*u).expect("unit issued by this service");
         assert!(out.state.is_terminal());
     }
 
@@ -56,9 +58,15 @@ fn main() {
     let times = report.done_unit_times();
     let b = overhead_breakdown(times.iter());
     println!("\n{} units done", times.len());
-    println!("late-binding wait : {:>8.4}s mean ({:.4}s max)", b.wait.mean, b.wait.max);
+    println!(
+        "late-binding wait : {:>8.4}s mean ({:.4}s max)",
+        b.wait.mean, b.wait.max
+    );
     println!("dispatch/staging  : {:>8.4}s mean", b.staging.mean);
     println!("execution         : {:>8.4}s mean", b.execution.mean);
-    println!("middleware overhead: {:>7.4}s mean per task", b.overhead.mean);
+    println!(
+        "middleware overhead: {:>7.4}s mean per task",
+        b.overhead.mean
+    );
     println!("p99 turnaround    : {:>8.4}s", b.turnaround_p99);
 }

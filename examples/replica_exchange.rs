@@ -70,6 +70,8 @@ fn main() {
          speedup needs real cores — the simulated backend sweeps the shape)",
         report.total_wall_s(),
         cores,
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
 }

@@ -22,7 +22,9 @@ fn main() {
     let n_frames = 200u64;
     let processors = 2;
     for c in 0..processors {
-        broker.join_group("recon", "frames", &format!("proc-{c}")).unwrap();
+        broker
+            .join_group("recon", "frames", &format!("proc-{c}"))
+            .unwrap();
     }
 
     let produced_done = Arc::new(AtomicBool::new(false));
@@ -93,7 +95,7 @@ fn main() {
     let mut latencies: Vec<f64> = Vec::new();
     let mut window_rates: std::collections::BTreeMap<u64, f64> = Default::default();
     for u in procs {
-        if let Some(Ok(o)) = svc.wait_unit(u).output {
+        if let Some(Ok(o)) = svc.wait_unit(u).and_then(|o| o.output) {
             if let Some((ls, closed)) = o.downcast::<(
                 Vec<f64>,
                 Vec<pilot_abstraction::streaming::window::ClosedWindow>,
@@ -109,10 +111,21 @@ fn main() {
 
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| pilot_abstraction::sim::percentile_sorted(&latencies, p);
-    println!("streamed {n_frames} frames (64x64 f32) through 4 partitions, {processors} processors");
+    println!(
+        "streamed {n_frames} frames (64x64 f32) through 4 partitions, {processors} processors"
+    );
     println!("frames reconstructed: {}", consumed.load(Ordering::Acquire));
-    println!("peaks found: {} (planted: {})", peaks_found.load(Ordering::Acquire), n_frames * 4);
-    println!("end-to-end latency: p50 {:.4}s  p95 {:.4}s  p99 {:.4}s", pct(50.0), pct(95.0), pct(99.0));
+    println!(
+        "peaks found: {} (planted: {})",
+        peaks_found.load(Ordering::Acquire),
+        n_frames * 4
+    );
+    println!(
+        "end-to-end latency: p50 {:.4}s  p95 {:.4}s  p99 {:.4}s",
+        pct(50.0),
+        pct(95.0),
+        pct(99.0)
+    );
     println!("peaks per 2 s event-time window (stateful operator):");
     for (w, sum) in window_rates {
         println!("  window {w}: {sum:.0} peaks");

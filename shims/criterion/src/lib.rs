@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the bench API surface it uses. There is no statistical engine: each
+//! benchmark runs a short timed loop and prints a mean per-iteration time.
+//! That keeps `cargo test` (which executes harness=false bench targets) fast
+//! while preserving the real criterion API so benches compile unchanged.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    /// Mean seconds per iteration of the last `iter` call.
+    last_secs_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine` over a short loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.last_secs_per_iter = start.elapsed().as_secs_f64() / self.iters as f64;
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = std::time::Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.last_secs_per_iter = total.as_secs_f64() / self.iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    iters: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; scales the smoke-loop length.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).clamp(1, 50);
+        self
+    }
+
+    /// Record the per-iteration throughput for report lines.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            last_secs_per_iter: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.last_secs_per_iter);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            last_secs_per_iter: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.last_secs_per_iter);
+        self
+    }
+
+    /// End the group (no-op; prints nothing extra).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, secs_per_iter: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if secs_per_iter > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / secs_per_iter)
+            }
+            Some(Throughput::Bytes(n)) if secs_per_iter > 0.0 => {
+                format!("  ({:.0} B/s)", n as f64 / secs_per_iter)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{}: {:.3} µs/iter{}",
+            self.name,
+            id,
+            secs_per_iter * 1e6,
+            rate
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            iters: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Define a group-runner function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups; CLI args (from `cargo bench` or
+/// `cargo test`) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(3));
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    crate::criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_and_benches_run() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

@@ -73,7 +73,7 @@ fn data_service_feeds_data_aware_compute_placement() {
     }
     let report_before = ds.ledger();
     for (u, _) in &units {
-        assert_eq!(svc.wait_unit(*u).state, UnitState::Done);
+        assert_eq!(svc.wait_unit(*u).unwrap().state, UnitState::Done);
     }
     let report = svc.shutdown();
     // Placement followed the data.

@@ -12,7 +12,8 @@ use pilot_abstraction::sim::{Dist, SimDuration, SimTime};
 
 fn full_system(seed: u64) -> SimPilotSystem {
     let mut sys = SimPilotSystem::new(seed);
-    let bg = BackgroundLoad::at_utilization(0.6, 64, Dist::uniform(2.0, 16.0), Dist::exponential(900.0));
+    let bg =
+        BackgroundLoad::at_utilization(0.6, 64, Dist::uniform(2.0, 16.0), Dist::exponential(900.0));
     let hpc = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(
         HpcConfig::quiet("hpc", 64).with_background(bg),
     )));
@@ -22,9 +23,21 @@ fn full_system(seed: u64) -> SimPilotSystem {
     let cloud = sys.add_resource(ResourceAdaptor::cloud(CloudProvider::new(
         CloudConfig::generic("aws", 128),
     )));
-    sys.submit_pilot(SimTime::ZERO, hpc, PilotDescription::new(16, SimDuration::from_hours(6)));
-    sys.submit_pilot(SimTime::ZERO, htc, PilotDescription::new(16, SimDuration::from_hours(6)));
-    sys.submit_pilot(SimTime::ZERO, cloud, PilotDescription::new(32, SimDuration::from_hours(6)));
+    sys.submit_pilot(
+        SimTime::ZERO,
+        hpc,
+        PilotDescription::new(16, SimDuration::from_hours(6)),
+    );
+    sys.submit_pilot(
+        SimTime::ZERO,
+        htc,
+        PilotDescription::new(16, SimDuration::from_hours(6)),
+    );
+    sys.submit_pilot(
+        SimTime::ZERO,
+        cloud,
+        PilotDescription::new(32, SimDuration::from_hours(6)),
+    );
     for i in 0..120 {
         sys.submit_unit(
             SimTime::from_secs(i * 5),
@@ -57,11 +70,7 @@ fn mixed_infrastructure_completes_everything() {
     let report = full_system(7).run(SimTime::from_hours(24));
     assert_eq!(report.count(UnitState::Done), 120);
     // All three pilots contributed.
-    let mut used: Vec<_> = report
-        .units
-        .iter()
-        .filter_map(|u| u.pilot)
-        .collect();
+    let mut used: Vec<_> = report.units.iter().filter_map(|u| u.pilot).collect();
     used.sort();
     used.dedup();
     assert!(used.len() >= 2, "work should spread over pilots: {used:?}");
@@ -80,12 +89,20 @@ fn htc_slot_failures_do_not_lose_units() {
     let htc = sys.add_resource(ResourceAdaptor::htc(HtcPool::new(
         HtcConfig::reliable("flaky", 16).with_failures(600.0),
     )));
-    sys.submit_pilot(SimTime::ZERO, htc, PilotDescription::new(16, SimDuration::from_hours(12)));
+    sys.submit_pilot(
+        SimTime::ZERO,
+        htc,
+        PilotDescription::new(16, SimDuration::from_hours(12)),
+    );
     for _ in 0..60 {
         sys.submit_unit_fixed(SimTime::ZERO, UnitDescription::new(1), 400.0);
     }
     let report = sys.run(SimTime::from_hours(48));
-    assert_eq!(report.count(UnitState::Done), 60, "every unit must finish despite failures");
+    assert_eq!(
+        report.count(UnitState::Done),
+        60,
+        "every unit must finish despite failures"
+    );
     // Failures actually happened (capacity fluctuations traced).
     assert!(
         report.trace.of_kind("cu.requeued").count() > 0
@@ -97,11 +114,17 @@ fn htc_slot_failures_do_not_lose_units() {
 #[test]
 fn scale_out_policy_is_bounded() {
     let mut sys = SimPilotSystem::new(13);
-    let hpc = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet("h", 64))));
+    let hpc = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet(
+        "h", 64,
+    ))));
     let cloud = sys.add_resource(ResourceAdaptor::cloud(CloudProvider::new(
         CloudConfig::generic("c", 1024),
     )));
-    sys.submit_pilot(SimTime::ZERO, hpc, PilotDescription::new(8, SimDuration::from_hours(24)));
+    sys.submit_pilot(
+        SimTime::ZERO,
+        hpc,
+        PilotDescription::new(8, SimDuration::from_hours(24)),
+    );
     sys.set_scale_out(ScaleOutPolicy {
         check_every: SimDuration::from_secs(30),
         queue_threshold: 5,
@@ -121,7 +144,9 @@ fn scale_out_policy_is_bounded() {
 #[test]
 fn cancel_pilot_mid_run_requeues_to_survivor() {
     let mut sys = SimPilotSystem::new(17);
-    let site = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet("h", 64))));
+    let site = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet(
+        "h", 64,
+    ))));
     let doomed = sys.submit_pilot(
         SimTime::ZERO,
         site,
@@ -155,8 +180,14 @@ fn virtual_time_is_decoupled_from_wall_time() {
     let t0 = std::time::Instant::now();
     let mut sys = SimPilotSystem::new(23);
     sys.disable_trace();
-    let site = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet("h", 128))));
-    sys.submit_pilot(SimTime::ZERO, site, PilotDescription::new(64, SimDuration::from_hours(200)));
+    let site = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet(
+        "h", 128,
+    ))));
+    sys.submit_pilot(
+        SimTime::ZERO,
+        site,
+        PilotDescription::new(64, SimDuration::from_hours(200)),
+    );
     for i in 0..2000 {
         sys.submit_unit(
             SimTime::from_secs(i * 60),

@@ -61,7 +61,7 @@ fn many_pilots_share_one_unit_queue() {
         .collect();
     let mut sum = 0u64;
     for u in units {
-        let out = s.wait_unit(u);
+        let out = s.wait_unit(u).unwrap();
         assert_eq!(out.state, UnitState::Done);
         sum += out.output.unwrap().unwrap().downcast::<u64>().unwrap();
     }
@@ -96,7 +96,7 @@ fn mapreduce_inside_units_composes_with_plain_units() {
     assert_eq!(r.output.len(), 10);
     assert!(r.output.iter().all(|(_, c)| *c == 40));
     for u in background {
-        assert_eq!(s.wait_unit(u).state, UnitState::Done);
+        assert_eq!(s.wait_unit(u).unwrap().state, UnitState::Done);
     }
     s.shutdown();
 }
@@ -108,9 +108,9 @@ fn unit_results_are_taken_exactly_once() {
         UnitDescription::new(1),
         kernel_fn(|_| Ok(TaskOutput::of(String::from("payload")))),
     );
-    let first = s.wait_unit(u);
+    let first = s.wait_unit(u).unwrap();
     assert!(first.output.is_some());
-    let second = s.wait_unit(u);
+    let second = s.wait_unit(u).unwrap();
     assert!(second.output.is_none(), "output is moved out on first wait");
     assert_eq!(second.state, UnitState::Done);
     s.shutdown();
@@ -141,7 +141,7 @@ fn saturation_then_drain() {
         })
         .collect();
     for u in units {
-        assert_eq!(s.wait_unit(u).state, UnitState::Done);
+        assert_eq!(s.wait_unit(u).unwrap().state, UnitState::Done);
     }
     assert!(peak.load(Ordering::SeqCst) <= 3);
     s.shutdown();

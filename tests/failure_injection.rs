@@ -4,12 +4,13 @@
 
 use pilot_abstraction::apps::lightsource::reconstruct;
 use pilot_abstraction::core::describe::{PilotDescription, UnitDescription};
+use pilot_abstraction::core::retry::{FaultPlan, RetryPolicy};
 use pilot_abstraction::core::scheduler::FirstFitScheduler;
 use pilot_abstraction::core::sim::SimPilotSystem;
 use pilot_abstraction::core::state::UnitState;
 use pilot_abstraction::core::thread::{kernel_fn, TaskError, TaskOutput, ThreadPilotService};
-use pilot_abstraction::infra::htc::{HtcConfig, HtcPool};
 use pilot_abstraction::infra::hpc::{HpcCluster, HpcConfig};
+use pilot_abstraction::infra::htc::{HtcConfig, HtcPool};
 use pilot_abstraction::saga::ResourceAdaptor;
 use pilot_abstraction::sim::{SimDuration, SimTime};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -36,7 +37,7 @@ fn a_storm_of_panics_leaves_the_service_consistent() {
     let mut done = 0;
     let mut failed = 0;
     for u in units {
-        match svc.wait_unit(u).state {
+        match svc.wait_unit(u).unwrap().state {
             UnitState::Done => done += 1,
             UnitState::Failed => failed += 1,
             s => panic!("unexpected state {s}"),
@@ -49,7 +50,7 @@ fn a_storm_of_panics_leaves_the_service_consistent() {
         UnitDescription::new(1),
         kernel_fn(|_| Ok(TaskOutput::none())),
     );
-    assert_eq!(svc.wait_unit(after).state, UnitState::Done);
+    assert_eq!(svc.wait_unit(after).unwrap().state, UnitState::Done);
     svc.shutdown();
 }
 
@@ -62,7 +63,7 @@ fn kernel_errors_carry_their_messages() {
         UnitDescription::new(1),
         kernel_fn(|_| Err(TaskError("input checksum mismatch".into()))),
     );
-    let out = svc.wait_unit(u);
+    let out = svc.wait_unit(u).unwrap();
     assert_eq!(out.state, UnitState::Failed);
     let err = out.output.unwrap().unwrap_err();
     assert!(err.0.contains("checksum"));
@@ -89,7 +90,7 @@ fn retry_wrapper_pattern_recovers_flaky_kernels() {
     let mut result = None;
     for _ in 0..5 {
         let u = svc.submit_unit(UnitDescription::new(1), flaky(Arc::clone(&attempts)));
-        let out = svc.wait_unit(u);
+        let out = svc.wait_unit(u).unwrap();
         if out.state == UnitState::Done {
             result = out.output.unwrap().ok().and_then(|o| o.downcast::<u8>());
             break;
@@ -163,4 +164,98 @@ fn corrupt_stream_payloads_are_rejected_not_fatal() {
     lying.extend_from_slice(&100u32.to_le_bytes());
     lying.extend_from_slice(&[0u8; 16]);
     assert!(reconstruct(&lying, 10.0).is_none());
+}
+
+#[test]
+fn injected_pilot_crashes_recover_with_retry_and_replay_byte_identically() {
+    // The acceptance scenario for the reliability layer: a crash-ridden run
+    // with a retry policy completes every unit, the same seed replays the
+    // fault schedule byte-for-byte, and the identical workload with retries
+    // disabled loses units.
+    let run = |retry: RetryPolicy| {
+        let mut sys = SimPilotSystem::new(0xC4A5);
+        sys.set_fault_plan(FaultPlan::none().with_pilot_crashes(600.0));
+        let site = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet(
+            "h", 64,
+        ))));
+        // Staggered pilots: the crash schedule thins the early ones, the
+        // late ones supply re-binding capacity.
+        for k in 0..8u64 {
+            sys.submit_pilot(
+                SimTime::from_secs(k * 240),
+                site,
+                PilotDescription::new(8, SimDuration::from_hours(12)),
+            );
+        }
+        for i in 0..32u64 {
+            sys.submit_unit_fixed(
+                SimTime::from_secs(i * 5),
+                UnitDescription::new(1).with_retry(retry),
+                240.0,
+            );
+        }
+        sys.run(SimTime::from_hours(24))
+    };
+
+    let a = run(RetryPolicy::fixed(6, 5.0));
+    assert!(
+        a.reliability.pilot_crashes > 0,
+        "crashes must actually fire"
+    );
+    assert_eq!(a.count(UnitState::Done), 32, "retry completes every unit");
+    assert_eq!(a.count(UnitState::Failed), 0);
+
+    // Byte-identical replay under the same seed.
+    let b = run(RetryPolicy::fixed(6, 5.0));
+    assert_eq!(a.reliability, b.reliability);
+    assert_eq!(a.trace.len(), b.trace.len());
+    for (ua, ub) in a.units.iter().zip(b.units.iter()) {
+        assert_eq!(ua.unit, ub.unit);
+        assert_eq!(ua.state, ub.state);
+        assert_eq!(ua.times, ub.times, "unit {} times differ", ua.unit);
+    }
+
+    // Same workload, retries disabled: the crash schedule is identical
+    // (per-pilot RNG streams) but failed attempts are terminal.
+    let c = run(RetryPolicy::none());
+    assert_eq!(c.reliability.pilot_crashes, a.reliability.pilot_crashes);
+    assert!(
+        c.count(UnitState::Failed) > 0,
+        "fail-fast must lose units the retry run recovered"
+    );
+    assert_eq!(c.reliability.requeues, 0);
+}
+
+#[test]
+fn thread_backend_fault_plan_retries_injected_kernel_faults() {
+    // The threaded backend shares the fault plan: injected kernel faults
+    // fail attempts, the retry policy re-binds them, and the workload still
+    // drains. Timings are wall-clock but the draw schedule is seeded.
+    let svc = ThreadPilotService::with_faults(
+        Box::new(FirstFitScheduler),
+        FaultPlan::none().with_unit_failures(0.4),
+        7,
+    );
+    let p = svc.submit_pilot(PilotDescription::new(4, SimDuration::MAX));
+    assert!(svc.wait_pilot_active(p));
+    let units: Vec<_> = (0..12)
+        .map(|i| {
+            svc.submit_unit(
+                UnitDescription::new(1).with_retry(RetryPolicy::fixed(8, 0.005)),
+                kernel_fn(move |_| Ok(TaskOutput::of(i))),
+            )
+        })
+        .collect();
+    for u in units {
+        assert_eq!(svc.wait_unit(u).unwrap().state, UnitState::Done);
+    }
+    let report = svc.shutdown();
+    assert!(
+        report.reliability.injected_unit_faults > 0,
+        "p=0.4 over 12 units should inject at least one fault"
+    );
+    assert_eq!(
+        report.reliability.requeues, report.reliability.injected_unit_faults,
+        "every injected fault is retried"
+    );
 }

@@ -5,13 +5,14 @@ use pilot_abstraction::apps::pairwise::{contacts_grid, contacts_naive};
 use pilot_abstraction::apps::seqalign::{smith_waterman, Scoring};
 use pilot_abstraction::core::describe::UnitDescription;
 use pilot_abstraction::core::ids::{PilotId, UnitId};
+use pilot_abstraction::core::retry::RetryPolicy;
 use pilot_abstraction::core::scheduler::{
     DataAwareScheduler, FirstFitScheduler, LoadBalanceScheduler, PilotSnapshot,
     RoundRobinScheduler, Scheduler, UnitRequest,
 };
 use pilot_abstraction::infra::types::SiteId;
 use pilot_abstraction::perfmodel::{r_squared, FeatureMap, LinearModel};
-use pilot_abstraction::sim::{percentile, Executor, Machine, Outbox, SimTime};
+use pilot_abstraction::sim::{percentile, Executor, Machine, Outbox, SimRng, SimTime};
 use pilot_abstraction::streaming::Broker;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -210,5 +211,65 @@ proptest! {
             .map(|p| broker.high_watermark("t", p).unwrap())
             .sum();
         prop_assert_eq!(hw, n_msgs as u64);
+    }
+}
+
+// ---- retry backoff -------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn backoff_schedule_is_monotone_and_capped(
+        base in 0.0f64..10.0,
+        factor in 1.0f64..4.0,
+        cap in 0.0f64..120.0,
+        attempts in 1u32..40,
+    ) {
+        let p = RetryPolicy::exponential(attempts, base, factor, cap);
+        let mut prev = 0.0f64;
+        for k in 1..40u32 {
+            let d = p.base_delay_s(k);
+            prop_assert!(d >= prev - 1e-12, "schedule decreased at failure {}", k);
+            prop_assert!(d <= cap + 1e-12, "schedule exceeded the cap at failure {}", k);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn fixed_backoff_is_constant(delay in 0.0f64..60.0, k in 1u32..50) {
+        let p = RetryPolicy::fixed(3, delay);
+        prop_assert_eq!(p.base_delay_s(k), delay);
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_per_seed_and_bounded(
+        base in 0.01f64..10.0,
+        factor in 1.0f64..3.0,
+        cap in 0.01f64..60.0,
+        jitter in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let p = RetryPolicy::exponential(8, base, factor, cap).with_jitter(jitter);
+        let schedule = |seed: u64| -> Vec<f64> {
+            let mut rng = SimRng::new(seed);
+            (1..12u32).map(|k| p.delay_s(k, &mut rng)).collect()
+        };
+        let a = schedule(seed);
+        let b = schedule(seed);
+        prop_assert_eq!(a.clone(), b, "same seed must replay the same schedule");
+        for (i, d) in a.iter().enumerate() {
+            let base_k = p.base_delay_s(i as u32 + 1);
+            prop_assert!(*d >= base_k - 1e-12, "jitter must not shrink the delay");
+            prop_assert!(
+                *d <= base_k * (1.0 + jitter) + 1e-12,
+                "jitter must stay within its fraction"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_budget_counts_the_first_attempt(n in 1u32..20) {
+        let p = RetryPolicy::fixed(n, 0.0);
+        prop_assert!(p.allows_retry(n - 1), "attempt {} of {} must be allowed", n, n);
+        prop_assert!(!p.allows_retry(n), "budget {} must be exhausted after {} attempts", n, n);
     }
 }
