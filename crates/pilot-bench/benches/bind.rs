@@ -1,0 +1,87 @@
+//! Micro-benchmark: one late-binding pass over a deep pending queue.
+//!
+//! Compares the original rebuild-per-bind loop (`per_unit_pass`, kept as the
+//! executable specification) against the batched pass both backends now run
+//! (`batched_pass`: one snapshot build, in-place capacity deltas). The
+//! managers wake the pass on every capacity change, so its cost bounds
+//! middleware bind throughput under pilot churn (EXP SC-1 sweeps the same
+//! axes end to end).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pilot_core::binding::{batched_pass, per_unit_pass, BindStats, PendingUnit};
+use pilot_core::describe::{DataLocation, UnitDescription};
+use pilot_core::ids::{PilotId, UnitId};
+use pilot_core::scheduler::{LoadBalanceScheduler, PilotSnapshot};
+use pilot_infra::types::SiteId;
+use std::hint::black_box;
+
+fn pilots(n: usize) -> Vec<PilotSnapshot> {
+    (0..n)
+        .map(|i| PilotSnapshot {
+            pilot: PilotId(i as u64 + 1),
+            site: SiteId((i % 4) as u16),
+            total_cores: 32,
+            free_cores: 32,
+            bound_units: 0,
+            remaining_walltime_s: 3600.0 - i as f64,
+        })
+        .collect()
+}
+
+fn pending(n: usize) -> Vec<PendingUnit> {
+    (0..n)
+        .map(|i| PendingUnit {
+            unit: UnitId(i as u64 + 1),
+            desc: UnitDescription::new(1)
+                .with_priority((i % 7) as i32 - 3)
+                .with_inputs(vec![DataLocation::new(
+                    1_000_000,
+                    vec![SiteId((i % 4) as u16)],
+                )]),
+        })
+        .collect()
+}
+
+fn bench_bind(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bind_pass");
+    group.sample_size(10);
+    for &(n_units, n_pilots) in &[(100usize, 8usize), (1000, 32)] {
+        let snaps = pilots(n_pilots);
+        let pend = pending(n_units);
+        let label = format!("{n_units}u_{n_pilots}p");
+        group.bench_with_input(
+            BenchmarkId::new("per_unit", &label),
+            &(&snaps, &pend),
+            |b, (snaps, pend)| {
+                b.iter(|| {
+                    let mut stats = BindStats::default();
+                    black_box(per_unit_pass(
+                        &mut LoadBalanceScheduler,
+                        snaps,
+                        pend,
+                        &mut stats,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched", &label),
+            &(&snaps, &pend),
+            |b, (snaps, pend)| {
+                b.iter(|| {
+                    let mut stats = BindStats::default();
+                    black_box(batched_pass(
+                        &mut LoadBalanceScheduler,
+                        snaps,
+                        pend,
+                        &mut stats,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bind);
+criterion_main!(benches);

@@ -40,7 +40,7 @@ fn bench_schedulers(c: &mut Criterion) {
         let mut schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
             ("first-fit", Box::new(FirstFitScheduler)),
             ("load-balance", Box::new(LoadBalanceScheduler)),
-            ("data-aware", Box::new(DataAwareScheduler)),
+            ("data-aware", Box::new(DataAwareScheduler::default())),
             ("backfill", Box::new(BackfillScheduler::default())),
             ("random", Box::new(RandomScheduler::new(42))),
         ];

@@ -72,7 +72,7 @@ pub fn run_ab1(quick: bool) -> String {
         Box::new(RoundRobinScheduler::default()),
         Box::new(LoadBalanceScheduler),
         Box::new(BackfillScheduler::default()),
-        Box::new(DataAwareScheduler),
+        Box::new(DataAwareScheduler::default()),
         Box::new(RandomScheduler::new(0xAB1)),
     ];
     for sched in schedulers {

@@ -10,6 +10,7 @@ pub mod pj;
 pub mod pm;
 pub mod ps;
 pub mod rb;
+pub mod sc;
 pub mod t1;
 
 /// Run every experiment in index order; returns the concatenated reports.
@@ -46,6 +47,7 @@ pub fn registry() -> Vec<ExperimentEntry> {
         ("IO-1", io_dy::run_io1),
         ("DY-1", io_dy::run_dy1),
         ("RB-1", rb::run_rb1),
+        ("SC-1", sc::run_sc1),
         ("DF-1", ab::run_df1),
         ("AB-1", ab::run_ab1),
         ("AB-2", ab::run_ab2),

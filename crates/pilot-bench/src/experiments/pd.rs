@@ -24,7 +24,7 @@ pub fn run_pd1(quick: bool) -> String {
     let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
         ("random", Box::new(RandomScheduler::new(77))),
         ("load-balance", Box::new(LoadBalanceScheduler)),
-        ("data-aware", Box::new(DataAwareScheduler)),
+        ("data-aware", Box::new(DataAwareScheduler::default())),
     ];
     for (name, sched) in schedulers {
         let mut sys = SimPilotSystem::new(0xAD1);

@@ -1,0 +1,357 @@
+//! The batched late-binding pass shared by both execution backends.
+//!
+//! The unit manager re-matches pending compute units against pilot capacity
+//! on every capacity change (the P\* late-binding contract). The original
+//! pass rebuilt the full pilot-snapshot vector after *every single bind* and
+//! removed bound units from a sorted `Vec` with `O(n)` `remove(i)`, which
+//! made one capacity change cost `O(binds × (pilots + pending))` snapshot
+//! work. This module provides the batched replacement:
+//!
+//! - snapshots are built **once per pass**; after each successful bind the
+//!   capacity delta ([`apply_bind_delta`]) is applied to the in-memory
+//!   snapshots instead of rebuilding,
+//! - pending units live in a [`PendingQueue`] (binary heap ordered by
+//!   priority, then FIFO by id) instead of a re-sorted `Vec`,
+//! - [`BindStats`] counts passes, snapshot builds, candidate comparisons and
+//!   binds, and is surfaced in both backends' reports.
+//!
+//! Schedulers stay pure decision functions over snapshots (the AB-1 ablation
+//! contract): binding one unit only shrinks free capacity, so a unit the
+//! scheduler refused earlier in a pass cannot become bindable later in the
+//! same pass, and offering each pending unit exactly once per pass yields
+//! placements identical to the rebuild-per-bind loop. [`per_unit_pass`] keeps
+//! that original loop alive as the executable specification the equivalence
+//! proptest and the `bind` bench baseline run against.
+
+use crate::describe::UnitDescription;
+use crate::ids::{PilotId, UnitId};
+use crate::scheduler::{PilotSnapshot, Scheduler, UnitRequest};
+use std::collections::BinaryHeap;
+
+/// Counters for the late-binding hot path. One pass = one wakeup of the
+/// binding loop with at least one pending unit and one visible pilot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BindStats {
+    /// Binding passes run.
+    pub passes: u64,
+    /// Pilot-snapshot vectors built. The batched pass builds exactly one per
+    /// pass; the per-unit pass rebuilt once per bind (plus the initial one).
+    pub snapshot_builds: u64,
+    /// Unit×pilot candidates offered to the scheduler (each `select` call
+    /// scans at most the full snapshot slice).
+    pub candidate_comparisons: u64,
+    /// Successful binds.
+    pub binds: u64,
+    /// Largest number of binds committed by a single pass.
+    pub max_binds_per_pass: u64,
+}
+
+impl BindStats {
+    /// Fold one finished pass into the totals.
+    pub fn note_pass(&mut self, snapshot_len: usize, offered: u64, binds: u64) {
+        self.passes += 1;
+        self.snapshot_builds += 1;
+        self.candidate_comparisons += offered * snapshot_len as u64;
+        self.binds += binds;
+        self.max_binds_per_pass = self.max_binds_per_pass.max(binds);
+    }
+
+    /// Mean binds per pass (0 when no pass ran).
+    pub fn binds_per_pass(&self) -> f64 {
+        if self.passes == 0 {
+            0.0
+        } else {
+            self.binds as f64 / self.passes as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PendEntry {
+    priority: i32,
+    id: UnitId,
+}
+
+impl Ord for PendEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then FIFO (smaller id first).
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.id.0.cmp(&self.id.0))
+    }
+}
+
+impl PartialOrd for PendEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of pending units: higher [`UnitDescription::priority`]
+/// binds earlier, ties break FIFO by unit id. Replaces the re-sorted `Vec`
+/// (`O(n log n)` per wakeup + `O(n)` `remove`) with `O(log n)` push/pop.
+///
+/// Entries are not removed on unit cancellation; callers skip stale entries
+/// at pop time by checking the unit's live state (lazy deletion).
+#[derive(Debug, Default)]
+pub struct PendingQueue {
+    heap: BinaryHeap<PendEntry>,
+}
+
+impl PendingQueue {
+    /// Enqueue a unit at the given priority.
+    pub fn push(&mut self, id: UnitId, priority: i32) {
+        self.heap.push(PendEntry { priority, id });
+    }
+
+    /// Highest-priority unit, or `None` when empty. May return units that
+    /// have since left the pending state — callers must validate.
+    pub fn pop(&mut self) -> Option<UnitId> {
+        self.heap.pop().map(|e| e.id)
+    }
+
+    /// Entries in the queue (including stale ones awaiting lazy deletion).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drain every entry in priority order.
+    pub fn drain(&mut self) -> Vec<UnitId> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.heap.pop() {
+            out.push(e.id);
+        }
+        out
+    }
+}
+
+/// Decrement a pilot's snapshot capacity after a successful bind, in place of
+/// a full snapshot rebuild. Panics if the scheduler returned a pilot that is
+/// not in the snapshot set or lacks the cores (the manager's over-commit
+/// guard).
+pub fn apply_bind_delta(snapshots: &mut [PilotSnapshot], pilot: PilotId, cores: u32) {
+    let p = snapshots
+        .iter_mut()
+        .find(|p| p.pilot == pilot)
+        .expect("scheduler returned a pilot outside the snapshot set");
+    assert!(
+        p.free_cores >= cores,
+        "scheduler over-committed pilot {pilot}"
+    );
+    p.free_cores -= cores;
+    p.bound_units += 1;
+}
+
+/// A pending unit in pure-pass form (tests, benches, experiments).
+#[derive(Clone, Debug)]
+pub struct PendingUnit {
+    /// Which unit.
+    pub unit: UnitId,
+    /// Its description.
+    pub desc: UnitDescription,
+}
+
+fn sorted_by_priority(pending: &[PendingUnit]) -> Vec<&PendingUnit> {
+    let mut order: Vec<&PendingUnit> = pending.iter().collect();
+    order.sort_by_key(|u| (std::cmp::Reverse(u.desc.priority), u.unit.0));
+    order
+}
+
+/// The original rebuild-per-bind pass, retained as the executable
+/// specification: scan pending units in priority order, bind the first one
+/// the scheduler accepts, rebuild every pilot snapshot, restart the scan.
+/// Returns the committed `(unit, pilot)` placements in bind order.
+pub fn per_unit_pass(
+    scheduler: &mut dyn Scheduler,
+    pilots: &[PilotSnapshot],
+    pending: &[PendingUnit],
+    stats: &mut BindStats,
+) -> Vec<(UnitId, PilotId)> {
+    let mut order = sorted_by_priority(pending);
+    let mut binds: Vec<(UnitId, PilotId)> = Vec::new();
+    stats.passes += 1;
+    scheduler.begin_pass();
+    loop {
+        // Rebuild the full snapshot vector, replaying every committed bind —
+        // exactly what the managers did against their live pilot tables.
+        let mut snapshots = pilots.to_vec();
+        stats.snapshot_builds += 1;
+        for &(uid, pid) in &binds {
+            let cores = pending
+                .iter()
+                .find(|u| u.unit == uid)
+                .expect("bound unit came from pending")
+                .desc
+                .cores;
+            apply_bind_delta(&mut snapshots, pid, cores);
+        }
+        if snapshots.is_empty() {
+            break;
+        }
+        let mut bound = None;
+        for (i, u) in order.iter().enumerate() {
+            stats.candidate_comparisons += snapshots.len() as u64;
+            let req = UnitRequest {
+                unit: u.unit,
+                desc: &u.desc,
+            };
+            if let Some(pid) = scheduler.select(&req, &snapshots) {
+                bound = Some((i, u.unit, pid));
+                break;
+            }
+        }
+        let Some((i, uid, pid)) = bound else {
+            break;
+        };
+        order.remove(i);
+        binds.push((uid, pid));
+        stats.binds += 1;
+    }
+    stats.max_binds_per_pass = stats.max_binds_per_pass.max(binds.len() as u64);
+    binds
+}
+
+/// The batched pass: one snapshot build, one `select` per pending unit,
+/// in-place capacity deltas after each bind. Returns the committed
+/// `(unit, pilot)` placements in bind order — byte-identical to
+/// [`per_unit_pass`] for every scheduler (the equivalence proptest).
+pub fn batched_pass(
+    scheduler: &mut dyn Scheduler,
+    pilots: &[PilotSnapshot],
+    pending: &[PendingUnit],
+    stats: &mut BindStats,
+) -> Vec<(UnitId, PilotId)> {
+    let mut snapshots = pilots.to_vec();
+    let mut binds: Vec<(UnitId, PilotId)> = Vec::new();
+    let mut offered = 0u64;
+    scheduler.begin_pass();
+    for u in sorted_by_priority(pending) {
+        offered += 1;
+        let req = UnitRequest {
+            unit: u.unit,
+            desc: &u.desc,
+        };
+        if let Some(pid) = scheduler.select(&req, &snapshots) {
+            apply_bind_delta(&mut snapshots, pid, u.desc.cores);
+            binds.push((u.unit, pid));
+        }
+    }
+    stats.note_pass(snapshots.len(), offered, binds.len() as u64);
+    binds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{FirstFitScheduler, LoadBalanceScheduler};
+    use pilot_infra::types::SiteId;
+
+    fn snap(id: u64, free: u32) -> PilotSnapshot {
+        PilotSnapshot {
+            pilot: PilotId(id),
+            site: SiteId(0),
+            total_cores: 8,
+            free_cores: free,
+            bound_units: 0,
+            remaining_walltime_s: 1000.0,
+        }
+    }
+
+    fn unit(id: u64, cores: u32, priority: i32) -> PendingUnit {
+        PendingUnit {
+            unit: UnitId(id),
+            desc: UnitDescription::new(cores).with_priority(priority),
+        }
+    }
+
+    #[test]
+    fn queue_orders_by_priority_then_fifo() {
+        let mut q = PendingQueue::default();
+        q.push(UnitId(3), 0);
+        q.push(UnitId(1), 0);
+        q.push(UnitId(2), 5);
+        q.push(UnitId(4), -1);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some(UnitId(2)));
+        assert_eq!(q.pop(), Some(UnitId(1)));
+        assert_eq!(q.pop(), Some(UnitId(3)));
+        assert_eq!(q.pop(), Some(UnitId(4)));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_drains_in_priority_order() {
+        let mut q = PendingQueue::default();
+        for (id, prio) in [(1u64, 0), (2, 9), (3, 4)] {
+            q.push(UnitId(id), prio);
+        }
+        assert_eq!(
+            q.drain(),
+            vec![UnitId(2), UnitId(3), UnitId(1)],
+            "drain follows pop order"
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batched_pass_builds_one_snapshot_regardless_of_binds() {
+        let pilots = [snap(1, 8), snap(2, 8)];
+        let pending: Vec<PendingUnit> = (0..10).map(|i| unit(i, 1, 0)).collect();
+        let mut stats = BindStats::default();
+        let binds = batched_pass(&mut FirstFitScheduler, &pilots, &pending, &mut stats);
+        assert_eq!(binds.len(), 10);
+        assert_eq!(stats.snapshot_builds, 1, "one build per pass, not per bind");
+        assert_eq!(stats.passes, 1);
+        assert_eq!(stats.binds, 10);
+        assert_eq!(stats.max_binds_per_pass, 10);
+        assert_eq!(stats.candidate_comparisons, 20, "10 units × 2 pilots");
+        assert!((stats.binds_per_pass() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_unit_pass_rebuilds_once_per_bind() {
+        let pilots = [snap(1, 8), snap(2, 8)];
+        let pending: Vec<PendingUnit> = (0..10).map(|i| unit(i, 1, 0)).collect();
+        let mut stats = BindStats::default();
+        let binds = per_unit_pass(&mut FirstFitScheduler, &pilots, &pending, &mut stats);
+        assert_eq!(binds.len(), 10);
+        assert_eq!(stats.snapshot_builds, 11, "initial build + one per bind");
+    }
+
+    #[test]
+    fn passes_agree_and_respect_capacity() {
+        // 2 pilots × 3 free cores, five 2-core units: only two can bind.
+        let pilots = [snap(1, 3), snap(2, 3)];
+        let pending: Vec<PendingUnit> = (0..5).map(|i| unit(i, 2, 0)).collect();
+        let mut s1 = BindStats::default();
+        let mut s2 = BindStats::default();
+        let a = per_unit_pass(&mut LoadBalanceScheduler, &pilots, &pending, &mut s1);
+        let b = batched_pass(&mut LoadBalanceScheduler, &pilots, &pending, &mut s2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(s2.snapshot_builds, 1);
+        assert_eq!(s1.snapshot_builds, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-committed")]
+    fn delta_guards_against_overcommit() {
+        let mut snaps = vec![snap(1, 1)];
+        apply_bind_delta(&mut snaps, PilotId(1), 2);
+    }
+
+    #[test]
+    fn delta_decrements_and_counts() {
+        let mut snaps = vec![snap(1, 5), snap(2, 5)];
+        apply_bind_delta(&mut snaps, PilotId(2), 3);
+        assert_eq!(snaps[1].free_cores, 2);
+        assert_eq!(snaps[1].bound_units, 1);
+        assert_eq!(snaps[0].free_cores, 5);
+    }
+}

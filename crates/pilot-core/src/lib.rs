@@ -32,6 +32,7 @@
 //! Both backends share the same state machines, descriptions, scheduler
 //! implementations and metric definitions, so results are comparable.
 
+pub mod binding;
 pub mod describe;
 pub mod ids;
 pub mod metrics;
@@ -41,6 +42,7 @@ pub mod sim;
 pub mod state;
 pub mod thread;
 
+pub use binding::{BindStats, PendingQueue};
 pub use describe::{DataLocation, PilotDescription, UnitDescription};
 pub use ids::{PilotId, UnitId};
 pub use metrics::{OverheadBreakdown, PilotTimes, UnitTimes};

@@ -10,6 +10,7 @@ use crate::describe::UnitDescription;
 use crate::ids::{PilotId, UnitId};
 use pilot_infra::types::SiteId;
 use pilot_sim::SimRng;
+use std::collections::{HashMap, HashSet};
 
 /// Point-in-time view of one pilot, as the unit manager sees it.
 #[derive(Clone, Debug)]
@@ -51,6 +52,12 @@ pub trait Scheduler: Send {
     /// with enough free cores (the manager asserts this).
     fn select(&mut self, unit: &UnitRequest<'_>, pilots: &[PilotSnapshot]) -> Option<PilotId>;
 
+    /// Called once at the start of every binding pass, before any `select`.
+    /// Stateful policies that count *passes* (not calls — the reference
+    /// per-unit pass re-offers refused units within one pass) hook this;
+    /// the default is a no-op.
+    fn begin_pass(&mut self) {}
+
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 }
@@ -74,9 +81,14 @@ impl Scheduler for FirstFitScheduler {
 
 /// Rotate across pilots with room, ignoring load (spreads units evenly by
 /// count, not by size).
+///
+/// The rotation anchor is the *identity* of the last-chosen pilot, not an
+/// index into the pilot slice: slice membership changes between calls (pilots
+/// join, die, get blacklisted), and a stored index would silently point at a
+/// different pilot after churn, skewing the rotation.
 #[derive(Default, Debug, Clone)]
 pub struct RoundRobinScheduler {
-    cursor: usize,
+    last: Option<PilotId>,
 }
 
 impl Scheduler for RoundRobinScheduler {
@@ -85,10 +97,27 @@ impl Scheduler for RoundRobinScheduler {
             return None;
         }
         let n = pilots.len();
+        let start = match self.last {
+            None => 0,
+            Some(last) => match pilots.iter().position(|p| p.pilot == last) {
+                Some(i) => (i + 1) % n,
+                // The anchor left the set: resume at the pilot with the next
+                // id above it (wrapping to the smallest) so the rotation
+                // continues instead of restarting.
+                None => pilots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.pilot.0 > last.0)
+                    .min_by_key(|(_, p)| p.pilot.0)
+                    .or_else(|| pilots.iter().enumerate().min_by_key(|(_, p)| p.pilot.0))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0),
+            },
+        };
         for i in 0..n {
-            let p = &pilots[(self.cursor + i) % n];
+            let p = &pilots[(start + i) % n];
             if p.fits(unit.desc.cores) {
-                self.cursor = (self.cursor + i + 1) % n;
+                self.last = Some(p.pilot);
                 return Some(p.pilot);
             }
         }
@@ -129,30 +158,91 @@ impl Scheduler for LoadBalanceScheduler {
 /// pending rather than being staged to a remote site — the local slot it is
 /// waiting for frees up within one task duration. Units whose data is at no
 /// pilot's site fall back to the least-loaded feasible pilot.
-#[derive(Default, Debug, Clone)]
-pub struct DataAwareScheduler;
+///
+/// The wait is *bounded*: a unit refused `max_wait_passes` consecutive
+/// binding passes stops insisting on locality and falls back to the
+/// least-loaded feasible pilot. Without the bound, a unit whose only
+/// data-local pilot is permanently full (or stuck pending) starves forever —
+/// exactly the regime pilot churn and fault injection produce.
+#[derive(Debug, Clone)]
+pub struct DataAwareScheduler {
+    /// Refused passes a unit waits for a local slot before going remote.
+    pub max_wait_passes: u32,
+    /// Refused-pass count per still-waiting unit (cleared on bind).
+    deferrals: HashMap<UnitId, u32>,
+    /// Units already charged a deferral in the current pass: the reference
+    /// per-unit pass re-offers refused units within one pass, and those
+    /// re-offers must not burn extra wait budget.
+    deferred_this_pass: HashSet<UnitId>,
+}
+
+impl Default for DataAwareScheduler {
+    fn default() -> Self {
+        DataAwareScheduler {
+            max_wait_passes: 16,
+            deferrals: HashMap::new(),
+            deferred_this_pass: HashSet::new(),
+        }
+    }
+}
+
+impl DataAwareScheduler {
+    /// Delay scheduling bounded at `max_wait_passes` refused passes.
+    pub fn with_max_wait(max_wait_passes: u32) -> Self {
+        DataAwareScheduler {
+            max_wait_passes,
+            ..Default::default()
+        }
+    }
+}
 
 impl Scheduler for DataAwareScheduler {
     fn select(&mut self, unit: &UnitRequest<'_>, pilots: &[PilotSnapshot]) -> Option<PilotId> {
         let total = unit.desc.input_bytes();
         if total > 0 {
             let local_bytes = |p: &PilotSnapshot| total - unit.desc.remote_bytes(p.site);
-            // Does *any* active pilot (even a full one) sit at the data?
-            if pilots.iter().any(|p| local_bytes(p) > 0) {
+            // Refusals already charged this pass don't count against the
+            // budget a second time within the same pass.
+            let charged = u32::from(self.deferred_this_pass.contains(&unit.unit));
+            let waited = self
+                .deferrals
+                .get(&unit.unit)
+                .copied()
+                .unwrap_or(0)
+                .saturating_sub(charged);
+            // Does *any* active pilot (even a full one) sit at the data —
+            // and is this unit still within its wait budget?
+            if waited < self.max_wait_passes && pilots.iter().any(|p| local_bytes(p) > 0) {
                 // Then bind only to a local pilot with room — or wait.
-                return pilots
+                let choice = pilots
                     .iter()
                     .filter(|p| p.fits(unit.desc.cores) && local_bytes(p) > 0)
                     .max_by_key(|p| (local_bytes(p), p.free_cores as u64))
                     .map(|p| p.pilot);
+                if choice.is_some() {
+                    self.deferrals.remove(&unit.unit);
+                    self.deferred_this_pass.remove(&unit.unit);
+                } else if self.deferred_this_pass.insert(unit.unit) {
+                    *self.deferrals.entry(unit.unit).or_insert(0) += 1;
+                }
+                return choice;
             }
         }
-        // No data, or data lives nowhere near any pilot: balance load.
-        pilots
+        // No data, data lives nowhere near any pilot, or the unit exhausted
+        // its wait budget: balance load.
+        let choice = pilots
             .iter()
             .filter(|p| p.fits(unit.desc.cores))
             .max_by_key(|p| p.free_cores)
-            .map(|p| p.pilot)
+            .map(|p| p.pilot);
+        if choice.is_some() {
+            self.deferrals.remove(&unit.unit);
+            self.deferred_this_pass.remove(&unit.unit);
+        }
+        choice
+    }
+    fn begin_pass(&mut self) {
+        self.deferred_this_pass.clear();
     }
     fn name(&self) -> &'static str {
         "data-aware"
@@ -161,8 +251,13 @@ impl Scheduler for DataAwareScheduler {
 
 /// Walltime-aware binding: only bind a unit to a pilot whose remaining
 /// walltime covers the unit's estimated duration (with a safety factor), so
-/// work is never started that the pilot cannot finish. Units without an
-/// estimate bind anywhere.
+/// work is never started that the pilot cannot finish.
+///
+/// Units *with* an estimate prefer the feasible pilot closest to expiry
+/// (classic backfill: use up ending resources first). Units *without* an
+/// estimate bind to the pilot with the **most** remaining walltime — parking
+/// unknown-length work on an expiring pilot routinely gets it killed at pilot
+/// walltime and requeued as wasted work.
 #[derive(Debug, Clone)]
 pub struct BackfillScheduler {
     /// Multiplier on the estimate when checking remaining walltime.
@@ -178,21 +273,22 @@ impl Default for BackfillScheduler {
 impl Scheduler for BackfillScheduler {
     fn select(&mut self, unit: &UnitRequest<'_>, pilots: &[PilotSnapshot]) -> Option<PilotId> {
         let needed = unit.desc.est_duration_s.map(|d| d * self.safety_factor);
-        pilots
-            .iter()
-            .filter(|p| p.fits(unit.desc.cores))
-            .filter(|p| match needed {
-                Some(n) => p.remaining_walltime_s >= n,
-                None => true,
-            })
-            // Among feasible pilots, prefer the one closest to expiry that
-            // still fits (classic backfill: use up ending resources first).
-            .min_by(|a, b| {
-                a.remaining_walltime_s
-                    .partial_cmp(&b.remaining_walltime_s)
-                    .expect("walltimes are finite")
-            })
-            .map(|p| p.pilot)
+        let feasible = pilots.iter().filter(|p| p.fits(unit.desc.cores));
+        let by_walltime = |a: &&PilotSnapshot, b: &&PilotSnapshot| {
+            a.remaining_walltime_s
+                .partial_cmp(&b.remaining_walltime_s)
+                .expect("walltimes are finite")
+        };
+        match needed {
+            // Covered estimate: backfill the pilot closest to expiry.
+            Some(n) => feasible
+                .filter(|p| p.remaining_walltime_s >= n)
+                .min_by(by_walltime),
+            // No estimate: maximize headroom instead of risking a
+            // walltime kill.
+            None => feasible.max_by(by_walltime),
+        }
+        .map(|p| p.pilot)
     }
     fn name(&self) -> &'static str {
         "backfill"
@@ -280,6 +376,34 @@ mod tests {
     }
 
     #[test]
+    fn round_robin_survives_pilot_churn() {
+        // Regression: the old implementation kept a slice *index*, so when
+        // membership changed between calls the cursor pointed at a different
+        // pilot and the rotation repeated or skipped pilots.
+        let mut s = RoundRobinScheduler::default();
+        let d = UnitDescription::new(1);
+        let all = [
+            snap(1, 0, 8, 8, 0, 100.0),
+            snap(2, 0, 8, 8, 0, 100.0),
+            snap(3, 0, 8, 8, 0, 100.0),
+        ];
+        assert_eq!(s.select(&req(&d), &all), Some(PilotId(1)));
+        assert_eq!(s.select(&req(&d), &all), Some(PilotId(2)));
+        // Pilot 1 dies: rotation must continue at 3, not revisit 2 (the old
+        // cursor=2 pointed past the end of the shrunken slice, wrapping to 2).
+        let without_1 = [all[1].clone(), all[2].clone()];
+        assert_eq!(s.select(&req(&d), &without_1), Some(PilotId(3)));
+        // Last-chosen pilot 3 also dies: resume after its id → wrap to 2.
+        let only_2 = [all[1].clone()];
+        assert_eq!(s.select(&req(&d), &only_2), Some(PilotId(2)));
+        // A new pilot joins mid-rotation: next in id order after 2 is 3... 4.
+        let with_4 = [all[1].clone(), all[2].clone(), snap(4, 0, 8, 8, 0, 100.0)];
+        assert_eq!(s.select(&req(&d), &with_4), Some(PilotId(3)));
+        assert_eq!(s.select(&req(&d), &with_4), Some(PilotId(4)));
+        assert_eq!(s.select(&req(&d), &with_4), Some(PilotId(2)));
+    }
+
+    #[test]
     fn round_robin_skips_full_pilot() {
         let mut s = RoundRobinScheduler::default();
         let pilots = [snap(1, 0, 8, 0, 8, 100.0), snap(2, 0, 8, 4, 0, 100.0)];
@@ -303,7 +427,7 @@ mod tests {
 
     #[test]
     fn data_aware_follows_bytes() {
-        let mut s = DataAwareScheduler;
+        let mut s = DataAwareScheduler::default();
         let pilots = [snap(1, 0, 8, 4, 0, 100.0), snap(2, 1, 8, 8, 0, 100.0)];
         // 1 GB at site 0, 1 MB at site 1.
         let d = UnitDescription::new(1).with_inputs(vec![
@@ -317,6 +441,34 @@ mod tests {
     }
 
     #[test]
+    fn data_aware_wait_is_bounded() {
+        // Regression: delay scheduling starved forever when the only
+        // data-local pilot was permanently full. After `max_wait_passes`
+        // refused passes the unit must fall back to the least-loaded pilot.
+        let mut s = DataAwareScheduler::with_max_wait(3);
+        // Pilot 1 sits at the data but is full; pilot 2 is remote and free.
+        let pilots = [snap(1, 0, 8, 0, 8, 100.0), snap(2, 1, 8, 8, 0, 100.0)];
+        let d = UnitDescription::new(1)
+            .with_inputs(vec![DataLocation::new(1_000_000, vec![SiteId(0)])]);
+        for pass in 0..3 {
+            s.begin_pass();
+            assert_eq!(s.select(&req(&d), &pilots), None, "pass {pass} waits");
+            // Re-offers within the same pass don't burn extra wait budget.
+            assert_eq!(s.select(&req(&d), &pilots), None);
+        }
+        s.begin_pass();
+        assert_eq!(
+            s.select(&req(&d), &pilots),
+            Some(PilotId(2)),
+            "budget exhausted: go remote rather than starve"
+        );
+        // A successful bind clears the unit's wait state: a fresh unit with
+        // the same id waits again from zero.
+        s.begin_pass();
+        assert_eq!(s.select(&req(&d), &pilots), None);
+    }
+
+    #[test]
     fn backfill_respects_remaining_walltime() {
         let mut s = BackfillScheduler::default();
         let pilots = [snap(1, 0, 8, 8, 0, 30.0), snap(2, 0, 8, 8, 0, 500.0)];
@@ -326,9 +478,10 @@ mod tests {
         // 10 s estimate: both qualify; prefer the expiring one.
         let d_short = UnitDescription::new(1).with_estimate(10.0);
         assert_eq!(s.select(&req(&d_short), &pilots), Some(PilotId(1)));
-        // No estimate: binds (prefers expiring pilot).
+        // No estimate: prefer the pilot with the most headroom, not the one
+        // about to kill the unit at walltime.
         let d_unknown = UnitDescription::new(1);
-        assert_eq!(s.select(&req(&d_unknown), &pilots), Some(PilotId(1)));
+        assert_eq!(s.select(&req(&d_unknown), &pilots), Some(PilotId(2)));
         // Nothing has enough walltime.
         let d_long = UnitDescription::new(1).with_estimate(1000.0);
         assert_eq!(s.select(&req(&d_long), &pilots), None);
@@ -360,7 +513,7 @@ mod tests {
         assert_eq!(FirstFitScheduler.select(&req(&d), &[]), None);
         assert_eq!(RoundRobinScheduler::default().select(&req(&d), &[]), None);
         assert_eq!(LoadBalanceScheduler.select(&req(&d), &[]), None);
-        assert_eq!(DataAwareScheduler.select(&req(&d), &[]), None);
+        assert_eq!(DataAwareScheduler::default().select(&req(&d), &[]), None);
         assert_eq!(BackfillScheduler::default().select(&req(&d), &[]), None);
         assert_eq!(RandomScheduler::new(1).select(&req(&d), &[]), None);
     }
@@ -370,7 +523,7 @@ mod tests {
         assert_eq!(FirstFitScheduler.name(), "first-fit");
         assert_eq!(RoundRobinScheduler::default().name(), "round-robin");
         assert_eq!(LoadBalanceScheduler.name(), "load-balance");
-        assert_eq!(DataAwareScheduler.name(), "data-aware");
+        assert_eq!(DataAwareScheduler::default().name(), "data-aware");
         assert_eq!(BackfillScheduler::default().name(), "backfill");
         assert_eq!(RandomScheduler::new(0).name(), "random");
     }

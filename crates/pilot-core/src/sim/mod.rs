@@ -9,6 +9,7 @@
 //! which is what lets the experiment harness sweep hundreds of configurations
 //! (EXP PJ-1/PJ-4/IO-1/DY-1) in milliseconds.
 
+use crate::binding::{self, BindStats, PendingQueue};
 use crate::describe::{PilotDescription, UnitDescription};
 use crate::ids::{IdGen, PilotId, UnitId};
 use crate::metrics::{self, PilotTimes, UnitRecord, UnitTimes};
@@ -67,6 +68,8 @@ pub struct SimReport {
     pub end_time: SimTime,
     /// Reliability counters (attempts, requeues, wasted work, recovery).
     pub reliability: ReliabilityStats,
+    /// Late-binding hot-path counters (passes, snapshot builds, binds).
+    pub bind: BindStats,
 }
 
 impl SimReport {
@@ -138,6 +141,9 @@ enum Ev {
     RetryRelease(UnitId, u64),
     /// Injected pilot crash from the fault plan.
     PilotCrash(PilotId),
+    /// Dirty-flag wakeup: run one batched late-binding pass covering every
+    /// capacity change posted at this instant.
+    BindPass,
     PolicyTick,
 }
 
@@ -173,7 +179,9 @@ struct SystemMachine {
     rng: SimRng,
     pilots: HashMap<PilotId, SimPilotRt>,
     units: HashMap<UnitId, SimUnitRt>,
-    pending: Vec<UnitId>,
+    pending: PendingQueue,
+    /// A `BindPass` event is already queued for the current instant.
+    sched_dirty: bool,
     job_owner: HashMap<(usize, JobId), PilotId>,
     next_job: u64,
     policy: Option<ScaleOutPolicy>,
@@ -183,6 +191,7 @@ struct SystemMachine {
     faults: FaultPlan,
     tracker: FailureTracker,
     rel: ReliabilityStats,
+    stats: BindStats,
 }
 
 impl SystemMachine {
@@ -325,7 +334,8 @@ impl SystemMachine {
         u.generation += 1;
         u.times.bound = None;
         u.times.started = None;
-        self.pending.push(uid);
+        let priority = u.desc.priority;
+        self.pending.push(uid, priority);
         self.rel.rebinds += 1;
         self.trace.mark(now, "cu.requeued", uid.0);
         u.desc.cores
@@ -382,61 +392,89 @@ impl SystemMachine {
         self.schedule(now, out);
     }
 
-    fn schedule(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
-        self.pending
-            .sort_by_key(|id| (-self.units[id].desc.priority, id.0));
-        loop {
-            // Full *and still-pending* pilots stay visible (with zero free
-            // cores): delay-scheduling policies must be able to decide
-            // "wait for that pilot" over "go remote now".
-            let snapshots: Vec<PilotSnapshot> = self
-                .pilots
-                .iter()
-                .filter(|(id, p)| {
-                    ((p.state == PilotState::Active && p.capacity > 0)
-                        || p.state == PilotState::Pending)
-                        && !self.tracker.is_blacklisted(**id)
-                })
-                .map(|(&id, p)| PilotSnapshot {
-                    pilot: id,
-                    site: SiteId(p.site as u16),
-                    total_cores: p.capacity,
-                    free_cores: p.capacity.saturating_sub(p.used),
-                    bound_units: 0,
-                    remaining_walltime_s: p
-                        .times
-                        .active
-                        .map(|a| a + p.desc.walltime.as_secs_f64() - Self::now_s(now))
-                        .unwrap_or(0.0),
-                })
-                .collect();
-            let mut snapshots = snapshots;
-            // HashMap iteration order is not deterministic; schedulers see
-            // pilots in id order so identical seeds replay identically.
-            snapshots.sort_by_key(|s| s.pilot.0);
-            if snapshots.is_empty() || self.pending.is_empty() {
-                return;
-            }
-            let mut bound = None;
-            for (i, &uid) in self.pending.iter().enumerate() {
-                let u = &self.units[&uid];
-                if let Some(pid) = self.scheduler.select(
-                    &UnitRequest {
-                        unit: uid,
-                        desc: &u.desc,
-                    },
-                    &snapshots,
-                ) {
-                    bound = Some((i, uid, pid));
-                    break;
-                }
-            }
-            let Some((i, uid, pid)) = bound else {
-                return;
-            };
-            self.pending.remove(i);
-            self.bind(now, uid, pid, out);
+    /// Request a late-binding pass. Posts one `BindPass` event for the
+    /// current instant; every capacity change arriving before it fires is
+    /// covered by the same pass (dirty-flag wakeup).
+    fn schedule(&mut self, _now: SimTime, out: &mut Outbox<Ev>) {
+        if !self.sched_dirty {
+            self.sched_dirty = true;
+            out.immediately(Ev::BindPass);
         }
+    }
+
+    /// One batched late-binding pass: build the pilot snapshots once, offer
+    /// every pending unit in priority order, and apply capacity deltas to the
+    /// in-memory snapshots after each bind. Binding only shrinks capacity, so
+    /// a refused unit cannot become bindable later in the same pass and the
+    /// placements match the old rebuild-per-bind loop (see `crate::binding`).
+    fn bind_pass(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // Full *and still-pending* pilots stay visible (with zero free
+        // cores): delay-scheduling policies must be able to decide
+        // "wait for that pilot" over "go remote now".
+        let mut snapshots: Vec<PilotSnapshot> = self
+            .pilots
+            .iter()
+            .filter(|(id, p)| {
+                ((p.state == PilotState::Active && p.capacity > 0)
+                    || p.state == PilotState::Pending)
+                    && !self.tracker.is_blacklisted(**id)
+            })
+            .map(|(&id, p)| PilotSnapshot {
+                pilot: id,
+                site: SiteId(p.site as u16),
+                total_cores: p.capacity,
+                free_cores: p.capacity.saturating_sub(p.used),
+                bound_units: 0,
+                remaining_walltime_s: p
+                    .times
+                    .active
+                    .map(|a| a + p.desc.walltime.as_secs_f64() - Self::now_s(now))
+                    .unwrap_or(0.0),
+            })
+            .collect();
+        if snapshots.is_empty() {
+            return;
+        }
+        // HashMap iteration order is not deterministic; schedulers see
+        // pilots in id order so identical seeds replay identically.
+        snapshots.sort_by_key(|s| s.pilot.0);
+        self.scheduler.begin_pass();
+        let mut offered = 0u64;
+        let mut binds = 0u64;
+        let mut refused: Vec<(UnitId, i32)> = Vec::new();
+        while let Some(uid) = self.pending.pop() {
+            // Lazy deletion: skip entries whose unit has left `Pending`.
+            let Some(u) = self.units.get(&uid) else {
+                continue;
+            };
+            if u.state != UnitState::Pending {
+                continue;
+            }
+            offered += 1;
+            let choice = self.scheduler.select(
+                &UnitRequest {
+                    unit: uid,
+                    desc: &u.desc,
+                },
+                &snapshots,
+            );
+            match choice {
+                Some(pid) => {
+                    let cores = u.desc.cores;
+                    binding::apply_bind_delta(&mut snapshots, pid, cores);
+                    self.bind(now, uid, pid, out);
+                    binds += 1;
+                }
+                None => refused.push((uid, u.desc.priority)),
+            }
+        }
+        for (uid, priority) in refused {
+            self.pending.push(uid, priority);
+        }
+        self.stats.note_pass(snapshots.len(), offered, binds);
     }
 
     fn bind(&mut self, now: SimTime, uid: UnitId, pid: PilotId, out: &mut Outbox<Ev>) {
@@ -519,7 +557,8 @@ impl Machine for SystemMachine {
                 let u = self.units.get_mut(&uid).expect("registered unit");
                 u.state = UnitState::Pending;
                 u.times.submitted = Self::now_s(now);
-                self.pending.push(uid);
+                let priority = u.desc.priority;
+                self.pending.push(uid, priority);
                 self.trace.mark(now, "cu.submitted", uid.0);
                 self.schedule(now, out);
             }
@@ -629,7 +668,8 @@ impl Machine for SystemMachine {
                 }
                 // The retry edge: Failed → Pending, back into late binding.
                 u.state = UnitState::Pending;
-                self.pending.push(uid);
+                let priority = u.desc.priority;
+                self.pending.push(uid, priority);
                 self.trace.mark(now, "cu.retry", uid.0);
                 self.schedule(now, out);
             }
@@ -672,6 +712,10 @@ impl Machine for SystemMachine {
                     }
                 }
                 self.schedule(now, out);
+            }
+            Ev::BindPass => {
+                self.sched_dirty = false;
+                self.bind_pass(now, out);
             }
             Ev::PolicyTick => {
                 let Some(policy) = self.policy.clone() else {
@@ -726,7 +770,8 @@ impl SimPilotSystem {
             rng: SimRng::new(seed),
             pilots: HashMap::new(),
             units: HashMap::new(),
-            pending: Vec::new(),
+            pending: PendingQueue::default(),
+            sched_dirty: false,
             job_owner: HashMap::new(),
             next_job: 1,
             policy: None,
@@ -736,6 +781,7 @@ impl SimPilotSystem {
             faults: FaultPlan::none(),
             tracker: FailureTracker::new(None),
             rel: ReliabilityStats::default(),
+            stats: BindStats::default(),
         };
         SimPilotSystem {
             exec: Executor::new(machine),
@@ -887,6 +933,7 @@ impl SimPilotSystem {
             trace: m.trace,
             end_time,
             reliability: m.rel,
+            bind: m.stats,
         }
     }
 }
@@ -1044,7 +1091,7 @@ mod tests {
         let b = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet(
             "hpc-b", 16,
         ))));
-        sys.set_scheduler(Box::new(DataAwareScheduler));
+        sys.set_scheduler(Box::new(DataAwareScheduler::default()));
         sys.submit_pilot(
             SimTime::ZERO,
             a,
@@ -1336,6 +1383,93 @@ mod tests {
             assert_eq!(ua.state, ub.state);
             assert_eq!(ua.times, ub.times, "unit {} times differ", ua.unit);
         }
+    }
+
+    #[test]
+    fn backfill_estimateless_units_avoid_expiring_pilots() {
+        // Regression: estimate-less units used to be backfilled onto the
+        // pilot *closest to expiry*, where the pilot's walltime routinely
+        // killed them mid-run and requeued the work. They must prefer the
+        // pilot with the most remaining walltime instead.
+        let mut sys = SimPilotSystem::new(21);
+        let site = sys.add_resource(quiet_hpc(16));
+        sys.set_scheduler(Box::new(crate::scheduler::BackfillScheduler::default()));
+        // One pilot about to expire, one with hours of headroom.
+        sys.submit_pilot(
+            SimTime::ZERO,
+            site,
+            PilotDescription::new(4, SimDuration::from_secs(60)),
+        );
+        sys.submit_pilot(
+            SimTime::ZERO,
+            site,
+            PilotDescription::new(4, SimDuration::from_hours(4)),
+        );
+        // 100 s units without runtime estimates: landing on the expiring
+        // pilot guarantees a walltime kill at t=60.
+        for _ in 0..4 {
+            sys.submit_unit_fixed(SimTime::from_secs(5), UnitDescription::new(1), 100.0);
+        }
+        let report = sys.run(SimTime::from_hours(8));
+        assert_eq!(report.count(UnitState::Done), 4);
+        assert_eq!(
+            report.reliability.rebinds, 0,
+            "no estimate-less unit may be killed at pilot walltime"
+        );
+        assert_eq!(
+            report.bind.snapshot_builds, report.bind.passes,
+            "batched pass builds one snapshot per pass"
+        );
+    }
+
+    #[test]
+    fn data_aware_starved_unit_falls_back_and_completes() {
+        // Regression: delay scheduling starved a unit forever when its only
+        // data-local pilot stayed permanently full. With the bounded wait it
+        // must go remote after `max_wait_passes` refused passes.
+        let mut sys = SimPilotSystem::new(23);
+        let a = sys.add_resource(quiet_hpc(16));
+        let b = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet(
+            "hpc-b", 16,
+        ))));
+        sys.set_scheduler(Box::new(DataAwareScheduler::with_max_wait(3)));
+        // The only pilot at the data site has one core…
+        sys.submit_pilot(
+            SimTime::ZERO,
+            b,
+            PilotDescription::new(1, SimDuration::from_hours(4)),
+        );
+        let remote = sys.submit_pilot(
+            SimTime::ZERO,
+            a,
+            PilotDescription::new(4, SimDuration::from_hours(4)),
+        );
+        // …and a blocker occupies it for the whole run.
+        sys.submit_unit_fixed(
+            SimTime::from_secs(5),
+            UnitDescription::new(1).with_inputs(vec![DataLocation::new(500_000_000, vec![b])]),
+            100_000.0,
+        );
+        // The victim's data also lives at b, behind the blocker.
+        let victim = sys.submit_unit_fixed(
+            SimTime::from_secs(6),
+            UnitDescription::new(1).with_inputs(vec![DataLocation::new(500_000_000, vec![b])]),
+            10.0,
+        );
+        // Background churn on site a drives the binding passes that charge
+        // the victim's wait budget.
+        for _ in 0..8 {
+            sys.submit_unit_fixed(SimTime::from_secs(7), UnitDescription::new(1), 3.0);
+        }
+        let report = sys.run(SimTime::from_secs(600));
+        let rec = report.units.iter().find(|r| r.unit == victim).unwrap();
+        assert_eq!(rec.state, UnitState::Done, "bounded wait must not starve");
+        assert_eq!(
+            rec.pilot,
+            Some(remote),
+            "after the wait budget the victim goes remote"
+        );
+        assert_eq!(report.count(UnitState::Done), 9, "victim + background");
     }
 
     #[test]

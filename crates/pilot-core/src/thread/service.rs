@@ -3,6 +3,7 @@
 
 use super::agent::{Agent, AgentReport, Assignment};
 use super::kernel::{TaskError, TaskOutput, WorkKernel};
+use crate::binding::{self, BindStats, PendingQueue};
 use crate::describe::{PilotDescription, UnitDescription};
 use crate::ids::{IdGen, PilotId, UnitId};
 use crate::metrics::{PilotTimes, UnitRecord, UnitTimes};
@@ -39,6 +40,8 @@ pub struct ServiceReport {
     pub pilots: Vec<(PilotId, String, SiteId, PilotState, PilotTimes)>,
     /// Reliability counters (attempts, requeues, wasted work, recovery).
     pub reliability: ReliabilityStats,
+    /// Late-binding hot-path counters (passes, snapshot builds, binds).
+    pub bind: BindStats,
 }
 
 impl ServiceReport {
@@ -99,6 +102,8 @@ struct RegInner {
     open_units: usize,
     /// Written by the manager loop when it exits; read by `shutdown`.
     rel: ReliabilityStats,
+    /// Written by the manager loop when it exits; read by `shutdown`.
+    bind: BindStats,
 }
 
 struct Registry {
@@ -190,16 +195,18 @@ impl ThreadPilotService {
                     scheduler,
                     pilots: HashMap::new(),
                     units: HashMap::new(),
-                    pending: Vec::new(),
+                    pending: PendingQueue::default(),
                     registry: mgr_registry,
                     epoch,
                     self_tx,
                     report_tx,
                     shutting_down: false,
+                    sched_dirty: false,
                     faults,
                     rng: SimRng::new(seed),
                     tracker: FailureTracker::new(faults.blacklist_after),
                     rel: ReliabilityStats::default(),
+                    stats: BindStats::default(),
                 }
                 .run(rx, report_rx)
             })
@@ -377,6 +384,7 @@ impl ThreadPilotService {
             units,
             pilots,
             reliability: g.rel.clone(),
+            bind: g.bind,
         }
     }
 }
@@ -394,16 +402,20 @@ struct Mgr {
     scheduler: Box<dyn Scheduler>,
     pilots: HashMap<PilotId, PilotRt>,
     units: HashMap<UnitId, UnitRt>,
-    pending: Vec<UnitId>,
+    pending: PendingQueue,
     registry: Arc<Registry>,
     epoch: Instant,
     self_tx: Sender<Msg>,
     report_tx: Sender<AgentReport>,
     shutting_down: bool,
+    /// Set by any capacity or queue change; the run loop executes one
+    /// batched binding pass per message batch instead of one per event.
+    sched_dirty: bool,
     faults: FaultPlan,
     rng: SimRng,
     tracker: FailureTracker,
     rel: ReliabilityStats,
+    stats: BindStats,
 }
 
 impl Mgr {
@@ -422,6 +434,19 @@ impl Mgr {
                     self.on_report(r);
                 },
             }
+            // Drain everything already queued so one binding pass covers the
+            // whole batch of capacity changes (dirty-flag wakeup) instead of
+            // running once per event.
+            while let Ok(m) = rx.try_recv() {
+                self.on_msg(m);
+            }
+            while let Ok(r) = report_rx.try_recv() {
+                self.on_report(r);
+            }
+            if self.sched_dirty {
+                self.sched_dirty = false;
+                self.bind_pass();
+            }
             if self.shutting_down && self.all_quiet() {
                 break;
             }
@@ -436,9 +461,13 @@ impl Mgr {
                 agent.detach();
             }
         }
-        // Publish the reliability counters for the final report.
+        // Publish the reliability and binding counters for the final report.
         let rel = self.rel.clone();
-        self.registry.update(|r| r.rel = rel);
+        let bind = self.stats;
+        self.registry.update(|r| {
+            r.rel = rel;
+            r.bind = bind;
+        });
     }
 
     fn all_quiet(&self) -> bool {
@@ -570,6 +599,7 @@ impl Mgr {
             return;
         }
         let tag = desc.tag.clone();
+        let priority = desc.priority;
         self.units.insert(
             id,
             UnitRt {
@@ -586,7 +616,7 @@ impl Mgr {
                 retry_pending: false,
             },
         );
-        self.pending.push(id);
+        self.pending.push(id, priority);
         self.registry.update(|r| {
             r.units.insert(
                 id,
@@ -605,65 +635,87 @@ impl Mgr {
         self.schedule();
     }
 
-    /// Late binding: repeatedly bind the highest-priority pending unit that
-    /// fits somewhere, until nothing more binds.
+    /// Request a late-binding pass. Passes run batched from the event loop
+    /// (one per drained message batch), not inline per capacity change.
     fn schedule(&mut self) {
-        // Priority order: higher priority first, then FIFO by id.
-        self.pending
-            .sort_by_key(|id| (-self.units[id].desc.priority, id.0));
-        loop {
-            // Pending pilots are visible with zero free cores so that
-            // delay-scheduling policies (data-aware) can wait for capacity
-            // that is already on its way instead of binding remotely.
-            let snapshots: Vec<PilotSnapshot> = self
-                .pilots
-                .iter()
-                .filter(|(id, p)| {
-                    ((p.state == PilotState::Active && p.accepting)
-                        || p.state == PilotState::Pending)
-                        && !self.tracker.is_blacklisted(**id)
-                })
-                .map(|(&id, p)| PilotSnapshot {
-                    pilot: id,
-                    site: p.site,
-                    total_cores: p.cores,
-                    free_cores: if p.state == PilotState::Pending {
-                        0
-                    } else {
-                        p.free_cores
-                    },
-                    bound_units: p.bound,
-                    remaining_walltime_s: p
-                        .deadline
-                        .map(|d| d.saturating_duration_since(Instant::now()).as_secs_f64())
-                        .unwrap_or(f64::INFINITY),
-                })
-                .collect();
-            if snapshots.is_empty() {
-                return;
+        self.sched_dirty = true;
+    }
+
+    /// One batched late-binding pass: build the pilot snapshots once, offer
+    /// every pending unit in priority order, and apply capacity deltas to the
+    /// in-memory snapshots after each bind. Binding only shrinks capacity, so
+    /// a refused unit cannot become bindable later in the same pass and the
+    /// placements match the old rebuild-per-bind loop (see `crate::binding`).
+    fn bind_pass(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // Pending pilots are visible with zero free cores so that
+        // delay-scheduling policies (data-aware) can wait for capacity
+        // that is already on its way instead of binding remotely.
+        let mut snapshots: Vec<PilotSnapshot> = self
+            .pilots
+            .iter()
+            .filter(|(id, p)| {
+                ((p.state == PilotState::Active && p.accepting) || p.state == PilotState::Pending)
+                    && !self.tracker.is_blacklisted(**id)
+            })
+            .map(|(&id, p)| PilotSnapshot {
+                pilot: id,
+                site: p.site,
+                total_cores: p.cores,
+                free_cores: if p.state == PilotState::Pending {
+                    0
+                } else {
+                    p.free_cores
+                },
+                bound_units: p.bound,
+                remaining_walltime_s: p
+                    .deadline
+                    .map(|d| d.saturating_duration_since(Instant::now()).as_secs_f64())
+                    .unwrap_or(f64::INFINITY),
+            })
+            .collect();
+        if snapshots.is_empty() {
+            return;
+        }
+        // Deterministic candidate order (HashMap iteration above is not).
+        snapshots.sort_by_key(|s| s.pilot.0);
+        self.scheduler.begin_pass();
+        let mut offered = 0u64;
+        let mut binds = 0u64;
+        let mut refused: Vec<(UnitId, i32)> = Vec::new();
+        while let Some(uid) = self.pending.pop() {
+            // Lazy deletion: skip entries whose unit has left `Pending`
+            // (canceled, or already bound through a retry race).
+            let Some(unit) = self.units.get(&uid) else {
+                continue;
+            };
+            if unit.state != UnitState::Pending {
+                continue;
             }
-            let mut bound_any = false;
-            for i in 0..self.pending.len() {
-                let uid = self.pending[i];
-                let unit = &self.units[&uid];
-                let choice = self.scheduler.select(
-                    &UnitRequest {
-                        unit: uid,
-                        desc: &unit.desc,
-                    },
-                    &snapshots,
-                );
-                if let Some(pid) = choice {
+            offered += 1;
+            let choice = self.scheduler.select(
+                &UnitRequest {
+                    unit: uid,
+                    desc: &unit.desc,
+                },
+                &snapshots,
+            );
+            match choice {
+                Some(pid) => {
+                    let cores = unit.desc.cores;
+                    binding::apply_bind_delta(&mut snapshots, pid, cores);
                     self.bind(uid, pid);
-                    self.pending.remove(i);
-                    bound_any = true;
-                    break; // snapshots are stale; rebuild
+                    binds += 1;
                 }
-            }
-            if !bound_any {
-                return;
+                None => refused.push((uid, unit.desc.priority)),
             }
         }
+        for (uid, priority) in refused {
+            self.pending.push(uid, priority);
+        }
+        self.stats.note_pass(snapshots.len(), offered, binds);
     }
 
     fn bind(&mut self, uid: UnitId, pid: PilotId) {
@@ -885,7 +937,8 @@ impl Mgr {
         }
         u.retry_pending = false;
         u.state = UnitState::Pending;
-        self.pending.push(uid);
+        let priority = u.desc.priority;
+        self.pending.push(uid, priority);
         self.registry.update(|r| {
             if let Some(up) = r.units.get_mut(&uid) {
                 up.state = UnitState::Pending;
@@ -938,7 +991,8 @@ impl Mgr {
                 u.state = UnitState::Pending;
                 u.pilot = None;
                 u.generation += 1;
-                self.pending.push(uid);
+                let priority = u.desc.priority;
+                self.pending.push(uid, priority);
                 self.rel.rebinds += 1;
                 self.registry.update(|r| {
                     if let Some(up) = r.units.get_mut(&uid) {
@@ -1039,8 +1093,9 @@ impl Mgr {
         };
         match u.state {
             UnitState::Pending => {
+                // The queue entry becomes stale and is skipped at pop time
+                // (lazy deletion).
                 u.state = UnitState::Canceled;
-                self.pending.retain(|&p| p != uid);
                 let now = self.now();
                 self.registry.update(|r| {
                     if let Some(up) = r.units.get_mut(&uid) {
@@ -1075,8 +1130,19 @@ impl Mgr {
     fn begin_shutdown(&mut self) {
         self.shutting_down = true;
         // Cancel everything still pending, including units waiting out a
-        // retry backoff (their timers fire into a closed generation).
-        let mut pending = std::mem::take(&mut self.pending);
+        // retry backoff (their timers fire into a closed generation). Stale
+        // queue entries (units that already left `Pending`) must be filtered
+        // out or their open-unit slot would be released twice.
+        let mut pending: Vec<UnitId> = self
+            .pending
+            .drain()
+            .into_iter()
+            .filter(|uid| {
+                self.units
+                    .get(uid)
+                    .is_some_and(|u| u.state == UnitState::Pending)
+            })
+            .collect();
         for (&uid, u) in self.units.iter_mut() {
             if u.retry_pending {
                 u.retry_pending = false;
@@ -1543,6 +1609,27 @@ mod tests {
         let report = s.shutdown();
         assert_eq!(report.reliability.blacklisted_pilots, 1);
         assert_eq!(report.reliability.injected_unit_faults, 2);
+    }
+
+    #[test]
+    fn bind_stats_build_one_snapshot_per_pass() {
+        let s = svc();
+        s.submit_pilot(PilotDescription::new(4, forever()));
+        for _ in 0..6 {
+            s.submit_unit(
+                UnitDescription::new(1),
+                kernel_fn(|_| Ok(TaskOutput::none())),
+            );
+        }
+        s.wait_all_units();
+        let report = s.shutdown();
+        assert_eq!(report.bind.binds, 6);
+        assert!(report.bind.passes >= 1);
+        assert_eq!(
+            report.bind.snapshot_builds, report.bind.passes,
+            "batched pass builds exactly one snapshot vector per pass"
+        );
+        assert!(report.bind.candidate_comparisons >= 6);
     }
 
     #[test]

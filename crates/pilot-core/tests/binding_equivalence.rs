@@ -1,0 +1,106 @@
+//! Property test for the late-binding rewrite: the batched pass (one
+//! snapshot build per pass, in-place capacity deltas) must produce placements
+//! **identical** to the original rebuild-per-bind pass for every scheduler,
+//! over arbitrary pilot sets and pending workloads.
+//!
+//! The equivalence holds because binding only shrinks free capacity within a
+//! pass and refusals are state-independent for every shipped scheduler, so a
+//! unit refused once per pass stays refused for the rest of it.
+
+use pilot_core::binding::{batched_pass, per_unit_pass, BindStats, PendingUnit};
+use pilot_core::describe::{DataLocation, UnitDescription};
+use pilot_core::ids::{PilotId, UnitId};
+use pilot_core::scheduler::{
+    BackfillScheduler, DataAwareScheduler, FirstFitScheduler, LoadBalanceScheduler, PilotSnapshot,
+    RandomScheduler, RoundRobinScheduler, Scheduler,
+};
+use pilot_infra::types::SiteId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Fresh scheduler instance per pass; `seed` only matters for `random`.
+fn scheduler(kind: usize, seed: u64) -> Box<dyn Scheduler> {
+    match kind {
+        0 => Box::new(FirstFitScheduler),
+        1 => Box::new(RoundRobinScheduler::default()),
+        2 => Box::new(LoadBalanceScheduler),
+        3 => Box::new(DataAwareScheduler::default()),
+        4 => Box::new(BackfillScheduler::default()),
+        _ => Box::new(RandomScheduler::new(seed)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Same placements, and the batched pass builds exactly one snapshot
+    /// vector no matter how many units bind.
+    #[test]
+    fn batched_pass_matches_per_unit_pass(
+        kind in 0usize..6,
+        seed in 0u64..1_000_000,
+        // (total_cores, used_cores, site, bound_units, remaining_walltime_s)
+        pilots in prop::collection::vec((1u32..33, 0u32..33, 0u16..3, 0usize..5, 10u64..5000), 0..20),
+        // (cores, priority, est_duration_s, input (bytes, site))
+        units in prop::collection::vec(
+            (1u32..5, -5i32..6, prop::option::of(5u64..600), prop::option::of((1u64..2_000_000_000, 0u16..3))),
+            0..60
+        ),
+    ) {
+        let snapshots: Vec<PilotSnapshot> = pilots
+            .iter()
+            .enumerate()
+            .map(|(i, &(total, used, site, bound, rem))| PilotSnapshot {
+                pilot: PilotId(i as u64 + 1),
+                site: SiteId(site),
+                total_cores: total,
+                free_cores: total.saturating_sub(used),
+                bound_units: bound,
+                remaining_walltime_s: rem as f64,
+            })
+            .collect();
+        let pending: Vec<PendingUnit> = units
+            .iter()
+            .enumerate()
+            .map(|(i, &(cores, priority, est, input))| {
+                let mut d = UnitDescription::new(cores).with_priority(priority);
+                if let Some(e) = est {
+                    d = d.with_estimate(e as f64);
+                }
+                if let Some((bytes, site)) = input {
+                    d = d.with_inputs(vec![DataLocation::new(bytes, vec![SiteId(site)])]);
+                }
+                PendingUnit {
+                    unit: UnitId(i as u64 + 1),
+                    desc: d,
+                }
+            })
+            .collect();
+
+        let mut ref_stats = BindStats::default();
+        let mut new_stats = BindStats::default();
+        let reference = per_unit_pass(&mut *scheduler(kind, seed), &snapshots, &pending, &mut ref_stats);
+        let batched = batched_pass(&mut *scheduler(kind, seed), &snapshots, &pending, &mut new_stats);
+
+        prop_assert_eq!(&reference, &batched, "placements diverged (kind {})", kind);
+        prop_assert_eq!(new_stats.snapshot_builds, 1, "one build per batched pass");
+        prop_assert_eq!(
+            ref_stats.snapshot_builds,
+            ref_stats.binds + 1,
+            "reference pass rebuilds once per bind"
+        );
+        prop_assert_eq!(new_stats.binds, batched.len() as u64);
+
+        // Every placement respects capacity: bound cores per pilot never
+        // exceed what was free at pass start.
+        let mut committed: HashMap<PilotId, u32> = HashMap::new();
+        for &(uid, pid) in &batched {
+            let cores = pending.iter().find(|u| u.unit == uid).unwrap().desc.cores;
+            *committed.entry(pid).or_insert(0) += cores;
+        }
+        for (pid, cores) in committed {
+            let free = snapshots.iter().find(|p| p.pilot == pid).unwrap().free_cores;
+            prop_assert!(cores <= free, "pilot {} over-committed: {} > {}", pid, cores, free);
+        }
+    }
+}

@@ -19,7 +19,7 @@ fn data_aware_delay_scheduling_avoids_remote_staging() {
     let b = sys.add_resource(ResourceAdaptor::hpc(HpcCluster::new(HpcConfig::quiet(
         "b", 64,
     ))));
-    sys.set_scheduler(Box::new(DataAwareScheduler));
+    sys.set_scheduler(Box::new(DataAwareScheduler::default()));
     for site in [a, b] {
         sys.submit_pilot(
             SimTime::ZERO,

@@ -36,7 +36,7 @@ fn data_service_feeds_data_aware_compute_placement() {
     ds.add_data_pilot(DataPilotDescription::new(SiteId(0), 1 << 30));
     ds.add_data_pilot(DataPilotDescription::new(SiteId(1), 1 << 30));
 
-    let svc = ThreadPilotService::new(Box::new(DataAwareScheduler));
+    let svc = ThreadPilotService::new(Box::new(DataAwareScheduler::default()));
     let p_alpha = svc.submit_pilot_at(
         PilotDescription::new(2, SimDuration::MAX).labeled("alpha"),
         SiteId(0),

@@ -94,7 +94,7 @@ proptest! {
             Box::new(FirstFitScheduler),
             Box::new(RoundRobinScheduler::default()),
             Box::new(LoadBalanceScheduler),
-            Box::new(DataAwareScheduler),
+            Box::new(DataAwareScheduler::default()),
         ];
         for s in &mut schedulers {
             if let Some(pid) = s.select(&req, &pilots) {
