@@ -104,6 +104,7 @@ pub fn analysis(problem: &EnkfProblem, ensemble: &mut [Vec<f64>], y: &[f64], rng
     let mut k = Matrix::zeros(d, m);
     for row in 0..d {
         let rhs: Vec<f64> = (0..m).map(|j| pht[(row, j)]).collect();
+        // lint: allow(panic, reason = "S = H P Ht + R with R > 0 is SPD by construction, so the ridge-regularized solve cannot fail")
         let sol = hpht.solve(&rhs).expect("innovation covariance is SPD");
         for j in 0..m {
             k[(row, j)] = sol[j];
@@ -285,9 +286,11 @@ pub fn forecast_ensemble_on_pilots(
         .collect();
     let mut failed = 0usize;
     for (i, u) in units.into_iter().enumerate() {
+        // lint: allow(panic, reason = "unit ids come from submit_unit on this same service; wait_unit returns None only for unknown ids")
         let out = svc.wait_unit(u).expect("unit issued by this service");
         match (out.state, out.output) {
             (UnitState::Done, Some(Ok(o))) => {
+                // lint: allow(panic, reason = "the forecast kernel two screens up always returns a Vec<f64> state vector")
                 ensemble[i] = o.downcast::<Vec<f64>>().expect("kernel returns state");
             }
             _ => failed += 1,

@@ -111,7 +111,8 @@ pub fn assign_step(points: &[Point], centroids: &[Point]) -> Partial {
             .iter()
             .enumerate()
             .map(|(i, c)| (i, d2(p, c)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            // lint: allow(panic, reason = "centroids is never empty: k is clamped to >= 1 at config time")
             .expect("k >= 1");
         partial.counts[best] += 1;
         partial.inertia += dist;

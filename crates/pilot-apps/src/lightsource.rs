@@ -92,6 +92,7 @@ impl Frame {
         }
         let data = bytes[8..]
             .chunks_exact(4)
+            // lint: allow(panic, reason = "chunks_exact(4) yields only 4-byte slices; the conversion is infallible")
             .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
             .collect();
         Some(Frame {
@@ -161,7 +162,7 @@ pub fn median3x3(frame: &Frame) -> Frame {
                     k += 1;
                 }
             }
-            window.sort_by(|a, b| a.partial_cmp(b).expect("finite pixels"));
+            window.sort_by(|a, b| a.total_cmp(b));
             out[y * w + x] = window[4];
         }
     }

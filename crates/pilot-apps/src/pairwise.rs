@@ -123,6 +123,7 @@ pub fn hausdorff(a: &[[f64; 2]], b: &[[f64; 2]]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pilot_core::WallClock;
 
     #[test]
     fn grid_matches_naive_on_random_clouds() {
@@ -155,10 +156,10 @@ mod tests {
     #[test]
     fn grid_is_faster_at_scale() {
         let pts = generate_points(20_000, 200.0, 3);
-        let t0 = std::time::Instant::now();
+        let t0 = WallClock::start();
         let g = contacts_grid(&pts, 1.5);
         let t_grid = t0.elapsed();
-        let t0 = std::time::Instant::now();
+        let t0 = WallClock::start();
         let n = contacts_naive(&pts, 1.5);
         let t_naive = t0.elapsed();
         assert_eq!(g, n);

@@ -52,7 +52,7 @@ pub fn run(quick: bool) -> String {
     );
     let mut table = ResultTable::new(&spec.name);
     for trial in spec.trials() {
-        let cores = trial.get_usize("cores").unwrap() as u32;
+        let cores = trial.param_usize("cores") as u32;
         let mk = measure_makespan(cores, tasks, task_s, trial.seed);
         table.push(trial, vec![("makespan_s".into(), mk)]);
     }
@@ -62,13 +62,14 @@ pub fn run(quick: bool) -> String {
     let xs: Vec<Vec<f64>> = table
         .rows
         .iter()
-        .map(|r| vec![1.0 / r.trial.get("cores").unwrap()])
+        .map(|r| vec![1.0 / r.trial.param("cores")])
         .collect();
     let ys: Vec<f64> = table
         .rows
         .iter()
-        .map(|r| -r.metric("makespan_s").unwrap()) // negate: argmax = argmin makespan
+        .map(|r| -r.measured("makespan_s")) // negate: argmax = argmin makespan
         .collect();
+    // lint: allow(panic, reason = "the sweep always yields >= 2 distinct 1/cores levels, so the 2-column design matrix has full rank")
     let model = LinearModel::fit(&xs, &ys, FeatureMap::Linear).expect("well-posed design");
 
     // Refine: score a finer grid the sweep never ran, under a budget cap.
@@ -78,6 +79,7 @@ pub fn run(quick: bool) -> String {
         .filter(|&&c| c <= budget_cap)
         .map(|&c| vec![1.0 / c])
         .collect();
+    // lint: allow(panic, reason = "the candidate grid is a static list filtered by a cap it satisfies; it is never empty")
     let best = model.argmax(&candidates).expect("non-empty grid").clone();
     let chosen_cores = (1.0 / best[0]).round() as u32;
     out.push_str(&format!(
@@ -90,7 +92,7 @@ pub fn run(quick: bool) -> String {
     let worst = table
         .rows
         .iter()
-        .map(|r| r.metric("makespan_s").unwrap())
+        .map(|r| r.measured("makespan_s"))
         .fold(f64::NEG_INFINITY, f64::max);
     out.push_str(&format!(
         "\n**verify** — measured {verified:.0} s at cores={chosen_cores} vs {worst:.0} s at the worst swept config ({:.1}x better)\n",

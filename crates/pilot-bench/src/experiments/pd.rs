@@ -89,11 +89,13 @@ pub fn run_pd2(quick: bool) -> String {
                     .with_affinity(SiteId(0))
                     .with_replicas(replicas),
             )
+            // lint: allow(panic, reason = "the experiment provisions stores sized for the dataset and its replicas two screens up")
             .expect("capacity available");
         let baseline = ds.ledger(); // replication traffic itself
         let replication_bytes = baseline.remote_bytes();
         for r in 0..readers {
             let site = SiteId((r % 4) as u16);
+            // lint: allow(panic, reason = "the data-unit was put above and never evicted within this experiment")
             ds.fetch(du, site).expect("live dataset");
         }
         let ledger = ds.ledger();

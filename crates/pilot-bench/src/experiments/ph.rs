@@ -5,6 +5,7 @@
 use super::common;
 use pilot_apps::seqalign::{generate_reads, generate_reference, map_read, Read, Scoring};
 use pilot_apps::wordcount::{generate_text, TextConfig};
+use pilot_core::WallClock;
 use pilot_mapreduce::MapReduceJob;
 use pilot_perfmodel::MapReduceModel;
 use std::sync::Arc;
@@ -95,9 +96,9 @@ pub fn run_ph2(quick: bool) -> String {
         |_k, vs: Vec<(usize, i32)>| vs.len() as u64,
         2,
     );
-    let t0 = std::time::Instant::now();
+    let t0 = WallClock::start();
     let r = job.run(&svc);
-    let elapsed = t0.elapsed().as_secs_f64();
+    let elapsed = t0.elapsed_s();
     svc.shutdown();
     let mapped: u64 = r.output.iter().map(|(_, n)| n).sum();
     let bases = n_reads as f64 * 64.0 * 6000.0; // DP cells evaluated

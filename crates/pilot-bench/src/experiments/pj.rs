@@ -7,6 +7,7 @@ use pilot_core::describe::{PilotDescription, UnitDescription};
 use pilot_core::sim::SimPilotSystem;
 use pilot_core::state::UnitState;
 use pilot_core::thread::SyntheticKernel;
+use pilot_core::WallClock;
 use pilot_miniapp::{ExperimentSpec, Factor, ResultTable};
 use pilot_perfmodel::ReplicaExchangeModel;
 use pilot_sim::{SimDuration, SimTime};
@@ -24,7 +25,7 @@ pub fn run_pj1(quick: bool) -> String {
     );
     let mut table = ResultTable::new(&spec.name);
     for trial in spec.trials() {
-        let infra = trial.get_usize("infra").unwrap();
+        let infra = trial.param_usize("infra");
         let mut sys = SimPilotSystem::new(trial.seed);
         sys.disable_trace();
         let (site, label, warmup_s) = match infra {
@@ -85,9 +86,9 @@ pub fn run_pj2(quick: bool) -> String {
     );
     let mut table = ResultTable::new(&spec.name);
     for trial in spec.trials() {
-        let task_ms = trial.get("task_ms").unwrap();
+        let task_ms = trial.param("task_ms");
         let svc = common::thread_service(4, Box::new(pilot_core::scheduler::FirstFitScheduler));
-        let t0 = std::time::Instant::now();
+        let t0 = WallClock::start();
         let units: Vec<_> = (0..tasks)
             .map(|_| {
                 svc.submit_unit(
@@ -99,7 +100,7 @@ pub fn run_pj2(quick: bool) -> String {
         for u in units {
             svc.wait_unit(u);
         }
-        let elapsed = t0.elapsed().as_secs_f64();
+        let elapsed = t0.elapsed_s();
         svc.shutdown();
         table.push(
             trial,

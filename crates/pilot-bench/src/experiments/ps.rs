@@ -23,9 +23,9 @@ fn sweep(quick: bool, name: &str, reps: u32) -> ResultTable {
     );
     let mut table = ResultTable::new(&spec.name);
     for trial in spec.trials() {
-        let partitions = trial.get_usize("partitions").unwrap();
-        let processors = trial.get_usize("processors").unwrap();
-        let payload = (trial.get("payload_kb").unwrap() * 1024.0) as usize;
+        let partitions = trial.param_usize("partitions");
+        let processors = trial.param_usize("processors");
+        let payload = (trial.param("payload_kb") * 1024.0) as usize;
         let svc = common::thread_service(
             (1 + processors) as u32,
             Box::new(pilot_core::scheduler::FirstFitScheduler),
@@ -93,19 +93,20 @@ pub fn run_ps2(quick: bool) -> String {
         .iter()
         .map(|r| {
             vec![
-                r.trial.get("partitions").unwrap(),
-                r.trial.get("processors").unwrap(),
-                r.trial.get("payload_kb").unwrap(),
+                r.trial.param("partitions"),
+                r.trial.param("processors"),
+                r.trial.param("payload_kb"),
             ]
         })
         .collect();
     let ys: Vec<f64> = table
         .rows
         .iter()
-        .map(|r| r.metric("throughput_msg_s").unwrap())
+        .map(|r| r.measured("throughput_msg_s"))
         .collect();
     let (tr_x, tr_y, te_x, te_y) = train_test_split(&xs, &ys, 0.3, 0x5054);
     let model = LinearModel::fit(&tr_x, &tr_y, FeatureMap::Interactions)
+        // lint: allow(panic, reason = "the factorial sweep spans all factor levels, so the interaction design matrix has full rank")
         .expect("design matrix is well-posed");
     let preds = model.predict_all(&te_x);
     let r2 = r_squared(&te_y, &preds);
@@ -114,6 +115,7 @@ pub fn run_ps2(quick: bool) -> String {
         .iter()
         .flat_map(|&p| [1.0, 2.0].iter().map(move |&c| vec![p, c, 0.25]))
         .collect();
+    // lint: allow(panic, reason = "candidates is built from two static non-empty level lists")
     let best = model.argmax(&candidates).expect("non-empty candidates");
     let mut out =
         String::from("### PS-2 statistical throughput model (OLS, interaction features)\n\n");
@@ -173,6 +175,7 @@ pub fn run_ps3(quick: bool) -> String {
                 t
             })
             .collect();
+        // lint: allow(panic, reason = "arrivals holds exactly `messages` samples and messages is a positive constant")
         let span_s = *arrivals.last().expect("non-empty") + 10.0;
 
         // --- pilot on a cloud VM (4 cores held for the whole span) --------

@@ -41,8 +41,8 @@ pub fn run_rb1(quick: bool) -> String {
     );
     let mut table = ResultTable::new(&spec.name);
     for trial in spec.trials() {
-        let fail_p = trial.get("fail_p").unwrap();
-        let (_, retry) = policy(trial.get_usize("policy").unwrap());
+        let fail_p = trial.param("fail_p");
+        let (_, retry) = policy(trial.param_usize("policy"));
         let mut sys = SimPilotSystem::new(trial.seed);
         sys.disable_trace();
         sys.set_fault_plan(FaultPlan::none().with_unit_failures(fail_p));

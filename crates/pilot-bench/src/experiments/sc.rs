@@ -7,8 +7,8 @@ use pilot_core::binding::{batched_pass, per_unit_pass, BindStats, PendingUnit};
 use pilot_core::describe::{DataLocation, UnitDescription};
 use pilot_core::ids::{PilotId, UnitId};
 use pilot_core::scheduler::{LoadBalanceScheduler, PilotSnapshot};
+use pilot_core::WallClock;
 use pilot_infra::types::SiteId;
-use std::time::Instant;
 
 fn pilots(n: usize) -> Vec<PilotSnapshot> {
     (0..n)
@@ -45,7 +45,7 @@ fn measure(
     batched: bool,
 ) -> (f64, BindStats) {
     let mut stats = BindStats::default();
-    let start = Instant::now();
+    let start = WallClock::start();
     let mut binds = 0u64;
     for _ in 0..reps {
         stats = BindStats::default();
@@ -56,7 +56,7 @@ fn measure(
         };
         binds += placed.len() as u64;
     }
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let secs = start.elapsed_s().max(1e-9);
     (binds as f64 / secs, stats)
 }
 

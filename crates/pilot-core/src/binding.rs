@@ -23,6 +23,8 @@
 //! that original loop alive as the executable specification the equivalence
 //! proptest and the `bind` bench baseline run against.
 
+// lint: deterministic — this module must stay replayable: no wall-clock reads
+
 use crate::describe::UnitDescription;
 use crate::ids::{PilotId, UnitId};
 use crate::scheduler::{PilotSnapshot, Scheduler, UnitRequest};
@@ -31,6 +33,7 @@ use std::collections::BinaryHeap;
 /// Counters for the late-binding hot path. One pass = one wakeup of the
 /// binding loop with at least one pending unit and one visible pilot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[must_use]
 pub struct BindStats {
     /// Binding passes run.
     pub passes: u64,
@@ -138,6 +141,7 @@ pub fn apply_bind_delta(snapshots: &mut [PilotSnapshot], pilot: PilotId, cores: 
     let p = snapshots
         .iter_mut()
         .find(|p| p.pilot == pilot)
+        // lint: allow(panic, reason = "documented contract: a scheduler naming a pilot outside its snapshot set is a scheduler bug, exercised by a should_panic test")
         .expect("scheduler returned a pilot outside the snapshot set");
     assert!(
         p.free_cores >= cores,
@@ -185,6 +189,7 @@ pub fn per_unit_pass(
             let cores = pending
                 .iter()
                 .find(|u| u.unit == uid)
+                // lint: allow(panic, reason = "binds only ever contains units drawn from the pending slice two lines up")
                 .expect("bound unit came from pending")
                 .desc
                 .cores;

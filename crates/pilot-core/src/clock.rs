@@ -1,0 +1,55 @@
+//! The single sanctioned wall-clock read point.
+//!
+//! Application kernels and benchmark experiments time real work with a
+//! [`WallClock`] instead of calling `Instant::now()` directly. That keeps the
+//! workspace auditable: the `wall-clock` lint rule (R2) bans `Instant::now`,
+//! `SystemTime::now`, `thread::sleep` *and* `WallClock::start` in
+//! deterministic modules (`pilot-core/src/sim` and anything tagged
+//! `// lint: deterministic`), so a wall-clock read can never creep into a
+//! sim-comparable code path by accident — there is exactly one name to ban.
+
+use std::time::{Duration, Instant};
+
+/// A started stopwatch over the host's monotonic clock.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    t0: Instant,
+}
+
+impl WallClock {
+    /// Start timing now. Banned by R2 in deterministic modules.
+    #[must_use]
+    pub fn start() -> WallClock {
+        WallClock {
+            // lint: allow(wall-clock, reason = "the one sanctioned wall-clock read; R2 bans WallClock::start in deterministic modules instead")
+            t0: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since `start`.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.t0.elapsed()
+    }
+
+    /// Elapsed seconds since `start`, the unit used across metrics.
+    #[must_use]
+    pub fn elapsed_s(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_nonnegative() {
+        let c = WallClock::start();
+        let a = c.elapsed_s();
+        let b = c.elapsed_s();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+        assert!(c.elapsed() >= Duration::ZERO);
+    }
+}

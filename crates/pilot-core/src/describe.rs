@@ -3,6 +3,8 @@
 //! A description is pure data — it can be logged, serialized, and replayed —
 //! and is shared verbatim between the simulated and threaded backends.
 
+// lint: deterministic — this module must stay replayable: no wall-clock reads
+
 use crate::retry::RetryPolicy;
 use pilot_infra::types::SiteId;
 use pilot_sim::SimDuration;

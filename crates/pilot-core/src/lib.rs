@@ -33,6 +33,7 @@
 //! implementations and metric definitions, so results are comparable.
 
 pub mod binding;
+pub mod clock;
 pub mod describe;
 pub mod ids;
 pub mod metrics;
@@ -43,6 +44,7 @@ pub mod state;
 pub mod thread;
 
 pub use binding::{BindStats, PendingQueue};
+pub use clock::WallClock;
 pub use describe::{DataLocation, PilotDescription, UnitDescription};
 pub use ids::{PilotId, UnitId};
 pub use metrics::{OverheadBreakdown, PilotTimes, UnitTimes};
@@ -51,4 +53,4 @@ pub use scheduler::{
     BackfillScheduler, DataAwareScheduler, FirstFitScheduler, LoadBalanceScheduler, PilotSnapshot,
     RandomScheduler, RoundRobinScheduler, Scheduler, UnitRequest,
 };
-pub use state::{PilotState, UnitState};
+pub use state::{IllegalTransition, PilotState, UnitState};

@@ -5,6 +5,8 @@
 //! post-processing regenerates the paper's metrics (pilot overhead, task
 //! runtimes, throughput, strong scaling) from either source.
 
+// lint: deterministic — this module must stay replayable: no wall-clock reads
+
 use crate::ids::{PilotId, UnitId};
 use pilot_sim::{percentile, summarize, Summary};
 

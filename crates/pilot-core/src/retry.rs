@@ -19,6 +19,8 @@
 //! - [`ReliabilityStats`] — attempts, requeues, wasted work, recovery times,
 //!   exported into Mini-App reports by both backends.
 
+// lint: deterministic — this module must stay replayable: no wall-clock reads
+
 use crate::ids::PilotId;
 use pilot_sim::SimRng;
 use std::collections::{HashMap, HashSet};
@@ -71,6 +73,7 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Fail-fast: one attempt, no retry.
+    #[must_use]
     pub fn none() -> Self {
         RetryPolicy {
             max_attempts: 1,
@@ -80,6 +83,7 @@ impl RetryPolicy {
     }
 
     /// Retry with a fixed delay between attempts.
+    #[must_use]
     pub fn fixed(max_attempts: u32, delay_s: f64) -> Self {
         RetryPolicy {
             max_attempts: max_attempts.max(1),
@@ -91,6 +95,7 @@ impl RetryPolicy {
     }
 
     /// Retry with exponential backoff capped at `cap_s`.
+    #[must_use]
     pub fn exponential(max_attempts: u32, base_s: f64, factor: f64, cap_s: f64) -> Self {
         RetryPolicy {
             max_attempts: max_attempts.max(1),
@@ -104,6 +109,7 @@ impl RetryPolicy {
     }
 
     /// Enable jitter (fraction clamped to `[0, 1]`).
+    #[must_use]
     pub fn with_jitter(mut self, jitter: f64) -> Self {
         self.jitter = jitter.clamp(0.0, 1.0);
         self
@@ -175,29 +181,34 @@ pub struct FaultPlan {
 
 impl FaultPlan {
     /// No injected faults (the default).
+    #[must_use]
     pub fn none() -> Self {
         FaultPlan::default()
     }
 
     /// Crash pilots with the given mean time between failures (seconds).
+    #[must_use]
     pub fn with_pilot_crashes(mut self, mtbf_s: f64) -> Self {
         self.pilot_crash_mtbf_s = (mtbf_s > 0.0).then_some(mtbf_s);
         self
     }
 
     /// Fail execution attempts with probability `p`.
+    #[must_use]
     pub fn with_unit_failures(mut self, p: f64) -> Self {
         self.unit_failure_p = p.clamp(0.0, 1.0);
         self
     }
 
     /// Fail stage-in attempts with probability `p`.
+    #[must_use]
     pub fn with_staging_failures(mut self, p: f64) -> Self {
         self.staging_failure_p = p.clamp(0.0, 1.0);
         self
     }
 
     /// Blacklist pilots after `n` consecutive failures.
+    #[must_use]
     pub fn with_blacklist(mut self, n: u32) -> Self {
         self.blacklist_after = (n > 0).then_some(n);
         self
@@ -290,6 +301,7 @@ impl FailureTracker {
 
 /// Reliability counters collected over one run, identical across backends.
 #[derive(Clone, Debug, Default, PartialEq)]
+#[must_use]
 pub struct ReliabilityStats {
     /// Execution attempts started (first tries + retries).
     pub attempts: u64,

@@ -6,6 +6,8 @@
 //! holding everything else fixed. A scheduler returning `None` leaves the
 //! unit pending; the manager retries on every capacity change.
 
+// lint: deterministic — this module must stay replayable: no wall-clock reads
+
 use crate::describe::UnitDescription;
 use crate::ids::{PilotId, UnitId};
 use pilot_infra::types::SiteId;
@@ -275,9 +277,7 @@ impl Scheduler for BackfillScheduler {
         let needed = unit.desc.est_duration_s.map(|d| d * self.safety_factor);
         let feasible = pilots.iter().filter(|p| p.fits(unit.desc.cores));
         let by_walltime = |a: &&PilotSnapshot, b: &&PilotSnapshot| {
-            a.remaining_walltime_s
-                .partial_cmp(&b.remaining_walltime_s)
-                .expect("walltimes are finite")
+            a.remaining_walltime_s.total_cmp(&b.remaining_walltime_s)
         };
         match needed {
             // Covered estimate: backfill the pilot closest to expiry.

@@ -221,10 +221,13 @@ impl SystemMachine {
                 let Some(&pid) = self.job_owner.get(&(site, job)) else {
                     return;
                 };
-                let p = self.pilots.get_mut(&pid).expect("owned pilot exists");
+                let Some(p) = self.pilots.get_mut(&pid) else {
+                    debug_assert!(false, "job_owner points at missing pilot {pid}");
+                    return;
+                };
                 p.capacity = total;
                 if p.state == PilotState::Pending {
-                    p.state = PilotState::Active;
+                    PilotState::advance(&mut p.state, PilotState::Active);
                     p.times.active = Some(Self::now_s(now));
                     self.trace.mark(now, "pilot.active", pid.0);
                     // Arm the injected crash clock for this pilot: one
@@ -244,7 +247,10 @@ impl SystemMachine {
                 let Some(&pid) = self.job_owner.get(&(site, job)) else {
                     return;
                 };
-                let p = self.pilots.get_mut(&pid).expect("owned pilot exists");
+                let Some(p) = self.pilots.get_mut(&pid) else {
+                    debug_assert!(false, "job_owner points at missing pilot {pid}");
+                    return;
+                };
                 p.capacity = total;
                 self.trace.mark(now, "pilot.capacity_down", pid.0);
                 self.reclaim_overcommit(now, pid, out);
@@ -253,15 +259,24 @@ impl SystemMachine {
                 let Some(&pid) = self.job_owner.get(&(site, job)) else {
                     return;
                 };
-                let p = self.pilots.get_mut(&pid).expect("owned pilot exists");
+                let Some(p) = self.pilots.get_mut(&pid) else {
+                    debug_assert!(false, "job_owner points at missing pilot {pid}");
+                    return;
+                };
                 if p.state.is_terminal() {
                     return;
                 }
-                p.state = match outcome {
+                let target = match outcome {
                     JobOutcome::Completed | JobOutcome::WalltimeExceeded => PilotState::Done,
                     JobOutcome::Canceled => PilotState::Canceled,
                     JobOutcome::Failed | JobOutcome::Rejected => PilotState::Failed,
                 };
+                if PilotState::try_advance(&mut p.state, target).is_err() {
+                    // A pilot whose job ends before it ever activated did no
+                    // work: it ends `Canceled` (`Pending -> Done` is not an
+                    // edge in the P* machine).
+                    PilotState::advance(&mut p.state, PilotState::Canceled);
+                }
                 p.capacity = 0;
                 p.times.finished = Some(Self::now_s(now));
                 self.trace
@@ -287,11 +302,7 @@ impl SystemMachine {
             })
             .map(|(&id, u)| (u.times.started.unwrap_or(f64::MAX), id))
             .collect();
-        victims.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .expect("finite times")
-                .then(a.1 .0.cmp(&b.1 .0))
-        });
+        victims.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1 .0.cmp(&b.1 .0)));
         let mut used = p.used;
         let capacity = p.capacity;
         for (_, uid) in victims {
@@ -300,7 +311,9 @@ impl SystemMachine {
             }
             used -= self.requeue_unit(now, uid);
         }
-        self.pilots.get_mut(&pid).expect("pilot exists").used = used;
+        if let Some(p) = self.pilots.get_mut(&pid) {
+            p.used = used;
+        }
     }
 
     /// Requeue every non-terminal unit bound to a dead pilot.
@@ -319,7 +332,9 @@ impl SystemMachine {
         for uid in bound {
             self.requeue_unit(now, uid);
         }
-        self.pilots.get_mut(&pid).expect("pilot exists").used = 0;
+        if let Some(p) = self.pilots.get_mut(&pid) {
+            p.used = 0;
+        }
     }
 
     /// Move a unit back to Pending; returns the cores it released.
@@ -328,8 +343,17 @@ impl SystemMachine {
     /// reclaim): the resource went away, the unit did not fail, so the retry
     /// budget is not charged.
     fn requeue_unit(&mut self, now: SimTime, uid: UnitId) -> u32 {
-        let u = self.units.get_mut(&uid).expect("unit exists");
-        u.state = UnitState::Pending;
+        let Some(u) = self.units.get_mut(&uid) else {
+            debug_assert!(false, "requeue of unknown unit {uid}");
+            return 0;
+        };
+        if u.state == UnitState::Running {
+            // The in-flight attempt dies with its resource; the machine has
+            // no `Running -> Pending` edge, so the planned rebind routes
+            // through `Failed`. The retry budget is deliberately not charged.
+            UnitState::advance(&mut u.state, UnitState::Failed);
+        }
+        UnitState::advance(&mut u.state, UnitState::Pending);
         u.pilot = None;
         u.generation += 1;
         u.times.bound = None;
@@ -347,13 +371,16 @@ impl SystemMachine {
     fn fail_attempt(&mut self, now: SimTime, uid: UnitId, reason: &str, out: &mut Outbox<Ev>) {
         let now_s = Self::now_s(now);
         let (pid, cores, retry, attempts) = {
-            let u = self.units.get_mut(&uid).expect("unit exists");
+            let Some(u) = self.units.get_mut(&uid) else {
+                debug_assert!(false, "failed attempt for unknown unit {uid}");
+                return;
+            };
             if let Some(s) = u.times.started {
                 self.rel.wasted_work_s += now_s - s;
             }
             u.generation += 1;
             u.attempts += 1;
-            u.state = UnitState::Failed;
+            UnitState::advance(&mut u.state, UnitState::Failed);
             (u.pilot, u.desc.cores, u.desc.retry, u.attempts)
         };
         self.trace
@@ -367,7 +394,9 @@ impl SystemMachine {
                 self.trace.mark(now, "pilot.blacklisted", pid.0);
             }
         }
-        let u = self.units.get_mut(&uid).expect("unit exists");
+        let Some(u) = self.units.get_mut(&uid) else {
+            return;
+        };
         u.pilot = None;
         u.times.bound = None;
         u.times.started = None;
@@ -480,15 +509,27 @@ impl SystemMachine {
     fn bind(&mut self, now: SimTime, uid: UnitId, pid: PilotId, out: &mut Outbox<Ev>) {
         let site;
         {
-            let p = self.pilots.get_mut(&pid).expect("live pilot");
+            // The bind pass only offers live pending units to live pilots;
+            // skipping a phantom bind keeps the event loop alive (the unit
+            // stays pending for the next pass).
+            let Some(p) = self.pilots.get_mut(&pid) else {
+                debug_assert!(false, "bind: scheduler returned dead pilot {pid}");
+                return;
+            };
             site = p.site;
-            let u = self.units.get_mut(&uid).expect("pending unit");
+            let Some(u) = self.units.get_mut(&uid) else {
+                debug_assert!(false, "bind: pending unit {uid} vanished");
+                return;
+            };
             assert!(
                 p.capacity - p.used >= u.desc.cores,
                 "scheduler over-committed pilot {pid}"
             );
             p.used += u.desc.cores;
-            u.state = UnitState::Staging;
+            // Sim units pass through `Assigned` instantaneously: binding and
+            // stage-in begin at the same virtual instant.
+            UnitState::advance(&mut u.state, UnitState::Assigned);
+            UnitState::advance(&mut u.state, UnitState::Staging);
             u.pilot = Some(pid);
             u.times.bound = Some(Self::now_s(now));
             // A rebind after a failure completes a recovery.
@@ -538,7 +579,10 @@ impl Machine for SystemMachine {
             Ev::Saga { site, ev } => self.feed_adaptor(now, site, ev, out),
             Ev::SubmitPilot(pid) => {
                 let (site, job, desc) = {
-                    let p = self.pilots.get_mut(&pid).expect("registered pilot");
+                    let Some(p) = self.pilots.get_mut(&pid) else {
+                        debug_assert!(false, "submit event for unknown pilot {pid}");
+                        return;
+                    };
                     p.times.submitted = Self::now_s(now);
                     (p.site, p.job, p.desc.clone())
                 };
@@ -554,8 +598,11 @@ impl Machine for SystemMachine {
                 );
             }
             Ev::SubmitUnit(uid) => {
-                let u = self.units.get_mut(&uid).expect("registered unit");
-                u.state = UnitState::Pending;
+                let Some(u) = self.units.get_mut(&uid) else {
+                    debug_assert!(false, "submit event for unknown unit {uid}");
+                    return;
+                };
+                UnitState::advance(&mut u.state, UnitState::Pending);
                 u.times.submitted = Self::now_s(now);
                 let priority = u.desc.priority;
                 self.pending.push(uid, priority);
@@ -576,7 +623,7 @@ impl Machine for SystemMachine {
                 if u.generation != gen || u.state != UnitState::Staging {
                     return;
                 }
-                u.state = UnitState::Running;
+                UnitState::advance(&mut u.state, UnitState::Running);
                 u.times.started = Some(Self::now_s(now));
                 let d = self.rng.stream(uid.0).f64_range(0.0, 1.0);
                 // Sample duration deterministically per (unit, attempt).
@@ -619,9 +666,12 @@ impl Machine for SystemMachine {
                 if u.generation != gen || u.state != UnitState::Running {
                     return;
                 }
-                u.state = UnitState::Done;
+                UnitState::advance(&mut u.state, UnitState::Done);
                 u.times.finished = Some(Self::now_s(now));
-                let pid = u.pilot.expect("running unit has a pilot");
+                let Some(pid) = u.pilot else {
+                    debug_assert!(false, "running unit {uid} has no pilot");
+                    return;
+                };
                 let cores = u.desc.cores;
                 if let Some(p) = self.pilots.get_mut(&pid) {
                     p.used = p.used.saturating_sub(cores);
@@ -667,7 +717,7 @@ impl Machine for SystemMachine {
                     return;
                 }
                 // The retry edge: Failed → Pending, back into late binding.
-                u.state = UnitState::Pending;
+                UnitState::advance(&mut u.state, UnitState::Pending);
                 let priority = u.desc.priority;
                 self.pending.push(uid, priority);
                 self.trace.mark(now, "cu.retry", uid.0);
@@ -680,7 +730,7 @@ impl Machine for SystemMachine {
                 if p.state != PilotState::Active {
                     return;
                 }
-                p.state = PilotState::Failed;
+                PilotState::advance(&mut p.state, PilotState::Failed);
                 p.capacity = 0;
                 p.used = 0;
                 p.times.finished = Some(Self::now_s(now));

@@ -1,10 +1,32 @@
 //! Lifecycle state machines for pilots and compute units.
 //!
 //! These mirror the P\* model's state diagrams. Both backends drive the same
-//! machines, and illegal transitions are programming errors caught by
-//! `debug_assert!`s in the managers (and by the property tests here).
+//! machines, and every store into an authoritative `state` field goes through
+//! [`PilotState::advance`] / [`UnitState::advance`] (or the fallible
+//! `try_advance`) so that illegal transitions are caught at the write site.
+//! The `state-mutation` rule in `pilot-lint` rejects raw `.state = …` stores
+//! anywhere else; registry mirrors that merely *copy* an already-validated
+//! machine use [`PilotState::publish`] / [`UnitState::publish`].
 
+// lint: deterministic — this module must stay replayable: no wall-clock reads
+
+use std::error::Error;
 use std::fmt;
+
+/// An attempted state change the transition table forbids.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IllegalTransition<S> {
+    pub from: S,
+    pub to: S,
+}
+
+impl<S: fmt::Display> fmt::Display for IllegalTransition<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal state transition {} -> {}", self.from, self.to)
+    }
+}
+
+impl<S: fmt::Display + fmt::Debug> Error for IllegalTransition<S> {}
 
 /// Pilot lifecycle.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -69,6 +91,39 @@ impl PilotState {
                 | (Active, Failed)
         )
     }
+
+    /// Drive `slot` to `next`, asserting the edge is legal in debug builds.
+    /// This is the write path for *authoritative* pilot machines.
+    pub fn advance(slot: &mut PilotState, next: PilotState) {
+        debug_assert!(
+            slot.can_transition_to(next),
+            "illegal pilot transition {slot} -> {next}"
+        );
+        *slot = next;
+    }
+
+    /// Fallible transition for edges decided by external input at runtime.
+    pub fn try_advance(
+        slot: &mut PilotState,
+        next: PilotState,
+    ) -> Result<(), IllegalTransition<PilotState>> {
+        if slot.can_transition_to(next) {
+            *slot = next;
+            Ok(())
+        } else {
+            Err(IllegalTransition {
+                from: *slot,
+                to: next,
+            })
+        }
+    }
+
+    /// Copy an already-validated state into a mirror slot (registry snapshot,
+    /// public view). Deliberately unchecked: the authoritative machine has
+    /// validated the edge; a mirror may observe states out of order.
+    pub fn publish(slot: &mut PilotState, value: PilotState) {
+        *slot = value;
+    }
 }
 
 impl UnitState {
@@ -108,6 +163,39 @@ impl UnitState {
                 | (Running, Canceled)
                 | (Failed, Pending)
         )
+    }
+
+    /// Drive `slot` to `next`, asserting the edge is legal in debug builds.
+    /// This is the write path for *authoritative* unit machines.
+    pub fn advance(slot: &mut UnitState, next: UnitState) {
+        debug_assert!(
+            slot.can_transition_to(next),
+            "illegal unit transition {slot} -> {next}"
+        );
+        *slot = next;
+    }
+
+    /// Fallible transition for edges decided by external input at runtime.
+    pub fn try_advance(
+        slot: &mut UnitState,
+        next: UnitState,
+    ) -> Result<(), IllegalTransition<UnitState>> {
+        if slot.can_transition_to(next) {
+            *slot = next;
+            Ok(())
+        } else {
+            Err(IllegalTransition {
+                from: *slot,
+                to: next,
+            })
+        }
+    }
+
+    /// Copy an already-validated state into a mirror slot (registry snapshot,
+    /// public view). Deliberately unchecked: the authoritative machine has
+    /// validated the edge; a mirror may observe states out of order.
+    pub fn publish(slot: &mut UnitState, value: UnitState) {
+        *slot = value;
     }
 }
 
@@ -222,6 +310,55 @@ mod tests {
         assert!(UnitState::Assigned.can_transition_to(UnitState::Pending));
         assert!(UnitState::Staging.can_transition_to(UnitState::Pending));
         assert!(!UnitState::Running.can_transition_to(UnitState::Pending));
+    }
+
+    #[test]
+    fn advance_and_try_advance_drive_the_machine() {
+        let mut p = PilotState::New;
+        PilotState::advance(&mut p, PilotState::Pending);
+        PilotState::advance(&mut p, PilotState::Active);
+        assert_eq!(p, PilotState::Active);
+        assert_eq!(
+            PilotState::try_advance(&mut p, PilotState::Pending),
+            Err(IllegalTransition {
+                from: PilotState::Active,
+                to: PilotState::Pending
+            })
+        );
+        assert_eq!(p, PilotState::Active, "failed try_advance must not write");
+
+        let mut u = UnitState::Pending;
+        UnitState::advance(&mut u, UnitState::Assigned);
+        assert!(UnitState::try_advance(&mut u, UnitState::Running).is_ok());
+        assert!(UnitState::try_advance(&mut u, UnitState::Staging).is_err());
+        assert_eq!(u, UnitState::Running);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal unit transition")]
+    #[cfg(debug_assertions)]
+    fn advance_asserts_illegal_edges() {
+        let mut u = UnitState::Done;
+        UnitState::advance(&mut u, UnitState::Running);
+    }
+
+    #[test]
+    fn publish_is_unchecked_for_mirrors() {
+        let mut mirror = UnitState::New;
+        UnitState::publish(&mut mirror, UnitState::Done);
+        assert_eq!(mirror, UnitState::Done);
+        let mut pm = PilotState::New;
+        PilotState::publish(&mut pm, PilotState::Failed);
+        assert_eq!(pm, PilotState::Failed);
+    }
+
+    #[test]
+    fn illegal_transition_displays_both_ends() {
+        let e = IllegalTransition {
+            from: UnitState::Done,
+            to: UnitState::Running,
+        };
+        assert_eq!(e.to_string(), "illegal state transition done -> running");
     }
 
     #[test]

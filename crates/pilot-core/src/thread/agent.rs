@@ -121,6 +121,7 @@ impl Agent {
                             }
                         }
                     })
+                    // lint: allow(panic, reason = "thread spawn fails only on OS resource exhaustion; a pilot without its workers cannot honor its core count")
                     .expect("spawn agent worker")
             })
             .collect();

@@ -210,6 +210,7 @@ impl ThreadPilotService {
                 }
                 .run(rx, report_rx)
             })
+            // lint: allow(panic, reason = "thread spawn fails only on OS resource exhaustion at service construction; no caller can proceed without a manager")
             .expect("spawn pilot manager");
         ThreadPilotService {
             tx,
@@ -539,7 +540,7 @@ impl Mgr {
         if p.state != PilotState::Pending {
             return; // canceled before startup
         }
-        p.state = PilotState::Active;
+        PilotState::advance(&mut p.state, PilotState::Active);
         p.agent = Some(Agent::new(id, p.cores, self.epoch, self.report_tx.clone()));
         // Arm the walltime only for finite requests.
         if p.walltime != SimDuration::MAX {
@@ -567,7 +568,7 @@ impl Mgr {
         }
         self.registry.update(|r| {
             if let Some(pp) = r.pilots.get_mut(&id) {
-                pp.state = PilotState::Active;
+                PilotState::publish(&mut pp.state, PilotState::Active);
                 pp.times.active = Some(now);
             }
         });
@@ -720,51 +721,56 @@ impl Mgr {
 
     fn bind(&mut self, uid: UnitId, pid: PilotId) {
         let now = self.now();
-        let unit = self.units.get_mut(&uid).expect("pending unit exists");
-        let p = self
-            .pilots
-            .get_mut(&pid)
-            .expect("scheduler returned live pilot");
-        assert!(
-            p.free_cores >= unit.desc.cores,
-            "scheduler over-committed pilot {pid}"
-        );
-        p.free_cores -= unit.desc.cores;
-        p.bound += 1;
-        unit.state = UnitState::Assigned;
+        // The bind pass only offers live pending units to live pilots, so the
+        // lookups below cannot miss; if they ever do, skipping the bind keeps
+        // the service alive (the unit stays pending) instead of poisoning the
+        // manager thread.
+        let Some(unit) = self.units.get_mut(&uid) else {
+            debug_assert!(false, "bind: pending unit {uid} vanished");
+            return;
+        };
+        UnitState::advance(&mut unit.state, UnitState::Assigned);
         unit.pilot = Some(pid);
         // A bind following a failed attempt completes a recovery.
         if let Some(f) = unit.failed_at.take() {
             self.rel.recovery_s += now - f;
             self.rel.recoveries += 1;
         }
+        let cores = unit.desc.cores;
+        let attempts = unit.attempts;
         // Draw the fault-plan verdict for this attempt up front: a doomed
         // kernel runs (wasting its wall-clock work) but reports an injected
         // fault instead of its result.
-        let mut fault_rng =
-            self.rng
-                .stream(streams::keyed(streams::UNIT_FAULT, uid.0, unit.attempts));
-        let unit = self.units.get_mut(&uid).expect("pending unit exists");
+        let mut fault_rng = self
+            .rng
+            .stream(streams::keyed(streams::UNIT_FAULT, uid.0, attempts));
         unit.doomed =
             self.faults.unit_failure_p > 0.0 && fault_rng.bool(self.faults.unit_failure_p);
         let assignment = Assignment {
             unit: uid,
             gen: unit.generation,
-            cores: unit.desc.cores,
+            cores,
             kernel: Arc::clone(&unit.kernel),
             cancel_flag: Arc::clone(&unit.cancel_flag),
         };
-        let p = self
-            .pilots
-            .get_mut(&pid)
-            .expect("scheduler returned live pilot");
-        p.agent
-            .as_ref()
-            .expect("active pilot has agent")
-            .submit(assignment);
+        let Some(p) = self.pilots.get_mut(&pid) else {
+            debug_assert!(false, "bind: scheduler returned dead pilot {pid}");
+            return;
+        };
+        assert!(
+            p.free_cores >= cores,
+            "scheduler over-committed pilot {pid}"
+        );
+        p.free_cores -= cores;
+        p.bound += 1;
+        let Some(agent) = p.agent.as_ref() else {
+            debug_assert!(false, "bind: active pilot {pid} has no agent");
+            return;
+        };
+        agent.submit(assignment);
         self.registry.update(|r| {
             if let Some(u) = r.units.get_mut(&uid) {
-                u.state = UnitState::Assigned;
+                UnitState::publish(&mut u.state, UnitState::Assigned);
                 u.pilot = Some(pid);
                 u.times.bound = Some(now);
             }
@@ -780,7 +786,7 @@ impl Mgr {
                 if u.generation != gen {
                     return; // attempt already abandoned
                 }
-                u.state = UnitState::Running;
+                UnitState::advance(&mut u.state, UnitState::Running);
                 u.started_at = Some(t);
                 self.rel.attempts += 1;
                 // Arm the per-attempt execution deadline.
@@ -793,7 +799,7 @@ impl Mgr {
                 }
                 self.registry.update(|r| {
                     if let Some(u) = r.units.get_mut(&unit) {
-                        u.state = UnitState::Running;
+                        UnitState::publish(&mut u.state, UnitState::Running);
                         u.times.started = Some(t);
                     }
                 });
@@ -844,7 +850,7 @@ impl Mgr {
         };
         u.generation += 1;
         u.attempts += 1;
-        u.state = UnitState::Failed;
+        UnitState::advance(&mut u.state, UnitState::Failed);
         u.doomed = false;
         if let Some(s) = u.started_at.take() {
             self.rel.wasted_work_s += t - s;
@@ -867,9 +873,10 @@ impl Mgr {
         }
         if !self.shutting_down && retry.allows_retry(attempts) {
             self.rel.requeues += 1;
-            let u = self.units.get_mut(&uid).expect("unit exists");
-            u.failed_at = Some(t);
-            u.retry_pending = true;
+            if let Some(u) = self.units.get_mut(&uid) {
+                u.failed_at = Some(t);
+                u.retry_pending = true;
+            }
             let mut jitter =
                 self.rng
                     .stream(streams::keyed(streams::BACKOFF_JITTER, uid.0, attempts));
@@ -879,7 +886,7 @@ impl Mgr {
             // attempt actually finishes.
             self.registry.update(|r| {
                 if let Some(up) = r.units.get_mut(&uid) {
-                    up.state = UnitState::Failed;
+                    UnitState::publish(&mut up.state, UnitState::Failed);
                     up.pilot = None;
                     up.times.bound = None;
                     up.times.started = None;
@@ -898,7 +905,7 @@ impl Mgr {
             self.rel.exhausted_units += 1;
             self.registry.update(|r| {
                 if let Some(up) = r.units.get_mut(&uid) {
-                    up.state = UnitState::Failed;
+                    UnitState::publish(&mut up.state, UnitState::Failed);
                     up.times.finished = Some(t);
                     up.output = output;
                 }
@@ -936,12 +943,12 @@ impl Mgr {
             return;
         }
         u.retry_pending = false;
-        u.state = UnitState::Pending;
+        UnitState::advance(&mut u.state, UnitState::Pending);
         let priority = u.desc.priority;
         self.pending.push(uid, priority);
         self.registry.update(|r| {
             if let Some(up) = r.units.get_mut(&uid) {
-                up.state = UnitState::Pending;
+                UnitState::publish(&mut up.state, UnitState::Pending);
             }
         });
         self.schedule();
@@ -957,7 +964,7 @@ impl Mgr {
         if p.state != PilotState::Active {
             return;
         }
-        p.state = PilotState::Failed;
+        PilotState::advance(&mut p.state, PilotState::Failed);
         p.accepting = false;
         p.free_cores = 0;
         p.bound = 0;
@@ -969,7 +976,7 @@ impl Mgr {
         let now = self.now();
         self.registry.update(|r| {
             if let Some(pp) = r.pilots.get_mut(&pid) {
-                pp.state = PilotState::Failed;
+                PilotState::publish(&mut pp.state, PilotState::Failed);
                 pp.times.finished = Some(now);
             }
         });
@@ -987,8 +994,10 @@ impl Mgr {
                 self.fail_attempt(uid, now, Some(Err(TaskError("pilot crash".into()))));
             } else {
                 // Planned re-bind: no work lost, not charged against retries.
-                let u = self.units.get_mut(&uid).expect("bound unit exists");
-                u.state = UnitState::Pending;
+                let Some(u) = self.units.get_mut(&uid) else {
+                    continue;
+                };
+                UnitState::advance(&mut u.state, UnitState::Pending);
                 u.pilot = None;
                 u.generation += 1;
                 let priority = u.desc.priority;
@@ -996,7 +1005,7 @@ impl Mgr {
                 self.rel.rebinds += 1;
                 self.registry.update(|r| {
                     if let Some(up) = r.units.get_mut(&uid) {
-                        up.state = UnitState::Pending;
+                        UnitState::publish(&mut up.state, UnitState::Pending);
                         up.pilot = None;
                         up.times.bound = None;
                     }
@@ -1016,7 +1025,7 @@ impl Mgr {
         let Some(u) = self.units.get_mut(&uid) else {
             return;
         };
-        u.state = state;
+        UnitState::advance(&mut u.state, state);
         let pilot = u.pilot;
         let cores = u.desc.cores;
         if let Some(pid) = pilot {
@@ -1027,7 +1036,7 @@ impl Mgr {
         }
         self.registry.update(|r| {
             if let Some(up) = r.units.get_mut(&uid) {
-                up.state = state;
+                UnitState::publish(&mut up.state, state);
                 up.times.finished = Some(t);
                 up.output = output;
             }
@@ -1046,11 +1055,19 @@ impl Mgr {
         };
         match p.state {
             PilotState::Pending => {
-                p.state = to;
+                // A pilot torn down before ever activating did no work, so it
+                // ends `Canceled` regardless of the requested drain target
+                // (`Pending -> Done` is not an edge in the P* machine).
+                let end = if to == PilotState::Done {
+                    PilotState::Canceled
+                } else {
+                    to
+                };
+                PilotState::advance(&mut p.state, end);
                 let now = self.now();
                 self.registry.update(|r| {
                     if let Some(pp) = r.pilots.get_mut(&pid) {
-                        pp.state = to;
+                        PilotState::publish(&mut pp.state, end);
                         pp.times.finished = Some(now);
                     }
                 });
@@ -1070,7 +1087,7 @@ impl Mgr {
         };
         if p.state == PilotState::Active && !p.accepting && p.bound == 0 {
             let to = p.drain_to;
-            p.state = to;
+            PilotState::advance(&mut p.state, to);
             if let Some(agent) = p.agent.take() {
                 agent.stop();
                 // Detach, don't join: a deadline-abandoned kernel may still
@@ -1080,7 +1097,7 @@ impl Mgr {
             let now = self.now();
             self.registry.update(|r| {
                 if let Some(pp) = r.pilots.get_mut(&pid) {
-                    pp.state = to;
+                    PilotState::publish(&mut pp.state, to);
                     pp.times.finished = Some(now);
                 }
             });
@@ -1095,11 +1112,11 @@ impl Mgr {
             UnitState::Pending => {
                 // The queue entry becomes stale and is skipped at pop time
                 // (lazy deletion).
-                u.state = UnitState::Canceled;
+                UnitState::advance(&mut u.state, UnitState::Canceled);
                 let now = self.now();
                 self.registry.update(|r| {
                     if let Some(up) = r.units.get_mut(&uid) {
-                        up.state = UnitState::Canceled;
+                        UnitState::publish(&mut up.state, UnitState::Canceled);
                         up.times.finished = Some(now);
                     }
                     r.open_units -= 1;
@@ -1110,14 +1127,18 @@ impl Mgr {
                 u.cancel_flag.store(true, Ordering::Release);
             }
             UnitState::Failed if u.retry_pending => {
-                // Waiting out a backoff timer: cancel the retry.
+                // Waiting out a backoff timer: cancel the retry. The machine
+                // has no `Failed -> Canceled` edge — the granted retry means
+                // the unit conceptually re-enters the queue (`-> Pending`)
+                // and is canceled from there.
                 u.retry_pending = false;
                 u.generation += 1;
-                u.state = UnitState::Canceled;
+                UnitState::advance(&mut u.state, UnitState::Pending);
+                UnitState::advance(&mut u.state, UnitState::Canceled);
                 let now = self.now();
                 self.registry.update(|r| {
                     if let Some(up) = r.units.get_mut(&uid) {
-                        up.state = UnitState::Canceled;
+                        UnitState::publish(&mut up.state, UnitState::Canceled);
                         up.times.finished = Some(now);
                     }
                     r.open_units -= 1;
@@ -1153,11 +1174,16 @@ impl Mgr {
         let now = self.now();
         for uid in pending {
             if let Some(u) = self.units.get_mut(&uid) {
-                u.state = UnitState::Canceled;
+                if u.state == UnitState::Failed {
+                    // Canceled retry grant: route through `Pending`, the
+                    // machine has no direct `Failed -> Canceled` edge.
+                    UnitState::advance(&mut u.state, UnitState::Pending);
+                }
+                UnitState::advance(&mut u.state, UnitState::Canceled);
             }
             self.registry.update(|r| {
                 if let Some(up) = r.units.get_mut(&uid) {
-                    up.state = UnitState::Canceled;
+                    UnitState::publish(&mut up.state, UnitState::Canceled);
                     up.times.finished = Some(now);
                 }
                 r.open_units -= 1;

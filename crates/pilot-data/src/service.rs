@@ -177,7 +177,10 @@ impl DataService {
         let mut replicas = vec![primary];
         let mut sites = vec![g.stores[&primary].site];
         // Account the primary immediately so later placements see it.
-        g.stores.get_mut(&primary).expect("placed store").used += size;
+        g.stores
+            .get_mut(&primary)
+            .ok_or(DataServiceError::UnknownStore(primary))?
+            .used += size;
         for _ in 1..desc.replicas {
             let snaps = Self::snapshots(&g);
             match placement.place(size, None, &sites, &snaps) {
@@ -189,7 +192,9 @@ impl DataService {
                         .base_transfer_time(size, sites[0], site)
                         .as_secs_f64();
                     g.ledger.record(sites[0], site, size, cost);
-                    g.stores.get_mut(&store).expect("placed store").used += size;
+                    if let Some(s) = g.stores.get_mut(&store) {
+                        s.used += size;
+                    }
                     replicas.push(store);
                     sites.push(site);
                 }
@@ -247,15 +252,17 @@ impl DataService {
             .base_transfer_time(size, src_site, site)
             .as_secs_f64();
         g.ledger.record(src_site, site, size, cost);
-        g.stores.get_mut(&target).expect("found store").used += size;
-        let desired = {
-            let u = g.units.get_mut(&unit).expect("checked above");
-            u.replicas.push(target);
-            (u.replicas.len() as u32, u.desc.replicas)
-        };
+        g.stores
+            .get_mut(&target)
+            .ok_or(DataServiceError::UnknownStore(target))?
+            .used += size;
         let _ = existing;
-        let u = g.units.get_mut(&unit).expect("checked above");
-        if desired.0 >= desired.1 {
+        let u = g
+            .units
+            .get_mut(&unit)
+            .ok_or(DataServiceError::UnknownUnit(unit))?;
+        u.replicas.push(target);
+        if u.replicas.len() as u32 >= u.desc.replicas {
             u.state = DataUnitState::Ready;
         }
         Ok(())

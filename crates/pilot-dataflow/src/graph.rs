@@ -193,6 +193,7 @@ impl Dataflow {
         if order.len() != n {
             let stuck = (0..n)
                 .find(|&i| indegree[i] > 0)
+                // lint: allow(panic, reason = "order.len() != n means Kahn's algorithm left at least one node with positive indegree")
                 .expect("cycle implies a stuck node");
             return Err(DataflowError::Cycle(self.stages[stuck].name.clone()));
         }
@@ -278,6 +279,7 @@ impl Dataflow {
                         let mut outs: Vec<StageData> = Vec::with_capacity(units.len());
                         let mut failure: Option<String> = None;
                         for u in units {
+                            // lint: allow(panic, reason = "unit ids come from submit_unit on this same service; wait_unit returns None only for unknown ids")
                             let r = svc.wait_unit(u).expect("unit issued by this service");
                             match (r.state, r.output) {
                                 (UnitState::Done, Some(Ok(o))) => {
@@ -300,6 +302,7 @@ impl Dataflow {
                 // Wait for one stage to finish, then re-scan for new readiness.
                 let (i, broadcast, wall_s) = done_rx
                     .recv()
+                    // lint: allow(panic, reason = "each of the `remaining` stages has a spawned waiter holding a sender clone; recv cannot see a closed channel first")
                     .expect("waiter threads hold the sender until done");
                 status[i] = Some(broadcast.0.clone());
                 wall[i] = wall_s;
@@ -312,6 +315,7 @@ impl Dataflow {
         Ok(DataflowReport {
             status: status
                 .into_iter()
+                // lint: allow(panic, reason = "the loop above runs until `remaining == 0`, filling every status slot")
                 .map(|s| s.expect("every stage resolved"))
                 .collect(),
             stage_wall_s: wall,

@@ -216,6 +216,7 @@ impl Component for CloudProvider {
                 vm.generation += 1;
                 let cores = self.cfg.types[vm.type_index].cores;
                 self.used_cores -= cores;
+                // lint: allow(panic, reason = "vm_id was fetched mutably from self.vms at the top of this handler and nothing removes it in between")
                 let vm_snapshot = self.vms.get(&vm_id).expect("just updated");
                 let cost = self.accrued(vm_snapshot, now);
                 self.settled_cost += cost;

@@ -232,6 +232,7 @@ impl Component for HtcPool {
                     let id = self.queue.remove(0);
                     let slot = free.remove(0);
                     let overhead = self.cfg.startup_overhead.sample(&mut self.rng).max(0.0);
+                    // lint: allow(panic, reason = "ids in self.queue are minted by submit and jobs are never removed from the map")
                     let job = self.jobs.get_mut(&id).expect("queued job exists");
                     job.state = St::Running(slot);
                     self.slot_busy[slot as usize] = Some(id);
@@ -279,6 +280,7 @@ impl Component for HtcPool {
                 self.failed += 1;
                 let requeue = self.cfg.requeue_on_failure;
                 self.free_slot(slot);
+                // lint: allow(panic, reason = "slot_busy only ever holds ids minted by submit, and jobs are never removed from the map")
                 let job = self.jobs.get_mut(&id).expect("busy slot has job");
                 job.generation += 1;
                 if requeue {

@@ -1,0 +1,347 @@
+//! A minimal Rust lexer for rule scanning.
+//!
+//! The build environment has no crates.io access, so there is no `syn`; the
+//! rules in this crate only need a faithful *token* view of a source file —
+//! identifiers, punctuation, literals and comments with line numbers — plus
+//! enough lexical care that nothing inside strings or comments is ever
+//! mistaken for code. Nested block comments, raw strings (`r#"…"#`), byte
+//! strings, char literals and lifetimes are all handled.
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (including raw identifiers, without the `r#`).
+    Ident(String),
+    /// Single punctuation character. Multi-char operators arrive as a
+    /// sequence of these (`==` is two `=` tokens).
+    Punct(char),
+    /// Any literal: string, raw string, byte string, char or number. The
+    /// content is irrelevant to every rule, only its presence matters.
+    Literal,
+    /// `// …` comment, text without the slashes. Doc comments included.
+    LineComment(String),
+    /// `/* … */` comment (possibly nested), raw inner text.
+    BlockComment(String),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Tokenize `src`. Unterminated constructs consume to end of input rather
+/// than erroring: the linter must degrade gracefully on any file it meets.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string();
+                }
+                'b' if self.peek(1) == Some('r') && matches!(self.peek(2), Some('"' | '#')) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if self.peek(1) == Some('"') => self.raw_string(line),
+                'r' if self.peek(1) == Some('#') => {
+                    // `r#"…"#` is a raw string; `r#ident` is a raw identifier.
+                    let mut k = 1;
+                    while self.peek(k) == Some('#') {
+                        k += 1;
+                    }
+                    if self.peek(k) == Some('"') {
+                        self.raw_string(line);
+                    } else {
+                        self.bump();
+                        self.bump();
+                        self.ident(line);
+                    }
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                _ => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Tok::LineComment(text), line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(Tok::BlockComment(text), line);
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(Tok::Literal, line);
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        self.bump(); // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(Tok::Literal, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening quote
+        match (self.peek(0), self.peek(1)) {
+            // `'\…'` escape: always a char literal.
+            (Some('\\'), _) => {
+                self.bump();
+                self.bump(); // escape head (enough for \n, \', \u{..} handled below)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::Literal, line);
+            }
+            // `'x'` char literal vs `'x` lifetime: decided by the closing quote.
+            (Some(c), Some('\'')) if c != '\'' => {
+                self.bump();
+                self.bump();
+                self.push(Tok::Literal, line);
+            }
+            _ => {
+                // Lifetime: consume the identifier, no closing quote.
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(Tok::Punct('\''), line);
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        // Digits, underscores, radix prefixes, type suffixes; one fractional
+        // dot when followed by a digit (so `0..10` stays two range dots);
+        // exponent with optional sign.
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let at_exp = matches!(c, 'e' | 'E');
+                self.bump();
+                if at_exp && matches!(self.peek(0), Some('+' | '-')) {
+                    if self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                        self.bump();
+                    }
+                }
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Literal, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Ident(name), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("foo.bar();\nbaz!");
+        assert_eq!(toks[0].tok, Tok::Ident("foo".into()));
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[5].tok, Tok::Punct(';'));
+        assert_eq!(toks[6].tok, Tok::Ident("baz".into()));
+        assert_eq!(toks[6].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let toks = kinds(r#"let s = "a.unwrap() // not a comment";"#);
+        assert!(toks.contains(&Tok::Literal));
+        assert!(!toks.contains(&Tok::Ident("unwrap".into())));
+        assert!(!toks
+            .iter()
+            .any(|t| matches!(t, Tok::LineComment(_) | Tok::BlockComment(_))));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"quote " inside"# ; x"###);
+        assert!(toks.contains(&Tok::Ident("x".into())));
+        assert_eq!(
+            toks.iter().filter(|t| **t == Tok::Literal).count(),
+            1,
+            "one raw string literal"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ code");
+        assert_eq!(toks.len(), 2);
+        assert!(matches!(toks[0], Tok::BlockComment(_)));
+        assert_eq!(toks[1], Tok::Ident("code".into()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|t| **t == Tok::Punct('\'')).count(),
+            2,
+            "two lifetime markers"
+        );
+        assert_eq!(
+            toks.iter().filter(|t| **t == Tok::Literal).count(),
+            2,
+            "two char literals"
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e-3; }");
+        assert_eq!(
+            toks.iter().filter(|t| **t == Tok::Punct('.')).count(),
+            2,
+            "range dots survive"
+        );
+    }
+
+    #[test]
+    fn comments_capture_text() {
+        let toks = lex("// lint: allow(panic, reason = \"x\")\nfoo");
+        match &toks[0].tok {
+            Tok::LineComment(text) => assert!(text.contains("lint: allow")),
+            other => unreachable!("expected comment, got {other:?}"),
+        }
+    }
+}

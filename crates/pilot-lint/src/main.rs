@@ -1,0 +1,83 @@
+//! CLI for pilot-lint.
+//!
+//! ```text
+//! cargo run -p pilot-lint                       # lint the workspace
+//! cargo run -p pilot-lint -- --format json      # machine-readable output
+//! cargo run -p pilot-lint -- --root path/to/ws  # explicit workspace root
+//! cargo run -p pilot-lint -- a.rs b.rs          # lint files as library code
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("human") => json = false,
+                other => {
+                    eprintln!("pilot-lint: --format expects `json` or `human`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => {
+                    eprintln!("pilot-lint: --root expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: pilot-lint [--format json|human] [--root DIR] [FILES…]\n\
+                     Lints the workspace (or FILES, as library code) for the\n\
+                     pilot-abstraction invariants R1–R5. See DESIGN.md."
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("pilot-lint: unknown flag {arg}");
+                return ExitCode::from(2);
+            }
+            _ => files.push(PathBuf::from(arg)),
+        }
+    }
+
+    let report = if files.is_empty() {
+        let root = root
+            .or_else(|| {
+                let cwd = env::current_dir().ok()?;
+                pilot_lint::find_workspace_root(&cwd)
+            })
+            .unwrap_or_else(|| PathBuf::from("."));
+        pilot_lint::lint_workspace(&root)
+    } else {
+        pilot_lint::lint_paths(&files)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pilot-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", pilot_lint::render_json(&report));
+    } else {
+        print!("{}", pilot_lint::render_human(&report));
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,616 @@
+//! The five pilot-abstraction invariant rules, run over a token stream.
+//!
+//! | rule              | invariant                                                           |
+//! |-------------------|---------------------------------------------------------------------|
+//! | `panic`           | R1: no `unwrap()`/`expect()`/`panic!` in non-test library code      |
+//! | `wall-clock`      | R2: no `Instant::now`/`SystemTime::now`/`thread::sleep` in sim paths|
+//! |                   |     or modules tagged `// lint: deterministic`                      |
+//! | `state-mutation`  | R3: no direct `…state = UnitState::…`/`PilotState::…` stores        |
+//! |                   |     outside `state.rs`'s transition functions                       |
+//! | `lock-discipline` | R4: no lock guard held across a channel `send`/`recv`; consistent   |
+//! |                   |     acquisition order for named mutexes                             |
+//! | `debug-macro`     | R5: `todo!`/`dbg!`/`unimplemented!` never committed                 |
+//!
+//! Every rule is a syntactic approximation — deliberately so: it must run
+//! with zero dependencies and in milliseconds over the workspace. Findings
+//! can be silenced, one line at a time, with
+//! `// lint: allow(<rule>, reason = "…")`; the reason is mandatory and a
+//! malformed suppression is itself a finding (rule `suppression`).
+
+use crate::lexer::{lex, Tok, Token};
+use std::collections::HashMap;
+
+/// What kind of file is being linted; decides which rules apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source (`crates/*/src/**`): all rules.
+    Library,
+    /// Binary targets (`src/main.rs`, `src/bin/**`): R1/R3/R4 exempt (a CLI
+    /// may panic at top level), R2 and R5 still apply.
+    Binary,
+    /// Tests, benches, examples, fixtures: only R5 applies.
+    Test,
+}
+
+/// One rule violation (or malformed suppression).
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule name (`panic`, `wall-clock`, …, `suppression`).
+    pub rule: &'static str,
+    /// Display path of the file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A `lock A then B` observation, combined across files for the
+/// acquisition-order half of R4.
+#[derive(Clone, Debug)]
+pub struct LockOrder {
+    pub first: String,
+    pub second: String,
+    pub file: String,
+    pub line: u32,
+    /// Whether a suppression for `lock-discipline` covers this site.
+    pub suppressed: bool,
+}
+
+/// Per-file analysis output.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    pub suppressed: usize,
+    pub lock_orders: Vec<LockOrder>,
+}
+
+const RULES: [&str; 5] = [
+    "panic",
+    "wall-clock",
+    "state-mutation",
+    "lock-discipline",
+    "debug-macro",
+];
+
+struct Allow {
+    rule: String,
+    has_reason: bool,
+}
+
+/// Lint one file's source text.
+pub fn lint_source(display_path: &str, class: FileClass, src: &str) -> FileReport {
+    let tokens = lex(src);
+    let mut allows: HashMap<u32, Vec<Allow>> = HashMap::new();
+    let mut deterministic = false;
+    let mut report = FileReport::default();
+
+    for t in &tokens {
+        let text = match &t.tok {
+            Tok::LineComment(c) | Tok::BlockComment(c) => c,
+            _ => continue,
+        };
+        // Only comments that *start* with `lint:` are directives; prose that
+        // merely mentions the syntax (docs, this file) is not.
+        let text = text.trim_start();
+        if !text.starts_with("lint:") {
+            continue;
+        }
+        if text.starts_with("lint: deterministic") {
+            deterministic = true;
+        }
+        parse_allows(
+            text,
+            t.line,
+            display_path,
+            &mut allows,
+            &mut report.findings,
+        );
+    }
+
+    // Comments out of the way: rules see only code tokens.
+    let code: Vec<Token> = tokens
+        .into_iter()
+        .filter(|t| !matches!(t.tok, Tok::LineComment(_) | Tok::BlockComment(_)))
+        .collect();
+    let in_test = test_regions(&code);
+    let sim_path = display_path.contains("pilot-core/src/sim");
+    let is_state_rs = display_path.ends_with("/state.rs") || display_path == "state.rs";
+
+    let mut raw: Vec<Finding> = Vec::new();
+    scan_calls(display_path, class, &code, &in_test, &mut raw);
+    if sim_path || deterministic {
+        scan_wall_clock(display_path, &code, &in_test, &mut raw);
+    }
+    if class == FileClass::Library && !is_state_rs {
+        scan_state_mutation(display_path, &code, &in_test, &mut raw);
+    }
+    let mut orders = Vec::new();
+    if class == FileClass::Library {
+        scan_locks(display_path, &code, &in_test, &mut raw, &mut orders);
+    }
+
+    for f in raw {
+        if is_allowed(&allows, f.line, f.rule) {
+            report.suppressed += 1;
+        } else {
+            report.findings.push(f);
+        }
+    }
+    for mut o in orders {
+        o.suppressed = is_allowed(&allows, o.line, "lock-discipline");
+        report.lock_orders.push(o);
+    }
+    report
+}
+
+fn is_allowed(allows: &HashMap<u32, Vec<Allow>>, line: u32, rule: &str) -> bool {
+    [line, line.saturating_sub(1)].iter().any(|l| {
+        allows
+            .get(l)
+            .is_some_and(|v| v.iter().any(|a| a.rule == rule && a.has_reason))
+    })
+}
+
+/// Parse every `lint: allow(rule, reason = "…")` in a comment. A missing or
+/// empty reason, or an unknown rule name, is reported as a `suppression`
+/// finding so that sloppy annotations cannot silently rot.
+fn parse_allows(
+    text: &str,
+    line: u32,
+    path: &str,
+    allows: &mut HashMap<u32, Vec<Allow>>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut rest = text;
+    while let Some(at) = rest.find("lint: allow(") {
+        rest = &rest[at + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            findings.push(Finding {
+                rule: "suppression",
+                file: path.to_string(),
+                line,
+                message: "unterminated `lint: allow(` suppression".to_string(),
+            });
+            return;
+        };
+        let inner = &rest[..close];
+        rest = &rest[close + 1..];
+        let rule = inner
+            .split(',')
+            .next()
+            .unwrap_or_default()
+            .trim()
+            .to_string();
+        if !RULES.contains(&rule.as_str()) {
+            findings.push(Finding {
+                rule: "suppression",
+                file: path.to_string(),
+                line,
+                message: format!("`lint: allow({rule}, …)` names an unknown rule"),
+            });
+            continue;
+        }
+        let has_reason = inner
+            .split_once("reason")
+            .and_then(|(_, r)| r.split_once('"'))
+            .and_then(|(_, r)| r.split('"').next())
+            .is_some_and(|r| !r.trim().is_empty());
+        if !has_reason {
+            findings.push(Finding {
+                rule: "suppression",
+                file: path.to_string(),
+                line,
+                message: format!(
+                    "`lint: allow({rule})` without a reason — write \
+                     `lint: allow({rule}, reason = \"…\")`"
+                ),
+            });
+        }
+        allows
+            .entry(line)
+            .or_default()
+            .push(Allow { rule, has_reason });
+    }
+}
+
+/// Mark which code-token indices sit inside a `#[cfg(test)]` item.
+fn test_regions(code: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if !is_cfg_test_attr(code, i) {
+            i += 1;
+            continue;
+        }
+        // Skip to the end of the attribute's `]`.
+        let mut j = i + 1;
+        let mut brackets = 0i32;
+        while j < code.len() {
+            match code[j].tok {
+                Tok::Punct('[') => brackets += 1,
+                Tok::Punct(']') => {
+                    brackets -= 1;
+                    if brackets == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // The attached item runs to its matching `}` (or to `;` for a
+        // brace-less item).
+        let mut k = j + 1;
+        let mut depth = 0i32;
+        let mut opened = false;
+        while k < code.len() {
+            match code[k].tok {
+                Tok::Punct('{') => {
+                    depth += 1;
+                    opened = true;
+                }
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct(';') if !opened => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        for flag in in_test.iter_mut().take((k + 1).min(code.len())).skip(i) {
+            *flag = true;
+        }
+        i = k + 1;
+    }
+    in_test
+}
+
+fn is_cfg_test_attr(code: &[Token], i: usize) -> bool {
+    if code[i].tok != Tok::Punct('#') {
+        return false;
+    }
+    let mut j = i + 1;
+    if !matches!(code.get(j).map(|t| &t.tok), Some(Tok::Punct('['))) {
+        return false;
+    }
+    j += 1;
+    if !matches!(code.get(j).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "cfg") {
+        return false;
+    }
+    // Accept `test` anywhere inside the cfg predicate (`all(test, …)` too).
+    let mut brackets = 1i32;
+    while let Some(t) = code.get(j) {
+        match &t.tok {
+            Tok::Punct('[') => brackets += 1,
+            Tok::Punct(']') => {
+                brackets -= 1;
+                if brackets == 0 {
+                    return false;
+                }
+            }
+            Tok::Ident(s) if s == "test" => return true,
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+fn ident_at<'a>(code: &'a [Token], i: usize) -> Option<&'a str> {
+    match code.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(code: &[Token], i: usize, c: char) -> bool {
+    matches!(code.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// R1 (`panic`) and R5 (`debug-macro`) in one pass.
+fn scan_calls(
+    path: &str,
+    class: FileClass,
+    code: &[Token],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..code.len() {
+        let Some(name) = ident_at(code, i) else {
+            continue;
+        };
+        let line = code[i].line;
+        // R5 applies everywhere, tests included: these macros never ship.
+        if matches!(name, "todo" | "unimplemented" | "dbg") && punct_at(code, i + 1, '!') {
+            out.push(Finding {
+                rule: "debug-macro",
+                file: path.to_string(),
+                line,
+                message: format!("`{name}!` must not be committed"),
+            });
+            continue;
+        }
+        if class != FileClass::Library || in_test[i] {
+            continue;
+        }
+        if matches!(name, "unwrap" | "expect")
+            && i > 0
+            && punct_at(code, i - 1, '.')
+            && punct_at(code, i + 1, '(')
+        {
+            out.push(Finding {
+                rule: "panic",
+                file: path.to_string(),
+                line,
+                message: format!(
+                    "`.{name}()` in library code — return an error or add \
+                     `lint: allow(panic, reason = \"…\")`"
+                ),
+            });
+        } else if name == "panic" && punct_at(code, i + 1, '!') {
+            out.push(Finding {
+                rule: "panic",
+                file: path.to_string(),
+                line,
+                message: "`panic!` in library code".to_string(),
+            });
+        }
+    }
+}
+
+/// R2: wall-clock reads in deterministic code.
+fn scan_wall_clock(path: &str, code: &[Token], in_test: &[bool], out: &mut Vec<Finding>) {
+    const BANNED: [(&str, &str); 4] = [
+        ("Instant", "now"),
+        ("SystemTime", "now"),
+        ("thread", "sleep"),
+        ("WallClock", "start"),
+    ];
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        let Some(a) = ident_at(code, i) else {
+            continue;
+        };
+        if !punct_at(code, i + 1, ':') || !punct_at(code, i + 2, ':') {
+            continue;
+        }
+        let Some(b) = ident_at(code, i + 3) else {
+            continue;
+        };
+        if BANNED.contains(&(a, b)) {
+            out.push(Finding {
+                rule: "wall-clock",
+                file: path.to_string(),
+                line: code[i].line,
+                message: format!(
+                    "`{a}::{b}` in a deterministic module — route through the \
+                     sim clock (virtual time) instead"
+                ),
+            });
+        }
+    }
+}
+
+/// R3: direct stores of a state-machine constant into a `.state` field.
+fn scan_state_mutation(path: &str, code: &[Token], in_test: &[bool], out: &mut Vec<Finding>) {
+    for i in 0..code.len() {
+        if in_test[i] || !punct_at(code, i, '.') {
+            continue;
+        }
+        if ident_at(code, i + 1) != Some("state") || !punct_at(code, i + 2, '=') {
+            continue;
+        }
+        if punct_at(code, i + 3, '=') {
+            continue; // `.state ==` comparison
+        }
+        // Scan the right-hand side for a UnitState/PilotState constant.
+        let mut j = i + 3;
+        while j < code.len() && !punct_at(code, j, ';') {
+            if matches!(ident_at(code, j), Some("UnitState" | "PilotState"))
+                && punct_at(code, j + 1, ':')
+                && punct_at(code, j + 2, ':')
+            {
+                out.push(Finding {
+                    rule: "state-mutation",
+                    file: path.to_string(),
+                    line: code[i + 1].line,
+                    message: format!(
+                        "direct `.state = {}::…` store — use the transition \
+                         functions in pilot-core's state.rs",
+                        ident_at(code, j).unwrap_or_default()
+                    ),
+                });
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+struct Guard {
+    var: Option<String>,
+    lockee: String,
+    line: u32,
+    /// Block-stack depth the guard was declared at.
+    depth: usize,
+}
+
+/// R4: guard-across-send within a function, plus lock-order observations.
+fn scan_locks(
+    path: &str,
+    code: &[Token],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+    orders: &mut Vec<LockOrder>,
+) {
+    let mut i = 0;
+    while i < code.len() {
+        // A function item: `fn name … {`. (`fn(` is a pointer type.)
+        if !in_test[i] && ident_at(code, i) == Some("fn") && ident_at(code, i + 1).is_some() {
+            // Find the body's opening brace; a `;` first means a trait decl.
+            let mut j = i + 2;
+            let mut body = None;
+            while j < code.len() {
+                match code[j].tok {
+                    Tok::Punct('{') => {
+                        body = Some(j);
+                        break;
+                    }
+                    Tok::Punct(';') => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = body {
+                i = scan_fn_body(path, code, open, out, orders);
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Walk one function body; returns the index just past its closing brace.
+fn scan_fn_body(
+    path: &str,
+    code: &[Token],
+    open: usize,
+    out: &mut Vec<Finding>,
+    orders: &mut Vec<LockOrder>,
+) -> usize {
+    let mut depth = 0usize;
+    let mut guards: Vec<Guard> = Vec::new();
+    // `let <name> = … .lock()` binding being built for the current statement.
+    let mut pending_let: Option<String> = None;
+    let mut stmt_locked: Option<String> = None;
+    let mut i = open;
+    while i < code.len() {
+        match &code[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+                guards.retain(|g| g.depth <= depth);
+                stmt_locked = None;
+            }
+            Tok::Punct(';') => {
+                pending_let = None;
+                stmt_locked = None;
+            }
+            Tok::Ident(name) => {
+                let line = code[i].line;
+                match name.as_str() {
+                    "let" => {
+                        if let Some(n) = ident_at(code, i + 1) {
+                            let n = if n == "mut" {
+                                ident_at(code, i + 2).unwrap_or(n)
+                            } else {
+                                n
+                            };
+                            pending_let = Some(n.to_string());
+                        }
+                    }
+                    "drop" if punct_at(code, i + 1, '(') => {
+                        if let Some(v) = ident_at(code, i + 2) {
+                            guards.retain(|g| g.var.as_deref() != Some(v));
+                        }
+                    }
+                    "lock" | "read" | "write"
+                        if i > 0
+                            && punct_at(code, i - 1, '.')
+                            && punct_at(code, i + 1, '(')
+                            && punct_at(code, i + 2, ')') =>
+                    {
+                        let lockee = ident_at(code, i.saturating_sub(2))
+                            .unwrap_or("<expr>")
+                            .to_string();
+                        for g in &guards {
+                            if g.lockee != lockee {
+                                orders.push(LockOrder {
+                                    first: g.lockee.clone(),
+                                    second: lockee.clone(),
+                                    file: path.to_string(),
+                                    line,
+                                    suppressed: false,
+                                });
+                            }
+                        }
+                        if let Some(var) = pending_let.clone() {
+                            guards.push(Guard {
+                                var: Some(var),
+                                lockee,
+                                line,
+                                depth,
+                            });
+                        } else {
+                            stmt_locked = Some(lockee);
+                        }
+                    }
+                    "send" | "recv" | "try_send" | "try_recv" | "send_timeout" | "recv_timeout"
+                        if i > 0 && punct_at(code, i - 1, '.') && punct_at(code, i + 1, '(') =>
+                    {
+                        let held = guards
+                            .last()
+                            .map(|g| (g.lockee.clone(), g.line))
+                            .or_else(|| stmt_locked.clone().map(|l| (l, line)));
+                        if let Some((lockee, at)) = held {
+                            out.push(Finding {
+                                rule: "lock-discipline",
+                                file: path.to_string(),
+                                line,
+                                message: format!(
+                                    "channel `{name}` while the `{lockee}` lock guard \
+                                     (taken on line {at}) is still held — drop the \
+                                     guard first (scoped drop)"
+                                ),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Combine per-file lock-order observations: a pair locked as `a then b` in
+/// one place and `b then a` in another is a deadlock-shaped inconsistency.
+pub fn check_lock_orders(orders: &[LockOrder]) -> Vec<Finding> {
+    let mut seen: HashMap<(String, String), &LockOrder> = HashMap::new();
+    let mut out = Vec::new();
+    for o in orders {
+        seen.entry((o.first.clone(), o.second.clone())).or_insert(o);
+    }
+    for o in orders {
+        if o.suppressed {
+            continue;
+        }
+        if let Some(rev) = seen.get(&(o.second.clone(), o.first.clone())) {
+            if rev.suppressed {
+                continue;
+            }
+            out.push(Finding {
+                rule: "lock-discipline",
+                file: o.file.clone(),
+                line: o.line,
+                message: format!(
+                    "inconsistent lock order: `{}` then `{}` here, but the \
+                     reverse at {}:{}",
+                    o.first, o.second, rev.file, rev.line
+                ),
+            });
+        }
+    }
+    out
+}

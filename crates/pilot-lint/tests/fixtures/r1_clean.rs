@@ -1,0 +1,12 @@
+// Clean fixture for R1: error paths instead of panics; test code is exempt.
+pub fn careful(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::careful(Some(1)).unwrap(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+// Positive fixture for R1 (`panic`): three findings expected.
+pub fn broken(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = v.expect("present");
+    if a + b == 0 {
+        panic!("zero");
+    }
+    a + b
+}

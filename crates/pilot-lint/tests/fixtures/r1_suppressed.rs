@@ -1,0 +1,7 @@
+// Suppressed fixture for R1: zero findings, two suppressions.
+pub fn guarded(v: Option<u32>) -> u32 {
+    // lint: allow(panic, reason = "checked non-empty by the caller")
+    let a = v.unwrap();
+    let b = v.expect("present"); // lint: allow(panic, reason = "invariant: set at construction")
+    a + b
+}

@@ -1,0 +1,14 @@
+// lint: deterministic
+// Clean fixture for R2: virtual time only; wall clock allowed in tests.
+pub fn advance(now_s: f64, dt_s: f64) -> f64 {
+    now_s + dt_s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_ok_in_tests() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

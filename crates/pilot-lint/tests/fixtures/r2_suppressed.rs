@@ -1,0 +1,9 @@
+// lint: deterministic
+// Suppressed fixture for R2: zero findings, one suppression.
+use std::time::Instant;
+
+pub fn timed() -> f64 {
+    // lint: allow(wall-clock, reason = "diagnostic only; never feeds sim results")
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

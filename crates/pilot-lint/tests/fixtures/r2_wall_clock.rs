@@ -1,0 +1,10 @@
+// lint: deterministic
+// Positive fixture for R2 (`wall-clock`): three findings expected.
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn leaky() -> Duration {
+    let t0 = Instant::now();
+    let _ = SystemTime::now();
+    std::thread::sleep(Duration::from_millis(1));
+    t0.elapsed()
+}

@@ -1,0 +1,22 @@
+// Clean fixture for R3: comparisons and transition-function calls are fine.
+#[derive(PartialEq, Clone, Copy)]
+pub enum UnitState {
+    Pending,
+    Running,
+}
+
+pub struct UnitRt {
+    pub state: UnitState,
+}
+
+impl UnitState {
+    pub fn advance(_slot: &mut UnitState, _next: UnitState) {}
+}
+
+pub fn check_and_advance(u: &mut UnitRt) -> bool {
+    if u.state == UnitState::Pending {
+        UnitState::advance(&mut u.state, UnitState::Running);
+        return true;
+    }
+    u.state != UnitState::Running
+}

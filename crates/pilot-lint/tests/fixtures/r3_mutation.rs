@@ -1,0 +1,22 @@
+// Positive fixture for R3 (`state-mutation`): two findings expected.
+pub struct UnitRt {
+    pub state: UnitState,
+}
+
+pub enum UnitState {
+    Pending,
+    Running,
+}
+
+pub enum PilotState {
+    Active,
+}
+
+pub struct PilotRt {
+    pub state: PilotState,
+}
+
+pub fn mutate(u: &mut UnitRt, p: &mut PilotRt) {
+    u.state = UnitState::Running;
+    p.state = PilotState::Active;
+}

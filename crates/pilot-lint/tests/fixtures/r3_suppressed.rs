@@ -1,0 +1,13 @@
+// Suppressed fixture for R3: zero findings, one suppression.
+pub enum UnitState {
+    Running,
+}
+
+pub struct Mirror {
+    pub state: UnitState,
+}
+
+pub fn publish(m: &mut Mirror) {
+    // lint: allow(state-mutation, reason = "registry mirror of an authoritative machine")
+    m.state = UnitState::Running;
+}

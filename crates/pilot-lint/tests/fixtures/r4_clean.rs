@@ -1,0 +1,32 @@
+// Clean fixture for R4: guard dropped before the send, consistent order.
+pub fn scoped_drop(m: &std::sync::Mutex<u32>, tx: &Sender) {
+    let v = {
+        let g = m.lock();
+        *g
+    };
+    tx.send(v);
+}
+
+pub fn explicit_drop(m: &std::sync::Mutex<u32>, tx: &Sender) {
+    let g = m.lock();
+    let v = *g;
+    drop(g);
+    tx.send(v);
+}
+
+pub fn consistent_order(units: &L, pilots: &L) {
+    let a = units.lock();
+    let b = pilots.lock();
+    drop(b);
+    drop(a);
+}
+
+pub fn consistent_order_again(units: &L, pilots: &L) {
+    let a = units.lock();
+    let b = pilots.lock();
+    drop(b);
+    drop(a);
+}
+
+pub struct L;
+pub struct Sender;

@@ -1,0 +1,23 @@
+// Positive fixture for R4 (`lock-discipline`): a send under a live guard
+// plus an inconsistent acquisition order between the two functions.
+pub fn guard_across_send(m: &std::sync::Mutex<u32>, tx: &Sender) {
+    let g = m.lock();
+    tx.send(*g);
+}
+
+pub fn order_ab(units: &L, pilots: &L) {
+    let a = units.lock();
+    let b = pilots.lock();
+    drop(b);
+    drop(a);
+}
+
+pub fn order_ba(units: &L, pilots: &L) {
+    let b = pilots.lock();
+    let a = units.lock();
+    drop(a);
+    drop(b);
+}
+
+pub struct L;
+pub struct Sender;

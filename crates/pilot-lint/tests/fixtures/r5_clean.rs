@@ -1,0 +1,5 @@
+// Clean fixture for R5: the word `todo` in comments and strings is fine.
+// TODO: comments like this are not findings.
+pub fn fine() -> &'static str {
+    "todo!() in a string is not a finding"
+}

@@ -1,0 +1,16 @@
+// Positive fixture for R5 (`debug-macro`): three findings expected — note
+// the macros are banned in test code too.
+pub fn unfinished(x: u32) -> u32 {
+    if x == 0 {
+        todo!()
+    }
+    dbg!(x)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn also_banned_here() {
+        unimplemented!()
+    }
+}

@@ -1,0 +1,8 @@
+// Suppressed fixture for R5: zero findings, one suppression.
+pub fn stub(x: u32) -> u32 {
+    if x > 1_000_000 {
+        // lint: allow(debug-macro, reason = "tracked by issue #42; unreachable in v0")
+        todo!()
+    }
+    x
+}

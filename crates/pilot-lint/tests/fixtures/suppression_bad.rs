@@ -1,0 +1,11 @@
+// Positive fixture for the `suppression` meta-rule: a reason-less allow is
+// itself a finding, and the original finding is NOT silenced.
+pub fn sloppy(v: Option<u32>) -> u32 {
+    // lint: allow(panic)
+    v.unwrap()
+}
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    // lint: allow(everything, reason = "no such rule")
+    v.unwrap()
+}

@@ -1,0 +1,187 @@
+//! Fixture-driven rule tests: each rule has a positive, a suppressed and a
+//! clean fixture under `tests/fixtures/`. Fixtures are linted as library
+//! code via `lint_paths`, exactly as the CLI does with explicit file args.
+
+use pilot_lint::{lint_paths, Report};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(name: &str) -> Report {
+    match lint_paths(&[fixture(name)]) {
+        Ok(r) => r,
+        Err(e) => panic!("linting {name}: {e}"),
+    }
+}
+
+fn rules(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn r1_panic_positive() {
+    let r = lint("r1_panic.rs");
+    assert_eq!(rules(&r), ["panic", "panic", "panic"], "{r:?}");
+}
+
+#[test]
+fn r1_panic_suppressed() {
+    let r = lint("r1_suppressed.rs");
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 2);
+}
+
+#[test]
+fn r1_panic_clean() {
+    let r = lint("r1_clean.rs");
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 0);
+}
+
+#[test]
+fn r2_wall_clock_positive() {
+    let r = lint("r2_wall_clock.rs");
+    assert_eq!(
+        rules(&r),
+        ["wall-clock", "wall-clock", "wall-clock"],
+        "{r:?}"
+    );
+}
+
+#[test]
+fn r2_wall_clock_suppressed() {
+    let r = lint("r2_suppressed.rs");
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn r2_wall_clock_clean() {
+    let r = lint("r2_clean.rs");
+    assert!(r.is_clean(), "{r:?}");
+}
+
+#[test]
+fn r3_state_mutation_positive() {
+    let r = lint("r3_mutation.rs");
+    assert_eq!(rules(&r), ["state-mutation", "state-mutation"], "{r:?}");
+}
+
+#[test]
+fn r3_state_mutation_suppressed() {
+    let r = lint("r3_suppressed.rs");
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn r3_state_mutation_clean() {
+    let r = lint("r3_clean.rs");
+    assert!(r.is_clean(), "{r:?}");
+}
+
+#[test]
+fn r4_lock_positive() {
+    let r = lint("r4_lock.rs");
+    let rs = rules(&r);
+    assert_eq!(rs.len(), 3, "send-under-guard + both order sites: {r:?}");
+    assert!(rs.iter().all(|x| *x == "lock-discipline"), "{r:?}");
+}
+
+#[test]
+fn r4_lock_suppressed() {
+    let r = lint("r4_suppressed.rs");
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn r4_lock_clean() {
+    let r = lint("r4_clean.rs");
+    assert!(r.is_clean(), "{r:?}");
+}
+
+#[test]
+fn r5_debug_macro_positive() {
+    let r = lint("r5_debug.rs");
+    // R5 applies even inside #[cfg(test)].
+    assert_eq!(
+        rules(&r),
+        ["debug-macro", "debug-macro", "debug-macro"],
+        "{r:?}"
+    );
+}
+
+#[test]
+fn r5_debug_macro_suppressed() {
+    let r = lint("r5_suppressed.rs");
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn r5_debug_macro_clean() {
+    let r = lint("r5_clean.rs");
+    assert!(r.is_clean(), "{r:?}");
+}
+
+#[test]
+fn reasonless_or_unknown_suppressions_are_findings() {
+    let r = lint("suppression_bad.rs");
+    let rs = rules(&r);
+    assert_eq!(
+        rs.iter().filter(|x| **x == "suppression").count(),
+        2,
+        "reason-less and unknown-rule allows: {r:?}"
+    );
+    assert_eq!(
+        rs.iter().filter(|x| **x == "panic").count(),
+        2,
+        "a malformed allow must not silence the finding: {r:?}"
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_positive_fixtures() {
+    for name in [
+        "r1_panic.rs",
+        "r2_wall_clock.rs",
+        "r3_mutation.rs",
+        "r4_lock.rs",
+        "r5_debug.rs",
+        "suppression_bad.rs",
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_pilot-lint"))
+            .arg("--format")
+            .arg("json")
+            .arg(fixture(name))
+            .output()
+            .unwrap_or_else(|e| panic!("running pilot-lint on {name}: {e}"));
+        assert_eq!(out.status.code(), Some(1), "{name} should fail the lint");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("\"clean\":false"), "{name}: {stdout}");
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_clean_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pilot-lint"))
+        .arg(fixture("r1_clean.rs"))
+        .output()
+        .unwrap_or_else(|e| panic!("running pilot-lint: {e}"));
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn json_output_is_well_formed_enough() {
+    let r = lint("r1_panic.rs");
+    let json = pilot_lint::render_json(&r);
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"rule\":\"panic\""));
+    assert!(json.contains("\"clean\":false"));
+}

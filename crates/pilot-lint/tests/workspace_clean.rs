@@ -1,0 +1,27 @@
+//! Self-check: the workspace this crate lives in must be lint-clean. This is
+//! the same walk the CI `lint` job performs via the binary.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = match pilot_lint::find_workspace_root(&manifest) {
+        Some(r) => r,
+        None => panic!("no workspace root above {}", manifest.display()),
+    };
+    let report = match pilot_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => panic!("walking workspace: {e}"),
+    };
+    assert!(
+        report.is_clean(),
+        "workspace has unsuppressed lint findings:\n{}",
+        pilot_lint::render_human(&report)
+    );
+    assert!(
+        report.files > 50,
+        "walk looks broken: {} files",
+        report.files
+    );
+}

@@ -162,8 +162,10 @@ impl<T: Send + Sync> CacheManager<T> {
                     .map
                     .iter()
                     .min_by_key(|(_, (_, last))| *last)
-                    .map(|(&k, _)| k)
-                    .expect("non-empty over-capacity map");
+                    .map(|(&k, _)| k);
+                let Some(victim) = victim else {
+                    break; // len() > cap implies non-empty; defensive only
+                };
                 g.map.remove(&victim);
                 g.evictions += 1;
             }

@@ -116,6 +116,7 @@ where
                 .collect();
             let mut partials = Vec::with_capacity(n);
             for u in units {
+                // lint: allow(panic, reason = "unit ids come from submit_unit on the same service three lines up; wait_unit only returns None for unknown ids")
                 let out = svc.wait_unit(u).expect("unit issued by this service");
                 match out.state {
                     UnitState::Done => {

@@ -53,6 +53,21 @@ impl Trial {
         self.get(factor).map(|v| v.round() as usize)
     }
 
+    /// Level of a factor the experiment itself declared. Experiments read
+    /// back factors from their own design grid, so a miss is a typo in the
+    /// experiment source, not a runtime condition — fail loudly with the
+    /// factor name instead of threading `Option` through every kernel.
+    pub fn param(&self, factor: &str) -> f64 {
+        self.get(factor)
+            // lint: allow(panic, reason = "factor names are static strings matched against the experiment's own design grid; a miss is a typo caught by the experiment's smoke test")
+            .unwrap_or_else(|| panic!("trial has no factor named {factor:?}"))
+    }
+
+    /// [`param`](Self::param) rounded to an integer level.
+    pub fn param_usize(&self, factor: &str) -> usize {
+        self.param(factor).round() as usize
+    }
+
     /// Compact `k=v` key identifying the configuration (without rep).
     pub fn config_key(&self) -> String {
         self.config

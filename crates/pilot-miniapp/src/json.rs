@@ -365,6 +365,7 @@ impl Parser<'_> {
                     // byte stream is valid UTF-8 by construction).
                     let rest = &self.bytes[self.pos..];
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    // lint: allow(panic, reason = "the surrounding loop only enters with bytes remaining; an empty rest is unreachable")
                     let c = s.chars().next().expect("non-empty checked above");
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -399,6 +400,7 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
+        // lint: allow(panic, reason = "the scanned range holds only ASCII digit/sign/dot/exponent bytes, always valid UTF-8")
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
         if integral && !text.starts_with('-') {
             if let Ok(n) = text.parse::<u64>() {

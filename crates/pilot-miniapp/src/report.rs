@@ -23,6 +23,15 @@ impl Row {
             .find(|(n, _)| n == name)
             .map(|(_, v)| *v)
     }
+
+    /// Value of a metric the experiment itself recorded. Like
+    /// [`Trial::param`], a miss is a typo in the experiment source, not a
+    /// runtime condition, so fail loudly with the metric name.
+    pub fn measured(&self, name: &str) -> f64 {
+        self.metric(name)
+            // lint: allow(panic, reason = "metric names are static strings the experiment wrote into the same row; a miss is a typo caught by the experiment's smoke test")
+            .unwrap_or_else(|| panic!("row has no metric named {name:?}"))
+    }
 }
 
 /// All rows of one experiment.

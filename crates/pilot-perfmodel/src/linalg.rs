@@ -107,14 +107,10 @@ fn gauss_solve(mut a: Matrix, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = a.rows;
     for col in 0..n {
         // Partial pivot.
-        let pivot = (col..n)
-            .max_by(|&i, &j| {
-                a[(i, col)]
-                    .abs()
-                    .partial_cmp(&a[(j, col)].abs())
-                    .expect("finite matrix entries")
-            })
-            .expect("non-empty range");
+        let Some(pivot) = (col..n).max_by(|&i, &j| a[(i, col)].abs().total_cmp(&a[(j, col)].abs()))
+        else {
+            return None; // n == 0: nothing to solve
+        };
         if a[(pivot, col)].abs() < 1e-12 {
             return None;
         }

@@ -82,11 +82,9 @@ impl LinearModel {
     /// Among candidate configurations, the one with the highest predicted
     /// response (the paper's "optimal set of resources for a workload").
     pub fn argmax<'a>(&self, candidates: &'a [Vec<f64>]) -> Option<&'a Vec<f64>> {
-        candidates.iter().max_by(|a, b| {
-            self.predict(a)
-                .partial_cmp(&self.predict(b))
-                .expect("finite predictions")
-        })
+        candidates
+            .iter()
+            .max_by(|a, b| self.predict(a).total_cmp(&self.predict(b)))
     }
 }
 

@@ -131,6 +131,7 @@ pub fn plan_instances(cores: u32, types: &[pilot_infra::cloud::InstanceType]) ->
     assert!(!types.is_empty(), "empty instance catalog");
     let mut by_size: Vec<usize> = (0..types.len()).collect();
     by_size.sort_by_key(|&i| std::cmp::Reverse(types[i].cores));
+    // lint: allow(panic, reason = "guarded by the non-empty catalog assert at function entry")
     let smallest = *by_size.last().expect("non-empty");
     let mut plan = Vec::new();
     let mut remaining = cores as i64;

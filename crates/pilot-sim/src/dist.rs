@@ -5,6 +5,8 @@
 //! description. All sampling goes through [`SimRng`], keeping experiments
 //! reproducible.
 
+// lint: deterministic — this module must stay replayable: no wall-clock reads
+
 use crate::rng::SimRng;
 
 /// A one-dimensional sampling distribution.
@@ -202,10 +204,7 @@ impl Zipf {
     /// Draw a rank in `[0, n)`; rank 0 is the most frequent.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.f64();
-        match self
-            .cdf
-            .binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF is finite"))
-        {
+        match self.cdf.binary_search_by(|probe| probe.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -7,6 +7,8 @@
 //! reproducible byte-for-byte for a fixed seed, which the experiment harness
 //! relies on (and the integration tests assert).
 
+// lint: deterministic — this module must stay replayable: no wall-clock reads
+
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

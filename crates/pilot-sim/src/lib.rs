@@ -71,6 +71,8 @@
 //! - [`stats`]: streaming statistics, percentiles, histograms, time-weighted means.
 //! - [`trace`]: structured event tracing for experiment post-processing.
 
+// lint: deterministic — this module must stay replayable: no wall-clock reads
+
 pub mod dist;
 pub mod engine;
 pub mod rng;

@@ -9,6 +9,8 @@
 //! process, failure injector) owns a private stream — adding a component never
 //! perturbs the draws seen by another.
 
+// lint: deterministic — this module must stay replayable: no wall-clock reads
+
 /// Deterministic xoshiro256++ generator.
 #[derive(Clone, Debug)]
 pub struct SimRng {

@@ -2,6 +2,8 @@
 //! Welford accumulators, five-number summaries, percentiles, fixed-bucket
 //! histograms, and time-weighted means for utilization metrics.
 
+// lint: deterministic — this module must stay replayable: no wall-clock reads
+
 /// Numerically stable streaming mean/variance (Welford's algorithm).
 #[derive(Clone, Debug, Default)]
 pub struct Welford {
@@ -126,7 +128,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     percentile_sorted(&sorted, p)
 }
 

@@ -5,6 +5,8 @@
 //! matters for deterministic event tie-breaking. Conversions to `f64` seconds
 //! are provided for metrics and reporting only.
 
+// lint: deterministic — this module must stay replayable: no wall-clock reads
+
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 

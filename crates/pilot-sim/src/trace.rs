@@ -5,6 +5,8 @@
 //! tables reported in EXPERIMENTS.md. Records carry a coarse `kind` (stable,
 //! filterable) plus a free-form detail string.
 
+// lint: deterministic — this module must stay replayable: no wall-clock reads
+
 use crate::time::SimTime;
 use std::fmt;
 
