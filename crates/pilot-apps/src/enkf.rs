@@ -7,8 +7,13 @@
 //! performs the ensemble *analysis* update against a noisy observation.
 //! The test of usefulness is statistical: filtered RMSE must beat the
 //! unassimilated free run.
+//!
+//! The ensemble is a flat row-major [`Matrix`] (one member per row); the
+//! analysis statistics `P Hᵀ` and `H P Hᵀ` are computed by streaming the
+//! anomaly matrices row-by-row through [`Matrix::at_b`] — no transpose is
+//! ever materialized and no per-member vectors are allocated.
 
-use pilot_perfmodel::Matrix;
+use crate::linalg::Matrix;
 use pilot_sim::SimRng;
 
 /// Problem definition: `x' = A x + w`, `y = H x + v`.
@@ -62,38 +67,42 @@ pub fn forecast_member(problem: &EnkfProblem, x: &[f64], rng: &mut SimRng) -> Ve
         .collect()
 }
 
-/// EnKF analysis with perturbed observations: updates every member in place
-/// against observation `y`.
-pub fn analysis(problem: &EnkfProblem, ensemble: &mut [Vec<f64>], y: &[f64], rng: &mut SimRng) {
-    let n = ensemble.len();
+/// EnKF analysis with perturbed observations: updates every ensemble member
+/// (row) in place against observation `y`.
+pub fn analysis(problem: &EnkfProblem, ensemble: &mut Matrix, y: &[f64], rng: &mut SimRng) {
+    let n = ensemble.rows();
     assert!(n >= 2, "EnKF needs at least two members");
     let d = problem.dim();
     let m = problem.obs_dim();
-    // Ensemble mean.
-    let mean: Vec<f64> = (0..d)
-        .map(|j| ensemble.iter().map(|x| x[j]).sum::<f64>() / n as f64)
-        .collect();
-    // Anomalies and their observation-space images.
-    let anomalies: Vec<Vec<f64>> = ensemble
-        .iter()
-        .map(|x| x.iter().zip(&mean).map(|(a, b)| a - b).collect())
-        .collect();
-    let h_anoms: Vec<Vec<f64>> = anomalies.iter().map(|a| problem.h.matvec(a)).collect();
-    // P Hᵀ  (d × m) and H P Hᵀ (m × m), from ensemble statistics.
-    let mut pht = Matrix::zeros(d, m);
-    let mut hpht = Matrix::zeros(m, m);
-    for (a, ha) in anomalies.iter().zip(&h_anoms) {
-        for i in 0..d {
-            for j in 0..m {
-                pht[(i, j)] += a[i] * ha[j] / (n - 1) as f64;
-            }
-        }
-        for i in 0..m {
-            for j in 0..m {
-                hpht[(i, j)] += ha[i] * ha[j] / (n - 1) as f64;
-            }
+    // Ensemble mean, one streaming pass over the flat buffer.
+    let mut mean = vec![0.0; d];
+    for i in 0..n {
+        for (s, &x) in mean.iter_mut().zip(ensemble.row(i)) {
+            *s += x;
         }
     }
+    for s in &mut mean {
+        *s /= n as f64;
+    }
+    // Anomaly matrix A (n × d) and its observation-space image H·A (n × m).
+    let mut anomalies = Matrix::zeros(n, d);
+    let mut h_anoms = Matrix::zeros(n, m);
+    for i in 0..n {
+        let row = ensemble.row(i);
+        let a = anomalies.row_mut(i);
+        for ((dst, &x), &mu) in a.iter_mut().zip(row).zip(&mean) {
+            *dst = x - mu;
+        }
+        let ha = problem.h.matvec(anomalies.row(i));
+        h_anoms.row_mut(i).copy_from_slice(&ha);
+    }
+    // P Hᵀ = Aᵀ(HA)/(n-1)  (d × m) and H P Hᵀ = (HA)ᵀ(HA)/(n-1)  (m × m),
+    // both as single streaming passes over the tall anomaly matrices.
+    let scale = 1.0 / (n - 1) as f64;
+    let mut pht = anomalies.at_b(&h_anoms);
+    pht.scale(scale);
+    let mut hpht = h_anoms.at_b(&h_anoms);
+    hpht.scale(scale);
     // Innovation covariance S = H P Hᵀ + R.
     let r = problem.obs_noise * problem.obs_noise;
     for i in 0..m {
@@ -103,41 +112,57 @@ pub fn analysis(problem: &EnkfProblem, ensemble: &mut [Vec<f64>], y: &[f64], rng
     // Build K as d × m.
     let mut k = Matrix::zeros(d, m);
     for row in 0..d {
-        let rhs: Vec<f64> = (0..m).map(|j| pht[(row, j)]).collect();
+        let rhs: Vec<f64> = pht.row(row).to_vec();
         // lint: allow(panic, reason = "S = H P Ht + R with R > 0 is SPD by construction, so the ridge-regularized solve cannot fail")
         let sol = hpht.solve(&rhs).expect("innovation covariance is SPD");
-        for j in 0..m {
-            k[(row, j)] = sol[j];
-        }
+        k.row_mut(row).copy_from_slice(&sol);
     }
     // Perturbed-observation update per member.
-    for x in ensemble.iter_mut() {
+    for i in 0..n {
         let y_pert: Vec<f64> = y
             .iter()
             .map(|&yi| yi + rng.normal(0.0, problem.obs_noise))
             .collect();
-        let hx = problem.h.matvec(x);
+        let hx = problem.h.matvec(ensemble.row(i));
         let innov: Vec<f64> = y_pert.iter().zip(&hx).map(|(a, b)| a - b).collect();
         let dx = k.matvec(&innov);
-        for (xi, di) in x.iter_mut().zip(&dx) {
+        for (xi, di) in ensemble.row_mut(i).iter_mut().zip(&dx) {
             *xi += di;
         }
     }
 }
 
-/// Ensemble mean.
-pub fn ensemble_mean(ensemble: &[Vec<f64>]) -> Vec<f64> {
-    let n = ensemble.len().max(1);
-    let d = ensemble.first().map(|x| x.len()).unwrap_or(0);
-    (0..d)
-        .map(|j| ensemble.iter().map(|x| x[j]).sum::<f64>() / n as f64)
-        .collect()
+/// Ensemble mean (mean over rows).
+pub fn ensemble_mean(ensemble: &Matrix) -> Vec<f64> {
+    let n = ensemble.rows().max(1);
+    let d = ensemble.cols();
+    let mut mean = vec![0.0; d];
+    for i in 0..ensemble.rows() {
+        for (s, &x) in mean.iter_mut().zip(ensemble.row(i)) {
+            *s += x;
+        }
+    }
+    for s in &mut mean {
+        *s /= n as f64;
+    }
+    mean
 }
 
 /// RMSE between two states.
 pub fn rmse_state(a: &[f64], b: &[f64]) -> f64 {
     let n = a.len().max(1);
     (a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>() / n as f64).sqrt()
+}
+
+/// Draw an initial `n × d` ensemble from `N(0, 1)`.
+pub fn initial_ensemble(n_members: usize, d: usize, rng: &mut SimRng) -> Matrix {
+    let mut e = Matrix::zeros(n_members, d);
+    for i in 0..n_members {
+        for v in e.row_mut(i) {
+            *v = rng.normal(0.0, 1.0);
+        }
+    }
+    e
 }
 
 /// Run a full twin experiment sequentially: simulate a truth trajectory,
@@ -153,17 +178,16 @@ pub fn twin_experiment(
     let d = problem.dim();
     let mut truth: Vec<f64> = (0..d).map(|_| rng.normal(1.0, 0.5)).collect();
     let mut free: Vec<f64> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
-    let mut ensemble: Vec<Vec<f64>> = (0..n_members)
-        .map(|_| (0..d).map(|_| rng.normal(0.0, 1.0)).collect())
-        .collect();
+    let mut ensemble = initial_ensemble(n_members, d, &mut rng);
     let (mut err_f, mut err_free) = (0.0, 0.0);
     for _ in 0..cycles {
         // Advance truth (with process noise) and the unassimilated run.
         truth = forecast_member(problem, &truth, &mut rng);
         free = problem.a.matvec(&free);
         // Forecast every member.
-        for x in ensemble.iter_mut() {
-            *x = forecast_member(problem, x, &mut rng);
+        for i in 0..ensemble.rows() {
+            let next = forecast_member(problem, ensemble.row(i), &mut rng);
+            ensemble.row_mut(i).copy_from_slice(&next);
         }
         // Observe and assimilate.
         let y: Vec<f64> = problem
@@ -200,9 +224,10 @@ mod tests {
         let p = EnkfProblem::oscillator();
         let mut rng = SimRng::new(9);
         // Ensemble centered at 5, observation says 0 (first coordinate).
-        let mut ensemble: Vec<Vec<f64>> = (0..40)
+        let rows: Vec<Vec<f64>> = (0..40)
             .map(|_| vec![5.0 + rng.normal(0.0, 0.5), rng.normal(0.0, 0.5)])
             .collect();
+        let mut ensemble = Matrix::from_rows(&rows);
         let before = ensemble_mean(&ensemble)[0];
         analysis(&p, &mut ensemble, &[0.0], &mut rng);
         let after = ensemble_mean(&ensemble)[0];
@@ -229,7 +254,7 @@ mod tests {
 
     #[test]
     fn ensemble_mean_and_rmse_helpers() {
-        let e = vec![vec![1.0, 3.0], vec![3.0, 5.0]];
+        let e = Matrix::from_rows(&[vec![1.0, 3.0], vec![3.0, 5.0]]);
         assert_eq!(ensemble_mean(&e), vec![2.0, 4.0]);
         assert!((rmse_state(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
     }
@@ -239,7 +264,7 @@ mod tests {
     fn analysis_rejects_single_member() {
         let p = EnkfProblem::oscillator();
         let mut rng = SimRng::new(1);
-        let mut e = vec![vec![0.0, 0.0]];
+        let mut e = Matrix::from_rows(&[vec![0.0, 0.0]]);
         analysis(&p, &mut e, &[0.0], &mut rng);
     }
 }
@@ -254,7 +279,7 @@ mod tests {
 pub fn forecast_ensemble_on_pilots(
     svc: &pilot_core::thread::ThreadPilotService,
     problem: &EnkfProblem,
-    ensemble: &mut [Vec<f64>],
+    ensemble: &mut Matrix,
     cycle: u64,
     seed: u64,
 ) -> usize {
@@ -265,12 +290,10 @@ pub fn forecast_ensemble_on_pilots(
 
     let problem = Arc::new(problem.clone());
     let root = SimRng::new(seed);
-    let units: Vec<_> = ensemble
-        .iter()
-        .enumerate()
-        .map(|(i, x)| {
+    let units: Vec<_> = (0..ensemble.rows())
+        .map(|i| {
             let problem = Arc::clone(&problem);
-            let x = x.clone();
+            let x = ensemble.row(i).to_vec();
             // Stream id mixes member and cycle so every (member, cycle)
             // forecast has its own reproducible noise; kernels are `Fn`, so
             // the mutable RNG lives behind a Mutex (each kernel runs once).
@@ -291,7 +314,8 @@ pub fn forecast_ensemble_on_pilots(
         match (out.state, out.output) {
             (UnitState::Done, Some(Ok(o))) => {
                 // lint: allow(panic, reason = "the forecast kernel two screens up always returns a Vec<f64> state vector")
-                ensemble[i] = o.downcast::<Vec<f64>>().expect("kernel returns state");
+                let next = o.downcast::<Vec<f64>>().expect("kernel returns state");
+                ensemble.row_mut(i).copy_from_slice(&next);
             }
             _ => failed += 1,
         }
@@ -317,19 +341,15 @@ mod pilot_tests {
     fn pilot_forecast_matches_sequential_streams() {
         let problem = EnkfProblem::oscillator();
         let mut init_rng = SimRng::new(99);
-        let make = |rng: &mut SimRng| -> Vec<Vec<f64>> {
-            (0..12)
-                .map(|_| (0..2).map(|_| rng.normal(0.0, 1.0)).collect())
-                .collect()
-        };
-        let mut parallel = make(&mut init_rng);
+        let mut parallel = initial_ensemble(12, 2, &mut init_rng);
         let mut sequential = parallel.clone();
 
         // Sequential reference with the same per-(member, cycle) streams.
         let root = SimRng::new(777);
-        for (i, x) in sequential.iter_mut().enumerate() {
+        for i in 0..sequential.rows() {
             let mut rng = root.stream((i as u64) << 32 | 3);
-            *x = forecast_member(&problem, x, &mut rng);
+            let next = forecast_member(&problem, sequential.row(i), &mut rng);
+            sequential.row_mut(i).copy_from_slice(&next);
         }
 
         let s = svc(4);
@@ -350,9 +370,7 @@ mod pilot_tests {
         let d = problem.dim();
         let mut truth: Vec<f64> = (0..d).map(|_| rng.normal(1.0, 0.5)).collect();
         let mut free: Vec<f64> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
-        let mut ensemble: Vec<Vec<f64>> = (0..20)
-            .map(|_| (0..d).map(|_| rng.normal(0.0, 1.0)).collect())
-            .collect();
+        let mut ensemble = initial_ensemble(20, d, &mut rng);
         let (mut err_f, mut err_free) = (0.0, 0.0);
         let cycles = 30;
         for cycle in 0..cycles {

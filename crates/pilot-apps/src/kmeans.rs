@@ -5,11 +5,31 @@
 //! global reduction updating the centroids. The step/reduce functions plug
 //! straight into `pilot_memory::IterativeExecutor`; [`lloyd_sequential`] is
 //! the verification reference.
+//!
+//! ## Layout and parallelism
+//!
+//! Points and centroids live in a flat row-major [`Matrix`] (one point per
+//! row). [`assign_step`] is a *blocked* kernel: it walks fixed
+//! [`ASSIGN_BLOCK_ROWS`]-row blocks, accumulates each block into a flat
+//! per-block [`Partial`] (no allocation inside the point loop), and merges
+//! block partials in block order. Handing it a multi-threaded
+//! [`Parallelism`] farms blocks out to workers; because block boundaries and
+//! the merge order never depend on the thread count, the result is
+//! **bit-identical** to the sequential run (property-tested in
+//! `tests/proptest_invariants.rs`). [`assign_step_aos`] keeps the original
+//! `Vec<Vec<f64>>` walk as the benchmark baseline for the layout comparison.
 
+use crate::linalg::Matrix;
+use pilot_core::Parallelism;
 use pilot_sim::SimRng;
 
-/// A data point.
+/// A data point (AoS form, used by the generator and the layout baseline).
 pub type Point = Vec<f64>;
+
+/// Rows per assignment block: boundaries are fixed by this constant and the
+/// dataset size alone, which is what makes parallel runs bit-identical to
+/// sequential ones (see the module docs).
+pub const ASSIGN_BLOCK_ROWS: usize = 1024;
 
 /// Synthetic-blob generator configuration.
 #[derive(Clone, Debug)]
@@ -61,16 +81,86 @@ pub fn generate_blobs(cfg: &BlobConfig) -> (Vec<Point>, Vec<Point>) {
     (points, centers)
 }
 
+/// [`generate_blobs`] straight into the flat layout; returns
+/// `(points, true_centers)` as matrices with one point per row.
+pub fn generate_blob_matrix(cfg: &BlobConfig) -> (Matrix, Matrix) {
+    let (points, centers) = generate_blobs(cfg);
+    (Matrix::from_rows(&points), Matrix::from_rows(&centers))
+}
+
 fn d2(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
-/// Partial sums from one partition: per-centroid coordinate sums, counts,
-/// and the partition's inertia contribution.
+/// Squared distance with four independent accumulator chains.
+///
+/// The naive fold above is a serial FP-add dependency chain the compiler may
+/// not reassociate, so it runs at add-latency per element regardless of data
+/// layout. Splitting into four fixed chains breaks the chain without
+/// sacrificing determinism: the grouping depends only on `a.len()`, never on
+/// thread count or block position, so it is part of the kernel definition.
+#[inline]
+fn d2_unrolled(a: &[f64], b: &[f64]) -> f64 {
+    let n4 = a.len() & !3;
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in a[..n4].chunks_exact(4).zip(b[..n4].chunks_exact(4)) {
+        let e0 = ca[0] - cb[0];
+        let e1 = ca[1] - cb[1];
+        let e2 = ca[2] - cb[2];
+        let e3 = ca[3] - cb[3];
+        acc[0] += e0 * e0;
+        acc[1] += e1 * e1;
+        acc[2] += e2 * e2;
+        acc[3] += e3 * e3;
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[n4..].iter().zip(&b[n4..]) {
+        let e = x - y;
+        tail += e * e;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// [`d2_unrolled`] for a compile-time width: the fully unrolled body keeps
+/// the point row in registers across the centroid scan. The accumulator
+/// grouping matches [`d2_unrolled`] whenever `D % 4 == 0`, so specialized and
+/// generic paths produce the same bits for the widths we dispatch on.
+#[inline(always)]
+fn d2_fixed<const D: usize>(a: &[f64; D], b: &[f64; D]) -> f64 {
+    let n4 = D & !3;
+    let mut acc = [0.0f64; 4];
+    let mut i = 0;
+    while i < n4 {
+        let e0 = a[i] - b[i];
+        let e1 = a[i + 1] - b[i + 1];
+        let e2 = a[i + 2] - b[i + 2];
+        let e3 = a[i + 3] - b[i + 3];
+        acc[0] += e0 * e0;
+        acc[1] += e1 * e1;
+        acc[2] += e2 * e2;
+        acc[3] += e3 * e3;
+        i += 4;
+    }
+    let mut tail = 0.0;
+    while i < D {
+        let e = a[i] - b[i];
+        tail += e * e;
+        i += 1;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Partial sums from one partition: flat per-centroid coordinate sums
+/// (`k * dims`, row-major like [`Matrix`]), counts, and the partition's
+/// inertia contribution.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Partial {
-    /// Per-centroid coordinate sums.
-    pub sums: Vec<Vec<f64>>,
+    /// Centroid count.
+    pub k: usize,
+    /// Dimensions.
+    pub dims: usize,
+    /// Flat per-centroid coordinate sums (`sums[c * dims + d]`).
+    pub sums: Vec<f64>,
     /// Per-centroid assigned counts.
     pub counts: Vec<u64>,
     /// Sum of squared distances to assigned centroids.
@@ -81,18 +171,23 @@ impl Partial {
     /// Zero partial for `k` centroids of `dims` dimensions.
     pub fn zero(k: usize, dims: usize) -> Self {
         Partial {
-            sums: vec![vec![0.0; dims]; k],
+            k,
+            dims,
+            sums: vec![0.0; k * dims],
             counts: vec![0; k],
             inertia: 0.0,
         }
     }
 
+    /// The coordinate-sum row for centroid `c`.
+    pub fn sum_of(&self, c: usize) -> &[f64] {
+        &self.sums[c * self.dims..(c + 1) * self.dims]
+    }
+
     /// Merge another partial into this one.
     pub fn merge(&mut self, other: &Partial) {
-        for (s, o) in self.sums.iter_mut().zip(&other.sums) {
-            for (a, b) in s.iter_mut().zip(o) {
-                *a += b;
-            }
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
         }
         for (c, o) in self.counts.iter_mut().zip(&other.counts) {
             *c += o;
@@ -101,8 +196,106 @@ impl Partial {
     }
 }
 
-/// Assignment step over one partition.
-pub fn assign_step(points: &[Point], centroids: &[Point]) -> Partial {
+/// Accumulate one flat row-major block of points into `partial`. The inner
+/// loop allocates nothing: best-centroid search and the sum update both
+/// stream over contiguous rows.
+fn assign_rows(rows: &[f64], centroids: &Matrix, partial: &mut Partial) {
+    // Dispatch the hot widths to the register-resident specialization; the
+    // `D % 4 == 0` widths reassociate identically to the generic path.
+    match centroids.cols() {
+        4 => assign_rows_fixed::<4>(rows, centroids, partial),
+        8 => assign_rows_fixed::<8>(rows, centroids, partial),
+        16 => assign_rows_fixed::<16>(rows, centroids, partial),
+        32 => assign_rows_fixed::<32>(rows, centroids, partial),
+        _ => assign_rows_generic(rows, centroids, partial),
+    }
+}
+
+/// [`assign_rows`] body for a compile-time point width.
+fn assign_rows_fixed<const D: usize>(rows: &[f64], centroids: &Matrix, partial: &mut Partial) {
+    let k = centroids.rows();
+    for p in rows.chunks_exact(D) {
+        let Ok(p) = <&[f64; D]>::try_from(p) else {
+            continue; // unreachable: chunks_exact yields D-length slices
+        };
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for c in 0..k {
+            let Ok(crow) = <&[f64; D]>::try_from(centroids.row(c)) else {
+                continue; // unreachable: rows are D wide by dispatch
+            };
+            let d = d2_fixed(p, crow);
+            if d < best_d {
+                best = c;
+                best_d = d;
+            }
+        }
+        partial.counts[best] += 1;
+        partial.inertia += best_d;
+        for (s, &x) in partial.sums[best * D..(best + 1) * D].iter_mut().zip(p) {
+            *s += x;
+        }
+    }
+}
+
+/// [`assign_rows`] body for arbitrary widths.
+fn assign_rows_generic(rows: &[f64], centroids: &Matrix, partial: &mut Partial) {
+    let dims = centroids.cols();
+    let k = centroids.rows();
+    for p in rows.chunks_exact(dims) {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for c in 0..k {
+            let d = d2_unrolled(p, centroids.row(c));
+            if d < best_d {
+                best = c;
+                best_d = d;
+            }
+        }
+        partial.counts[best] += 1;
+        partial.inertia += best_d;
+        for (s, &x) in partial.sums[best * dims..(best + 1) * dims]
+            .iter_mut()
+            .zip(p)
+        {
+            *s += x;
+        }
+    }
+}
+
+/// Assignment step over one partition, blocked and optionally parallel.
+///
+/// Blocks are [`ASSIGN_BLOCK_ROWS`] rows regardless of `par`; block partials
+/// merge in block order on the calling thread, so any thread count produces
+/// the bit-identical [`Partial`].
+pub fn assign_step(points: &Matrix, centroids: &Matrix, par: &Parallelism) -> Partial {
+    let k = centroids.rows();
+    let dims = centroids.cols();
+    assert!(k >= 1, "k >= 1");
+    if dims == 0 || points.rows() == 0 {
+        return Partial::zero(k, dims);
+    }
+    assert_eq!(points.cols(), dims, "points and centroids disagree on dims");
+    par.par_map_reduce(
+        points.as_slice(),
+        ASSIGN_BLOCK_ROWS * dims,
+        |_, rows| {
+            let mut partial = Partial::zero(k, dims);
+            assign_rows(rows, centroids, &mut partial);
+            partial
+        },
+        |mut acc, b| {
+            acc.merge(&b);
+            acc
+        },
+    )
+    .unwrap_or_else(|| Partial::zero(k, dims))
+}
+
+/// The original `Vec<Vec<f64>>` assignment walk, kept as the AoS layout
+/// baseline for `BENCH_kernels` (same math, same [`Partial`] output — only
+/// the memory layout differs).
+pub fn assign_step_aos(points: &[Point], centroids: &[Point]) -> Partial {
     let k = centroids.len();
     let dims = centroids.first().map(|c| c.len()).unwrap_or(0);
     let mut partial = Partial::zero(k, dims);
@@ -116,7 +309,10 @@ pub fn assign_step(points: &[Point], centroids: &[Point]) -> Partial {
             .expect("k >= 1");
         partial.counts[best] += 1;
         partial.inertia += dist;
-        for (s, &x) in partial.sums[best].iter_mut().zip(p) {
+        for (s, &x) in partial.sums[best * dims..(best + 1) * dims]
+            .iter_mut()
+            .zip(p)
+        {
             *s += x;
         }
     }
@@ -125,48 +321,53 @@ pub fn assign_step(points: &[Point], centroids: &[Point]) -> Partial {
 
 /// Reduce partials into new centroids. Empty centroids keep their previous
 /// position. Returns `(new_centroids, inertia)`.
-pub fn update_centroids(partials: &[Partial], previous: &[Point]) -> (Vec<Point>, f64) {
-    let k = previous.len();
-    let dims = previous.first().map(|c| c.len()).unwrap_or(0);
+pub fn update_centroids(partials: &[Partial], previous: &Matrix) -> (Matrix, f64) {
+    let k = previous.rows();
+    let dims = previous.cols();
     let mut merged = Partial::zero(k, dims);
     for p in partials {
         merged.merge(p);
     }
-    let centroids = (0..k)
-        .map(|i| {
-            if merged.counts[i] == 0 {
-                previous[i].clone()
-            } else {
-                merged.sums[i]
-                    .iter()
-                    .map(|&s| s / merged.counts[i] as f64)
-                    .collect()
+    let mut centroids = Matrix::zeros(k, dims);
+    for c in 0..k {
+        let row = centroids.row_mut(c);
+        if merged.counts[c] == 0 {
+            row.copy_from_slice(previous.row(c));
+        } else {
+            for (dst, &s) in row.iter_mut().zip(merged.sum_of(c)) {
+                *dst = s / merged.counts[c] as f64;
             }
-        })
-        .collect();
+        }
+    }
     (centroids, merged.inertia)
 }
 
 /// Deterministic initialization: the first `k` points.
-pub fn init_centroids(points: &[Point], k: usize) -> Vec<Point> {
-    points.iter().take(k).cloned().collect()
+pub fn init_centroids(points: &Matrix, k: usize) -> Matrix {
+    let dims = points.cols();
+    let mut c = Matrix::zeros(k.min(points.rows()), dims);
+    for i in 0..c.rows() {
+        c.row_mut(i).copy_from_slice(points.row(i));
+    }
+    c
 }
 
 /// Result of a K-Means run.
 #[derive(Clone, Debug)]
 pub struct KMeansResult {
-    /// Final centroids.
-    pub centroids: Vec<Point>,
+    /// Final centroids (one per row).
+    pub centroids: Matrix,
     /// Inertia per iteration (monotone non-increasing for Lloyd's).
     pub inertia_history: Vec<f64>,
 }
 
-/// Sequential reference implementation.
-pub fn lloyd_sequential(points: &[Point], k: usize, iterations: usize) -> KMeansResult {
+/// Sequential reference implementation (the blocked kernel on one thread).
+pub fn lloyd_sequential(points: &Matrix, k: usize, iterations: usize) -> KMeansResult {
+    let par = Parallelism::sequential();
     let mut centroids = init_centroids(points, k);
     let mut inertia_history = Vec::with_capacity(iterations);
     for _ in 0..iterations {
-        let partial = assign_step(points, &centroids);
+        let partial = assign_step(points, &centroids, &par);
         let (next, inertia) = update_centroids(&[partial], &centroids);
         centroids = next;
         inertia_history.push(inertia);
@@ -191,12 +392,16 @@ mod tests {
         assert_eq!(p1.len(), 90);
         assert_eq!(c1.len(), 3);
         assert_eq!(p1[0].len(), 2);
+        let (m, c) = generate_blob_matrix(&cfg);
+        assert_eq!(m.shape(), (90, 2));
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(m.row(5), &p1[5][..]);
     }
 
     #[test]
     fn inertia_is_monotone_nonincreasing() {
         let cfg = BlobConfig::new(4, 3, 400, 7);
-        let (points, _) = generate_blobs(&cfg);
+        let (points, _) = generate_blob_matrix(&cfg);
         let result = lloyd_sequential(&points, 4, 10);
         for w in result.inertia_history.windows(2) {
             assert!(
@@ -211,14 +416,13 @@ mod tests {
     #[test]
     fn recovers_well_separated_centers() {
         let cfg = BlobConfig::new(3, 2, 600, 11);
-        let (points, truth) = generate_blobs(&cfg);
+        let (points, truth) = generate_blob_matrix(&cfg);
         let result = lloyd_sequential(&points, 3, 25);
         // Every true center has a found centroid within 3 spreads.
-        for t in &truth {
-            let nearest = result
-                .centroids
-                .iter()
-                .map(|c| d2(t, c).sqrt())
+        for t in 0..truth.rows() {
+            let t = truth.row(t);
+            let nearest = (0..result.centroids.rows())
+                .map(|c| d2(t, result.centroids.row(c)).sqrt())
                 .fold(f64::INFINITY, f64::min);
             assert!(nearest < 1.5, "center {t:?} missed by {nearest}");
         }
@@ -227,50 +431,83 @@ mod tests {
     #[test]
     fn partitioned_equals_sequential() {
         let cfg = BlobConfig::new(3, 2, 300, 9);
-        let (points, _) = generate_blobs(&cfg);
+        let (points, _) = generate_blob_matrix(&cfg);
         let centroids = init_centroids(&points, 3);
+        let par = Parallelism::sequential();
         // Whole dataset in one step.
-        let whole = assign_step(&points, &centroids);
+        let whole = assign_step(&points, &centroids, &par);
         // Split into 4 partitions and merge.
         let parts: Vec<Partial> = points
-            .chunks(75)
-            .map(|c| assign_step(c, &centroids))
+            .partition_rows(4)
+            .iter()
+            .map(|band| assign_step(band, &centroids, &par))
             .collect();
         let (next_split, inertia_split) = update_centroids(&parts, &centroids);
         let (next_whole, inertia_whole) = update_centroids(&[whole], &centroids);
         // Summation order differs between the two paths; equality is up to
         // floating-point associativity.
-        for (a, b) in next_split.iter().flatten().zip(next_whole.iter().flatten()) {
+        for (a, b) in next_split.as_slice().iter().zip(next_whole.as_slice()) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
         assert!((inertia_split - inertia_whole).abs() < 1e-6);
     }
 
     #[test]
+    fn parallel_assign_is_bit_identical_to_sequential() {
+        let cfg = BlobConfig::new(5, 3, 5000, 13);
+        let (points, _) = generate_blob_matrix(&cfg);
+        let centroids = init_centroids(&points, 5);
+        let seq = assign_step(&points, &centroids, &Parallelism::sequential());
+        for threads in [2, 4, 8] {
+            let par = assign_step(&points, &centroids, &Parallelism::new(threads));
+            assert_eq!(seq, par, "threads={threads} must not change a single bit");
+        }
+    }
+
+    #[test]
+    fn soa_matches_aos_baseline() {
+        let cfg = BlobConfig::new(4, 3, 700, 21);
+        let (points_aos, _) = generate_blobs(&cfg);
+        let points = Matrix::from_rows(&points_aos);
+        let centroids_aos: Vec<Point> = points_aos.iter().take(4).cloned().collect();
+        let centroids = init_centroids(&points, 4);
+        let soa = assign_step(&points, &centroids, &Parallelism::sequential());
+        let aos = assign_step_aos(&points_aos, &centroids_aos);
+        assert_eq!(soa.counts, aos.counts, "assignments must agree exactly");
+        // Sums/inertia accumulate in different block orders: tolerance.
+        for (a, b) in soa.sums.iter().zip(&aos.sums) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert!((soa.inertia - aos.inertia).abs() < 1e-6);
+    }
+
+    #[test]
     fn empty_cluster_keeps_previous_centroid() {
-        let points = vec![vec![0.0, 0.0], vec![0.1, 0.1]];
+        let points = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.1, 0.1]]);
         // Third centroid far away: gets nothing assigned.
-        let centroids = vec![vec![0.0, 0.0], vec![0.1, 0.1], vec![100.0, 100.0]];
-        let partial = assign_step(&points, &centroids);
+        let centroids = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.1, 0.1], vec![100.0, 100.0]]);
+        let partial = assign_step(&points, &centroids, &Parallelism::sequential());
         assert_eq!(partial.counts[2], 0);
         let (next, _) = update_centroids(&[partial], &centroids);
-        assert_eq!(next[2], vec![100.0, 100.0]);
+        assert_eq!(next.row(2), &[100.0, 100.0]);
     }
 
     #[test]
     fn partial_merge_is_commutative() {
         let cfg = BlobConfig::new(2, 2, 100, 3);
-        let (points, _) = generate_blobs(&cfg);
+        let (points, _) = generate_blob_matrix(&cfg);
         let centroids = init_centroids(&points, 2);
-        let a = assign_step(&points[..50], &centroids);
-        let b = assign_step(&points[50..], &centroids);
+        let par = Parallelism::sequential();
+        let halves = points.partition_rows(2);
+        let a = assign_step(&halves[0], &centroids, &par);
+        let b = assign_step(&halves[1], &centroids, &par);
         let mut ab = a.clone();
         ab.merge(&b);
         let mut ba = b.clone();
         ba.merge(&a);
         assert_eq!(ab.counts, ba.counts);
         assert!((ab.inertia - ba.inertia).abs() < 1e-9);
-        for (x, y) in ab.sums.iter().flatten().zip(ba.sums.iter().flatten()) {
+        for (x, y) in ab.sums.iter().zip(&ba.sums) {
             assert!((x - y).abs() < 1e-9);
         }
     }

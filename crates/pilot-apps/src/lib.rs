@@ -19,6 +19,7 @@
 pub mod enkf;
 pub mod kmeans;
 pub mod lightsource;
+pub mod linalg;
 pub mod md;
 pub mod pairwise;
 pub mod seqalign;

@@ -1,0 +1,310 @@
+//! Flat row-major matrices shared by the compute kernels (SoA layout).
+//!
+//! The K-Means and EnKF hot loops used to walk `Vec<Vec<f64>>` — one heap
+//! allocation per point, pointer chases on every distance evaluation. This
+//! module is the paper's "Optimize Application Algorithms" lesson applied to
+//! data layout: a [`Matrix`] stores all rows contiguously (`Vec<f64>` plus a
+//! stride), so blocked kernels stream through cache lines and a row block is
+//! one flat slice that [`pilot_core::Parallelism::par_chunks`] can split at
+//! fixed boundaries.
+//!
+//! Kept deliberately minimal: exactly the operations the apps need
+//! (row access, matrix-vector, the streaming Gram-style product [`Matrix::at_b`],
+//! and a pivoted Gaussian [`Matrix::solve`] with a ridge fallback).
+
+/// Row-major dense matrix: `rows × cols` values in one contiguous buffer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from row vectors (all the same length; empty input gives 0×0).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let cols = rows.first().map(|r| r.len()).unwrap_or(0);
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Adopt a flat row-major buffer. `data.len()` must be `rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat buffer has the wrong size");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the row stride).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// (rows, cols).
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The whole buffer, row-major. Chunking this at multiples of
+    /// [`cols()`](Matrix::cols) yields whole-row blocks for parallel kernels.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Copy the rows back out as vectors (interop with AoS call sites).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.rows).map(|i| self.row(i).to_vec()).collect()
+    }
+
+    /// Split into `n` near-equal row bands (the partitioning used to feed
+    /// `pilot_memory` caches); trailing bands may be empty.
+    pub fn partition_rows(&self, n: usize) -> Vec<Matrix> {
+        let n = n.max(1);
+        let band = self.rows.div_ceil(n).max(1);
+        (0..n)
+            .map(|p| {
+                let start = (p * band).min(self.rows);
+                let end = ((p + 1) * band).min(self.rows);
+                Matrix {
+                    rows: end - start,
+                    cols: self.cols,
+                    data: self.data[start * self.cols..end * self.cols].to_vec(),
+                }
+            })
+            .collect()
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "shape mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// `selfᵀ · other` as one streaming pass: both operands are walked
+    /// row-by-row in layout order, accumulating rank-1 updates, so the
+    /// product of two tall matrices (the EnKF anomaly statistics) never
+    /// materializes a transpose.
+    pub fn at_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a = self.row(r);
+            let b = other.row(r);
+            for (i, &ai) in a.iter().enumerate() {
+                if ai == 0.0 {
+                    continue;
+                }
+                let dst = out.row_mut(i);
+                for (d, &bj) in dst.iter_mut().zip(b) {
+                    *d += ai * bj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Multiply every element in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Solve `A x = b` by Gaussian elimination with partial pivoting plus a
+    /// tiny ridge fallback when the system is singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve needs a square matrix");
+        assert_eq!(self.rows, b.len(), "rhs length mismatch");
+        match gauss_solve(self.clone(), b.to_vec()) {
+            Some(x) => Some(x),
+            None => {
+                // Ridge-regularize: (A + λI) x = b.
+                let n = self.rows;
+                let mut a = self.clone();
+                let scale = (0..n).map(|i| a[(i, i)].abs()).fold(0.0, f64::max);
+                let lambda = (scale * 1e-8).max(1e-12);
+                for i in 0..n {
+                    a[(i, i)] += lambda;
+                }
+                gauss_solve(a, b.to_vec())
+            }
+        }
+    }
+}
+
+fn gauss_solve(mut a: Matrix, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = a.rows;
+    for col in 0..n {
+        // Partial pivot.
+        let Some(pivot) = (col..n).max_by(|&i, &j| a[(i, col)].abs().total_cmp(&a[(j, col)].abs()))
+        else {
+            return None; // n == 0: nothing to solve
+        };
+        if a[(pivot, col)].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for j in 0..n {
+                let tmp = a[(col, j)];
+                a[(col, j)] = a[(pivot, j)];
+                a[(pivot, j)] = tmp;
+            }
+            b.swap(col, pivot);
+        }
+        for row in (col + 1)..n {
+            let f = a[(row, col)] / a[(col, col)];
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[(row, j)] -= f * a[(col, j)];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in (i + 1)..n {
+            s -= a[(i, j)] * x[j];
+        }
+        x[i] = s / a[(i, i)];
+    }
+    Some(x)
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rows_and_flat_agree() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        let f = Matrix::from_flat(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m, f);
+        assert_eq!(m.to_rows(), vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(Matrix::from_rows(&[]).shape(), (0, 0));
+    }
+
+    #[test]
+    fn row_mut_and_scale() {
+        let mut m = Matrix::zeros(2, 3);
+        m.row_mut(1).copy_from_slice(&[1.0, 2.0, 3.0]);
+        m.scale(2.0);
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.row(1), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn partition_rows_covers_and_pads() {
+        let m = Matrix::from_flat(5, 2, (0..10).map(|v| v as f64).collect());
+        let parts = m.partition_rows(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].rows(), 2);
+        assert_eq!(parts[2].rows(), 1);
+        let total: usize = parts.iter().map(|p| p.rows()).sum();
+        assert_eq!(total, 5);
+        assert_eq!(parts[2].row(0), &[8.0, 9.0]);
+        // More bands than rows: trailing bands are empty but well-formed.
+        let parts = m.partition_rows(8);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts.iter().map(|p| p.rows()).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn matvec_matches_by_hand() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn at_b_is_a_transpose_product() {
+        // A is 3×2, B is 3×2 → AᵀB is 2×2.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        let p = a.at_b(&b);
+        assert_eq!(p.shape(), (2, 2));
+        // Column i of A dotted with column j of B.
+        assert_eq!(p[(0, 0)], 1.0 + 5.0);
+        assert_eq!(p[(0, 1)], 3.0 + 5.0);
+        assert_eq!(p[(1, 0)], 2.0 + 6.0);
+        assert_eq!(p[(1, 1)], 4.0 + 6.0);
+    }
+
+    #[test]
+    fn solve_well_conditioned_and_pivoting() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let x = a.solve(&[5.0, 11.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert_eq!(a.solve(&[2.0, 3.0]).unwrap(), vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_falls_back_to_ridge() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let x = a.solve(&[2.0, 2.0]).unwrap();
+        let r = a.matvec(&x);
+        assert!((r[0] - 2.0).abs() < 1e-3 && (r[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn mis_sized_flat_buffer_panics() {
+        let _ = Matrix::from_flat(2, 2, vec![0.0; 3]);
+    }
+}

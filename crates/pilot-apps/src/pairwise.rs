@@ -6,7 +6,13 @@
 //! "Optimize Application Algorithms" (Section VI) is exactly this pair:
 //! the grid algorithm beats scaling the naive one out (EXP AB-2).
 
+use pilot_core::Parallelism;
 use pilot_sim::SimRng;
+
+/// Rows per parallel block for [`contacts_naive_par`] and
+/// [`hausdorff_directed_par`]; fixed boundaries keep results independent of
+/// the thread count.
+pub const PAIRWISE_BLOCK: usize = 256;
 
 /// A 2-D point cloud.
 pub fn generate_points(n: usize, box_len: f64, seed: u64) -> Vec<[f64; 2]> {
@@ -35,6 +41,31 @@ pub fn contacts_naive(points: &[[f64; 2]], cutoff: f64) -> u64 {
         }
     }
     count
+}
+
+/// [`contacts_naive`] with the outer loop fanned over [`PAIRWISE_BLOCK`]-row
+/// blocks. Each block counts its pairs `(i, j > i)` independently; the block
+/// counts are integers, so the total is identical for any thread count.
+pub fn contacts_naive_par(points: &[[f64; 2]], cutoff: f64, par: &Parallelism) -> u64 {
+    let c2 = cutoff * cutoff;
+    par.par_map_reduce(
+        points,
+        PAIRWISE_BLOCK,
+        |bi, chunk| {
+            let base = bi * PAIRWISE_BLOCK;
+            let mut count = 0u64;
+            for (off, &p) in chunk.iter().enumerate() {
+                for &q in &points[base + off + 1..] {
+                    if within(p, q, c2) {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0)
 }
 
 /// Count contact pairs with a uniform grid of cell size `cutoff`: near-O(n)
@@ -115,6 +146,19 @@ pub fn hausdorff_directed(a: &[[f64; 2]], b: &[[f64; 2]]) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// [`hausdorff_directed`] fanned over [`PAIRWISE_BLOCK`]-row blocks of `a`.
+/// The reduction is `max`, which is exact, so the distance is bit-identical
+/// to the sequential scan for any thread count.
+pub fn hausdorff_directed_par(a: &[[f64; 2]], b: &[[f64; 2]], par: &Parallelism) -> f64 {
+    par.par_map_reduce(
+        a,
+        PAIRWISE_BLOCK,
+        |_, chunk| hausdorff_directed(chunk, b),
+        f64::max,
+    )
+    .unwrap_or(0.0)
+}
+
 /// Symmetric Hausdorff distance.
 pub fn hausdorff(a: &[[f64; 2]], b: &[[f64; 2]]) -> f64 {
     hausdorff_directed(a, b).max(hausdorff_directed(b, a))
@@ -167,6 +211,27 @@ mod tests {
             t_naive > t_grid * 3,
             "naive {t_naive:?} should dwarf grid {t_grid:?}"
         );
+    }
+
+    #[test]
+    fn parallel_kernels_match_sequential_exactly() {
+        let pts = generate_points(3000, 80.0, 11);
+        let seq_contacts = contacts_naive(&pts, 1.5);
+        let other = generate_points(500, 80.0, 12);
+        let seq_h = hausdorff_directed(&pts, &other);
+        for threads in [1, 2, 4, 8] {
+            let par = Parallelism::new(threads);
+            assert_eq!(contacts_naive_par(&pts, 1.5, &par), seq_contacts);
+            assert_eq!(
+                hausdorff_directed_par(&pts, &other, &par).to_bits(),
+                seq_h.to_bits(),
+                "threads={threads}"
+            );
+        }
+        // Empty inputs take the reduce-of-nothing path.
+        let par = Parallelism::new(4);
+        assert_eq!(contacts_naive_par(&[], 1.0, &par), 0);
+        assert_eq!(hausdorff_directed_par(&[], &pts, &par), 0.0);
     }
 
     #[test]

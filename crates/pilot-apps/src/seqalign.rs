@@ -5,10 +5,16 @@
 //! reads against a reference. The shapes match the paper's workload: many
 //! short, independent, CPU-bound tasks over partitioned data.
 
+use pilot_core::Parallelism;
 use pilot_sim::SimRng;
 
 /// Nucleotide alphabet.
 const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Reads per parallel block in [`align_reads`]. Each read's DP is
+/// independent and integer-scored, so any thread count yields the identical
+/// alignment vector.
+pub const ALIGN_BLOCK: usize = 16;
 
 /// Generate a random reference sequence of length `n`.
 pub fn generate_reference(n: usize, seed: u64) -> Vec<u8> {
@@ -126,6 +132,27 @@ pub fn map_read(read: &Read, reference: &[u8], s: Scoring, min_score: i32) -> (b
     (a.score >= min_score, a)
 }
 
+/// Align every read against `reference`, fanning [`ALIGN_BLOCK`]-read blocks
+/// over the handle's workers. Results come back in read order and are
+/// bit-identical to a sequential scan for any thread count (integer DP, no
+/// cross-read state).
+pub fn align_reads(
+    reads: &[Read],
+    reference: &[u8],
+    s: Scoring,
+    par: &Parallelism,
+) -> Vec<Alignment> {
+    par.par_chunks(reads, ALIGN_BLOCK, |_, chunk| {
+        chunk
+            .iter()
+            .map(|r| smith_waterman(&r.seq, reference, s))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +196,22 @@ mod tests {
             }
         }
         assert!(correct >= 18, "only {correct}/20 mapped correctly");
+    }
+
+    #[test]
+    fn align_reads_matches_per_read_scan_for_any_thread_count() {
+        let reference = generate_reference(800, 5);
+        let reads = generate_reads(&reference, 40, 50, 0.03, 6);
+        let s = Scoring::default();
+        let seq: Vec<Alignment> = reads
+            .iter()
+            .map(|r| smith_waterman(&r.seq, &reference, s))
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let par = Parallelism::new(threads);
+            assert_eq!(align_reads(&reads, &reference, s, &par), seq);
+        }
+        assert!(align_reads(&[], &reference, s, &Parallelism::new(4)).is_empty());
     }
 
     #[test]

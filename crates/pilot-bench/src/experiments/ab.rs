@@ -170,7 +170,7 @@ pub fn run_ab2(quick: bool) -> String {
                 .expect("unit issued by this service")
                 .output
                 .and_then(|r| r.ok())
-                .and_then(|o| o.downcast::<u64>())
+                .and_then(|o| o.downcast::<u64>().ok())
                 .unwrap_or(0);
         }
         let elapsed = t0.elapsed_s();

@@ -4,6 +4,7 @@ pub mod ab;
 pub mod common;
 pub mod f5;
 pub mod io_dy;
+pub mod ks;
 pub mod pd;
 pub mod ph;
 pub mod pj;
@@ -41,6 +42,7 @@ pub fn registry() -> Vec<ExperimentEntry> {
         ("PH-1", ph::run_ph1),
         ("PH-2", ph::run_ph2),
         ("PM-1", pm::run_pm1),
+        ("KS-1", ks::run_ks1),
         ("PS-1", ps::run_ps1),
         ("PS-2", ps::run_ps2),
         ("PS-3", ps::run_ps3),

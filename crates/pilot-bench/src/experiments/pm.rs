@@ -3,8 +3,10 @@
 
 use super::common;
 use pilot_apps::kmeans::{
-    assign_step, generate_blobs, init_centroids, update_centroids, BlobConfig, Partial, Point,
+    assign_step, generate_blob_matrix, init_centroids, update_centroids, BlobConfig, Partial,
 };
+use pilot_apps::linalg::Matrix;
+use pilot_core::Parallelism;
 use pilot_memory::{CacheManager, CacheMode, IterativeExecutor, VecSource};
 use std::sync::Arc;
 
@@ -17,15 +19,23 @@ pub fn run_pm1(quick: bool) -> String {
 
     let run = |mode: CacheMode| {
         let cfg = BlobConfig::new(4, 3, points_n, 0x504D);
-        let (points, _) = generate_blobs(&cfg);
+        let (points, _) = generate_blob_matrix(&cfg);
         let init = init_centroids(&points, cfg.k);
-        let source = Arc::new(VecSource::new(points, partitions).with_load_cost(load_cost_s));
+        let bands: Vec<Vec<Matrix>> = points
+            .partition_rows(partitions)
+            .into_iter()
+            .map(|band| vec![band])
+            .collect();
+        let source = Arc::new(VecSource::from_partitions(bands).with_load_cost(load_cost_s));
         let cache = Arc::new(CacheManager::new(source as _, mode));
         let svc = common::thread_service(4, Box::new(pilot_core::scheduler::FirstFitScheduler));
         let exec = IterativeExecutor::new(
             cache,
-            |part: &[Point], c: &Vec<Point>| assign_step(part, c),
-            |partials: Vec<Partial>, c: Vec<Point>| update_centroids(&partials, &c).0,
+            |part: &[Matrix], c: &Matrix, par: &Parallelism| match part.first() {
+                Some(band) => assign_step(band, c, par),
+                None => Partial::zero(c.rows(), c.cols()),
+            },
+            |partials: Vec<Partial>, c: Matrix| update_centroids(&partials, &c).0,
         );
         let out = exec.run(&svc, init, iters, |_, _| false);
         svc.shutdown();
@@ -35,12 +45,7 @@ pub fn run_pm1(quick: bool) -> String {
     let cached = run(CacheMode::Cached);
     let reload = run(CacheMode::Reload);
     // Same data, same math: identical centroids.
-    for (a, b) in cached
-        .state
-        .iter()
-        .flatten()
-        .zip(reload.state.iter().flatten())
-    {
+    for (a, b) in cached.state.as_slice().iter().zip(reload.state.as_slice()) {
         assert!((a - b).abs() < 1e-9, "caching changed the answer");
     }
 

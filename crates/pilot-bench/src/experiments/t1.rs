@@ -3,16 +3,17 @@
 
 use super::common;
 use pilot_apps::kmeans::{
-    assign_step, generate_blobs, init_centroids, update_centroids, BlobConfig, Partial, Point,
+    assign_step, generate_blob_matrix, init_centroids, update_centroids, BlobConfig, Partial,
 };
 use pilot_apps::lightsource::{generate_frame, reconstruct, FrameConfig};
+use pilot_apps::linalg::Matrix;
 use pilot_apps::md::{run_replica_exchange, RexConfig};
 use pilot_apps::pairwise::{contacts_grid, generate_points};
 use pilot_apps::wordcount::{generate_text, TextConfig};
 use pilot_core::describe::UnitDescription;
 use pilot_core::scheduler::FirstFitScheduler;
 use pilot_core::thread::{kernel_fn, TaskOutput};
-use pilot_core::WallClock;
+use pilot_core::{Parallelism, WallClock};
 use pilot_mapreduce::MapReduceJob;
 use pilot_memory::{CacheManager, CacheMode, IterativeExecutor, VecSource};
 use pilot_streaming::pipeline::run_stream_job;
@@ -68,7 +69,7 @@ pub fn run(quick: bool) -> String {
                 .expect("unit issued by this service")
                 .output
                 .and_then(|r| r.ok())
-                .and_then(|o| o.downcast::<u64>())
+                .and_then(|o| o.downcast::<u64>().ok())
                 .unwrap_or(0);
         }
         let dt = t0.elapsed_s();
@@ -115,15 +116,23 @@ pub fn run(quick: bool) -> String {
     // --- iterative: K-Means with Pilot-Memory -----------------------------
     {
         let cfg = BlobConfig::new(3, 2, 1500 * scale, 0x71);
-        let (points, _) = generate_blobs(&cfg);
+        let (points, _) = generate_blob_matrix(&cfg);
         let init = init_centroids(&points, cfg.k);
-        let source = Arc::new(VecSource::new(points, 8));
+        let bands: Vec<Vec<Matrix>> = points
+            .partition_rows(8)
+            .into_iter()
+            .map(|band| vec![band])
+            .collect();
+        let source = Arc::new(VecSource::from_partitions(bands));
         let cache = Arc::new(CacheManager::new(source as _, CacheMode::Cached));
         let svc = common::thread_service(4, Box::new(FirstFitScheduler));
         let exec = IterativeExecutor::new(
             cache,
-            |part: &[Point], c: &Vec<Point>| assign_step(part, c),
-            |ps: Vec<Partial>, c: Vec<Point>| update_centroids(&ps, &c).0,
+            |part: &[Matrix], c: &Matrix, par: &Parallelism| match part.first() {
+                Some(band) => assign_step(band, c, par),
+                None => Partial::zero(c.rows(), c.cols()),
+            },
+            |ps: Vec<Partial>, c: Matrix| update_centroids(&ps, &c).0,
         );
         let iters = 5;
         let t0 = WallClock::start();

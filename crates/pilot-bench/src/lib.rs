@@ -12,6 +12,7 @@
 //! | [`experiments::pd`] | PD-1/2 — data-aware placement, replication | sim + data service |
 //! | [`experiments::ph`] | PH-1/2 — MapReduce phases, combiner, alignment | threaded |
 //! | [`experiments::pm`] | PM-1 — iterative caching | threaded |
+//! | [`experiments::ks`] | KS-1 — intra-unit strong scaling | threaded |
 //! | [`experiments::ps`] | PS-1/2 — streaming throughput/latency + statistical model | threaded |
 //! | [`experiments::io_dy`] | IO-1, DY-1 — interoperability, adaptivity | sim |
 //! | [`experiments::ab`] | AB-1/2 — scheduler & algorithm ablations | sim + threaded |

@@ -37,6 +37,7 @@ pub mod clock;
 pub mod describe;
 pub mod ids;
 pub mod metrics;
+pub mod par;
 pub mod retry;
 pub mod scheduler;
 pub mod sim;
@@ -48,6 +49,7 @@ pub use clock::WallClock;
 pub use describe::{DataLocation, PilotDescription, UnitDescription};
 pub use ids::{PilotId, UnitId};
 pub use metrics::{OverheadBreakdown, PilotTimes, UnitTimes};
+pub use par::Parallelism;
 pub use retry::{Backoff, FailureTracker, FaultPlan, ReliabilityStats, RetryPolicy};
 pub use scheduler::{
     BackfillScheduler, DataAwareScheduler, FirstFitScheduler, LoadBalanceScheduler, PilotSnapshot,

@@ -1,0 +1,418 @@
+//! Intra-unit data parallelism: a scoped worker pool for compute kernels.
+//!
+//! A compute unit reserves `cores` on its pilot, but until now every kernel
+//! ran single-threaded on one agent worker. [`Parallelism`] closes that gap:
+//! a kernel builds a handle from its [`TaskCtx`] and fans loops over exactly
+//! the cores it reserved, keeping the pilot's capacity accounting honest.
+//!
+//! ## Determinism contract
+//!
+//! Parallel output is **bit-identical** to sequential output, for any thread
+//! count. Two mechanisms guarantee this:
+//!
+//! 1. **Fixed chunk boundaries** — [`par_chunks`](Parallelism::par_chunks)
+//!    splits the input at multiples of the caller-supplied block size,
+//!    independent of how many threads execute. Thread count only changes
+//!    *who* computes a block, never *which* blocks exist.
+//! 2. **Ordered left-fold reduction** —
+//!    [`par_map_reduce`](Parallelism::par_map_reduce) combines block results
+//!    in block order on the calling thread, so floating-point association is
+//!    the same however blocks were scheduled.
+//!
+//! A [`Parallelism::sequential`] handle runs the identical blocked algorithm
+//! on the calling thread; equivalence is property-tested in `pilot-apps`.
+//!
+//! ## Pool lifecycle and failure semantics
+//!
+//! Worker threads are spawned once per handle and reused across calls (a
+//! kernel typically makes one handle and many `par_*` calls, e.g. one per
+//! K-Means iteration). A panicking block fails the *call*: the panic payload
+//! is captured, every other in-flight block finishes, and the payload is
+//! re-raised on the caller — the pool itself survives and the next call
+//! proceeds normally. Lock discipline follows the workspace R4 rule: no
+//! guard is ever held across a channel `send`/`recv` (workers block on a
+//! bare `recv`; the completion latch notifies *after* dropping its guard).
+
+use crate::thread::TaskCtx;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread::JoinHandle;
+
+/// A type-erased work item sent to the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion latch for one `par_*` call: counts outstanding jobs and holds
+/// the first captured panic payload.
+struct Latch {
+    state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(jobs: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining: jobs,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Mark one job finished, recording `panic` if it is the first failure.
+    fn finish(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut g = self.state.lock();
+        g.remaining -= 1;
+        if let Some(p) = panic {
+            g.panic.get_or_insert(p);
+        }
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Block until every job finished; re-raise the first captured panic.
+    fn wait(&self) {
+        let mut g = self.state.lock();
+        while g.remaining > 0 {
+            self.cv.wait(&mut g);
+        }
+        let panic = g.panic.take();
+        drop(g);
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+/// The reused worker threads behind a multi-threaded [`Parallelism`].
+struct WorkerPool {
+    tx: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(threads: usize) -> Self {
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("par-w{i}"))
+                    .spawn(move || {
+                        // Jobs arrive pre-wrapped in catch_unwind, so a
+                        // panicking block can never kill a worker.
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    // lint: allow(panic, reason = "thread spawn fails only on OS resource exhaustion; a parallelism handle without its workers cannot honor the unit's reserved cores")
+                    .expect("spawn par worker")
+            })
+            .collect();
+        WorkerPool { tx, workers }
+    }
+
+    /// Send `jobs` (which borrow from the caller's stack) to the pool.
+    ///
+    /// # Safety contract (internal)
+    ///
+    /// The caller MUST block on the jobs' completion latch before any
+    /// borrowed data goes out of scope. `par_chunks` does exactly that, with
+    /// nothing fallible between the send and the wait.
+    fn submit_scoped<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        for job in jobs {
+            // SAFETY: only the lifetime is transmuted. The job is consumed
+            // by a worker before `par_chunks` returns, because the caller
+            // waits on the latch that every job (even a panicking one)
+            // decrements; the borrowed environment therefore outlives every
+            // use. Box<dyn FnOnce> has the same layout for both lifetimes.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+            // Send fails only after the workers exited, which happens only
+            // in Drop — unreachable while a caller still holds the handle.
+            let _ = self.tx.send(job);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends each worker's recv loop; every call
+        // drained its own jobs before returning, so join cannot block on
+        // application work.
+        let (closed, _) = unbounded::<Job>();
+        self.tx = closed;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Handle for intra-unit data parallelism, sized to a unit's reserved cores.
+///
+/// See the [module docs](self) for the determinism contract. Cheap to move;
+/// owns its worker threads (none when `threads() == 1`).
+pub struct Parallelism {
+    threads: usize,
+    pool: Option<WorkerPool>,
+}
+
+impl Parallelism {
+    /// A handle that runs everything on the calling thread. The blocked code
+    /// path is identical to the parallel one, so results match bit-for-bit.
+    pub fn sequential() -> Self {
+        Parallelism {
+            threads: 1,
+            pool: None,
+        }
+    }
+
+    /// A handle with `threads` workers (clamped to at least 1). With one
+    /// thread no pool is spawned and calls run inline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        Parallelism {
+            threads,
+            pool: (threads > 1).then(|| WorkerPool::new(threads)),
+        }
+    }
+
+    /// Size the handle to the cores this unit reserved on its pilot — the
+    /// bridge between the scheduler's capacity accounting and the kernel's
+    /// actual parallelism.
+    pub fn from_ctx(ctx: &TaskCtx) -> Self {
+        Parallelism::new(ctx.cores as usize)
+    }
+
+    /// Worker count (1 means inline execution).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Map fixed-size blocks of `data` to results, in parallel, returning
+    /// them **in block order**. Block `i` covers
+    /// `data[i*block .. min((i+1)*block, len)]` — boundaries depend only on
+    /// `block` and `data.len()`, never on the thread count.
+    pub fn par_chunks<T, R, F>(&self, data: &[T], block: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let block = block.max(1);
+        let n_blocks = data.len().div_ceil(block);
+        let workers = match &self.pool {
+            Some(pool) if n_blocks > 1 => pool,
+            _ => {
+                // Sequential path: same blocks, same order, same math.
+                return data
+                    .chunks(block)
+                    .enumerate()
+                    .map(|(i, c)| f(i, c))
+                    .collect();
+            }
+        };
+
+        let slots: Vec<Mutex<Option<R>>> = (0..n_blocks).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let n_jobs = self.threads.min(n_blocks);
+        let latch = Latch::new(n_jobs);
+
+        let worker_body = |_job: usize| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_blocks {
+                break;
+            }
+            let start = i * block;
+            let end = (start + block).min(data.len());
+            let r = f(i, &data[start..end]);
+            *slots[i].lock() = Some(r);
+        };
+
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n_jobs)
+            .map(|j| {
+                let body = &worker_body;
+                let latch = &latch;
+                Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| body(j)));
+                    latch.finish(result.err());
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+
+        // From here to `latch.wait()` nothing can unwind: the borrowed
+        // stack frame stays alive until every job has run (see
+        // `submit_scoped`'s safety contract).
+        workers.submit_scoped(jobs);
+        latch.wait();
+
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    // lint: allow(panic, reason = "every block index below n_blocks is claimed exactly once via the shared atomic counter and the latch waits for all claiming jobs; an empty slot is unreachable unless a job panicked, which wait() already re-raised")
+                    .expect("block computed")
+            })
+            .collect()
+    }
+
+    /// Map fixed-size blocks and combine the results with a **left fold in
+    /// block order** on the calling thread. Returns `None` for empty input.
+    /// Deterministic for any thread count: only block-local work runs in
+    /// parallel, the reduction order is fixed.
+    pub fn par_map_reduce<T, R, M, C>(
+        &self,
+        data: &[T],
+        block: usize,
+        map: M,
+        mut combine: C,
+    ) -> Option<R>
+    where
+        T: Sync,
+        R: Send,
+        M: Fn(usize, &[T]) -> R + Sync,
+        C: FnMut(R, R) -> R,
+    {
+        let mut results = self.par_chunks(data, block, map).into_iter();
+        let first = results.next()?;
+        Some(results.fold(first, &mut combine))
+    }
+}
+
+impl std::fmt::Debug for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Parallelism(threads: {})", self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PilotId, UnitId};
+
+    #[test]
+    fn sequential_and_parallel_chunks_agree_bitwise() {
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let sum_block = |_: usize, c: &[f64]| c.iter().sum::<f64>();
+        let seq = Parallelism::sequential().par_chunks(&data, 256, sum_block);
+        for threads in [2, 3, 4, 8] {
+            let par = Parallelism::new(threads).par_chunks(&data, 256, sum_block);
+            assert_eq!(seq, par, "threads={threads} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn results_arrive_in_block_order() {
+        let data: Vec<u32> = (0..1000).collect();
+        let par = Parallelism::new(4);
+        let ids = par.par_chunks(&data, 64, |i, c| (i, c[0]));
+        for (pos, (i, first)) in ids.iter().enumerate() {
+            assert_eq!(pos, *i);
+            assert_eq!(*first, (pos * 64) as u32);
+        }
+    }
+
+    #[test]
+    fn map_reduce_left_folds_in_order() {
+        let data: Vec<u64> = (0..100).collect();
+        let par = Parallelism::new(3);
+        // Non-commutative combine: concatenation order is observable.
+        let folded = par.par_map_reduce(
+            &data,
+            16,
+            |i, _| vec![i],
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+        assert_eq!(folded, Some((0..7).collect::<Vec<usize>>()));
+        let empty: &[u64] = &[];
+        assert_eq!(
+            par.par_map_reduce(empty, 16, |i, _| i, |a, _| a),
+            None,
+            "empty input reduces to None"
+        );
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        let par = Parallelism::new(4);
+        let data: Vec<u64> = (0..4096).collect();
+        for _ in 0..20 {
+            let total = par.par_map_reduce(&data, 128, |_, c| c.iter().sum::<u64>(), |a, b| a + b);
+            assert_eq!(total, Some(4096 * 4095 / 2));
+        }
+    }
+
+    #[test]
+    fn panicking_block_fails_the_call_without_wedging_the_pool() {
+        let par = Parallelism::new(4);
+        let data: Vec<u32> = (0..1024).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par.par_chunks(&data, 64, |i, c| {
+                if i == 7 {
+                    panic!("block 7 exploded");
+                }
+                c.len()
+            })
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(msg.contains("block 7"), "got: {msg}");
+        // Pool survives: the next call on the same handle works.
+        let ok = par.par_chunks(&data, 64, |_, c| c.len());
+        assert_eq!(ok.iter().sum::<usize>(), 1024);
+    }
+
+    #[test]
+    fn from_ctx_uses_reserved_cores() {
+        let ctx = TaskCtx {
+            unit: UnitId(1),
+            pilot: PilotId(1),
+            cores: 4,
+        };
+        assert_eq!(Parallelism::from_ctx(&ctx).threads(), 4);
+        let one = TaskCtx { cores: 1, ..ctx };
+        assert_eq!(Parallelism::from_ctx(&one).threads(), 1);
+    }
+
+    #[test]
+    fn zero_and_one_thread_handles_run_inline() {
+        assert_eq!(Parallelism::new(0).threads(), 1);
+        let par = Parallelism::new(1);
+        let out = par.par_chunks(&[1u8, 2, 3], 2, |_, c| c.len());
+        assert_eq!(out, vec![2, 1]);
+    }
+
+    #[test]
+    fn more_threads_than_blocks_is_fine() {
+        let par = Parallelism::new(8);
+        let data: Vec<u32> = (0..10).collect();
+        let out = par.par_chunks(&data, 4, |_, c| c.iter().sum::<u32>());
+        assert_eq!(out, vec![6, 22, 17]);
+    }
+
+    #[test]
+    fn genuinely_concurrent_when_multithreaded() {
+        // A barrier that only clears if both blocks run at once.
+        let barrier = std::sync::Barrier::new(2);
+        let par = Parallelism::new(2);
+        let data: Vec<u8> = vec![0; 2];
+        let out = par.par_chunks(&data, 1, |i, _| {
+            barrier.wait();
+            i
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+}

@@ -199,7 +199,7 @@ mod tests {
         match finished {
             AgentReport::Finished { unit, result, .. } => {
                 assert_eq!(unit, UnitId(1));
-                assert_eq!(result.unwrap().downcast::<u32>(), Some(42));
+                assert_eq!(result.unwrap().downcast::<u32>().ok(), Some(42));
             }
             _ => panic!("expected Finished"),
         }

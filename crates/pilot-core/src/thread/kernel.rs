@@ -47,9 +47,23 @@ impl TaskOutput {
         self.0.is_some()
     }
 
-    /// Take the value as `T`; `None` if absent or of a different type.
-    pub fn downcast<T: Any>(self) -> Option<T> {
-        self.0.and_then(|b| b.downcast::<T>().ok()).map(|b| *b)
+    /// Take the value as `T`. On a type mismatch (or absent value) the
+    /// output comes back unconsumed as `Err(self)`, so probing for one type
+    /// never destroys a value of another.
+    pub fn downcast<T: Any>(self) -> Result<T, Self> {
+        match self.0 {
+            Some(b) => match b.downcast::<T>() {
+                Ok(v) => Ok(*v),
+                Err(b) => Err(TaskOutput(Some(b))),
+            },
+            None => Err(TaskOutput(None)),
+        }
+    }
+
+    /// Borrow the value as `T` without consuming the output; `None` if
+    /// absent or of a different type.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.0.as_ref().and_then(|b| b.downcast_ref::<T>())
     }
 }
 
@@ -132,18 +146,38 @@ mod tests {
     fn output_downcast_round_trip() {
         let out = TaskOutput::of(vec![1u32, 2, 3]);
         assert!(out.is_some());
-        assert_eq!(out.downcast::<Vec<u32>>(), Some(vec![1, 2, 3]));
-        let out = TaskOutput::of(7u64);
-        assert_eq!(out.downcast::<String>(), None, "wrong type yields None");
+        assert_eq!(out.downcast::<Vec<u32>>().ok(), Some(vec![1, 2, 3]));
+        assert!(TaskOutput::none().downcast::<u64>().is_err());
         assert!(!TaskOutput::none().is_some());
-        assert_eq!(TaskOutput::none().downcast::<u64>(), None);
+    }
+
+    #[test]
+    fn downcast_miss_returns_the_value_unconsumed() {
+        let out = TaskOutput::of(7u64);
+        // Probe for the wrong type: the value survives the miss.
+        let out = match out.downcast::<String>() {
+            Ok(_) => panic!("u64 is not a String"),
+            Err(original) => original,
+        };
+        assert!(out.is_some(), "miss must not destroy the value");
+        assert_eq!(out.downcast::<u64>().ok(), Some(7));
+    }
+
+    #[test]
+    fn downcast_ref_probes_without_consuming() {
+        let out = TaskOutput::of(vec![1.0f64, 2.0]);
+        assert!(out.downcast_ref::<String>().is_none());
+        assert_eq!(out.downcast_ref::<Vec<f64>>(), Some(&vec![1.0, 2.0]));
+        // Still consumable afterwards.
+        assert_eq!(out.downcast::<Vec<f64>>().ok(), Some(vec![1.0, 2.0]));
+        assert_eq!(TaskOutput::none().downcast_ref::<u8>(), None);
     }
 
     #[test]
     fn kernel_fn_adapts_closures() {
         let k = kernel_fn(|ctx| Ok(TaskOutput::of(ctx.cores * 2)));
         let out = k.run(&ctx()).unwrap();
-        assert_eq!(out.downcast::<u32>(), Some(2));
+        assert_eq!(out.downcast::<u32>().ok(), Some(2));
         let failing = kernel_fn(|_| Err(TaskError("boom".into())));
         assert_eq!(failing.run(&ctx()).unwrap_err().0, "boom");
     }

@@ -1223,7 +1223,10 @@ mod tests {
         );
         let out = s.wait_unit(u).unwrap();
         assert_eq!(out.state, UnitState::Done);
-        assert_eq!(out.output.unwrap().unwrap().downcast::<u32>(), Some(42));
+        assert_eq!(
+            out.output.unwrap().unwrap().downcast::<u32>().ok(),
+            Some(42)
+        );
         assert!(out.times.turnaround().unwrap() >= 0.0);
         let report = s.shutdown();
         assert_eq!(report.units.len(), 1);

@@ -283,7 +283,7 @@ impl Dataflow {
                             let r = svc.wait_unit(u).expect("unit issued by this service");
                             match (r.state, r.output) {
                                 (UnitState::Done, Some(Ok(o))) => {
-                                    if let Some(d) = o.downcast::<StageData>() {
+                                    if let Ok(d) = o.downcast::<StageData>() {
                                         outs.push(d);
                                     }
                                 }

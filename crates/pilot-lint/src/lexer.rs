@@ -236,10 +236,11 @@ impl Lexer {
             if c.is_ascii_alphanumeric() || c == '_' {
                 let at_exp = matches!(c, 'e' | 'E');
                 self.bump();
-                if at_exp && matches!(self.peek(0), Some('+' | '-')) {
-                    if self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
-                        self.bump();
-                    }
+                if at_exp
+                    && matches!(self.peek(0), Some('+' | '-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.bump();
                 }
             } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
                 self.bump();

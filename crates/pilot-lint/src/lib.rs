@@ -121,7 +121,7 @@ pub fn classify(display: &str) -> FileClass {
     {
         return FileClass::Test;
     }
-    if display.ends_with("src/main.rs") || parts.iter().any(|p| *p == "bin") {
+    if display.ends_with("src/main.rs") || parts.contains(&"bin") {
         return FileClass::Binary;
     }
     FileClass::Library

@@ -300,7 +300,7 @@ fn is_cfg_test_attr(code: &[Token], i: usize) -> bool {
     false
 }
 
-fn ident_at<'a>(code: &'a [Token], i: usize) -> Option<&'a str> {
+fn ident_at(code: &[Token], i: usize) -> Option<&str> {
     match code.get(i).map(|t| &t.tok) {
         Some(Tok::Ident(s)) => Some(s.as_str()),
         _ => None,

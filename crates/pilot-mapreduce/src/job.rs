@@ -155,7 +155,7 @@ where
             let out = svc.wait_unit(u).expect("unit issued by this service");
             match (out.state, out.output) {
                 (UnitState::Done, Some(Ok(o))) => {
-                    if let Some(parts) = o.downcast::<Vec<Vec<(K, V)>>>() {
+                    if let Ok(parts) = o.downcast::<Vec<Vec<(K, V)>>>() {
                         map_outputs.push(parts);
                     } else {
                         failed_units += 1;
@@ -219,7 +219,7 @@ where
             let out = svc.wait_unit(u).expect("unit issued by this service");
             match (out.state, out.output) {
                 (UnitState::Done, Some(Ok(o))) => {
-                    if let Some(mut pairs) = o.downcast::<Vec<(K, O)>>() {
+                    if let Ok(mut pairs) = o.downcast::<Vec<(K, O)>>() {
                         output.append(&mut pairs);
                     } else {
                         failed_units += 1;

@@ -45,6 +45,16 @@ impl<T: Clone + Send + Sync> VecSource<T> {
         self.load_cost_s = seconds;
         self
     }
+
+    /// Wrap pre-built partitions as-is — for datasets whose natural unit is
+    /// one value per partition (e.g. a flat matrix band), where re-chunking
+    /// element-wise would destroy the layout.
+    pub fn from_partitions(partitions: Vec<Vec<T>>) -> Self {
+        VecSource {
+            partitions,
+            load_cost_s: 0.0,
+        }
+    }
 }
 
 impl<T: Clone + Send + Sync> PartitionSource<T> for VecSource<T> {
@@ -219,6 +229,15 @@ mod tests {
         let s = VecSource::new(vec![1u32], 4);
         assert_eq!(s.num_partitions(), 4);
         assert!(s.load(3).is_empty());
+    }
+
+    #[test]
+    fn from_partitions_preserves_shape() {
+        let s = VecSource::from_partitions(vec![vec![1u32, 2], vec![], vec![3]]);
+        assert_eq!(s.num_partitions(), 3);
+        assert_eq!(s.load(0), vec![1, 2]);
+        assert!(s.load(1).is_empty());
+        assert_eq!(s.load(2), vec![3]);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::cache::CacheManager;
 use pilot_core::describe::UnitDescription;
 use pilot_core::state::UnitState;
 use pilot_core::thread::{kernel_fn, TaskError, TaskOutput, ThreadPilotService};
+use pilot_core::Parallelism;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -51,16 +52,20 @@ impl<S> IterativeOutcome<S> {
     }
 }
 
-type StepFn<T, S, R> = Arc<dyn Fn(&[T], &S) -> R + Send + Sync>;
+type StepFn<T, S, R> = Arc<dyn Fn(&[T], &S, &Parallelism) -> R + Send + Sync>;
 type ReduceFn<S, R> = Arc<dyn Fn(Vec<R>, S) -> S + Send + Sync>;
 
 /// Drives `step`/`reduce` supersteps over a cached dataset.
 pub struct IterativeExecutor<T, S, R> {
     dataset: Arc<CacheManager<T>>,
-    /// Per-partition computation: (partition data, broadcast state) → partial.
+    /// Per-partition computation: (partition data, broadcast state,
+    /// intra-unit parallelism sized to the unit's reserved cores) → partial.
     step: StepFn<T, S, R>,
     /// Combine partials into the next state.
     reduce: ReduceFn<S, R>,
+    /// Cores each per-partition unit reserves (drives the step's
+    /// [`Parallelism`] handle).
+    unit_cores: u32,
 }
 
 impl<T, S, R> IterativeExecutor<T, S, R>
@@ -69,17 +74,27 @@ where
     S: Clone + Send + Sync + 'static,
     R: Send + 'static,
 {
-    /// Build an executor.
+    /// Build an executor. Units reserve one core each by default; see
+    /// [`with_unit_cores`](IterativeExecutor::with_unit_cores).
     pub fn new(
         dataset: Arc<CacheManager<T>>,
-        step: impl Fn(&[T], &S) -> R + Send + Sync + 'static,
+        step: impl Fn(&[T], &S, &Parallelism) -> R + Send + Sync + 'static,
         reduce: impl Fn(Vec<R>, S) -> S + Send + Sync + 'static,
     ) -> Self {
         IterativeExecutor {
             dataset,
             step: Arc::new(step),
             reduce: Arc::new(reduce),
+            unit_cores: 1,
         }
+    }
+
+    /// Reserve `cores` per unit: each per-partition kernel receives a
+    /// [`Parallelism`] handle of exactly that width (clamped to >= 1), so
+    /// intra-unit threads stay within what the scheduler accounted for.
+    pub fn with_unit_cores(mut self, cores: u32) -> Self {
+        self.unit_cores = cores.max(1);
+        self
     }
 
     /// Run `iterations` supersteps on `svc`, starting from `state`.
@@ -105,10 +120,11 @@ where
                     let step = Arc::clone(&self.step);
                     let st = broadcast.clone();
                     svc.submit_unit(
-                        UnitDescription::new(1).tagged("iter"),
-                        kernel_fn(move |_| {
+                        UnitDescription::new(self.unit_cores).tagged("iter"),
+                        kernel_fn(move |ctx| {
+                            let par = Parallelism::from_ctx(ctx);
                             let part = data.get(p);
-                            let partial = step(&part, &st);
+                            let partial = step(&part, &st, &par);
                             Ok(TaskOutput::of(Partial(Some(partial))))
                         }),
                     )
@@ -123,7 +139,7 @@ where
                         let partial = out
                             .output
                             .and_then(|r| r.ok())
-                            .and_then(|o| o.downcast::<Partial<R>>())
+                            .and_then(|o| o.downcast::<Partial<R>>().ok())
                             .and_then(|p| p.0);
                         if let Some(p) = partial {
                             partials.push(p);
@@ -182,7 +198,7 @@ mod tests {
         let cache = Arc::new(CacheManager::new(source as _, CacheMode::Cached));
         let exec = IterativeExecutor::new(
             cache,
-            |part: &[i64], _s: &i64| part.iter().sum::<i64>(),
+            |part: &[i64], _s: &i64, _par: &Parallelism| part.iter().sum::<i64>(),
             |partials: Vec<i64>, s: i64| s + partials.iter().sum::<i64>(),
         );
         let s = svc(4);
@@ -199,7 +215,7 @@ mod tests {
         let cache = Arc::new(CacheManager::new(source as _, CacheMode::Cached));
         let exec = IterativeExecutor::new(
             cache,
-            |part: &[u32], _: &u32| part.len() as u32,
+            |part: &[u32], _: &u32, _par: &Parallelism| part.len() as u32,
             |ps: Vec<u32>, _s: u32| ps.iter().sum(),
         );
         let s = svc(4);
@@ -212,12 +228,29 @@ mod tests {
     }
 
     #[test]
+    fn unit_cores_size_the_step_parallelism() {
+        let source = Arc::new(VecSource::new(vec![0u8; 8], 2));
+        let cache = Arc::new(CacheManager::new(source as _, CacheMode::Cached));
+        let exec = IterativeExecutor::new(
+            cache,
+            |_: &[u8], _: &usize, par: &Parallelism| par.threads(),
+            |ps: Vec<usize>, _s: usize| ps.into_iter().max().unwrap_or(0),
+        )
+        .with_unit_cores(2);
+        let s = svc(4);
+        let out = exec.run(&s, 0usize, 1, |_, _| false);
+        assert_eq!(out.state, 2, "kernel must see the reserved core count");
+        assert_eq!(out.failed_units, 0);
+        s.shutdown();
+    }
+
+    #[test]
     fn early_stop_predicate() {
         let source = Arc::new(VecSource::new(vec![1u8; 10], 2));
         let cache = Arc::new(CacheManager::new(source as _, CacheMode::Cached));
         let exec = IterativeExecutor::new(
             cache,
-            |_: &[u8], _: &usize| 1usize,
+            |_: &[u8], _: &usize, _par: &Parallelism| 1usize,
             |_: Vec<usize>, s: usize| s + 1,
         );
         let s = svc(2);
@@ -236,7 +269,7 @@ mod tests {
         let run = |cache: Arc<CacheManager<u32>>| {
             let exec = IterativeExecutor::new(
                 cache,
-                |p: &[u32], _: &u64| p.iter().map(|&x| x as u64).sum::<u64>(),
+                |p: &[u32], _: &u64, _par: &Parallelism| p.iter().map(|&x| x as u64).sum::<u64>(),
                 |ps: Vec<u64>, _s: u64| ps.iter().sum(),
             );
             let s = svc(4);
@@ -259,7 +292,11 @@ mod tests {
     fn total_wall_time_sums() {
         let source = Arc::new(VecSource::new(vec![0u8; 4], 2));
         let cache = Arc::new(CacheManager::new(source as _, CacheMode::Cached));
-        let exec = IterativeExecutor::new(cache, |_: &[u8], _: &u8| 0u8, |_: Vec<u8>, s: u8| s);
+        let exec = IterativeExecutor::new(
+            cache,
+            |_: &[u8], _: &u8, _: &Parallelism| 0u8,
+            |_: Vec<u8>, s: u8| s,
+        );
         let s = svc(2);
         let out = exec.run(&s, 0u8, 2, |_, _| false);
         let sum: f64 = out.iterations.iter().map(|i| i.wall_s).sum();

@@ -180,7 +180,7 @@ pub fn run_stream_job(
             produced += out
                 .output
                 .and_then(|r| r.ok())
-                .and_then(|o| o.downcast::<u64>())
+                .and_then(|o| o.downcast::<u64>().ok())
                 .unwrap_or(0);
         }
     }
@@ -191,8 +191,10 @@ pub fn run_stream_job(
         // lint: allow(panic, reason = "unit ids come from submit_unit on this same service; wait_unit returns None only for unknown ids")
         let out = svc.wait_unit(u).expect("unit issued by this service");
         if let Some(Ok(o)) = out.output {
-            if let Some(mut ls) = o.downcast::<Vec<f64>>() {
-                latencies.append(&mut ls);
+            // Probe without consuming: a processor that returned something
+            // else keeps its output intact for the error path below.
+            if let Some(ls) = o.downcast_ref::<Vec<f64>>() {
+                latencies.extend_from_slice(ls);
             }
         }
     }

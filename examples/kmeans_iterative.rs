@@ -4,23 +4,30 @@
 //! Run: `cargo run --release --example kmeans_iterative`
 
 use pilot_abstraction::apps::kmeans::{
-    assign_step, generate_blobs, init_centroids, update_centroids, BlobConfig, Partial, Point,
+    assign_step, generate_blob_matrix, init_centroids, update_centroids, BlobConfig, Partial,
 };
+use pilot_abstraction::apps::linalg::Matrix;
 use pilot_abstraction::core::describe::PilotDescription;
 use pilot_abstraction::core::scheduler::FirstFitScheduler;
 use pilot_abstraction::core::thread::ThreadPilotService;
+use pilot_abstraction::core::Parallelism;
 use pilot_abstraction::memory::{CacheManager, CacheMode, IterativeExecutor, VecSource};
 use pilot_abstraction::sim::SimDuration;
 use std::sync::Arc;
 
 fn run(mode: CacheMode, label: &str) -> f64 {
     let cfg = BlobConfig::new(4, 3, 4000, 2024);
-    let (points, _) = generate_blobs(&cfg);
+    let (points, _) = generate_blob_matrix(&cfg);
     let k = cfg.k;
     let init = init_centroids(&points, k);
 
     // 8 partitions; reloading costs 5 ms per partition (models storage).
-    let source = Arc::new(VecSource::new(points, 8).with_load_cost(0.005));
+    let bands: Vec<Vec<Matrix>> = points
+        .partition_rows(8)
+        .into_iter()
+        .map(|band| vec![band])
+        .collect();
+    let source = Arc::new(VecSource::from_partitions(bands).with_load_cost(0.005));
     let cache = Arc::new(CacheManager::new(source as _, mode));
 
     let svc = ThreadPilotService::new(Box::new(FirstFitScheduler));
@@ -29,12 +36,16 @@ fn run(mode: CacheMode, label: &str) -> f64 {
 
     let exec = IterativeExecutor::new(
         cache,
-        move |part: &[Point], centroids: &Vec<Point>| assign_step(part, centroids),
-        move |partials: Vec<Partial>, centroids: Vec<Point>| {
+        move |part: &[Matrix], centroids: &Matrix, par: &Parallelism| match part.first() {
+            Some(band) => assign_step(band, centroids, par),
+            None => Partial::zero(centroids.rows(), centroids.cols()),
+        },
+        move |partials: Vec<Partial>, centroids: Matrix| {
             let (next, _inertia) = update_centroids(&partials, &centroids);
             next
         },
-    );
+    )
+    .with_unit_cores(2);
     let out = exec.run(&svc, init, 10, |_, _| false);
     svc.shutdown();
 

@@ -96,7 +96,7 @@ fn main() {
     let mut window_rates: std::collections::BTreeMap<u64, f64> = Default::default();
     for u in procs {
         if let Some(Ok(o)) = svc.wait_unit(u).and_then(|o| o.output) {
-            if let Some((ls, closed)) = o.downcast::<(
+            if let Ok((ls, closed)) = o.downcast::<(
                 Vec<f64>,
                 Vec<pilot_abstraction::streaming::window::ClosedWindow>,
             )>() {

@@ -43,7 +43,7 @@
 //!     kernel_fn(|_| Ok(TaskOutput::of(6 * 7))),
 //! );
 //! let out = svc.wait_unit(unit).expect("unit issued by this service");
-//! assert_eq!(out.output.unwrap().unwrap().downcast::<i32>(), Some(42));
+//! assert_eq!(out.output.unwrap().unwrap().downcast::<i32>().ok(), Some(42));
 //! svc.shutdown();
 //! ```
 

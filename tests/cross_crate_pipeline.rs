@@ -4,15 +4,17 @@
 //! (\[78\]) rests on.
 
 use pilot_abstraction::apps::kmeans::{
-    assign_step, generate_blobs, init_centroids, lloyd_sequential, update_centroids, BlobConfig,
-    Partial, Point,
+    assign_step, generate_blob_matrix, init_centroids, lloyd_sequential, update_centroids,
+    BlobConfig, Partial,
 };
 use pilot_abstraction::apps::lightsource::{generate_frame, reconstruct, FrameConfig};
+use pilot_abstraction::apps::linalg::Matrix;
 use pilot_abstraction::apps::wordcount::{count_words, generate_text, TextConfig};
 use pilot_abstraction::core::describe::{PilotDescription, UnitDescription};
 use pilot_abstraction::core::scheduler::{DataAwareScheduler, FirstFitScheduler};
 use pilot_abstraction::core::state::UnitState;
 use pilot_abstraction::core::thread::{kernel_fn, TaskOutput, ThreadPilotService};
+use pilot_abstraction::core::Parallelism;
 use pilot_abstraction::data::{
     AffinityFirst, DataPilotDescription, DataService, DataUnitDescription,
 };
@@ -186,27 +188,35 @@ fn dataflow_stage_can_contain_a_mapreduce_job() {
 #[test]
 fn iterative_kmeans_on_pilots_matches_sequential_reference() {
     let cfg = BlobConfig::new(3, 2, 900, 0xC4A7);
-    let (points, _) = generate_blobs(&cfg);
+    let (points, _) = generate_blob_matrix(&cfg);
     let reference = lloyd_sequential(&points, 3, 6);
     let init = init_centroids(&points, 3);
-    let source = Arc::new(VecSource::new(points, 6));
+    let bands: Vec<Vec<Matrix>> = points
+        .partition_rows(6)
+        .into_iter()
+        .map(|band| vec![band])
+        .collect();
+    let source = Arc::new(VecSource::from_partitions(bands));
     let cache = Arc::new(CacheManager::new(source as _, CacheMode::Cached));
     let svc = ThreadPilotService::new(Box::new(FirstFitScheduler));
     let p = svc.submit_pilot(PilotDescription::new(3, SimDuration::MAX));
     assert!(svc.wait_pilot_active(p));
     let exec = IterativeExecutor::new(
         cache,
-        |part: &[Point], c: &Vec<Point>| assign_step(part, c),
-        |ps: Vec<Partial>, c: Vec<Point>| update_centroids(&ps, &c).0,
+        |part: &[Matrix], c: &Matrix, par: &Parallelism| match part.first() {
+            Some(band) => assign_step(band, c, par),
+            None => Partial::zero(c.rows(), c.cols()),
+        },
+        |ps: Vec<Partial>, c: Matrix| update_centroids(&ps, &c).0,
     );
     let out = exec.run(&svc, init, 6, |_, _| false);
     svc.shutdown();
     assert_eq!(out.failed_units, 0);
     for (a, b) in out
         .state
+        .as_slice()
         .iter()
-        .flatten()
-        .zip(reference.centroids.iter().flatten())
+        .zip(reference.centroids.as_slice())
     {
         assert!((a - b).abs() < 1e-9, "{a} vs {b}");
     }

@@ -63,7 +63,7 @@ fn many_pilots_share_one_unit_queue() {
     for u in units {
         let out = s.wait_unit(u).unwrap();
         assert_eq!(out.state, UnitState::Done);
-        sum += out.output.unwrap().unwrap().downcast::<u64>().unwrap();
+        sum += out.output.unwrap().unwrap().downcast::<u64>().ok().unwrap();
     }
     assert_eq!(sum, (0..30u64).map(|i| i * 2).sum::<u64>());
     let report = s.shutdown();

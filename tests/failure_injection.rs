@@ -92,7 +92,11 @@ fn retry_wrapper_pattern_recovers_flaky_kernels() {
         let u = svc.submit_unit(UnitDescription::new(1), flaky(Arc::clone(&attempts)));
         let out = svc.wait_unit(u).unwrap();
         if out.state == UnitState::Done {
-            result = out.output.unwrap().ok().and_then(|o| o.downcast::<u8>());
+            result = out
+                .output
+                .unwrap()
+                .ok()
+                .and_then(|o| o.downcast::<u8>().ok());
             break;
         }
     }

@@ -1,8 +1,15 @@
 //! Property-based tests over the core invariants of the workspace.
 
-use pilot_abstraction::apps::kmeans::{assign_step, update_centroids, Partial};
-use pilot_abstraction::apps::pairwise::{contacts_grid, contacts_naive};
-use pilot_abstraction::apps::seqalign::{smith_waterman, Scoring};
+use pilot_abstraction::apps::kmeans::{
+    assign_step, generate_blob_matrix, init_centroids, update_centroids, BlobConfig, Partial,
+};
+use pilot_abstraction::apps::linalg::Matrix;
+use pilot_abstraction::apps::pairwise::{
+    contacts_grid, contacts_naive, contacts_naive_par, generate_points,
+};
+use pilot_abstraction::apps::seqalign::{
+    align_reads, generate_reads, generate_reference, smith_waterman, Scoring,
+};
 use pilot_abstraction::core::describe::UnitDescription;
 use pilot_abstraction::core::ids::{PilotId, UnitId};
 use pilot_abstraction::core::retry::RetryPolicy;
@@ -10,6 +17,7 @@ use pilot_abstraction::core::scheduler::{
     DataAwareScheduler, FirstFitScheduler, LoadBalanceScheduler, PilotSnapshot,
     RoundRobinScheduler, Scheduler, UnitRequest,
 };
+use pilot_abstraction::core::Parallelism;
 use pilot_abstraction::infra::types::SiteId;
 use pilot_abstraction::perfmodel::{r_squared, FeatureMap, LinearModel};
 use pilot_abstraction::sim::{percentile, Executor, Machine, Outbox, SimRng, SimTime};
@@ -120,18 +128,40 @@ proptest! {
         raw in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 6..120),
         split in 1usize..5,
     ) {
-        let points: Vec<Vec<f64>> = raw.iter().map(|&(a, b)| vec![a, b]).collect();
-        let k = 3.min(points.len());
-        let centroids: Vec<Vec<f64>> = points.iter().take(k).cloned().collect();
-        let whole = assign_step(&points, &centroids);
-        let chunk = points.len().div_ceil(split);
-        let parts: Vec<Partial> = points.chunks(chunk).map(|c| assign_step(c, &centroids)).collect();
+        let rows: Vec<Vec<f64>> = raw.iter().map(|&(a, b)| vec![a, b]).collect();
+        let points = Matrix::from_rows(&rows);
+        let centroids = init_centroids(&points, 3.min(points.rows()));
+        let par = Parallelism::sequential();
+        let whole = assign_step(&points, &centroids, &par);
+        let parts: Vec<Partial> = points
+            .partition_rows(split)
+            .iter()
+            .map(|band| assign_step(band, &centroids, &par))
+            .collect();
         let (c1, i1) = update_centroids(&parts, &centroids);
         let (c2, i2) = update_centroids(&[whole], &centroids);
         prop_assert!((i1 - i2).abs() <= 1e-6 * (1.0 + i2.abs()));
-        for (a, b) in c1.iter().flatten().zip(c2.iter().flatten()) {
+        for (a, b) in c1.as_slice().iter().zip(c2.as_slice()) {
             prop_assert!((a - b).abs() < 1e-6);
         }
+    }
+
+    // Determinism contract of `pilot_core::par`: with fixed block boundaries
+    // and an ordered left-fold merge, thread count must not change a single
+    // bit of the K-Means partial. Dataset sizes span several
+    // ASSIGN_BLOCK_ROWS blocks so the parallel path really engages.
+    #[test]
+    fn kmeans_parallel_partials_are_bit_identical(
+        seed in 0u64..10_000,
+        n in 1100usize..4000,
+        threads in 2usize..9,
+    ) {
+        let cfg = BlobConfig::new(4, 3, n, seed);
+        let (points, _) = generate_blob_matrix(&cfg);
+        let centroids = init_centroids(&points, cfg.k);
+        let seq = assign_step(&points, &centroids, &Parallelism::sequential());
+        let par = assign_step(&points, &centroids, &Parallelism::new(threads));
+        prop_assert_eq!(seq, par, "threads={} changed the partial", threads);
     }
 
     // ---- pairwise ------------------------------------------------------------
@@ -143,6 +173,21 @@ proptest! {
     ) {
         let points: Vec<[f64; 2]> = raw.iter().map(|&(a, b)| [a, b]).collect();
         prop_assert_eq!(contacts_naive(&points, cutoff), contacts_grid(&points, cutoff));
+    }
+
+    #[test]
+    fn parallel_contacts_equal_sequential(
+        seed in 0u64..10_000,
+        n in 0usize..1200,
+        threads in 1usize..9,
+        cutoff in 0.5f64..4.0,
+    ) {
+        let points = generate_points(n, 60.0, seed);
+        let par = Parallelism::new(threads);
+        prop_assert_eq!(
+            contacts_naive_par(&points, cutoff, &par),
+            contacts_naive(&points, cutoff)
+        );
     }
 
     // ---- alignment -------------------------------------------------------------
@@ -160,6 +205,23 @@ proptest! {
         // Self-alignment is maximal.
         let self_a = smith_waterman(&q, &q, s);
         prop_assert_eq!(self_a.score, q.len() as i32 * s.match_score);
+    }
+
+    // Determinism contract for the read-alignment fan-out: integer DP per
+    // read, blocks concatenated in order — scores must be identical for any
+    // thread count.
+    #[test]
+    fn parallel_alignment_scores_are_identical(
+        seed in 0u64..10_000,
+        n_reads in 1usize..70,
+        threads in 2usize..9,
+    ) {
+        let reference = generate_reference(300, seed);
+        let reads = generate_reads(&reference, n_reads, 30, 0.05, seed ^ 0xA5);
+        let s = Scoring::default();
+        let seq = align_reads(&reads, &reference, s, &Parallelism::sequential());
+        let par = align_reads(&reads, &reference, s, &Parallelism::new(threads));
+        prop_assert_eq!(seq, par, "threads={} changed an alignment", threads);
     }
 
     // ---- regression ---------------------------------------------------------------
