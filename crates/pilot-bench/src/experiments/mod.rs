@@ -12,6 +12,7 @@ pub mod pm;
 pub mod ps;
 pub mod rb;
 pub mod sc;
+pub mod st;
 pub mod t1;
 
 /// Run every experiment in index order; returns the concatenated reports.
@@ -46,6 +47,7 @@ pub fn registry() -> Vec<ExperimentEntry> {
         ("PS-1", ps::run_ps1),
         ("PS-2", ps::run_ps2),
         ("PS-3", ps::run_ps3),
+        ("ST-1", st::run_st1),
         ("IO-1", io_dy::run_io1),
         ("DY-1", io_dy::run_dy1),
         ("RB-1", rb::run_rb1),

@@ -14,6 +14,7 @@
 //! | [`experiments::pm`] | PM-1 — iterative caching | threaded |
 //! | [`experiments::ks`] | KS-1 — intra-unit strong scaling | threaded |
 //! | [`experiments::ps`] | PS-1/2 — streaming throughput/latency + statistical model | threaded |
+//! | [`experiments::st`] | ST-1 — batched vs per-message data-plane throughput | threaded |
 //! | [`experiments::io_dy`] | IO-1, DY-1 — interoperability, adaptivity | sim |
 //! | [`experiments::ab`] | AB-1/2 — scheduler & algorithm ablations | sim + threaded |
 //! | [`experiments::f5`] | F5 — automated build-assess-refine loop | threaded |

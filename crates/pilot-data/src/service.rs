@@ -271,7 +271,26 @@ impl DataService {
     /// Read a dataset "at" a site. A local replica is free; otherwise the
     /// bytes come from the nearest replica and the movement is recorded in
     /// the ledger. Returns the shared payload.
+    ///
+    /// Local-replica reads take only the read lock, so concurrent fetchers
+    /// of resident data never serialize; the write lock is acquired only
+    /// when a transfer must be recorded in the ledger, and the fast-path
+    /// check is repeated under it (a replica may have landed at `at` between
+    /// the two acquisitions — classic double-checked upgrade).
     pub fn fetch(&self, unit: DataUnitId, at: SiteId) -> Result<Arc<Vec<u8>>, DataServiceError> {
+        {
+            let g = self.inner.read();
+            let u = g
+                .units
+                .get(&unit)
+                .ok_or(DataServiceError::UnknownUnit(unit))?;
+            if u.state == DataUnitState::Deleted {
+                return Err(DataServiceError::Deleted(unit));
+            }
+            if u.replicas.iter().any(|r| g.stores[r].site == at) {
+                return Ok(Arc::clone(&u.payload));
+            }
+        }
         let mut g = self.inner.write();
         let (payload, size, sites) = {
             let u = g
@@ -458,6 +477,36 @@ mod tests {
         let ledger = ds.ledger();
         assert_eq!(ledger.len(), before + 1);
         assert_eq!(ledger.remote_bytes(), 2048);
+    }
+
+    #[test]
+    fn concurrent_local_fetches_share_the_read_lock() {
+        let (ds, _a, _b) = service();
+        let ds = std::sync::Arc::new(ds);
+        let du = ds
+            .put(
+                vec![3u8; 1024],
+                DataUnitDescription::new().with_affinity(SiteId(0)),
+            )
+            .unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let ds = std::sync::Arc::clone(&ds);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let bytes = ds.fetch(du, SiteId(0)).unwrap();
+                        assert_eq!(bytes.len(), 1024);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            ds.ledger().is_empty(),
+            "local fast path must never touch the ledger"
+        );
     }
 
     #[test]

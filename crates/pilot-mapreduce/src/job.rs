@@ -1,6 +1,7 @@
 //! The MapReduce job driver.
 
 use pilot_core::describe::UnitDescription;
+use pilot_core::par::Parallelism;
 use pilot_core::state::UnitState;
 use pilot_core::thread::{kernel_fn, TaskError, TaskOutput, ThreadPilotService};
 use std::collections::hash_map::DefaultHasher;
@@ -8,6 +9,14 @@ use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// One shuffled record: precomputed key hash (the partitioning/sort radix),
+/// key, value. Mappers emit these so the hash is computed exactly once.
+type Triple<K, V> = (u64, K, V);
+
+/// One shuffle block awaiting its sort: the `Mutex<Option<..>>` hands
+/// ownership to exactly one `Fn` sorter without `Clone` bounds.
+type BlockSlot<K, V> = std::sync::Mutex<Option<Vec<Triple<K, V>>>>;
 
 /// Wall-clock seconds spent in each phase.
 #[derive(Clone, Copy, Debug, Default)]
@@ -54,12 +63,59 @@ pub struct MapReduceJob<I, K, V, O> {
     combine_fn: Option<FoldFn<K, V, V>>,
     reduce_fn: FoldFn<K, V, O>,
     reducers: usize,
+    shuffle_threads: usize,
+    shuffle_block: usize,
 }
 
 fn hash_key<K: Hash>(k: &K) -> u64 {
     let mut h = DefaultHasher::new();
     k.hash(&mut h);
     h.finish()
+}
+
+/// `(hash, key)` ordering for the sort-based shuffle: hash first (cheap u64
+/// radix), key as tie-break so hash collisions still group correctly.
+fn triple_cmp<K: Ord, V>(a: &Triple<K, V>, b: &Triple<K, V>) -> std::cmp::Ordering {
+    a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1))
+}
+
+/// Merge two sorted runs, preferring the left run on ties. Combined with
+/// stable per-block sorts, a left fold of this merge in block order is a
+/// *global stable sort* — per-key value order equals global input order,
+/// independent of block boundaries or thread count.
+fn merge_runs<K: Ord, V>(a: Vec<Triple<K, V>>, b: Vec<Triple<K, V>>) -> Vec<Triple<K, V>> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ai = a.into_iter();
+    let mut bi = b.into_iter();
+    let mut na = ai.next();
+    let mut nb = bi.next();
+    loop {
+        match (na.take(), nb.take()) {
+            (Some(x), Some(y)) => {
+                if triple_cmp(&x, &y) != std::cmp::Ordering::Greater {
+                    out.push(x);
+                    na = ai.next();
+                    nb = Some(y);
+                } else {
+                    out.push(y);
+                    nb = bi.next();
+                    na = Some(x);
+                }
+            }
+            (Some(x), None) => {
+                out.push(x);
+                out.extend(ai);
+                break;
+            }
+            (None, Some(y)) => {
+                out.push(y);
+                out.extend(bi);
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    out
 }
 
 impl<I, K, V, O> MapReduceJob<I, K, V, O>
@@ -82,6 +138,11 @@ where
             combine_fn: None,
             reduce_fn: Arc::new(reduce_fn),
             reducers: reducers.max(1),
+            shuffle_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            shuffle_block: 8192,
         }
     }
 
@@ -104,6 +165,22 @@ where
         self
     }
 
+    /// Worker threads for the driver-side sort shuffle (default: available
+    /// parallelism capped at 8). Output is bit-identical for any value.
+    pub fn with_shuffle_threads(mut self, threads: usize) -> Self {
+        self.shuffle_threads = threads.max(1);
+        self
+    }
+
+    /// Records per shuffle sort block (default 8192). Smaller blocks mean
+    /// more parallel sort work and more merge passes; output is
+    /// bit-identical for any value — tests shrink it to force multi-block
+    /// merges on small inputs.
+    pub fn with_shuffle_block(mut self, block: usize) -> Self {
+        self.shuffle_block = block.max(1);
+        self
+    }
+
     /// Run on an active pilot service.
     pub fn run(&self, svc: &ThreadPilotService) -> MapReduceReport<K, O> {
         let reducers = self.reducers;
@@ -121,25 +198,28 @@ where
                 svc.submit_unit(
                     UnitDescription::new(1).tagged("map"),
                     kernel_fn(move |_| {
-                        let mut partitions: Vec<Vec<(K, V)>> =
+                        // Mappers emit (hash, key, value) so the shuffle's
+                        // sort radix is computed exactly once, in parallel.
+                        let mut partitions: Vec<Vec<Triple<K, V>>> =
                             (0..reducers).map(|_| Vec::new()).collect();
                         for record in split.iter() {
                             map_fn(record, &mut |k: K, v: V| {
-                                let p = (hash_key(&k) % reducers as u64) as usize;
-                                partitions[p].push((k, v));
+                                let h = hash_key(&k);
+                                let p = (h % reducers as u64) as usize;
+                                partitions[p].push((h, k, v));
                             });
                         }
                         if let Some(combine) = &combine {
                             for part in &mut partitions {
                                 let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
-                                for (k, v) in part.drain(..) {
+                                for (_h, k, v) in part.drain(..) {
                                     grouped.entry(k).or_default().push(v);
                                 }
                                 *part = grouped
                                     .into_iter()
                                     .map(|(k, vs)| {
                                         let c = combine(&k, vs);
-                                        (k, c)
+                                        (hash_key(&k), k, c)
                                     })
                                     .collect();
                             }
@@ -149,13 +229,13 @@ where
                 )
             })
             .collect();
-        let mut map_outputs: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(map_units.len());
+        let mut map_outputs: Vec<Vec<Vec<Triple<K, V>>>> = Vec::with_capacity(map_units.len());
         for u in map_units {
             // lint: allow(panic, reason = "unit ids come from submit_unit on this same service; wait_unit returns None only for unknown ids")
             let out = svc.wait_unit(u).expect("unit issued by this service");
             match (out.state, out.output) {
                 (UnitState::Done, Some(Ok(o))) => {
-                    if let Ok(parts) = o.downcast::<Vec<Vec<(K, V)>>>() {
+                    if let Ok(parts) = o.downcast::<Vec<Vec<Triple<K, V>>>>() {
                         map_outputs.push(parts);
                     } else {
                         failed_units += 1;
@@ -166,16 +246,57 @@ where
         }
         let map_s = t_map.elapsed().as_secs_f64();
 
-        // ---- shuffle ---------------------------------------------------------
+        // ---- shuffle: parallel sort-based regroup ----------------------------
+        // Concatenate each reducer's pairs in map-task order (= global input
+        // order), stable-sort fixed-size blocks over the worker pool, then
+        // left-fold merge the sorted blocks in order. Stable block sorts +
+        // a left-preferring merge compose to a global stable sort by
+        // (hash, key), so per-key value order equals global input order and
+        // the output is bit-identical to `run_sequential` for any thread
+        // count or block size.
         let t_shuffle = Instant::now();
-        let mut shuffled: Vec<Vec<(K, V)>> = (0..reducers).map(|_| Vec::new()).collect();
         let mut shuffled_pairs = 0u64;
+        let mut per_reducer: Vec<Vec<Triple<K, V>>> = (0..reducers).map(|_| Vec::new()).collect();
         for mut parts in map_outputs {
             for (r, part) in parts.drain(..).enumerate() {
                 shuffled_pairs += part.len() as u64;
-                shuffled[r].extend(part);
+                per_reducer[r].extend(part);
             }
         }
+        let pool = Parallelism::new(self.shuffle_threads);
+        let block = self.shuffle_block;
+        let shuffled: Vec<Vec<Triple<K, V>>> = per_reducer
+            .into_iter()
+            .map(|mut part| {
+                // Chop into blocks from the back (O(block) per split_off),
+                // then restore front-to-back order. Kernels are `Fn`, so a
+                // Mutex<Option<..>> hands each block to exactly one sorter
+                // without `K: Clone`/`V: Clone`.
+                let mut blocks: Vec<BlockSlot<K, V>> = Vec::new();
+                while part.len() > block {
+                    let tail = part.split_off(part.len() - block);
+                    blocks.push(BlockSlot::new(Some(tail)));
+                }
+                blocks.push(BlockSlot::new(Some(part)));
+                blocks.reverse();
+                pool.par_map_reduce(
+                    &blocks,
+                    1,
+                    |_, slot| {
+                        let mut run = slot[0]
+                            .lock()
+                            // lint: allow(panic, reason = "sort_by on (u64, K, V) cannot unwind unless K::cmp panics, and each slot is locked by exactly one block job")
+                            .expect("block sorter never poisons")
+                            .take()
+                            .unwrap_or_default();
+                        run.sort_by(triple_cmp); // stable
+                        run
+                    },
+                    merge_runs,
+                )
+                .unwrap_or_default()
+            })
+            .collect();
         let shuffle_s = t_shuffle.elapsed().as_secs_f64();
 
         // ---- reduce phase ----------------------------------------------------
@@ -197,17 +318,30 @@ where
                             .expect("no panics hold this lock")
                             .take()
                             .ok_or_else(|| TaskError("reduce partition consumed twice".into()))?;
-                        let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
-                        for (k, v) in part {
-                            grouped.entry(k).or_default().push(v);
+                        // The partition arrives sorted by (hash, key) with
+                        // per-key values in global input order; a linear scan
+                        // over consecutive equal keys replaces the old
+                        // BTreeMap regroup.
+                        let mut out: Vec<(K, O)> = Vec::new();
+                        let mut cur_key: Option<K> = None;
+                        let mut cur_vals: Vec<V> = Vec::new();
+                        for (_h, k, v) in part {
+                            match &cur_key {
+                                Some(ck) if *ck == k => cur_vals.push(v),
+                                _ => {
+                                    if let Some(ck) = cur_key.take() {
+                                        let o = reduce_fn(&ck, std::mem::take(&mut cur_vals));
+                                        out.push((ck, o));
+                                    }
+                                    cur_key = Some(k);
+                                    cur_vals.push(v);
+                                }
+                            }
                         }
-                        let out: Vec<(K, O)> = grouped
-                            .into_iter()
-                            .map(|(k, vs)| {
-                                let o = reduce_fn(&k, vs);
-                                (k, o)
-                            })
-                            .collect();
+                        if let Some(ck) = cur_key {
+                            let o = reduce_fn(&ck, cur_vals);
+                            out.push((ck, o));
+                        }
                         Ok(TaskOutput::of(out))
                     }),
                 )
@@ -368,6 +502,56 @@ mod tests {
         // Max value with x % 5 == 0 in 0..100 is 95.
         assert_eq!(report.output[0], (0, 95));
         assert_eq!(report.output, job.run_sequential());
+        s.shutdown();
+    }
+
+    #[test]
+    fn parallel_shuffle_is_bit_identical_across_threads_and_blocks() {
+        // Order-sensitive f64 fold: any reordering of per-key values changes
+        // the bits of the result, so this catches instability, not just
+        // wrong grouping.
+        let data: Vec<u64> = (0..500).collect();
+        let build = || {
+            MapReduceJob::new(
+                MapReduceJob::<u64, String, f64, f64>::split_input(data.clone(), 5),
+                |x: &u64, emit: &mut dyn FnMut(String, f64)| {
+                    emit(format!("k{:02}", x % 17), (*x as f64).sin());
+                },
+                |_k, vs| vs.iter().fold(0.0f64, |acc, v| (acc + v) * 1.0000001),
+                4,
+            )
+        };
+        let reference = build().run_sequential();
+        let s = svc(4);
+        for threads in [1usize, 2, 4, 8] {
+            // block=7 forces many blocks (500 pairs) → real merges.
+            let job = build().with_shuffle_threads(threads).with_shuffle_block(7);
+            let report = job.run(&s);
+            assert_eq!(report.failed_units, 0);
+            assert_eq!(
+                report.output, reference,
+                "threads={threads} must be bit-identical to run_sequential"
+            );
+        }
+        s.shutdown();
+    }
+
+    #[test]
+    fn shuffle_preserves_per_key_input_order() {
+        // Concatenating strings makes per-key value order observable.
+        let data: Vec<(u8, char)> =
+            vec![(1, 'a'), (2, 'x'), (1, 'b'), (1, 'c'), (2, 'y'), (1, 'd')];
+        let job = MapReduceJob::new(
+            MapReduceJob::<(u8, char), u8, char, String>::split_input(data, 3),
+            |r: &(u8, char), emit: &mut dyn FnMut(u8, char)| emit(r.0, r.1),
+            |_k, vs| vs.iter().collect::<String>(),
+            2,
+        )
+        .with_shuffle_block(2)
+        .with_shuffle_threads(4);
+        let s = svc(4);
+        let report = job.run(&s);
+        assert_eq!(report.output, vec![(1, "abcd".into()), (2, "xy".into())]);
         s.shutdown();
     }
 

@@ -61,6 +61,46 @@ proptest! {
     }
 
     #[test]
+    fn parallel_shuffle_bit_identical_for_random_keys(
+        values in prop::collection::vec((0u32..500, -1.0f64..1.0), 0..400),
+        splits in 1usize..7,
+        reducers in 1usize..9,
+        threads in 1usize..9,
+        block in 1usize..33,
+    ) {
+        // String keys from a skewed space, f64 values, and an
+        // order-sensitive non-associative fold: any deviation from the
+        // sequential grouping — wrong partition, unstable sort, reordered
+        // merge — changes the output bits.
+        let build = || MapReduceJob::new(
+            MapReduceJob::<(u32, f64), String, f64, f64>::split_input(values.clone(), splits),
+            |r: &(u32, f64), emit: &mut dyn FnMut(String, f64)| {
+                emit(format!("k{:03}", r.0 % 53), r.1);
+            },
+            |_k, vs: Vec<f64>| vs.iter().fold(0.25f64, |acc, v| acc * 0.75 + v),
+            reducers,
+        );
+        let job = build()
+            .with_shuffle_threads(threads)
+            .with_shuffle_block(block); // tiny blocks force real merges
+        let s = svc();
+        let report = job.run(&s);
+        s.shutdown();
+        prop_assert_eq!(report.failed_units, 0);
+        let expected = build().run_sequential();
+        prop_assert_eq!(report.output.len(), expected.len());
+        for (got, want) in report.output.iter().zip(expected.iter()) {
+            prop_assert_eq!(&got.0, &want.0);
+            prop_assert_eq!(
+                got.1.to_bits(),
+                want.1.to_bits(),
+                "key {} must reduce bit-identically",
+                got.0
+            );
+        }
+    }
+
+    #[test]
     fn combiner_preserves_sum_semantics(
         values in prop::collection::vec(0u32..1000, 0..300),
         splits in 1usize..9,

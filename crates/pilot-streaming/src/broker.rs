@@ -6,11 +6,42 @@
 //! metadata (read-mostly), per-(group, partition) offset cells. This is the
 //! shape that lets the produce/consume criterion benchmarks scale with
 //! partition count — the same knob the paper's streaming evaluation sweeps.
+//!
+//! ## The batched data plane
+//!
+//! The hot paths come in two flavors each:
+//!
+//! * **Produce.** [`Broker::produce`] appends one record: one topic-map read,
+//!   one round-robin (or key hash) decision, one partition-lock acquire, one
+//!   timestamp read. [`Broker::produce_batch`] amortizes all of that over a
+//!   batch — the timestamp is read once, the round-robin cursor is advanced
+//!   under one lock, and each *touched partition* is locked exactly once no
+//!   matter how many records land in it.
+//! * **Consume.** [`Broker::poll`] is the stateless path: it re-derives the
+//!   consumer's assignment and allocates a fresh `Vec` on every call.
+//!   [`Broker::poll_into`] takes a [`Subscription`] handle that caches the
+//!   assignment under the group's rebalance epoch (refreshed only when
+//!   membership changes) and appends into a caller-owned buffer — zero
+//!   allocations and exactly two group-lock acquires per poll at steady
+//!   state.
+//!
+//! ## Wakeups
+//!
+//! Every append bumps a broker-wide sequence number and notifies a condvar.
+//! Consumers park in [`Broker::wait_for_data`] with a bounded timeout instead
+//! of busy-polling; producers that finish call [`Broker::wake_all`] so parked
+//! consumers re-check their exit conditions immediately. The wakeup lock is a
+//! *leaf* lock: it is only ever acquired with no other broker lock held, and
+//! the condvar is notified after its guard is dropped (workspace rule R4).
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// An unappended record: optional partitioning key plus payload. The item
+/// type of [`Broker::produce_batch`].
+pub type Record = (Option<u64>, Arc<Vec<u8>>);
 
 /// One record in a partition log.
 #[derive(Clone, Debug)]
@@ -34,6 +65,17 @@ pub enum BrokerError {
     TopicExists(String),
     /// Consumer is not a member of the group.
     UnknownConsumer,
+    /// `join_group` named a topic different from the one the group already
+    /// consumes (the group's offset vector is sized to its topic's partition
+    /// count, so silently reusing the group would corrupt accounting).
+    GroupTopicMismatch {
+        /// The group that was joined.
+        group: String,
+        /// The topic the group already consumes.
+        existing: String,
+        /// The mismatching topic the join requested.
+        requested: String,
+    },
 }
 
 impl std::fmt::Display for BrokerError {
@@ -42,6 +84,14 @@ impl std::fmt::Display for BrokerError {
             BrokerError::UnknownTopic(t) => write!(f, "unknown topic '{t}'"),
             BrokerError::TopicExists(t) => write!(f, "topic '{t}' exists"),
             BrokerError::UnknownConsumer => write!(f, "unknown consumer in group"),
+            BrokerError::GroupTopicMismatch {
+                group,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "group '{group}' consumes topic '{existing}', not '{requested}'"
+            ),
         }
     }
 }
@@ -75,6 +125,61 @@ struct Group {
     /// Committed next-read offset per partition.
     offsets: Vec<u64>,
     topic: String,
+    /// Bumped on every membership change; [`Subscription`]s cache their
+    /// assignment against it and refresh only when it moves.
+    epoch: u64,
+}
+
+impl Group {
+    /// Partitions assigned to `consumer` (even split, join order).
+    fn assigned_for(&self, consumer: &str) -> Result<Vec<usize>, BrokerError> {
+        let me = self
+            .members
+            .iter()
+            .position(|m| m == consumer)
+            .ok_or(BrokerError::UnknownConsumer)?;
+        let n = self.offsets.len();
+        Ok((0..n).filter(|p| p % self.members.len() == me).collect())
+    }
+}
+
+/// A consumer's cached view of its group: assignment (under the group's
+/// rebalance epoch), the topic handle, and reusable scratch buffers. Create
+/// with [`Broker::subscribe`], poll with [`Broker::poll_into`].
+///
+/// The handle makes the steady-state poll path allocation-free: assignment
+/// is only re-derived when the group epoch moves (a member joined), and
+/// offsets/commits go through scratch vectors whose capacity is retained
+/// across polls.
+pub struct Subscription {
+    group: String,
+    consumer: String,
+    topic: Arc<Topic>,
+    /// Group epoch the cached assignment was computed at (0 = never).
+    epoch: u64,
+    assigned: Vec<usize>,
+    /// Scratch: next-read offset per assigned partition, refilled each poll.
+    starts: Vec<u64>,
+    /// Scratch: (partition, new offset) commits for the current poll.
+    commits: Vec<(usize, u64)>,
+}
+
+impl Subscription {
+    /// Group this subscription polls through.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    /// Consumer name within the group.
+    pub fn consumer(&self) -> &str {
+        &self.consumer
+    }
+
+    /// Cached partition assignment (refreshed lazily on poll after a
+    /// rebalance; empty before the first poll).
+    pub fn assignment(&self) -> &[usize] {
+        &self.assigned
+    }
 }
 
 /// The broker. Shareable across threads (`Arc<Broker>`).
@@ -82,6 +187,11 @@ pub struct Broker {
     epoch: Instant,
     topics: RwLock<HashMap<String, Arc<Topic>>>,
     groups: RwLock<HashMap<String, Mutex<Group>>>,
+    /// Append sequence number: bumped on every produce so consumers can park
+    /// until data arrives instead of busy-polling. Leaf lock — never held
+    /// while acquiring any other broker lock.
+    wakeup_seq: Mutex<u64>,
+    wakeup: Condvar,
 }
 
 impl Default for Broker {
@@ -97,6 +207,8 @@ impl Broker {
             epoch: Instant::now(),
             topics: RwLock::new(HashMap::new()),
             groups: RwLock::new(HashMap::new()),
+            wakeup_seq: Mutex::new(0),
+            wakeup: Condvar::new(),
         }
     }
 
@@ -146,8 +258,45 @@ impl Broker {
             .ok_or_else(|| BrokerError::UnknownTopic(name.to_string()))
     }
 
+    /// Bump the append sequence and wake parked consumers. The guard is
+    /// dropped before `notify_all` (R4: no guard across a wake).
+    fn note_append(&self) {
+        let mut seq = self.wakeup_seq.lock();
+        *seq = seq.wrapping_add(1);
+        drop(seq);
+        self.wakeup.notify_all();
+    }
+
+    /// Current append sequence number. Sample it *before* a poll; if the
+    /// poll comes back empty, pass the sample to [`Broker::wait_for_data`] —
+    /// an append between the sample and the wait then returns immediately
+    /// instead of being missed.
+    pub fn data_seq(&self) -> u64 {
+        *self.wakeup_seq.lock()
+    }
+
+    /// Park until the append sequence moves past `seen` or `timeout`
+    /// elapses; returns the current sequence. Spurious returns are possible
+    /// (callers loop around a poll anyway); missed wakeups are not, provided
+    /// `seen` was sampled before the empty poll that led here.
+    pub fn wait_for_data(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut seq = self.wakeup_seq.lock();
+        if *seq == seen {
+            let _ = self.wakeup.wait_for(&mut seq, timeout);
+        }
+        *seq
+    }
+
+    /// Wake every parked consumer without appending data (e.g. after the
+    /// last producer finishes, so consumers re-check their exit condition
+    /// immediately instead of riding out their park timeout).
+    pub fn wake_all(&self) {
+        self.note_append();
+    }
+
     /// Append a record. Keyed records hash to a fixed partition (per-key
-    /// order); unkeyed ones round-robin. Returns (partition, offset).
+    /// order); unkeyed ones round-robin starting at partition 0. Returns
+    /// (partition, offset).
     pub fn produce(
         &self,
         topic: &str,
@@ -157,26 +306,96 @@ impl Broker {
         let t = self.topic(topic)?;
         let n = t.partitions.len();
         let p = match key {
-            Some(k) => (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % n,
+            Some(k) => Self::key_partition(k, n),
             None => {
                 let mut rr = t.round_robin.lock();
-                *rr = (*rr + 1) % n;
-                *rr
+                let p = *rr % n;
+                *rr = (p + 1) % n;
+                p
             }
         };
-        let mut log = t.partitions[p].lock();
-        let offset = log.next_offset();
-        log.records.push_back(Message {
-            offset,
-            enqueued_s: self.now_s(),
-            key,
-            payload,
-        });
-        while log.records.len() > t.retention {
-            log.records.pop_front();
-            log.base += 1;
-        }
+        let offset = {
+            let mut log = t.partitions[p].lock();
+            let offset = log.next_offset();
+            log.records.push_back(Message {
+                offset,
+                enqueued_s: self.now_s(),
+                key,
+                payload,
+            });
+            while log.records.len() > t.retention {
+                log.records.pop_front();
+                log.base += 1;
+            }
+            offset
+        };
+        self.note_append();
         Ok((p, offset))
+    }
+
+    fn key_partition(key: u64, partitions: usize) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % partitions
+    }
+
+    /// Append a batch of `(key, payload)` records in one shot: one timestamp
+    /// read for the whole batch, one round-robin cursor advance under one
+    /// lock, and one lock acquire per *touched partition* regardless of how
+    /// many records land there. Record order is preserved within each
+    /// partition, and the round-robin cursor is shared with
+    /// [`Broker::produce`], so mixing the two APIs keeps the spread even.
+    /// Returns the number of records appended.
+    pub fn produce_batch(
+        &self,
+        topic: &str,
+        records: impl IntoIterator<Item = Record>,
+    ) -> Result<u64, BrokerError> {
+        let t = self.topic(topic)?;
+        let n = t.partitions.len();
+        let now = self.now_s(); // one timestamp read per batch
+        let mut buckets: Vec<Vec<Record>> = (0..n).map(|_| Vec::new()).collect();
+        let mut total = 0u64;
+        {
+            // The round-robin cursor is locked at most once per batch, and
+            // only if the batch contains unkeyed records.
+            let mut rr = None;
+            for (key, payload) in records {
+                let p = match key {
+                    Some(k) => Self::key_partition(k, n),
+                    None => {
+                        let cursor = rr.get_or_insert_with(|| t.round_robin.lock());
+                        let p = **cursor % n;
+                        **cursor = (p + 1) % n;
+                        p
+                    }
+                };
+                buckets[p].push((key, payload));
+                total += 1;
+            }
+        }
+        if total == 0 {
+            return Ok(0);
+        }
+        for (p, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut log = t.partitions[p].lock(); // one acquire per partition
+            for (key, payload) in bucket {
+                let offset = log.next_offset();
+                log.records.push_back(Message {
+                    offset,
+                    enqueued_s: now,
+                    key,
+                    payload,
+                });
+            }
+            while log.records.len() > t.retention {
+                log.records.pop_front();
+                log.base += 1;
+            }
+        }
+        self.note_append();
+        Ok(total)
     }
 
     /// Read up to `max` records from one partition starting at `from`,
@@ -189,12 +408,28 @@ impl Broker {
         max: usize,
     ) -> Result<Vec<Message>, BrokerError> {
         let t = self.topic(topic)?;
+        let mut out = Vec::new();
+        Self::fetch_into(&t, partition, from, max, &mut out);
+        Ok(out)
+    }
+
+    /// Append up to `max` records from one partition into `buf`; returns the
+    /// count appended.
+    fn fetch_into(
+        t: &Topic,
+        partition: usize,
+        from: u64,
+        max: usize,
+        buf: &mut Vec<Message>,
+    ) -> usize {
         let log = t.partitions[partition].lock();
         let start = from.max(log.base);
         // `range` positions in O(1) on the deque's two slices; `skip` would
         // walk every earlier record on each fetch.
         let idx = ((start - log.base) as usize).min(log.records.len());
-        Ok(log.records.range(idx..).take(max).cloned().collect())
+        let before = buf.len();
+        buf.extend(log.records.range(idx..).take(max).cloned());
+        buf.len() - before
     }
 
     /// Next offset to be written in a partition (= count of appended records
@@ -206,7 +441,9 @@ impl Broker {
     }
 
     /// Join a consumer group on `topic`; partition assignments rebalance to
-    /// an even split in member join order.
+    /// an even split in member join order. Joining an existing group with a
+    /// different topic is an error ([`BrokerError::GroupTopicMismatch`]) —
+    /// the group's offset vector is sized to its topic's partition count.
     pub fn join_group(&self, group: &str, topic: &str, consumer: &str) -> Result<(), BrokerError> {
         let n = self.partitions(topic)?;
         let mut groups = self.groups.write();
@@ -215,11 +452,20 @@ impl Broker {
                 members: Vec::new(),
                 offsets: vec![0; n],
                 topic: topic.to_string(),
+                epoch: 1,
             })
         });
         let mut g = g.lock();
+        if g.topic != topic {
+            return Err(BrokerError::GroupTopicMismatch {
+                group: group.to_string(),
+                existing: g.topic.clone(),
+                requested: topic.to_string(),
+            });
+        }
         if !g.members.iter().any(|m| m == consumer) {
             g.members.push(consumer.to_string());
+            g.epoch += 1;
         }
         Ok(())
     }
@@ -231,46 +477,135 @@ impl Broker {
             .get(group)
             .ok_or(BrokerError::UnknownConsumer)?
             .lock();
-        let me = g
-            .members
-            .iter()
-            .position(|m| m == consumer)
-            .ok_or(BrokerError::UnknownConsumer)?;
-        let n = g.offsets.len();
-        Ok((0..n).filter(|p| p % g.members.len() == me).collect())
+        g.assigned_for(consumer)
+    }
+
+    /// Build a [`Subscription`] for a consumer that already joined `group`.
+    /// The handle caches the topic and (lazily, on first poll) the partition
+    /// assignment, making [`Broker::poll_into`] allocation-free at steady
+    /// state.
+    pub fn subscribe(&self, group: &str, consumer: &str) -> Result<Subscription, BrokerError> {
+        let topic_name = {
+            let groups = self.groups.read();
+            let g = groups
+                .get(group)
+                .ok_or(BrokerError::UnknownConsumer)?
+                .lock();
+            if !g.members.iter().any(|m| m == consumer) {
+                return Err(BrokerError::UnknownConsumer);
+            }
+            g.topic.clone()
+        };
+        let topic = self.topic(&topic_name)?;
+        Ok(Subscription {
+            group: group.to_string(),
+            consumer: consumer.to_string(),
+            topic,
+            epoch: 0, // group epochs start at 1 ⇒ first poll refreshes
+            assigned: Vec::new(),
+            starts: Vec::new(),
+            commits: Vec::new(),
+        })
+    }
+
+    /// Poll up to `max` records across the subscription's assigned
+    /// partitions into `buf` (cleared first; capacity is reused), advancing
+    /// the group offsets past what is returned. Returns the record count.
+    ///
+    /// Steady-state cost: two group-lock acquires (read offsets, commit) and
+    /// one partition-lock acquire per assigned partition with data — the
+    /// assignment is cached under the group's rebalance epoch and only
+    /// re-derived after a membership change, and no `Vec` is allocated.
+    pub fn poll_into(
+        &self,
+        sub: &mut Subscription,
+        max: usize,
+        buf: &mut Vec<Message>,
+    ) -> Result<usize, BrokerError> {
+        buf.clear();
+        sub.starts.clear();
+        sub.commits.clear();
+        {
+            let groups = self.groups.read();
+            let g = groups
+                .get(&sub.group)
+                .ok_or(BrokerError::UnknownConsumer)?
+                .lock();
+            if g.epoch != sub.epoch {
+                let me = g
+                    .members
+                    .iter()
+                    .position(|m| m == &sub.consumer)
+                    .ok_or(BrokerError::UnknownConsumer)?;
+                sub.assigned.clear();
+                sub.assigned
+                    .extend((0..g.offsets.len()).filter(|p| p % g.members.len() == me));
+                sub.epoch = g.epoch;
+            }
+            sub.starts
+                .extend(sub.assigned.iter().map(|&p| g.offsets[p]));
+        }
+        for (i, &p) in sub.assigned.iter().enumerate() {
+            if buf.len() >= max {
+                break;
+            }
+            let got = Self::fetch_into(&sub.topic, p, sub.starts[i], max - buf.len(), buf);
+            if got > 0 {
+                if let Some(last) = buf.last() {
+                    sub.commits.push((p, last.offset + 1));
+                }
+            }
+        }
+        if !sub.commits.is_empty() {
+            let groups = self.groups.read();
+            let mut g = groups
+                .get(&sub.group)
+                .ok_or(BrokerError::UnknownConsumer)?
+                .lock();
+            for &(p, off) in &sub.commits {
+                g.offsets[p] = g.offsets[p].max(off);
+            }
+        }
+        Ok(buf.len())
     }
 
     /// Poll up to `max` records across the consumer's assigned partitions;
-    /// advances (commits) the group offsets past what is returned.
+    /// advances (commits) the group offsets past what is returned. Stateless
+    /// convenience path — allocates per call and re-derives the assignment;
+    /// hot loops should hold a [`Subscription`] and use
+    /// [`Broker::poll_into`].
     pub fn poll(
         &self,
         group: &str,
         consumer: &str,
         max: usize,
     ) -> Result<Vec<Message>, BrokerError> {
-        let assigned = self.assignment(group, consumer)?;
+        // One lock acquire for assignment + topic + starting offsets.
         let (topic_name, starts): (String, Vec<(usize, u64)>) = {
             let groups = self.groups.read();
             let g = groups
                 .get(group)
                 .ok_or(BrokerError::UnknownConsumer)?
                 .lock();
+            let assigned = g.assigned_for(consumer)?;
             (
                 g.topic.clone(),
                 assigned.iter().map(|&p| (p, g.offsets[p])).collect(),
             )
         };
+        let t = self.topic(&topic_name)?;
         let mut out = Vec::new();
         let mut new_offsets: Vec<(usize, u64)> = Vec::new();
         for (p, from) in starts {
             if out.len() >= max {
                 break;
             }
-            let batch = self.fetch(&topic_name, p, from, max - out.len())?;
-            if let Some(last) = batch.last() {
-                new_offsets.push((p, last.offset + 1));
+            let got = Self::fetch_into(&t, p, from, max - out.len(), &mut out);
+            if got > 0 {
+                if let Some(last) = out.last() {
+                    new_offsets.push((p, last.offset + 1));
+                }
             }
-            out.extend(batch);
         }
         if !new_offsets.is_empty() {
             let groups = self.groups.read();
@@ -350,15 +685,70 @@ mod tests {
     }
 
     #[test]
-    fn unkeyed_round_robin_spreads() {
+    fn unkeyed_round_robin_starts_at_zero_and_spreads() {
         let b = Broker::new();
         b.create_topic("t", 4, 1000).unwrap();
-        let mut counts = [0u32; 4];
-        for _ in 0..40 {
+        let (first, _) = b.produce("t", None, payload(0)).unwrap();
+        assert_eq!(first, 0, "first unkeyed record lands on partition 0");
+        let mut counts = [1u32, 0, 0, 0];
+        for _ in 0..39 {
             let (p, _) = b.produce("t", None, payload(0)).unwrap();
             counts[p] += 1;
         }
         assert_eq!(counts, [10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn round_robin_cursor_is_shared_between_produce_and_batch() {
+        let b = Broker::new();
+        b.create_topic("t", 4, 1000).unwrap();
+        // 3 singles land on 0, 1, 2; a batch of 5 continues 3, 0, 1, 2, 3.
+        for _ in 0..3 {
+            b.produce("t", None, payload(0)).unwrap();
+        }
+        let n = b
+            .produce_batch("t", (0..5).map(|_| (None, payload(1))))
+            .unwrap();
+        assert_eq!(n, 5);
+        let hw: Vec<u64> = (0..4).map(|p| b.high_watermark("t", p).unwrap()).collect();
+        assert_eq!(hw, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn produce_batch_appends_in_order_with_one_timestamp() {
+        let b = Broker::new();
+        b.create_topic("t", 2, 1000).unwrap();
+        let n = b
+            .produce_batch("t", (0..10u8).map(|i| (Some(7), payload(i))))
+            .unwrap();
+        assert_eq!(n, 10);
+        // All keyed to the same partition, dense offsets, payload order kept.
+        let part = Broker::key_partition(7, 2);
+        let msgs = b.fetch("t", part, 0, 100).unwrap();
+        assert_eq!(msgs.len(), 10);
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(m.offset, i as u64);
+            assert_eq!(m.payload[0], i as u8);
+        }
+        // One timestamp read for the whole batch.
+        assert!(msgs.windows(2).all(|w| w[0].enqueued_s == w[1].enqueued_s));
+        assert_eq!(b.produce_batch("t", std::iter::empty()).unwrap(), 0);
+        assert_eq!(
+            b.produce_batch("nope", std::iter::empty()),
+            Err(BrokerError::UnknownTopic("nope".into()))
+        );
+    }
+
+    #[test]
+    fn produce_batch_respects_retention() {
+        let b = Broker::new();
+        b.create_topic("t", 1, 5).unwrap();
+        b.produce_batch("t", (0..12u8).map(|i| (None, payload(i))))
+            .unwrap();
+        let msgs = b.fetch("t", 0, 0, 100).unwrap();
+        assert_eq!(msgs.len(), 5);
+        assert_eq!(msgs[0].offset, 7, "oldest retained offset");
+        assert_eq!(b.high_watermark("t", 0).unwrap(), 12);
     }
 
     #[test]
@@ -394,6 +784,28 @@ mod tests {
     }
 
     #[test]
+    fn join_group_rejects_topic_mismatch() {
+        let b = Broker::new();
+        b.create_topic("t1", 4, 1000).unwrap();
+        b.create_topic("t2", 2, 1000).unwrap();
+        b.join_group("g", "t1", "c0").unwrap();
+        assert_eq!(
+            b.join_group("g", "t2", "c1"),
+            Err(BrokerError::GroupTopicMismatch {
+                group: "g".into(),
+                existing: "t1".into(),
+                requested: "t2".into(),
+            })
+        );
+        // The failed join must not have touched membership.
+        assert_eq!(b.assignment("g", "c0").unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(b.assignment("g", "c1"), Err(BrokerError::UnknownConsumer));
+        // Re-joining with the right topic still works.
+        b.join_group("g", "t1", "c1").unwrap();
+        assert_eq!(b.assignment("g", "c1").unwrap(), vec![1, 3]);
+    }
+
+    #[test]
     fn poll_advances_offsets_without_redelivery() {
         let b = Broker::new();
         b.create_topic("t", 2, 1000).unwrap();
@@ -423,6 +835,79 @@ mod tests {
     }
 
     #[test]
+    fn poll_into_reuses_buffer_and_commits() {
+        let b = Broker::new();
+        b.create_topic("t", 4, 1000).unwrap();
+        b.join_group("g", "t", "c").unwrap();
+        let mut sub = b.subscribe("g", "c").unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(b.poll_into(&mut sub, 64, &mut buf).unwrap(), 0);
+        assert_eq!(sub.assignment(), &[0, 1, 2, 3]);
+        b.produce_batch("t", (0..10u8).map(|i| (None, payload(i))))
+            .unwrap();
+        assert_eq!(b.poll_into(&mut sub, 3, &mut buf).unwrap(), 3);
+        assert_eq!(buf.len(), 3);
+        let cap = buf.capacity();
+        assert_eq!(b.poll_into(&mut sub, 64, &mut buf).unwrap(), 7);
+        assert!(buf.capacity() >= cap, "buffer capacity is retained");
+        assert_eq!(b.poll_into(&mut sub, 64, &mut buf).unwrap(), 0);
+        assert_eq!(b.group_consumed("g"), 10, "poll_into commits offsets");
+    }
+
+    #[test]
+    fn poll_and_poll_into_share_commits() {
+        let b = Broker::new();
+        b.create_topic("t", 2, 1000).unwrap();
+        b.join_group("g", "t", "c").unwrap();
+        let mut sub = b.subscribe("g", "c").unwrap();
+        let mut buf = Vec::new();
+        for i in 0..10u8 {
+            b.produce("t", None, payload(i)).unwrap();
+        }
+        let first = b.poll_into(&mut sub, 6, &mut buf).unwrap();
+        let rest = b.poll("g", "c", 100).unwrap();
+        assert_eq!(
+            first + rest.len(),
+            10,
+            "no loss, no redelivery across paths"
+        );
+    }
+
+    #[test]
+    fn subscription_refreshes_after_rebalance() {
+        let b = Broker::new();
+        b.create_topic("t", 4, 1000).unwrap();
+        b.join_group("g", "t", "c0").unwrap();
+        let mut sub = b.subscribe("g", "c0").unwrap();
+        let mut buf = Vec::new();
+        b.poll_into(&mut sub, 1, &mut buf).unwrap();
+        assert_eq!(sub.assignment(), &[0, 1, 2, 3]);
+        b.join_group("g", "t", "c1").unwrap();
+        b.poll_into(&mut sub, 1, &mut buf).unwrap();
+        assert_eq!(sub.assignment(), &[0, 2], "epoch bump shrinks assignment");
+        // Disjoint with the new member; the whole stream is still covered.
+        let mut sub1 = b.subscribe("g", "c1").unwrap();
+        b.poll_into(&mut sub1, 1, &mut buf).unwrap();
+        assert_eq!(sub1.assignment(), &[1, 3]);
+    }
+
+    #[test]
+    fn subscribe_requires_membership() {
+        let b = Broker::new();
+        b.create_topic("t", 2, 1000).unwrap();
+        b.join_group("g", "t", "c").unwrap();
+        assert!(b.subscribe("g", "c").is_ok());
+        assert!(matches!(
+            b.subscribe("g", "ghost"),
+            Err(BrokerError::UnknownConsumer)
+        ));
+        assert!(matches!(
+            b.subscribe("nope", "c"),
+            Err(BrokerError::UnknownConsumer)
+        ));
+    }
+
+    #[test]
     fn two_groups_consume_independently() {
         let b = Broker::new();
         b.create_topic("t", 1, 1000).unwrap();
@@ -436,15 +921,74 @@ mod tests {
     }
 
     #[test]
+    fn wait_for_data_wakes_on_produce() {
+        let b = Arc::new(Broker::new());
+        b.create_topic("t", 1, 1000).unwrap();
+        let seen = b.data_seq();
+        let waiter = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || b.wait_for_data(seen, Duration::from_secs(10)))
+        };
+        // Give the waiter a moment to park, then append.
+        std::thread::sleep(Duration::from_millis(20));
+        let t0 = Instant::now();
+        b.produce("t", None, payload(0)).unwrap();
+        let got = waiter.join().unwrap();
+        assert_ne!(got, seen, "append must advance the sequence");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "wakeup, not timeout, must end the wait"
+        );
+    }
+
+    #[test]
+    fn wait_for_data_returns_immediately_when_stale() {
+        let b = Broker::new();
+        b.create_topic("t", 1, 1000).unwrap();
+        let seen = b.data_seq();
+        b.produce("t", None, payload(0)).unwrap();
+        let t0 = Instant::now();
+        let got = b.wait_for_data(seen, Duration::from_secs(10));
+        assert_ne!(got, seen);
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "stale seen returns fast"
+        );
+    }
+
+    #[test]
+    fn wake_all_releases_parked_waiters() {
+        let b = Arc::new(Broker::new());
+        let seen = b.data_seq();
+        let waiter = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || b.wait_for_data(seen, Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        b.wake_all();
+        let t0 = Instant::now();
+        waiter.join().unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
     fn concurrent_producers_lose_nothing() {
         let b = Arc::new(Broker::new());
         b.create_topic("t", 4, 1_000_000).unwrap();
         let handles: Vec<_> = (0..8)
-            .map(|_| {
+            .map(|i| {
                 let b = Arc::clone(&b);
                 std::thread::spawn(move || {
-                    for _ in 0..500 {
-                        b.produce("t", None, payload(1)).unwrap();
+                    if i % 2 == 0 {
+                        for _ in 0..500 {
+                            b.produce("t", None, payload(1)).unwrap();
+                        }
+                    } else {
+                        // Batched producers interleave with per-message ones.
+                        for _ in 0..(500 / 50) {
+                            b.produce_batch("t", (0..50).map(|_| (None, payload(1))))
+                                .unwrap();
+                        }
                     }
                 })
             })
@@ -467,13 +1011,15 @@ mod tests {
         b.join_group("g", "t", "c1").unwrap();
         let consume = |name: &'static str, b: Arc<Broker>| {
             std::thread::spawn(move || {
+                let mut sub = b.subscribe("g", name).unwrap();
+                let mut buf = Vec::new();
                 let mut got = 0u64;
                 loop {
-                    let batch = b.poll("g", name, 64).unwrap();
-                    if batch.is_empty() {
+                    let n = b.poll_into(&mut sub, 64, &mut buf).unwrap();
+                    if n == 0 {
                         break;
                     }
-                    got += batch.len() as u64;
+                    got += n as u64;
                 }
                 got
             })

@@ -15,7 +15,7 @@
 //! - [`window`] — event-time tumbling-window aggregation, the stateful
 //!   operator Table I's streaming scenario calls for.
 
-//! ## Example: produce and consume through a group
+//! ## Example: batched produce, buffer-reusing consume
 //!
 //! ```rust
 //! use pilot_streaming::Broker;
@@ -24,14 +24,18 @@
 //! let broker = Broker::new();
 //! broker.create_topic("events", 4, 10_000).unwrap();
 //! broker.join_group("readers", "events", "c0").unwrap();
-//! for i in 0..100u64 {
-//!     broker.produce("events", Some(i), Arc::new(vec![0u8; 16])).unwrap();
-//! }
+//! // One lock acquire per touched partition, one timestamp per batch.
+//! broker
+//!     .produce_batch("events", (0..100u64).map(|i| (Some(i), Arc::new(vec![0u8; 16]))))
+//!     .unwrap();
+//! // A Subscription caches the assignment; poll_into reuses the buffer.
+//! let mut sub = broker.subscribe("readers", "c0").unwrap();
+//! let mut buf = Vec::new();
 //! let mut seen = 0;
 //! loop {
-//!     let batch = broker.poll("readers", "c0", 32).unwrap();
-//!     if batch.is_empty() { break; }
-//!     seen += batch.len();
+//!     let n = broker.poll_into(&mut sub, 32, &mut buf).unwrap();
+//!     if n == 0 { break; }
+//!     seen += n;
 //! }
 //! assert_eq!(seen, 100);
 //! ```
@@ -40,6 +44,6 @@ pub mod broker;
 pub mod pipeline;
 pub mod window;
 
-pub use broker::{Broker, BrokerError, Message};
+pub use broker::{Broker, BrokerError, Message, Record, Subscription};
 pub use pipeline::{StreamJobConfig, StreamReport};
 pub use window::{TumblingWindow, WindowAggregate};

@@ -8,7 +8,7 @@ use pilot_core::thread::{kernel_fn, TaskOutput, ThreadPilotService};
 use pilot_sim::{percentile_sorted, summarize, Summary};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of one streaming job.
 #[derive(Clone, Debug)]
@@ -29,6 +29,9 @@ pub struct StreamJobConfig {
     pub rate_per_producer: Option<f64>,
     /// Max records per poll.
     pub batch: usize,
+    /// Records per `produce_batch` call on the full-speed producer path
+    /// (paced producers always emit one record at a time).
+    pub producer_batch: usize,
 }
 
 impl StreamJobConfig {
@@ -43,6 +46,7 @@ impl StreamJobConfig {
             payload_bytes: 256,
             rate_per_producer: None,
             batch: 64,
+            producer_batch: 64,
         }
     }
 
@@ -102,7 +106,8 @@ pub fn run_stream_job(
     let expected = config.total_messages();
     let t0 = Instant::now();
 
-    // Processors first (they idle-poll until data arrives).
+    // Processors first; they park on the broker's wakeup condvar until data
+    // arrives (idle processors cost ~0 CPU instead of busy-polling).
     let processor_units: Vec<_> = (0..config.processors)
         .map(|c| {
             let broker = Arc::clone(broker);
@@ -115,25 +120,36 @@ pub fn run_stream_job(
                 UnitDescription::new(1).tagged("processor"),
                 kernel_fn(move |_| {
                     let me = format!("proc-{c}");
+                    let mut sub = broker
+                        .subscribe(&group, &me)
+                        // lint: allow(panic, reason = "every processor joined the group before any unit was submitted")
+                        .expect("member of group");
+                    let mut buf: Vec<Message> = Vec::with_capacity(batch);
                     let mut latencies: Vec<f64> = Vec::new();
                     loop {
-                        // lint: allow(panic, reason = "every processor joined the group before any unit was submitted")
-                        let msgs = broker.poll(&group, &me, batch).expect("member of group");
-                        if msgs.is_empty() {
+                        // Sample the append sequence *before* polling: an
+                        // append that races the empty poll then makes
+                        // wait_for_data return immediately (no lost wakeup).
+                        let seq = broker.data_seq();
+                        let n = broker
+                            .poll_into(&mut sub, batch, &mut buf)
+                            // lint: allow(panic, reason = "every processor joined the group before any unit was submitted")
+                            .expect("member of group");
+                        if n == 0 {
                             if done.load(Ordering::Acquire)
                                 && consumed.load(Ordering::Acquire) >= expected
                             {
                                 break;
                             }
-                            std::thread::yield_now();
+                            broker.wait_for_data(seq, Duration::from_millis(10));
                             continue;
                         }
                         let now = broker.now_s();
-                        for m in &msgs {
+                        for m in &buf {
                             latencies.push(now - m.enqueued_s);
                             process(m);
                         }
-                        consumed.fetch_add(msgs.len() as u64, Ordering::AcqRel);
+                        consumed.fetch_add(n as u64, Ordering::AcqRel);
                     }
                     Ok(TaskOutput::of(latencies))
                 }),
@@ -149,22 +165,39 @@ pub fn run_stream_job(
             let n = config.messages_per_producer;
             let payload = Arc::new(vec![i as u8; config.payload_bytes]);
             let rate = config.rate_per_producer;
+            let producer_batch = config.producer_batch.max(1) as u64;
             svc.submit_unit(
                 UnitDescription::new(1).tagged("producer"),
                 kernel_fn(move |_| {
-                    let start = Instant::now();
-                    for k in 0..n {
-                        if let Some(r) = rate {
-                            // Pace: message k is due at k/r seconds.
+                    if let Some(r) = rate {
+                        // Paced path: one record at a time, each due at k/r
+                        // seconds (batching would quantize the pacing).
+                        let start = Instant::now();
+                        for k in 0..n {
                             let due = k as f64 / r;
                             while start.elapsed().as_secs_f64() < due {
                                 std::hint::spin_loop();
                             }
+                            broker
+                                .produce(&topic, None, Arc::clone(&payload))
+                                // lint: allow(panic, reason = "the topic was created before the producer units were submitted and is never deleted")
+                                .expect("topic exists");
                         }
-                        broker
-                            .produce(&topic, None, Arc::clone(&payload))
-                            // lint: allow(panic, reason = "the topic was created before the producer units were submitted and is never deleted")
-                            .expect("topic exists");
+                    } else {
+                        // Full-speed path: amortize lock + timestamp cost
+                        // over producer_batch records per broker call.
+                        let mut sent = 0u64;
+                        while sent < n {
+                            let chunk = producer_batch.min(n - sent);
+                            broker
+                                .produce_batch(
+                                    &topic,
+                                    (0..chunk).map(|_| (None, Arc::clone(&payload))),
+                                )
+                                // lint: allow(panic, reason = "the topic was created before the producer units were submitted and is never deleted")
+                                .expect("topic exists");
+                            sent += chunk;
+                        }
                     }
                     Ok(TaskOutput::of(n))
                 }),
@@ -185,6 +218,9 @@ pub fn run_stream_job(
         }
     }
     producers_done.store(true, Ordering::Release);
+    // Parked processors re-check their exit condition now rather than riding
+    // out the park timeout.
+    broker.wake_all();
 
     let mut latencies: Vec<f64> = Vec::new();
     for u in processor_units {

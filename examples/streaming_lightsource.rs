@@ -42,28 +42,35 @@ fn main() {
                 UnitDescription::new(1).tagged("reconstruct"),
                 kernel_fn(move |_| {
                     let me = format!("proc-{c}");
+                    // Subscription: cached assignment, reused poll buffer.
+                    let mut sub = broker.subscribe("recon", &me).unwrap();
+                    let mut buf = Vec::with_capacity(16);
                     let mut latencies = Vec::new();
                     // Stateful operator: peaks per 2-second event-time window.
                     let mut windows = WindowAggregate::new(2.0);
                     loop {
-                        let batch = broker.poll("recon", &me, 16).unwrap();
-                        if batch.is_empty() {
+                        // Sample before polling so a racing append wakes us.
+                        let seq = broker.data_seq();
+                        let n = broker.poll_into(&mut sub, 16, &mut buf).unwrap();
+                        if n == 0 {
                             if done.load(Ordering::Acquire)
                                 && consumed.load(Ordering::Acquire) >= n_frames
                             {
                                 break;
                             }
-                            std::thread::yield_now();
+                            // Park instead of busy-polling; producers notify
+                            // on every append.
+                            broker.wait_for_data(seq, std::time::Duration::from_millis(10));
                             continue;
                         }
                         let now = broker.now_s();
-                        for m in &batch {
+                        for m in &buf {
                             latencies.push(now - m.enqueued_s);
                             let peaks = reconstruct(&m.payload, 15.0).expect("valid frame");
                             peaks_found.fetch_add(peaks.len() as u64, Ordering::Relaxed);
                             windows.observe(0, m.enqueued_s, peaks.len() as f64);
                         }
-                        consumed.fetch_add(batch.len() as u64, Ordering::AcqRel);
+                        consumed.fetch_add(n as u64, Ordering::AcqRel);
                     }
                     let closed = windows.close_until(f64::INFINITY);
                     Ok(TaskOutput::of((latencies, closed)))
@@ -79,7 +86,16 @@ fn main() {
         svc.submit_unit(
             UnitDescription::new(1).tagged("detector"),
             kernel_fn(move |_| {
-                for i in 0..n_frames {
+                // Frames leave the detector in bursts of 16: one broker call,
+                // one timestamp, one wakeup per burst.
+                for burst in 0..n_frames / 16 {
+                    let frames = (burst * 16..(burst + 1) * 16).map(|i| {
+                        let (frame, _) = generate_frame(&cfg, i);
+                        (None, Arc::new(frame.to_bytes()))
+                    });
+                    broker.produce_batch("frames", frames).unwrap();
+                }
+                for i in (n_frames / 16) * 16..n_frames {
                     let (frame, _) = generate_frame(&cfg, i);
                     broker
                         .produce("frames", None, Arc::new(frame.to_bytes()))
@@ -92,6 +108,7 @@ fn main() {
 
     svc.wait_unit(producer);
     produced_done.store(true, Ordering::Release);
+    broker.wake_all(); // parked processors re-check the exit condition
     let mut latencies: Vec<f64> = Vec::new();
     let mut window_rates: std::collections::BTreeMap<u64, f64> = Default::default();
     for u in procs {
