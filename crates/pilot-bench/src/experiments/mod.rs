@@ -51,6 +51,7 @@ pub fn registry() -> Vec<ExperimentEntry> {
         ("IO-1", io_dy::run_io1),
         ("DY-1", io_dy::run_dy1),
         ("RB-1", rb::run_rb1),
+        ("RB-2", rb::run_rb2),
         ("SC-1", sc::run_sc1),
         ("DF-1", ab::run_df1),
         ("AB-1", ab::run_ab1),

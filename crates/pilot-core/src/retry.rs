@@ -177,6 +177,12 @@ pub struct FaultPlan {
     /// Blacklist a pilot after this many *consecutive* unit failures on it.
     /// `None` disables blacklisting.
     pub blacklist_after: Option<u32>,
+    /// Mean time between broker-node kills, seconds (exponentially
+    /// distributed per node, drawn from the [`streams::BROKER_KILL`]
+    /// stream). `None` disables data-plane node kills. Consumed by the
+    /// replicated-broker layer: the kill schedule is derived once from the
+    /// run seed, so replays kill the same nodes at the same times.
+    pub broker_node_mtbf_s: Option<f64>,
 }
 
 impl FaultPlan {
@@ -214,11 +220,19 @@ impl FaultPlan {
         self
     }
 
+    /// Kill broker nodes with the given mean time between kills (seconds).
+    #[must_use]
+    pub fn with_broker_node_kills(mut self, mtbf_s: f64) -> Self {
+        self.broker_node_mtbf_s = (mtbf_s > 0.0).then_some(mtbf_s);
+        self
+    }
+
     /// Whether the plan injects anything at all.
     pub fn is_active(&self) -> bool {
         self.pilot_crash_mtbf_s.is_some()
             || self.unit_failure_p > 0.0
             || self.staging_failure_p > 0.0
+            || self.broker_node_mtbf_s.is_some()
     }
 }
 
@@ -234,6 +248,8 @@ pub mod streams {
     pub const STAGING_FAULT: u64 = 0x5256_0000_0000_0003;
     /// Stream for backoff jitter draws.
     pub const BACKOFF_JITTER: u64 = 0x5256_0000_0000_0004;
+    /// Stream for broker-node kill times; xor with the node index.
+    pub const BROKER_KILL: u64 = 0x5256_0000_0000_0005;
 
     /// Derive the per-entity, per-attempt sub-id mixed into a stream.
     pub fn keyed(stream: u64, entity: u64, attempt: u32) -> u64 {
@@ -328,6 +344,12 @@ pub struct ReliabilityStats {
     pub recovery_s: f64,
     /// Number of completed recoveries (failure followed by a rebind).
     pub recoveries: u64,
+    /// Broker nodes killed by the fault plan (data plane).
+    pub broker_node_kills: u64,
+    /// Partition leaderships promoted to a follower after a node kill.
+    pub leader_failovers: u64,
+    /// Appends rejected because they carried a stale leadership epoch.
+    pub fenced_appends: u64,
 }
 
 impl ReliabilityStats {
@@ -363,6 +385,9 @@ impl ReliabilityStats {
             ("blacklisted_pilots".into(), self.blacklisted_pilots as f64),
             ("wasted_work_s".into(), self.wasted_work_s),
             ("mean_recovery_s".into(), self.mean_recovery_s()),
+            ("broker_node_kills".into(), self.broker_node_kills as f64),
+            ("leader_failovers".into(), self.leader_failovers as f64),
+            ("fenced_appends".into(), self.fenced_appends as f64),
         ]
     }
 }
@@ -423,13 +448,19 @@ mod tests {
             .with_unit_failures(2.0)
             .with_staging_failures(-1.0)
             .with_pilot_crashes(0.0)
-            .with_blacklist(0);
+            .with_blacklist(0)
+            .with_broker_node_kills(0.0);
         assert_eq!(f.unit_failure_p, 1.0);
         assert_eq!(f.staging_failure_p, 0.0);
         assert_eq!(f.pilot_crash_mtbf_s, None);
         assert_eq!(f.blacklist_after, None);
+        assert_eq!(f.broker_node_mtbf_s, None);
         assert!(f.is_active());
         assert!(!FaultPlan::none().is_active());
+        // Broker-node kills alone make a plan active (data-plane faults).
+        let k = FaultPlan::none().with_broker_node_kills(30.0);
+        assert_eq!(k.broker_node_mtbf_s, Some(30.0));
+        assert!(k.is_active());
     }
 
     #[test]

@@ -25,17 +25,43 @@
 //!   allocations and exactly two group-lock acquires per poll at steady
 //!   state.
 //!
+//! ## Durability
+//!
+//! A broker opened with [`Broker::open`] writes every append through a
+//! per-partition write-ahead log ([`crate::wal`]) *before* the in-memory
+//! update, persists topic creations in a meta log and committed group
+//! offsets in an offsets log, and on reopen replays all three: partitions
+//! come back prefix-consistent (truncated at the first torn/corrupt
+//! record), committed offsets are clamped to each partition's recovered
+//! high watermark, and `poll_into` consumers resume exactly where the
+//! crashed broker left them. [`Broker::new`] keeps the original pure
+//! in-memory behavior — no WAL, no recovery.
+//!
+//! Retention comes in two flavors ([`Retention`]): count-based trimming
+//! (oldest records dropped past a bound; advances the partition's
+//! *start offset*, and trimming past a group's committed position is
+//! surfaced as `records_lost`, never skipped silently) and log compaction
+//! (latest value per key survives; offsets go sparse, superseded records
+//! are *not* counted as lost — the retained record for each key is the
+//! contract).
+//!
 //! ## Wakeups
 //!
 //! Every append bumps a broker-wide sequence number and notifies a condvar.
 //! Consumers park in [`Broker::wait_for_data`] with a bounded timeout instead
 //! of busy-polling; producers that finish call [`Broker::wake_all`] so parked
-//! consumers re-check their exit conditions immediately. The wakeup lock is a
-//! *leaf* lock: it is only ever acquired with no other broker lock held, and
-//! the condvar is notified after its guard is dropped (workspace rule R4).
+//! consumers re-check their exit conditions immediately. [`Broker::close`]
+//! rides the same protocol: it bumps the sequence and wakes everyone, so a
+//! consumer parked on a broker that just died observes the closure instead of
+//! hanging. The wakeup lock is a *leaf* lock: it is only ever acquired with
+//! no other broker lock held, and the condvar is notified after its guard is
+//! dropped (workspace rule R4).
 
+use crate::wal::{self, RecoveryInfo, RetentionCode, SegmentedLog, WalConfig, WalError};
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -46,7 +72,8 @@ pub type Record = (Option<u64>, Arc<Vec<u8>>);
 /// One record in a partition log.
 #[derive(Clone, Debug)]
 pub struct Message {
-    /// Offset within its partition (dense, from 0).
+    /// Offset within its partition (dense under count retention; sparse
+    /// under compaction, where superseded offsets disappear).
     pub offset: u64,
     /// Seconds since broker start when the record was appended.
     pub enqueued_s: f64,
@@ -54,6 +81,25 @@ pub struct Message {
     pub key: Option<u64>,
     /// Payload bytes (shared, zero-copy to consumers).
     pub payload: Arc<Vec<u8>>,
+}
+
+/// Per-partition retention policy of a topic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Retention {
+    /// Keep at most this many records; oldest are trimmed beyond it and the
+    /// partition's start offset advances (a group still parked before it
+    /// records the gap as `records_lost`).
+    Count(usize),
+    /// Log compaction: whenever the retained count reaches the (adaptive)
+    /// threshold seeded by `trigger`, only the latest record per key
+    /// survives. Offsets are preserved (the log goes sparse); superseded
+    /// records are not data loss. Unkeyed produces are rejected with
+    /// [`BrokerError::KeyRequired`].
+    Compact {
+        /// Floor for the compaction threshold (records retained before a
+        /// compaction pass is considered).
+        trigger: usize,
+    },
 }
 
 /// Broker errors.
@@ -65,6 +111,45 @@ pub enum BrokerError {
     TopicExists(String),
     /// Consumer is not a member of the group.
     UnknownConsumer,
+    /// Group does not exist.
+    UnknownGroup(String),
+    /// Partition index out of range for the topic.
+    UnknownPartition {
+        /// Topic the partition was looked up in.
+        topic: String,
+        /// The out-of-range index.
+        partition: usize,
+    },
+    /// A commit named an offset past the partition's next offset — the
+    /// records it claims to have consumed do not exist.
+    OffsetBeyondEnd {
+        /// Topic of the partition.
+        topic: String,
+        /// Partition index.
+        partition: usize,
+        /// The rejected offset.
+        offset: u64,
+        /// The partition's next offset at validation time.
+        next_offset: u64,
+    },
+    /// A compacted topic was produced to without a key (compaction retains
+    /// the latest record *per key*; an unkeyed record has no identity).
+    KeyRequired(String),
+    /// The broker was closed (node killed / shut down); appends are
+    /// rejected. Reads still drain whatever is in memory.
+    BrokerClosed,
+    /// An append carried a stale leadership epoch — a newer leader was
+    /// elected for the partition and the old one is fenced off.
+    FencedEpoch {
+        /// Topic of the partition.
+        topic: String,
+        /// Partition index.
+        partition: usize,
+        /// The stale epoch the append carried.
+        epoch: u64,
+        /// The current leadership epoch.
+        current: u64,
+    },
     /// `join_group` named a topic different from the one the group already
     /// consumes (the group's offset vector is sized to its topic's partition
     /// count, so silently reusing the group would corrupt accounting).
@@ -76,6 +161,11 @@ pub enum BrokerError {
         /// The mismatching topic the join requested.
         requested: String,
     },
+    /// Every node of a replicated cluster is dead — there is nothing to
+    /// append to, read from, or promote.
+    NoAliveReplica,
+    /// A write-ahead-log operation failed.
+    Wal(WalError),
 }
 
 impl std::fmt::Display for BrokerError {
@@ -84,6 +174,32 @@ impl std::fmt::Display for BrokerError {
             BrokerError::UnknownTopic(t) => write!(f, "unknown topic '{t}'"),
             BrokerError::TopicExists(t) => write!(f, "topic '{t}' exists"),
             BrokerError::UnknownConsumer => write!(f, "unknown consumer in group"),
+            BrokerError::UnknownGroup(g) => write!(f, "unknown group '{g}'"),
+            BrokerError::UnknownPartition { topic, partition } => {
+                write!(f, "topic '{topic}' has no partition {partition}")
+            }
+            BrokerError::OffsetBeyondEnd {
+                topic,
+                partition,
+                offset,
+                next_offset,
+            } => write!(
+                f,
+                "commit offset {offset} beyond end {next_offset} of '{topic}'/{partition}"
+            ),
+            BrokerError::KeyRequired(t) => {
+                write!(f, "compacted topic '{t}' requires keyed records")
+            }
+            BrokerError::BrokerClosed => write!(f, "broker is closed"),
+            BrokerError::FencedEpoch {
+                topic,
+                partition,
+                epoch,
+                current,
+            } => write!(
+                f,
+                "append to '{topic}'/{partition} fenced: epoch {epoch} < current {current}"
+            ),
             BrokerError::GroupTopicMismatch {
                 group,
                 existing,
@@ -92,31 +208,140 @@ impl std::fmt::Display for BrokerError {
                 f,
                 "group '{group}' consumes topic '{existing}', not '{requested}'"
             ),
+            BrokerError::NoAliveReplica => write!(f, "no alive replica in cluster"),
+            BrokerError::Wal(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for BrokerError {}
 
+impl From<WalError> for BrokerError {
+    fn from(e: WalError) -> Self {
+        BrokerError::Wal(e)
+    }
+}
+
 struct PartitionLog {
     /// Retained records; `VecDeque` keeps retention trimming O(1) per
     /// message (front pops) instead of O(n) front drains.
     records: VecDeque<Message>,
-    /// Offset of records\[0\] (grows as retention trims).
-    base: u64,
+    /// Lowest offset *not* trimmed by count-based retention. Offsets below
+    /// it are gone for capacity reasons — a group committed before it lost
+    /// data. Compaction never advances it (superseded ≠ lost).
+    start_offset: u64,
+    /// Offset the next append receives. Explicit (not derived from `records`
+    /// length) because compaction leaves sparse logs.
+    next_offset: u64,
+    /// Adaptive compaction threshold: compact when the retained count
+    /// reaches it, then reset to `max(trigger, 2 * retained)` so a log of
+    /// mostly-distinct keys isn't rescanned on every append.
+    compact_at: usize,
+    /// Durable backing, when the broker was opened with a [`WalConfig`].
+    /// Lives inside the partition mutex so WAL order == log order.
+    wal: Option<SegmentedLog>,
 }
 
 impl PartitionLog {
-    fn next_offset(&self) -> u64 {
-        self.base + self.records.len() as u64
+    fn fresh(retention: &Retention, wal: Option<SegmentedLog>) -> PartitionLog {
+        PartitionLog {
+            records: VecDeque::new(),
+            start_offset: 0,
+            next_offset: 0,
+            compact_at: match retention {
+                Retention::Count(_) => usize::MAX,
+                Retention::Compact { trigger } => (*trigger).max(2),
+            },
+            wal,
+        }
+    }
+
+    /// Index of the first retained record with `offset >= from` (binary
+    /// search — compaction makes offsets sparse, so arithmetic won't do).
+    fn position(&self, from: u64) -> usize {
+        let (mut lo, mut hi) = (0usize, self.records.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.records[mid].offset < from {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Append one record (WAL first, then memory) and apply retention.
+    fn append(
+        &mut self,
+        key: Option<u64>,
+        enqueued_s: f64,
+        payload: Arc<Vec<u8>>,
+        retention: &Retention,
+    ) -> Result<u64, WalError> {
+        let offset = self.next_offset;
+        if let Some(w) = self.wal.as_mut() {
+            w.append(&wal::encode_message(offset, key, enqueued_s, &payload))?;
+        }
+        self.records.push_back(Message {
+            offset,
+            enqueued_s,
+            key,
+            payload,
+        });
+        self.next_offset = offset + 1;
+        self.apply_retention(retention);
+        Ok(offset)
+    }
+
+    /// Apply one retention step after an append (or one replayed record).
+    fn apply_retention(&mut self, retention: &Retention) {
+        match retention {
+            Retention::Count(n) => {
+                while self.records.len() > (*n).max(1) {
+                    if let Some(m) = self.records.pop_front() {
+                        self.start_offset = m.offset + 1;
+                    }
+                }
+            }
+            Retention::Compact { trigger } => {
+                if self.records.len() >= self.compact_at {
+                    self.compact();
+                    self.compact_at = (self.records.len() * 2).max((*trigger).max(2));
+                }
+            }
+        }
+    }
+
+    /// Keep only the latest record per key, preserving offsets.
+    fn compact(&mut self) {
+        let mut latest: HashSet<u64> = HashSet::with_capacity(self.records.len());
+        let mut keep: Vec<bool> = vec![false; self.records.len()];
+        for (i, m) in self.records.iter().enumerate().rev() {
+            match m.key {
+                // Unkeyed records can only predate a retention switch; they
+                // have no identity to supersede, so they survive compaction.
+                None => keep[i] = true,
+                Some(k) => {
+                    if latest.insert(k) {
+                        keep[i] = true;
+                    }
+                }
+            }
+        }
+        let mut i = 0;
+        self.records.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
     }
 }
 
 struct Topic {
     partitions: Vec<Mutex<PartitionLog>>,
     round_robin: Mutex<usize>,
-    /// Retain at most this many records per partition.
-    retention: usize,
+    retention: Retention,
 }
 
 struct Group {
@@ -128,6 +353,9 @@ struct Group {
     /// Bumped on every membership change; [`Subscription`]s cache their
     /// assignment against it and refresh only when it moves.
     epoch: u64,
+    /// Records trimmed by count-based retention before the group consumed
+    /// them (offset committed past the gap; loss surfaced, never silent).
+    records_lost: u64,
 }
 
 impl Group {
@@ -143,6 +371,25 @@ impl Group {
     }
 }
 
+/// Snapshot of a consumer group's accounting (see [`Broker::group_stats`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Topic the group consumes.
+    pub topic: String,
+    /// Member count.
+    pub members: usize,
+    /// Rebalance epoch.
+    pub epoch: u64,
+    /// Committed next-read offset per partition.
+    pub offsets: Vec<u64>,
+    /// Sum of committed offsets.
+    pub committed: u64,
+    /// Records trimmed by count-based retention before this group consumed
+    /// them — each one was skipped by bumping the committed offset to the
+    /// partition's start offset, and counted here instead of hidden.
+    pub records_lost: u64,
+}
+
 /// A consumer's cached view of its group: assignment (under the group's
 /// rebalance epoch), the topic handle, and reusable scratch buffers. Create
 /// with [`Broker::subscribe`], poll with [`Broker::poll_into`].
@@ -154,14 +401,17 @@ impl Group {
 pub struct Subscription {
     group: String,
     consumer: String,
+    topic_name: String,
     topic: Arc<Topic>,
     /// Group epoch the cached assignment was computed at (0 = never).
     epoch: u64,
     assigned: Vec<usize>,
     /// Scratch: next-read offset per assigned partition, refilled each poll.
     starts: Vec<u64>,
-    /// Scratch: (partition, new offset) commits for the current poll.
-    commits: Vec<(usize, u64)>,
+    /// Scratch: (partition, new offset, partition start offset) for the
+    /// current poll. The start offset rides along so the commit step can
+    /// account records trimmed out from under the group.
+    commits: Vec<(usize, u64, u64)>,
 }
 
 impl Subscription {
@@ -180,6 +430,23 @@ impl Subscription {
     pub fn assignment(&self) -> &[usize] {
         &self.assigned
     }
+
+    /// `(partition, committed offset)` pairs from the most recent
+    /// [`Broker::poll_into`] — what that poll advanced the group to. Lets a
+    /// replication layer forward commits to follower nodes.
+    pub fn last_commits(&self) -> Vec<(usize, u64)> {
+        self.commits.iter().map(|&(p, off, _)| (p, off)).collect()
+    }
+}
+
+/// Durable state shared by the broker's non-partition logs.
+struct WalState {
+    cfg: WalConfig,
+    /// Topic-creation log. Locked *after* `topics.write` (create path only).
+    meta: Mutex<SegmentedLog>,
+    /// Committed-offsets log. Leaf lock: appended with no other broker lock
+    /// held (max-merge replay makes append order irrelevant).
+    offsets: Mutex<SegmentedLog>,
 }
 
 /// The broker. Shareable across threads (`Arc<Broker>`).
@@ -192,6 +459,11 @@ pub struct Broker {
     /// while acquiring any other broker lock.
     wakeup_seq: Mutex<u64>,
     wakeup: Condvar,
+    /// Set by [`Broker::close`]; appends rejected, parked waiters woken.
+    closed: AtomicBool,
+    wal: Option<WalState>,
+    /// What recovery found when this broker was [`Broker::open`]ed.
+    recovery: RecoveryInfo,
 }
 
 impl Default for Broker {
@@ -201,7 +473,7 @@ impl Default for Broker {
 }
 
 impl Broker {
-    /// A broker with no topics.
+    /// A broker with no topics and no durability (pure in-memory).
     pub fn new() -> Self {
         Broker {
             epoch: Instant::now(),
@@ -209,7 +481,155 @@ impl Broker {
             groups: RwLock::new(HashMap::new()),
             wakeup_seq: Mutex::new(0),
             wakeup: Condvar::new(),
+            closed: AtomicBool::new(false),
+            wal: None,
+            recovery: RecoveryInfo::default(),
         }
+    }
+
+    /// Open a durable broker rooted at `cfg.dir`, replaying whatever a
+    /// previous incarnation left there: the meta log rebuilds topics, each
+    /// partition log is replayed (truncating at the first torn or corrupt
+    /// record — recovery is prefix-consistent), retention/compaction is
+    /// re-applied deterministically, and committed group offsets are
+    /// restored, clamped to each partition's recovered high watermark.
+    /// Groups come back with their offsets but no members: consumers must
+    /// re-join, then resume exactly where the crashed broker committed them.
+    pub fn open(cfg: WalConfig) -> Result<Broker, BrokerError> {
+        let mut recovery = RecoveryInfo::default();
+        let (meta, meta_records, info) =
+            SegmentedLog::open(cfg.dir.join("meta"), cfg.segment_bytes, cfg.fsync)?;
+        recovery.absorb(&info);
+        let mut topics: HashMap<String, Arc<Topic>> = HashMap::new();
+        for rec in &meta_records {
+            let (name, partitions, code) = wal::decode_topic_meta(rec)?;
+            let retention = match code {
+                RetentionCode::Count(n) => Retention::Count(n as usize),
+                RetentionCode::Compact(n) => Retention::Compact {
+                    trigger: n as usize,
+                },
+            };
+            let mut parts = Vec::with_capacity(partitions as usize);
+            for p in 0..partitions as usize {
+                let (log, info) =
+                    Self::open_partition(&partition_dir(&cfg.dir, &name, p), &cfg, &retention)?;
+                recovery.absorb(&info);
+                parts.push(Mutex::new(log));
+            }
+            topics.insert(
+                name,
+                Arc::new(Topic {
+                    partitions: parts,
+                    round_robin: Mutex::new(0),
+                    retention,
+                }),
+            );
+        }
+        let (offsets, offset_records, info) =
+            SegmentedLog::open(cfg.dir.join("offsets"), cfg.segment_bytes, cfg.fsync)?;
+        recovery.absorb(&info);
+        let mut groups: HashMap<String, Mutex<Group>> = HashMap::new();
+        for rec in &offset_records {
+            let (group, topic, partition, offset) = wal::decode_commit(rec)?;
+            // A commit for a topic (or partition) the truncated meta log no
+            // longer knows is dropped: offsets are meaningless without the
+            // log they index into.
+            let Some(t) = topics.get(&topic) else {
+                continue;
+            };
+            if partition as usize >= t.partitions.len() {
+                continue;
+            }
+            let g = groups.entry(group).or_insert_with(|| {
+                Mutex::new(Group {
+                    members: Vec::new(),
+                    offsets: vec![0; t.partitions.len()],
+                    topic: topic.clone(),
+                    epoch: 1,
+                    records_lost: 0,
+                })
+            });
+            let mut g = g.lock();
+            if g.topic == topic {
+                let cell = &mut g.offsets[partition as usize];
+                *cell = (*cell).max(offset);
+            }
+        }
+        // The offsets log can run ahead of a truncated partition log (the
+        // commit record survived, the data's tail did not). Clamp: a group
+        // must not resume past the recovered high watermark.
+        for g in groups.values_mut() {
+            let g = g.get_mut();
+            if let Some(t) = topics.get(&g.topic) {
+                for (p, off) in g.offsets.iter_mut().enumerate() {
+                    let hw = t.partitions[p].lock().next_offset;
+                    *off = (*off).min(hw);
+                }
+            }
+        }
+        Ok(Broker {
+            epoch: Instant::now(),
+            topics: RwLock::new(topics),
+            groups: RwLock::new(groups),
+            wakeup_seq: Mutex::new(0),
+            wakeup: Condvar::new(),
+            closed: AtomicBool::new(false),
+            wal: Some(WalState {
+                cfg,
+                meta: Mutex::new(meta),
+                offsets: Mutex::new(offsets),
+            }),
+            recovery,
+        })
+    }
+
+    fn open_partition(
+        dir: &Path,
+        cfg: &WalConfig,
+        retention: &Retention,
+    ) -> Result<(PartitionLog, RecoveryInfo), BrokerError> {
+        let (wal_log, records, info) = SegmentedLog::open(dir, cfg.segment_bytes, cfg.fsync)?;
+        let mut log = PartitionLog::fresh(retention, Some(wal_log));
+        for rec in &records {
+            let (offset, key, enqueued_s, payload) = wal::decode_message(rec)?;
+            log.records.push_back(Message {
+                offset,
+                enqueued_s,
+                key,
+                payload: Arc::new(payload),
+            });
+            log.next_offset = offset + 1;
+            // Re-applying retention per replayed record reproduces the live
+            // brokers's trim/compaction decisions record for record, so the
+            // recovered in-memory state matches the crashed one's.
+            log.apply_retention(retention);
+        }
+        Ok((log, info))
+    }
+
+    /// What recovery found when this broker was [`Broker::open`]ed (all
+    /// zeros for in-memory brokers and clean starts).
+    pub fn recovery_info(&self) -> &RecoveryInfo {
+        &self.recovery
+    }
+
+    /// True when the broker was opened with a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Close the broker: appends are rejected from here on
+    /// ([`BrokerError::BrokerClosed`]), reads still drain, and every
+    /// consumer parked in [`Broker::wait_for_data`] is woken so it can
+    /// observe the closure instead of hanging.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.note_append();
+    }
+
+    /// True once [`Broker::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
     }
 
     /// Seconds since broker start (the latency clock).
@@ -217,37 +637,91 @@ impl Broker {
         self.epoch.elapsed().as_secs_f64()
     }
 
-    /// Create a topic with `partitions` partitions and a per-partition
-    /// retention bound (oldest records trimmed beyond it).
+    /// Create a topic with `partitions` partitions and count-based retention
+    /// (oldest records trimmed beyond the bound).
     pub fn create_topic(
         &self,
         name: &str,
         partitions: usize,
         retention: usize,
     ) -> Result<(), BrokerError> {
+        self.create_topic_with(name, partitions, Retention::Count(retention.max(1)))
+    }
+
+    /// Create a topic with an explicit [`Retention`] policy.
+    pub fn create_topic_with(
+        &self,
+        name: &str,
+        partitions: usize,
+        retention: Retention,
+    ) -> Result<(), BrokerError> {
+        if self.is_closed() {
+            return Err(BrokerError::BrokerClosed);
+        }
+        if let Some(w) = &self.wal {
+            // Topic names become directory components under the WAL root.
+            let ok = !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+                && name != "."
+                && name != "..";
+            if !ok {
+                return Err(BrokerError::Wal(WalError {
+                    op: "create-topic",
+                    path: w.cfg.dir.display().to_string(),
+                    detail: format!("topic name '{name}' is not filesystem-safe"),
+                }));
+            }
+        }
         let mut topics = self.topics.write();
         if topics.contains_key(name) {
             return Err(BrokerError::TopicExists(name.to_string()));
         }
-        let topic = Topic {
-            partitions: (0..partitions.max(1))
-                .map(|_| {
-                    Mutex::new(PartitionLog {
-                        records: VecDeque::new(),
-                        base: 0,
-                    })
-                })
-                .collect(),
-            round_robin: Mutex::new(0),
-            retention: retention.max(1),
-        };
-        topics.insert(name.to_string(), Arc::new(topic));
+        let n = partitions.max(1);
+        let mut parts = Vec::with_capacity(n);
+        for p in 0..n {
+            let wal_log = match &self.wal {
+                Some(w) => {
+                    let (log, _, _) = SegmentedLog::open(
+                        partition_dir(&w.cfg.dir, name, p),
+                        w.cfg.segment_bytes,
+                        w.cfg.fsync,
+                    )?;
+                    Some(log)
+                }
+                None => None,
+            };
+            parts.push(Mutex::new(PartitionLog::fresh(&retention, wal_log)));
+        }
+        if let Some(w) = &self.wal {
+            let code = match retention {
+                Retention::Count(c) => RetentionCode::Count(c as u64),
+                Retention::Compact { trigger } => RetentionCode::Compact(trigger as u64),
+            };
+            w.meta
+                .lock()
+                .append(&wal::encode_topic_meta(name, n as u32, code))?;
+        }
+        topics.insert(
+            name.to_string(),
+            Arc::new(Topic {
+                partitions: parts,
+                round_robin: Mutex::new(0),
+                retention,
+            }),
+        );
         Ok(())
     }
 
     /// Number of partitions of a topic.
     pub fn partitions(&self, topic: &str) -> Result<usize, BrokerError> {
         Ok(self.topic(topic)?.partitions.len())
+    }
+
+    /// Retention policy of a topic.
+    pub fn retention(&self, topic: &str) -> Result<Retention, BrokerError> {
+        Ok(self.topic(topic)?.retention)
     }
 
     fn topic(&self, name: &str) -> Result<Arc<Topic>, BrokerError> {
@@ -278,7 +752,9 @@ impl Broker {
     /// Park until the append sequence moves past `seen` or `timeout`
     /// elapses; returns the current sequence. Spurious returns are possible
     /// (callers loop around a poll anyway); missed wakeups are not, provided
-    /// `seen` was sampled before the empty poll that led here.
+    /// `seen` was sampled before the empty poll that led here. A
+    /// [`Broker::close`] also bumps the sequence, so waiters observe broker
+    /// death through the same protocol as data arrival.
     pub fn wait_for_data(&self, seen: u64, timeout: Duration) -> u64 {
         let mut seq = self.wakeup_seq.lock();
         if *seq == seen {
@@ -303,7 +779,13 @@ impl Broker {
         key: Option<u64>,
         payload: Arc<Vec<u8>>,
     ) -> Result<(usize, u64), BrokerError> {
+        if self.is_closed() {
+            return Err(BrokerError::BrokerClosed);
+        }
         let t = self.topic(topic)?;
+        if matches!(t.retention, Retention::Compact { .. }) && key.is_none() {
+            return Err(BrokerError::KeyRequired(topic.to_string()));
+        }
         let n = t.partitions.len();
         let p = match key {
             Some(k) => Self::key_partition(k, n),
@@ -314,26 +796,15 @@ impl Broker {
                 p
             }
         };
-        let offset = {
-            let mut log = t.partitions[p].lock();
-            let offset = log.next_offset();
-            log.records.push_back(Message {
-                offset,
-                enqueued_s: self.now_s(),
-                key,
-                payload,
-            });
-            while log.records.len() > t.retention {
-                log.records.pop_front();
-                log.base += 1;
-            }
-            offset
-        };
+        let now = self.now_s();
+        let offset = t.partitions[p]
+            .lock()
+            .append(key, now, payload, &t.retention)?;
         self.note_append();
         Ok((p, offset))
     }
 
-    fn key_partition(key: u64, partitions: usize) -> usize {
+    pub(crate) fn key_partition(key: u64, partitions: usize) -> usize {
         (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % partitions
     }
 
@@ -349,19 +820,27 @@ impl Broker {
         topic: &str,
         records: impl IntoIterator<Item = Record>,
     ) -> Result<u64, BrokerError> {
+        if self.is_closed() {
+            return Err(BrokerError::BrokerClosed);
+        }
         let t = self.topic(topic)?;
+        let compacted = matches!(t.retention, Retention::Compact { .. });
         let n = t.partitions.len();
         let now = self.now_s(); // one timestamp read per batch
         let mut buckets: Vec<Vec<Record>> = (0..n).map(|_| Vec::new()).collect();
         let mut total = 0u64;
         {
             // The round-robin cursor is locked at most once per batch, and
-            // only if the batch contains unkeyed records.
+            // only if the batch contains unkeyed records. Nothing has been
+            // appended yet, so a KeyRequired reject leaves the log untouched.
             let mut rr = None;
             for (key, payload) in records {
                 let p = match key {
                     Some(k) => Self::key_partition(k, n),
                     None => {
+                        if compacted {
+                            return Err(BrokerError::KeyRequired(topic.to_string()));
+                        }
                         let cursor = rr.get_or_insert_with(|| t.round_robin.lock());
                         let p = **cursor % n;
                         **cursor = (p + 1) % n;
@@ -381,21 +860,85 @@ impl Broker {
             }
             let mut log = t.partitions[p].lock(); // one acquire per partition
             for (key, payload) in bucket {
-                let offset = log.next_offset();
-                log.records.push_back(Message {
-                    offset,
-                    enqueued_s: now,
-                    key,
-                    payload,
-                });
-            }
-            while log.records.len() > t.retention {
-                log.records.pop_front();
-                log.base += 1;
+                log.append(key, now, payload, &t.retention)?;
             }
         }
         self.note_append();
         Ok(total)
+    }
+
+    /// Append records to one *explicit* partition with an explicit
+    /// timestamp. The replication layer uses this to apply the same batch to
+    /// every node: identical inputs yield identical offsets, timestamps, and
+    /// WAL bytes on each replica. Returns the base offset of the first
+    /// appended record.
+    pub(crate) fn append_at(
+        &self,
+        topic: &str,
+        partition: usize,
+        enqueued_s: f64,
+        records: &[Record],
+    ) -> Result<u64, BrokerError> {
+        if self.is_closed() {
+            return Err(BrokerError::BrokerClosed);
+        }
+        let t = self.topic(topic)?;
+        if partition >= t.partitions.len() {
+            return Err(BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        let mut log = t.partitions[partition].lock();
+        let base = log.next_offset;
+        for (key, payload) in records {
+            log.append(*key, enqueued_s, Arc::clone(payload), &t.retention)?;
+        }
+        drop(log);
+        self.note_append();
+        Ok(base)
+    }
+
+    /// Append already-sequenced messages (offset + timestamp preserved) to a
+    /// partition, skipping any the log already has. The replication layer's
+    /// catch-up path: a restarted node replays its own WAL prefix, then pulls
+    /// the missing suffix from a live replica through this.
+    pub(crate) fn append_messages(
+        &self,
+        topic: &str,
+        partition: usize,
+        msgs: &[Message],
+    ) -> Result<(), BrokerError> {
+        if self.is_closed() {
+            return Err(BrokerError::BrokerClosed);
+        }
+        let t = self.topic(topic)?;
+        if partition >= t.partitions.len() {
+            return Err(BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        let mut log = t.partitions[partition].lock();
+        for m in msgs {
+            if m.offset < log.next_offset {
+                continue; // already recovered locally
+            }
+            if let Some(w) = log.wal.as_mut() {
+                w.append(&wal::encode_message(
+                    m.offset,
+                    m.key,
+                    m.enqueued_s,
+                    &m.payload,
+                ))?;
+            }
+            log.records.push_back(m.clone());
+            log.next_offset = m.offset + 1;
+            log.apply_retention(&t.retention);
+        }
+        drop(log);
+        self.note_append();
+        Ok(())
     }
 
     /// Read up to `max` records from one partition starting at `from`,
@@ -408,36 +951,62 @@ impl Broker {
         max: usize,
     ) -> Result<Vec<Message>, BrokerError> {
         let t = self.topic(topic)?;
+        if partition >= t.partitions.len() {
+            return Err(BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
         let mut out = Vec::new();
         Self::fetch_into(&t, partition, from, max, &mut out);
         Ok(out)
     }
 
     /// Append up to `max` records from one partition into `buf`; returns the
-    /// count appended.
+    /// count appended and the partition's start offset (first offset not
+    /// count-trimmed — callers compare it to their committed position to
+    /// detect records lost to retention).
     fn fetch_into(
         t: &Topic,
         partition: usize,
         from: u64,
         max: usize,
         buf: &mut Vec<Message>,
-    ) -> usize {
+    ) -> (usize, u64) {
         let log = t.partitions[partition].lock();
-        let start = from.max(log.base);
-        // `range` positions in O(1) on the deque's two slices; `skip` would
-        // walk every earlier record on each fetch.
-        let idx = ((start - log.base) as usize).min(log.records.len());
+        // Binary-search the start: compaction leaves sparse offsets, so
+        // arithmetic indexing from `base` no longer applies.
+        let idx = log.position(from);
         let before = buf.len();
         buf.extend(log.records.range(idx..).take(max).cloned());
-        buf.len() - before
+        (buf.len() - before, log.start_offset)
     }
 
     /// Next offset to be written in a partition (= count of appended records
     /// when nothing was trimmed).
     pub fn high_watermark(&self, topic: &str, partition: usize) -> Result<u64, BrokerError> {
         let t = self.topic(topic)?;
-        let hw = t.partitions[partition].lock().next_offset();
+        if partition >= t.partitions.len() {
+            return Err(BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        let hw = t.partitions[partition].lock().next_offset;
         Ok(hw)
+    }
+
+    /// First offset not trimmed by count-based retention in a partition.
+    pub fn start_offset(&self, topic: &str, partition: usize) -> Result<u64, BrokerError> {
+        let t = self.topic(topic)?;
+        if partition >= t.partitions.len() {
+            return Err(BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        let start = t.partitions[partition].lock().start_offset;
+        Ok(start)
     }
 
     /// Join a consumer group on `topic`; partition assignments rebalance to
@@ -453,6 +1022,7 @@ impl Broker {
                 offsets: vec![0; n],
                 topic: topic.to_string(),
                 epoch: 1,
+                records_lost: 0,
             })
         });
         let mut g = g.lock();
@@ -500,6 +1070,7 @@ impl Broker {
         Ok(Subscription {
             group: group.to_string(),
             consumer: consumer.to_string(),
+            topic_name,
             topic,
             epoch: 0, // group epochs start at 1 ⇒ first poll refreshes
             assigned: Vec::new(),
@@ -511,6 +1082,12 @@ impl Broker {
     /// Poll up to `max` records across the subscription's assigned
     /// partitions into `buf` (cleared first; capacity is reused), advancing
     /// the group offsets past what is returned. Returns the record count.
+    ///
+    /// When count-based retention has trimmed past the group's committed
+    /// position, the offset is bumped to the partition's start offset and the
+    /// gap is added to the group's `records_lost` — consumption resumes at
+    /// the oldest retained record instead of silently pretending nothing
+    /// happened.
     ///
     /// Steady-state cost: two group-lock acquires (read offsets, commit) and
     /// one partition-lock acquire per assigned partition with data — the
@@ -549,24 +1126,117 @@ impl Broker {
             if buf.len() >= max {
                 break;
             }
-            let got = Self::fetch_into(&sub.topic, p, sub.starts[i], max - buf.len(), buf);
+            let (got, start_offset) =
+                Self::fetch_into(&sub.topic, p, sub.starts[i], max - buf.len(), buf);
             if got > 0 {
                 if let Some(last) = buf.last() {
-                    sub.commits.push((p, last.offset + 1));
+                    sub.commits.push((p, last.offset + 1, start_offset));
                 }
+            } else if start_offset > sub.starts[i] {
+                // Nothing retained at or past our position, yet the start
+                // offset moved beyond it: everything up to the start offset
+                // was trimmed. Commit the bump so the loss is accounted once.
+                sub.commits.push((p, start_offset, start_offset));
             }
         }
         if !sub.commits.is_empty() {
-            let groups = self.groups.read();
-            let mut g = groups
-                .get(&sub.group)
-                .ok_or(BrokerError::UnknownConsumer)?
-                .lock();
-            for &(p, off) in &sub.commits {
-                g.offsets[p] = g.offsets[p].max(off);
-            }
+            self.merge_commits(&sub.group, &sub.commits)?;
+            self.log_commits(&sub.group, &sub.topic_name, &sub.commits)?;
         }
         Ok(buf.len())
+    }
+
+    /// Max-merge a poll's commits into the group, accounting retention loss:
+    /// any gap between the group's committed position and the partition's
+    /// start offset is data the group never saw.
+    fn merge_commits(&self, group: &str, commits: &[(usize, u64, u64)]) -> Result<(), BrokerError> {
+        let groups = self.groups.read();
+        let mut g = groups
+            .get(group)
+            .ok_or(BrokerError::UnknownConsumer)?
+            .lock();
+        for &(p, off, start_offset) in commits {
+            if start_offset > g.offsets[p] {
+                g.records_lost += start_offset - g.offsets[p];
+            }
+            g.offsets[p] = g.offsets[p].max(off);
+        }
+        Ok(())
+    }
+
+    /// Persist a poll's commits to the offsets WAL (no-op without one).
+    /// Called with no other broker lock held; replay max-merges, so append
+    /// interleaving across threads is harmless.
+    fn log_commits(
+        &self,
+        group: &str,
+        topic: &str,
+        commits: &[(usize, u64, u64)],
+    ) -> Result<(), BrokerError> {
+        if let Some(w) = &self.wal {
+            let mut log = w.offsets.lock();
+            for &(p, off, _) in commits {
+                log.append(&wal::encode_commit(group, topic, p as u32, off))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Explicitly commit a group's next-read offset for one partition
+    /// (monotone: an offset at or below the current commit is a no-op, not a
+    /// rewind). Validates its target: the partition must belong to the
+    /// group's topic and the offset must not lie beyond the partition's next
+    /// offset — records that were never appended cannot have been consumed.
+    pub fn commit(&self, group: &str, partition: usize, offset: u64) -> Result<(), BrokerError> {
+        let topic_name = {
+            let groups = self.groups.read();
+            let g = groups
+                .get(group)
+                .ok_or_else(|| BrokerError::UnknownGroup(group.to_string()))?
+                .lock();
+            if partition >= g.offsets.len() {
+                return Err(BrokerError::UnknownPartition {
+                    topic: g.topic.clone(),
+                    partition,
+                });
+            }
+            g.topic.clone()
+        };
+        // The group lock is dropped before the partition lock is taken (no
+        // nesting); the watermark only grows, so a stale sample can only
+        // reject — never accept — an out-of-range offset.
+        let hw = self.high_watermark(&topic_name, partition)?;
+        if offset > hw {
+            return Err(BrokerError::OffsetBeyondEnd {
+                topic: topic_name,
+                partition,
+                offset,
+                next_offset: hw,
+            });
+        }
+        {
+            let groups = self.groups.read();
+            let mut g = groups
+                .get(group)
+                .ok_or_else(|| BrokerError::UnknownGroup(group.to_string()))?
+                .lock();
+            if partition >= g.offsets.len() {
+                return Err(BrokerError::UnknownPartition {
+                    topic: g.topic.clone(),
+                    partition,
+                });
+            }
+            g.offsets[partition] = g.offsets[partition].max(offset);
+        }
+        if let Some(w) = &self.wal {
+            w.offsets.lock().append(&wal::encode_commit(
+                group,
+                &topic_name,
+                partition as u32,
+                offset,
+            ))?;
+        }
+        Ok(())
     }
 
     /// Poll up to `max` records across the consumer's assigned partitions;
@@ -595,27 +1265,23 @@ impl Broker {
         };
         let t = self.topic(&topic_name)?;
         let mut out = Vec::new();
-        let mut new_offsets: Vec<(usize, u64)> = Vec::new();
+        let mut commits: Vec<(usize, u64, u64)> = Vec::new();
         for (p, from) in starts {
             if out.len() >= max {
                 break;
             }
-            let got = Self::fetch_into(&t, p, from, max - out.len(), &mut out);
+            let (got, start_offset) = Self::fetch_into(&t, p, from, max - out.len(), &mut out);
             if got > 0 {
                 if let Some(last) = out.last() {
-                    new_offsets.push((p, last.offset + 1));
+                    commits.push((p, last.offset + 1, start_offset));
                 }
+            } else if start_offset > from {
+                commits.push((p, start_offset, start_offset));
             }
         }
-        if !new_offsets.is_empty() {
-            let groups = self.groups.read();
-            let mut g = groups
-                .get(group)
-                .ok_or(BrokerError::UnknownConsumer)?
-                .lock();
-            for (p, off) in new_offsets {
-                g.offsets[p] = g.offsets[p].max(off);
-            }
+        if !commits.is_empty() {
+            self.merge_commits(group, &commits)?;
+            self.log_commits(group, &topic_name, &commits)?;
         }
         Ok(out)
     }
@@ -629,11 +1295,48 @@ impl Broker {
             .map(|g| g.lock().offsets.iter().sum())
             .unwrap_or(0)
     }
+
+    /// Snapshot of a group's accounting: committed offsets, membership,
+    /// rebalance epoch, and records lost to retention.
+    pub fn group_stats(&self, group: &str) -> Result<GroupStats, BrokerError> {
+        let groups = self.groups.read();
+        let g = groups
+            .get(group)
+            .ok_or_else(|| BrokerError::UnknownGroup(group.to_string()))?
+            .lock();
+        Ok(GroupStats {
+            topic: g.topic.clone(),
+            members: g.members.len(),
+            epoch: g.epoch,
+            committed: g.offsets.iter().sum(),
+            offsets: g.offsets.clone(),
+            records_lost: g.records_lost,
+        })
+    }
+
+    /// Names of all groups (sorted, for deterministic iteration).
+    pub fn group_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.groups.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Names of all topics (sorted, for deterministic iteration).
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+fn partition_dir(root: &Path, topic: &str, partition: usize) -> PathBuf {
+    root.join("topics").join(topic).join(partition.to_string())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::{FsyncPolicy, TempDir};
 
     fn payload(b: u8) -> Arc<Vec<u8>> {
         Arc::new(vec![b; 8])
@@ -762,6 +1465,7 @@ mod tests {
         assert_eq!(msgs.len(), 5);
         assert_eq!(msgs[0].offset, 7, "oldest retained offset");
         assert_eq!(b.high_watermark("t", 0).unwrap(), 12);
+        assert_eq!(b.start_offset("t", 0).unwrap(), 7);
     }
 
     #[test]
@@ -972,6 +1676,34 @@ mod tests {
     }
 
     #[test]
+    fn close_rejects_appends_wakes_waiters_and_keeps_reads() {
+        let b = Arc::new(Broker::new());
+        b.create_topic("t", 1, 1000).unwrap();
+        b.join_group("g", "t", "c").unwrap();
+        b.produce("t", None, payload(1)).unwrap();
+        let seen = b.data_seq();
+        let waiter = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || b.wait_for_data(seen, Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        b.close();
+        waiter.join().unwrap(); // close must unpark, not time out
+        assert!(b.is_closed());
+        assert_eq!(
+            b.produce("t", None, payload(2)),
+            Err(BrokerError::BrokerClosed)
+        );
+        assert_eq!(
+            b.produce_batch("t", (0..3).map(|_| (None, payload(2)))),
+            Err(BrokerError::BrokerClosed)
+        );
+        assert_eq!(b.create_topic("t2", 1, 10), Err(BrokerError::BrokerClosed));
+        // Reads still drain what is in memory.
+        assert_eq!(b.poll("g", "c", 100).unwrap().len(), 1);
+    }
+
+    #[test]
     fn concurrent_producers_lose_nothing() {
         let b = Arc::new(Broker::new());
         b.create_topic("t", 4, 1_000_000).unwrap();
@@ -1028,5 +1760,284 @@ mod tests {
         let h1 = consume("c1", Arc::clone(&b));
         let total = h0.join().unwrap() + h1.join().unwrap();
         assert_eq!(total, 1000, "exactly-once across group members");
+    }
+
+    // ----- durability, compaction, loss accounting, commit validation -----
+
+    #[test]
+    fn retention_trim_past_commit_is_counted_not_silent() {
+        let b = Broker::new();
+        b.create_topic("t", 1, 5).unwrap();
+        b.join_group("g", "t", "c").unwrap();
+        // Consume the first 2 of 4 records, then overrun retention so the
+        // log trims far past the group's committed position.
+        b.produce_batch("t", (0..4u8).map(|i| (None, payload(i))))
+            .unwrap();
+        let first = b.poll("g", "c", 2).unwrap();
+        assert_eq!(first.len(), 2);
+        b.produce_batch("t", (0..20u8).map(|i| (None, payload(i))))
+            .unwrap();
+        // Offsets 2..19 were trimmed (start offset 19); committed was 2.
+        let start = b.start_offset("t", 0).unwrap();
+        assert_eq!(start, 19);
+        let rest = b.poll("g", "c", 100).unwrap();
+        assert_eq!(rest.len(), 5, "resumes at the oldest retained record");
+        assert_eq!(rest[0].offset, start);
+        let stats = b.group_stats("g").unwrap();
+        assert_eq!(stats.records_lost, start - 2, "trimmed gap surfaced");
+        assert_eq!(stats.committed, 24, "offset bumped past the gap");
+        // A second poll accounts nothing new.
+        assert!(b.poll("g", "c", 100).unwrap().is_empty());
+        assert_eq!(b.group_stats("g").unwrap().records_lost, start - 2);
+    }
+
+    #[test]
+    fn poll_into_counts_trim_loss_like_poll() {
+        let b = Broker::new();
+        b.create_topic("t", 1, 2).unwrap();
+        b.join_group("g", "t", "c").unwrap();
+        // Consume everything appended so far (no loss yet)...
+        b.produce_batch("t", (0..2u8).map(|i| (None, payload(i))))
+            .unwrap();
+        assert_eq!(b.poll("g", "c", 100).unwrap().len(), 2);
+        assert_eq!(b.group_stats("g").unwrap().records_lost, 0);
+        // ...then trim past the committed position and consume survivors
+        // through the subscription path: loss = commit-to-start gap.
+        let mut sub = b.subscribe("g", "c").unwrap();
+        let mut buf = Vec::new();
+        b.produce_batch("t", (0..6u8).map(|i| (None, payload(i))))
+            .unwrap();
+        assert_eq!(b.poll_into(&mut sub, 100, &mut buf).unwrap(), 2);
+        let stats = b.group_stats("g").unwrap();
+        assert_eq!(stats.records_lost, 4, "offsets 2..6 trimmed unconsumed");
+        assert_eq!(stats.committed, 8);
+    }
+
+    #[test]
+    fn compacted_topic_keeps_latest_per_key() {
+        let b = Broker::new();
+        b.create_topic_with("kv", 1, Retention::Compact { trigger: 4 })
+            .unwrap();
+        // 3 keys, many updates: only each key's latest survives compaction.
+        for round in 0..10u64 {
+            for k in 0..3u64 {
+                b.produce("kv", Some(k), Arc::new(vec![round as u8; 4]))
+                    .unwrap();
+            }
+        }
+        let msgs = b.fetch("kv", 0, 0, 1000).unwrap();
+        let mut latest: HashMap<u64, (u64, u8)> = HashMap::new();
+        for m in &msgs {
+            let k = m.key.unwrap();
+            let e = latest.entry(k).or_insert((m.offset, m.payload[0]));
+            if m.offset > e.0 {
+                *e = (m.offset, m.payload[0]);
+            }
+        }
+        assert_eq!(latest.len(), 3, "every key survives");
+        for (_, (_, v)) in latest {
+            assert_eq!(v, 9, "the retained record is each key's latest");
+        }
+        assert!(
+            msgs.len() < 30,
+            "compaction removed superseded records, kept {}",
+            msgs.len()
+        );
+        // Offsets stay sparse-but-ordered and the watermark is untouched.
+        assert!(msgs.windows(2).all(|w| w[0].offset < w[1].offset));
+        assert_eq!(b.high_watermark("kv", 0).unwrap(), 30);
+        assert_eq!(b.start_offset("kv", 0).unwrap(), 0, "compaction ≠ trim");
+    }
+
+    #[test]
+    fn compacted_topic_rejects_unkeyed_records() {
+        let b = Broker::new();
+        b.create_topic_with("kv", 2, Retention::Compact { trigger: 8 })
+            .unwrap();
+        assert_eq!(
+            b.produce("kv", None, payload(0)),
+            Err(BrokerError::KeyRequired("kv".into()))
+        );
+        let before: u64 = (0..2).map(|p| b.high_watermark("kv", p).unwrap()).sum();
+        assert_eq!(
+            b.produce_batch("kv", [(Some(1), payload(0)), (None, payload(1))]),
+            Err(BrokerError::KeyRequired("kv".into()))
+        );
+        let after: u64 = (0..2).map(|p| b.high_watermark("kv", p).unwrap()).sum();
+        assert_eq!(before, after, "rejected batch appends nothing");
+    }
+
+    #[test]
+    fn compacted_poll_skips_superseded_without_counting_loss() {
+        let b = Broker::new();
+        b.create_topic_with("kv", 1, Retention::Compact { trigger: 2 })
+            .unwrap();
+        b.join_group("g", "kv", "c").unwrap();
+        for i in 0..20u64 {
+            b.produce("kv", Some(i % 2), payload(i as u8)).unwrap();
+        }
+        let got = b.poll("g", "c", 100).unwrap();
+        assert!(!got.is_empty());
+        let stats = b.group_stats("g").unwrap();
+        assert_eq!(stats.records_lost, 0, "superseded records are not loss");
+    }
+
+    #[test]
+    fn commit_validates_partition_and_offset() {
+        let b = Broker::new();
+        b.create_topic("t", 2, 1000).unwrap();
+        b.join_group("g", "t", "c").unwrap();
+        b.produce_batch("t", (0..6u8).map(|i| (None, payload(i))))
+            .unwrap();
+        // Valid commit inside the log.
+        b.commit("g", 0, 2).unwrap();
+        assert_eq!(b.group_stats("g").unwrap().offsets[0], 2);
+        // Commit at exactly the high watermark is allowed (fully consumed).
+        let hw = b.high_watermark("t", 1).unwrap();
+        b.commit("g", 1, hw).unwrap();
+        // Beyond the watermark: rejected, not stored.
+        assert_eq!(
+            b.commit("g", 0, 99),
+            Err(BrokerError::OffsetBeyondEnd {
+                topic: "t".into(),
+                partition: 0,
+                offset: 99,
+                next_offset: 3,
+            })
+        );
+        assert_eq!(b.group_stats("g").unwrap().offsets[0], 2);
+        // Partition outside the group's topic: rejected.
+        assert_eq!(
+            b.commit("g", 2, 0),
+            Err(BrokerError::UnknownPartition {
+                topic: "t".into(),
+                partition: 2,
+            })
+        );
+        // Unknown group: rejected.
+        assert_eq!(
+            b.commit("nope", 0, 0),
+            Err(BrokerError::UnknownGroup("nope".into()))
+        );
+        // Commits are monotone: a lower offset is a no-op, not a rewind.
+        b.commit("g", 0, 1).unwrap();
+        assert_eq!(b.group_stats("g").unwrap().offsets[0], 2);
+    }
+
+    #[test]
+    fn durable_broker_recovers_topics_records_and_offsets() {
+        let tmp = TempDir::new("broker-recover").unwrap();
+        let cfg = WalConfig::new(tmp.path()).with_fsync(FsyncPolicy::Never);
+        {
+            let b = Broker::open(cfg.clone()).unwrap();
+            b.create_topic("t", 2, 1000).unwrap();
+            b.join_group("g", "t", "c").unwrap();
+            b.produce_batch("t", (0..10u64).map(|i| (Some(i), payload(i as u8))))
+                .unwrap();
+            let consumed = b.poll("g", "c", 4).unwrap();
+            assert_eq!(consumed.len(), 4);
+            // Drop without any shutdown ceremony: the WAL is the truth.
+        }
+        let b = Broker::open(cfg).unwrap();
+        assert!(b.is_durable());
+        assert_eq!(b.topic_names(), vec!["t".to_string()]);
+        assert_eq!(b.partitions("t").unwrap(), 2);
+        let total: u64 = (0..2).map(|p| b.high_watermark("t", p).unwrap()).sum();
+        assert_eq!(total, 10, "all records replayed");
+        assert!(b.recovery_info().records >= 10);
+        // The group resumes where it was committed: exactly the 6 unread
+        // records come back, none of the 4 already-consumed ones.
+        b.join_group("g", "t", "c").unwrap();
+        let rest = b.poll("g", "c", 100).unwrap();
+        assert_eq!(rest.len(), 6, "resume from committed offsets");
+        let stats = b.group_stats("g").unwrap();
+        assert_eq!(stats.committed, 10);
+        assert_eq!(stats.records_lost, 0);
+    }
+
+    #[test]
+    fn durable_broker_replays_compaction_deterministically() {
+        let tmp = TempDir::new("broker-compact").unwrap();
+        let cfg = WalConfig::new(tmp.path()).with_fsync(FsyncPolicy::Never);
+        let before: Vec<(u64, u64)>;
+        {
+            let b = Broker::open(cfg.clone()).unwrap();
+            b.create_topic_with("kv", 1, Retention::Compact { trigger: 4 })
+                .unwrap();
+            for i in 0..40u64 {
+                b.produce("kv", Some(i % 5), payload(i as u8)).unwrap();
+            }
+            before = b
+                .fetch("kv", 0, 0, 1000)
+                .unwrap()
+                .iter()
+                .map(|m| (m.offset, m.key.unwrap_or(0)))
+                .collect();
+        }
+        let b = Broker::open(cfg).unwrap();
+        assert_eq!(
+            b.retention("kv").unwrap(),
+            Retention::Compact { trigger: 4 }
+        );
+        let after: Vec<(u64, u64)> = b
+            .fetch("kv", 0, 0, 1000)
+            .unwrap()
+            .iter()
+            .map(|m| (m.offset, m.key.unwrap_or(0)))
+            .collect();
+        assert_eq!(before, after, "replay reproduces compaction exactly");
+        assert_eq!(b.high_watermark("kv", 0).unwrap(), 40);
+    }
+
+    #[test]
+    fn recovered_offsets_are_clamped_to_truncated_logs() {
+        let tmp = TempDir::new("broker-clamp").unwrap();
+        let cfg = WalConfig::new(tmp.path()).with_fsync(FsyncPolicy::Never);
+        {
+            let b = Broker::open(cfg.clone()).unwrap();
+            b.create_topic("t", 1, 1000).unwrap();
+            b.join_group("g", "t", "c").unwrap();
+            b.produce_batch("t", (0..8u8).map(|i| (None, payload(i))))
+                .unwrap();
+            assert_eq!(b.poll("g", "c", 100).unwrap().len(), 8);
+        }
+        // Tear the last frame of the partition WAL mid-record. The offsets
+        // log still says "committed 8" — recovery must reconcile the two.
+        let pdir = partition_dir(tmp.path(), "t", 0);
+        let seg = std::fs::read_dir(&pdir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some())
+            .unwrap();
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 10).unwrap();
+        drop(f);
+        let b = Broker::open(cfg).unwrap();
+        let hw = b.high_watermark("t", 0).unwrap();
+        assert!(hw < 8, "tail truncated, hw {hw}");
+        let stats = b.group_stats("g").unwrap();
+        assert_eq!(
+            stats.offsets[0], hw,
+            "committed offset clamped to the recovered watermark"
+        );
+        assert!(b.recovery_info().truncated_bytes > 0);
+    }
+
+    #[test]
+    fn durable_topic_names_must_be_filesystem_safe() {
+        let tmp = TempDir::new("broker-names").unwrap();
+        let b = Broker::open(WalConfig::new(tmp.path())).unwrap();
+        assert!(b.create_topic("ok-topic_1.x", 1, 10).is_ok());
+        for bad in ["", "a/b", "..", "a b"] {
+            assert!(
+                matches!(b.create_topic(bad, 1, 10), Err(BrokerError::Wal(_))),
+                "name {bad:?} must be rejected"
+            );
+        }
+        // In-memory brokers keep accepting arbitrary names.
+        let mem = Broker::new();
+        assert!(mem.create_topic("a/b", 1, 10).is_ok());
     }
 }

@@ -12,6 +12,13 @@
 //!   feed a topic, processor units consume through a group, and every
 //!   message carries its enqueue timestamp so end-to-end latency is measured
 //!   per message (EXP PS-1's instrument).
+//! - [`wal`] — the durability substrate: segmented, CRC-checked write-ahead
+//!   logs with prefix-consistent crash recovery. A broker opened with
+//!   [`Broker::open`] persists every append, topic creation, and committed
+//!   group offset, and replays them on restart.
+//! - [`replica`] — leader/follower partition replication across N simulated
+//!   broker nodes with epoch-fenced leadership: node kills promote a
+//!   follower under a new epoch and the stale leader's appends are rejected.
 //! - [`window`] — event-time tumbling-window aggregation, the stateful
 //!   operator Table I's streaming scenario calls for.
 
@@ -42,8 +49,12 @@
 
 pub mod broker;
 pub mod pipeline;
+pub mod replica;
+pub mod wal;
 pub mod window;
 
-pub use broker::{Broker, BrokerError, Message, Record, Subscription};
+pub use broker::{Broker, BrokerError, GroupStats, Message, Record, Retention, Subscription};
 pub use pipeline::{StreamJobConfig, StreamReport};
+pub use replica::{ClusterStats, ClusterSub, KillSchedule, LeaderLease, ReplicatedBroker};
+pub use wal::{FsyncPolicy, RecoveryInfo, WalConfig};
 pub use window::{TumblingWindow, WindowAggregate};

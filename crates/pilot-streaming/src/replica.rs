@@ -1,0 +1,901 @@
+//! Leader/follower partition replication across N simulated broker nodes
+//! with epoch-fenced leadership.
+//!
+//! A [`ReplicatedBroker`] owns N [`Broker`] nodes (each with its own
+//! write-ahead log) and applies every append to all *alive* nodes through
+//! [`Broker::append_at`] — same partition, same timestamp, same payloads —
+//! so replicas stay record-for-record identical, WAL bytes included. Each
+//! partition has a *leader* (assigned round-robin over the nodes at topic
+//! creation) and a leadership *epoch*:
+//!
+//! * [`ReplicatedBroker::lease`] hands out the current `(leader, epoch)` as
+//!   a [`LeaderLease`];
+//! * [`ReplicatedBroker::append_with_lease`] rejects any append whose lease
+//!   epoch is stale ([`BrokerError::FencedEpoch`]) — after a failover, the
+//!   deposed leader *cannot* sneak records past the new one;
+//! * [`ReplicatedBroker::kill_node`] closes a node's broker (waking every
+//!   consumer parked on it), promotes the lowest alive node to leader of
+//!   every partition the victim led, and bumps those partitions' epochs;
+//! * [`ReplicatedBroker::restart_node`] reopens the node from its WAL
+//!   (prefix-consistent recovery), replays the missed suffix from a live
+//!   replica, restores group membership and committed offsets, and rejoins
+//!   as a follower.
+//!
+//! ## Why appends go to nodes in *descending* index order
+//!
+//! Consumers read from the lowest-index alive node; commit offsets are then
+//! replicated to the other nodes. Appending highest-index-first means that
+//! by the time a record is visible on the read node, every other alive node
+//! already has it — so a replicated commit can never run ahead of a
+//! follower's high watermark, and a failover promotes a node whose log
+//! contains everything any consumer ever saw. That ordering is what makes
+//! exactly-once delivery survive a node kill.
+//!
+//! Kills are deterministic and replayable: [`KillSchedule::from_plan`]
+//! derives per-node kill times from the `FaultPlan`'s broker-node MTBF and
+//! the run seed through the reserved `BROKER_KILL` RNG stream — the same
+//! machinery (and the same replay guarantee) the compute plane's pilot
+//! crashes use.
+//!
+//! Lock order: cluster state (`RwLock`) → per-(topic, partition) append lock
+//! → broker-internal locks. `kill_node` / `restart_node` take the state
+//! write lock, so they serialize against every in-flight append and poll —
+//! a batch is never half-replicated when a node dies.
+
+use crate::broker::{Broker, BrokerError, Message, Record, Retention, Subscription};
+use crate::wal::{RecoveryInfo, WalConfig};
+use parking_lot::{Mutex, RwLock};
+use pilot_core::clock::WallClock;
+use pilot_core::retry::{streams, FaultPlan};
+use pilot_sim::SimRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A leadership claim over one partition at one epoch. Obtained from
+/// [`ReplicatedBroker::lease`]; presented to
+/// [`ReplicatedBroker::append_with_lease`], which fences it once a newer
+/// epoch exists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeaderLease {
+    /// Topic of the led partition.
+    pub topic: String,
+    /// Partition index.
+    pub partition: usize,
+    /// Node currently holding leadership.
+    pub node: usize,
+    /// Leadership epoch; bumped on every failover.
+    pub epoch: u64,
+}
+
+struct Lead {
+    leader: usize,
+    epoch: u64,
+}
+
+struct ClusterTopic {
+    partitions: usize,
+    retention: Retention,
+    /// Current leader + epoch per partition.
+    leads: Vec<Mutex<Lead>>,
+    /// Serializes multi-node appends per partition so every replica sees
+    /// the same record order.
+    append_locks: Vec<Mutex<()>>,
+    /// Cluster-level round-robin cursor for unkeyed records (partitioning
+    /// happens once, at the cluster, so all replicas agree).
+    round_robin: Mutex<usize>,
+}
+
+struct Node {
+    broker: Arc<Broker>,
+    alive: bool,
+    cfg: WalConfig,
+}
+
+struct ClusterState {
+    nodes: Vec<Node>,
+    topics: HashMap<String, ClusterTopic>,
+    /// Every `(group, topic, consumer)` joined through the cluster, replayed
+    /// onto restarted nodes so membership survives recovery.
+    joins: Vec<(String, String, String)>,
+    /// Bumped on every kill/restart; [`ClusterSub`]s re-resolve their read
+    /// node when it moves.
+    epoch: u64,
+}
+
+/// Counters of cluster-level fault events (see [`ReplicatedBroker::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Nodes killed via [`ReplicatedBroker::kill_node`].
+    pub node_kills: u64,
+    /// Partition leaderships promoted to a follower after a kill.
+    pub leader_failovers: u64,
+    /// Appends rejected for carrying a stale leadership epoch.
+    pub fenced_appends: u64,
+    /// Nodes restarted and caught up from a live replica.
+    pub node_restarts: u64,
+}
+
+/// A consumer's cluster-level subscription: wraps a node-local
+/// [`Subscription`] and re-resolves it onto the current read node after a
+/// failover. Create with [`ReplicatedBroker::subscribe`], poll with
+/// [`ReplicatedBroker::poll_into`].
+pub struct ClusterSub {
+    group: String,
+    consumer: String,
+    node: usize,
+    cluster_epoch: u64,
+    sub: Subscription,
+}
+
+impl ClusterSub {
+    /// Node the subscription currently reads from.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+}
+
+/// N broker nodes with full partition replication and epoch-fenced
+/// leadership. See the module docs for the protocol.
+pub struct ReplicatedBroker {
+    state: RwLock<ClusterState>,
+    clock: WallClock,
+    stats: Mutex<ClusterStats>,
+}
+
+impl ReplicatedBroker {
+    /// Open a cluster of one durable broker node per [`WalConfig`] (each
+    /// node recovers from its own WAL directory, so a cluster reopened over
+    /// existing directories comes back with its data).
+    pub fn open(node_cfgs: &[WalConfig]) -> Result<ReplicatedBroker, BrokerError> {
+        let mut nodes = Vec::with_capacity(node_cfgs.len());
+        for cfg in node_cfgs {
+            nodes.push(Node {
+                broker: Arc::new(Broker::open(cfg.clone())?),
+                alive: true,
+                cfg: cfg.clone(),
+            });
+        }
+        Ok(ReplicatedBroker {
+            state: RwLock::new(ClusterState {
+                nodes,
+                topics: HashMap::new(),
+                joins: Vec::new(),
+                epoch: 1,
+            }),
+            clock: WallClock::start(),
+            stats: Mutex::new(ClusterStats::default()),
+        })
+    }
+
+    /// Number of nodes (alive or dead).
+    pub fn nodes(&self) -> usize {
+        self.state.read().nodes.len()
+    }
+
+    /// Indices of currently alive nodes.
+    pub fn alive_nodes(&self) -> Vec<usize> {
+        let s = self.state.read();
+        (0..s.nodes.len()).filter(|&i| s.nodes[i].alive).collect()
+    }
+
+    /// Direct handle to one node's broker (tests and diagnostics).
+    pub fn node_broker(&self, node: usize) -> Option<Arc<Broker>> {
+        self.state
+            .read()
+            .nodes
+            .get(node)
+            .map(|n| Arc::clone(&n.broker))
+    }
+
+    /// Cluster epoch: bumped on every kill or restart.
+    pub fn cluster_epoch(&self) -> u64 {
+        self.state.read().epoch
+    }
+
+    /// Cluster-level fault counters.
+    pub fn stats(&self) -> ClusterStats {
+        *self.stats.lock()
+    }
+
+    /// Seconds since the cluster started (shared append timestamp clock).
+    pub fn now_s(&self) -> f64 {
+        self.clock.elapsed_s()
+    }
+
+    fn read_node_of(s: &ClusterState) -> Result<usize, BrokerError> {
+        (0..s.nodes.len())
+            .find(|&i| s.nodes[i].alive)
+            .ok_or(BrokerError::NoAliveReplica)
+    }
+
+    /// Create a topic on every alive node, with leaders assigned round-robin
+    /// over the nodes.
+    pub fn create_topic(
+        &self,
+        name: &str,
+        partitions: usize,
+        retention: Retention,
+    ) -> Result<(), BrokerError> {
+        let mut s = self.state.write();
+        if s.topics.contains_key(name) {
+            return Err(BrokerError::TopicExists(name.to_string()));
+        }
+        let alive: Vec<usize> = (0..s.nodes.len()).filter(|&i| s.nodes[i].alive).collect();
+        if alive.is_empty() {
+            return Err(BrokerError::NoAliveReplica);
+        }
+        for &i in &alive {
+            s.nodes[i]
+                .broker
+                .create_topic_with(name, partitions, retention)?;
+        }
+        let n = partitions.max(1);
+        s.topics.insert(
+            name.to_string(),
+            ClusterTopic {
+                partitions: n,
+                retention,
+                leads: (0..n)
+                    .map(|p| {
+                        Mutex::new(Lead {
+                            leader: alive[p % alive.len()],
+                            epoch: 1,
+                        })
+                    })
+                    .collect(),
+                append_locks: (0..n).map(|_| Mutex::new(())).collect(),
+                round_robin: Mutex::new(0),
+            },
+        );
+        Ok(())
+    }
+
+    /// Number of partitions of a topic.
+    pub fn partitions(&self, topic: &str) -> Result<usize, BrokerError> {
+        self.state
+            .read()
+            .topics
+            .get(topic)
+            .map(|t| t.partitions)
+            .ok_or_else(|| BrokerError::UnknownTopic(topic.to_string()))
+    }
+
+    /// The current leadership lease of one partition.
+    pub fn lease(&self, topic: &str, partition: usize) -> Result<LeaderLease, BrokerError> {
+        let s = self.state.read();
+        let t = s
+            .topics
+            .get(topic)
+            .ok_or_else(|| BrokerError::UnknownTopic(topic.to_string()))?;
+        if partition >= t.partitions {
+            return Err(BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        let lead = t.leads[partition].lock();
+        Ok(LeaderLease {
+            topic: topic.to_string(),
+            partition,
+            node: lead.leader,
+            epoch: lead.epoch,
+        })
+    }
+
+    /// Replicate one batch to every alive node's partition, highest node
+    /// index first (see module docs). Caller holds the partition append
+    /// lock.
+    fn replicate(
+        s: &ClusterState,
+        topic: &str,
+        partition: usize,
+        now_s: f64,
+        records: &[Record],
+    ) -> Result<u64, BrokerError> {
+        let mut base = None;
+        for node in s.nodes.iter().rev() {
+            if !node.alive {
+                continue;
+            }
+            let b = node.broker.append_at(topic, partition, now_s, records)?;
+            base = Some(b);
+        }
+        base.ok_or(BrokerError::NoAliveReplica)
+    }
+
+    /// Append a batch under a leadership lease. A stale lease — one whose
+    /// epoch predates a failover of the partition — is rejected with
+    /// [`BrokerError::FencedEpoch`] without touching any replica. Returns
+    /// the base offset of the appended batch.
+    pub fn append_with_lease(
+        &self,
+        lease: &LeaderLease,
+        records: &[Record],
+    ) -> Result<u64, BrokerError> {
+        let s = self.state.read();
+        let t = s
+            .topics
+            .get(&lease.topic)
+            .ok_or_else(|| BrokerError::UnknownTopic(lease.topic.clone()))?;
+        if lease.partition >= t.partitions {
+            return Err(BrokerError::UnknownPartition {
+                topic: lease.topic.clone(),
+                partition: lease.partition,
+            });
+        }
+        let _append = t.append_locks[lease.partition].lock();
+        {
+            let lead = t.leads[lease.partition].lock();
+            if lease.epoch < lead.epoch || lease.node != lead.leader {
+                let current = lead.epoch;
+                drop(lead);
+                self.stats.lock().fenced_appends += 1;
+                return Err(BrokerError::FencedEpoch {
+                    topic: lease.topic.clone(),
+                    partition: lease.partition,
+                    epoch: lease.epoch,
+                    current,
+                });
+            }
+        }
+        Self::replicate(
+            &s,
+            &lease.topic,
+            lease.partition,
+            self.clock.elapsed_s(),
+            records,
+        )
+    }
+
+    /// Append one record through the current leadership (no caller-held
+    /// lease; the cluster routes and replicates). Returns (partition, offset).
+    pub fn produce(
+        &self,
+        topic: &str,
+        key: Option<u64>,
+        payload: Arc<Vec<u8>>,
+    ) -> Result<(usize, u64), BrokerError> {
+        let s = self.state.read();
+        let t = s
+            .topics
+            .get(topic)
+            .ok_or_else(|| BrokerError::UnknownTopic(topic.to_string()))?;
+        if matches!(t.retention, Retention::Compact { .. }) && key.is_none() {
+            return Err(BrokerError::KeyRequired(topic.to_string()));
+        }
+        let p = match key {
+            Some(k) => Broker::key_partition(k, t.partitions),
+            None => {
+                let mut rr = t.round_robin.lock();
+                let p = *rr % t.partitions;
+                *rr = (p + 1) % t.partitions;
+                p
+            }
+        };
+        let _append = t.append_locks[p].lock();
+        let base = Self::replicate(&s, topic, p, self.clock.elapsed_s(), &[(key, payload)])?;
+        Ok((p, base))
+    }
+
+    /// Append a batch through the current leadership: records are routed
+    /// (key hash / round-robin) once at the cluster, then each touched
+    /// partition is replicated to every alive node under its append lock.
+    /// Returns the number of records appended.
+    pub fn produce_batch(
+        &self,
+        topic: &str,
+        records: impl IntoIterator<Item = Record>,
+    ) -> Result<u64, BrokerError> {
+        let s = self.state.read();
+        let t = s
+            .topics
+            .get(topic)
+            .ok_or_else(|| BrokerError::UnknownTopic(topic.to_string()))?;
+        let compacted = matches!(t.retention, Retention::Compact { .. });
+        let mut buckets: Vec<Vec<Record>> = (0..t.partitions).map(|_| Vec::new()).collect();
+        let mut total = 0u64;
+        {
+            let mut rr = None;
+            for (key, payload) in records {
+                let p = match key {
+                    Some(k) => Broker::key_partition(k, t.partitions),
+                    None => {
+                        if compacted {
+                            return Err(BrokerError::KeyRequired(topic.to_string()));
+                        }
+                        let cursor = rr.get_or_insert_with(|| t.round_robin.lock());
+                        let p = **cursor % t.partitions;
+                        **cursor = (p + 1) % t.partitions;
+                        p
+                    }
+                };
+                buckets[p].push((key, payload));
+                total += 1;
+            }
+        }
+        if total == 0 {
+            return Ok(0);
+        }
+        let now = self.clock.elapsed_s();
+        for (p, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let _append = t.append_locks[p].lock();
+            Self::replicate(&s, topic, p, now, bucket)?;
+        }
+        Ok(total)
+    }
+
+    /// Join a consumer group on every alive node and remember the join so a
+    /// restarted node replays it.
+    pub fn join_group(&self, group: &str, topic: &str, consumer: &str) -> Result<(), BrokerError> {
+        let mut s = self.state.write();
+        for node in &s.nodes {
+            if node.alive {
+                node.broker.join_group(group, topic, consumer)?;
+            }
+        }
+        let entry = (group.to_string(), topic.to_string(), consumer.to_string());
+        if !s.joins.contains(&entry) {
+            s.joins.push(entry);
+        }
+        Ok(())
+    }
+
+    /// Subscribe a joined consumer on the current read node.
+    pub fn subscribe(&self, group: &str, consumer: &str) -> Result<ClusterSub, BrokerError> {
+        let s = self.state.read();
+        let node = Self::read_node_of(&s)?;
+        let sub = s.nodes[node].broker.subscribe(group, consumer)?;
+        Ok(ClusterSub {
+            group: group.to_string(),
+            consumer: consumer.to_string(),
+            node,
+            cluster_epoch: s.epoch,
+            sub,
+        })
+    }
+
+    /// Poll through a cluster subscription: reads from the current read
+    /// node (re-resolved after a failover), auto-commits there, and
+    /// replicates the commit to every other alive node — so whichever node
+    /// is promoted next already knows what this group consumed.
+    pub fn poll_into(
+        &self,
+        csub: &mut ClusterSub,
+        max: usize,
+        buf: &mut Vec<Message>,
+    ) -> Result<usize, BrokerError> {
+        let s = self.state.read();
+        if csub.cluster_epoch != s.epoch {
+            let node = Self::read_node_of(&s)?;
+            csub.sub = s.nodes[node]
+                .broker
+                .subscribe(&csub.group, &csub.consumer)?;
+            csub.node = node;
+            csub.cluster_epoch = s.epoch;
+        }
+        let n = s.nodes[csub.node]
+            .broker
+            .poll_into(&mut csub.sub, max, buf)?;
+        if n > 0 {
+            // Appends reach higher-index nodes before the read node (lowest
+            // alive), so every commit below is within each follower's log.
+            let commits = csub.sub.last_commits();
+            for (i, node) in s.nodes.iter().enumerate() {
+                if i == csub.node || !node.alive {
+                    continue;
+                }
+                for &(p, off) in &commits {
+                    node.broker.commit(&csub.group, p, off)?;
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Append-sequence sample of the current read node (pair with
+    /// [`ReplicatedBroker::wait_for_data`], same protocol as
+    /// [`Broker::data_seq`]).
+    pub fn data_seq(&self) -> u64 {
+        let s = self.state.read();
+        match Self::read_node_of(&s) {
+            Ok(n) => s.nodes[n].broker.data_seq(),
+            Err(_) => 0,
+        }
+    }
+
+    /// Park on the current read node until data arrives, the node is closed
+    /// (kill wakes parked consumers), or the timeout elapses.
+    pub fn wait_for_data(&self, seen: u64, timeout: Duration) -> u64 {
+        let broker = {
+            let s = self.state.read();
+            match Self::read_node_of(&s) {
+                Ok(n) => Arc::clone(&s.nodes[n].broker),
+                Err(_) => return seen,
+            }
+        };
+        // The state lock is dropped before parking: a kill needs the write
+        // lock to close this broker, and close() is what wakes the park.
+        broker.wait_for_data(seen, timeout)
+    }
+
+    /// Wake every consumer parked on the read node.
+    pub fn wake_all(&self) {
+        let s = self.state.read();
+        for node in &s.nodes {
+            if node.alive {
+                node.broker.wake_all();
+            }
+        }
+    }
+
+    /// Group accounting from the current read node.
+    pub fn group_stats(&self, group: &str) -> Result<crate::broker::GroupStats, BrokerError> {
+        let s = self.state.read();
+        let node = Self::read_node_of(&s)?;
+        s.nodes[node].broker.group_stats(group)
+    }
+
+    /// Kill a node: its broker is closed (appends rejected, parked consumers
+    /// woken), and every partition it led is promoted to the lowest alive
+    /// node under a bumped epoch — any lease the dead leader handed out is
+    /// fenced from that moment. Returns the number of partitions failed
+    /// over. Serializes against in-flight appends, so no batch is ever
+    /// half-replicated across the kill.
+    pub fn kill_node(&self, node: usize) -> Result<u64, BrokerError> {
+        let mut s = self.state.write();
+        if node >= s.nodes.len() {
+            return Err(BrokerError::NoAliveReplica);
+        }
+        if !s.nodes[node].alive {
+            return Ok(0);
+        }
+        s.nodes[node].alive = false;
+        s.nodes[node].broker.close();
+        let successor = (0..s.nodes.len()).find(|&i| s.nodes[i].alive);
+        let mut failovers = 0u64;
+        if let Some(successor) = successor {
+            for t in s.topics.values() {
+                for lead in &t.leads {
+                    let mut lead = lead.lock();
+                    if lead.leader == node {
+                        lead.leader = successor;
+                        lead.epoch += 1;
+                        failovers += 1;
+                    }
+                }
+            }
+        }
+        s.epoch += 1;
+        drop(s);
+        let mut stats = self.stats.lock();
+        stats.node_kills += 1;
+        stats.leader_failovers += failovers;
+        Ok(failovers)
+    }
+
+    /// Restart a killed node: reopen its broker from the WAL
+    /// (prefix-consistent recovery), pull the missed suffix of every
+    /// partition from a live replica, replay group joins and committed
+    /// offsets, and rejoin as a follower (leadership stays where the
+    /// failover put it). Returns what WAL recovery found.
+    pub fn restart_node(&self, node: usize) -> Result<RecoveryInfo, BrokerError> {
+        let mut s = self.state.write();
+        if node >= s.nodes.len() || s.nodes[node].alive {
+            return Err(BrokerError::NoAliveReplica);
+        }
+        let src = Self::read_node_of(&s)?;
+        let broker = Broker::open(s.nodes[node].cfg.clone())?;
+        let info = broker.recovery_info().clone();
+        let src_broker = Arc::clone(&s.nodes[src].broker);
+        // Topics the truncated meta log lost are re-created empty, then
+        // caught up like any other.
+        for (name, t) in &s.topics {
+            if broker.partitions(name).is_err() {
+                broker.create_topic_with(name, t.partitions, t.retention)?;
+            }
+            for p in 0..t.partitions {
+                let mut from = broker.high_watermark(name, p)?;
+                loop {
+                    let msgs = src_broker.fetch(name, p, from, 4096)?;
+                    let Some(last) = msgs.last() else { break };
+                    from = last.offset + 1;
+                    broker.append_messages(name, p, &msgs)?;
+                }
+            }
+        }
+        for (group, topic, consumer) in &s.joins {
+            broker.join_group(group, topic, consumer)?;
+        }
+        for group in src_broker.group_names() {
+            let stats = src_broker.group_stats(&group)?;
+            if broker.group_stats(&group).is_err() {
+                continue; // group never joined through the cluster
+            }
+            for (p, &off) in stats.offsets.iter().enumerate() {
+                broker.commit(&group, p, off)?;
+            }
+        }
+        s.nodes[node].broker = Arc::new(broker);
+        s.nodes[node].alive = true;
+        s.epoch += 1;
+        drop(s);
+        self.stats.lock().node_restarts += 1;
+        Ok(info)
+    }
+}
+
+/// Deterministic broker-node kill times derived from a [`FaultPlan`] and a
+/// run seed: node `i`'s kill time is an exponential draw with the plan's
+/// broker-node MTBF from the reserved `BROKER_KILL` stream. Same plan, same
+/// seed → same schedule, every replay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KillSchedule {
+    times: Vec<Option<f64>>,
+}
+
+impl KillSchedule {
+    /// Draw the schedule for `nodes` nodes. All entries are `None` when the
+    /// plan has no broker-node MTBF.
+    pub fn from_plan(plan: &FaultPlan, seed: u64, nodes: usize) -> KillSchedule {
+        let times = (0..nodes)
+            .map(|i| {
+                plan.broker_node_mtbf_s.map(|mtbf| {
+                    let mut rng =
+                        SimRng::new(seed).stream(streams::keyed(streams::BROKER_KILL, i as u64, 0));
+                    let u = rng.f64();
+                    // Exponential inter-failure time; (1 - u) keeps the log
+                    // argument in (0, 1].
+                    -mtbf * (1.0 - u).ln()
+                })
+            })
+            .collect();
+        KillSchedule { times }
+    }
+
+    /// Kill time of one node, seconds from cluster start (`None` = never).
+    pub fn kill_time_s(&self, node: usize) -> Option<f64> {
+        self.times.get(node).copied().flatten()
+    }
+
+    /// The earliest scheduled kill, as `(node, time_s)`.
+    pub fn first(&self) -> Option<(usize, f64)> {
+        self.times
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (i, t)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{FsyncPolicy, TempDir};
+    use std::collections::HashSet;
+
+    fn cluster(label: &str, nodes: usize) -> (ReplicatedBroker, Vec<TempDir>) {
+        let dirs: Vec<TempDir> = (0..nodes)
+            .map(|i| TempDir::new(&format!("{label}-{i}")).unwrap())
+            .collect();
+        let cfgs: Vec<WalConfig> = dirs
+            .iter()
+            .map(|d| WalConfig::new(d.path()).with_fsync(FsyncPolicy::Never))
+            .collect();
+        (ReplicatedBroker::open(&cfgs).unwrap(), dirs)
+    }
+
+    fn payload(b: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![b; 8])
+    }
+
+    /// (offset, key, payload) image of one node's partition.
+    fn partition_image(b: &Broker, topic: &str, p: usize) -> Vec<(u64, Option<u64>, Vec<u8>)> {
+        b.fetch(topic, p, 0, usize::MAX)
+            .unwrap()
+            .iter()
+            .map(|m| (m.offset, m.key, m.payload.as_ref().clone()))
+            .collect()
+    }
+
+    #[test]
+    fn appends_replicate_identically_to_all_nodes() {
+        let (c, _dirs) = cluster("replident", 3);
+        c.create_topic("t", 4, Retention::Count(1_000_000)).unwrap();
+        c.produce_batch(
+            "t",
+            (0..500u64).map(|i| {
+                let key = (i % 3 == 0).then_some(i);
+                (key, payload(i as u8))
+            }),
+        )
+        .unwrap();
+        for _ in 0..50 {
+            c.produce("t", Some(7), payload(9)).unwrap();
+        }
+        let n0 = c.node_broker(0).unwrap();
+        for other in 1..3 {
+            let nb = c.node_broker(other).unwrap();
+            for p in 0..4 {
+                assert_eq!(
+                    partition_image(&n0, "t", p),
+                    partition_image(&nb, "t", p),
+                    "node {other} partition {p} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leaders_are_assigned_round_robin_with_epoch_one() {
+        let (c, _dirs) = cluster("leaders", 3);
+        c.create_topic("t", 6, Retention::Count(100)).unwrap();
+        let leaders: Vec<usize> = (0..6).map(|p| c.lease("t", p).unwrap().node).collect();
+        assert_eq!(leaders, vec![0, 1, 2, 0, 1, 2]);
+        assert!((0..6).all(|p| c.lease("t", p).unwrap().epoch == 1));
+    }
+
+    #[test]
+    fn kill_promotes_follower_and_fences_the_stale_leader() {
+        let (c, _dirs) = cluster("fence", 3);
+        c.create_topic("t", 3, Retention::Count(100_000)).unwrap();
+        let stale = c.lease("t", 0).unwrap();
+        assert_eq!(stale.node, 0);
+        c.append_with_lease(&stale, &[(None, payload(1))]).unwrap();
+        // Kill the leader of partition 0.
+        let failovers = c.kill_node(0).unwrap();
+        assert_eq!(failovers, 1, "node 0 led exactly partition 0");
+        let fresh = c.lease("t", 0).unwrap();
+        assert_eq!(fresh.node, 1, "lowest alive node promoted");
+        assert_eq!(fresh.epoch, stale.epoch + 1);
+        // The deposed leader's lease is fenced...
+        let err = c.append_with_lease(&stale, &[(None, payload(2))]);
+        assert_eq!(
+            err,
+            Err(BrokerError::FencedEpoch {
+                topic: "t".into(),
+                partition: 0,
+                epoch: stale.epoch,
+                current: fresh.epoch,
+            })
+        );
+        // ...and nothing leaked into any replica.
+        let hw = c.node_broker(1).unwrap().high_watermark("t", 0).unwrap();
+        assert_eq!(hw, 1, "fenced append appended nothing");
+        // The new leader's lease works.
+        c.append_with_lease(&fresh, &[(None, payload(3))]).unwrap();
+        assert_eq!(c.node_broker(1).unwrap().high_watermark("t", 0).unwrap(), 2);
+        let stats = c.stats();
+        assert_eq!(stats.node_kills, 1);
+        assert_eq!(stats.leader_failovers, 1);
+        assert_eq!(stats.fenced_appends, 1);
+    }
+
+    #[test]
+    fn consumers_survive_failover_exactly_once() {
+        let (c, _dirs) = cluster("failover", 3);
+        c.create_topic("t", 2, Retention::Count(1_000_000)).unwrap();
+        c.join_group("g", "t", "c0").unwrap();
+        let mut sub = c.subscribe("g", "c0").unwrap();
+        let mut buf = Vec::new();
+        let mut seen: Vec<u8> = Vec::new();
+        // Produce 100, consume ~half, kill the read node mid-stream.
+        c.produce_batch("t", (0..100u32).map(|i| (None, payload(i as u8))))
+            .unwrap();
+        while seen.len() < 50 {
+            c.poll_into(&mut sub, 10, &mut buf).unwrap();
+            seen.extend(buf.iter().map(|m| m.payload[0]));
+        }
+        c.kill_node(0).unwrap();
+        // Keep producing after the failover; the subscription re-resolves.
+        c.produce_batch("t", (100..150u32).map(|i| (None, payload(i as u8))))
+            .unwrap();
+        loop {
+            let n = c.poll_into(&mut sub, 64, &mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            seen.extend(buf.iter().map(|m| m.payload[0]));
+        }
+        assert_eq!(seen.len(), 150, "no loss, no redelivery across failover");
+        let unique: HashSet<u8> = seen.iter().copied().collect();
+        assert_eq!(unique.len(), 150, "every record distinct");
+        assert!(sub.node() > 0, "subscription moved off the dead node");
+    }
+
+    #[test]
+    fn restarted_node_catches_up_and_rejoins_as_follower() {
+        let (c, _dirs) = cluster("restart", 3);
+        c.create_topic("t", 2, Retention::Count(1_000_000)).unwrap();
+        c.join_group("g", "t", "c0").unwrap();
+        c.produce_batch("t", (0..40u32).map(|i| (None, payload(i as u8))))
+            .unwrap();
+        c.kill_node(0).unwrap();
+        // The cluster keeps moving while node 0 is down.
+        c.produce_batch("t", (40..90u32).map(|i| (None, payload(i as u8))))
+            .unwrap();
+        let mut sub = c.subscribe("g", "c0").unwrap();
+        let mut buf = Vec::new();
+        while c.poll_into(&mut sub, 64, &mut buf).unwrap() > 0 {}
+        c.restart_node(0).unwrap();
+        assert_eq!(c.alive_nodes(), vec![0, 1, 2]);
+        // Caught up: node 0's log matches the survivors record for record.
+        let n0 = c.node_broker(0).unwrap();
+        let n1 = c.node_broker(1).unwrap();
+        for p in 0..2 {
+            assert_eq!(
+                partition_image(&n0, "t", p),
+                partition_image(&n1, "t", p),
+                "partition {p} did not catch up"
+            );
+        }
+        // Committed offsets came back too.
+        assert_eq!(n0.group_stats("g").unwrap().committed, 90);
+        // Leadership stays with the failover winner; node 0 follows.
+        assert_eq!(c.lease("t", 0).unwrap().node, 1);
+        // New appends replicate to the rejoined follower.
+        c.produce_batch("t", (90..100u32).map(|i| (None, payload(i as u8))))
+            .unwrap();
+        for p in 0..2 {
+            assert_eq!(
+                partition_image(&n0, "t", p),
+                partition_image(&n1, "t", p),
+                "rejoined follower missed post-restart appends"
+            );
+        }
+        assert_eq!(c.stats().node_restarts, 1);
+    }
+
+    #[test]
+    fn kill_wakes_consumers_parked_on_the_dead_node() {
+        let (c, _dirs) = cluster("parked", 2);
+        let c = Arc::new(c);
+        c.create_topic("t", 2, Retention::Count(1000)).unwrap();
+        c.join_group("g", "t", "c0").unwrap();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    // Park exactly the way pipeline consumers do: sample,
+                    // empty poll, wait. The kill must end the wait early.
+                    let seen = c.data_seq();
+                    c.wait_for_data(seen, Duration::from_secs(30))
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        c.kill_node(0).unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "kill must wake parked consumers, not let them ride out the timeout"
+        );
+    }
+
+    #[test]
+    fn kill_schedule_is_deterministic_and_replayable() {
+        let plan = FaultPlan::none().with_broker_node_kills(30.0);
+        let a = KillSchedule::from_plan(&plan, 42, 4);
+        let b = KillSchedule::from_plan(&plan, 42, 4);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = KillSchedule::from_plan(&plan, 43, 4);
+        assert_ne!(a, c, "different seed, different schedule");
+        for i in 0..4 {
+            let t = a.kill_time_s(i).unwrap();
+            assert!(t.is_finite() && t >= 0.0, "node {i} time {t}");
+        }
+        let (node, t) = a.first().unwrap();
+        assert!(a.kill_time_s(node).unwrap() == t);
+        assert!((0..4).all(|i| a.kill_time_s(i).unwrap() >= t));
+        // No MTBF ⇒ no kills, ever.
+        let none = KillSchedule::from_plan(&FaultPlan::none(), 42, 4);
+        assert_eq!(none.first(), None);
+        assert_eq!(none.kill_time_s(0), None);
+    }
+}
