@@ -3,6 +3,7 @@
 pub mod ab;
 pub mod common;
 pub mod f5;
+pub mod fb;
 pub mod io_dy;
 pub mod ks;
 pub mod pd;
@@ -53,6 +54,7 @@ pub fn registry() -> Vec<ExperimentEntry> {
         ("RB-1", rb::run_rb1),
         ("RB-2", rb::run_rb2),
         ("SC-1", sc::run_sc1),
+        ("FB-1", fb::run_fb1),
         ("DF-1", ab::run_df1),
         ("AB-1", ab::run_ab1),
         ("AB-2", ab::run_ab2),

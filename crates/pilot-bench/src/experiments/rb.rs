@@ -329,10 +329,15 @@ pub fn run_rb2(quick: bool) -> String {
     let elapsed_s = clock.elapsed().as_secs_f64();
 
     // ---- recovery: the victim replays its WAL and catches up --------------
+    // The recovery-time column ROADMAP item 1 left open: wall time of the
+    // whole restart_node call — WAL replay plus record-for-record catch-up
+    // from a live replica — reported alongside what the replay found.
+    let restart_t0 = std::time::Instant::now();
     let recovery = cluster
         .restart_node(victim)
         // lint: allow(panic, reason = "two replicas are alive to catch up from; restart only errors with no live source")
         .expect("victim restarts");
+    let recovery_s = restart_t0.elapsed().as_secs_f64();
     let restarted = cluster
         .node_broker(victim)
         // lint: allow(panic, reason = "the victim index is within the cluster's node count")
@@ -388,6 +393,7 @@ pub fn run_rb2(quick: bool) -> String {
          | lost | {lost} |\n\
          | WAL replay on restart: records | {} |\n\
          | WAL replay on restart: truncated bytes | {} |\n\
+         | recovery time (WAL replay + catch-up) | {recovery_s:.3} s |\n\
          | victim caught up record-for-record | {caught_up} |\n\
          | cluster kills / failovers / fenced | {} / {} / {} |\n\
          | produce throughput | {:.0} msg/s |\n\

@@ -151,6 +151,69 @@ pub fn apply_bind_delta(snapshots: &mut [PilotSnapshot], pilot: PilotId, cores: 
     p.bound_units += 1;
 }
 
+/// What one [`queue_pass`] decided: the committed placements (in bind
+/// order) plus how many live units were offered to the scheduler. The caller
+/// folds this into [`BindStats`] via [`BindStats::note_pass`] and then
+/// commits each bind against its own runtime tables.
+#[derive(Debug, Default)]
+#[must_use]
+pub struct QueuePassOutcome {
+    /// `(unit, pilot)` placements the scheduler committed, in bind order.
+    pub binds: Vec<(UnitId, PilotId)>,
+    /// Live pending units offered to the scheduler (stale entries skipped by
+    /// lazy deletion are not counted).
+    pub offered: u64,
+}
+
+/// The queue-driven batched pass shared by the thread backend, the sim
+/// backend, and the fabric host daemons: pop every [`PendingQueue`] entry,
+/// skip stale ones (lazy deletion — `lookup` returns `None` for units that
+/// have left `Pending`), offer live units to the scheduler in priority
+/// order, apply capacity deltas to `snapshots` in place after each bind, and
+/// re-queue refused units for the next pass.
+///
+/// The caller must hand in a non-empty, deterministically ordered snapshot
+/// vector (both backends sort by pilot id) and commit the returned binds
+/// against its own unit/pilot tables afterwards; commits are deferred so the
+/// borrow of the unit table inside `lookup` stays shared. A unit that
+/// somehow has two live queue entries is offered only once per pass (the
+/// second entry is treated as stale).
+pub fn queue_pass<'u>(
+    scheduler: &mut dyn Scheduler,
+    snapshots: &mut [PilotSnapshot],
+    pending: &mut PendingQueue,
+    mut lookup: impl FnMut(UnitId) -> Option<&'u UnitDescription>,
+) -> QueuePassOutcome {
+    scheduler.begin_pass();
+    let mut out = QueuePassOutcome::default();
+    let mut refused: Vec<(UnitId, i32)> = Vec::new();
+    while let Some(uid) = pending.pop() {
+        // Lazy deletion: `lookup` returns `None` for entries whose unit has
+        // left `Pending` (canceled, bound through a retry race, vanished).
+        let Some(desc) = lookup(uid) else {
+            continue;
+        };
+        // Deferred commits mean `lookup` cannot observe binds made earlier
+        // in this pass; a duplicate queue entry must be skipped here.
+        if out.binds.iter().any(|&(b, _)| b == uid) {
+            continue;
+        }
+        out.offered += 1;
+        let req = UnitRequest { unit: uid, desc };
+        match scheduler.select(&req, snapshots) {
+            Some(pid) => {
+                apply_bind_delta(snapshots, pid, desc.cores);
+                out.binds.push((uid, pid));
+            }
+            None => refused.push((uid, desc.priority)),
+        }
+    }
+    for (uid, priority) in refused {
+        pending.push(uid, priority);
+    }
+    out
+}
+
 /// A pending unit in pure-pass form (tests, benches, experiments).
 #[derive(Clone, Debug)]
 pub struct PendingUnit {

@@ -35,6 +35,7 @@
 pub mod binding;
 pub mod clock;
 pub mod describe;
+pub mod fabric;
 pub mod ids;
 pub mod metrics;
 pub mod par;
@@ -47,6 +48,10 @@ pub mod thread;
 pub use binding::{BindStats, PendingQueue};
 pub use clock::WallClock;
 pub use describe::{DataLocation, PilotDescription, UnitDescription};
+pub use fabric::{
+    Controller, DaemonKillSchedule, Fabric, FabricConfig, FabricReport, FabricUnit, HostDaemon,
+    KillMode, RebalanceEvent, ScheduledKill, ShardAssignment,
+};
 pub use ids::{PilotId, UnitId};
 pub use metrics::{OverheadBreakdown, PilotTimes, UnitTimes};
 pub use par::Parallelism;

@@ -183,6 +183,13 @@ pub struct FaultPlan {
     /// replicated-broker layer: the kill schedule is derived once from the
     /// run seed, so replays kill the same nodes at the same times.
     pub broker_node_mtbf_s: Option<f64>,
+    /// Mean time between host-daemon (manager) kills, seconds
+    /// (exponentially distributed per daemon, drawn from the
+    /// [`streams::DAEMON_KILL`] stream). `None` disables control-plane
+    /// daemon kills. Consumed by the fabric: the kill schedule is derived
+    /// once from the run seed, so replays kill the same daemons at the same
+    /// logical times — the manager-crash analog of broker-node kills.
+    pub host_daemon_mtbf_s: Option<f64>,
 }
 
 impl FaultPlan {
@@ -227,12 +234,20 @@ impl FaultPlan {
         self
     }
 
+    /// Kill host daemons with the given mean time between kills (seconds).
+    #[must_use]
+    pub fn with_daemon_kills(mut self, mtbf_s: f64) -> Self {
+        self.host_daemon_mtbf_s = (mtbf_s > 0.0).then_some(mtbf_s);
+        self
+    }
+
     /// Whether the plan injects anything at all.
     pub fn is_active(&self) -> bool {
         self.pilot_crash_mtbf_s.is_some()
             || self.unit_failure_p > 0.0
             || self.staging_failure_p > 0.0
             || self.broker_node_mtbf_s.is_some()
+            || self.host_daemon_mtbf_s.is_some()
     }
 }
 
@@ -250,6 +265,8 @@ pub mod streams {
     pub const BACKOFF_JITTER: u64 = 0x5256_0000_0000_0004;
     /// Stream for broker-node kill times; xor with the node index.
     pub const BROKER_KILL: u64 = 0x5256_0000_0000_0005;
+    /// Stream for host-daemon kill times; xor with the daemon index.
+    pub const DAEMON_KILL: u64 = 0x5256_0000_0000_0006;
 
     /// Derive the per-entity, per-attempt sub-id mixed into a stream.
     pub fn keyed(stream: u64, entity: u64, attempt: u32) -> u64 {
@@ -449,18 +466,24 @@ mod tests {
             .with_staging_failures(-1.0)
             .with_pilot_crashes(0.0)
             .with_blacklist(0)
-            .with_broker_node_kills(0.0);
+            .with_broker_node_kills(0.0)
+            .with_daemon_kills(-5.0);
         assert_eq!(f.unit_failure_p, 1.0);
         assert_eq!(f.staging_failure_p, 0.0);
         assert_eq!(f.pilot_crash_mtbf_s, None);
         assert_eq!(f.blacklist_after, None);
         assert_eq!(f.broker_node_mtbf_s, None);
+        assert_eq!(f.host_daemon_mtbf_s, None);
         assert!(f.is_active());
         assert!(!FaultPlan::none().is_active());
         // Broker-node kills alone make a plan active (data-plane faults).
         let k = FaultPlan::none().with_broker_node_kills(30.0);
         assert_eq!(k.broker_node_mtbf_s, Some(30.0));
         assert!(k.is_active());
+        // Daemon kills alone make a plan active (control-plane faults).
+        let d = FaultPlan::none().with_daemon_kills(45.0);
+        assert_eq!(d.host_daemon_mtbf_s, Some(45.0));
+        assert!(d.is_active());
     }
 
     #[test]

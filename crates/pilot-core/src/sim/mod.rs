@@ -14,7 +14,7 @@ use crate::describe::{PilotDescription, UnitDescription};
 use crate::ids::{IdGen, PilotId, UnitId};
 use crate::metrics::{self, PilotTimes, UnitRecord, UnitTimes};
 use crate::retry::{streams, FailureTracker, FaultPlan, ReliabilityStats};
-use crate::scheduler::{PilotSnapshot, Scheduler, UnitRequest};
+use crate::scheduler::{PilotSnapshot, Scheduler};
 use crate::state::{PilotState, UnitState};
 use pilot_infra::component::{Component, Effects};
 use pilot_infra::network::NetworkModel;
@@ -470,40 +470,26 @@ impl SystemMachine {
         // HashMap iteration order is not deterministic; schedulers see
         // pilots in id order so identical seeds replay identically.
         snapshots.sort_by_key(|s| s.pilot.0);
-        self.scheduler.begin_pass();
-        let mut offered = 0u64;
-        let mut binds = 0u64;
-        let mut refused: Vec<(UnitId, i32)> = Vec::new();
-        while let Some(uid) = self.pending.pop() {
-            // Lazy deletion: skip entries whose unit has left `Pending`.
-            let Some(u) = self.units.get(&uid) else {
-                continue;
-            };
-            if u.state != UnitState::Pending {
-                continue;
-            }
-            offered += 1;
-            let choice = self.scheduler.select(
-                &UnitRequest {
-                    unit: uid,
-                    desc: &u.desc,
-                },
-                &snapshots,
-            );
-            match choice {
-                Some(pid) => {
-                    let cores = u.desc.cores;
-                    binding::apply_bind_delta(&mut snapshots, pid, cores);
-                    self.bind(now, uid, pid, out);
-                    binds += 1;
-                }
-                None => refused.push((uid, u.desc.priority)),
-            }
+        // Shared with the thread backend and the fabric host daemons:
+        // placements are decided by `binding::queue_pass` and committed
+        // afterwards (the unit table stays borrowed shared during the scan).
+        let units = &self.units;
+        let outcome = binding::queue_pass(
+            self.scheduler.as_mut(),
+            &mut snapshots,
+            &mut self.pending,
+            |uid| {
+                units
+                    .get(&uid)
+                    .filter(|u| u.state == UnitState::Pending)
+                    .map(|u| &u.desc)
+            },
+        );
+        self.stats
+            .note_pass(snapshots.len(), outcome.offered, outcome.binds.len() as u64);
+        for (uid, pid) in outcome.binds {
+            self.bind(now, uid, pid, out);
         }
-        for (uid, priority) in refused {
-            self.pending.push(uid, priority);
-        }
-        self.stats.note_pass(snapshots.len(), offered, binds);
     }
 
     fn bind(&mut self, now: SimTime, uid: UnitId, pid: PilotId, out: &mut Outbox<Ev>) {

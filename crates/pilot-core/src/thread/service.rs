@@ -8,7 +8,7 @@ use crate::describe::{PilotDescription, UnitDescription};
 use crate::ids::{IdGen, PilotId, UnitId};
 use crate::metrics::{PilotTimes, UnitRecord, UnitTimes};
 use crate::retry::{streams, FailureTracker, FaultPlan, ReliabilityStats};
-use crate::scheduler::{PilotSnapshot, Scheduler, UnitRequest};
+use crate::scheduler::{PilotSnapshot, Scheduler};
 use crate::state::{PilotState, UnitState};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -682,41 +682,27 @@ impl Mgr {
         }
         // Deterministic candidate order (HashMap iteration above is not).
         snapshots.sort_by_key(|s| s.pilot.0);
-        self.scheduler.begin_pass();
-        let mut offered = 0u64;
-        let mut binds = 0u64;
-        let mut refused: Vec<(UnitId, i32)> = Vec::new();
-        while let Some(uid) = self.pending.pop() {
-            // Lazy deletion: skip entries whose unit has left `Pending`
-            // (canceled, or already bound through a retry race).
-            let Some(unit) = self.units.get(&uid) else {
-                continue;
-            };
-            if unit.state != UnitState::Pending {
-                continue;
-            }
-            offered += 1;
-            let choice = self.scheduler.select(
-                &UnitRequest {
-                    unit: uid,
-                    desc: &unit.desc,
-                },
-                &snapshots,
-            );
-            match choice {
-                Some(pid) => {
-                    let cores = unit.desc.cores;
-                    binding::apply_bind_delta(&mut snapshots, pid, cores);
-                    self.bind(uid, pid);
-                    binds += 1;
-                }
-                None => refused.push((uid, unit.desc.priority)),
-            }
+        // The shared queue pass (also driven by the sim backend and the
+        // fabric host daemons) decides placements against the snapshot
+        // vector; binds are committed afterwards so the unit table stays
+        // borrowed shared during the scheduler's scan.
+        let units = &self.units;
+        let outcome = binding::queue_pass(
+            self.scheduler.as_mut(),
+            &mut snapshots,
+            &mut self.pending,
+            |uid| {
+                units
+                    .get(&uid)
+                    .filter(|u| u.state == UnitState::Pending)
+                    .map(|u| &u.desc)
+            },
+        );
+        self.stats
+            .note_pass(snapshots.len(), outcome.offered, outcome.binds.len() as u64);
+        for (uid, pid) in outcome.binds {
+            self.bind(uid, pid);
         }
-        for (uid, priority) in refused {
-            self.pending.push(uid, priority);
-        }
-        self.stats.note_pass(snapshots.len(), offered, binds);
     }
 
     fn bind(&mut self, uid: UnitId, pid: PilotId) {

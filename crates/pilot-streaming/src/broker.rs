@@ -164,6 +164,19 @@ pub enum BrokerError {
     /// Every node of a replicated cluster is dead — there is nothing to
     /// append to, read from, or promote.
     NoAliveReplica,
+    /// A cluster operation named a node index the cluster does not have.
+    UnknownNode {
+        /// The out-of-range index.
+        node: usize,
+        /// The cluster's node count.
+        nodes: usize,
+    },
+    /// The operation requires an alive node but the named node is dead
+    /// (e.g. a double kill).
+    NodeDead(usize),
+    /// The operation requires a dead node but the named node is alive
+    /// (e.g. restarting a node that was never killed).
+    NodeAlive(usize),
     /// A write-ahead-log operation failed.
     Wal(WalError),
 }
@@ -209,6 +222,11 @@ impl std::fmt::Display for BrokerError {
                 "group '{group}' consumes topic '{existing}', not '{requested}'"
             ),
             BrokerError::NoAliveReplica => write!(f, "no alive replica in cluster"),
+            BrokerError::UnknownNode { node, nodes } => {
+                write!(f, "node {node} out of range for {nodes}-node cluster")
+            }
+            BrokerError::NodeDead(n) => write!(f, "node {n} is dead"),
+            BrokerError::NodeAlive(n) => write!(f, "node {n} is alive"),
             BrokerError::Wal(e) => write!(f, "{e}"),
         }
     }
@@ -750,17 +768,35 @@ impl Broker {
     }
 
     /// Park until the append sequence moves past `seen` or `timeout`
-    /// elapses; returns the current sequence. Spurious returns are possible
-    /// (callers loop around a poll anyway); missed wakeups are not, provided
-    /// `seen` was sampled before the empty poll that led here. A
-    /// [`Broker::close`] also bumps the sequence, so waiters observe broker
-    /// death through the same protocol as data arrival.
+    /// elapses; returns the current sequence. The wait loops across
+    /// spurious wakeups, re-arming with the *remaining* timeout each round,
+    /// so a spuriously-notified waiter parks again instead of returning
+    /// early and spinning hot inside its intended park window. Missed
+    /// wakeups are not possible, provided `seen` was sampled before the
+    /// empty poll that led here. A [`Broker::close`] also bumps the
+    /// sequence, so waiters observe broker death through the same protocol
+    /// as data arrival.
     pub fn wait_for_data(&self, seen: u64, timeout: Duration) -> u64 {
+        let start = Instant::now();
         let mut seq = self.wakeup_seq.lock();
-        if *seq == seen {
-            let _ = self.wakeup.wait_for(&mut seq, timeout);
+        while *seq == seen {
+            let Some(remaining) = timeout.checked_sub(start.elapsed()) else {
+                break;
+            };
+            if remaining.is_zero() {
+                break;
+            }
+            let _ = self.wakeup.wait_for(&mut seq, remaining);
         }
         *seq
+    }
+
+    /// Test hook: notify parked waiters *without* bumping the append
+    /// sequence — a manufactured spurious wakeup. Real condvars produce
+    /// these on their own; the hook makes them deterministic to test.
+    #[cfg(test)]
+    pub(crate) fn spurious_wake(&self) {
+        self.wakeup.notify_all();
     }
 
     /// Wake every parked consumer without appending data (e.g. after the
@@ -1657,6 +1693,61 @@ mod tests {
         assert!(
             t0.elapsed() < Duration::from_secs(1),
             "stale seen returns fast"
+        );
+    }
+
+    #[test]
+    fn spurious_wakeups_do_not_burn_the_timeout_budget() {
+        // A waiter hammered with spurious notifications (sequence unchanged)
+        // must ride out its full park window instead of returning early:
+        // the pre-fix single wait_for turned every spurious wake into a hot
+        // loop iteration in the consumer above it.
+        let b = Arc::new(Broker::new());
+        let seen = b.data_seq();
+        let timeout = Duration::from_millis(300);
+        let waiter = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let got = b.wait_for_data(seen, timeout);
+                (got, t0.elapsed())
+            })
+        };
+        // Spurious wakes well inside the park window.
+        for _ in 0..10 {
+            std::thread::sleep(Duration::from_millis(20));
+            b.spurious_wake();
+        }
+        let (got, waited) = waiter.join().unwrap();
+        assert_eq!(got, seen, "no append happened; the sequence must not move");
+        assert!(
+            waited >= Duration::from_millis(250),
+            "spurious wakeups burned the timeout budget: waited only {waited:?}"
+        );
+    }
+
+    #[test]
+    fn spuriously_woken_waiter_still_sees_a_real_append() {
+        // The re-armed wait must stay correct: a real append after a burst
+        // of spurious wakes still ends the wait promptly.
+        let b = Arc::new(Broker::new());
+        b.create_topic("t", 1, 1000).unwrap();
+        let seen = b.data_seq();
+        let waiter = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || b.wait_for_data(seen, Duration::from_secs(10)))
+        };
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(10));
+            b.spurious_wake();
+        }
+        let t0 = Instant::now();
+        b.produce("t", None, payload(0)).unwrap();
+        let got = waiter.join().unwrap();
+        assert_ne!(got, seen, "append must advance the sequence");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "the real wakeup, not the timeout, must end the wait"
         );
     }
 

@@ -261,7 +261,10 @@ impl ReplicatedBroker {
             .ok_or_else(|| BrokerError::UnknownTopic(topic.to_string()))
     }
 
-    /// The current leadership lease of one partition.
+    /// The current leadership lease of one partition. Never names a dead
+    /// leader: if the recorded leader died (possible while the whole
+    /// cluster was down), leadership fails over here to the lowest alive
+    /// node under a bumped epoch, or the call errors when no node is alive.
     pub fn lease(&self, topic: &str, partition: usize) -> Result<LeaderLease, BrokerError> {
         let s = self.state.read();
         let t = s
@@ -274,13 +277,25 @@ impl ReplicatedBroker {
                 partition,
             });
         }
-        let lead = t.leads[partition].lock();
-        Ok(LeaderLease {
+        let mut lead = t.leads[partition].lock();
+        let mut promoted = false;
+        if !s.nodes.get(lead.leader).map(|n| n.alive).unwrap_or(false) {
+            let successor = Self::read_node_of(&s)?;
+            lead.leader = successor;
+            lead.epoch += 1;
+            promoted = true;
+        }
+        let lease = LeaderLease {
             topic: topic.to_string(),
             partition,
             node: lead.leader,
             epoch: lead.epoch,
-        })
+        };
+        drop(lead);
+        if promoted {
+            self.stats.lock().leader_failovers += 1;
+        }
+        Ok(lease)
     }
 
     /// Replicate one batch to every alive node's partition, highest node
@@ -548,22 +563,32 @@ impl ReplicatedBroker {
     pub fn kill_node(&self, node: usize) -> Result<u64, BrokerError> {
         let mut s = self.state.write();
         if node >= s.nodes.len() {
-            return Err(BrokerError::NoAliveReplica);
+            return Err(BrokerError::UnknownNode {
+                node,
+                nodes: s.nodes.len(),
+            });
         }
         if !s.nodes[node].alive {
-            return Ok(0);
+            // A double kill used to be a silent `Ok(0)`, indistinguishable
+            // from "the node led nothing"; callers retrying a kill want the
+            // typed error.
+            return Err(BrokerError::NodeDead(node));
         }
         s.nodes[node].alive = false;
         s.nodes[node].broker.close();
         let successor = (0..s.nodes.len()).find(|&i| s.nodes[i].alive);
         let mut failovers = 0u64;
-        if let Some(successor) = successor {
-            for t in s.topics.values() {
-                for lead in &t.leads {
-                    let mut lead = lead.lock();
-                    if lead.leader == node {
+        for t in s.topics.values() {
+            for lead in &t.leads {
+                let mut lead = lead.lock();
+                if lead.leader == node {
+                    // Bump the epoch even when no successor exists (the
+                    // last node died): the bump is what fences outstanding
+                    // leases; the leader index is only advisory until a
+                    // restart re-promotes.
+                    lead.epoch += 1;
+                    if let Some(successor) = successor {
                         lead.leader = successor;
-                        lead.epoch += 1;
                         failovers += 1;
                     }
                 }
@@ -584,19 +609,30 @@ impl ReplicatedBroker {
     /// failover put it). Returns what WAL recovery found.
     pub fn restart_node(&self, node: usize) -> Result<RecoveryInfo, BrokerError> {
         let mut s = self.state.write();
-        if node >= s.nodes.len() || s.nodes[node].alive {
-            return Err(BrokerError::NoAliveReplica);
+        if node >= s.nodes.len() {
+            return Err(BrokerError::UnknownNode {
+                node,
+                nodes: s.nodes.len(),
+            });
         }
-        let src = Self::read_node_of(&s)?;
+        if s.nodes[node].alive {
+            return Err(BrokerError::NodeAlive(node));
+        }
+        // With every node dead there is no live catch-up source; the node
+        // recovers from its own WAL alone and the cluster comes back with
+        // whatever that prefix holds. (Previously this path was an error,
+        // leaving an all-dead cluster permanently unrecoverable.)
+        let src = Self::read_node_of(&s).ok();
         let broker = Broker::open(s.nodes[node].cfg.clone())?;
         let info = broker.recovery_info().clone();
-        let src_broker = Arc::clone(&s.nodes[src].broker);
         // Topics the truncated meta log lost are re-created empty, then
         // caught up like any other.
         for (name, t) in &s.topics {
             if broker.partitions(name).is_err() {
                 broker.create_topic_with(name, t.partitions, t.retention)?;
             }
+            let Some(src) = src else { continue };
+            let src_broker = &s.nodes[src].broker;
             for p in 0..t.partitions {
                 let mut from = broker.high_watermark(name, p)?;
                 loop {
@@ -610,20 +646,43 @@ impl ReplicatedBroker {
         for (group, topic, consumer) in &s.joins {
             broker.join_group(group, topic, consumer)?;
         }
-        for group in src_broker.group_names() {
-            let stats = src_broker.group_stats(&group)?;
-            if broker.group_stats(&group).is_err() {
-                continue; // group never joined through the cluster
-            }
-            for (p, &off) in stats.offsets.iter().enumerate() {
-                broker.commit(&group, p, off)?;
+        if let Some(src) = src {
+            let src_broker = Arc::clone(&s.nodes[src].broker);
+            for group in src_broker.group_names() {
+                let stats = src_broker.group_stats(&group)?;
+                if broker.group_stats(&group).is_err() {
+                    continue; // group never joined through the cluster
+                }
+                for (p, &off) in stats.offsets.iter().enumerate() {
+                    broker.commit(&group, p, off)?;
+                }
             }
         }
         s.nodes[node].broker = Arc::new(broker);
         s.nodes[node].alive = true;
         s.epoch += 1;
+        // Any partition led by a dead node fails over to the restarted one
+        // under a bumped epoch (reachable only when the whole cluster was
+        // down: with a live node present, kills always promote a live
+        // successor). Leadership otherwise stays where the failover put it.
+        let mut promotions = 0u64;
+        {
+            let nodes = &s.nodes;
+            for t in s.topics.values() {
+                for lead in &t.leads {
+                    let mut lead = lead.lock();
+                    if !nodes.get(lead.leader).map(|n| n.alive).unwrap_or(false) {
+                        lead.leader = node;
+                        lead.epoch += 1;
+                        promotions += 1;
+                    }
+                }
+            }
+        }
         drop(s);
-        self.stats.lock().node_restarts += 1;
+        let mut stats = self.stats.lock();
+        stats.node_restarts += 1;
+        stats.leader_failovers += promotions;
         Ok(info)
     }
 }
@@ -897,5 +956,139 @@ mod tests {
         let none = KillSchedule::from_plan(&FaultPlan::none(), 42, 4);
         assert_eq!(none.first(), None);
         assert_eq!(none.kill_time_s(0), None);
+    }
+
+    #[test]
+    fn topic_created_while_a_node_is_dead_gets_alive_leaders() {
+        // Regression: leadership at creation time must skip dead nodes —
+        // a partition whose leader is dead would fence every append.
+        let (c, _dirs) = cluster("deadlead", 3);
+        c.kill_node(0).unwrap();
+        c.create_topic("t", 6, Retention::Count(1_000)).unwrap();
+        for p in 0..6 {
+            let lease = c.lease("t", p).unwrap();
+            assert_ne!(lease.node, 0, "partition {p} led by the dead node");
+            c.append_with_lease(&lease, &[(None, payload(p as u8))])
+                .unwrap();
+        }
+        // The restarted node catches the topic up and does not steal
+        // leadership back.
+        c.restart_node(0).unwrap();
+        for p in 0..6 {
+            assert_ne!(c.lease("t", p).unwrap().node, 0);
+            assert_eq!(c.node_broker(0).unwrap().high_watermark("t", p), Ok(1));
+        }
+    }
+
+    #[test]
+    fn node_edge_cases_return_typed_errors() {
+        // Table-driven audit of the kill/restart edges that used to be
+        // silent no-ops (`Ok(0)` double kill) or a catch-all error.
+        let (c, _dirs) = cluster("edges", 3);
+        c.create_topic("t", 2, Retention::Count(1_000)).unwrap();
+        c.kill_node(1).unwrap();
+        let cases: Vec<(&str, Result<(), BrokerError>, BrokerError)> = vec![
+            (
+                "kill out-of-range",
+                c.kill_node(9).map(|_| ()),
+                BrokerError::UnknownNode { node: 9, nodes: 3 },
+            ),
+            (
+                "restart out-of-range",
+                c.restart_node(9).map(|_| ()),
+                BrokerError::UnknownNode { node: 9, nodes: 3 },
+            ),
+            (
+                "double kill",
+                c.kill_node(1).map(|_| ()),
+                BrokerError::NodeDead(1),
+            ),
+            (
+                "restart of an alive node",
+                c.restart_node(0).map(|_| ()),
+                BrokerError::NodeAlive(0),
+            ),
+            (
+                "append to an out-of-range partition",
+                {
+                    let mut lease = c.lease("t", 0).unwrap();
+                    lease.partition = 7;
+                    c.append_with_lease(&lease, &[(None, payload(0))])
+                        .map(|_| ())
+                },
+                BrokerError::UnknownPartition {
+                    topic: "t".to_string(),
+                    partition: 7,
+                },
+            ),
+        ];
+        for (what, got, want) in cases {
+            assert_eq!(got, Err(want), "{what}");
+        }
+        // The probe kill above still counts as exactly one failover-worthy
+        // kill; the rejected edges must not have perturbed the cluster.
+        assert_eq!(c.alive_nodes(), vec![0, 2]);
+        assert_eq!(c.stats().node_kills, 1);
+    }
+
+    #[test]
+    fn killing_the_last_node_still_fences_stale_leases() {
+        // Epoch bumps must not depend on a successor existing: a lease
+        // taken before the last node died is stale after recovery.
+        let (c, _dirs) = cluster("lastkill", 1);
+        c.create_topic("t", 1, Retention::Count(1_000)).unwrap();
+        let stale = c.lease("t", 0).unwrap();
+        c.append_with_lease(&stale, &[(None, payload(1))]).unwrap();
+        c.kill_node(0).unwrap();
+        assert_eq!(c.lease("t", 0), Err(BrokerError::NoAliveReplica));
+        c.restart_node(0).unwrap();
+        let err = c
+            .append_with_lease(&stale, &[(None, payload(2))])
+            .unwrap_err();
+        assert!(
+            matches!(err, BrokerError::FencedEpoch { epoch: 1, .. }),
+            "stale lease must be fenced after the kill, got {err:?}"
+        );
+        assert_eq!(c.stats().fenced_appends, 1);
+        // A fresh lease carries the bumped epoch and works.
+        let fresh = c.lease("t", 0).unwrap();
+        assert!(fresh.epoch > stale.epoch);
+        c.append_with_lease(&fresh, &[(None, payload(3))]).unwrap();
+    }
+
+    #[test]
+    fn all_dead_cluster_recovers_from_its_own_wal() {
+        // With every node dead there is no catch-up source; restart_node
+        // must recover from the node's own WAL instead of erroring out
+        // (which left an all-dead cluster permanently unrecoverable).
+        let (c, _dirs) = cluster("alldead", 2);
+        c.create_topic("t", 2, Retention::Count(1_000)).unwrap();
+        for i in 0..10u8 {
+            c.produce("t", Some(u64::from(i)), payload(i)).unwrap();
+        }
+        c.kill_node(0).unwrap();
+        c.kill_node(1).unwrap();
+        assert!(c.alive_nodes().is_empty());
+        let info = c.restart_node(0).unwrap();
+        assert!(info.records > 0, "own-WAL replay found nothing");
+        // Leadership of every partition lands on the restarted node under a
+        // bumped epoch, and the data plane is live again.
+        for p in 0..2 {
+            let lease = c.lease("t", p).unwrap();
+            assert_eq!(lease.node, 0);
+            assert!(lease.epoch > 1, "recovery must bump the partition epoch");
+            c.append_with_lease(&lease, &[(None, payload(9))]).unwrap();
+        }
+        // The second node comes back as a follower and catches up to byte
+        // parity with the survivor.
+        c.restart_node(1).unwrap();
+        let (n0, n1) = (c.node_broker(0).unwrap(), c.node_broker(1).unwrap());
+        for p in 0..2 {
+            assert_eq!(
+                partition_image(&n0, "t", p),
+                partition_image(&n1, "t", p),
+                "partition {p} diverged after the all-dead recovery"
+            );
+        }
     }
 }

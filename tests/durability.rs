@@ -165,3 +165,132 @@ fn replicated_cluster_survives_scheduled_node_kill_exactly_once() {
     // stream is accounted as consumed everywhere.
     assert_eq!(restarted.group_stats("g").unwrap().committed, expected);
 }
+
+/// Double failure: two of three nodes die at different points mid-stream,
+/// leaving a single survivor carrying every partition lease. The stream
+/// must ride through both failovers exactly once, and both victims must
+/// catch back up to byte parity on restart.
+#[test]
+fn replicated_cluster_survives_two_staggered_node_kills() {
+    const PRODUCERS: u64 = 2;
+    const PER_PRODUCER: u64 = 2_000;
+    const BATCH: u64 = 64;
+
+    let dirs: Vec<TempDir> = (0..3)
+        .map(|i| TempDir::new(&format!("durability-2kill-{i}")).unwrap())
+        .collect();
+    let cfgs: Vec<WalConfig> = dirs
+        .iter()
+        .map(|d| WalConfig::new(d.path()).with_fsync(FsyncPolicy::Never))
+        .collect();
+    let cluster = Arc::new(ReplicatedBroker::open(&cfgs).unwrap());
+    cluster
+        .create_topic("events", 4, Retention::Count(1_000_000))
+        .unwrap();
+    cluster.join_group("g", "events", "c0").unwrap();
+
+    // Both kills come off the same deterministic schedule: first draw and
+    // second draw, in kill-time order.
+    let plan = FaultPlan::none().with_broker_node_kills(0.5);
+    let schedule = KillSchedule::from_plan(&plan, 42, 3);
+    let mut order: Vec<(usize, f64)> = (0..3)
+        .filter_map(|i| schedule.kill_time_s(i).map(|t| (i, t)))
+        .collect();
+    order.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let (first_victim, second_victim) = (order[0].0, order[1].0);
+
+    let done = Arc::new(AtomicBool::new(false));
+    let producer_handles: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                let mut seq = 0u64;
+                while seq < PER_PRODUCER {
+                    let chunk = BATCH.min(PER_PRODUCER - seq);
+                    let records: Vec<_> =
+                        (seq..seq + chunk).map(|s| (None, encode(p, s))).collect();
+                    cluster.produce_batch("events", records).unwrap();
+                    seq += chunk;
+                }
+            })
+        })
+        .collect();
+
+    let consumer = {
+        let cluster = Arc::clone(&cluster);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut sub = cluster.subscribe("g", "c0").unwrap();
+            let mut buf = Vec::new();
+            let mut got: Vec<(u64, u64)> = Vec::new();
+            loop {
+                let was_done = done.load(Ordering::Acquire);
+                let seq = cluster.data_seq();
+                let n = cluster.poll_into(&mut sub, 64, &mut buf).unwrap();
+                if n == 0 {
+                    if was_done {
+                        break;
+                    }
+                    cluster.wait_for_data(seq, Duration::from_millis(5));
+                    continue;
+                }
+                got.extend(buf.iter().map(|m| decode(&m.payload)));
+            }
+            got
+        })
+    };
+
+    // Stagger the two kills while the stream is in flight. After the
+    // second, a single node survives and must hold every partition lease.
+    std::thread::sleep(Duration::from_millis(5));
+    cluster.kill_node(first_victim).unwrap();
+    std::thread::sleep(Duration::from_millis(5));
+    cluster.kill_node(second_victim).unwrap();
+    let survivor_idx = (0..3)
+        .find(|i| ![first_victim, second_victim].contains(i))
+        .unwrap();
+    assert_eq!(cluster.alive_nodes(), vec![survivor_idx]);
+    for p in 0..4 {
+        assert_eq!(cluster.lease("events", p).unwrap().node, survivor_idx);
+    }
+
+    for h in producer_handles {
+        h.join().unwrap();
+    }
+    done.store(true, Ordering::Release);
+    cluster.wake_all();
+    let seen = consumer.join().unwrap();
+
+    let expected = PRODUCERS * PER_PRODUCER;
+    assert_eq!(seen.len() as u64, expected, "zero loss, zero duplication");
+    let unique: HashSet<(u64, u64)> = seen.iter().copied().collect();
+    assert_eq!(unique.len() as u64, expected);
+    let stats = cluster.stats();
+    assert_eq!(stats.node_kills, 2);
+
+    // Both victims restart against the lone survivor and converge to
+    // record-for-record parity.
+    cluster.restart_node(first_victim).unwrap();
+    cluster.restart_node(second_victim).unwrap();
+    assert_eq!(cluster.alive_nodes(), vec![0, 1, 2]);
+    let survivor = cluster.node_broker(survivor_idx).unwrap();
+    for victim in [first_victim, second_victim] {
+        let rejoined = cluster.node_broker(victim).unwrap();
+        for p in 0..4 {
+            let a: Vec<_> = rejoined
+                .fetch("events", p, 0, usize::MAX)
+                .unwrap()
+                .iter()
+                .map(|m| (m.offset, m.payload.as_ref().clone()))
+                .collect();
+            let b: Vec<_> = survivor
+                .fetch("events", p, 0, usize::MAX)
+                .unwrap()
+                .iter()
+                .map(|m| (m.offset, m.payload.as_ref().clone()))
+                .collect();
+            assert_eq!(a, b, "node {victim} partition {p} diverged after catch-up");
+        }
+        assert_eq!(rejoined.group_stats("g").unwrap().committed, expected);
+    }
+}

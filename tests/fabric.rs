@@ -1,0 +1,108 @@
+//! Property-based tests over the control-plane fabric's rebalance
+//! invariants: under arbitrary daemon-kill schedules (crashes and stalls,
+//! any ticks, any victims) and arbitrary shard counts, every unit still
+//! completes exactly once, the shard-assignment log never hands the same
+//! `(shard, epoch)` to two owners, and the whole run replays bit-identically
+//! from its seed.
+
+use pilot_abstraction::core::describe::UnitDescription;
+use pilot_abstraction::core::fabric::{Fabric, FabricConfig, KillMode, ScheduledKill};
+use pilot_abstraction::core::retry::{FaultPlan, RetryPolicy};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn units(n: u64, run_ticks: u64) -> Vec<(UnitDescription, u64)> {
+    (0..n)
+        .map(|_| (UnitDescription::new(1), run_ticks))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rebalance_is_exactly_once_with_unique_shard_epochs(
+        n_daemons in 2usize..6,
+        n_shards in 1u32..12,
+        n_units in 40u64..200,
+        run_ticks in 2u64..12,
+        seed in 0u64..1_000,
+        raw_kills in prop::collection::vec((1u64..300, 0u64..8, 0u64..2), 0..4),
+        unit_fault_p in 0.0f64..0.15,
+    ) {
+        let kills: Vec<ScheduledKill> = raw_kills
+            .iter()
+            .map(|&(tick, victim, mode)| ScheduledKill {
+                tick,
+                daemon: (victim as usize) % n_daemons,
+                mode: if mode == 0 { KillMode::Crash } else { KillMode::Stall },
+            })
+            .collect();
+        let config = FabricConfig {
+            n_daemons,
+            n_shards,
+            pilots_per_shard: 2,
+            cores_per_pilot: 4,
+            seed,
+            kills,
+            faults: FaultPlan::none().with_unit_failures(unit_fault_p),
+            // A generous budget: the property is exactly-once bookkeeping,
+            // not whether a hostile fault rate can exhaust retries.
+            retry: RetryPolicy::fixed(10, 0.01),
+            ..FabricConfig::default()
+        };
+
+        let report = Fabric::run(&config, units(n_units, run_ticks));
+
+        // Every unit reaches exactly one terminal state; nothing is lost to
+        // a dead manager and nothing completes twice behind a stale epoch.
+        prop_assert_eq!(report.lost, 0, "lost units: {:?}", &report);
+        prop_assert_eq!(report.duplicates, 0, "duplicate completions: {:?}", &report);
+        prop_assert_eq!(
+            report.completed + report.exhausted,
+            report.total_units,
+            "terminal-state accounting broke: {:?}",
+            &report
+        );
+
+        // The assignment log is an exclusive-ownership history: no two
+        // daemons ever own the same shard at the same epoch, and each
+        // shard's epochs strictly increase.
+        let mut seen: HashSet<(u32, u64)> = HashSet::new();
+        let mut last_epoch: HashMap<u32, u64> = HashMap::new();
+        for a in &report.assignment_log {
+            prop_assert!(
+                seen.insert((a.shard, a.epoch)),
+                "(shard {}, epoch {}) assigned twice",
+                a.shard,
+                a.epoch
+            );
+            if let Some(&prev) = last_epoch.get(&a.shard) {
+                prop_assert!(
+                    a.epoch > prev,
+                    "shard {} epoch went {} -> {}",
+                    a.shard,
+                    prev,
+                    a.epoch
+                );
+            }
+            last_epoch.insert(a.shard, a.epoch);
+        }
+
+        // Every kill the driver applied on a live fabric is either survived
+        // (declared + rebalanced) or irrelevant (landed after completion) —
+        // but a declared death always moved the dead daemon's shards.
+        for ev in &report.rebalances {
+            prop_assert!(ev.declared_tick >= ev.last_heartbeat_tick);
+        }
+
+        // Determinism: the identical config replays the identical run,
+        // kill schedule, fault draws, fencing counters and all.
+        let replay = Fabric::run(&config, units(n_units, run_ticks));
+        prop_assert_eq!(
+            format!("{:?}", &report),
+            format!("{:?}", &replay),
+            "replay diverged"
+        );
+    }
+}
