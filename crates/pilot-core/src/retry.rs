@@ -267,6 +267,8 @@ pub mod streams {
     pub const BROKER_KILL: u64 = 0x5256_0000_0000_0005;
     /// Stream for host-daemon kill times; xor with the daemon index.
     pub const DAEMON_KILL: u64 = 0x5256_0000_0000_0006;
+    /// Stream for random-scheduler placement picks; xor with the unit id.
+    pub const SCHED_PICK: u64 = 0x5256_0000_0000_0007;
 
     /// Derive the per-entity, per-attempt sub-id mixed into a stream.
     pub fn keyed(stream: u64, entity: u64, attempt: u32) -> u64 {

@@ -10,6 +10,7 @@
 
 use crate::describe::UnitDescription;
 use crate::ids::{PilotId, UnitId};
+use crate::retry::streams;
 use pilot_infra::types::SiteId;
 use pilot_sim::SimRng;
 use std::collections::{HashMap, HashSet};
@@ -317,7 +318,14 @@ impl Scheduler for RandomScheduler {
         if feasible.is_empty() {
             None
         } else {
-            Some(feasible[self.rng.below_usize(feasible.len())].pilot)
+            // Keyed off the unit so the pick survives offer reordering: a
+            // draw on the root RNG would couple every placement to the
+            // global draw order.
+            let pick = self
+                .rng
+                .stream(streams::keyed(streams::SCHED_PICK, unit.unit.0, 0))
+                .below_usize(feasible.len());
+            Some(feasible[pick].pilot)
         }
     }
     fn name(&self) -> &'static str {
@@ -497,14 +505,34 @@ mod tests {
         let d = UnitDescription::new(4);
         let picks = |seed| {
             let mut s = RandomScheduler::new(seed);
-            (0..20)
-                .map(|_| s.select(&req(&d), &pilots).unwrap().0)
+            (0..20u64)
+                .map(|u| {
+                    let r = UnitRequest {
+                        unit: UnitId(u),
+                        desc: &d,
+                    };
+                    s.select(&r, &pilots).unwrap().0
+                })
                 .collect::<Vec<_>>()
         };
         let a = picks(7);
         assert_eq!(a, picks(7));
         assert!(a.iter().all(|&p| p == 2 || p == 3), "never the full pilot");
-        assert!(a.contains(&2) && a.contains(&3));
+        assert!(a.contains(&2) && a.contains(&3), "spread across units: {a:?}");
+        // The pick is keyed off the unit, not the call order: re-offering the
+        // same unit later lands on the same pilot.
+        let mut s = RandomScheduler::new(7);
+        let first = s.select(&req(&d), &pilots);
+        for _ in 0..5 {
+            s.select(
+                &UnitRequest {
+                    unit: UnitId(99),
+                    desc: &d,
+                },
+                &pilots,
+            );
+        }
+        assert_eq!(s.select(&req(&d), &pilots), first);
     }
 
     #[test]

@@ -1,0 +1,827 @@
+//! The interprocedural pass: orchestrates the call graph plus the five deep
+//! rules.
+//!
+//! | rule               | invariant                                                          |
+//! |--------------------|--------------------------------------------------------------------|
+//! | `wall-clock-reach` | R2-deep: no deterministic module *transitively* reaches a          |
+//! |                    | wall-clock read, sleep, or OS entropy (witness chain printed)      |
+//! | `panic-reach`      | R1-deep: no public library entry point transitively reaches an     |
+//! |                    | unaudited panic (`unreachable!` included — per-file R1 misses it)  |
+//! | `lock-cycle`       | R4-deep: the workspace lock-order graph, with held-guard sets      |
+//! |                    | propagated through callees, has no cycles                          |
+//! | `fence-discipline` | R6: in `fabric`/`replica`, report application and log appends      |
+//! |                    | happen under an epoch comparison in the function or on every       |
+//! |                    | caller path                                                        |
+//! | `rng-stream`       | R7: RNG draws in deterministic modules flow through reserved       |
+//! |                    | keyed streams (`rng.stream(…)`), never ad-hoc off a root RNG       |
+//!
+//! Conservatism is one-directional per rule and documented in DESIGN §8:
+//! reach rules under-approximate across unresolved callees and audited
+//! seeds; the lock graph over-approximates through method-name resolution;
+//! fence analysis treats any epoch-adjacent comparison as a guard
+//! (under-reporting); RNG discipline only flags receivers it can prove are
+//! root generators.
+
+use std::collections::HashMap;
+
+use crate::callgraph::{self, CallSite, FnDef, GraphStats, Workspace};
+use crate::graph::{EdgeInfo, LockGraph};
+use crate::lexer::{Tok, Token};
+use crate::rules::{ident_at, lockee_name, punct_at, FileClass, Finding, Prepared};
+use crate::taint::{self, push_checked};
+
+/// Output of [`analyze`].
+#[derive(Debug, Default)]
+pub struct DeepReport {
+    pub findings: Vec<Finding>,
+    pub suppressed: usize,
+    pub stats: GraphStats,
+}
+
+/// Run every interprocedural rule over the prepared files.
+pub fn analyze(files: &[Prepared]) -> DeepReport {
+    let ws = callgraph::build(files);
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    taint::wall_clock_reach(files, &ws, &mut findings, &mut suppressed);
+    taint::panic_reach(files, &ws, &mut findings, &mut suppressed);
+    lock_cycles(files, &ws, &mut findings, &mut suppressed);
+    fence_discipline(files, &ws, &mut findings, &mut suppressed);
+    rng_streams(files, &ws, &mut findings, &mut suppressed);
+    DeepReport {
+        findings,
+        suppressed,
+        stats: ws.stats,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R4-deep: whole-workspace lock-order graph with cycle detection.
+// ---------------------------------------------------------------------------
+
+/// Locks one function acquires, the order edges inside it, and what it holds
+/// at each call site.
+#[derive(Debug, Default)]
+struct LockSummary {
+    /// Lock names (crate-qualified) acquired anywhere in the body.
+    acquires: Vec<(String, u32)>,
+    /// `(first, second, line)` — second taken while first held, same body.
+    intra: Vec<(String, String, u32)>,
+    /// `(call index, held lock names)` for calls made under a guard.
+    at_calls: Vec<(usize, Vec<String>)>,
+}
+
+fn lock_cycles(
+    files: &[Prepared],
+    ws: &Workspace,
+    findings: &mut Vec<Finding>,
+    suppressed: &mut usize,
+) {
+    let relevant = |d: &FnDef| files[d.file_ix].class == FileClass::Library && !d.in_test;
+    let summaries: Vec<LockSummary> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(f, d)| {
+            if !relevant(d) {
+                return LockSummary::default();
+            }
+            d.body
+                .map(|(open, close)| lock_summary(&files[d.file_ix], d, open, close, &ws.calls[f]))
+                .unwrap_or_default()
+        })
+        .collect();
+
+    // Transitive acquisition sets, to a fixed point (the call graph has
+    // cycles; iteration is monotone over finite sets so it terminates).
+    let adj = ws.adjacency();
+    let mut names: HashMap<String, usize> = HashMap::new();
+    let intern = |n: &str, names: &mut HashMap<String, usize>| {
+        let next = names.len();
+        *names.entry(n.to_string()).or_insert(next)
+    };
+    let mut trans: Vec<Vec<usize>> = summaries
+        .iter()
+        .map(|s| {
+            let mut v: Vec<usize> = s
+                .acquires
+                .iter()
+                .map(|(n, _)| intern(n, &mut names))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for f in 0..trans.len() {
+            let mut merged = trans[f].clone();
+            for &t in &adj[f] {
+                merged.extend(trans[t].iter().copied());
+            }
+            merged.sort_unstable();
+            merged.dedup();
+            if merged.len() != trans[f].len() {
+                trans[f] = merged;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let id_names: Vec<&String> = {
+        let mut v: Vec<(&String, &usize)> = names.iter().collect();
+        v.sort_by_key(|(_, id)| **id);
+        v.into_iter().map(|(n, _)| n).collect()
+    };
+
+    // Global lock graph: intra edges plus call edges (lock L held while
+    // calling something that transitively acquires M).
+    let mut graph = LockGraph::default();
+    let mut order: Vec<usize> = (0..ws.fns.len()).collect();
+    order.sort_by_key(|&f| (&files[ws.fns[f].file_ix].display, ws.fns[f].line));
+    for &f in &order {
+        let d = &ws.fns[f];
+        let p = &files[d.file_ix];
+        let s = &summaries[f];
+        for (a, b, line) in &s.intra {
+            let from = graph.intern(a);
+            let to = graph.intern(b);
+            graph.add_edge(
+                from,
+                to,
+                EdgeInfo {
+                    file: p.display.clone(),
+                    line: *line,
+                    via: format!("both locked in `{}`", d.name),
+                    intra: true,
+                },
+            );
+        }
+        for (call_ix, held) in &s.at_calls {
+            let site: &CallSite = &ws.calls[f][*call_ix];
+            for t in &site.targets {
+                for &m in &trans[*t] {
+                    let m_name = id_names[m].as_str();
+                    for h in held {
+                        if h == m_name {
+                            continue;
+                        }
+                        let from = graph.intern(h);
+                        let to = graph.intern(m_name);
+                        graph.add_edge(
+                            from,
+                            to,
+                            EdgeInfo {
+                                file: p.display.clone(),
+                                line: site.line,
+                                via: format!(
+                                    "`{}` holds `{h}` while calling `{}`, which acquires `{m_name}`",
+                                    d.name, ws.fns[*t].name
+                                ),
+                                intra: false,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    for cycle in graph.cycles() {
+        let edges: Vec<(&EdgeInfo, String)> = cycle
+            .iter()
+            .zip(cycle.iter().cycle().skip(1))
+            .take(cycle.len())
+            .filter_map(|(&a, &b)| {
+                let info = graph.edges.get(&(a, b))?;
+                Some((
+                    info,
+                    format!(
+                        "{} -> {} [{}:{} — {}]",
+                        graph.name(a),
+                        graph.name(b),
+                        info.file,
+                        info.line,
+                        info.via
+                    ),
+                ))
+            })
+            .collect();
+        if edges.len() != cycle.len() {
+            continue;
+        }
+        // A pure-intra 2-cycle is the pairwise rule's finding, not ours.
+        if cycle.len() == 2 && edges.iter().all(|(i, _)| i.intra) {
+            continue;
+        }
+        let (anchor, _) = edges
+            .iter()
+            .min_by_key(|(i, _)| (i.file.clone(), i.line))
+            .map(|(i, w)| (*i, w))
+            .unwrap_or((edges[0].0, &edges[0].1));
+        let ring: Vec<&str> = cycle
+            .iter()
+            .chain(cycle.first())
+            .map(|&n| graph.name(n))
+            .collect();
+        let p = files.iter().find(|p| p.display == anchor.file);
+        let finding = Finding {
+            rule: "lock-cycle",
+            file: anchor.file.clone(),
+            line: anchor.line,
+            message: format!(
+                "lock-order cycle `{}` — a deadlock once two threads enter it \
+                 from different edges",
+                ring.join(" -> ")
+            ),
+            chain: edges.iter().map(|(_, w)| w.clone()).collect(),
+        };
+        match p {
+            Some(p) => push_checked(p, finding, findings, suppressed),
+            None => findings.push(finding),
+        }
+    }
+}
+
+/// Guard-tracking walk of one body, mirroring the per-file R4 scanner but
+/// additionally snapshotting held locks at every call site.
+fn lock_summary(
+    p: &Prepared,
+    d: &FnDef,
+    open: usize,
+    close: usize,
+    calls: &[CallSite],
+) -> LockSummary {
+    struct Guard {
+        var: Option<String>,
+        lockee: String,
+        depth: usize,
+    }
+    let code = &p.code;
+    let krate = d.module.first().cloned().unwrap_or_default();
+    let qualify = |l: &str| format!("{krate}::{l}");
+    let mut out = LockSummary::default();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut pending_let: Option<String> = None;
+    let mut depth = 0usize;
+    let mut call_ix = 0usize;
+    let mut i = open;
+    while i <= close {
+        while call_ix < calls.len() && calls[call_ix].tok_ix < i {
+            call_ix += 1;
+        }
+        if call_ix < calls.len() && calls[call_ix].tok_ix == i {
+            let held: Vec<String> = guards.iter().map(|g| g.lockee.clone()).collect();
+            if !held.is_empty() && !calls[call_ix].targets.is_empty() {
+                out.at_calls.push((call_ix, held));
+            }
+        }
+        match &code[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            Tok::Punct(';') => {
+                pending_let = None;
+            }
+            Tok::Ident(name) => {
+                let line = code[i].line;
+                match name.as_str() {
+                    "let" => {
+                        if let Some(n) = ident_at(code, i + 1) {
+                            let n = if n == "mut" {
+                                ident_at(code, i + 2).unwrap_or(n)
+                            } else {
+                                n
+                            };
+                            pending_let = Some(n.to_string());
+                        }
+                    }
+                    "drop" if punct_at(code, i + 1, '(') => {
+                        if let Some(v) = ident_at(code, i + 2) {
+                            guards.retain(|g| g.var.as_deref() != Some(v));
+                        }
+                    }
+                    "lock" | "read" | "write"
+                        if punct_at(code, i.wrapping_sub(1), '.')
+                            && punct_at(code, i + 1, '(')
+                            && punct_at(code, i + 2, ')') =>
+                    {
+                        let lockee = qualify(&lockee_name(code, i));
+                        out.acquires.push((lockee.clone(), line));
+                        for g in &guards {
+                            if g.lockee != lockee {
+                                out.intra.push((g.lockee.clone(), lockee.clone(), line));
+                            }
+                        }
+                        if let Some(var) = pending_let.clone() {
+                            guards.push(Guard {
+                                var: Some(var),
+                                lockee,
+                                depth,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R6: epoch fence discipline in the fabric and replica subsystems.
+// ---------------------------------------------------------------------------
+
+fn r6_scope(display: &str) -> bool {
+    display.contains("fabric/") || display.ends_with("replica.rs")
+}
+
+fn fence_discipline(
+    files: &[Prepared],
+    ws: &Workspace,
+    findings: &mut Vec<Finding>,
+    suppressed: &mut usize,
+) {
+    // Guard status for every function (cheap scan), not just in-scope ones:
+    // fencing may live in a caller outside the subsystem directory.
+    let guarded: Vec<bool> = ws
+        .fns
+        .iter()
+        .map(|d| {
+            d.body
+                .is_some_and(|(open, close)| has_epoch_guard(&files[d.file_ix], open, close))
+        })
+        .collect();
+    let lib_caller = |f: usize| {
+        let d = &ws.fns[f];
+        files[d.file_ix].class == FileClass::Library && !d.in_test
+    };
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); ws.fns.len()];
+    for (f, sites) in ws.calls.iter().enumerate() {
+        if !lib_caller(f) {
+            continue;
+        }
+        for s in sites {
+            for &t in &s.targets {
+                if !callers[t].contains(&f) {
+                    callers[t].push(f);
+                }
+            }
+        }
+    }
+    // fenced(f) = guard(f) ∨ (callers ≠ ∅ ∧ every caller fenced) — the least
+    // fixed point starting from the guards, so cyclic unfenced callers stay
+    // unfenced (conservative).
+    let mut fenced = guarded.clone();
+    loop {
+        let mut changed = false;
+        for f in 0..fenced.len() {
+            if fenced[f] || callers[f].is_empty() {
+                continue;
+            }
+            if callers[f].iter().all(|&c| fenced[c]) {
+                fenced[f] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for (f, d) in ws.fns.iter().enumerate() {
+        let p = &files[d.file_ix];
+        if !r6_scope(&p.display) || p.class == FileClass::Test || d.in_test || fenced[f] {
+            continue;
+        }
+        let Some((open, close)) = d.body else {
+            continue;
+        };
+        for (line, what) in apply_sites(p, open, close) {
+            let mut chain = unfenced_path(ws, files, &callers, &fenced, f);
+            chain.push(format!("`{what}`"));
+            push_checked(
+                p,
+                Finding {
+                    rule: "fence-discipline",
+                    file: p.display.clone(),
+                    line,
+                    message: format!(
+                        "`{what}` applied in `{}` with no epoch comparison in \
+                         the function or on a caller path — a stale-epoch \
+                         actor could apply it after losing ownership",
+                        d.name
+                    ),
+                    chain,
+                },
+                findings,
+                suppressed,
+            );
+        }
+    }
+}
+
+/// Walk *up* the caller graph along unfenced functions to show one concrete
+/// unguarded entry path, root first.
+fn unfenced_path(
+    ws: &Workspace,
+    files: &[Prepared],
+    callers: &[Vec<usize>],
+    fenced: &[bool],
+    f: usize,
+) -> Vec<String> {
+    let mut path = vec![f];
+    let mut cur = f;
+    while path.len() < 10 {
+        let Some(&up) = callers[cur]
+            .iter()
+            .find(|c| !fenced[**c] && !path.contains(*c))
+        else {
+            break;
+        };
+        path.push(up);
+        cur = up;
+    }
+    path.reverse();
+    path.into_iter().map(|n| ws.label(files, n)).collect()
+}
+
+/// Report-application / append primitives inside a body.
+fn apply_sites(p: &Prepared, open: usize, close: usize) -> Vec<(u32, String)> {
+    let code = &p.code;
+    let mut out = Vec::new();
+    for i in open..close {
+        if p.in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(name) = ident_at(code, i) else {
+            continue;
+        };
+        let line = code[i].line;
+        if matches!(name, "append_at" | "append_messages")
+            && punct_at(code, i.wrapping_sub(1), '.')
+            && punct_at(code, i + 1, '(')
+        {
+            out.push((line, format!(".{name}(…)")));
+            continue;
+        }
+        // A `ToController::Variant { … } =>` match arm is where a daemon
+        // report gets applied; pattern position is distinguished from
+        // construction by the `=>` after the brace-matched pattern.
+        if matches!(name, "ToController" | "ToDaemon")
+            && punct_at(code, i + 1, ':')
+            && punct_at(code, i + 2, ':')
+        {
+            let Some(variant) = ident_at(code, i + 3) else {
+                continue;
+            };
+            let mut j = i + 4;
+            if punct_at(code, j, '{') {
+                j = callgraph::close_brace(code, j) + 1;
+            } else if punct_at(code, j, '(') {
+                let mut depth = 0i32;
+                while j < code.len() {
+                    match code[j].tok {
+                        Tok::Punct('(') => depth += 1,
+                        Tok::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                j += 1;
+            }
+            if punct_at(code, j, '=') && punct_at(code, j + 1, '>') {
+                out.push((line, format!("{name}::{variant} match arm")));
+            }
+        }
+    }
+    out
+}
+
+/// Does any single statement both mention an epoch-ish identifier and
+/// perform a comparison? (Generic brackets can satisfy `<`/`>`, so this
+/// over-accepts guards — the rule under-reports, never false-fires, on
+/// fenced code.)
+fn has_epoch_guard(p: &Prepared, open: usize, close: usize) -> bool {
+    let code = &p.code;
+    let mut has_epoch = false;
+    let mut has_cmp = false;
+    for i in open..close {
+        match &code[i].tok {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => {
+                has_epoch = false;
+                has_cmp = false;
+            }
+            Tok::Punct(c)
+                if (matches!(c, '<' | '>')
+                    || (*c == '=' && punct_at(code, i + 1, '='))
+                    || (*c == '!' && punct_at(code, i + 1, '='))) =>
+            {
+                has_cmp = true;
+            }
+            Tok::Ident(s) if s.to_ascii_lowercase().contains("epoch") => {
+                has_epoch = true;
+            }
+            _ => {}
+        }
+        if has_epoch && has_cmp {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// R7: RNG draws in deterministic modules go through reserved keyed streams.
+// ---------------------------------------------------------------------------
+
+/// SimRng draw methods (everything that consumes randomness; `stream` is the
+/// derivation, not a draw).
+const DRAWS: [&str; 16] = [
+    "next_u64",
+    "f64",
+    "f64_range",
+    "below",
+    "below_usize",
+    "range_u64",
+    "bool",
+    "gaussian",
+    "normal",
+    "exponential",
+    "lognormal",
+    "weibull",
+    "pareto",
+    "shuffle",
+    "pick",
+    "weighted_index",
+];
+
+#[derive(Clone, Copy, PartialEq)]
+enum Origin {
+    Root,
+    Derived,
+    Unknown,
+}
+
+fn rng_streams(
+    files: &[Prepared],
+    ws: &Workspace,
+    findings: &mut Vec<Finding>,
+    suppressed: &mut usize,
+) {
+    for (f, d) in ws.fns.iter().enumerate() {
+        let p = &files[d.file_ix];
+        if !p.deterministic || p.class == FileClass::Test || d.in_test {
+            continue;
+        }
+        let Some((open, close)) = d.body else {
+            continue;
+        };
+        let locals = local_origins(p, open, close);
+        let params = param_names(p, d, open);
+        let code = &p.code;
+        for i in open..close {
+            if p.in_test.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let Some(name) = ident_at(code, i) else {
+                continue;
+            };
+            if !DRAWS.contains(&name)
+                || !punct_at(code, i.wrapping_sub(1), '.')
+                || !punct_at(code, i + 1, '(')
+            {
+                continue;
+            }
+            let recv = receiver(code, i);
+            if recv.derived {
+                continue;
+            }
+            let flagged = match recv.base.as_deref() {
+                Some("self") => recv.fields > 0,
+                Some("SimRng") => true,
+                Some(local) if !params.contains(&local.to_string()) => {
+                    locals.get(local).copied().unwrap_or(Origin::Unknown) == Origin::Root
+                }
+                _ => false,
+            };
+            if !flagged {
+                continue;
+            }
+            push_checked(
+                p,
+                Finding {
+                    rule: "rng-stream",
+                    file: p.display.clone(),
+                    line: code[i].line,
+                    message: format!(
+                        "ad-hoc `.{name}()` draw on a root RNG in a \
+                         deterministic module — derive a reserved stream \
+                         first (`rng.stream(streams::keyed(…))`) so the draw \
+                         survives reordering and rebalances",
+                    ),
+                    chain: vec![format!("in {}", ws.label(files, f))],
+                },
+                findings,
+                suppressed,
+            );
+        }
+    }
+}
+
+struct Receiver {
+    /// Leftmost element of the receiver chain (`self`, a local, `SimRng`
+    /// for ctor chains), if recognizable.
+    base: Option<String>,
+    /// `.field` hops between the base and the draw.
+    fields: usize,
+    /// The chain passes through `.stream(…)`.
+    derived: bool,
+}
+
+/// Classify the receiver chain of a `.draw(` at token `i` by walking
+/// backwards over idents, field dots, and balanced `(...)`/`[...]` groups.
+fn receiver(code: &[Token], i: usize) -> Receiver {
+    let mut derived = false;
+    let mut fields = 0usize;
+    let mut base = None;
+    let mut j = i.wrapping_sub(2); // before the `.`
+    loop {
+        match code.get(j).map(|t| &t.tok) {
+            Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => {
+                let (openc, closec) = match code[j].tok {
+                    Tok::Punct(')') => ('(', ')'),
+                    _ => ('[', ']'),
+                };
+                let mut depth = 0i32;
+                loop {
+                    match code.get(j).map(|t| &t.tok) {
+                        Some(Tok::Punct(c)) if *c == closec => depth += 1,
+                        Some(Tok::Punct(c)) if *c == openc => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        None => {
+                            return Receiver {
+                                base,
+                                fields,
+                                derived,
+                            }
+                        }
+                        _ => {}
+                    }
+                    if j == 0 {
+                        return Receiver {
+                            base,
+                            fields,
+                            derived,
+                        };
+                    }
+                    j -= 1;
+                }
+                if j == 0 {
+                    return Receiver {
+                        base,
+                        fields,
+                        derived,
+                    };
+                }
+                j -= 1;
+            }
+            Some(Tok::Punct('?')) => {
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            Some(Tok::Ident(s)) => {
+                if s == "stream" {
+                    derived = true;
+                }
+                if j >= 2 && punct_at(code, j - 1, '.') {
+                    fields += 1;
+                    j -= 2;
+                } else if j >= 2 && punct_at(code, j - 1, ':') && punct_at(code, j - 2, ':') {
+                    // Path head (e.g. `SimRng::new(…)`): the path's first
+                    // segment is the base.
+                    let mut k = j;
+                    while k >= 3
+                        && punct_at(code, k - 1, ':')
+                        && punct_at(code, k - 2, ':')
+                        && ident_at(code, k - 3).is_some()
+                    {
+                        k -= 3;
+                    }
+                    base = ident_at(code, k).map(str::to_string);
+                    break;
+                } else {
+                    base = Some(s.clone());
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    Receiver {
+        base,
+        fields,
+        derived,
+    }
+}
+
+/// `let name = init;` classification: an initializer through `.stream(` is
+/// Derived; one mentioning `SimRng` (ctor or clone of a root) is Root;
+/// anything else Unknown (never flagged — conservative).
+fn local_origins(p: &Prepared, open: usize, close: usize) -> HashMap<String, Origin> {
+    let code = &p.code;
+    let mut out = HashMap::new();
+    let mut i = open;
+    while i < close {
+        if ident_at(code, i) != Some("let") {
+            i += 1;
+            continue;
+        }
+        let mut at = i + 1;
+        if ident_at(code, at) == Some("mut") {
+            at += 1;
+        }
+        let Some(name) = ident_at(code, at) else {
+            i += 1;
+            continue;
+        };
+        // Initializer runs to the statement's `;` at this brace depth.
+        let mut j = at + 1;
+        let mut depth = 0i32;
+        let mut origin = Origin::Unknown;
+        while j < close {
+            match &code[j].tok {
+                Tok::Punct('{') | Tok::Punct('(') => depth += 1,
+                Tok::Punct('}') | Tok::Punct(')') => depth -= 1,
+                Tok::Punct(';') if depth <= 0 => break,
+                Tok::Ident(s) if s == "stream" && punct_at(code, j + 1, '(') => {
+                    origin = Origin::Derived;
+                }
+                Tok::Ident(s) if s == "SimRng" && origin == Origin::Unknown => {
+                    origin = Origin::Root;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if origin != Origin::Unknown {
+            out.insert(name.to_string(), origin);
+        }
+        i = j;
+    }
+    out
+}
+
+/// Parameter names of the fn whose body opens at `open` (scan the signature
+/// parens immediately before the body).
+fn param_names(p: &Prepared, d: &FnDef, open: usize) -> Vec<String> {
+    let code = &p.code;
+    // Find the signature's `(`: first `(` after the fn keyword. The def line
+    // gives us a bounded backwards search window.
+    let mut start = open;
+    while start > 0 && code[start].line >= d.line && ident_at(code, start) != Some("fn") {
+        start -= 1;
+    }
+    let mut i = start;
+    while i < open && !punct_at(code, i, '(') {
+        i += 1;
+    }
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    while i < open {
+        match &code[i].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Ident(s) if depth == 1 && (s == "self" || punct_at(code, i + 1, ':')) => {
+                out.push(s.clone());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}

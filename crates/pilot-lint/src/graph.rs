@@ -1,0 +1,201 @@
+//! Fixed-point graph machinery for the deep pass: seed reachability with
+//! witness chains, and cycle detection over the workspace lock graph.
+
+use std::collections::{HashMap, VecDeque};
+
+/// BFS from `seeds` over the *reverse* of `adj` (so: which nodes can reach a
+/// seed through forward edges). Returns, per node, the forward next hop on a
+/// shortest path toward a seed — `None` for unreachable nodes; seeds map to
+/// themselves. Witness chains follow the hops.
+pub fn next_hop_to_seeds(adj: &[Vec<usize>], seeds: &[bool]) -> Vec<Option<usize>> {
+    let n = adj.len();
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, outs) in adj.iter().enumerate() {
+        for &v in outs {
+            rev[v].push(u);
+        }
+    }
+    let mut hop: Vec<Option<usize>> = vec![None; n];
+    let mut q = VecDeque::new();
+    for (s, &is_seed) in seeds.iter().enumerate() {
+        if is_seed {
+            hop[s] = Some(s);
+            q.push_back(s);
+        }
+    }
+    while let Some(v) = q.pop_front() {
+        for &u in &rev[v] {
+            if hop[u].is_none() {
+                hop[u] = Some(v);
+                q.push_back(u);
+            }
+        }
+    }
+    hop
+}
+
+/// Walk the next-hop chain from `start` down to its seed (inclusive), capped
+/// defensively.
+pub fn chain_to_seed(hop: &[Option<usize>], start: usize) -> Vec<usize> {
+    let mut out = vec![start];
+    let mut cur = start;
+    while let Some(next) = hop[cur] {
+        if next == cur || out.len() > 64 {
+            break;
+        }
+        out.push(next);
+        cur = next;
+    }
+    out
+}
+
+/// Provenance of one lock-order edge in the global graph.
+#[derive(Clone, Debug)]
+pub struct EdgeInfo {
+    pub file: String,
+    pub line: u32,
+    /// Human description of where the edge comes from: the acquiring
+    /// function, plus the call path when the second lock is taken in a
+    /// callee.
+    pub via: String,
+    /// Both locks taken in the same function body (the pairwise rule's
+    /// domain) rather than through a call.
+    pub intra: bool,
+}
+
+/// Directed graph over interned lock names.
+#[derive(Default)]
+pub struct LockGraph {
+    names: Vec<String>,
+    ids: HashMap<String, usize>,
+    /// First observation wins per (from, to); deterministic because edges are
+    /// inserted in sorted file order.
+    pub edges: HashMap<(usize, usize), EdgeInfo>,
+}
+
+impl LockGraph {
+    pub fn intern(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len();
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    pub fn name(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+
+    pub fn add_edge(&mut self, from: usize, to: usize, info: EdgeInfo) {
+        if from == to {
+            return;
+        }
+        self.edges.entry((from, to)).or_insert(info);
+    }
+
+    /// Every elementary cycle's node list is expensive; for a lint we want
+    /// one witness per strongly connected component. Tarjan SCC, then a DFS
+    /// inside each non-trivial component from its smallest node id.
+    pub fn cycles(&self) -> Vec<Vec<usize>> {
+        let n = self.names.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(f, t) in self.edges.keys() {
+            adj[f].push(t);
+        }
+        for outs in &mut adj {
+            outs.sort_unstable();
+        }
+        let sccs = tarjan(n, &adj);
+        let mut out = Vec::new();
+        for scc in sccs {
+            if scc.len() < 2 {
+                continue;
+            }
+            let mut members = scc.clone();
+            members.sort_unstable();
+            if let Some(cycle) = witness_cycle(members[0], &members, &adj) {
+                out.push(cycle);
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+fn tarjan(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    // Iterative Tarjan to keep the lint stack-safe on big graphs.
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs = Vec::new();
+    let mut call: Vec<(usize, usize)> = Vec::new(); // (node, next child ix)
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        call.push((start, 0));
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*ci) {
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// A concrete cycle through `start` staying inside `members` (sorted):
+/// backtracking DFS, exponential in the worst case but lock graphs are tiny
+/// and an SCC guarantees a cycle exists.
+fn witness_cycle(start: usize, members: &[usize], adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let mut path = vec![start];
+    let mut iters = vec![0usize];
+    while let Some(&cur) = path.last() {
+        let i = iters.last_mut()?;
+        if let Some(&w) = adj[cur].get(*i) {
+            *i += 1;
+            if w == start && path.len() > 1 {
+                return Some(path);
+            }
+            if members.binary_search(&w).is_ok() && !path.contains(&w) {
+                path.push(w);
+                iters.push(0);
+            }
+        } else {
+            path.pop();
+            iters.pop();
+        }
+    }
+    None
+}

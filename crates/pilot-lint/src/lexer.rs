@@ -83,7 +83,12 @@ impl Lexer {
                     self.string();
                 }
                 'b' if self.peek(1) == Some('r') && matches!(self.peek(2), Some('"' | '#')) => {
-                    self.bump();
+                    // Consume only the `b`; `raw_string` expects to start at
+                    // the `r`. (Bumping both here made `raw_string` eat the
+                    // opening quote as if it were the `r`, so `br#"…"#`
+                    // mis-counted its hashes and terminated at the first
+                    // interior quote — string contents leaked out as code
+                    // tokens and fabricated call-graph edges.)
                     self.bump();
                     self.raw_string(line);
                 }
@@ -302,6 +307,34 @@ mod tests {
             1,
             "one raw string literal"
         );
+    }
+
+    #[test]
+    fn byte_raw_strings_with_hashes() {
+        // Regression: the `br` prefix used to be double-consumed, so the
+        // hash count came out wrong and the literal terminated at the first
+        // interior quote, leaking string contents as code tokens.
+        let toks = kinds(r###"let s = br#"quote " inside"# ; x"###);
+        assert!(toks.contains(&Tok::Ident("x".into())));
+        assert_eq!(
+            toks.iter().filter(|t| **t == Tok::Literal).count(),
+            1,
+            "one byte raw string literal"
+        );
+        assert!(
+            !toks.contains(&Tok::Ident("quote".into())),
+            "string contents must not leak as idents"
+        );
+        let plain = kinds(r#"let b = br"plain"; y"#);
+        assert!(plain.contains(&Tok::Ident("y".into())));
+        assert_eq!(plain.iter().filter(|t| **t == Tok::Literal).count(), 1);
+    }
+
+    #[test]
+    fn unterminated_nested_comment_degrades() {
+        let toks = kinds("/* outer /* inner */ never closed");
+        assert_eq!(toks.len(), 1);
+        assert!(matches!(toks[0], Tok::BlockComment(_)));
     }
 
     #[test]

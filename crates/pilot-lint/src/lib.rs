@@ -9,9 +9,14 @@
 //! `// lint: allow(<rule>, reason = "…")` on the same line or the line
 //! above.
 
+pub mod callgraph;
+pub mod deep;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod taint;
 
+pub use callgraph::GraphStats;
 pub use rules::{FileClass, Finding};
 
 use std::fs;
@@ -26,6 +31,8 @@ pub struct Report {
     pub files: usize,
     /// Findings silenced by a well-formed `lint: allow`.
     pub suppressed: usize,
+    /// Call-graph size and resolution counters when the deep pass ran.
+    pub graph: Option<GraphStats>,
 }
 
 impl Report {
@@ -53,13 +60,24 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
             (display, class, p.clone())
         })
         .collect::<Vec<_>>();
-    lint_files(&sources)
+    lint_files(&sources, true)
 }
 
 /// Lint an explicit set of files, treating each as library code (so that
 /// fixture files exercise every rule regardless of where they live).
+/// Per-file rules only; see [`lint_paths_deep`] for the interprocedural pass.
 pub fn lint_paths(paths: &[PathBuf]) -> io::Result<Report> {
-    let sources = paths
+    lint_files(&explicit_sources(paths), false)
+}
+
+/// Lint an explicit set of files as one miniature workspace: per-file rules
+/// *plus* the call-graph pass. This is how the deep-rule fixtures run.
+pub fn lint_paths_deep(paths: &[PathBuf]) -> io::Result<Report> {
+    lint_files(&explicit_sources(paths), true)
+}
+
+fn explicit_sources(paths: &[PathBuf]) -> Vec<(String, FileClass, PathBuf)> {
+    paths
         .iter()
         .map(|p| {
             (
@@ -68,25 +86,34 @@ pub fn lint_paths(paths: &[PathBuf]) -> io::Result<Report> {
                 p.clone(),
             )
         })
-        .collect::<Vec<_>>();
-    lint_files(&sources)
+        .collect()
 }
 
-fn lint_files(sources: &[(String, FileClass, PathBuf)]) -> io::Result<Report> {
+fn lint_files(sources: &[(String, FileClass, PathBuf)], deep: bool) -> io::Result<Report> {
     let mut report = Report::default();
     let mut orders = Vec::new();
+    let mut prepared = Vec::new();
     for (display, class, path) in sources {
         let src = fs::read_to_string(path)?;
-        let mut file = rules::lint_source(display, *class, &src);
+        prepared.push(rules::prepare(display, *class, &src));
+    }
+    for p in &prepared {
+        let mut file = rules::lint_prepared(p);
         report.files += 1;
         report.suppressed += file.suppressed;
         report.findings.append(&mut file.findings);
         orders.append(&mut file.lock_orders);
     }
     report.findings.extend(rules::check_lock_orders(&orders));
+    if deep {
+        let mut d = deep::analyze(&prepared);
+        report.suppressed += d.suppressed;
+        report.findings.append(&mut d.findings);
+        report.graph = Some(d.stats);
+    }
     report
         .findings
-        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(report)
 }
 
@@ -144,7 +171,9 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     }
 }
 
-/// Render findings for humans, one line each, plus a summary line.
+/// Render findings for humans: one line each, witness chains indented under
+/// interprocedural findings, plus a summary (and graph stats when the deep
+/// pass ran).
 pub fn render_human(report: &Report) -> String {
     let mut out = String::new();
     for f in &report.findings {
@@ -152,6 +181,12 @@ pub fn render_human(report: &Report) -> String {
             "{}:{}: [{}] {}\n",
             f.file, f.line, f.rule, f.message
         ));
+        for (i, hop) in f.chain.iter().enumerate() {
+            out.push_str(&format!(
+                "    {} {hop}\n",
+                if i == 0 { "via" } else { " ->" }
+            ));
+        }
     }
     out.push_str(&format!(
         "pilot-lint: {} file(s), {} finding(s), {} suppressed\n",
@@ -159,6 +194,20 @@ pub fn render_human(report: &Report) -> String {
         report.findings.len(),
         report.suppressed
     ));
+    if let Some(g) = &report.graph {
+        out.push_str(&format!(
+            "call graph: {} fn(s), {} call site(s), {} edge(s); resolved \
+             {} exact / {} suffix / {} typed / {} method, {} unresolved\n",
+            g.functions,
+            g.call_sites,
+            g.edges,
+            g.resolved_exact,
+            g.resolved_suffix,
+            g.resolved_typed,
+            g.resolved_method,
+            g.unresolved
+        ));
+    }
     out
 }
 
@@ -169,8 +218,14 @@ pub fn render_json(report: &Report) -> String {
         if i > 0 {
             out.push(',');
         }
+        let chain = f
+            .chain
+            .iter()
+            .map(|c| json_str(c))
+            .collect::<Vec<_>>()
+            .join(",");
         out.push_str(&format!(
-            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{},\"chain\":[{chain}]}}",
             json_str(f.rule),
             json_str(&f.file),
             f.line,
@@ -178,11 +233,25 @@ pub fn render_json(report: &Report) -> String {
         ));
     }
     out.push_str(&format!(
-        "],\"files\":{},\"suppressed\":{},\"clean\":{}}}",
-        report.files,
-        report.suppressed,
-        report.is_clean()
+        "],\"files\":{},\"suppressed\":{}",
+        report.files, report.suppressed
     ));
+    if let Some(g) = &report.graph {
+        out.push_str(&format!(
+            ",\"graph\":{{\"functions\":{},\"call_sites\":{},\"edges\":{},\
+             \"resolved_exact\":{},\"resolved_suffix\":{},\"resolved_typed\":{},\
+             \"resolved_method\":{},\"unresolved\":{}}}",
+            g.functions,
+            g.call_sites,
+            g.edges,
+            g.resolved_exact,
+            g.resolved_suffix,
+            g.resolved_typed,
+            g.resolved_method,
+            g.unresolved
+        ));
+    }
+    out.push_str(&format!(",\"clean\":{}}}", report.is_clean()));
     out
 }
 

@@ -1,10 +1,11 @@
 //! CLI for pilot-lint.
 //!
 //! ```text
-//! cargo run -p pilot-lint                       # lint the workspace
+//! cargo run -p pilot-lint                       # lint the workspace (deep)
 //! cargo run -p pilot-lint -- --format json      # machine-readable output
 //! cargo run -p pilot-lint -- --root path/to/ws  # explicit workspace root
 //! cargo run -p pilot-lint -- a.rs b.rs          # lint files as library code
+//! cargo run -p pilot-lint -- --deep a.rs b.rs   # files + call-graph pass
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
@@ -15,6 +16,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut deep = false;
     let mut root: Option<PathBuf> = None;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut args = env::args().skip(1);
@@ -35,11 +37,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--deep" => deep = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: pilot-lint [--format json|human] [--root DIR] [FILES…]\n\
+                    "usage: pilot-lint [--format json|human] [--root DIR] [--deep] [FILES…]\n\
                      Lints the workspace (or FILES, as library code) for the\n\
-                     pilot-abstraction invariants R1–R5. See DESIGN.md."
+                     pilot-abstraction invariants. Workspace runs include the\n\
+                     interprocedural call-graph pass; pass --deep to run it on\n\
+                     explicit FILES too. See DESIGN.md."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -59,6 +64,8 @@ fn main() -> ExitCode {
             })
             .unwrap_or_else(|| PathBuf::from("."));
         pilot_lint::lint_workspace(&root)
+    } else if deep {
+        pilot_lint::lint_paths_deep(&files)
     } else {
         pilot_lint::lint_paths(&files)
     };

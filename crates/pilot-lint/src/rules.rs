@@ -43,6 +43,22 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable description.
     pub message: String,
+    /// For interprocedural findings: the witness call chain from the flagged
+    /// function down to the primitive that grounds the finding, rendered as
+    /// `qualified::fn (file:line)` entries. Empty for per-file findings.
+    pub chain: Vec<String>,
+}
+
+impl Finding {
+    pub(crate) fn new(rule: &'static str, file: &str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+            chain: Vec::new(),
+        }
+    }
 }
 
 /// A `lock A then B` observation, combined across files for the
@@ -65,25 +81,57 @@ pub struct FileReport {
     pub lock_orders: Vec<LockOrder>,
 }
 
-const RULES: [&str; 5] = [
+/// Every rule name `lint: allow(…)` may reference: the five per-file rules
+/// plus the five interprocedural rules run by the deep pass (see `deep.rs`).
+const RULES: [&str; 10] = [
     "panic",
     "wall-clock",
     "state-mutation",
     "lock-discipline",
     "debug-macro",
+    "panic-reach",
+    "wall-clock-reach",
+    "lock-cycle",
+    "fence-discipline",
+    "rng-stream",
 ];
 
-struct Allow {
-    rule: String,
-    has_reason: bool,
+pub(crate) struct Allow {
+    pub(crate) rule: String,
+    pub(crate) has_reason: bool,
 }
 
-/// Lint one file's source text.
-pub fn lint_source(display_path: &str, class: FileClass, src: &str) -> FileReport {
+/// A file lexed and classified once, shared by the per-file rules and the
+/// interprocedural pass so nothing is tokenized twice.
+pub struct Prepared {
+    pub display: String,
+    pub class: FileClass,
+    /// Code tokens only — comments already stripped.
+    pub code: Vec<Token>,
+    /// Per code-token flag: inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+    /// File carries a `// lint: deterministic` tag (or lives under a
+    /// sim-only path).
+    pub deterministic: bool,
+    pub(crate) allows: HashMap<u32, Vec<Allow>>,
+    /// Malformed-suppression findings discovered while parsing directives.
+    pub(crate) suppression_findings: Vec<Finding>,
+}
+
+impl Prepared {
+    /// Whether a valid suppression for `rule` covers `line`.
+    pub(crate) fn allowed(&self, line: u32, rule: &str) -> bool {
+        is_allowed(&self.allows, line, rule)
+    }
+}
+
+/// Lex and classify one file: parse lint directives, strip comments, mark
+/// test regions. The result feeds both [`lint_prepared`] and the deep pass.
+pub fn prepare(display_path: &str, class: FileClass, src: &str) -> Prepared {
     let tokens = lex(src);
     let mut allows: HashMap<u32, Vec<Allow>> = HashMap::new();
     let mut deterministic = false;
-    let mut report = FileReport::default();
+    let mut suppression_findings = Vec::new();
 
     for t in &tokens {
         let text = match &t.tok {
@@ -104,7 +152,7 @@ pub fn lint_source(display_path: &str, class: FileClass, src: &str) -> FileRepor
             t.line,
             display_path,
             &mut allows,
-            &mut report.findings,
+            &mut suppression_findings,
         );
     }
 
@@ -114,34 +162,57 @@ pub fn lint_source(display_path: &str, class: FileClass, src: &str) -> FileRepor
         .filter(|t| !matches!(t.tok, Tok::LineComment(_) | Tok::BlockComment(_)))
         .collect();
     let in_test = test_regions(&code);
-    let sim_path = display_path.contains("pilot-core/src/sim");
+    deterministic |= display_path.contains("pilot-core/src/sim");
+    Prepared {
+        display: display_path.to_string(),
+        class,
+        code,
+        in_test,
+        deterministic,
+        allows,
+        suppression_findings,
+    }
+}
+
+/// Run the per-file rules over a prepared file.
+pub fn lint_prepared(p: &Prepared) -> FileReport {
+    let mut report = FileReport {
+        findings: p.suppression_findings.clone(),
+        ..FileReport::default()
+    };
+    let display_path = p.display.as_str();
     let is_state_rs = display_path.ends_with("/state.rs") || display_path == "state.rs";
 
     let mut raw: Vec<Finding> = Vec::new();
-    scan_calls(display_path, class, &code, &in_test, &mut raw);
-    if sim_path || deterministic {
-        scan_wall_clock(display_path, &code, &in_test, &mut raw);
+    scan_calls(display_path, p.class, &p.code, &p.in_test, &mut raw);
+    if p.deterministic {
+        scan_wall_clock(display_path, &p.code, &p.in_test, &mut raw);
     }
-    if class == FileClass::Library && !is_state_rs {
-        scan_state_mutation(display_path, &code, &in_test, &mut raw);
+    if p.class == FileClass::Library && !is_state_rs {
+        scan_state_mutation(display_path, &p.code, &p.in_test, &mut raw);
     }
     let mut orders = Vec::new();
-    if class == FileClass::Library {
-        scan_locks(display_path, &code, &in_test, &mut raw, &mut orders);
+    if p.class == FileClass::Library {
+        scan_locks(display_path, &p.code, &p.in_test, &mut raw, &mut orders);
     }
 
     for f in raw {
-        if is_allowed(&allows, f.line, f.rule) {
+        if p.allowed(f.line, f.rule) {
             report.suppressed += 1;
         } else {
             report.findings.push(f);
         }
     }
     for mut o in orders {
-        o.suppressed = is_allowed(&allows, o.line, "lock-discipline");
+        o.suppressed = p.allowed(o.line, "lock-discipline");
         report.lock_orders.push(o);
     }
     report
+}
+
+/// Lint one file's source text (per-file rules only).
+pub fn lint_source(display_path: &str, class: FileClass, src: &str) -> FileReport {
+    lint_prepared(&prepare(display_path, class, src))
 }
 
 fn is_allowed(allows: &HashMap<u32, Vec<Allow>>, line: u32, rule: &str) -> bool {
@@ -166,12 +237,12 @@ fn parse_allows(
     while let Some(at) = rest.find("lint: allow(") {
         rest = &rest[at + "lint: allow(".len()..];
         let Some(close) = rest.find(')') else {
-            findings.push(Finding {
-                rule: "suppression",
-                file: path.to_string(),
+            findings.push(Finding::new(
+                "suppression",
+                path,
                 line,
-                message: "unterminated `lint: allow(` suppression".to_string(),
-            });
+                "unterminated `lint: allow(` suppression".to_string(),
+            ));
             return;
         };
         let inner = &rest[..close];
@@ -183,12 +254,12 @@ fn parse_allows(
             .trim()
             .to_string();
         if !RULES.contains(&rule.as_str()) {
-            findings.push(Finding {
-                rule: "suppression",
-                file: path.to_string(),
+            findings.push(Finding::new(
+                "suppression",
+                path,
                 line,
-                message: format!("`lint: allow({rule}, …)` names an unknown rule"),
-            });
+                format!("`lint: allow({rule}, …)` names an unknown rule"),
+            ));
             continue;
         }
         let has_reason = inner
@@ -197,15 +268,15 @@ fn parse_allows(
             .and_then(|(_, r)| r.split('"').next())
             .is_some_and(|r| !r.trim().is_empty());
         if !has_reason {
-            findings.push(Finding {
-                rule: "suppression",
-                file: path.to_string(),
+            findings.push(Finding::new(
+                "suppression",
+                path,
                 line,
-                message: format!(
+                format!(
                     "`lint: allow({rule})` without a reason — write \
                      `lint: allow({rule}, reason = \"…\")`"
                 ),
-            });
+            ));
         }
         allows
             .entry(line)
@@ -215,7 +286,7 @@ fn parse_allows(
 }
 
 /// Mark which code-token indices sit inside a `#[cfg(test)]` item.
-fn test_regions(code: &[Token]) -> Vec<bool> {
+pub(crate) fn test_regions(code: &[Token]) -> Vec<bool> {
     let mut in_test = vec![false; code.len()];
     let mut i = 0;
     while i < code.len() {
@@ -300,15 +371,52 @@ fn is_cfg_test_attr(code: &[Token], i: usize) -> bool {
     false
 }
 
-fn ident_at(code: &[Token], i: usize) -> Option<&str> {
+pub(crate) fn ident_at(code: &[Token], i: usize) -> Option<&str> {
     match code.get(i).map(|t| &t.tok) {
         Some(Tok::Ident(s)) => Some(s.as_str()),
         _ => None,
     }
 }
 
-fn punct_at(code: &[Token], i: usize, c: char) -> bool {
+pub(crate) fn punct_at(code: &[Token], i: usize, c: char) -> bool {
     matches!(code.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// Name the lock behind a `.lock()`/`.read()`/`.write()` at token `i` (the
+/// method ident): the field or variable the receiver chain ends in, walking
+/// back over one index expression, so `t.append_locks[p].lock()` names
+/// `append_locks` rather than `<expr>`.
+pub(crate) fn lockee_name(code: &[Token], i: usize) -> String {
+    if i < 2 {
+        return "<expr>".to_string();
+    }
+    let mut j = i - 2; // token before the `.`
+    if punct_at(code, j, ']') {
+        // Walk back over the balanced `[…]` to the indexed expression.
+        let mut depth = 0i32;
+        loop {
+            match code.get(j).map(|t| &t.tok) {
+                Some(Tok::Punct(']')) => depth += 1,
+                Some(Tok::Punct('[')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                None => return "<expr>".to_string(),
+                _ => {}
+            }
+            if j == 0 {
+                return "<expr>".to_string();
+            }
+            j -= 1;
+        }
+        if j == 0 {
+            return "<expr>".to_string();
+        }
+        j -= 1;
+    }
+    ident_at(code, j).unwrap_or("<expr>").to_string()
 }
 
 /// R1 (`panic`) and R5 (`debug-macro`) in one pass.
@@ -326,12 +434,12 @@ fn scan_calls(
         let line = code[i].line;
         // R5 applies everywhere, tests included: these macros never ship.
         if matches!(name, "todo" | "unimplemented" | "dbg") && punct_at(code, i + 1, '!') {
-            out.push(Finding {
-                rule: "debug-macro",
-                file: path.to_string(),
+            out.push(Finding::new(
+                "debug-macro",
+                path,
                 line,
-                message: format!("`{name}!` must not be committed"),
-            });
+                format!("`{name}!` must not be committed"),
+            ));
             continue;
         }
         if class != FileClass::Library || in_test[i] {
@@ -342,22 +450,22 @@ fn scan_calls(
             && punct_at(code, i - 1, '.')
             && punct_at(code, i + 1, '(')
         {
-            out.push(Finding {
-                rule: "panic",
-                file: path.to_string(),
+            out.push(Finding::new(
+                "panic",
+                path,
                 line,
-                message: format!(
+                format!(
                     "`.{name}()` in library code — return an error or add \
                      `lint: allow(panic, reason = \"…\")`"
                 ),
-            });
+            ));
         } else if name == "panic" && punct_at(code, i + 1, '!') {
-            out.push(Finding {
-                rule: "panic",
-                file: path.to_string(),
+            out.push(Finding::new(
+                "panic",
+                path,
                 line,
-                message: "`panic!` in library code".to_string(),
-            });
+                "`panic!` in library code".to_string(),
+            ));
         }
     }
 }
@@ -384,15 +492,15 @@ fn scan_wall_clock(path: &str, code: &[Token], in_test: &[bool], out: &mut Vec<F
             continue;
         };
         if BANNED.contains(&(a, b)) {
-            out.push(Finding {
-                rule: "wall-clock",
-                file: path.to_string(),
-                line: code[i].line,
-                message: format!(
+            out.push(Finding::new(
+                "wall-clock",
+                path,
+                code[i].line,
+                format!(
                     "`{a}::{b}` in a deterministic module — route through the \
                      sim clock (virtual time) instead"
                 ),
-            });
+            ));
         }
     }
 }
@@ -416,16 +524,16 @@ fn scan_state_mutation(path: &str, code: &[Token], in_test: &[bool], out: &mut V
                 && punct_at(code, j + 1, ':')
                 && punct_at(code, j + 2, ':')
             {
-                out.push(Finding {
-                    rule: "state-mutation",
-                    file: path.to_string(),
-                    line: code[i + 1].line,
-                    message: format!(
+                out.push(Finding::new(
+                    "state-mutation",
+                    path,
+                    code[i + 1].line,
+                    format!(
                         "direct `.state = {}::…` store — use the transition \
                          functions in pilot-core's state.rs",
                         ident_at(code, j).unwrap_or_default()
                     ),
-                });
+                ));
                 break;
             }
             j += 1;
@@ -529,9 +637,7 @@ fn scan_fn_body(
                             && punct_at(code, i + 1, '(')
                             && punct_at(code, i + 2, ')') =>
                     {
-                        let lockee = ident_at(code, i.saturating_sub(2))
-                            .unwrap_or("<expr>")
-                            .to_string();
+                        let lockee = lockee_name(code, i);
                         for g in &guards {
                             if g.lockee != lockee {
                                 orders.push(LockOrder {
@@ -562,16 +668,16 @@ fn scan_fn_body(
                             .map(|g| (g.lockee.clone(), g.line))
                             .or_else(|| stmt_locked.clone().map(|l| (l, line)));
                         if let Some((lockee, at)) = held {
-                            out.push(Finding {
-                                rule: "lock-discipline",
-                                file: path.to_string(),
+                            out.push(Finding::new(
+                                "lock-discipline",
+                                path,
                                 line,
-                                message: format!(
+                                format!(
                                     "channel `{name}` while the `{lockee}` lock guard \
                                      (taken on line {at}) is still held — drop the \
                                      guard first (scoped drop)"
                                 ),
-                            });
+                            ));
                         }
                     }
                     _ => {}
@@ -600,16 +706,16 @@ pub fn check_lock_orders(orders: &[LockOrder]) -> Vec<Finding> {
             if rev.suppressed {
                 continue;
             }
-            out.push(Finding {
-                rule: "lock-discipline",
-                file: o.file.clone(),
-                line: o.line,
-                message: format!(
+            out.push(Finding::new(
+                "lock-discipline",
+                &o.file,
+                o.line,
+                format!(
                     "inconsistent lock order: `{}` then `{}` here, but the \
                      reverse at {}:{}",
                     o.first, o.second, rev.file, rev.line
                 ),
-            });
+            ));
         }
     }
     out

@@ -1,0 +1,253 @@
+//! Reachability taints over the call graph: R2-deep (`wall-clock-reach`) and
+//! R1-deep (`panic-reach`).
+//!
+//! Both analyses share a shape: scan every function body for *seed*
+//! primitives, BFS the reverse call graph to find everything that can reach
+//! a seed, then report the rule-specific frontier with a witness chain.
+//!
+//! Suppression semantics are deliberate: a seed site already silenced with a
+//! per-file `lint: allow(wall-clock, …)` / `lint: allow(panic, …)` has been
+//! audited — it does not seed, so its callers inherit the audit instead of
+//! each needing their own annotation. Unresolved callees (std, shims) never
+//! taint: the analysis under-approximates across them, by design.
+
+use crate::callgraph::Workspace;
+use crate::graph::{chain_to_seed, next_hop_to_seeds};
+use crate::rules::{ident_at, punct_at, FileClass, Finding, Prepared};
+
+/// Seed found in a function body.
+#[derive(Clone, Debug)]
+pub struct Seed {
+    pub line: u32,
+    /// What grounds the taint (`Instant::now`, `.unwrap()`, …).
+    pub what: String,
+}
+
+/// R2-deep: deterministic modules transitively reaching wall-clock reads,
+/// sleeps, or OS entropy.
+pub fn wall_clock_reach(
+    files: &[Prepared],
+    ws: &Workspace,
+    findings: &mut Vec<Finding>,
+    suppressed: &mut usize,
+) {
+    let seeds: Vec<Option<Seed>> = ws
+        .fns
+        .iter()
+        .map(|d| {
+            let p = &files[d.file_ix];
+            if p.class == FileClass::Test || d.in_test {
+                return None;
+            }
+            d.body.and_then(|(open, close)| clock_seed(p, open, close))
+        })
+        .collect();
+    report_reach(
+        files,
+        ws,
+        &seeds,
+        "wall-clock-reach",
+        |d, p| p.deterministic && !d.in_test && p.class != FileClass::Test,
+        |what, chain_len| {
+            format!(
+                "reaches `{what}` through {chain_len} call(s) from a \
+                 deterministic module — thread virtual time / a keyed stream \
+                 through instead"
+            )
+        },
+        findings,
+        suppressed,
+    );
+}
+
+/// R1-deep: public library entry points transitively reaching a panic.
+pub fn panic_reach(
+    files: &[Prepared],
+    ws: &Workspace,
+    findings: &mut Vec<Finding>,
+    suppressed: &mut usize,
+) {
+    let seeds: Vec<Option<Seed>> = ws
+        .fns
+        .iter()
+        .map(|d| {
+            let p = &files[d.file_ix];
+            if p.class != FileClass::Library || d.in_test {
+                return None;
+            }
+            d.body.and_then(|(open, close)| panic_seed(p, open, close))
+        })
+        .collect();
+    report_reach(
+        files,
+        ws,
+        &seeds,
+        "panic-reach",
+        |d, p| d.is_pub && !d.in_test && p.class == FileClass::Library,
+        |what, chain_len| {
+            format!(
+                "public entry point reaches `{what}` through {chain_len} \
+                 call(s) — return an error up the chain or audit the seed \
+                 with a per-file allow"
+            )
+        },
+        findings,
+        suppressed,
+    );
+}
+
+/// Shared frontier reporting for both reach rules.
+#[allow(clippy::too_many_arguments)]
+fn report_reach(
+    files: &[Prepared],
+    ws: &Workspace,
+    seeds: &[Option<Seed>],
+    rule: &'static str,
+    applies: impl Fn(&crate::callgraph::FnDef, &Prepared) -> bool,
+    message: impl Fn(&str, usize) -> String,
+    findings: &mut Vec<Finding>,
+    suppressed: &mut usize,
+) {
+    let adj = ws.adjacency();
+    let seed_flags: Vec<bool> = seeds.iter().map(Option::is_some).collect();
+    let hop = next_hop_to_seeds(&adj, &seed_flags);
+    for (f, d) in ws.fns.iter().enumerate() {
+        let p = &files[d.file_ix];
+        if !applies(d, p) {
+            continue;
+        }
+        if let Some(seed) = seeds[f].as_ref() {
+            // The function contains the primitive directly; that is the
+            // per-file rule's finding (R1/R2), except for `unreachable!`,
+            // which only this pass covers.
+            if rule == "panic-reach" && seed.what == "unreachable!" {
+                push_checked(
+                    p,
+                    Finding {
+                        rule,
+                        file: p.display.clone(),
+                        line: seed.line,
+                        message: "public entry point contains `unreachable!` — \
+                                  make the invariant a returned error"
+                            .to_string(),
+                        chain: vec![ws.label(files, f)],
+                    },
+                    findings,
+                    suppressed,
+                );
+            }
+            continue;
+        }
+        // Report the first call site per distinct tainted target.
+        let mut hit: Vec<usize> = Vec::new();
+        for site in &ws.calls[f] {
+            let Some(&t) = site.targets.iter().find(|t| hop[**t].is_some()) else {
+                continue;
+            };
+            if hit.contains(&t) {
+                continue;
+            }
+            hit.push(t);
+            let node_chain = chain_to_seed(&hop, t);
+            let seed_fn = *node_chain.last().unwrap_or(&t);
+            let what = seeds[seed_fn]
+                .as_ref()
+                .map(|s| s.what.clone())
+                .unwrap_or_default();
+            let mut chain = vec![ws.label(files, f)];
+            chain.extend(node_chain.iter().map(|&n| ws.label(files, n)));
+            chain.push(format!("`{what}`"));
+            push_checked(
+                p,
+                Finding {
+                    rule,
+                    file: p.display.clone(),
+                    line: site.line,
+                    message: format!("`{}` {}", site.label, message(&what, node_chain.len())),
+                    chain,
+                },
+                findings,
+                suppressed,
+            );
+        }
+    }
+}
+
+pub(crate) fn push_checked(
+    p: &Prepared,
+    f: Finding,
+    findings: &mut Vec<Finding>,
+    suppressed: &mut usize,
+) {
+    if p.allowed(f.line, f.rule) {
+        *suppressed += 1;
+    } else {
+        findings.push(f);
+    }
+}
+
+/// First unsuppressed wall-clock / entropy primitive in a body range.
+fn clock_seed(p: &Prepared, open: usize, close: usize) -> Option<Seed> {
+    const BANNED: [(&str, &str); 4] = [
+        ("Instant", "now"),
+        ("SystemTime", "now"),
+        ("thread", "sleep"),
+        ("WallClock", "start"),
+    ];
+    const ENTROPY: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+    let code = &p.code;
+    for i in open..close {
+        if p.in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(a) = ident_at(code, i) else { continue };
+        let line = code[i].line;
+        if punct_at(code, i + 1, ':') && punct_at(code, i + 2, ':') {
+            if let Some(b) = ident_at(code, i + 3) {
+                if BANNED.contains(&(a, b)) && !p.allowed(line, "wall-clock") {
+                    return Some(Seed {
+                        line,
+                        what: format!("{a}::{b}"),
+                    });
+                }
+            }
+        }
+        if ENTROPY.contains(&a) && !p.allowed(line, "wall-clock") {
+            return Some(Seed {
+                line,
+                what: a.to_string(),
+            });
+        }
+    }
+    None
+}
+
+/// First unsuppressed panic primitive in a body range.
+fn panic_seed(p: &Prepared, open: usize, close: usize) -> Option<Seed> {
+    let code = &p.code;
+    for i in open..close {
+        if p.in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(name) = ident_at(code, i) else {
+            continue;
+        };
+        let line = code[i].line;
+        let seed = if matches!(name, "unwrap" | "expect")
+            && punct_at(code, i.wrapping_sub(1), '.')
+            && punct_at(code, i + 1, '(')
+        {
+            Some(format!(".{name}()"))
+        } else if matches!(name, "panic" | "unreachable") && punct_at(code, i + 1, '!') {
+            Some(format!("{name}!"))
+        } else {
+            None
+        };
+        if let Some(what) = seed {
+            if !p.allowed(line, "panic") {
+                return Some(Seed { line, what });
+            }
+        }
+    }
+    None
+}

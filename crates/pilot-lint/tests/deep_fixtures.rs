@@ -1,0 +1,226 @@
+//! Fixture-driven tests for the five interprocedural rules. Each deep rule
+//! has a positive, a suppressed and a clean fixture under `tests/fixtures/`;
+//! the positives are constructed so the per-file pass alone cannot see the
+//! violation (or sees only the seed, never the entry-point exposure).
+
+use pilot_lint::{lint_paths, lint_paths_deep, Report};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint_deep(names: &[&str]) -> Report {
+    let paths: Vec<PathBuf> = names.iter().map(|n| fixture(n)).collect();
+    match lint_paths_deep(&paths) {
+        Ok(r) => r,
+        Err(e) => panic!("linting {names:?}: {e}"),
+    }
+}
+
+fn rules(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+// --- R1-deep: panic-reach -------------------------------------------------
+
+#[test]
+fn r1_deep_positive_reports_entry_and_seed() {
+    let r = lint_deep(&["r1_deep_reach.rs"]);
+    // Sorted by line: the entry-point exposure, the per-file seed, and the
+    // depth-0 `unreachable!` that the per-file pass does not scan at all.
+    assert_eq!(rules(&r), ["panic-reach", "panic", "panic-reach"], "{r:?}");
+    let reach = r
+        .findings
+        .iter()
+        .find(|f| f.rule == "panic-reach" && f.chain.len() > 2)
+        .expect("transitive finding with a witness chain");
+    assert_eq!(
+        reach.chain.len(),
+        5,
+        "entry→step_one→step_two→danger→seed: {reach:?}"
+    );
+    assert!(reach.chain[0].contains("entry"), "{reach:?}");
+    assert!(reach.chain.last().unwrap().contains("unwrap"), "{reach:?}");
+}
+
+#[test]
+fn r1_deep_chain_is_invisible_to_the_shallow_pass() {
+    let r = lint_paths(&[fixture("r1_deep_reach.rs")]).unwrap();
+    // Per-file linting sees only the seed; the exposure of `entry` and the
+    // `unreachable!` in `invariant` need the call graph.
+    assert_eq!(rules(&r), ["panic"], "{r:?}");
+}
+
+#[test]
+fn r1_deep_suppressed_seed_kills_the_taint() {
+    let r = lint_deep(&["r1_deep_suppressed.rs"]);
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn r1_deep_clean() {
+    let r = lint_deep(&["r1_deep_clean.rs"]);
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 0);
+}
+
+// --- R2-deep: wall-clock-reach --------------------------------------------
+
+#[test]
+fn r2_deep_positive_crosses_the_file_boundary() {
+    let r = lint_deep(&["r2_deep_taint.rs", "r2_deep_helper.rs"]);
+    assert_eq!(rules(&r), ["wall-clock-reach", "wall-clock-reach"], "{r:?}");
+    // Both findings land in the deterministic file, not the helper where
+    // the clock read is legal.
+    for f in &r.findings {
+        assert!(f.file.ends_with("r2_deep_taint.rs"), "{f:?}");
+        assert!(f.chain.last().unwrap().contains("Instant"), "{f:?}");
+    }
+}
+
+#[test]
+fn r2_deep_violation_is_invisible_to_the_shallow_pass() {
+    let paths = [fixture("r2_deep_taint.rs"), fixture("r2_deep_helper.rs")];
+    let r = lint_paths(&paths).unwrap();
+    // The clock read lives in an untagged file (legal per-file) and the
+    // deterministic file never names a clock: per-file linting is blind.
+    assert!(r.is_clean(), "{r:?}");
+}
+
+#[test]
+fn r2_deep_suppressed_seed_kills_the_taint() {
+    let r = lint_deep(&["r2_deep_suppressed.rs"]);
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn r2_deep_clean() {
+    let r = lint_deep(&["r2_deep_clean.rs"]);
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 0);
+}
+
+// --- R4-deep: lock-cycle --------------------------------------------------
+
+#[test]
+fn r4_deep_positive_finds_cross_function_cycle() {
+    let r = lint_deep(&["r4_deep_cycle.rs"]);
+    assert_eq!(rules(&r), ["lock-cycle"], "{r:?}");
+    let f = &r.findings[0];
+    assert!(!f.chain.is_empty(), "cycle witness expected: {f:?}");
+    assert!(f.message.contains("cycle"), "{f:?}");
+}
+
+#[test]
+fn r4_deep_cycle_is_invisible_to_the_shallow_pass() {
+    let r = lint_paths(&[fixture("r4_deep_cycle.rs")]).unwrap();
+    // No function holds two locks at once, so the pairwise order rule
+    // has nothing to compare.
+    assert!(r.is_clean(), "{r:?}");
+}
+
+#[test]
+fn r4_deep_suppressed_at_anchor_edge() {
+    let r = lint_deep(&["r4_deep_suppressed.rs"]);
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn r4_deep_clean() {
+    let r = lint_deep(&["r4_deep_clean.rs"]);
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 0);
+}
+
+// --- R6: fence-discipline -------------------------------------------------
+
+#[test]
+fn r6_positive_flags_unfenced_apply_sites() {
+    let r = lint_deep(&["fabric/r6_fence.rs"]);
+    assert_eq!(rules(&r), ["fence-discipline", "fence-discipline"], "{r:?}");
+    let append = r
+        .findings
+        .iter()
+        .find(|f| f.message.contains("append_at"))
+        .expect("append site finding");
+    // The witness path walks up to the unfenced root caller.
+    assert!(append.chain[0].contains("produce"), "{append:?}");
+    let arm = r
+        .findings
+        .iter()
+        .find(|f| f.message.contains("match arm"))
+        .expect("match-arm finding");
+    assert!(arm.message.contains("ToDaemon::Assign"), "{arm:?}");
+}
+
+#[test]
+fn r6_suppressed() {
+    let r = lint_deep(&["fabric/r6_suppressed.rs"]);
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn r6_clean_fencing_propagates_from_callers() {
+    let r = lint_deep(&["fabric/r6_clean.rs"]);
+    // `raw_apply` has no guard of its own; its only caller compares epochs.
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 0);
+}
+
+// --- R7: rng-stream -------------------------------------------------------
+
+#[test]
+fn r7_positive_flags_root_draws() {
+    let r = lint_deep(&["r7_rng.rs"]);
+    assert_eq!(rules(&r), ["rng-stream", "rng-stream"], "{r:?}");
+}
+
+#[test]
+fn r7_suppressed() {
+    let r = lint_deep(&["r7_suppressed.rs"]);
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn r7_clean_streams_and_params_pass() {
+    let r = lint_deep(&["r7_clean.rs"]);
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.suppressed, 0);
+}
+
+// --- CLI integration ------------------------------------------------------
+
+#[test]
+fn binary_deep_flag_reports_chains_in_json() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pilot-lint"))
+        .arg("--deep")
+        .arg("--format")
+        .arg("json")
+        .arg(fixture("r1_deep_reach.rs"))
+        .output()
+        .unwrap_or_else(|e| panic!("running pilot-lint: {e}"));
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"rule\":\"panic-reach\""), "{stdout}");
+    assert!(stdout.contains("\"chain\":["), "{stdout}");
+    assert!(stdout.contains("\"graph\":{"), "{stdout}");
+}
+
+#[test]
+fn binary_deep_flag_exit_zero_on_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pilot-lint"))
+        .arg("--deep")
+        .arg(fixture("r1_deep_clean.rs"))
+        .output()
+        .unwrap_or_else(|e| panic!("running pilot-lint: {e}"));
+    assert_eq!(out.status.code(), Some(0));
+}

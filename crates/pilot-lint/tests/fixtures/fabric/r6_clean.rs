@@ -1,0 +1,20 @@
+// Clean fixture for R6: the raw apply has no guard of its own, but its only
+// caller compares epochs first — fencing propagates down the call graph.
+
+pub struct Replica {
+    epoch: u64,
+    inner: u64,
+}
+
+impl Replica {
+    fn raw_apply(&mut self, off: u64) {
+        self.inner.append_at(off);
+    }
+
+    pub fn guarded(&mut self, off: u64, epoch: u64) {
+        if epoch != self.epoch {
+            return;
+        }
+        self.raw_apply(off);
+    }
+}

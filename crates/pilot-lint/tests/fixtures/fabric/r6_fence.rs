@@ -1,0 +1,30 @@
+// Positive fixture for R6 (`fence-discipline`): a log append and a control
+// message applied with no epoch comparison anywhere on the call path.
+
+pub enum ToDaemon {
+    Assign { unit: u64 },
+}
+
+pub struct Replica {
+    inner: u64,
+}
+
+impl Replica {
+    pub fn apply(&mut self, off: u64) {
+        self.inner.append_at(off);
+    }
+
+    pub fn produce(&mut self, off: u64) {
+        self.apply(off);
+    }
+
+    pub fn on_msg(&mut self, m: ToDaemon) {
+        match m {
+            ToDaemon::Assign { unit } => self.remember(unit),
+        }
+    }
+
+    fn remember(&mut self, unit: u64) {
+        self.inner = unit;
+    }
+}

@@ -1,0 +1,12 @@
+// Suppressed variant: the append is audited as safe under an outer lock.
+
+pub struct Replica {
+    inner: u64,
+}
+
+impl Replica {
+    pub fn apply(&mut self, off: u64) {
+        // lint: allow(fence-discipline, reason = "audited: serialized by the partition lock")
+        self.inner.append_at(off);
+    }
+}

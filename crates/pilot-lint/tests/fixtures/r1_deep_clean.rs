@@ -1,0 +1,10 @@
+// Clean fixture for R1-deep: errors are returned, never panicked, at every
+// depth of the call chain.
+
+pub fn entry(v: &[u32]) -> Option<u32> {
+    step(v)
+}
+
+fn step(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}

@@ -1,0 +1,28 @@
+// Positive fixture for R1-deep (`panic-reach`): the public entry point
+// reaches a panic three calls down. Per-file R1 sees only the seed; the
+// chain from `entry` to it is invisible without the call graph.
+
+pub fn entry(v: &[u32]) -> u32 {
+    step_one(v)
+}
+
+fn step_one(v: &[u32]) -> u32 {
+    step_two(v)
+}
+
+fn step_two(v: &[u32]) -> u32 {
+    danger(v)
+}
+
+fn danger(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+// Depth-0 case only this pass covers: per-file R1 does not scan
+// `unreachable!`, but a public entry point must not contain one.
+pub fn invariant(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}

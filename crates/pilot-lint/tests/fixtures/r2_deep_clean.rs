@@ -1,0 +1,10 @@
+// lint: deterministic
+// Clean fixture for R2-deep: time is threaded through as a value.
+
+pub fn schedule(now_s: f64, n: u64) -> f64 {
+    plan(now_s, n)
+}
+
+fn plan(now_s: f64, n: u64) -> f64 {
+    now_s + n as f64 * 0.5
+}

@@ -1,0 +1,9 @@
+// Support file for the R2-deep fixtures: wall-clock use is legal here (the
+// file is not tagged deterministic) but must not be reachable from a file
+// that is.
+
+pub fn measure(n: u64) -> f64 {
+    let t0 = std::time::Instant::now();
+    let _ = n;
+    t0.elapsed().as_secs_f64()
+}

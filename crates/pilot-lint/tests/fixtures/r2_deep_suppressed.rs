@@ -1,0 +1,13 @@
+// lint: deterministic
+// Suppression kills the seed: the audited wall-clock read does not taint
+// its callers, so `caller` stays clean with no annotation of its own.
+
+pub fn caller() -> f64 {
+    leak()
+}
+
+fn leak() -> f64 {
+    // lint: allow(wall-clock, reason = "audited: coarse profiling counter, not event order")
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,14 @@
+// lint: deterministic
+// Positive fixture for R2-deep (`wall-clock-reach`): this deterministic
+// module never touches a clock itself — the helper module it calls does,
+// legally (that file is not tagged). Only the call graph sees the leak.
+
+use r2_deep_helper::measure;
+
+pub fn schedule(n: u64) -> f64 {
+    plan(n)
+}
+
+fn plan(n: u64) -> f64 {
+    measure(n)
+}

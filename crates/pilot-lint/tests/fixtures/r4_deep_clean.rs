@@ -1,0 +1,26 @@
+// Clean fixture for R4-deep: every path acquires the locks in the same
+// a -> b -> c order, so the cross-function lock graph is acyclic.
+
+use std::sync::Mutex;
+
+pub struct Trio {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+}
+
+impl Trio {
+    pub fn ab(&self) {
+        let _a = self.a.lock();
+        self.bc();
+    }
+
+    pub fn bc(&self) {
+        let _b = self.b.lock();
+        self.just_c();
+    }
+
+    fn just_c(&self) {
+        let _c = self.c.lock();
+    }
+}

@@ -1,0 +1,32 @@
+// Positive fixture for R4-deep (`lock-cycle`): a three-lock cycle that only
+// exists across call boundaries. No single function ever holds two locks,
+// so the per-file pairwise order check cannot see it.
+
+use std::sync::Mutex;
+
+pub struct Trio {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+}
+
+impl Trio {
+    pub fn ab(&self) {
+        let _a = self.a.lock();
+        self.bc();
+    }
+
+    pub fn bc(&self) {
+        let _b = self.b.lock();
+        self.ca();
+    }
+
+    pub fn ca(&self) {
+        let _c = self.c.lock();
+        self.grab_a();
+    }
+
+    fn grab_a(&self) {
+        let _a = self.a.lock();
+    }
+}

@@ -1,0 +1,32 @@
+// Suppressed variant of the cross-function lock cycle: the allow sits on
+// the anchor edge (the lowest call site participating in the cycle).
+
+use std::sync::Mutex;
+
+pub struct Trio {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+}
+
+impl Trio {
+    pub fn ab(&self) {
+        let _a = self.a.lock();
+        // lint: allow(lock-cycle, reason = "audited: ab/bc/ca never run concurrently")
+        self.bc();
+    }
+
+    pub fn bc(&self) {
+        let _b = self.b.lock();
+        self.ca();
+    }
+
+    pub fn ca(&self) {
+        let _c = self.c.lock();
+        self.grab_a();
+    }
+
+    fn grab_a(&self) {
+        let _a = self.a.lock();
+    }
+}

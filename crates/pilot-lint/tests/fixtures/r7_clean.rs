@@ -1,0 +1,24 @@
+// lint: deterministic
+// Clean fixture for R7: draws happen on forked streams or on RNGs handed in
+// by the caller (who owns the derivation).
+
+pub struct Sched {
+    rng: SimRng,
+}
+
+impl Sched {
+    pub fn pick(&mut self, unit: u64, n: usize) -> usize {
+        self.rng
+            .stream(streams::keyed(streams::SCHED_PICK, unit, 0))
+            .below_usize(n)
+    }
+
+    pub fn from_param(r: &mut SimRng, n: usize) -> usize {
+        r.below_usize(n)
+    }
+}
+
+pub fn derived(root: &SimRng, n: usize) -> usize {
+    let mut d = root.stream(9);
+    d.below_usize(n)
+}

@@ -1,0 +1,19 @@
+// lint: deterministic
+// Positive fixture for R7 (`rng-stream`): ad-hoc draws on root RNGs inside
+// deterministic code. Both the field-held root and the local root must be
+// forked with .stream() before drawing.
+
+pub struct Sched {
+    rng: SimRng,
+}
+
+impl Sched {
+    pub fn pick(&mut self, n: usize) -> usize {
+        self.rng.below_usize(n)
+    }
+}
+
+pub fn local_root(n: usize) -> usize {
+    let mut r = SimRng::new(7);
+    r.below_usize(n)
+}

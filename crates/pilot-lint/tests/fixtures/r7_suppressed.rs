@@ -1,0 +1,13 @@
+// lint: deterministic
+// Suppressed variant: an audited draw on the root RNG.
+
+pub struct Sched {
+    rng: SimRng,
+}
+
+impl Sched {
+    pub fn pick(&mut self, n: usize) -> usize {
+        // lint: allow(rng-stream, reason = "audited: single consumer, draw order is the stream")
+        self.rng.below_usize(n)
+    }
+}

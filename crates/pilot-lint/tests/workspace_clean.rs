@@ -1,16 +1,21 @@
-//! Self-check: the workspace this crate lives in must be lint-clean. This is
-//! the same walk the CI `lint` job performs via the binary.
+//! Self-check: the workspace this crate lives in must be lint-clean under
+//! the full interprocedural pass. This is the same walk the CI `lint` job
+//! performs via the binary.
 
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match pilot_lint::find_workspace_root(&manifest) {
+        Some(r) => r,
+        None => panic!("no workspace root above {}", manifest.display()),
+    }
+}
 
 #[test]
 fn workspace_is_lint_clean() {
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    let root = match pilot_lint::find_workspace_root(&manifest) {
-        Some(r) => r,
-        None => panic!("no workspace root above {}", manifest.display()),
-    };
-    let report = match pilot_lint::lint_workspace(&root) {
+    let report = match pilot_lint::lint_workspace(&workspace_root()) {
         Ok(r) => r,
         Err(e) => panic!("walking workspace: {e}"),
     };
@@ -23,5 +28,34 @@ fn workspace_is_lint_clean() {
         report.files > 50,
         "walk looks broken: {} files",
         report.files
+    );
+    // The deep pass must actually have built a graph of workspace scale,
+    // and receiver typing must be pulling its weight — these bounds catch
+    // a silently degraded resolver (e.g. everything falling back to the
+    // bare-name over-approximation or to Unresolved).
+    let g = report.graph.expect("workspace lint runs the deep pass");
+    assert!(g.functions > 1_000, "{g:?}");
+    assert!(g.edges > 5_000, "{g:?}");
+    assert!(g.resolved_exact > 500, "{g:?}");
+    assert!(g.resolved_typed > 500, "{g:?}");
+    assert_eq!(
+        g.call_sites,
+        g.resolved_exact + g.resolved_suffix + g.resolved_typed + g.resolved_method + g.unresolved,
+        "{g:?}"
+    );
+}
+
+#[test]
+fn deep_pass_fits_the_wall_time_budget() {
+    // The lint job is meant to stay a trivial fraction of CI: the whole
+    // interprocedural pass over the workspace must finish well inside a
+    // debug-build budget (release CI has far more headroom).
+    let start = Instant::now();
+    let report = pilot_lint::lint_workspace(&workspace_root()).expect("walking workspace");
+    let elapsed = start.elapsed();
+    assert!(report.files > 50);
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "deep lint took {elapsed:?}; the fixed-point analyses have regressed"
     );
 }

@@ -313,6 +313,7 @@ impl ReplicatedBroker {
             if !node.alive {
                 continue;
             }
+            // lint: allow(fence-discipline, reason = "serialized by the partition append lock every caller holds; appends carry no external lease that could go stale")
             let b = node.broker.append_at(topic, partition, now_s, records)?;
             base = Some(b);
         }
@@ -639,6 +640,7 @@ impl ReplicatedBroker {
                     let msgs = src_broker.fetch(name, p, from, 4096)?;
                     let Some(last) = msgs.last() else { break };
                     from = last.offset + 1;
+                    // lint: allow(fence-discipline, reason = "catch-up replay holds the cluster write lock for the whole restart; no epoch can advance concurrently")
                     broker.append_messages(name, p, &msgs)?;
                 }
             }
