@@ -1,0 +1,182 @@
+//! Read-plane microbenchmarks: the four QP-1 query paths isolated from the
+//! write storm, plus the materializer's fold rate. These are the
+//! measurements behind `BENCH_query.json` and the acceptance floor
+//! "projection dashboard ≥ 10× the lock-path dashboard".
+//!
+//! `dashboard` compares the pre-read-plane aggregate (full
+//! `status_snapshot()` clone under the registry lock, folded per query)
+//! against `QueryService::dashboard()` (atomic snapshot load, aggregates
+//! precomputed by the materializer). `point` compares single-unit lookups on
+//! both paths. `fold` measures raw events-per-second through
+//! `QueryTables::apply`, the materializer's inner loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pilot_core::describe::{PilotDescription, UnitDescription};
+use pilot_core::events::ProjEvent;
+use pilot_core::ids::{PilotId, UnitId};
+use pilot_core::scheduler::FirstFitScheduler;
+use pilot_core::state::UnitState;
+use pilot_core::thread::{kernel_fn, TaskOutput, ThreadPilotService};
+use pilot_query::{BrokerSink, Materializer, QueryService, QueryTables};
+use pilot_sim::SimDuration;
+use pilot_streaming::Broker;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// A service + drained projection with `units` terminal units.
+fn populated(units: usize) -> (ThreadPilotService, QueryService, Vec<UnitId>) {
+    let broker = Arc::new(Broker::new());
+    let sink = BrokerSink::create(Arc::clone(&broker), "bench.proj", 4).unwrap();
+    let svc = ThreadPilotService::with_sink(Box::new(FirstFitScheduler), sink);
+    let p = svc.submit_pilot(PilotDescription::new(4, SimDuration::MAX));
+    assert!(svc.wait_pilot_active(p));
+    let ids: Vec<UnitId> = (0..units)
+        .map(|_| {
+            svc.submit_unit(
+                UnitDescription::new(1),
+                kernel_fn(|_| Ok(TaskOutput::of(0u64))),
+            )
+        })
+        .collect();
+    for &u in &ids {
+        svc.wait_unit(u).unwrap();
+    }
+    let mut m = Materializer::bootstrap(Arc::clone(&broker), "bench.proj").unwrap();
+    m.catch_up().unwrap();
+    (svc, m.service(), ids)
+}
+
+fn bench_dashboard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_dashboard");
+    group.sample_size(20);
+    for units in [500usize, 2000] {
+        let (svc, qs, _ids) = populated(units);
+        group.bench_with_input(BenchmarkId::new("lock_path", units), &units, |b, _| {
+            b.iter(|| {
+                let snap = svc.status_snapshot();
+                let done = snap
+                    .units
+                    .iter()
+                    .filter(|(_, s, _)| *s == UnitState::Done)
+                    .count();
+                black_box(done + snap.open_units)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("projection", units), &units, |b, _| {
+            b.iter(|| {
+                let d = qs.dashboard();
+                black_box(d.units_in(UnitState::Done) + d.open_units())
+            });
+        });
+        svc.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_point_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_point");
+    group.sample_size(20);
+    let units = 2000usize;
+    let (svc, qs, ids) = populated(units);
+    group.bench_function("lock_path", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            black_box(svc.unit_state(ids[i]))
+        });
+    });
+    group.bench_function("projection", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            black_box(qs.unit_state(ids[i]))
+        });
+    });
+    group.bench_function("projection_utilization", |b| {
+        b.iter(|| black_box(qs.pilot_utilization(PilotId(0))));
+    });
+    svc.shutdown();
+    group.finish();
+}
+
+const FOLD_EVENTS: u64 = 4096;
+
+fn bench_fold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_fold");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(FOLD_EVENTS));
+    // A realistic event mix: 4 lifecycle events + 1 metric per unit.
+    let events: Vec<ProjEvent> = (0..FOLD_EVENTS / 5)
+        .flat_map(|u| {
+            let unit = UnitId(u);
+            let pilot = Some(PilotId(u % 8));
+            [
+                ProjEvent::Unit {
+                    unit,
+                    state: UnitState::Pending,
+                    pilot: None,
+                    t_s: u as f64,
+                },
+                ProjEvent::Unit {
+                    unit,
+                    state: UnitState::Assigned,
+                    pilot,
+                    t_s: u as f64 + 0.1,
+                },
+                ProjEvent::Unit {
+                    unit,
+                    state: UnitState::Running,
+                    pilot,
+                    t_s: u as f64 + 0.2,
+                },
+                ProjEvent::Unit {
+                    unit,
+                    state: UnitState::Done,
+                    pilot,
+                    t_s: u as f64 + 0.9,
+                },
+                ProjEvent::UnitMetric {
+                    unit,
+                    wait_s: 0.1,
+                    exec_s: 0.7,
+                    t_s: u as f64 + 0.9,
+                },
+            ]
+        })
+        .collect();
+    group.bench_function("apply", |b| {
+        b.iter(|| {
+            let mut t = QueryTables::new(4);
+            for e in &events {
+                t.apply(e);
+            }
+            black_box(t.digest())
+        });
+    });
+    // The full pipeline: fetch -> decode -> apply from a freshly produced
+    // topic (encode+produce happen in the setup half, outside the timing).
+    group.bench_function("materialize_from_topic", |b| {
+        b.iter_with_setup(
+            || {
+                let broker = Arc::new(Broker::new());
+                broker.create_topic("fold", 4, usize::MAX / 2).unwrap();
+                broker
+                    .produce_batch(
+                        "fold",
+                        events.iter().map(|e| (Some(e.key()), Arc::new(e.encode()))),
+                    )
+                    .unwrap();
+                broker
+            },
+            |broker| {
+                let mut m = Materializer::bootstrap(Arc::clone(&broker), "fold").unwrap();
+                m.catch_up().unwrap();
+                black_box(m.tables().events_applied)
+            },
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dashboard, bench_point_reads, bench_fold);
+criterion_main!(benches);

@@ -11,6 +11,7 @@ pub mod ph;
 pub mod pj;
 pub mod pm;
 pub mod ps;
+pub mod qp;
 pub mod rb;
 pub mod sc;
 pub mod st;
@@ -49,6 +50,7 @@ pub fn registry() -> Vec<ExperimentEntry> {
         ("PS-2", ps::run_ps2),
         ("PS-3", ps::run_ps3),
         ("ST-1", st::run_st1),
+        ("QP-1", qp::run_qp1),
         ("IO-1", io_dy::run_io1),
         ("DY-1", io_dy::run_dy1),
         ("RB-1", rb::run_rb1),

@@ -1,0 +1,263 @@
+//! QP-1: read-plane QPS — materialized projections vs lock-path reads under
+//! a full write storm, with staleness percentiles and an exactly-once
+//! restart drill.
+//!
+//! The service runs with a `BrokerSink` wired to a projection topic; a
+//! `Materializer` folds the topic on its own thread and publishes snapshots;
+//! reader threads then measure four paths while a feeder keeps the write
+//! side saturated (ST-1-style sustained submissions):
+//!
+//! - `dash_lock_qps` — the dashboard computed the pre-read-plane way: a
+//!   `status_snapshot()` (one global lock acquisition + full clone) folded
+//!   into counts, per query.
+//! - `dash_proj_qps` — the same numbers from `QueryService::dashboard()`:
+//!   one atomic snapshot load, all aggregates precomputed.
+//! - `point_lock_qps` / `point_proj_qps` — single-unit state lookups via
+//!   the registry mutex vs the projection snapshot.
+//!
+//! Floors asserted per run: projections ≥ 10× the lock path on the
+//! dashboard query, p99 staleness (event append → applied) under 1 s, and
+//! the restart drill — resume from the last *published* snapshot after the
+//! run — rebuilds tables bit-identical to a from-scratch fold (0 lost, 0
+//! duplicated events).
+
+use super::common;
+use pilot_core::describe::{PilotDescription, UnitDescription};
+use pilot_core::scheduler::FirstFitScheduler;
+use pilot_core::state::UnitState;
+use pilot_core::thread::{kernel_fn, TaskOutput, ThreadPilotService};
+use pilot_core::{UnitId, WallClock};
+use pilot_miniapp::{ExperimentSpec, Factor, ResultTable};
+use pilot_query::{BrokerSink, Materializer};
+use pilot_sim::SimDuration;
+use pilot_streaming::Broker;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run `f` in `readers` threads for `dur_s` seconds; returns aggregate QPS.
+/// The closure gets a per-thread scratch counter (rotating read index /
+/// sink for observed values, kept live via `black_box`).
+fn qps<F: Fn(&mut u64) + Sync>(readers: usize, dur_s: f64, f: &F) -> f64 {
+    let total = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..readers {
+            s.spawn(|| {
+                let clock = WallClock::start();
+                let mut scratch = 0u64;
+                let mut iters = 0u64;
+                while clock.elapsed().as_secs_f64() < dur_s {
+                    f(&mut scratch);
+                    iters += 1;
+                }
+                std::hint::black_box(scratch);
+                total.fetch_add(iters, Ordering::Relaxed);
+            });
+        }
+    });
+    total.load(Ordering::Relaxed) as f64 / dur_s
+}
+
+/// QP-1: projection read plane vs lock-path reads under sustained writes.
+pub fn run_qp1(quick: bool) -> String {
+    let seed_units: usize = if quick { 300 } else { 1500 };
+    let phase_s: f64 = if quick { 0.12 } else { 0.4 };
+    let spec = ExperimentSpec::new(
+        "QP-1 read plane: projection vs lock-path QPS under write load",
+        vec![Factor::new("readers", &[1.0, 2.0, 4.0])],
+        if quick { 1 } else { 3 },
+        0x5150,
+    );
+    let mut table = ResultTable::new(&spec.name);
+    let mut dash_ratios = Vec::new();
+
+    for trial in spec.trials() {
+        let readers = trial.param_usize("readers");
+        let broker = Arc::new(Broker::new());
+        let topic = format!("qp-{}-{}", trial.config_key(), trial.rep);
+        let sink = BrokerSink::create(Arc::clone(&broker), &topic, 4)
+            // lint: allow(panic, reason = "the topic name embeds the trial key and rep, so it is fresh on a fresh broker")
+            .expect("fresh topic per trial");
+        let svc = ThreadPilotService::with_sink(Box::new(FirstFitScheduler), sink);
+        let p = svc.submit_pilot(PilotDescription::new(4, SimDuration::MAX).labeled("qp"));
+        assert!(svc.wait_pilot_active(p), "pilot must activate");
+
+        // Seed a populated registry/projection: point reads and dashboard
+        // folds must scan something representative, not an empty table.
+        let ids: Vec<UnitId> = (0..seed_units)
+            .map(|_| {
+                svc.submit_unit(
+                    UnitDescription::new(1).tagged("qp-seed"),
+                    kernel_fn(|_| Ok(TaskOutput::of(0u64))),
+                )
+            })
+            .collect();
+        for &u in &ids {
+            // lint: allow(panic, reason = "unit ids come from submit_unit on this same service")
+            svc.wait_unit(u).expect("unit issued by this service");
+        }
+
+        let mut m = Materializer::bootstrap(Arc::clone(&broker), &topic)
+            // lint: allow(panic, reason = "the topic was created by BrokerSink::create above")
+            .expect("projection topic exists");
+        m.catch_up()
+            // lint: allow(panic, reason = "broker and topic are alive for the whole trial")
+            .expect("seed drain");
+        let qs = m.service();
+
+        let stop_writes = AtomicBool::new(false);
+        let stop_mat = AtomicBool::new(false);
+        let writes = AtomicU64::new(0);
+        let mut dash_lock = 0.0;
+        let mut dash_proj = 0.0;
+        let mut point_lock = 0.0;
+        let mut point_proj = 0.0;
+
+        let m = std::thread::scope(|s| {
+            let stop_mat_ref = &stop_mat;
+            let materializer = s.spawn(move || {
+                let mut m = m;
+                m.run_until_stopped(stop_mat_ref);
+                m
+            });
+            // ST-1-style write storm: sustained unit submissions through the
+            // sink-wired service for the whole measurement window.
+            let feeder = s.spawn(|| {
+                while !stop_writes.load(Ordering::Acquire) {
+                    for _ in 0..16 {
+                        svc.submit_unit(
+                            UnitDescription::new(1).tagged("qp-load"),
+                            kernel_fn(|_| Ok(TaskOutput::of(1u64))),
+                        );
+                        writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+
+            dash_lock = qps(readers, phase_s, &|scratch: &mut u64| {
+                // The pre-read-plane dashboard: full snapshot under the
+                // registry lock, then fold.
+                let snap = svc.status_snapshot();
+                let done = snap
+                    .units
+                    .iter()
+                    .filter(|(_, s, _)| *s == UnitState::Done)
+                    .count() as u64;
+                *scratch = scratch.wrapping_add(done + snap.open_units as u64);
+            });
+            dash_proj = qps(readers, phase_s, &|scratch: &mut u64| {
+                let d = qs.dashboard();
+                *scratch = scratch.wrapping_add(d.units_in(UnitState::Done) + d.open_units());
+            });
+            point_lock = qps(readers, phase_s, &|scratch: &mut u64| {
+                let id = ids[*scratch as usize % ids.len()];
+                *scratch = scratch.wrapping_add(1);
+                if svc.unit_state(id) == Some(UnitState::Done) {
+                    *scratch = scratch.wrapping_add(1);
+                }
+            });
+            point_proj = qps(readers, phase_s, &|scratch: &mut u64| {
+                let id = ids[*scratch as usize % ids.len()];
+                *scratch = scratch.wrapping_add(1);
+                if qs.unit_state(id) == Some(UnitState::Done) {
+                    *scratch = scratch.wrapping_add(1);
+                }
+            });
+
+            stop_writes.store(true, Ordering::Release);
+            // lint: allow(panic, reason = "the feeder thread only submits units and cannot panic")
+            feeder.join().expect("feeder thread");
+            stop_mat.store(true, Ordering::Release);
+            broker.wake_all(); // wake the parked materializer immediately
+                               // lint: allow(panic, reason = "run_until_stopped returns after the stop flag is set")
+            materializer.join().expect("materializer thread")
+        });
+
+        // Staleness over the storm: event append -> applied-to-projection.
+        let stale_p50_ms = qs.staleness(0.5).unwrap_or(0.0) * 1e3;
+        let stale_p99_ms = qs.staleness(0.99).unwrap_or(0.0) * 1e3;
+        assert!(
+            stale_p99_ms < 1_000.0,
+            "p99 staleness must stay bounded under load, got {stale_p99_ms:.1} ms"
+        );
+
+        // Shutdown cancels the backlog (more events), then the restart
+        // drill: resume from the last *published* snapshot and drain; a
+        // from-scratch fold of the full topic must agree bit-for-bit.
+        svc.shutdown();
+        let mut m = m;
+        m.catch_up()
+            // lint: allow(panic, reason = "broker and topic are alive for the whole trial")
+            .expect("final drain");
+        let published = qs.snapshot();
+        let mut resumed = Materializer::resume(Arc::clone(&broker), &topic, &published)
+            // lint: allow(panic, reason = "the topic still exists; resume only fails on a missing topic")
+            .expect("resume from published snapshot");
+        resumed
+            .catch_up()
+            // lint: allow(panic, reason = "broker and topic are alive for the whole trial")
+            .expect("resumed drain");
+        let mut fresh = Materializer::bootstrap(Arc::clone(&broker), &topic)
+            // lint: allow(panic, reason = "the topic still exists")
+            .expect("bootstrap from offset 0");
+        fresh
+            .catch_up()
+            // lint: allow(panic, reason = "broker and topic are alive for the whole trial")
+            .expect("fresh drain");
+        assert_eq!(
+            resumed.tables().events_applied,
+            fresh.tables().events_applied,
+            "restart must lose and duplicate nothing"
+        );
+        assert_eq!(
+            resumed.tables().digest(),
+            fresh.tables().digest(),
+            "resumed projection must be bit-identical to a from-scratch fold"
+        );
+        assert_eq!(resumed.events_lost(), 0);
+
+        let dash_ratio = dash_proj / dash_lock.max(1e-9);
+        dash_ratios.push(dash_ratio);
+        table.push(
+            trial,
+            vec![
+                ("dash_lock_qps".into(), dash_lock),
+                ("dash_proj_qps".into(), dash_proj),
+                ("point_lock_qps".into(), point_lock),
+                ("point_proj_qps".into(), point_proj),
+                ("stale_p50_ms".into(), stale_p50_ms),
+                ("stale_p99_ms".into(), stale_p99_ms),
+                (
+                    "writes_s".into(),
+                    writes.load(Ordering::Relaxed) as f64 / (4.0 * phase_s),
+                ),
+            ],
+        );
+    }
+
+    let mean_ratio = dash_ratios.iter().sum::<f64>() / dash_ratios.len().max(1) as f64;
+    assert!(
+        mean_ratio >= 10.0,
+        "projections must sustain >= 10x the lock-path dashboard QPS, got {mean_ratio:.1}x"
+    );
+
+    let mut out = table.to_markdown();
+    out.push_str(&format!(
+        "\nprojection dashboard over lock-path dashboard: {mean_ratio:.0}× (floor 10×)\n\
+         restart drill: resume-from-snapshot == from-scratch fold (digest + event count) on every trial\n"
+    ));
+    common::emit(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn qp1_quick_holds_speedup_staleness_and_restart_floors() {
+        // The floors are asserted inside run_qp1; surviving the call in
+        // quick mode is the regression check CI runs.
+        let report = super::run_qp1(true);
+        assert!(report.contains("dash_proj_qps"));
+        assert!(report.contains("stale_p99_ms"));
+    }
+}

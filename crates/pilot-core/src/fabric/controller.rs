@@ -22,8 +22,10 @@ use crossbeam::channel::{Receiver, Sender};
 use pilot_sim::SimRng;
 
 use crate::describe::UnitDescription;
+use crate::events::ProjEvent;
 use crate::ids::{PilotId, UnitId};
 use crate::retry::{streams, RetryPolicy};
+use crate::state::UnitState;
 
 use super::transport::{ToController, ToDaemon};
 use super::{FabricConfig, FabricUnit};
@@ -153,6 +155,12 @@ pub struct Controller {
     rebalance_watch: HashMap<(u32, u64), usize>,
     /// Counters.
     pub stats: ControllerStats,
+    /// Read-plane event ledger: every ledger transition, in order, with
+    /// virtual timestamps (`tick * tick_s`). The fabric is a deterministic
+    /// module, so it cannot talk to a broker sink directly — the driver
+    /// publishes this ledger after the run (`FabricReport::events`,
+    /// `pilot_query::publish_events`), keeping replay determinism intact.
+    pub events: Vec<ProjEvent>,
     next_unit: u64,
 }
 
@@ -192,8 +200,14 @@ impl Controller {
             rebalances: Vec::new(),
             rebalance_watch: HashMap::new(),
             stats: ControllerStats::default(),
+            events: Vec::new(),
             next_unit: 0,
         }
+    }
+
+    /// Virtual time of `tick` in the read-plane event timebase.
+    fn t_s(&self, tick: u64) -> f64 {
+        tick as f64 * self.tick_s
     }
 
     /// Register a unit for routing. Returns its id.
@@ -212,6 +226,13 @@ impl Controller {
         );
         self.unit_order.push(id);
         self.route_queue.push(id);
+        // Submission happens before the tick loop starts: virtual time 0.
+        self.events.push(ProjEvent::Unit {
+            unit: id,
+            state: UnitState::Pending,
+            pilot: None,
+            t_s: 0.0,
+        });
         id
     }
 
@@ -321,7 +342,7 @@ impl Controller {
                     shard,
                     epoch,
                     unit,
-                    pilot: _,
+                    pilot,
                     tick,
                 } => {
                     let current =
@@ -344,6 +365,12 @@ impl Controller {
                             let view = &mut self.cap_view[shard as usize];
                             view.free_cores = view.free_cores.saturating_sub(cores);
                             view.queued_units = view.queued_units.saturating_sub(1);
+                            self.events.push(ProjEvent::Unit {
+                                unit,
+                                state: UnitState::Running,
+                                pilot: Some(pilot),
+                                t_s: tick as f64 * self.tick_s,
+                            });
                         }
                     }
                 }
@@ -370,6 +397,19 @@ impl Controller {
                                 self.stats.completed += 1;
                                 let view = &mut self.cap_view[shard as usize];
                                 view.free_cores += e.desc.cores;
+                                let t_s = tick as f64 * self.tick_s;
+                                self.events.push(ProjEvent::Unit {
+                                    unit,
+                                    state: UnitState::Done,
+                                    pilot: None,
+                                    t_s,
+                                });
+                                self.events.push(ProjEvent::UnitMetric {
+                                    unit,
+                                    wait_s: 0.0,
+                                    exec_s: e.run_ticks as f64 * self.tick_s,
+                                    t_s,
+                                });
                             }
                         }
                     }
@@ -409,6 +449,13 @@ impl Controller {
         }
         e.failures += 1;
         self.stats.retries_charged += 1;
+        let t_s = tick as f64 * self.tick_s;
+        self.events.push(ProjEvent::Unit {
+            unit,
+            state: UnitState::Failed,
+            pilot: None,
+            t_s,
+        });
         let policy = effective_retry(&e.desc, &self.default_retry);
         if policy.allows_retry(e.failures) {
             let mut jitter =
@@ -419,6 +466,13 @@ impl Controller {
             e.state = LedgerState::Queued;
             self.retry_at
                 .push(std::cmp::Reverse((tick.saturating_add(ticks), unit.0)));
+            // Retry granted: the unit conceptually re-enters the queue.
+            self.events.push(ProjEvent::Unit {
+                unit,
+                state: UnitState::Pending,
+                pilot: None,
+                t_s,
+            });
         } else {
             e.state = LedgerState::Exhausted;
             self.stats.exhausted += 1;
@@ -480,6 +534,12 @@ impl Controller {
                         self.route_queue.push(unit);
                         self.stats.free_redispatches += 1;
                         event.units_redispatched += 1;
+                        self.events.push(ProjEvent::Unit {
+                            unit,
+                            state: UnitState::Pending,
+                            pilot: None,
+                            t_s: tick as f64 * self.tick_s,
+                        });
                     }
                     LedgerState::Started { shard, .. } if moved.contains(&shard) => {
                         // Was executing when its manager died: the attempt
@@ -552,6 +612,14 @@ impl Controller {
                 e.state = LedgerState::Dispatched { shard, epoch };
                 (e.desc.clone(), e.run_ticks, e.failures)
             };
+            // Dispatched maps to `Assigned` in the P* machine; the concrete
+            // pilot is chosen by the shard owner's local binding pass.
+            self.events.push(ProjEvent::Unit {
+                unit,
+                state: UnitState::Assigned,
+                pilot: None,
+                t_s: self.t_s(tick),
+            });
             self.cap_view[shard as usize].queued_units += 1;
             if let Some(tx) = to_daemons.get(daemon) {
                 let _ = tx.send(ToDaemon::Dispatch {
@@ -565,7 +633,6 @@ impl Controller {
                     },
                 });
             }
-            let _ = tick;
         }
     }
 }

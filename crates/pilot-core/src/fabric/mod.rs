@@ -188,6 +188,12 @@ pub struct FabricReport {
     pub bind_stats: BindStats,
     /// Highest assignment epoch issued.
     pub max_epoch: u64,
+    /// Read-plane event ledger (every ledger transition with virtual
+    /// timestamps). The fabric itself is deterministic and never touches a
+    /// broker; publish this after the run with one batched append
+    /// (`pilot_query::publish_events`) to serve fabric dashboards from
+    /// projections.
+    pub events: Vec<crate::events::ProjEvent>,
 }
 
 impl FabricReport {
@@ -306,6 +312,7 @@ impl Fabric {
             kills_skipped,
             rebalances: controller.rebalances.clone(),
             assignment_log: controller.assignment_log.clone(),
+            events: std::mem::take(&mut controller.events),
             bind_stats,
             max_epoch: controller.max_epoch(),
         }

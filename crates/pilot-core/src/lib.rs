@@ -35,6 +35,7 @@
 pub mod binding;
 pub mod clock;
 pub mod describe;
+pub mod events;
 pub mod fabric;
 pub mod ids;
 pub mod metrics;
@@ -48,6 +49,7 @@ pub mod thread;
 pub use binding::{BindStats, PendingQueue};
 pub use clock::WallClock;
 pub use describe::{DataLocation, PilotDescription, UnitDescription};
+pub use events::{EventCodecError, EventSink, ProjEvent};
 pub use fabric::{
     Controller, DaemonKillSchedule, Fabric, FabricConfig, FabricReport, FabricUnit, HostDaemon,
     KillMode, RebalanceEvent, ScheduledKill, ShardAssignment,

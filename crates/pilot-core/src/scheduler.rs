@@ -518,7 +518,10 @@ mod tests {
         let a = picks(7);
         assert_eq!(a, picks(7));
         assert!(a.iter().all(|&p| p == 2 || p == 3), "never the full pilot");
-        assert!(a.contains(&2) && a.contains(&3), "spread across units: {a:?}");
+        assert!(
+            a.contains(&2) && a.contains(&3),
+            "spread across units: {a:?}"
+        );
         // The pick is keyed off the unit, not the call order: re-offering the
         // same unit later lands on the same pilot.
         let mut s = RandomScheduler::new(7);

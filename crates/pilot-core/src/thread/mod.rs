@@ -19,4 +19,4 @@ mod kernel;
 mod service;
 
 pub use kernel::{kernel_fn, SyntheticKernel, TaskCtx, TaskError, TaskOutput, WorkKernel};
-pub use service::{ServiceReport, ThreadPilotService, UnitOutcome};
+pub use service::{ServiceReport, StatusSnapshot, ThreadPilotService, UnitOutcome};

@@ -5,6 +5,7 @@ use super::agent::{Agent, AgentReport, Assignment};
 use super::kernel::{TaskError, TaskOutput, WorkKernel};
 use crate::binding::{self, BindStats, PendingQueue};
 use crate::describe::{PilotDescription, UnitDescription};
+use crate::events::{EventSink, ProjEvent};
 use crate::ids::{IdGen, PilotId, UnitId};
 use crate::metrics::{PilotTimes, UnitRecord, UnitTimes};
 use crate::retry::{streams, FailureTracker, FaultPlan, ReliabilityStats};
@@ -53,6 +54,20 @@ impl ServiceReport {
             .map(|u| u.times)
             .collect()
     }
+}
+
+/// A consistent point-in-time view of the whole registry, cloned under one
+/// lock hold. This is the strongest read the lock path can offer — and the
+/// QP-1 baseline the projection read plane is measured against: every call
+/// still serializes against the manager's write path.
+#[derive(Clone, Debug)]
+pub struct StatusSnapshot {
+    /// Every pilot: id, state, site.
+    pub pilots: Vec<(PilotId, PilotState, SiteId)>,
+    /// Every unit: id, state, bound pilot (if any).
+    pub units: Vec<(UnitId, UnitState, Option<PilotId>)>,
+    /// Units not yet terminal.
+    pub open_units: usize,
 }
 
 enum Msg {
@@ -158,6 +173,8 @@ struct UnitRt {
     doomed: bool,
     /// A backoff timer is armed; the unit is `Failed` but not terminal.
     retry_pending: bool,
+    /// When the unit was submitted (read-plane wait-time metric).
+    submitted_at: f64,
 }
 
 /// Real-execution Pilot-API service. See the [module docs](super).
@@ -175,10 +192,37 @@ impl ThreadPilotService {
         Self::with_faults(scheduler, FaultPlan::none(), 0)
     }
 
+    /// Start a service that exports read-plane events ([`ProjEvent`]) to
+    /// `sink`. The manager emits one `emit_batch` call per drained message
+    /// batch, so the write path pays a single batched hand-off regardless of
+    /// how many transitions the batch contained.
+    pub fn with_sink(scheduler: Box<dyn Scheduler>, sink: Arc<dyn EventSink>) -> Self {
+        Self::build(scheduler, FaultPlan::none(), 0, Some(sink))
+    }
+
     /// Start a service with a deterministic fault-injection plan. All fault
     /// draws come from RNG streams derived from `seed`, so the injected
     /// schedule replays identically (execution timings remain wall-clock).
     pub fn with_faults(scheduler: Box<dyn Scheduler>, faults: FaultPlan, seed: u64) -> Self {
+        Self::build(scheduler, faults, seed, None)
+    }
+
+    /// Fault plan + event sink (see [`with_sink`](Self::with_sink)).
+    pub fn with_faults_and_sink(
+        scheduler: Box<dyn Scheduler>,
+        faults: FaultPlan,
+        seed: u64,
+        sink: Arc<dyn EventSink>,
+    ) -> Self {
+        Self::build(scheduler, faults, seed, Some(sink))
+    }
+
+    fn build(
+        scheduler: Box<dyn Scheduler>,
+        faults: FaultPlan,
+        seed: u64,
+        sink: Option<Arc<dyn EventSink>>,
+    ) -> Self {
         let (tx, rx) = unbounded::<Msg>();
         let (report_tx, report_rx) = unbounded::<AgentReport>();
         let registry = Arc::new(Registry {
@@ -207,6 +251,8 @@ impl ThreadPilotService {
                     tracker: FailureTracker::new(faults.blacklist_after),
                     rel: ReliabilityStats::default(),
                     stats: BindStats::default(),
+                    sink,
+                    ev: Vec::new(),
                 }
                 .run(rx, report_rx)
             })
@@ -296,6 +342,34 @@ impl ThreadPilotService {
     /// Current state of a unit.
     pub fn unit_state(&self, id: UnitId) -> Option<UnitState> {
         self.registry.inner.lock().units.get(&id).map(|u| u.state)
+    }
+
+    /// A consistent snapshot of every pilot and unit, taken under a single
+    /// lock acquisition — unlike calling [`pilot_state`](Self::pilot_state) /
+    /// [`unit_state`](Self::unit_state) in a loop, no transition can land
+    /// between two entries of the result. Still a lock-path read: it blocks
+    /// the manager for the duration of the clone (QP-1's baseline column).
+    pub fn status_snapshot(&self) -> StatusSnapshot {
+        let g = self.registry.inner.lock();
+        let mut pilots: Vec<(PilotId, PilotState, SiteId)> = g
+            .pilots
+            .iter()
+            .map(|(&id, p)| (id, p.state, p.site))
+            .collect();
+        let mut units: Vec<(UnitId, UnitState, Option<PilotId>)> = g
+            .units
+            .iter()
+            .map(|(&id, u)| (id, u.state, u.pilot))
+            .collect();
+        let open_units = g.open_units;
+        drop(g);
+        pilots.sort_unstable_by_key(|(id, _, _)| id.0);
+        units.sort_unstable_by_key(|(id, _, _)| id.0);
+        StatusSnapshot {
+            pilots,
+            units,
+            open_units,
+        }
     }
 
     /// Block until the pilot leaves `Pending`; true iff it became `Active`.
@@ -417,11 +491,50 @@ struct Mgr {
     tracker: FailureTracker,
     rel: ReliabilityStats,
     stats: BindStats,
+    /// Read-plane export: transitions buffered per message batch, handed to
+    /// the sink with one `emit_batch` call (`None` disables emission).
+    sink: Option<Arc<dyn EventSink>>,
+    ev: Vec<ProjEvent>,
 }
 
 impl Mgr {
     fn now(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Buffer a read-plane event; a no-op when no sink is attached.
+    fn emit(&mut self, ev: ProjEvent) {
+        if self.sink.is_some() {
+            self.ev.push(ev);
+        }
+    }
+
+    /// Buffer a pilot capacity event from the pilot's current runtime state.
+    fn emit_capacity(&mut self, pid: PilotId, t_s: f64) {
+        if self.sink.is_none() {
+            return;
+        }
+        if let Some(p) = self.pilots.get(&pid) {
+            self.ev.push(ProjEvent::PilotCapacity {
+                pilot: pid,
+                free_cores: p.free_cores,
+                total_cores: p.cores,
+                t_s,
+            });
+        }
+    }
+
+    /// Hand the buffered batch to the sink. Called once per drained message
+    /// batch and once at loop exit — the write path pays one batched append
+    /// regardless of how many transitions the batch produced.
+    fn flush_events(&mut self) {
+        if self.ev.is_empty() {
+            return;
+        }
+        if let Some(sink) = &self.sink {
+            sink.emit_batch(&self.ev);
+        }
+        self.ev.clear();
     }
 
     fn run(mut self, rx: Receiver<Msg>, report_rx: Receiver<AgentReport>) {
@@ -448,6 +561,7 @@ impl Mgr {
                 self.sched_dirty = false;
                 self.bind_pass();
             }
+            self.flush_events();
             if self.shutting_down && self.all_quiet() {
                 break;
             }
@@ -463,6 +577,7 @@ impl Mgr {
             }
         }
         // Publish the reliability and binding counters for the final report.
+        self.flush_events();
         let rel = self.rel.clone();
         let bind = self.stats;
         self.registry.update(|r| {
@@ -521,6 +636,11 @@ impl Mgr {
         });
         let delay = rt.startup_delay_s;
         self.pilots.insert(id, rt);
+        self.emit(ProjEvent::Pilot {
+            pilot: id,
+            state: PilotState::Pending,
+            t_s: now,
+        });
         if delay > 0.0 {
             let tx = self.self_tx.clone();
             std::thread::spawn(move || {
@@ -572,6 +692,12 @@ impl Mgr {
                 pp.times.active = Some(now);
             }
         });
+        self.emit(ProjEvent::Pilot {
+            pilot: id,
+            state: PilotState::Active,
+            t_s: now,
+        });
+        self.emit_capacity(id, now);
         self.schedule();
     }
 
@@ -597,6 +723,12 @@ impl Mgr {
                 );
                 r.open_units -= 1;
             });
+            self.emit(ProjEvent::Unit {
+                unit: id,
+                state: UnitState::Canceled,
+                pilot: None,
+                t_s: now,
+            });
             return;
         }
         let tag = desc.tag.clone();
@@ -615,6 +747,7 @@ impl Mgr {
                 started_at: None,
                 doomed: false,
                 retry_pending: false,
+                submitted_at: now,
             },
         );
         self.pending.push(id, priority);
@@ -632,6 +765,12 @@ impl Mgr {
                     output: None,
                 },
             );
+        });
+        self.emit(ProjEvent::Unit {
+            unit: id,
+            state: UnitState::Pending,
+            pilot: None,
+            t_s: now,
         });
         self.schedule();
     }
@@ -761,6 +900,13 @@ impl Mgr {
                 u.times.bound = Some(now);
             }
         });
+        self.emit(ProjEvent::Unit {
+            unit: uid,
+            state: UnitState::Assigned,
+            pilot: Some(pid),
+            t_s: now,
+        });
+        self.emit_capacity(pid, now);
     }
 
     fn on_report(&mut self, rep: AgentReport) {
@@ -774,6 +920,7 @@ impl Mgr {
                 }
                 UnitState::advance(&mut u.state, UnitState::Running);
                 u.started_at = Some(t);
+                let pilot = u.pilot;
                 self.rel.attempts += 1;
                 // Arm the per-attempt execution deadline.
                 if let Some(deadline_s) = u.desc.deadline_s {
@@ -788,6 +935,12 @@ impl Mgr {
                         UnitState::publish(&mut u.state, UnitState::Running);
                         u.times.started = Some(t);
                     }
+                });
+                self.emit(ProjEvent::Unit {
+                    unit,
+                    state: UnitState::Running,
+                    pilot,
+                    t_s: t,
                 });
             }
             AgentReport::Finished {
@@ -856,7 +1009,14 @@ impl Mgr {
             if self.tracker.record_failure(pid) {
                 self.rel.blacklisted_pilots += 1;
             }
+            self.emit_capacity(pid, t);
         }
+        self.emit(ProjEvent::Unit {
+            unit: uid,
+            state: UnitState::Failed,
+            pilot: None,
+            t_s: t,
+        });
         if !self.shutting_down && retry.allows_retry(attempts) {
             self.rel.requeues += 1;
             if let Some(u) = self.units.get_mut(&uid) {
@@ -937,6 +1097,12 @@ impl Mgr {
                 UnitState::publish(&mut up.state, UnitState::Pending);
             }
         });
+        self.emit(ProjEvent::Unit {
+            unit: uid,
+            state: UnitState::Pending,
+            pilot: None,
+            t_s: self.now(),
+        });
         self.schedule();
     }
 
@@ -966,6 +1132,12 @@ impl Mgr {
                 pp.times.finished = Some(now);
             }
         });
+        self.emit(ProjEvent::Pilot {
+            pilot: pid,
+            state: PilotState::Failed,
+            t_s: now,
+        });
+        self.emit_capacity(pid, now);
         let mut bound: Vec<(UnitId, UnitState)> = self
             .units
             .iter()
@@ -996,6 +1168,12 @@ impl Mgr {
                         up.times.bound = None;
                     }
                 });
+                self.emit(ProjEvent::Unit {
+                    unit: uid,
+                    state: UnitState::Pending,
+                    pilot: None,
+                    t_s: now,
+                });
             }
         }
         self.schedule();
@@ -1014,6 +1192,8 @@ impl Mgr {
         UnitState::advance(&mut u.state, state);
         let pilot = u.pilot;
         let cores = u.desc.cores;
+        let submitted_at = u.submitted_at;
+        let started_at = u.started_at;
         if let Some(pid) = pilot {
             if let Some(p) = self.pilots.get_mut(&pid) {
                 p.free_cores += cores;
@@ -1028,6 +1208,24 @@ impl Mgr {
             }
             r.open_units -= 1;
         });
+        self.emit(ProjEvent::Unit {
+            unit: uid,
+            state,
+            pilot,
+            t_s: t,
+        });
+        if let Some(pid) = pilot {
+            self.emit_capacity(pid, t);
+        }
+        if state == UnitState::Done {
+            let started = started_at.unwrap_or(t);
+            self.emit(ProjEvent::UnitMetric {
+                unit: uid,
+                wait_s: (started - submitted_at).max(0.0),
+                exec_s: (t - started).max(0.0),
+                t_s: t,
+            });
+        }
         // A draining pilot with nothing left finalizes now.
         if let Some(pid) = pilot {
             self.maybe_finalize_pilot(pid);
@@ -1056,6 +1254,11 @@ impl Mgr {
                         PilotState::publish(&mut pp.state, end);
                         pp.times.finished = Some(now);
                     }
+                });
+                self.emit(ProjEvent::Pilot {
+                    pilot: pid,
+                    state: end,
+                    t_s: now,
                 });
             }
             PilotState::Active => {
@@ -1087,6 +1290,11 @@ impl Mgr {
                     pp.times.finished = Some(now);
                 }
             });
+            self.emit(ProjEvent::Pilot {
+                pilot: pid,
+                state: to,
+                t_s: now,
+            });
         }
     }
 
@@ -1106,6 +1314,12 @@ impl Mgr {
                         up.times.finished = Some(now);
                     }
                     r.open_units -= 1;
+                });
+                self.emit(ProjEvent::Unit {
+                    unit: uid,
+                    state: UnitState::Canceled,
+                    pilot: None,
+                    t_s: now,
                 });
             }
             UnitState::Assigned => {
@@ -1128,6 +1342,12 @@ impl Mgr {
                         up.times.finished = Some(now);
                     }
                     r.open_units -= 1;
+                });
+                self.emit(ProjEvent::Unit {
+                    unit: uid,
+                    state: UnitState::Canceled,
+                    pilot: None,
+                    t_s: now,
                 });
             }
             _ => {} // running or terminal: cooperative semantics, no-op
@@ -1173,6 +1393,12 @@ impl Mgr {
                     up.times.finished = Some(now);
                 }
                 r.open_units -= 1;
+            });
+            self.emit(ProjEvent::Unit {
+                unit: uid,
+                state: UnitState::Canceled,
+                pilot: None,
+                t_s: now,
             });
         }
         // Drain all pilots.

@@ -633,7 +633,9 @@ pub(crate) fn close_brace(code: &[Token], open: usize) -> usize {
 /// receiver typed as one of these resolves to no target; closure arguments
 /// passed to its methods are scanned as part of the enclosing body, so no
 /// workspace call is lost by dropping the edge.
-const STD_HEADS: [&str; 36] = [
+const STD_HEADS: [&str; 38] = [
+    "File",
+    "OpenOptions",
     "Vec",
     "VecDeque",
     "HashMap",
@@ -1100,7 +1102,18 @@ fn receiver_type(
     let mut j = i - 1; // the '.' before the method name
     loop {
         let prev = j.checked_sub(1)?;
-        let id = ident_at(code, prev)?; // `)`, `]`, `?` receivers: untypeable
+        if chain.is_empty() && punct_at(code, prev, ')') {
+            // The receiver is a call result. Return types are not tracked,
+            // so this is untypeable in general — except for one decidable
+            // and load-bearing pattern: a builder chain headed by a std
+            // constructor (`OpenOptions::new().append(true).create(true)`),
+            // which cannot call back into the workspace. Without this, a
+            // workspace method sharing a builder-setter name (`create`,
+            // `append`, …) is pulled into the call graph by the bare-name
+            // fallback and its lock acquisitions poison the caller's.
+            return std_builder_chain(code, prev);
+        }
+        let id = ident_at(code, prev)?; // `]`, `?` receivers: untypeable
         chain.push(id);
         if prev >= 1 && punct_at(code, prev - 1, '.') {
             j = prev - 1;
@@ -1127,6 +1140,58 @@ fn receiver_type(
             .clone();
     }
     Some(cur)
+}
+
+/// Walk a `.m(…)` chain backwards from the `)` at `end`. `Some(Std)` iff
+/// every segment is a method call and the head is `Head::assoc(…)` with
+/// `Head` in [`STD_HEADS`] — a std builder chain, whose value stays a std
+/// type at every step. Workspace or unknown heads, field segments, and
+/// index/`?` segments all return `None` (untypeable, bare-name fallback).
+fn std_builder_chain(code: &[Token], end: usize) -> Option<TypeRef> {
+    let mut close = end;
+    loop {
+        // Skip the balanced `( … )` whose `)` sits at `close`.
+        let mut depth = 0i32;
+        let mut q = close;
+        loop {
+            match code[q].tok {
+                Tok::Punct(')') => depth += 1,
+                Tok::Punct('(') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            q = q.checked_sub(1)?;
+        }
+        // Before the `(`: the method or associated-fn name.
+        let name_ix = q.checked_sub(1)?;
+        ident_at(code, name_ix)?;
+        let before = name_ix.checked_sub(1)?;
+        if punct_at(code, before, '.') {
+            // `….m(…)` — the chain continues; the previous segment must be
+            // a call too (field-rooted chains are another pattern).
+            let seg = before.checked_sub(1)?;
+            if !punct_at(code, seg, ')') {
+                return None;
+            }
+            close = seg;
+            continue;
+        }
+        if before >= 1 && punct_at(code, before, ':') && punct_at(code, before - 1, ':') {
+            // `Head::assoc(` — possibly under a module path (`fs::Head::…`);
+            // the ident directly left of `::` is the type either way.
+            let head = ident_at(code, before.checked_sub(2)?)?;
+            return if STD_HEADS.contains(&head) {
+                Some(TypeRef::Std)
+            } else {
+                None
+            };
+        }
+        return None; // free-fn call result (`helper().m()`): untypeable
+    }
 }
 
 /// All methods named `name` callable on a receiver of workspace type `t`:

@@ -147,6 +147,39 @@ fn std_receiver_resolves_to_nothing() {
 }
 
 #[test]
+fn std_builder_chain_resolves_to_nothing() {
+    // `OpenOptions::new().append(true).create(true).open(p)` — every link
+    // in the chain is a std value, so `.create` / `.open` must NOT pull in
+    // same-named workspace methods via the bare-name fallback (that is how
+    // a sink's `create`, which takes broker locks, once poisoned the WAL's
+    // acquisition sets into a phantom lock-order cycle).
+    let (_, g) = ws(&[(
+        "crates/pilot-foo/src/lib.rs",
+        "pub struct Sink;\n\nimpl Sink {\n    pub fn create(&self) {}\n    pub fn open(&self) {}\n}\n\n\
+         pub fn f(p: &str) {\n    std::fs::OpenOptions::new().append(true).create(true).open(p);\n}\n",
+    )]);
+    for label in [".create", ".open"] {
+        let s = site(&g, "pilot_foo::f", label);
+        assert_eq!(s.kind, CallKind::Unresolved, "{s:?}");
+        assert!(s.targets.is_empty(), "{s:?}");
+    }
+}
+
+#[test]
+fn workspace_headed_call_chain_still_falls_back() {
+    // A chain headed by a *workspace* constructor is not decidable (return
+    // types are untracked) and must keep the conservative fallback.
+    let (_, g) = ws(&[(
+        "crates/pilot-foo/src/lib.rs",
+        "pub struct Builder;\n\nimpl Builder {\n    pub fn new() -> Builder {\n        Builder\n    }\n    pub fn arm(&self) {}\n}\n\n\
+         pub fn f() {\n    Builder::new().arm();\n}\n",
+    )]);
+    let s = site(&g, "pilot_foo::f", ".arm");
+    assert_eq!(s.kind, CallKind::Method, "{s:?}");
+    assert_eq!(target_names(&g, s), ["pilot_foo::Builder::arm"]);
+}
+
+#[test]
 fn untypeable_receiver_falls_back_to_bare_name_over_approximation() {
     let (_, g) = ws(&[(
         "crates/pilot-foo/src/lib.rs",

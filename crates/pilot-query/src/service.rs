@@ -1,0 +1,99 @@
+//! The read-side API: every query is answered from the latest published
+//! projection snapshot — one atomic load plus an `Arc` clone, no shared
+//! mutable state, no contention with writers or with other readers.
+//!
+//! A [`QueryService`] is cheap to clone and `Send + Sync`: hand one to every
+//! dashboard / monitoring thread. Reads see a *consistent* point-in-time
+//! view (the snapshot the materializer published atomically), at most one
+//! publication interval behind the log tail — the staleness the service
+//! itself reports.
+
+use crate::materializer::StalenessWindow;
+use crate::snap::SnapshotCell;
+use crate::tables::{ContinuityToken, Dashboard, PilotRow, QueryTables, UnitRow};
+use parking_lot::Mutex;
+use pilot_core::ids::{PilotId, UnitId};
+use pilot_core::state::UnitState;
+use std::sync::Arc;
+
+/// Lock-free read handle over a materializer's published snapshots.
+#[derive(Clone)]
+pub struct QueryService {
+    cell: Arc<SnapshotCell<QueryTables>>,
+    stale: Arc<Mutex<StalenessWindow>>,
+}
+
+impl QueryService {
+    pub(crate) fn new(
+        cell: Arc<SnapshotCell<QueryTables>>,
+        stale: Arc<Mutex<StalenessWindow>>,
+    ) -> Self {
+        QueryService { cell, stale }
+    }
+
+    /// The latest published snapshot, whole. Holding the `Arc` pins a
+    /// consistent view for as long as the caller wants it; later
+    /// publications don't mutate it.
+    pub fn snapshot(&self) -> Arc<QueryTables> {
+        self.cell.load()
+    }
+
+    /// Point read: the unit's current state.
+    pub fn unit_state(&self, id: UnitId) -> Option<UnitState> {
+        self.cell.load().unit(id).map(|r| r.state)
+    }
+
+    /// Point read: the unit's full row.
+    pub fn unit(&self, id: UnitId) -> Option<UnitRow> {
+        self.cell.load().unit(id).copied()
+    }
+
+    /// Point read: the pilot's full row.
+    pub fn pilot(&self, id: PilotId) -> Option<PilotRow> {
+        self.cell.load().pilot(id).copied()
+    }
+
+    /// Point read: one pilot's core utilization in `[0, 1]`.
+    pub fn pilot_utilization(&self, id: PilotId) -> Option<f64> {
+        self.cell.load().pilot(id).map(|r| r.utilization())
+    }
+
+    /// The pre-aggregated dashboard (copied out; `Dashboard` is `Copy`).
+    pub fn dashboard(&self) -> Dashboard {
+        *self.cell.load().dashboard()
+    }
+
+    /// Continuity token of the published snapshot: the exact log position
+    /// the answers correspond to.
+    pub fn token(&self) -> ContinuityToken {
+        self.cell.load().token()
+    }
+
+    /// Publication counter of the current snapshot.
+    pub fn version(&self) -> u64 {
+        self.cell.load().version
+    }
+
+    /// Staleness percentile (seconds, append→applied) over the recent
+    /// sample window; `None` until the materializer has applied something.
+    pub fn staleness(&self, q: f64) -> Option<f64> {
+        self.stale.lock().percentile(q)
+    }
+
+    /// Number of staleness samples recorded so far (lifetime).
+    pub fn staleness_samples(&self) -> u64 {
+        self.stale.lock().total()
+    }
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.cell.load();
+        f.debug_struct("QueryService")
+            .field("version", &s.version)
+            .field("events_applied", &s.events_applied)
+            .field("units", &s.unit_count())
+            .field("pilots", &s.pilot_count())
+            .finish()
+    }
+}

@@ -1,0 +1,154 @@
+//! The transport between producers and the read plane: an [`EventSink`]
+//! that appends event batches to a broker projection topic.
+//!
+//! The write path pays exactly one keyed [`Broker::produce_batch`] call per
+//! drained batch — one lock acquire per touched partition, one timestamp per
+//! batch — and never blocks or fails the producer: if the broker refuses the
+//! batch (closed, topic deleted), the sink counts the drop and moves on.
+//! Keying by [`ProjEvent::key`] routes every event of one entity to one
+//! partition, so the materializer sees per-entity total order.
+
+use pilot_core::events::{EventSink, ProjEvent};
+use pilot_streaming::{Broker, BrokerError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default partition count for projection topics: enough for parallel
+/// materializers later, small enough that per-partition scans stay cheap.
+pub const DEFAULT_PARTITIONS: usize = 4;
+
+/// Default retention (records per partition) for projection topics. Sized so
+/// a projection topic outlives any realistic materializer lag; a topic that
+/// *does* trim is detected by `Materializer::events_lost`.
+pub const DEFAULT_RETENTION: usize = 1 << 20;
+
+/// Broker-backed [`EventSink`].
+pub struct BrokerSink {
+    broker: Arc<Broker>,
+    topic: String,
+    dropped: AtomicU64,
+}
+
+impl BrokerSink {
+    /// A sink writing to an existing topic.
+    pub fn new(broker: Arc<Broker>, topic: &str) -> Arc<Self> {
+        Arc::new(BrokerSink {
+            broker,
+            topic: topic.to_string(),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Create the projection topic (idempotent) and return a sink on it.
+    pub fn create(
+        broker: Arc<Broker>,
+        topic: &str,
+        partitions: usize,
+    ) -> Result<Arc<Self>, BrokerError> {
+        match broker.create_topic(topic, partitions, DEFAULT_RETENTION) {
+            Ok(()) | Err(BrokerError::TopicExists(_)) => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Self::new(broker, topic))
+    }
+
+    /// The topic this sink appends to.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+
+    /// Events dropped because the broker refused an append (0 in healthy
+    /// operation; non-zero means the read plane is missing history).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl EventSink for BrokerSink {
+    fn emit_batch(&self, events: &[ProjEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let records = events.iter().map(|e| (Some(e.key()), Arc::new(e.encode())));
+        if self.broker.produce_batch(&self.topic, records).is_err() {
+            self.dropped
+                .fetch_add(events.len() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One-shot publication of an event batch to a projection topic — the bridge
+/// for producers that *accumulate* events instead of sinking them live (the
+/// fabric controller is deterministic and cannot talk to the broker from
+/// inside its tick loop; its driver publishes `FabricReport::events` with
+/// this after the run). Returns the number of records appended.
+pub fn publish_events(
+    broker: &Broker,
+    topic: &str,
+    events: &[ProjEvent],
+) -> Result<u64, BrokerError> {
+    if events.is_empty() {
+        return Ok(0);
+    }
+    broker.produce_batch(
+        topic,
+        events.iter().map(|e| (Some(e.key()), Arc::new(e.encode()))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilot_core::ids::UnitId;
+    use pilot_core::state::UnitState;
+
+    fn ev(u: u64) -> ProjEvent {
+        ProjEvent::Unit {
+            unit: UnitId(u),
+            state: UnitState::Pending,
+            pilot: None,
+            t_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn create_is_idempotent_and_batches_land_keyed() {
+        let broker = Arc::new(Broker::new());
+        let s1 = BrokerSink::create(Arc::clone(&broker), "proj", 4).expect("create");
+        let _s2 = BrokerSink::create(Arc::clone(&broker), "proj", 4).expect("re-create");
+        let evs: Vec<ProjEvent> = (0..50).map(ev).collect();
+        s1.emit_batch(&evs);
+        s1.emit_batch(&[]); // no-op
+        let hw = broker.high_watermarks("proj").expect("hw");
+        assert_eq!(hw.iter().sum::<u64>(), 50);
+        assert_eq!(s1.dropped(), 0);
+        // Same key always lands in the same partition: re-emitting unit 0's
+        // event must grow exactly the partition that already held it.
+        let before = broker.high_watermarks("proj").expect("hw");
+        s1.emit_batch(&[ev(0), ev(0)]);
+        let after = broker.high_watermarks("proj").expect("hw");
+        let grew: Vec<usize> = (0..4).filter(|&p| after[p] > before[p]).collect();
+        assert_eq!(grew.len(), 1);
+        assert_eq!(after[grew[0]] - before[grew[0]], 2);
+    }
+
+    #[test]
+    fn drops_are_counted_when_the_broker_is_gone() {
+        let broker = Arc::new(Broker::new());
+        let sink = BrokerSink::create(Arc::clone(&broker), "proj", 2).expect("create");
+        broker.close();
+        sink.emit_batch(&[ev(1), ev(2), ev(3)]);
+        assert_eq!(sink.dropped(), 3);
+    }
+
+    #[test]
+    fn publish_events_appends_the_whole_batch() {
+        let broker = Broker::new();
+        broker.create_topic("proj", 2, 1024).expect("create");
+        let evs: Vec<ProjEvent> = (0..9).map(ev).collect();
+        assert_eq!(publish_events(&broker, "proj", &evs).expect("publish"), 9);
+        assert_eq!(publish_events(&broker, "proj", &[]).expect("empty"), 0);
+        let hw = broker.high_watermarks("proj").expect("hw");
+        assert_eq!(hw.iter().sum::<u64>(), 9);
+    }
+}

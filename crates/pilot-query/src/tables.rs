@@ -1,0 +1,634 @@
+//! Query-optimized projection tables.
+//!
+//! [`QueryTables`] is the materialized state a [`crate::Materializer`] folds
+//! the projection topic into: a unit-status table, a per-pilot capacity /
+//! utilization table, and a pre-aggregated experiment [`Dashboard`]. Tables
+//! are plain values — the materializer mutates a private working copy and
+//! publishes immutable clones through a [`crate::SnapshotCell`], so readers
+//! never contend with the fold.
+//!
+//! Every table write goes through `publish` (the unchecked mirror-store from
+//! `pilot-core::state`): projections *copy* states the authoritative machine
+//! already validated, possibly observing them out of order across entities.
+//!
+//! [`QueryTables::digest`] is the replay-equivalence check used by the
+//! materializer restart proptest: two table sets built from the same event
+//! prefix hash identically, regardless of how many times the fold was
+//! interrupted and resumed. The digest deliberately excludes `version`
+//! (publication count differs between a killed/resumed run and an unkilled
+//! one; the *data* must not).
+//!
+// lint: deterministic — pure fold over events; no clocks, no I/O.
+
+use pilot_core::events::{
+    pilot_state_code, unit_state_code, ProjEvent, PILOT_STATE_COUNT, UNIT_STATE_COUNT,
+};
+use pilot_core::ids::{PilotId, UnitId};
+use pilot_core::state::{PilotState, UnitState};
+use std::collections::BTreeMap;
+
+/// Latest observed status of one compute unit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UnitRow {
+    pub state: UnitState,
+    /// Pilot the unit was last bound to (sticky across `Running`; cleared
+    /// only by an explicit unbound `Unit` event).
+    pub pilot: Option<PilotId>,
+    /// Producer-timebase timestamp of the last event applied to this row.
+    pub event_t_s: f64,
+}
+
+/// Latest observed status + capacity of one pilot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PilotRow {
+    pub state: PilotState,
+    pub free_cores: u32,
+    pub total_cores: u32,
+    /// Producer-timebase timestamp of the last event applied to this row.
+    pub event_t_s: f64,
+}
+
+impl PilotRow {
+    /// Fraction of this pilot's cores currently bound, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.total_cores == 0 {
+            0.0
+        } else {
+            1.0 - self.free_cores as f64 / self.total_cores as f64
+        }
+    }
+}
+
+/// Pre-aggregated counters an experiment dashboard reads in O(1) — the
+/// numbers ST-1-style drivers otherwise recompute by folding the whole
+/// registry under its lock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Dashboard {
+    /// Unit count per state, indexed by `unit_state_code`.
+    pub units_by_state: [u64; UNIT_STATE_COUNT],
+    /// Pilot count per state, indexed by `pilot_state_code`.
+    pub pilots_by_state: [u64; PILOT_STATE_COUNT],
+    /// Sum of `total_cores` over non-terminal pilots.
+    pub total_cores: u64,
+    /// Sum of `free_cores` over non-terminal pilots.
+    pub free_cores: u64,
+    /// Number of `UnitMetric` events folded in.
+    pub exec_count: u64,
+    /// Sum of unit execution times, in integer nanoseconds. Integer (not
+    /// f64) on purpose: partitions drain in arrival interleavings that vary
+    /// run to run, and float addition is not associative — an integer sum is
+    /// the same whatever the fold order, which is what makes a resumed
+    /// materializer's digest bit-identical to an unkilled one.
+    pub exec_sum_ns: u64,
+    /// Sum of unit queue-wait times, in integer nanoseconds.
+    pub wait_sum_ns: u64,
+}
+
+/// Seconds → non-negative integer nanoseconds (the dashboard's sum unit).
+fn secs_to_ns(s: f64) -> u64 {
+    (s.max(0.0) * 1e9).round() as u64
+}
+
+impl Dashboard {
+    fn new() -> Self {
+        Dashboard {
+            units_by_state: [0; UNIT_STATE_COUNT],
+            pilots_by_state: [0; PILOT_STATE_COUNT],
+            total_cores: 0,
+            free_cores: 0,
+            exec_count: 0,
+            exec_sum_ns: 0,
+            wait_sum_ns: 0,
+        }
+    }
+
+    /// Units in the given state.
+    pub fn units_in(&self, s: UnitState) -> u64 {
+        self.units_by_state[unit_state_code(s) as usize]
+    }
+
+    /// Pilots in the given state.
+    pub fn pilots_in(&self, s: PilotState) -> u64 {
+        self.pilots_by_state[pilot_state_code(s) as usize]
+    }
+
+    /// Units not yet in a terminal state.
+    pub fn open_units(&self) -> u64 {
+        [
+            UnitState::New,
+            UnitState::Pending,
+            UnitState::Assigned,
+            UnitState::Staging,
+            UnitState::Running,
+        ]
+        .iter()
+        .map(|&s| self.units_in(s))
+        .sum()
+    }
+
+    /// Aggregate core utilization over live pilots, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.total_cores == 0 {
+            0.0
+        } else {
+            1.0 - self.free_cores as f64 / self.total_cores as f64
+        }
+    }
+
+    /// Sum of unit execution times in seconds.
+    pub fn exec_sum_s(&self) -> f64 {
+        self.exec_sum_ns as f64 / 1e9
+    }
+
+    /// Sum of unit queue waits in seconds.
+    pub fn wait_sum_s(&self) -> f64 {
+        self.wait_sum_ns as f64 / 1e9
+    }
+
+    /// Mean unit execution time (seconds), 0 before the first completion.
+    pub fn mean_exec_s(&self) -> f64 {
+        if self.exec_count == 0 {
+            0.0
+        } else {
+            self.exec_sum_s() / self.exec_count as f64
+        }
+    }
+
+    /// Mean unit queue wait (seconds), 0 before the first completion.
+    pub fn mean_wait_s(&self) -> f64 {
+        if self.exec_count == 0 {
+            0.0
+        } else {
+            self.wait_sum_s() / self.exec_count as f64
+        }
+    }
+}
+
+impl Default for Dashboard {
+    fn default() -> Self {
+        Dashboard::new()
+    }
+}
+
+/// Continuity token: the exact replay position a table set corresponds to.
+/// A materializer that restarts from a published `(tables, token)` pair
+/// fetches each partition from `offsets[p]` onward and reproduces the
+/// unkilled fold bit-for-bit.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ContinuityToken {
+    /// Next offset to fetch, per partition of the projection topic.
+    pub offsets: Vec<u64>,
+    /// Total events folded into the tables this token describes.
+    pub events_applied: u64,
+    /// Publication counter (monotone per materializer incarnation chain).
+    pub version: u64,
+}
+
+impl ContinuityToken {
+    /// Compact binary encoding (LE): partition count, offsets,
+    /// events_applied, version.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 8 * self.offsets.len() + 16);
+        out.extend_from_slice(&(self.offsets.len() as u64).to_le_bytes());
+        for o in &self.offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        out.extend_from_slice(&self.events_applied.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`encode`](Self::encode). Returns `None` on truncation.
+    pub fn decode(buf: &[u8]) -> Option<ContinuityToken> {
+        let mut r = buf;
+        let mut u64_at = move || -> Option<u64> {
+            if r.len() < 8 {
+                return None;
+            }
+            let (head, tail) = r.split_at(8);
+            r = tail;
+            let mut b = [0u8; 8];
+            b.copy_from_slice(head);
+            Some(u64::from_le_bytes(b))
+        };
+        let n = u64_at()? as usize;
+        if n > (1 << 20) {
+            return None;
+        }
+        let mut offsets = Vec::with_capacity(n);
+        for _ in 0..n {
+            offsets.push(u64_at()?);
+        }
+        Some(ContinuityToken {
+            offsets,
+            events_applied: u64_at()?,
+            version: u64_at()?,
+        })
+    }
+}
+
+/// The full materialized projection: unit table, pilot table, dashboard,
+/// plus the continuity bookkeeping that makes restart exactly-once.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct QueryTables {
+    units: BTreeMap<u64, UnitRow>,
+    pilots: BTreeMap<u64, PilotRow>,
+    dashboard: Dashboard,
+    /// Next offset to fetch, per partition (the fold position).
+    pub offsets: Vec<u64>,
+    /// Total events folded in.
+    pub events_applied: u64,
+    /// Publication counter; bumped by the materializer on publish, not here.
+    pub version: u64,
+}
+
+impl QueryTables {
+    /// Empty tables positioned at offset 0 of `partitions` partitions.
+    pub fn new(partitions: usize) -> Self {
+        QueryTables {
+            units: BTreeMap::new(),
+            pilots: BTreeMap::new(),
+            dashboard: Dashboard::new(),
+            offsets: vec![0; partitions],
+            events_applied: 0,
+            version: 0,
+        }
+    }
+
+    /// Fold one event in. Pure and deterministic: the same event sequence
+    /// always yields the same tables (see [`digest`](Self::digest)).
+    pub fn apply(&mut self, ev: &ProjEvent) {
+        match *ev {
+            ProjEvent::Pilot { pilot, state, t_s } => {
+                // Invariant: every known row is counted in exactly the bucket
+                // of its current state. New rows enter the `New` bucket, then
+                // every transition moves one count prev -> next.
+                let pilots_by_state = &mut self.dashboard.pilots_by_state;
+                let row = self.pilots.entry(pilot.0).or_insert_with(|| {
+                    pilots_by_state[pilot_state_code(PilotState::New) as usize] += 1;
+                    PilotRow {
+                        state: PilotState::New,
+                        free_cores: 0,
+                        total_cores: 0,
+                        event_t_s: t_s,
+                    }
+                });
+                let prev = row.state;
+                pilots_by_state[pilot_state_code(prev) as usize] =
+                    pilots_by_state[pilot_state_code(prev) as usize].saturating_sub(1);
+                PilotState::publish(&mut row.state, state);
+                row.event_t_s = t_s;
+                pilots_by_state[pilot_state_code(state) as usize] += 1;
+                // Invariant: the capacity pool is exactly the sum of cores of
+                // non-terminal rows. Terminal pilots stop contributing
+                // whatever the last capacity event said; a row observed
+                // leaving a terminal state (mirrors fold unchecked sequences)
+                // re-contributes, keeping the sum exact in both directions —
+                // exactness is what makes the fold order-independent across
+                // partitions.
+                if state.is_terminal() && !prev.is_terminal() {
+                    self.dashboard.total_cores = self
+                        .dashboard
+                        .total_cores
+                        .saturating_sub(row.total_cores as u64);
+                    self.dashboard.free_cores = self
+                        .dashboard
+                        .free_cores
+                        .saturating_sub(row.free_cores as u64);
+                } else if !state.is_terminal() && prev.is_terminal() {
+                    self.dashboard.total_cores += row.total_cores as u64;
+                    self.dashboard.free_cores += row.free_cores as u64;
+                }
+            }
+            ProjEvent::PilotCapacity {
+                pilot,
+                free_cores,
+                total_cores,
+                t_s,
+            } => {
+                let pilots_by_state = &mut self.dashboard.pilots_by_state;
+                let row = self.pilots.entry(pilot.0).or_insert_with(|| {
+                    pilots_by_state[pilot_state_code(PilotState::New) as usize] += 1;
+                    PilotRow {
+                        state: PilotState::New,
+                        free_cores: 0,
+                        total_cores: 0,
+                        event_t_s: t_s,
+                    }
+                });
+                if !row.state.is_terminal() {
+                    self.dashboard.total_cores = self
+                        .dashboard
+                        .total_cores
+                        .saturating_sub(row.total_cores as u64)
+                        + total_cores as u64;
+                    self.dashboard.free_cores = self
+                        .dashboard
+                        .free_cores
+                        .saturating_sub(row.free_cores as u64)
+                        + free_cores as u64;
+                }
+                row.free_cores = free_cores;
+                row.total_cores = total_cores;
+                row.event_t_s = t_s;
+            }
+            ProjEvent::Unit {
+                unit,
+                state,
+                pilot,
+                t_s,
+            } => {
+                let units_by_state = &mut self.dashboard.units_by_state;
+                let row = self.units.entry(unit.0).or_insert_with(|| {
+                    units_by_state[unit_state_code(UnitState::New) as usize] += 1;
+                    UnitRow {
+                        state: UnitState::New,
+                        pilot: None,
+                        event_t_s: t_s,
+                    }
+                });
+                let prev = row.state;
+                units_by_state[unit_state_code(prev) as usize] =
+                    units_by_state[unit_state_code(prev) as usize].saturating_sub(1);
+                UnitState::publish(&mut row.state, state);
+                if pilot.is_some() {
+                    row.pilot = pilot;
+                } else if state == UnitState::Pending {
+                    // Re-queued (retry / pilot crash): the old binding is void.
+                    row.pilot = None;
+                }
+                row.event_t_s = t_s;
+                units_by_state[unit_state_code(state) as usize] += 1;
+            }
+            ProjEvent::UnitMetric {
+                unit: _,
+                wait_s,
+                exec_s,
+                t_s: _,
+            } => {
+                self.dashboard.exec_count += 1;
+                self.dashboard.exec_sum_ns = self
+                    .dashboard
+                    .exec_sum_ns
+                    .saturating_add(secs_to_ns(exec_s));
+                self.dashboard.wait_sum_ns = self
+                    .dashboard
+                    .wait_sum_ns
+                    .saturating_add(secs_to_ns(wait_s));
+            }
+        }
+        self.events_applied += 1;
+    }
+
+    /// Latest state of a unit, if any event for it has been observed.
+    pub fn unit(&self, id: UnitId) -> Option<&UnitRow> {
+        self.units.get(&id.0)
+    }
+
+    /// Latest state + capacity of a pilot.
+    pub fn pilot(&self, id: PilotId) -> Option<&PilotRow> {
+        self.pilots.get(&id.0)
+    }
+
+    /// The unit table, ordered by id.
+    pub fn units(&self) -> impl Iterator<Item = (UnitId, &UnitRow)> {
+        self.units.iter().map(|(&k, v)| (UnitId(k), v))
+    }
+
+    /// The pilot table, ordered by id.
+    pub fn pilots(&self) -> impl Iterator<Item = (PilotId, &PilotRow)> {
+        self.pilots.iter().map(|(&k, v)| (PilotId(k), v))
+    }
+
+    /// Number of known units.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Number of known pilots.
+    pub fn pilot_count(&self) -> usize {
+        self.pilots.len()
+    }
+
+    /// The pre-aggregated dashboard.
+    pub fn dashboard(&self) -> &Dashboard {
+        &self.dashboard
+    }
+
+    /// The continuity token describing this table set's replay position.
+    pub fn token(&self) -> ContinuityToken {
+        ContinuityToken {
+            offsets: self.offsets.clone(),
+            events_applied: self.events_applied,
+            version: self.version,
+        }
+    }
+
+    /// Order-stable FNV-1a digest of all materialized data + fold position,
+    /// excluding `version`: a resumed fold must reproduce the same digest as
+    /// an uninterrupted one even though publication counts differ.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for (id, r) in &self.units {
+            mix(&id.to_le_bytes());
+            mix(&[unit_state_code(r.state)]);
+            match r.pilot {
+                Some(p) => {
+                    mix(&[1]);
+                    mix(&p.0.to_le_bytes());
+                }
+                None => mix(&[0]),
+            }
+            mix(&r.event_t_s.to_bits().to_le_bytes());
+        }
+        for (id, r) in &self.pilots {
+            mix(&id.to_le_bytes());
+            mix(&[pilot_state_code(r.state)]);
+            mix(&r.free_cores.to_le_bytes());
+            mix(&r.total_cores.to_le_bytes());
+            mix(&r.event_t_s.to_bits().to_le_bytes());
+        }
+        let d = &self.dashboard;
+        for c in d.units_by_state.iter().chain(d.pilots_by_state.iter()) {
+            mix(&c.to_le_bytes());
+        }
+        mix(&d.total_cores.to_le_bytes());
+        mix(&d.free_cores.to_le_bytes());
+        mix(&d.exec_count.to_le_bytes());
+        mix(&d.exec_sum_ns.to_le_bytes());
+        mix(&d.wait_sum_ns.to_le_bytes());
+        for o in &self.offsets {
+            mix(&o.to_le_bytes());
+        }
+        mix(&self.events_applied.to_le_bytes());
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_ev(id: u64, state: UnitState, pilot: Option<u64>, t: f64) -> ProjEvent {
+        ProjEvent::Unit {
+            unit: UnitId(id),
+            state,
+            pilot: pilot.map(PilotId),
+            t_s: t,
+        }
+    }
+
+    #[test]
+    fn unit_lifecycle_keeps_dashboard_counts_consistent() {
+        let mut t = QueryTables::new(1);
+        t.apply(&unit_ev(1, UnitState::Pending, None, 0.0));
+        t.apply(&unit_ev(2, UnitState::Pending, None, 0.1));
+        assert_eq!(t.dashboard().units_in(UnitState::Pending), 2);
+        t.apply(&unit_ev(1, UnitState::Assigned, Some(7), 0.2));
+        t.apply(&unit_ev(1, UnitState::Running, Some(7), 0.3));
+        t.apply(&unit_ev(1, UnitState::Done, Some(7), 0.9));
+        assert_eq!(t.dashboard().units_in(UnitState::Pending), 1);
+        assert_eq!(t.dashboard().units_in(UnitState::Done), 1);
+        assert_eq!(t.dashboard().open_units(), 1);
+        let row = t.unit(UnitId(1)).expect("row");
+        assert_eq!(row.state, UnitState::Done);
+        assert_eq!(row.pilot, Some(PilotId(7)));
+        assert_eq!(t.unit_count(), 2);
+        assert_eq!(t.events_applied, 5);
+    }
+
+    #[test]
+    fn requeue_clears_stale_binding() {
+        let mut t = QueryTables::new(1);
+        t.apply(&unit_ev(1, UnitState::Pending, None, 0.0));
+        t.apply(&unit_ev(1, UnitState::Assigned, Some(3), 0.1));
+        assert_eq!(t.unit(UnitId(1)).expect("row").pilot, Some(PilotId(3)));
+        // Pilot crash re-queues the unit: binding voided.
+        t.apply(&unit_ev(1, UnitState::Pending, None, 0.2));
+        assert_eq!(t.unit(UnitId(1)).expect("row").pilot, None);
+    }
+
+    #[test]
+    fn capacity_tracks_live_pilots_only() {
+        let mut t = QueryTables::new(1);
+        let p = PilotId(1);
+        t.apply(&ProjEvent::Pilot {
+            pilot: p,
+            state: PilotState::Pending,
+            t_s: 0.0,
+        });
+        t.apply(&ProjEvent::Pilot {
+            pilot: p,
+            state: PilotState::Active,
+            t_s: 0.1,
+        });
+        t.apply(&ProjEvent::PilotCapacity {
+            pilot: p,
+            free_cores: 8,
+            total_cores: 8,
+            t_s: 0.1,
+        });
+        t.apply(&ProjEvent::PilotCapacity {
+            pilot: p,
+            free_cores: 5,
+            total_cores: 8,
+            t_s: 0.2,
+        });
+        assert_eq!(t.dashboard().total_cores, 8);
+        assert_eq!(t.dashboard().free_cores, 5);
+        assert!((t.dashboard().utilization() - 3.0 / 8.0).abs() < 1e-12);
+        assert!((t.pilot(p).expect("row").utilization() - 3.0 / 8.0).abs() < 1e-12);
+        // Pilot dies: its cores leave the pool entirely.
+        t.apply(&ProjEvent::Pilot {
+            pilot: p,
+            state: PilotState::Failed,
+            t_s: 0.3,
+        });
+        assert_eq!(t.dashboard().total_cores, 0);
+        assert_eq!(t.dashboard().free_cores, 0);
+        assert_eq!(t.dashboard().pilots_in(PilotState::Failed), 1);
+        assert_eq!(t.dashboard().pilots_in(PilotState::Active), 0);
+        // Late capacity echo for a dead pilot must not resurrect capacity.
+        t.apply(&ProjEvent::PilotCapacity {
+            pilot: p,
+            free_cores: 8,
+            total_cores: 8,
+            t_s: 0.3,
+        });
+        assert_eq!(t.dashboard().total_cores, 0);
+    }
+
+    #[test]
+    fn metrics_accumulate_means() {
+        let mut t = QueryTables::new(1);
+        assert_eq!(t.dashboard().mean_exec_s(), 0.0);
+        t.apply(&ProjEvent::UnitMetric {
+            unit: UnitId(1),
+            wait_s: 1.0,
+            exec_s: 2.0,
+            t_s: 3.0,
+        });
+        t.apply(&ProjEvent::UnitMetric {
+            unit: UnitId(2),
+            wait_s: 3.0,
+            exec_s: 4.0,
+            t_s: 7.0,
+        });
+        assert_eq!(t.dashboard().exec_count, 2);
+        assert!((t.dashboard().mean_exec_s() - 3.0).abs() < 1e-12);
+        assert!((t.dashboard().mean_wait_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_is_replay_stable_and_version_blind() {
+        let evs = [
+            unit_ev(1, UnitState::Pending, None, 0.0),
+            unit_ev(2, UnitState::Pending, None, 0.1),
+            unit_ev(1, UnitState::Assigned, Some(4), 0.2),
+            ProjEvent::Pilot {
+                pilot: PilotId(4),
+                state: PilotState::Active,
+                t_s: 0.2,
+            },
+            unit_ev(1, UnitState::Running, Some(4), 0.3),
+        ];
+        let mut a = QueryTables::new(2);
+        let mut b = QueryTables::new(2);
+        for e in &evs {
+            a.apply(e);
+        }
+        for e in &evs {
+            b.apply(e);
+        }
+        b.version = 99; // publication count must not affect the digest
+        assert_eq!(a.digest(), b.digest());
+        let mut c = a.clone();
+        c.apply(&unit_ev(1, UnitState::Done, Some(4), 0.9));
+        assert_ne!(a.digest(), c.digest());
+        let mut d = a.clone();
+        d.offsets[1] = 17; // fold position IS part of the digest
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn continuity_token_roundtrips() {
+        let tok = ContinuityToken {
+            offsets: vec![3, 0, 991],
+            events_applied: 994,
+            version: 12,
+        };
+        assert_eq!(ContinuityToken::decode(&tok.encode()), Some(tok.clone()));
+        assert_eq!(ContinuityToken::decode(&[1, 2, 3]), None);
+        let mut short = tok.encode();
+        short.truncate(short.len() - 4);
+        assert_eq!(ContinuityToken::decode(&short), None);
+    }
+}

@@ -19,8 +19,8 @@
 //! - [`replica`] — leader/follower partition replication across N simulated
 //!   broker nodes with epoch-fenced leadership: node kills promote a
 //!   follower under a new epoch and the stale leader's appends are rejected.
-//! - [`window`] — event-time tumbling-window aggregation, the stateful
-//!   operator Table I's streaming scenario calls for.
+//! - [`window`] — event-time tumbling- and sliding-window aggregation, the
+//!   stateful operators Table I's streaming scenario calls for.
 
 //! ## Example: batched produce, buffer-reusing consume
 //!
@@ -57,4 +57,4 @@ pub use broker::{Broker, BrokerError, GroupStats, Message, Record, Retention, Su
 pub use pipeline::{StreamJobConfig, StreamReport};
 pub use replica::{ClusterStats, ClusterSub, KillSchedule, LeaderLease, ReplicatedBroker};
 pub use wal::{FsyncPolicy, RecoveryInfo, WalConfig};
-pub use window::{TumblingWindow, WindowAggregate};
+pub use window::{SlidingAggregate, SlidingWindow, TumblingWindow, WindowAggregate};

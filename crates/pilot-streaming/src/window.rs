@@ -1,6 +1,8 @@
-//! Event-time tumbling-window aggregation: the stateful operator of the
-//! streaming application scenario (Table I), used by the light-source
-//! pipeline to aggregate detector statistics per time slice.
+//! Event-time window aggregation: the stateful operators of the streaming
+//! application scenario (Table I), used by the light-source pipeline to
+//! aggregate detector statistics per time slice. Tumbling windows partition
+//! time into disjoint slices; sliding windows overlap (one event lands in
+//! `ceil(width / slide)` windows) for smoother trend lines.
 
 use std::collections::HashMap;
 
@@ -28,6 +30,108 @@ impl TumblingWindow {
             index as f64 * self.width_s,
             (index + 1) as f64 * self.width_s,
         )
+    }
+}
+
+/// Assigns event times to overlapping fixed-width windows: window `k` covers
+/// `[k*slide, k*slide + width)`. With `slide == width` this degenerates to
+/// [`TumblingWindow`]; with `slide > width` time has gaps no window covers
+/// (sampling).
+#[derive(Clone, Copy, Debug)]
+pub struct SlidingWindow {
+    width_s: f64,
+    slide_s: f64,
+}
+
+impl SlidingWindow {
+    /// Windows of `width_s` seconds advancing every `slide_s` seconds.
+    pub fn new(width_s: f64, slide_s: f64) -> Self {
+        assert!(width_s > 0.0, "window width must be positive");
+        assert!(slide_s > 0.0, "window slide must be positive");
+        SlidingWindow { width_s, slide_s }
+    }
+
+    /// Indices of every window containing `event_time_s` (empty iff
+    /// `slide > width` left the instant uncovered). Pre-epoch times clamp
+    /// into window 0's range like [`TumblingWindow::index_of`].
+    pub fn indices_of(&self, event_time_s: f64) -> std::ops::Range<u64> {
+        let t = event_time_s.max(0.0);
+        // Window k contains t  ⇔  k*slide <= t < k*slide + width
+        //                     ⇔  (t - width)/slide < k <= t/slide.
+        let last = (t / self.slide_s) as u64;
+        let lo = (t - self.width_s) / self.slide_s;
+        let first = if lo < 0.0 {
+            0
+        } else {
+            // Strict lower bound: an exact integer means window `lo` ends
+            // exactly at t (half-open: t excluded), so start one past it.
+            lo as u64 + 1
+        };
+        first..last.saturating_add(1)
+    }
+
+    /// `[start, end)` bounds of window `index`.
+    pub fn bounds(&self, index: u64) -> (f64, f64) {
+        let start = index as f64 * self.slide_s;
+        (start, start + self.width_s)
+    }
+}
+
+/// Keyed sliding-window aggregator with watermark-driven emission: each
+/// event folds into every overlapping window's cell.
+#[derive(Clone, Debug)]
+pub struct SlidingAggregate {
+    windows: SlidingWindow,
+    state: HashMap<(u64, u64), Cell>,
+}
+
+impl SlidingAggregate {
+    /// Aggregator over `width_s`-second windows advancing every `slide_s`.
+    pub fn new(width_s: f64, slide_s: f64) -> Self {
+        SlidingAggregate {
+            windows: SlidingWindow::new(width_s, slide_s),
+            state: HashMap::new(),
+        }
+    }
+
+    /// Fold one event into every (key, window) cell it overlaps.
+    pub fn observe(&mut self, key: u64, event_time_s: f64, value: f64) {
+        for w in self.windows.indices_of(event_time_s) {
+            let cell = self.state.entry((key, w)).or_default();
+            cell.count += 1;
+            cell.sum += value;
+            cell.max = if cell.count == 1 {
+                value
+            } else {
+                cell.max.max(value)
+            };
+        }
+    }
+
+    /// Close and drain every window that ends at or before `watermark_s`,
+    /// sorted by (window, key).
+    pub fn close_until(&mut self, watermark_s: f64) -> Vec<ClosedWindow> {
+        let mut closed: Vec<ClosedWindow> = Vec::new();
+        self.state.retain(|&(key, window), cell| {
+            let (_, end) = self.windows.bounds(window);
+            if end <= watermark_s {
+                closed.push(ClosedWindow {
+                    window,
+                    key,
+                    cell: *cell,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        closed.sort_by_key(|c| (c.window, c.key));
+        closed
+    }
+
+    /// Open (not yet closed) cells.
+    pub fn open_cells(&self) -> usize {
+        self.state.len()
     }
 }
 
@@ -182,5 +286,196 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_width_window_panics() {
         let _ = TumblingWindow::new(0.0);
+    }
+
+    #[test]
+    fn tumbling_exact_boundary_lands_in_upper_window() {
+        let w = TumblingWindow::new(2.5);
+        // Every multiple of the width starts a new window (half-open ranges).
+        for k in 0..50u64 {
+            let t = k as f64 * 2.5;
+            assert_eq!(w.index_of(t), k, "t={t}");
+            assert_eq!(w.index_of(t + 2.4999), k, "just inside window {k}");
+        }
+        let (s, e) = w.bounds(3);
+        assert_eq!(w.index_of(s), 3);
+        assert_eq!(w.index_of(e), 4, "end is exclusive");
+    }
+
+    #[test]
+    fn out_of_order_events_fold_into_their_event_time_window() {
+        let mut agg = WindowAggregate::new(10.0);
+        // Arrival order scrambled across three windows; event time decides.
+        for &(t, v) in &[
+            (25.0, 1.0),
+            (3.0, 2.0),
+            (14.0, 3.0),
+            (1.0, 4.0),
+            (29.9, 5.0),
+        ] {
+            agg.observe(0, t, v);
+        }
+        let closed = agg.close_until(30.0);
+        assert_eq!(closed.len(), 3);
+        assert_eq!(closed[0].window, 0);
+        assert_eq!(
+            closed[0].cell,
+            Cell {
+                count: 2,
+                sum: 6.0,
+                max: 4.0
+            }
+        );
+        assert_eq!(closed[1].window, 1);
+        assert_eq!(
+            closed[1].cell,
+            Cell {
+                count: 1,
+                sum: 3.0,
+                max: 3.0
+            }
+        );
+        assert_eq!(closed[2].window, 2);
+        assert_eq!(
+            closed[2].cell,
+            Cell {
+                count: 2,
+                sum: 6.0,
+                max: 5.0
+            }
+        );
+    }
+
+    #[test]
+    fn late_event_before_watermark_still_counts_after_never_merges() {
+        let mut agg = WindowAggregate::new(10.0);
+        agg.observe(7, 15.0, 1.0);
+        // Late (out-of-order) but the watermark has not passed window 0 yet.
+        agg.observe(7, 5.0, 2.0);
+        let closed = agg.close_until(10.0);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].cell.sum, 2.0);
+        // An event later than an already-emitted window opens a fresh cell —
+        // it is never silently dropped, and never merged into emitted output.
+        agg.observe(7, 5.5, 9.0);
+        let reclosed = agg.close_until(10.0);
+        assert_eq!(reclosed.len(), 1);
+        assert_eq!(
+            reclosed[0].cell,
+            Cell {
+                count: 1,
+                sum: 9.0,
+                max: 9.0
+            }
+        );
+    }
+
+    #[test]
+    fn empty_windows_emit_nothing() {
+        let mut agg = WindowAggregate::new(10.0);
+        agg.observe(1, 5.0, 1.0);
+        agg.observe(1, 95.0, 1.0);
+        // Windows 1..9 saw no events: closing past them yields only the two
+        // populated cells, not zero-filled rows.
+        let closed = agg.close_until(1000.0);
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].window, 0);
+        assert_eq!(closed[1].window, 9);
+        assert!(agg.close_until(f64::INFINITY).is_empty());
+        assert_eq!(agg.open_cells(), 0);
+    }
+
+    #[test]
+    fn sliding_indices_cover_overlap() {
+        // width 10, slide 5: every instant is in exactly two windows except
+        // the first half-slide of time.
+        let w = SlidingWindow::new(10.0, 5.0);
+        assert_eq!(w.indices_of(2.0), 0..1, "start-up: only window 0");
+        assert_eq!(w.indices_of(7.0), 0..2);
+        assert_eq!(w.indices_of(12.0), 1..3);
+        assert_eq!(w.bounds(1), (5.0, 15.0));
+    }
+
+    #[test]
+    fn sliding_boundaries_are_half_open() {
+        let w = SlidingWindow::new(10.0, 5.0);
+        // t = 10 is the exclusive end of window 0 and the inclusive start of
+        // window 2.
+        assert_eq!(w.indices_of(10.0), 1..3);
+        // t = 5 starts window 1 exactly.
+        assert_eq!(w.indices_of(5.0), 0..2);
+        // Negative times clamp like the tumbling assigner.
+        assert_eq!(w.indices_of(-3.0), 0..1);
+    }
+
+    #[test]
+    fn sliding_with_slide_equal_width_matches_tumbling() {
+        let s = SlidingWindow::new(10.0, 10.0);
+        let t = TumblingWindow::new(10.0);
+        for i in 0..200 {
+            let time = i as f64 * 0.77;
+            let idx: Vec<u64> = s.indices_of(time).collect();
+            assert_eq!(idx, vec![t.index_of(time)], "t={time}");
+        }
+    }
+
+    #[test]
+    fn sliding_with_slide_beyond_width_leaves_gaps() {
+        // width 1, slide 2: [0,1), [2,3), ... — odd seconds are uncovered.
+        let w = SlidingWindow::new(1.0, 2.0);
+        assert_eq!(w.indices_of(0.5), 0..1);
+        assert!(w.indices_of(1.5).is_empty(), "gap between windows");
+        assert_eq!(w.indices_of(2.0), 1..2);
+    }
+
+    #[test]
+    fn sliding_aggregate_counts_events_once_per_overlapping_window() {
+        let mut agg = SlidingAggregate::new(10.0, 5.0);
+        agg.observe(1, 7.0, 3.0); // windows 0 and 1
+        agg.observe(1, 12.0, 5.0); // windows 1 and 2
+        assert_eq!(agg.open_cells(), 3);
+        // Window 0 ends at 10: only it closes.
+        let closed = agg.close_until(10.0);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(
+            closed[0].cell,
+            Cell {
+                count: 1,
+                sum: 3.0,
+                max: 3.0
+            }
+        );
+        // Window 1 ([5,15)) saw both events.
+        let closed = agg.close_until(15.0);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(
+            closed[0].cell,
+            Cell {
+                count: 2,
+                sum: 8.0,
+                max: 5.0
+            }
+        );
+        let rest = agg.close_until(f64::INFINITY);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].cell.sum, 5.0);
+    }
+
+    #[test]
+    fn sliding_out_of_order_and_empty_windows() {
+        let mut agg = SlidingAggregate::new(4.0, 2.0);
+        // Reverse arrival order; a long quiet gap before t=40.
+        agg.observe(2, 41.0, 1.0);
+        agg.observe(2, 1.0, 2.0);
+        let closed = agg.close_until(f64::INFINITY);
+        // t=1 → window 0 only; t=41 → windows 19 and 20. Nothing in between.
+        let windows: Vec<u64> = closed.iter().map(|c| c.window).collect();
+        assert_eq!(windows, vec![0, 19, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_slide_panics() {
+        let _ = SlidingWindow::new(1.0, 0.0);
     }
 }

@@ -1,23 +1,34 @@
 //! Pilot-Streaming end-to-end: light-source detector frames flow through the
 //! broker; processor units reconstruct peaks in near-realtime (\[32\]).
 //!
+//! The run's *status* numbers come from the read plane: the service exports
+//! its state transitions to a projection topic through a `BrokerSink`, a
+//! `Materializer` folds them into query tables, and the closing dashboard is
+//! read from the projection — not by polling the service's registry lock.
+//! Drain accounting likewise uses the broker's own ledger
+//! (`group_stats().total_lag()`), not a hand-rolled counter.
+//!
 //! Run: `cargo run --release --example streaming_lightsource`
 
 use pilot_abstraction::apps::lightsource::{generate_frame, reconstruct, FrameConfig};
 use pilot_abstraction::core::describe::{PilotDescription, UnitDescription};
 use pilot_abstraction::core::scheduler::FirstFitScheduler;
+use pilot_abstraction::core::state::UnitState;
 use pilot_abstraction::core::thread::{kernel_fn, TaskOutput, ThreadPilotService};
+use pilot_abstraction::query::{BrokerSink, Materializer};
 use pilot_abstraction::sim::SimDuration;
 use pilot_abstraction::streaming::{Broker, WindowAggregate};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 fn main() {
-    let svc = ThreadPilotService::new(Box::new(FirstFitScheduler));
+    let broker = Arc::new(Broker::new());
+    // Read plane: every pilot/unit transition lands on this topic.
+    let sink = BrokerSink::create(Arc::clone(&broker), "beamline.events", 4).unwrap();
+    let svc = ThreadPilotService::with_sink(Box::new(FirstFitScheduler), sink);
     let p = svc.submit_pilot(PilotDescription::new(4, SimDuration::MAX).labeled("beamline"));
     assert!(svc.wait_pilot_active(p));
 
-    let broker = Arc::new(Broker::new());
     broker.create_topic("frames", 4, 100_000).unwrap();
     let n_frames = 200u64;
     let processors = 2;
@@ -53,8 +64,11 @@ fn main() {
                         let seq = broker.data_seq();
                         let n = broker.poll_into(&mut sub, 16, &mut buf).unwrap();
                         if n == 0 {
+                            // Exit when the beamline is done AND the group's
+                            // own ledger says nothing is left: committed
+                            // offsets have caught the high watermarks.
                             if done.load(Ordering::Acquire)
-                                && consumed.load(Ordering::Acquire) >= n_frames
+                                && broker.group_stats("recon").unwrap().total_lag() == 0
                             {
                                 break;
                             }
@@ -126,6 +140,16 @@ fn main() {
     }
     svc.shutdown();
 
+    // The run dashboard, served from the read plane: fold the projection
+    // topic and query the materialized tables — the service (and its lock)
+    // is already gone; the event stream is the record.
+    let mut m = Materializer::bootstrap(Arc::clone(&broker), "beamline.events").unwrap();
+    m.catch_up().unwrap();
+    let qs = m.service();
+    let dash = qs.dashboard();
+    let frames_hw: u64 = broker.high_watermarks("frames").unwrap().iter().sum();
+    let recon = broker.group_stats("recon").unwrap();
+
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| pilot_abstraction::sim::percentile_sorted(&latencies, p);
     println!(
@@ -147,4 +171,23 @@ fn main() {
     for (w, sum) in window_rates {
         println!("  window {w}: {sum:.0} peaks");
     }
+
+    println!(
+        "run dashboard (from the projection, {} events):",
+        qs.snapshot().events_applied
+    );
+    println!(
+        "  units done {} / failed {} / canceled {}  mean wait {:.4}s  mean exec {:.4}s",
+        dash.units_in(UnitState::Done),
+        dash.units_in(UnitState::Failed),
+        dash.units_in(UnitState::Canceled),
+        dash.mean_wait_s(),
+        dash.mean_exec_s(),
+    );
+    println!(
+        "  frames topic high watermark {frames_hw}; recon group committed {} / lag {} / lost {}",
+        recon.committed,
+        recon.total_lag(),
+        recon.records_lost,
+    );
 }

@@ -56,6 +56,7 @@ pub use pilot_mapreduce as mapreduce;
 pub use pilot_memory as memory;
 pub use pilot_miniapp as miniapp;
 pub use pilot_perfmodel as perfmodel;
+pub use pilot_query as query;
 pub use pilot_saga as saga;
 pub use pilot_sim as sim;
 pub use pilot_streaming as streaming;
