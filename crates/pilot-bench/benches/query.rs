@@ -17,9 +17,11 @@ use pilot_core::ids::{PilotId, UnitId};
 use pilot_core::scheduler::FirstFitScheduler;
 use pilot_core::state::UnitState;
 use pilot_core::thread::{kernel_fn, TaskOutput, ThreadPilotService};
-use pilot_query::{BrokerSink, Materializer, QueryService, QueryTables};
+use pilot_query::{
+    publish_events, BrokerSink, Materializer, QueryService, QueryTables, ShardedMaterializer,
+};
 use pilot_sim::SimDuration;
-use pilot_streaming::Broker;
+use pilot_streaming::{Broker, Retention};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -178,5 +180,107 @@ fn bench_fold(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dashboard, bench_point_reads, bench_fold);
+/// Projection churn over `units` entities, `rounds` state+metric updates
+/// each — the workload whose final table is `units` rows however long the
+/// history is.
+fn churn(units: u64, rounds: u64) -> Vec<ProjEvent> {
+    let mut evs = Vec::with_capacity((rounds * units * 2) as usize);
+    for r in 0..rounds {
+        for u in 0..units {
+            evs.push(ProjEvent::Unit {
+                unit: UnitId(u),
+                state: if r % 2 == 0 {
+                    UnitState::Running
+                } else {
+                    UnitState::Done
+                },
+                pilot: Some(PilotId(u % 4)),
+                t_s: r as f64,
+            });
+            evs.push(ProjEvent::UnitMetric {
+                unit: UnitId(u),
+                wait_s: 0.1,
+                exec_s: 0.5,
+                t_s: r as f64,
+            });
+        }
+    }
+    evs
+}
+
+/// Sharded fold scaling: drain one pre-produced topic with 1/2/4 fold
+/// workers over disjoint partition groups, `publish_every` 16 (the cadence
+/// contract is per-event, so each shard clones 1/Nth-sized tables at the
+/// same cadence — the dominant cost drops N-fold even on one core).
+fn bench_shard_fold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_shard_fold");
+    group.sample_size(10);
+    let events = churn(4096, 3);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    let broker = Arc::new(Broker::new());
+    broker
+        .create_topic("shard.fold", 4, usize::MAX / 2)
+        .unwrap();
+    for chunk in events.chunks(512) {
+        publish_events(&broker, "shard.fold", chunk).unwrap();
+    }
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("catch_up", shards), &shards, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let mut sm =
+                        ShardedMaterializer::bootstrap(Arc::clone(&broker), "shard.fold", n)
+                            .unwrap();
+                    sm.set_publish_every(16);
+                    sm
+                },
+                |mut sm| {
+                    std::thread::scope(|s| {
+                        for m in sm.shards_mut().iter_mut() {
+                            s.spawn(move || m.catch_up().unwrap());
+                        }
+                    });
+                    black_box(sm.events_applied())
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Bootstrap cost, full history vs compacted topic, at a 32× event-to-entity
+/// ratio: the compacted replay is bounded by live entities, not history.
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_bootstrap");
+    group.sample_size(10);
+    let events = churn(256, 16); // 8192 events, 256 live units
+    let broker = Arc::new(Broker::new());
+    broker.create_topic("boot.full", 4, usize::MAX / 2).unwrap();
+    broker
+        .create_topic_with("boot.compact", 4, Retention::Compact { trigger: 128 })
+        .unwrap();
+    for chunk in events.chunks(512) {
+        publish_events(&broker, "boot.full", chunk).unwrap();
+        publish_events(&broker, "boot.compact", chunk).unwrap();
+    }
+    for topic in ["boot.full", "boot.compact"] {
+        group.bench_with_input(BenchmarkId::new("catch_up", topic), &topic, |b, t| {
+            b.iter(|| {
+                let mut m = Materializer::bootstrap(Arc::clone(&broker), t).unwrap();
+                m.catch_up().unwrap();
+                black_box(m.tables().events_applied)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dashboard,
+    bench_point_reads,
+    bench_fold,
+    bench_shard_fold,
+    bench_bootstrap
+);
 criterion_main!(benches);

@@ -51,6 +51,7 @@ pub fn registry() -> Vec<ExperimentEntry> {
         ("PS-3", ps::run_ps3),
         ("ST-1", st::run_st1),
         ("QP-1", qp::run_qp1),
+        ("QP-2", qp::run_qp2),
         ("IO-1", io_dy::run_io1),
         ("DY-1", io_dy::run_dy1),
         ("RB-1", rb::run_rb1),

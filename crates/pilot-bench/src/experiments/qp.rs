@@ -23,14 +23,15 @@
 
 use super::common;
 use pilot_core::describe::{PilotDescription, UnitDescription};
+use pilot_core::events::ProjEvent;
 use pilot_core::scheduler::FirstFitScheduler;
-use pilot_core::state::UnitState;
+use pilot_core::state::{PilotState, UnitState};
 use pilot_core::thread::{kernel_fn, TaskOutput, ThreadPilotService};
-use pilot_core::{UnitId, WallClock};
+use pilot_core::{PilotId, UnitId, WallClock};
 use pilot_miniapp::{ExperimentSpec, Factor, ResultTable};
-use pilot_query::{BrokerSink, Materializer};
+use pilot_query::{publish_events, BrokerSink, Materializer, ShardedMaterializer, StalenessWindow};
 use pilot_sim::SimDuration;
-use pilot_streaming::Broker;
+use pilot_streaming::{Broker, Retention};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -250,6 +251,348 @@ pub fn run_qp1(quick: bool) -> String {
     common::emit(out)
 }
 
+/// Synthetic projection churn: every round flaps every pilot's capacity and
+/// transitions + meters every unit, so event volume is `rounds ×` the live
+/// entity count while the final table stays `units + pilots` rows.
+fn churn_events(units: u64, pilots: u64, rounds: u64) -> Vec<ProjEvent> {
+    let pilots = pilots.max(1);
+    let mut evs = Vec::with_capacity((rounds * (units + pilots) * 2) as usize);
+    for r in 0..rounds {
+        let t = r as f64;
+        for p in 0..pilots {
+            evs.push(ProjEvent::Pilot {
+                pilot: PilotId(p),
+                state: PilotState::Active,
+                t_s: t,
+            });
+            evs.push(ProjEvent::PilotCapacity {
+                pilot: PilotId(p),
+                free_cores: (r % 8) as u32,
+                total_cores: 8,
+                t_s: t,
+            });
+        }
+        for u in 0..units {
+            let state = match (u + r) % 3 {
+                0 => UnitState::Pending,
+                1 => UnitState::Running,
+                _ => UnitState::Done,
+            };
+            evs.push(ProjEvent::Unit {
+                unit: UnitId(u),
+                state,
+                pilot: Some(PilotId(u % pilots)),
+                t_s: t,
+            });
+            evs.push(ProjEvent::UnitMetric {
+                unit: UnitId(u),
+                wait_s: (r + 1) as f64 * 0.5,
+                exec_s: (r + 1) as f64,
+                t_s: t,
+            });
+        }
+    }
+    evs
+}
+
+/// Append `evs` to `topic` in moderately sized batches (so compacted topics
+/// compact *during* the stream, as a live producer would drive them).
+fn produce_chunked(broker: &Broker, topic: &str, evs: &[ProjEvent]) {
+    for chunk in evs.chunks(512) {
+        publish_events(broker, topic, chunk)
+            // lint: allow(panic, reason = "the topic was created by this experiment on a fresh broker")
+            .expect("append churn chunk");
+    }
+}
+
+/// Time one sharded fold of the whole topic: one worker thread per shard,
+/// each draining its own partition group. Returns `(wall_s, merged tables)`.
+fn timed_shard_fold(
+    broker: &Arc<Broker>,
+    topic: &str,
+    shards: usize,
+    publish_every: u64,
+) -> (f64, pilot_query::QueryTables) {
+    let mut sm = ShardedMaterializer::bootstrap(Arc::clone(broker), topic, shards)
+        // lint: allow(panic, reason = "the topic was created by this experiment on a fresh broker")
+        .expect("bootstrap shard set");
+    sm.set_publish_every(publish_every);
+    let clock = WallClock::start();
+    std::thread::scope(|s| {
+        for m in sm.shards_mut().iter_mut() {
+            s.spawn(move || {
+                m.catch_up()
+                    // lint: allow(panic, reason = "broker and topic are alive for the whole fold")
+                    .expect("shard drain");
+            });
+        }
+    });
+    let wall = clock.elapsed().as_secs_f64();
+    (wall, sm.service().merged())
+}
+
+/// QP-2: read-plane scaling — fold throughput vs shard count, compacted vs
+/// full-history bootstrap, and delta-push latency vs poll staleness.
+///
+/// Floors asserted per run: 4-shard fold throughput ≥ 2× single-shard (the
+/// win is mostly publication cost — each shard clones 1/Nth the rows at
+/// 1/Nth the cadence — so it holds even on one core); every merged digest
+/// bit-identical to the unsharded fold; compacted bootstrap ≥ 5× faster at a
+/// 100× event-to-entity ratio with `applied + superseded` accounting for
+/// every appended event; delta-push p99 latency bounded under 1 s.
+pub fn run_qp2(quick: bool) -> String {
+    let mut out = String::new();
+
+    // ---- Part A: fold throughput vs shard count -------------------------
+    let units: u64 = if quick { 4_000 } else { 10_000 };
+    let fold_rounds: u64 = 3;
+    let publish_every: u64 = if quick { 8 } else { 16 };
+    let evs = churn_events(units, 8, fold_rounds);
+    let total = evs.len() as f64;
+    let broker = Arc::new(Broker::new());
+    let _ = BrokerSink::create(Arc::clone(&broker), "qp2.fold", 4)
+        // lint: allow(panic, reason = "fresh broker, fresh topic")
+        .expect("fold topic");
+    produce_chunked(&broker, "qp2.fold", &evs);
+
+    // Unsharded reference fold: the digest every merged shard set must hit.
+    let mut reference = Materializer::bootstrap(Arc::clone(&broker), "qp2.fold")
+        // lint: allow(panic, reason = "the topic was created above")
+        .expect("reference bootstrap");
+    reference.set_publish_every(publish_every);
+    reference
+        .catch_up()
+        // lint: allow(panic, reason = "broker and topic are alive for the whole run")
+        .expect("reference drain");
+    let want_digest = reference.tables().digest();
+
+    let spec = ExperimentSpec::new(
+        "QP-2a fold throughput vs shard count",
+        vec![Factor::new("shards", &[1.0, 2.0, 4.0])],
+        1,
+        0x5152,
+    );
+    let mut table = ResultTable::new(&spec.name);
+    let mut tp_by_shards = Vec::new();
+    for trial in spec.trials() {
+        let shards = trial.param_usize("shards");
+        // Best of two folds: the second run damps allocator warm-up noise.
+        let mut wall = f64::MAX;
+        let mut merged = None;
+        for _ in 0..2 {
+            let (w, m) = timed_shard_fold(&broker, "qp2.fold", shards, publish_every);
+            if w < wall {
+                wall = w;
+            }
+            merged = Some(m);
+        }
+        // lint: allow(panic, reason = "the loop above always runs and sets merged")
+        let merged = merged.expect("two folds ran");
+        assert_eq!(
+            merged.digest(),
+            want_digest,
+            "merged {shards}-shard digest must be bit-identical to the single fold"
+        );
+        let events_s = total / wall.max(1e-9);
+        tp_by_shards.push((shards, events_s));
+        table.push(
+            trial,
+            vec![
+                ("wall_ms".into(), wall * 1e3),
+                ("events_per_s".into(), events_s),
+            ],
+        );
+    }
+    let tp1 = tp_by_shards
+        .iter()
+        .find(|(s, _)| *s == 1)
+        .map(|(_, t)| *t)
+        .unwrap_or(f64::MAX);
+    let tp4 = tp_by_shards
+        .iter()
+        .find(|(s, _)| *s == 4)
+        .map(|(_, t)| *t)
+        .unwrap_or(0.0);
+    let scaling = tp4 / tp1.max(1e-9);
+    let floor = if quick { 1.4 } else { 2.0 };
+    assert!(
+        scaling >= floor,
+        "4-shard fold must be >= {floor}x single-shard throughput, got {scaling:.2}x"
+    );
+    out.push_str(&table.to_markdown());
+    out.push_str(&format!(
+        "4-shard over 1-shard fold throughput: {scaling:.1}× (floor {floor}×); every merged digest == unsharded fold digest\n"
+    ));
+
+    // ---- Part B: bootstrap cost, compacted vs full history --------------
+    let live: u64 = if quick { 200 } else { 1_000 };
+    let trigger = if quick { 64 } else { 512 };
+    out.push_str("\n| ratio | events | full_ms | compact_ms | speedup | superseded |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for ratio in [10u64, 100] {
+        let evs = churn_events(live, 4, (ratio / 2).max(1));
+        let broker = Arc::new(Broker::new());
+        let _ = BrokerSink::create(Arc::clone(&broker), "qp2.full", 4)
+            // lint: allow(panic, reason = "fresh broker, fresh topic")
+            .expect("full topic");
+        broker
+            .create_topic_with("qp2.compact", 4, Retention::Compact { trigger })
+            // lint: allow(panic, reason = "fresh broker, fresh topic")
+            .expect("compact topic");
+        produce_chunked(&broker, "qp2.full", &evs);
+        produce_chunked(&broker, "qp2.compact", &evs);
+
+        let boot = |topic: &str| {
+            let mut best = f64::MAX;
+            let mut m = None;
+            for _ in 0..2 {
+                let clock = WallClock::start();
+                let mut mat = Materializer::bootstrap(Arc::clone(&broker), topic)
+                    // lint: allow(panic, reason = "the topic was created above")
+                    .expect("bootstrap");
+                mat.catch_up()
+                    // lint: allow(panic, reason = "broker and topic are alive for the whole run")
+                    .expect("bootstrap drain");
+                best = best.min(clock.elapsed().as_secs_f64());
+                m = Some(mat);
+            }
+            // lint: allow(panic, reason = "the loop above always runs and sets m")
+            (best, m.expect("two bootstraps ran"))
+        };
+        let (t_full, mf) = boot("qp2.full");
+        let (t_comp, mc) = boot("qp2.compact");
+        assert_eq!(
+            mf.tables().data_digest(),
+            mc.tables().data_digest(),
+            "compacted bootstrap must reconstruct the full-history rows exactly"
+        );
+        assert_eq!(
+            mc.tables().events_applied + mc.events_superseded(),
+            evs.len() as u64,
+            "superseded + applied must account for every appended event"
+        );
+        assert_eq!(mc.events_lost(), 0, "compaction supersedes, never loses");
+        let speedup = t_full / t_comp.max(1e-9);
+        if ratio == 100 {
+            assert!(
+                speedup >= 5.0,
+                "compacted bootstrap must be >= 5x faster at a 100x event-to-entity ratio, got {speedup:.1}x"
+            );
+        }
+        out.push_str(&format!(
+            "| {ratio}× | {} | {:.2} | {:.2} | {speedup:.1}× | {} |\n",
+            evs.len(),
+            t_full * 1e3,
+            t_comp * 1e3,
+            mc.events_superseded(),
+        ));
+    }
+    out.push_str(
+        "compacted bootstrap floor: >= 5× at 100× event-to-entity ratio; data digests identical\n",
+    );
+
+    // ---- Part C: delta push latency vs poll staleness -------------------
+    let phase_s: f64 = if quick { 0.15 } else { 0.5 };
+    let ring_cap = 128usize;
+    let broker = Arc::new(Broker::new());
+    let _ = BrokerSink::create(Arc::clone(&broker), "qp2.delta", 4)
+        // lint: allow(panic, reason = "fresh broker, fresh topic")
+        .expect("delta topic");
+    let mut sm = ShardedMaterializer::bootstrap(Arc::clone(&broker), "qp2.delta", 2)
+        // lint: allow(panic, reason = "the topic was created above")
+        .expect("delta shard set");
+    sm.set_publish_every(4);
+    sm.set_staleness_capacity(ring_cap);
+    let service = sm.service();
+    let sub = service.subscribe();
+
+    let stop = AtomicBool::new(false);
+    let feeding = AtomicBool::new(true);
+    let fed = AtomicU64::new(0);
+    let mut push_lat = StalenessWindow::new(8192);
+    let mut batches = 0u64;
+    let mut delta_entities = 0u64;
+    let mut shards_seen = [false; 2];
+    std::thread::scope(|s| {
+        let (stop_ref, feeding_ref) = (&stop, &feeding);
+        let fold = s.spawn(move || {
+            let mut sm = sm;
+            sm.run_until_stopped(stop_ref);
+            sm
+        });
+        let broker_ref = &broker;
+        let fed_ref = &fed;
+        let feeder = s.spawn(move || {
+            let clock = WallClock::start();
+            let mut tick = 0u64;
+            while clock.elapsed().as_secs_f64() < phase_s {
+                let evs = churn_events(64, 4, 1);
+                fed_ref.fetch_add(evs.len() as u64, Ordering::Relaxed);
+                produce_chunked(broker_ref, "qp2.delta", &evs);
+                tick += 1;
+                if tick.is_multiple_of(4) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            feeding_ref.store(false, Ordering::Release);
+        });
+        // Consume pushes while the feeder runs, then drain the tail.
+        loop {
+            match sub.next_timeout(Duration::from_millis(20)) {
+                Some(b) => {
+                    batches += 1;
+                    delta_entities += b.len() as u64;
+                    if b.shard < shards_seen.len() {
+                        shards_seen[b.shard] = true;
+                    }
+                    if let Some(enq) = b.newest_enqueued_s {
+                        push_lat.record((broker.now_s() - enq).max(0.0));
+                    }
+                }
+                None if !feeding.load(Ordering::Acquire) => break,
+                None => {}
+            }
+        }
+        // lint: allow(panic, reason = "the feeder thread only appends events and cannot panic")
+        feeder.join().expect("feeder thread");
+        stop.store(true, Ordering::Release);
+        broker.wake_all();
+        // lint: allow(panic, reason = "run_until_stopped returns after the stop flag is set")
+        let _ = fold.join().expect("fold threads");
+    });
+
+    let push_p50_ms = push_lat.percentile(0.5).unwrap_or(0.0) * 1e3;
+    let push_p99_ms = push_lat.percentile(0.99).unwrap_or(0.0) * 1e3;
+    let fold_p50_ms = service.staleness(0.5).unwrap_or(0.0) * 1e3;
+    let fold_p99_ms = service.staleness(0.99).unwrap_or(0.0) * 1e3;
+    assert!(
+        push_p99_ms < 1_000.0,
+        "p99 delta-push latency must stay bounded, got {push_p99_ms:.1} ms"
+    );
+    assert!(batches > 0 && delta_entities > 0, "the feed must push data");
+    assert!(
+        shards_seen.iter().all(|&s| s),
+        "every shard's fold must reach the one merged subscription"
+    );
+    // Staleness-ring accounting: held never exceeds the configured capacity
+    // per shard, and never exceeds the lifetime sample count.
+    let held = service.staleness_held();
+    let samples = service.staleness_samples();
+    assert!(held > 0 && held <= ring_cap * 2, "ring capacity respected");
+    assert!(
+        held as u64 <= samples,
+        "held samples are a suffix of lifetime samples"
+    );
+    out.push_str(&format!(
+        "\ndelta push (subscribe): p50 {push_p50_ms:.2} ms, p99 {push_p99_ms:.2} ms over {batches} batches / {delta_entities} entity upserts\n\
+         poll-path floor (fold staleness, before any poll interval): p50 {fold_p50_ms:.2} ms, p99 {fold_p99_ms:.2} ms\n\
+         staleness ring: {held} held / {samples} lifetime samples (cap {ring_cap} per shard)\n\
+         events fed: {}\n",
+        fed.load(Ordering::Relaxed)
+    ));
+    common::emit(out)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -259,5 +602,16 @@ mod tests {
         let report = super::run_qp1(true);
         assert!(report.contains("dash_proj_qps"));
         assert!(report.contains("stale_p99_ms"));
+    }
+
+    #[test]
+    fn qp2_quick_holds_scaling_compaction_and_push_floors() {
+        // Shard-scaling, compacted-bootstrap, digest-identity, and push
+        // latency floors are asserted inside run_qp2; surviving the call in
+        // quick mode is the regression check CI runs.
+        let report = super::run_qp2(true);
+        assert!(report.contains("events_per_s"));
+        assert!(report.contains("compact_ms"));
+        assert!(report.contains("delta push"));
     }
 }

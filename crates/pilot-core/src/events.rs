@@ -157,6 +157,27 @@ impl ProjEvent {
         }
     }
 
+    /// Compaction identity: the entity id tagged with the event *kind*.
+    ///
+    /// [`ProjEvent::key`] is the right routing key — every event of one
+    /// entity must land in one partition so per-entity order stays total —
+    /// but it is the wrong *compaction* key: a unit's state events and its
+    /// metric events share `key()`, so latest-per-key compaction would let
+    /// one kind supersede the other. Compacted projection topics therefore
+    /// route by `key()` and compact by `identity()`: the latest state event
+    /// *and* the latest metric event of an entity both survive, and the fold
+    /// over a compacted log reconstructs the same rows as a full-history
+    /// fold.
+    pub fn identity(&self) -> u64 {
+        let (id, kind) = match *self {
+            ProjEvent::Pilot { pilot, .. } => (pilot.0, 0),
+            ProjEvent::PilotCapacity { pilot, .. } => (pilot.0, 1),
+            ProjEvent::Unit { unit, .. } => (unit.0, 2),
+            ProjEvent::UnitMetric { unit, .. } => (unit.0, 3),
+        };
+        (id << 2) | kind
+    }
+
     /// Event timestamp in the producer's timebase (seconds).
     pub fn t_s(&self) -> f64 {
         match *self {
@@ -414,6 +435,58 @@ mod tests {
             .key(),
             9
         );
+    }
+
+    #[test]
+    fn identity_separates_kinds_but_shares_routing_key() {
+        let state = ProjEvent::Unit {
+            unit: UnitId(9),
+            state: UnitState::Running,
+            pilot: None,
+            t_s: 0.0,
+        };
+        let metric = ProjEvent::UnitMetric {
+            unit: UnitId(9),
+            wait_s: 1.0,
+            exec_s: 2.0,
+            t_s: 3.0,
+        };
+        let pstate = ProjEvent::Pilot {
+            pilot: PilotId(9),
+            state: PilotState::Active,
+            t_s: 0.0,
+        };
+        let pcap = ProjEvent::PilotCapacity {
+            pilot: PilotId(9),
+            free_cores: 4,
+            total_cores: 8,
+            t_s: 0.0,
+        };
+        // Same routing key (entity 9) so all four share a partition…
+        assert!([&state, &metric, &pstate, &pcap]
+            .iter()
+            .all(|e| e.key() == 9));
+        // …but four distinct compaction identities, so compaction keeps the
+        // latest event of *each kind*.
+        let ids = [
+            state.identity(),
+            metric.identity(),
+            pstate.identity(),
+            pcap.identity(),
+        ];
+        for i in 0..ids.len() {
+            for j in 0..i {
+                assert_ne!(ids[i], ids[j]);
+            }
+        }
+        // Later events of the same (entity, kind) share an identity.
+        let metric2 = ProjEvent::UnitMetric {
+            unit: UnitId(9),
+            wait_s: 9.0,
+            exec_s: 9.0,
+            t_s: 9.0,
+        };
+        assert_eq!(metric.identity(), metric2.identity());
     }
 
     #[test]

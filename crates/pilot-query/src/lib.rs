@@ -18,6 +18,19 @@
 //! lock-path reads while a full ST-1 write storm runs, with bounded
 //! staleness (p50/p99 reported per run).
 //!
+//! The fold itself scales the same way the data plane does: a
+//! [`ShardedMaterializer`] runs N fold workers over disjoint partition
+//! groups, each publishing per-shard snapshots that a [`ShardedQueryService`]
+//! merges into the global dashboard — bit-identical to a single fold,
+//! because every aggregate is order-independent (see [`QueryTables::merge`]).
+//! Projection topics can compact ([`BrokerSink::create_compacted`]) so
+//! bootstrap cost is bounded by live entities, not event history; and
+//! readers who want pushes instead of polls take
+//! [`QueryService::subscribe`], a coalesced per-entity delta feed off the
+//! shard folds. EXP QP-2 measures all three: fold throughput vs shard
+//! count, compacted vs full-history bootstrap, and delta-push latency vs
+//! poll staleness.
+//!
 //! ```rust
 //! use pilot_core::describe::{PilotDescription, UnitDescription};
 //! use pilot_core::scheduler::FirstFitScheduler;
@@ -48,14 +61,20 @@
 //! assert_eq!(qs.unit_state(unit), Some(pilot_core::state::UnitState::Done));
 //! ```
 
+pub mod delta;
 pub mod materializer;
 pub mod service;
+pub mod shard;
 pub mod sink;
 pub mod snap;
 pub mod tables;
 
+pub use delta::{DeltaBatch, DeltaHub, DeltaSubscription};
 pub use materializer::{Materializer, StalenessWindow};
 pub use service::QueryService;
-pub use sink::{publish_events, BrokerSink, DEFAULT_PARTITIONS, DEFAULT_RETENTION};
+pub use shard::{ShardPlan, ShardedMaterializer, ShardedQueryService};
+pub use sink::{
+    publish_events, BrokerSink, DEFAULT_COMPACT_TRIGGER, DEFAULT_PARTITIONS, DEFAULT_RETENTION,
+};
 pub use snap::SnapshotCell;
 pub use tables::{ContinuityToken, Dashboard, PilotRow, QueryTables, UnitRow};

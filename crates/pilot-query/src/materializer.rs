@@ -26,11 +26,14 @@
 //! to projection visibility. [`StalenessWindow`] keeps a bounded ring of
 //! recent samples; QP-1 reports its p50/p99.
 
+use crate::delta::{DeltaBatch, DeltaHub};
 use crate::snap::SnapshotCell;
 use crate::tables::{ContinuityToken, QueryTables};
 use parking_lot::Mutex;
 use pilot_core::events::ProjEvent;
-use pilot_streaming::{Broker, BrokerError};
+use pilot_core::ids::{PilotId, UnitId};
+use pilot_streaming::{Broker, BrokerError, Retention};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -81,6 +84,32 @@ impl StalenessWindow {
         self.total
     }
 
+    /// Maximum samples the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Resize the ring to hold `cap` samples, keeping the most recent
+    /// `min(len, cap)` already-held samples (and the lifetime total).
+    /// Experiments size this to their event volume so percentiles cover the
+    /// whole run instead of silently reflecting the last 4096 events.
+    pub fn set_capacity(&mut self, cap: usize) {
+        let cap = cap.max(1);
+        let keep = self.len.min(cap);
+        let mut recent = Vec::with_capacity(keep);
+        let old_cap = self.buf.len();
+        for i in 0..keep {
+            // Walk backwards from the most recently written slot.
+            let idx = (self.next + old_cap - 1 - i) % old_cap;
+            recent.push(self.buf[idx]);
+        }
+        recent.reverse();
+        self.buf = vec![0.0; cap];
+        self.buf[..keep].copy_from_slice(&recent);
+        self.next = keep % cap;
+        self.len = keep;
+    }
+
     /// Percentile (nearest-rank) over the held samples; `q` in `[0, 1]`.
     pub fn percentile(&self, q: f64) -> Option<f64> {
         if self.len == 0 {
@@ -100,6 +129,16 @@ pub struct Materializer {
     tables: QueryTables,
     cell: Arc<SnapshotCell<QueryTables>>,
     stale: Arc<Mutex<StalenessWindow>>,
+    /// Partitions this materializer folds. The whole topic for a standalone
+    /// materializer; a disjoint partition group when it serves as one shard
+    /// of a `ShardedMaterializer`.
+    owned: Vec<usize>,
+    /// Shard index within a shard set (0 for a standalone materializer);
+    /// labels published delta batches.
+    shard: usize,
+    /// Whether the topic compacts (latest record per key): offset gaps are
+    /// then *superseded* records, not lost ones.
+    compacted: bool,
     /// Publish after this many applied events (and always when a drain runs
     /// dry). Larger values batch allocation; 1 publishes every event.
     publish_every: u64,
@@ -107,15 +146,40 @@ pub struct Materializer {
     pending: u64,
     /// Events skipped because retention trimmed them before we fetched.
     events_lost: u64,
+    /// Events skipped because compaction superseded them with a newer record
+    /// of the same key — expected on compacted topics, and *not* data loss:
+    /// the retained record carries the entity's latest state.
+    events_superseded: u64,
     /// Payloads that failed to decode as `ProjEvent` (foreign traffic).
     decode_errors: u64,
+    /// Delta fan-out. Dirty-entity tracking and batch construction only run
+    /// while the hub has subscribers.
+    hub: Arc<DeltaHub>,
+    dirty_units: BTreeSet<u64>,
+    dirty_pilots: BTreeSet<u64>,
+    /// Newest event enqueue timestamp folded since the last publish.
+    newest_enqueued_s: Option<f64>,
 }
 
 impl Materializer {
     /// Start a fresh materializer at offset 0 of every partition of `topic`.
     pub fn bootstrap(broker: Arc<Broker>, topic: &str) -> Result<Self, BrokerError> {
         let partitions = broker.partitions(topic)?;
-        Self::from_tables(broker, topic, QueryTables::new(partitions))
+        let owned = (0..partitions).collect();
+        Self::from_tables(broker, topic, QueryTables::new(partitions), owned, 0)
+    }
+
+    /// Start a fresh materializer owning only `owned` partitions of `topic`,
+    /// folding as shard `shard` of a shard set. Offsets of un-owned
+    /// partitions stay 0 and their events are never fetched.
+    pub fn bootstrap_shard(
+        broker: Arc<Broker>,
+        topic: &str,
+        owned: Vec<usize>,
+        shard: usize,
+    ) -> Result<Self, BrokerError> {
+        let partitions = broker.partitions(topic)?;
+        Self::from_tables(broker, topic, QueryTables::new(partitions), owned, shard)
     }
 
     /// Resume from a previously *published* snapshot: the tables carry their
@@ -128,18 +192,49 @@ impl Materializer {
         snapshot: &QueryTables,
     ) -> Result<Self, BrokerError> {
         let partitions = broker.partitions(topic)?;
+        let owned = (0..partitions).collect();
+        Self::resume_shard_inner(broker, topic, snapshot, owned, 0)
+    }
+
+    /// [`Materializer::resume`] for one shard of a shard set: the snapshot's
+    /// continuity token is a per-shard offset vector (authoritative only for
+    /// `owned` partitions), so each shard restarts exactly-once from its own
+    /// last published snapshot, independently of its peers.
+    pub fn resume_shard(
+        broker: Arc<Broker>,
+        topic: &str,
+        snapshot: &QueryTables,
+        owned: Vec<usize>,
+        shard: usize,
+    ) -> Result<Self, BrokerError> {
+        Self::resume_shard_inner(broker, topic, snapshot, owned, shard)
+    }
+
+    fn resume_shard_inner(
+        broker: Arc<Broker>,
+        topic: &str,
+        snapshot: &QueryTables,
+        owned: Vec<usize>,
+        shard: usize,
+    ) -> Result<Self, BrokerError> {
+        let partitions = broker.partitions(topic)?;
         let mut tables = snapshot.clone();
         // A snapshot from before a partition-count change cannot be resumed
         // positionally; treat extra/missing partitions as fresh.
         tables.offsets.resize(partitions, 0);
-        Self::from_tables(broker, topic, tables)
+        Self::from_tables(broker, topic, tables, owned, shard)
     }
 
     fn from_tables(
         broker: Arc<Broker>,
         topic: &str,
         tables: QueryTables,
+        mut owned: Vec<usize>,
+        shard: usize,
     ) -> Result<Self, BrokerError> {
+        let partitions = tables.offsets.len();
+        owned.retain(|&p| p < partitions);
+        let compacted = matches!(broker.retention(topic)?, Retention::Compact { .. });
         let cell = Arc::new(SnapshotCell::new(tables.clone()));
         Ok(Materializer {
             broker,
@@ -147,10 +242,18 @@ impl Materializer {
             tables,
             cell,
             stale: Arc::new(Mutex::new(StalenessWindow::new(4096))),
+            owned,
+            shard,
+            compacted,
             publish_every: 64,
             pending: 0,
             events_lost: 0,
+            events_superseded: 0,
             decode_errors: 0,
+            hub: Arc::new(DeltaHub::new()),
+            dirty_units: BTreeSet::new(),
+            dirty_pilots: BTreeSet::new(),
+            newest_enqueued_s: None,
         })
     }
 
@@ -161,9 +264,31 @@ impl Materializer {
         self.publish_every = n.max(1);
     }
 
+    /// Resize the staleness ring (keeping the most recent samples). Size it
+    /// to the expected event volume when percentiles must cover a whole
+    /// experiment phase rather than the last 4096 events.
+    pub fn set_staleness_capacity(&mut self, cap: usize) {
+        self.stale.lock().set_capacity(cap);
+    }
+
     /// A read handle served entirely from this materializer's snapshots.
     pub fn service(&self) -> crate::service::QueryService {
-        crate::service::QueryService::new(Arc::clone(&self.cell), Arc::clone(&self.stale))
+        crate::service::QueryService::new(
+            Arc::clone(&self.cell),
+            Arc::clone(&self.stale),
+            Arc::clone(&self.hub),
+        )
+    }
+
+    /// Partitions this materializer folds (the whole topic unless it is one
+    /// shard of a shard set).
+    pub fn owned_partitions(&self) -> &[usize] {
+        &self.owned
+    }
+
+    /// Shard index within a shard set (0 standalone).
+    pub fn shard(&self) -> usize {
+        self.shard
     }
 
     /// The continuity token of the *working* tables (≥ the published one).
@@ -183,26 +308,67 @@ impl Materializer {
         self.events_lost
     }
 
+    /// Events superseded by compaction before this materializer fetched
+    /// them: a newer record of the same key replaced each one, so the fold
+    /// still lands on every entity's latest state. Counted separately from
+    /// [`events_lost`](Self::events_lost) — superseded is bounded bootstrap
+    /// work avoided, lost is history the projection will never see.
+    pub fn events_superseded(&self) -> u64 {
+        self.events_superseded
+    }
+
     /// Payloads on the topic that were not decodable projection events.
     pub fn decode_errors(&self) -> u64 {
         self.decode_errors
     }
 
-    /// Publish the working tables now (bumps `version`).
+    /// Publish the working tables now (bumps `version`). If delta
+    /// subscribers are attached, also emit one coalesced [`DeltaBatch`]:
+    /// the latest row of every entity the fold touched since the previous
+    /// publish.
     pub fn publish(&mut self) {
         self.tables.version += 1;
         self.cell.store(self.tables.clone());
         self.pending = 0;
+        if self.hub.has_subscribers()
+            && !(self.dirty_units.is_empty() && self.dirty_pilots.is_empty())
+        {
+            let units: Vec<(u64, crate::tables::UnitRow)> = self
+                .dirty_units
+                .iter()
+                .filter_map(|&id| self.tables.unit(UnitId(id)).map(|r| (id, *r)))
+                .collect();
+            let pilots: Vec<(u64, crate::tables::PilotRow)> = self
+                .dirty_pilots
+                .iter()
+                .filter_map(|&id| self.tables.pilot(PilotId(id)).map(|r| (id, *r)))
+                .collect();
+            self.hub.publish(Arc::new(DeltaBatch {
+                shard: self.shard,
+                version: self.tables.version,
+                emitted_s: self.broker.now_s(),
+                newest_enqueued_s: self.newest_enqueued_s,
+                dashboard: *self.tables.dashboard(),
+                units,
+                pilots,
+                token: self.tables.token(),
+            }));
+        }
+        self.dirty_units.clear();
+        self.dirty_pilots.clear();
+        self.newest_enqueued_s = None;
     }
 
     /// Fetch-and-fold one round: up to `max_per_partition` events from each
-    /// partition, applied in partition order. Returns the number of events
-    /// applied. Publishes whenever `publish_every` applied events have
-    /// accumulated.
+    /// owned partition, applied in partition order. Returns the number of
+    /// events applied. Publishes whenever `publish_every` applied events
+    /// have accumulated.
     pub fn poll_apply(&mut self, max_per_partition: usize) -> Result<usize, BrokerError> {
         let mut applied = 0usize;
         let now = self.broker.now_s();
-        for p in 0..self.tables.offsets.len() {
+        let track_dirty = self.hub.has_subscribers();
+        for i in 0..self.owned.len() {
+            let p = self.owned[i];
             // Retention gap: if trimming outran us, jump to the first
             // surviving offset and count what was lost — the projection is
             // then an under-approximation and says so, instead of stalling.
@@ -217,34 +383,78 @@ impl Materializer {
             if msgs.is_empty() {
                 continue;
             }
-            let mut stale = self.stale.lock();
-            for m in &msgs {
-                match ProjEvent::decode(&m.payload) {
-                    Ok(ev) => {
-                        self.tables.apply(&ev);
-                        stale.record((now - m.enqueued_s).max(0.0));
-                        applied += 1;
+            // `publish_every` is an event-count cadence contract, honored
+            // even inside one large fetch: the fetched slice is folded in
+            // sub-slices capped at the events remaining until the next
+            // publication. This is what makes the sharded fold scale — each
+            // shard publishes (clones) tables 1/Nth the size at the same
+            // event cadence, so total publication cost drops N-fold.
+            let mut idx = 0usize;
+            while idx < msgs.len() {
+                let room = self.publish_every.saturating_sub(self.pending).max(1) as usize;
+                let end = (idx + room).min(msgs.len());
+                let mut stale = self.stale.lock();
+                for m in &msgs[idx..end] {
+                    // Sparse offsets: a gap below a fetched record is records
+                    // that existed but are retained no longer. On a compacted
+                    // topic they were superseded by newer records of the same
+                    // keys (the fold still sees every entity's latest state);
+                    // on a count-retained topic a mid-poll trim lost them.
+                    let gap = m.offset.saturating_sub(self.tables.offsets[p]);
+                    if gap > 0 {
+                        if self.compacted {
+                            self.events_superseded += gap;
+                        } else {
+                            self.events_lost += gap;
+                        }
                     }
-                    Err(_) => self.decode_errors += 1,
+                    match ProjEvent::decode(&m.payload) {
+                        Ok(ev) => {
+                            self.tables.apply(&ev);
+                            if track_dirty {
+                                match ev {
+                                    ProjEvent::Pilot { pilot, .. }
+                                    | ProjEvent::PilotCapacity { pilot, .. } => {
+                                        self.dirty_pilots.insert(pilot.0);
+                                    }
+                                    ProjEvent::Unit { unit, .. }
+                                    | ProjEvent::UnitMetric { unit, .. } => {
+                                        self.dirty_units.insert(unit.0);
+                                    }
+                                }
+                            }
+                            self.newest_enqueued_s = Some(match self.newest_enqueued_s {
+                                Some(prev) => prev.max(m.enqueued_s),
+                                None => m.enqueued_s,
+                            });
+                            stale.record((now - m.enqueued_s).max(0.0));
+                            applied += 1;
+                            self.pending += 1;
+                        }
+                        Err(_) => self.decode_errors += 1,
+                    }
+                    self.tables.offsets[p] = m.offset + 1;
                 }
-                self.tables.offsets[p] = m.offset + 1;
+                drop(stale);
+                idx = end;
+                if self.pending >= self.publish_every {
+                    self.publish();
+                }
             }
-        }
-        self.pending += applied as u64;
-        if self.pending >= self.publish_every {
-            self.publish();
         }
         Ok(applied)
     }
 
-    /// Per-partition lag between the working tables and the log tail.
+    /// Records still retained ahead of the fold position, over owned
+    /// partitions. Counting *retained* records (not high-watermark
+    /// arithmetic) keeps lag honest on compacted topics, where superseded
+    /// records between the fold position and the watermark will never be
+    /// fetched.
     pub fn lag(&self) -> Result<u64, BrokerError> {
-        let hw = self.broker.high_watermarks(&self.topic)?;
-        Ok(hw
-            .iter()
-            .zip(self.tables.offsets.iter())
-            .map(|(h, o)| h.saturating_sub(*o))
-            .sum())
+        let counts = self
+            .broker
+            .retained_counts(&self.topic, &self.tables.offsets)?;
+        Ok(self.owned.iter().filter_map(|&p| counts.get(p)).sum())
     }
 
     /// Drain to the current log tail, then publish anything pending.

@@ -8,6 +8,7 @@
 //! publication interval behind the log tail — the staleness the service
 //! itself reports.
 
+use crate::delta::{DeltaHub, DeltaSubscription};
 use crate::materializer::StalenessWindow;
 use crate::snap::SnapshotCell;
 use crate::tables::{ContinuityToken, Dashboard, PilotRow, QueryTables, UnitRow};
@@ -21,14 +22,20 @@ use std::sync::Arc;
 pub struct QueryService {
     cell: Arc<SnapshotCell<QueryTables>>,
     stale: Arc<Mutex<StalenessWindow>>,
+    hub: Arc<DeltaHub>,
 }
 
 impl QueryService {
     pub(crate) fn new(
         cell: Arc<SnapshotCell<QueryTables>>,
         stale: Arc<Mutex<StalenessWindow>>,
+        hub: Arc<DeltaHub>,
     ) -> Self {
-        QueryService { cell, stale }
+        QueryService { cell, stale, hub }
+    }
+
+    pub(crate) fn hub(&self) -> &Arc<DeltaHub> {
+        &self.hub
     }
 
     /// The latest published snapshot, whole. Holding the `Arc` pins a
@@ -83,6 +90,29 @@ impl QueryService {
     /// Number of staleness samples recorded so far (lifetime).
     pub fn staleness_samples(&self) -> u64 {
         self.stale.lock().total()
+    }
+
+    /// Samples currently held in the staleness ring (≤ capacity). When this
+    /// equals [`staleness_samples`](Self::staleness_samples), the
+    /// percentiles cover every applied event rather than a recent window.
+    pub fn staleness_held(&self) -> usize {
+        self.stale.lock().len()
+    }
+
+    /// Capacity of the staleness ring (configure through
+    /// `Materializer::set_staleness_capacity`).
+    pub fn staleness_capacity(&self) -> usize {
+        self.stale.lock().capacity()
+    }
+
+    /// Subscribe to the delta feed: the materializer behind this service
+    /// pushes one coalesced [`crate::DeltaBatch`] per publication — the
+    /// latest row of every entity the fold touched — instead of making the
+    /// reader poll snapshots. Deltas are idempotent upserts: subscribe
+    /// first, then read [`snapshot`](Self::snapshot), then apply every
+    /// batch; overlap with the snapshot is harmless.
+    pub fn subscribe(&self) -> DeltaSubscription {
+        self.hub.subscribe()
     }
 }
 

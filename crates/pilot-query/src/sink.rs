@@ -7,9 +7,23 @@
 //! batch (closed, topic deleted), the sink counts the drop and moves on.
 //! Keying by [`ProjEvent::key`] routes every event of one entity to one
 //! partition, so the materializer sees per-entity total order.
+//!
+//! ## Compacted projection topics
+//!
+//! A topic created with [`BrokerSink::create_compacted`] retains the latest
+//! record per key instead of the full history, bounding bootstrap cost by
+//! *live entities* rather than event volume. Compaction must not key on the
+//! routing key — a unit's state events and metric events share it, and one
+//! kind would supersede the other — so the compacted write path splits the
+//! two roles: records are routed by [`ProjEvent::key`] (entity → partition,
+//! preserving per-entity total order) via the broker's own hash, but keyed
+//! by [`ProjEvent::identity`] (entity + kind) through
+//! [`Broker::produce_batch_routed`]. The materializer's fold is upsert-only,
+//! so replaying just the retained records reconstructs exactly the rows the
+//! full history would have produced.
 
 use pilot_core::events::{EventSink, ProjEvent};
-use pilot_streaming::{Broker, BrokerError};
+use pilot_streaming::{key_partition, Broker, BrokerError, Retention};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -22,20 +36,35 @@ pub const DEFAULT_PARTITIONS: usize = 4;
 /// *does* trim is detected by `Materializer::events_lost`.
 pub const DEFAULT_RETENTION: usize = 1 << 20;
 
+/// Default compaction trigger (retained records per partition before a
+/// compaction pass) for compacted projection topics. The broker adapts the
+/// threshold upward to ~2× the live key count, so this only needs to bound
+/// the floor.
+pub const DEFAULT_COMPACT_TRIGGER: usize = 1024;
+
 /// Broker-backed [`EventSink`].
 pub struct BrokerSink {
     broker: Arc<Broker>,
     topic: String,
     dropped: AtomicU64,
+    /// Compacted topics take the routed write path (entity routing,
+    /// identity keys); cached at construction with the partition count.
+    compacted: bool,
+    partitions: usize,
 }
 
 impl BrokerSink {
-    /// A sink writing to an existing topic.
+    /// A sink writing to an existing topic. The topic's retention decides
+    /// the write path: compacted topics get identity-keyed routed appends.
     pub fn new(broker: Arc<Broker>, topic: &str) -> Arc<Self> {
+        let compacted = matches!(broker.retention(topic), Ok(Retention::Compact { .. }));
+        let partitions = broker.partitions(topic).unwrap_or(0);
         Arc::new(BrokerSink {
             broker,
             topic: topic.to_string(),
             dropped: AtomicU64::new(0),
+            compacted,
+            partitions,
         })
     }
 
@@ -46,6 +75,28 @@ impl BrokerSink {
         partitions: usize,
     ) -> Result<Arc<Self>, BrokerError> {
         match broker.create_topic(topic, partitions, DEFAULT_RETENTION) {
+            Ok(()) | Err(BrokerError::TopicExists(_)) => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Self::new(broker, topic))
+    }
+
+    /// Create a *compacted* projection topic (idempotent) and return a sink
+    /// on it: the broker retains the latest record per
+    /// [`ProjEvent::identity`], so a bootstrap replays O(live entities)
+    /// records instead of the whole history.
+    pub fn create_compacted(
+        broker: Arc<Broker>,
+        topic: &str,
+        partitions: usize,
+    ) -> Result<Arc<Self>, BrokerError> {
+        match broker.create_topic_with(
+            topic,
+            partitions,
+            Retention::Compact {
+                trigger: DEFAULT_COMPACT_TRIGGER,
+            },
+        ) {
             Ok(()) | Err(BrokerError::TopicExists(_)) => {}
             Err(e) => return Err(e),
         }
@@ -69,8 +120,23 @@ impl EventSink for BrokerSink {
         if events.is_empty() {
             return;
         }
-        let records = events.iter().map(|e| (Some(e.key()), Arc::new(e.encode())));
-        if self.broker.produce_batch(&self.topic, records).is_err() {
+        let ok = if self.compacted && self.partitions > 0 {
+            // Route by entity, key by (entity, kind): per-entity order stays
+            // total within one partition while compaction keeps the latest
+            // record of every kind.
+            let records = events.iter().map(|e| {
+                (
+                    key_partition(e.key(), self.partitions),
+                    Some(e.identity()),
+                    Arc::new(e.encode()),
+                )
+            });
+            self.broker.produce_batch_routed(&self.topic, records)
+        } else {
+            let records = events.iter().map(|e| (Some(e.key()), Arc::new(e.encode())));
+            self.broker.produce_batch(&self.topic, records)
+        };
+        if ok.is_err() {
             self.dropped
                 .fetch_add(events.len() as u64, Ordering::Relaxed);
         }
@@ -81,7 +147,8 @@ impl EventSink for BrokerSink {
 /// for producers that *accumulate* events instead of sinking them live (the
 /// fabric controller is deterministic and cannot talk to the broker from
 /// inside its tick loop; its driver publishes `FabricReport::events` with
-/// this after the run). Returns the number of records appended.
+/// this after the run). Compacted topics take the same identity-keyed routed
+/// path as [`BrokerSink`]. Returns the number of records appended.
 pub fn publish_events(
     broker: &Broker,
     topic: &str,
@@ -89,6 +156,19 @@ pub fn publish_events(
 ) -> Result<u64, BrokerError> {
     if events.is_empty() {
         return Ok(0);
+    }
+    if matches!(broker.retention(topic), Ok(Retention::Compact { .. })) {
+        let partitions = broker.partitions(topic)?;
+        return broker.produce_batch_routed(
+            topic,
+            events.iter().map(|e| {
+                (
+                    key_partition(e.key(), partitions),
+                    Some(e.identity()),
+                    Arc::new(e.encode()),
+                )
+            }),
+        );
     }
     broker.produce_batch(
         topic,
@@ -139,6 +219,88 @@ mod tests {
         broker.close();
         sink.emit_batch(&[ev(1), ev(2), ev(3)]);
         assert_eq!(sink.dropped(), 3);
+    }
+
+    #[test]
+    fn compacted_sink_converges_to_full_history_rows() {
+        use crate::materializer::Materializer;
+        use pilot_core::state::PilotState;
+        let broker = Arc::new(Broker::new());
+        let full = BrokerSink::create(Arc::clone(&broker), "proj.full", 3).expect("full");
+        // Tiny trigger so compaction actually runs at this test's volume;
+        // `BrokerSink::new` must detect compaction from the topic itself.
+        broker
+            .create_topic_with("proj.compact", 3, Retention::Compact { trigger: 8 })
+            .expect("compact topic");
+        let compact = BrokerSink::new(Arc::clone(&broker), "proj.compact");
+        // Churn: every unit transitions 4× and reports 2 metrics; pilots
+        // flap capacity. Same stream to both topics.
+        let mut evs = Vec::new();
+        for round in 0..4u64 {
+            for p in 0..2u64 {
+                evs.push(ProjEvent::Pilot {
+                    pilot: pilot_core::ids::PilotId(p),
+                    state: PilotState::Active,
+                    t_s: round as f64,
+                });
+                evs.push(ProjEvent::PilotCapacity {
+                    pilot: pilot_core::ids::PilotId(p),
+                    free_cores: (8 - round) as u32,
+                    total_cores: 8,
+                    t_s: round as f64 + 0.1,
+                });
+            }
+            for u in 0..10u64 {
+                evs.push(ProjEvent::Unit {
+                    unit: UnitId(u),
+                    state: if round < 3 {
+                        UnitState::Running
+                    } else {
+                        UnitState::Done
+                    },
+                    pilot: Some(pilot_core::ids::PilotId(u % 2)),
+                    t_s: round as f64 + 0.2,
+                });
+                if round >= 2 {
+                    evs.push(ProjEvent::UnitMetric {
+                        unit: UnitId(u),
+                        wait_s: round as f64,
+                        exec_s: round as f64 * 2.0,
+                        t_s: round as f64 + 0.3,
+                    });
+                }
+            }
+        }
+        full.emit_batch(&evs);
+        compact.emit_batch(&evs);
+        assert_eq!(full.dropped() + compact.dropped(), 0);
+        let mut mf = Materializer::bootstrap(Arc::clone(&broker), "proj.full").expect("mf");
+        mf.catch_up().expect("full drain");
+        let mut mc = Materializer::bootstrap(Arc::clone(&broker), "proj.compact").expect("mc");
+        mc.catch_up().expect("compact drain");
+        // The compacted fold applied fewer events but landed on identical
+        // rows + dashboard; the skipped events are counted as superseded.
+        assert_eq!(
+            mf.tables().data_digest(),
+            mc.tables().data_digest(),
+            "compacted fold reconstructs the full-history data exactly"
+        );
+        assert_eq!(mf.tables().events_applied, evs.len() as u64);
+        assert_eq!(
+            mc.tables().events_applied + mc.events_superseded(),
+            evs.len() as u64,
+            "superseded + applied accounts for every appended event"
+        );
+        assert_eq!(mc.events_lost(), 0, "superseded is not loss");
+        assert!(
+            mc.events_superseded() > 0,
+            "this volume must actually compact for the test to bite"
+        );
+        // create_compacted is idempotent and detects its own topic.
+        let again =
+            BrokerSink::create_compacted(Arc::clone(&broker), "proj.compact", 3).expect("again");
+        again.emit_batch(&evs[..5]);
+        assert_eq!(again.dropped(), 0);
     }
 
     #[test]

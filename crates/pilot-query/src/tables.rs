@@ -36,6 +36,16 @@ pub struct UnitRow {
     pub pilot: Option<PilotId>,
     /// Producer-timebase timestamp of the last event applied to this row.
     pub event_t_s: f64,
+    /// Latest observed queue wait of this unit, integer nanoseconds.
+    /// Metrics are *upserts* (latest per unit, not running totals) so that a
+    /// fold over a compacted topic — which only retains the newest metric
+    /// event per unit — reconstructs exactly this row.
+    pub wait_ns: u64,
+    /// Latest observed execution time of this unit, integer nanoseconds.
+    pub exec_ns: u64,
+    /// Whether any `UnitMetric` event has been folded into this row (a
+    /// legitimate metric can be 0 ns, so presence needs its own flag).
+    pub has_metric: bool,
 }
 
 /// Latest observed status + capacity of one pilot.
@@ -72,15 +82,20 @@ pub struct Dashboard {
     pub total_cores: u64,
     /// Sum of `free_cores` over non-terminal pilots.
     pub free_cores: u64,
-    /// Number of `UnitMetric` events folded in.
+    /// Number of units with at least one folded `UnitMetric` event. A
+    /// per-unit presence count (not an event count) so a compacted topic —
+    /// which retains only the newest metric per unit — folds to the same
+    /// dashboard as the full history.
     pub exec_count: u64,
-    /// Sum of unit execution times, in integer nanoseconds. Integer (not
-    /// f64) on purpose: partitions drain in arrival interleavings that vary
-    /// run to run, and float addition is not associative — an integer sum is
-    /// the same whatever the fold order, which is what makes a resumed
-    /// materializer's digest bit-identical to an unkilled one.
+    /// Sum over units of the *latest* execution time, in integer
+    /// nanoseconds. Integer (not f64) on purpose: partitions drain in
+    /// arrival interleavings that vary run to run, and float addition is not
+    /// associative — an integer sum is the same whatever the fold order,
+    /// which is what makes a resumed materializer's digest bit-identical to
+    /// an unkilled one, and shard-merged sums bit-identical to a
+    /// single-shard fold.
     pub exec_sum_ns: u64,
-    /// Sum of unit queue-wait times, in integer nanoseconds.
+    /// Sum over units of the latest queue-wait time, in integer nanoseconds.
     pub wait_sum_ns: u64,
 }
 
@@ -161,6 +176,32 @@ impl Dashboard {
         } else {
             self.wait_sum_s() / self.exec_count as f64
         }
+    }
+
+    /// Add another dashboard's counters into this one. Every field is an
+    /// order-independent aggregate over disjoint entity sets (bucket counts,
+    /// integer-ns sums, the exact capacity pool), so absorbing per-shard
+    /// dashboards in any order reproduces the single-fold dashboard exactly.
+    pub fn absorb(&mut self, other: &Dashboard) {
+        for (a, b) in self
+            .units_by_state
+            .iter_mut()
+            .zip(other.units_by_state.iter())
+        {
+            *a += b;
+        }
+        for (a, b) in self
+            .pilots_by_state
+            .iter_mut()
+            .zip(other.pilots_by_state.iter())
+        {
+            *a += b;
+        }
+        self.total_cores += other.total_cores;
+        self.free_cores += other.free_cores;
+        self.exec_count += other.exec_count;
+        self.exec_sum_ns = self.exec_sum_ns.saturating_add(other.exec_sum_ns);
+        self.wait_sum_ns = self.wait_sum_ns.saturating_add(other.wait_sum_ns);
     }
 }
 
@@ -345,6 +386,9 @@ impl QueryTables {
                         state: UnitState::New,
                         pilot: None,
                         event_t_s: t_s,
+                        wait_ns: 0,
+                        exec_ns: 0,
+                        has_metric: false,
                     }
                 });
                 let prev = row.state;
@@ -361,20 +405,50 @@ impl QueryTables {
                 units_by_state[unit_state_code(state) as usize] += 1;
             }
             ProjEvent::UnitMetric {
-                unit: _,
+                unit,
                 wait_s,
                 exec_s,
-                t_s: _,
+                t_s,
             } => {
-                self.dashboard.exec_count += 1;
-                self.dashboard.exec_sum_ns = self
-                    .dashboard
-                    .exec_sum_ns
-                    .saturating_add(secs_to_ns(exec_s));
-                self.dashboard.wait_sum_ns = self
-                    .dashboard
-                    .wait_sum_ns
-                    .saturating_add(secs_to_ns(wait_s));
+                // Metrics are upserts: the row stores the unit's *latest*
+                // wait/exec and the dashboard sums are maintained as
+                // Σ latest-per-unit (subtract the old contribution, add the
+                // new). A compacted topic retains exactly the newest metric
+                // event per unit, so its fold lands on the same row and the
+                // same sums as the full history.
+                let units_by_state = &mut self.dashboard.units_by_state;
+                let row = self.units.entry(unit.0).or_insert_with(|| {
+                    units_by_state[unit_state_code(UnitState::New) as usize] += 1;
+                    UnitRow {
+                        state: UnitState::New,
+                        pilot: None,
+                        event_t_s: t_s,
+                        wait_ns: 0,
+                        exec_ns: 0,
+                        has_metric: false,
+                    }
+                });
+                let (wait_ns, exec_ns) = (secs_to_ns(wait_s), secs_to_ns(exec_s));
+                if row.has_metric {
+                    self.dashboard.exec_sum_ns = self
+                        .dashboard
+                        .exec_sum_ns
+                        .saturating_sub(row.exec_ns)
+                        .saturating_add(exec_ns);
+                    self.dashboard.wait_sum_ns = self
+                        .dashboard
+                        .wait_sum_ns
+                        .saturating_sub(row.wait_ns)
+                        .saturating_add(wait_ns);
+                } else {
+                    row.has_metric = true;
+                    self.dashboard.exec_count += 1;
+                    self.dashboard.exec_sum_ns = self.dashboard.exec_sum_ns.saturating_add(exec_ns);
+                    self.dashboard.wait_sum_ns = self.dashboard.wait_sum_ns.saturating_add(wait_ns);
+                }
+                row.wait_ns = wait_ns;
+                row.exec_ns = exec_ns;
+                row.event_t_s = t_s;
             }
         }
         self.events_applied += 1;
@@ -428,6 +502,20 @@ impl QueryTables {
     /// excluding `version`: a resumed fold must reproduce the same digest as
     /// an uninterrupted one even though publication counts differ.
     pub fn digest(&self) -> u64 {
+        self.digest_impl(true)
+    }
+
+    /// [`digest`](Self::digest) without the fold position (offsets and
+    /// `events_applied`): the *data*-equivalence check. Two folds that saw
+    /// different event streams converging on the same rows — the canonical
+    /// case being a compacted-topic bootstrap (superseded events skipped)
+    /// versus a full-history replay — hash identically here while their
+    /// positional digests legitimately differ.
+    pub fn data_digest(&self) -> u64 {
+        self.digest_impl(false)
+    }
+
+    fn digest_impl(&self, include_position: bool) -> u64 {
         const OFFSET: u64 = 0xcbf29ce484222325;
         const PRIME: u64 = 0x100000001b3;
         let mut h = OFFSET;
@@ -448,6 +536,9 @@ impl QueryTables {
                 None => mix(&[0]),
             }
             mix(&r.event_t_s.to_bits().to_le_bytes());
+            mix(&r.wait_ns.to_le_bytes());
+            mix(&r.exec_ns.to_le_bytes());
+            mix(&[r.has_metric as u8]);
         }
         for (id, r) in &self.pilots {
             mix(&id.to_le_bytes());
@@ -465,11 +556,49 @@ impl QueryTables {
         mix(&d.exec_count.to_le_bytes());
         mix(&d.exec_sum_ns.to_le_bytes());
         mix(&d.wait_sum_ns.to_le_bytes());
-        for o in &self.offsets {
-            mix(&o.to_le_bytes());
+        if include_position {
+            for o in &self.offsets {
+                mix(&o.to_le_bytes());
+            }
+            mix(&self.events_applied.to_le_bytes());
         }
-        mix(&self.events_applied.to_le_bytes());
         h
+    }
+
+    /// Compose per-shard table sets into the global view. `parts[s]` is the
+    /// snapshot of shard `s`; `partition_owner[p]` names the shard that owns
+    /// partition `p` (whose `offsets[p]` is authoritative).
+    ///
+    /// Keyed routing sends every event of one entity to one partition, and a
+    /// shard plan assigns each partition to exactly one shard — so the
+    /// shards' unit/pilot maps are disjoint and the merge is a plain union.
+    /// Dashboard counters are order-independent aggregates (bucket counts,
+    /// integer-ns sums, the exact capacity-pool invariant), so summing the
+    /// per-shard values reproduces exactly what a single fold over all
+    /// partitions would have computed: the merged [`digest`](Self::digest)
+    /// is bit-identical to a single-shard fold at the same offsets.
+    ///
+    /// `version` is summed, making the merged version a monotone publication
+    /// counter across the whole shard set.
+    pub fn merge(parts: &[&QueryTables], partition_owner: &[usize]) -> QueryTables {
+        let mut out = QueryTables::new(partition_owner.len());
+        for t in parts {
+            for (id, r) in &t.units {
+                out.units.insert(*id, *r);
+            }
+            for (id, r) in &t.pilots {
+                out.pilots.insert(*id, *r);
+            }
+            out.dashboard.absorb(&t.dashboard);
+            out.events_applied += t.events_applied;
+            out.version += t.version;
+        }
+        for (p, &owner) in partition_owner.iter().enumerate() {
+            if let Some(t) = parts.get(owner) {
+                out.offsets[p] = t.offsets.get(p).copied().unwrap_or(0);
+            }
+        }
+        out
     }
 }
 
@@ -585,6 +714,107 @@ mod tests {
         assert_eq!(t.dashboard().exec_count, 2);
         assert!((t.dashboard().mean_exec_s() - 3.0).abs() < 1e-12);
         assert!((t.dashboard().mean_wait_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_upsert_matches_compacted_fold() {
+        // Full history: three metric events for unit 1, one for unit 2.
+        let mut full = QueryTables::new(1);
+        for (w, e, t) in [(1.0, 2.0, 3.0), (0.5, 0.25, 4.0), (2.0, 8.0, 5.0)] {
+            full.apply(&ProjEvent::UnitMetric {
+                unit: UnitId(1),
+                wait_s: w,
+                exec_s: e,
+                t_s: t,
+            });
+        }
+        full.apply(&ProjEvent::UnitMetric {
+            unit: UnitId(2),
+            wait_s: 1.0,
+            exec_s: 1.0,
+            t_s: 6.0,
+        });
+        // Sums are Σ latest-per-unit, count is units-with-metrics.
+        assert_eq!(full.dashboard().exec_count, 2);
+        assert!((full.dashboard().exec_sum_s() - 9.0).abs() < 1e-9);
+        assert!((full.dashboard().wait_sum_s() - 3.0).abs() < 1e-9);
+        let row = full.unit(UnitId(1)).expect("row");
+        assert!(row.has_metric);
+        assert_eq!(row.exec_ns, 8_000_000_000);
+        // Compacted view: only the latest metric per unit retained. The
+        // *data* converges bit-identically even though the event streams
+        // (and so fold positions) differ.
+        let mut compacted = QueryTables::new(1);
+        compacted.apply(&ProjEvent::UnitMetric {
+            unit: UnitId(1),
+            wait_s: 2.0,
+            exec_s: 8.0,
+            t_s: 5.0,
+        });
+        compacted.apply(&ProjEvent::UnitMetric {
+            unit: UnitId(2),
+            wait_s: 1.0,
+            exec_s: 1.0,
+            t_s: 6.0,
+        });
+        assert_eq!(full.data_digest(), compacted.data_digest());
+        assert_ne!(full.digest(), compacted.digest(), "positions differ");
+    }
+
+    #[test]
+    fn merge_reproduces_single_fold() {
+        // Partition 0 → shard 0, partition 1 → shard 1. Entities are split
+        // by partition exactly as keyed routing would split them.
+        let p0_events = [
+            unit_ev(1, UnitState::Pending, None, 0.0),
+            unit_ev(1, UnitState::Running, Some(4), 0.2),
+            ProjEvent::UnitMetric {
+                unit: UnitId(1),
+                wait_s: 0.5,
+                exec_s: 1.5,
+                t_s: 0.9,
+            },
+        ];
+        let p1_events = [
+            ProjEvent::Pilot {
+                pilot: PilotId(4),
+                state: PilotState::Active,
+                t_s: 0.1,
+            },
+            ProjEvent::PilotCapacity {
+                pilot: PilotId(4),
+                free_cores: 6,
+                total_cores: 8,
+                t_s: 0.15,
+            },
+            unit_ev(2, UnitState::Done, Some(4), 0.4),
+        ];
+        // Single fold over both partitions.
+        let mut single = QueryTables::new(2);
+        for e in p0_events.iter().chain(p1_events.iter()) {
+            single.apply(e);
+        }
+        single.offsets = vec![3, 3];
+        // Per-shard folds over their own partitions only.
+        let mut s0 = QueryTables::new(2);
+        for e in &p0_events {
+            s0.apply(e);
+        }
+        s0.offsets = vec![3, 0];
+        s0.version = 2;
+        let mut s1 = QueryTables::new(2);
+        for e in &p1_events {
+            s1.apply(e);
+        }
+        s1.offsets = vec![0, 3];
+        s1.version = 5;
+        let merged = QueryTables::merge(&[&s0, &s1], &[0, 1]);
+        assert_eq!(merged.digest(), single.digest());
+        assert_eq!(merged.version, 7, "versions sum monotonically");
+        assert_eq!(merged.dashboard().total_cores, 8);
+        assert_eq!(merged.dashboard().free_cores, 6);
+        assert_eq!(merged.unit_count(), 2);
+        assert_eq!(merged.offsets, vec![3, 3]);
     }
 
     #[test]

@@ -14,9 +14,16 @@
 //! the working tables strictly lead the published snapshot, so every crash
 //! genuinely discards progress that resume must re-fetch.
 
+//! A second property covers the sharded fold: N workers over disjoint
+//! partition groups, each killed and resumed independently from its *own*
+//! published snapshot (the global continuity token is a per-shard offset
+//! vector), must merge into tables whose digest is bit-identical to the
+//! single-shard fold — under arbitrary partition interleavings, shard
+//! counts, publish cadences, and asymmetric per-shard kill schedules.
+
 use pilot_core::events::{pilot_state_from_code, unit_state_from_code, ProjEvent};
 use pilot_core::ids::{PilotId, UnitId};
-use pilot_query::{BrokerSink, Materializer, QueryTables};
+use pilot_query::{BrokerSink, Materializer, QueryTables, ShardedMaterializer};
 use pilot_streaming::Broker;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -125,5 +132,65 @@ proptest! {
         // The published snapshot converges too (catch_up force-publishes).
         let qs = last.service();
         prop_assert_eq!(qs.snapshot().digest(), want_digest);
+    }
+
+    #[test]
+    fn sharded_fold_with_kills_merges_bit_identical_to_single_fold(
+        gens in proptest::collection::vec(
+            (0u8..4, 0u64..40, 0u8..8, proptest::option::of(0u64..6), 0u32..500, 0u32..500),
+            20..250,
+        ),
+        partitions in 1usize..6,
+        shards in 1usize..5,
+        publish_every in 1u64..20,
+        // Kill schedule: after each entry's poll rounds, every shard worker
+        // crashes back to its own published snapshot. Shards make *asymmetric*
+        // progress within a round (shard s polls `rounds + s` times), so
+        // restarts happen from divergent per-shard positions.
+        kill_rounds in proptest::collection::vec(1usize..6, 1..5),
+        poll_chunk in 1usize..17,
+    ) {
+        let broker = Arc::new(Broker::new());
+        let sink = BrokerSink::create(Arc::clone(&broker), "proj", partitions).unwrap();
+        let events = build_events(&gens);
+        for chunk in events.chunks(7) {
+            use pilot_core::events::EventSink;
+            sink.emit_batch(chunk);
+        }
+
+        // Reference: one unsharded fold over the identical topic.
+        let mut reference = Materializer::bootstrap(Arc::clone(&broker), "proj").unwrap();
+        reference.catch_up().unwrap();
+        let want_digest = reference.tables().digest();
+        let want_applied = reference.tables().events_applied;
+
+        // Killed/resumed sharded chain: the continuity token is the vector of
+        // per-shard snapshots, each authoritative for its own partitions.
+        let mut snapshots: Vec<Arc<QueryTables>> = {
+            let sm = ShardedMaterializer::bootstrap(Arc::clone(&broker), "proj", shards).unwrap();
+            sm.service().shard_snapshots()
+        };
+        for rounds in &kill_rounds {
+            let mut sm =
+                ShardedMaterializer::resume(Arc::clone(&broker), "proj", &snapshots).unwrap();
+            sm.set_publish_every(publish_every);
+            for (s, m) in sm.shards_mut().iter_mut().enumerate() {
+                for _ in 0..rounds + s {
+                    m.poll_apply(poll_chunk).unwrap();
+                }
+            }
+            snapshots = sm.service().shard_snapshots();
+            // sm dropped here: every shard crashes, losing work past its
+            // last publication.
+        }
+        let mut last =
+            ShardedMaterializer::resume(Arc::clone(&broker), "proj", &snapshots).unwrap();
+        last.catch_up().unwrap();
+
+        let merged = last.service().merged();
+        prop_assert_eq!(merged.events_applied, want_applied, "lost or duplicated events");
+        prop_assert_eq!(merged.digest(), want_digest, "merged projection diverged");
+        prop_assert_eq!(last.lag().unwrap(), 0);
+        prop_assert_eq!(last.events_lost(), 0);
     }
 }

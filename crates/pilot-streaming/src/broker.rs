@@ -406,9 +406,12 @@ pub struct GroupStats {
     /// them — each one was skipped by bumping the committed offset to the
     /// partition's start offset, and counted here instead of hidden.
     pub records_lost: u64,
-    /// Per-partition lag: high watermark minus committed offset, computed
-    /// against [`Broker::high_watermarks`] *after* the group guard is
-    /// released (lag can therefore be momentarily stale, never negative).
+    /// Per-partition lag: the number of *retained* records the group has
+    /// not consumed ([`Broker::retained_counts`] at the committed offsets,
+    /// taken *after* the group guard is released, so lag can be momentarily
+    /// stale but never negative). On compacted topics this clamps lag at the
+    /// earliest retained offset: records superseded by compaction are not
+    /// backlog — the group will never fetch them — so they are not counted.
     pub lag: Vec<u64>,
 }
 
@@ -852,7 +855,7 @@ impl Broker {
     }
 
     pub(crate) fn key_partition(key: u64, partitions: usize) -> usize {
-        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % partitions
+        key_partition(key, partitions)
     }
 
     /// Append a batch of `(key, payload)` records in one shot: one timestamp
@@ -897,6 +900,60 @@ impl Broker {
                 buckets[p].push((key, payload));
                 total += 1;
             }
+        }
+        if total == 0 {
+            return Ok(0);
+        }
+        for (p, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut log = t.partitions[p].lock(); // one acquire per partition
+            for (key, payload) in bucket {
+                log.append(key, now, payload, &t.retention)?;
+            }
+        }
+        self.note_append();
+        Ok(total)
+    }
+
+    /// Append a batch of `(partition, key, payload)` records in one shot —
+    /// the *routed* sibling of [`Broker::produce_batch`], for producers that
+    /// decouple routing from record identity. Compacted projection topics
+    /// need exactly that split: records are routed by *entity* (so one
+    /// entity's events keep per-partition total order) but keyed by a
+    /// kind-aware *compaction identity*, so latest-per-key compaction keeps
+    /// the newest record of each (entity, kind) instead of letting one kind
+    /// supersede another. Costs match `produce_batch`: one timestamp read
+    /// and one lock acquire per touched partition. The whole batch is
+    /// validated (partition bounds, keys present on compacted topics) before
+    /// anything is appended. Returns the number of records appended.
+    pub fn produce_batch_routed(
+        &self,
+        topic: &str,
+        records: impl IntoIterator<Item = (usize, Option<u64>, Arc<Vec<u8>>)>,
+    ) -> Result<u64, BrokerError> {
+        if self.is_closed() {
+            return Err(BrokerError::BrokerClosed);
+        }
+        let t = self.topic(topic)?;
+        let compacted = matches!(t.retention, Retention::Compact { .. });
+        let n = t.partitions.len();
+        let now = self.now_s(); // one timestamp read per batch
+        let mut buckets: Vec<Vec<Record>> = (0..n).map(|_| Vec::new()).collect();
+        let mut total = 0u64;
+        for (p, key, payload) in records {
+            if p >= n {
+                return Err(BrokerError::UnknownPartition {
+                    topic: topic.to_string(),
+                    partition: p,
+                });
+            }
+            if compacted && key.is_none() {
+                return Err(BrokerError::KeyRequired(topic.to_string()));
+            }
+            buckets[p].push((key, payload));
+            total += 1;
         }
         if total == 0 {
             return Ok(0);
@@ -1064,6 +1121,66 @@ impl Broker {
         }
         let start = t.partitions[partition].lock().start_offset;
         Ok(start)
+    }
+
+    /// Offset of the earliest *retained* record per partition (the
+    /// partition's next offset when nothing is retained). Differs from
+    /// [`Broker::start_offset`] on compacted topics: compaction supersedes
+    /// records without advancing the start offset (superseded is not lost),
+    /// so the earliest retained offset — the true lower bound on what a
+    /// bootstrap replays — can sit far above it.
+    pub fn earliest_offsets(&self, topic: &str) -> Result<Vec<u64>, BrokerError> {
+        let t = self.topic(topic)?;
+        Ok(t.partitions
+            .iter()
+            .map(|p| {
+                let log = p.lock();
+                log.records
+                    .front()
+                    .map(|m| m.offset)
+                    .unwrap_or(log.next_offset)
+            })
+            .collect())
+    }
+
+    /// Number of *retained* records at or after `from` in one partition.
+    /// This is the honest backlog of a consumer committed at `from`: records
+    /// compacted away (superseded by a newer record of the same key) or
+    /// count-trimmed are not work the consumer will ever fetch, so they are
+    /// not counted — equivalently, lag is clamped at the earliest retained
+    /// offset and can never go negative on a sparse log.
+    pub fn retained_after(
+        &self,
+        topic: &str,
+        partition: usize,
+        from: u64,
+    ) -> Result<u64, BrokerError> {
+        let t = self.topic(topic)?;
+        if partition >= t.partitions.len() {
+            return Err(BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        let log = t.partitions[partition].lock();
+        Ok((log.records.len() - log.position(from)) as u64)
+    }
+
+    /// [`Broker::retained_after`] for every partition at once: `from[p]` is
+    /// the consumer's committed offset in partition `p` (missing entries
+    /// default to 0). Each partition's mutex is held only long enough for
+    /// one binary search.
+    pub fn retained_counts(&self, topic: &str, from: &[u64]) -> Result<Vec<u64>, BrokerError> {
+        let t = self.topic(topic)?;
+        Ok(t.partitions
+            .iter()
+            .enumerate()
+            .map(|(p, part)| {
+                let log = part.lock();
+                let committed = from.get(p).copied().unwrap_or(0);
+                (log.records.len() - log.position(committed)) as u64
+            })
+            .collect())
     }
 
     /// Join a consumer group on `topic`; partition assignments rebalance to
@@ -1373,13 +1490,10 @@ impl Broker {
             }
         };
         // Lag needs the partition locks; take them only after the group
-        // guard is dropped (no nested group→partition locking).
-        let watermarks = self.high_watermarks(&stats.topic)?;
-        stats.lag = watermarks
-            .iter()
-            .zip(stats.offsets.iter())
-            .map(|(&hw, &committed)| hw.saturating_sub(committed))
-            .collect();
+        // guard is dropped (no nested group→partition locking). Counting
+        // retained records (not high-watermark arithmetic) keeps lag honest
+        // on sparse compacted logs: superseded records are never backlog.
+        stats.lag = self.retained_counts(&stats.topic, &stats.offsets)?;
         Ok(stats)
     }
 
@@ -1396,6 +1510,14 @@ impl Broker {
         names.sort();
         names
     }
+}
+
+/// The broker's keyed-partitioning function: which partition of `partitions`
+/// a record keyed `key` lands in. Public so layers *above* the broker (shard
+/// planners, routed producers) can co-locate their routing with the broker's
+/// without re-implementing the hash.
+pub fn key_partition(key: u64, partitions: usize) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % partitions
 }
 
 fn partition_dir(root: &Path, topic: &str, partition: usize) -> PathBuf {
@@ -2004,6 +2126,124 @@ mod tests {
         assert!(!got.is_empty());
         let stats = b.group_stats("g").unwrap();
         assert_eq!(stats.records_lost, 0, "superseded records are not loss");
+    }
+
+    #[test]
+    fn compacted_lag_counts_retained_not_superseded() {
+        let b = Broker::new();
+        b.create_topic_with("kv", 1, Retention::Compact { trigger: 2 })
+            .unwrap();
+        b.join_group("g", "kv", "c").unwrap();
+        // 2 live keys churned 50 rounds: the watermark is 100, but only a
+        // handful of retained records exist. Honest lag counts those, not
+        // the 90+ compacted-away updates the group will never fetch.
+        for i in 0..100u64 {
+            b.produce("kv", Some(i % 2), payload(i as u8)).unwrap();
+        }
+        let stats = b.group_stats("g").unwrap();
+        let retained = b.retained_after("kv", 0, 0).unwrap();
+        assert_eq!(stats.total_lag(), retained);
+        assert!(
+            stats.total_lag() < 100,
+            "lag {} must not count compacted-away records",
+            stats.total_lag()
+        );
+        // Drain; lag reaches 0 even though committed < high watermark.
+        while !b.poll("g", "c", 64).unwrap().is_empty() {}
+        let stats = b.group_stats("g").unwrap();
+        assert_eq!(stats.total_lag(), 0);
+        assert!(stats.committed <= b.high_watermark("kv", 0).unwrap());
+        // Count-trimmed topics clamp the same way: commit far behind the
+        // trim point and lag still only counts retained records.
+        let b2 = Broker::new();
+        b2.create_topic("t", 1, 10).unwrap();
+        b2.join_group("g", "t", "c").unwrap();
+        for i in 0..50u8 {
+            b2.produce("t", None, payload(i)).unwrap();
+        }
+        let stats = b2.group_stats("g").unwrap();
+        assert_eq!(stats.total_lag(), 10, "clamped at earliest retained");
+    }
+
+    #[test]
+    fn earliest_offsets_track_retained_not_start() {
+        let b = Broker::new();
+        b.create_topic_with("kv", 2, Retention::Compact { trigger: 2 })
+            .unwrap();
+        assert_eq!(b.earliest_offsets("kv").unwrap(), vec![0, 0], "empty");
+        for i in 0..40u64 {
+            b.produce("kv", Some(i % 2), payload(i as u8)).unwrap();
+        }
+        let earliest = b.earliest_offsets("kv").unwrap();
+        let hw = b.high_watermarks("kv").unwrap();
+        let start: Vec<u64> = (0..2).map(|p| b.start_offset("kv", p).unwrap()).collect();
+        for p in 0..2 {
+            if hw[p] == 0 {
+                continue; // both keys may hash to one partition
+            }
+            assert_eq!(start[p], 0, "compaction never advances start_offset");
+            assert!(
+                earliest[p] > start[p],
+                "p{p}: earliest retained {} should sit above start {}",
+                earliest[p],
+                start[p]
+            );
+            assert!(earliest[p] < hw[p]);
+        }
+        assert_eq!(
+            b.earliest_offsets("nope"),
+            Err(BrokerError::UnknownTopic("nope".into()))
+        );
+    }
+
+    #[test]
+    fn produce_batch_routed_routes_and_validates() {
+        let b = Broker::new();
+        b.create_topic_with("kv", 4, Retention::Compact { trigger: 64 })
+            .unwrap();
+        // Routing is explicit: identity keys do NOT decide placement.
+        let n = b
+            .produce_batch_routed(
+                "kv",
+                (0..12u64).map(|i| (1usize, Some(i), payload(i as u8))),
+            )
+            .unwrap();
+        assert_eq!(n, 12);
+        let hw = b.high_watermarks("kv").unwrap();
+        assert_eq!(hw, vec![0, 12, 0, 0], "all records on the routed partition");
+        // Whole-batch validation: nothing lands if any record is bad.
+        assert_eq!(
+            b.produce_batch_routed("kv", [(9usize, Some(1), payload(0))]),
+            Err(BrokerError::UnknownPartition {
+                topic: "kv".into(),
+                partition: 9,
+            })
+        );
+        assert_eq!(
+            b.produce_batch_routed("kv", [(0usize, Some(1), payload(0)), (1, None, payload(1))]),
+            Err(BrokerError::KeyRequired("kv".into()))
+        );
+        assert_eq!(b.high_watermarks("kv").unwrap(), vec![0, 12, 0, 0]);
+        // Compaction keys on the record key even though routing ignored it:
+        // churning key 3 supersedes only key 3's earlier records, and every
+        // other key's latest record survives.
+        for _ in 0..200 {
+            b.produce_batch_routed("kv", [(1usize, Some(3), payload(7))])
+                .unwrap();
+        }
+        let msgs = b.fetch("kv", 1, 0, 1000).unwrap();
+        assert!(
+            msgs.len() < 100,
+            "retained {} of 212 appends — compaction must shed superseded",
+            msgs.len()
+        );
+        for k in 0..12u64 {
+            assert!(
+                msgs.iter().any(|m| m.key == Some(k)),
+                "latest record of key {k} must survive compaction"
+            );
+        }
+        assert_eq!(b.produce_batch_routed("kv", []).unwrap(), 0);
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub mod replica;
 pub mod wal;
 pub mod window;
 
-pub use broker::{Broker, BrokerError, GroupStats, Message, Record, Retention, Subscription};
+pub use broker::{
+    key_partition, Broker, BrokerError, GroupStats, Message, Record, Retention, Subscription,
+};
 pub use pipeline::{StreamJobConfig, StreamReport};
 pub use replica::{ClusterStats, ClusterSub, KillSchedule, LeaderLease, ReplicatedBroker};
 pub use wal::{FsyncPolicy, RecoveryInfo, WalConfig};
